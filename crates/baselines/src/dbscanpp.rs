@@ -1,0 +1,166 @@
+//! DBSCAN++ (Jang & Jiang, ICML 2019): compute core-ness only for a
+//! sampled subset of points, cluster the sampled cores, then attach the
+//! remaining points to their nearest sampled core. Sub-quadratic
+//! (`O(s·n²)` for sample fraction `s`) at the cost of approximating the
+//! density landscape; the paper runs it at 30 % sampling (§5.2).
+
+use mdbscan_core::{Clustering, PointLabel, UnionFind};
+use mdbscan_metric::Metric;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How DBSCAN++ picks its sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleInit {
+    /// Uniformly random `⌈s·n⌉` points.
+    Uniform,
+    /// Greedy farthest-point (k-center) sample of the same size — the
+    /// variant the DBSCAN++ paper recommends for adversarial densities.
+    KCenter,
+}
+
+/// Runs DBSCAN++ with sample fraction `s ∈ (0, 1]`.
+pub fn dbscan_pp<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    s: f64,
+    init: SampleInit,
+    seed: u64,
+) -> Clustering {
+    assert!(s > 0.0 && s <= 1.0, "sample fraction must be in (0,1]");
+    let n = points.len();
+    if n == 0 {
+        return Clustering::from_labels(vec![]);
+    }
+    let m = ((n as f64 * s).ceil() as usize).clamp(1, n);
+    let sample: Vec<usize> = match init {
+        SampleInit::Uniform => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            idx.shuffle(&mut rng);
+            idx.truncate(m);
+            idx
+        }
+        SampleInit::KCenter => {
+            mdbscan_kcenter::gonzalez(points, metric, m, (seed as usize) % n).centers
+        }
+    };
+
+    // Core test for sampled points, against the FULL dataset.
+    let mut sampled_cores: Vec<usize> = Vec::new();
+    for &i in &sample {
+        let mut count = 0usize;
+        for j in 0..n {
+            if metric.within(&points[i], &points[j], eps) {
+                count += 1;
+                if count >= min_pts {
+                    sampled_cores.push(i);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Connect sampled cores at distance ≤ ε.
+    let k = sampled_cores.len();
+    let mut uf = UnionFind::new(k);
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if !uf.connected(a, b)
+                && metric.within(&points[sampled_cores[a]], &points[sampled_cores[b]], eps)
+            {
+                uf.union(a, b);
+            }
+        }
+    }
+    let comp = uf.component_ids();
+
+    // Attach every point to its nearest sampled core within ε.
+    let mut labels = vec![PointLabel::Noise; n];
+    for (a, &i) in sampled_cores.iter().enumerate() {
+        labels[i] = PointLabel::Core(comp[a]);
+    }
+    for p in 0..n {
+        if labels[p].is_core() {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (a, &i) in sampled_cores.iter().enumerate() {
+            let bound = best.map_or(eps, |(d, _)| d);
+            if let Some(d) = metric.distance_leq(&points[p], &points[i], bound) {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, comp[a]));
+                }
+            }
+        }
+        if let Some((_, c)) = best {
+            labels[p] = PointLabel::Border(c);
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..60 {
+            pts.push(vec![(i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]);
+            pts.push(vec![50.0 + (i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1]);
+        }
+        pts.push(vec![25.0, 25.0]);
+        pts
+    }
+
+    #[test]
+    fn full_sample_equals_dbscan() {
+        let pts = two_blobs();
+        let pp = dbscan_pp(&pts, &Euclidean, 0.3, 5, 1.0, SampleInit::Uniform, 1);
+        let reference = crate::original_dbscan(&pts, &Euclidean, 0.3, 5);
+        assert_eq!(pp.num_clusters(), reference.num_clusters());
+        for i in 0..pts.len() {
+            assert_eq!(pp.labels()[i].is_noise(), reference.labels()[i].is_noise());
+        }
+    }
+
+    #[test]
+    fn subsample_still_finds_blobs() {
+        // At 30% sampling the core graph is sparser, so the connection
+        // radius must out-span the sampling gaps (the DBSCAN++ paper makes
+        // the same adjustment when s shrinks).
+        let pts = two_blobs();
+        for init in [SampleInit::Uniform, SampleInit::KCenter] {
+            let c = dbscan_pp(&pts, &Euclidean, 0.5, 3, 0.3, init, 7);
+            assert_eq!(c.num_clusters(), 2, "{init:?}");
+            assert!(c.labels()[120].is_noise(), "{init:?}: outlier kept");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = two_blobs();
+        let a = dbscan_pp(&pts, &Euclidean, 0.3, 3, 0.5, SampleInit::Uniform, 3);
+        let b = dbscan_pp(&pts, &Euclidean, 0.3, 3, 0.5, SampleInit::Uniform, 3);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let c = dbscan_pp(&pts, &Euclidean, 1.0, 3, 0.5, SampleInit::Uniform, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_fraction_panics() {
+        let pts = vec![vec![0.0]];
+        let _ = dbscan_pp(&pts, &Euclidean, 1.0, 3, 0.0, SampleInit::Uniform, 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! DBStream (Hahsler & Bolaños, TKDE 2016): streaming density clustering
+//! with leader-based micro-clusters and a *shared-density graph*. Each
+//! arriving point updates every micro-cluster within radius `r`
+//! (exponentially decayed weights, centers nudged toward the point) and
+//! strengthens the shared density between pairs of micro-clusters that
+//! both absorb it; offline, micro-clusters whose shared density exceeds
+//! the intersection factor `α` merge into macro-clusters. A Table 4
+//! baseline.
+
+use mdbscan_core::{Clustering, PointLabel, UnionFind};
+use std::collections::HashMap;
+
+use crate::kmeans::sq_dist;
+
+struct MicroCluster {
+    center: Vec<f64>,
+    weight: f64,
+    last: u64,
+}
+
+/// The DBStream engine.
+pub struct DbStream {
+    /// Micro-cluster radius `r`.
+    pub radius: f64,
+    /// Decay factor `λ` (per time step; weight halves every `1/λ` steps
+    /// scaled by `ln 2`).
+    pub lambda: f64,
+    /// Minimum weight for a micro-cluster to survive cleanup.
+    pub w_min: f64,
+    /// Shared-density threshold `α ∈ (0, 1]` for offline merging.
+    pub alpha: f64,
+    /// Cleanup period (time steps).
+    pub gap: u64,
+    mcs: Vec<MicroCluster>,
+    shared: HashMap<(u32, u32), (f64, u64)>,
+    t: u64,
+}
+
+impl DbStream {
+    /// Creates an engine with the given knobs.
+    pub fn new(radius: f64, lambda: f64, w_min: f64, alpha: f64, gap: u64) -> Self {
+        assert!(radius > 0.0 && lambda >= 0.0 && alpha > 0.0);
+        Self {
+            radius,
+            lambda,
+            w_min,
+            alpha,
+            gap: gap.max(1),
+            mcs: Vec::new(),
+            shared: HashMap::new(),
+            t: 0,
+        }
+    }
+
+    fn decay(&self, w: f64, last: u64) -> f64 {
+        w * (-self.lambda * (self.t - last) as f64).exp2()
+    }
+
+    /// Number of live micro-clusters.
+    pub fn num_micro_clusters(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// Feeds one point.
+    pub fn insert(&mut self, p: &[f64]) {
+        self.t += 1;
+        let r2 = self.radius * self.radius;
+        // Find all micro-clusters within r.
+        let hits: Vec<usize> = self
+            .mcs
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| sq_dist(&mc.center, p) <= r2)
+            .map(|(i, _)| i)
+            .collect();
+        if hits.is_empty() {
+            self.mcs.push(MicroCluster {
+                center: p.to_vec(),
+                weight: 1.0,
+                last: self.t,
+            });
+        } else {
+            let (t, lambda) = (self.t, self.lambda);
+            for &i in &hits {
+                let mc = &mut self.mcs[i];
+                mc.weight = mc.weight * (-lambda * (t - mc.last) as f64).exp2() + 1.0;
+                mc.last = t;
+                // Competitive (leader) update: move the center toward p
+                // proportionally to the new point's share of the weight.
+                let eta = 1.0 / mc.weight;
+                for (c, &x) in mc.center.iter_mut().zip(p.iter()) {
+                    *c += eta * (x - *c);
+                }
+            }
+            // Shared density between every pair that absorbed p.
+            for a in 0..hits.len() {
+                for b in (a + 1)..hits.len() {
+                    let key = (hits[a] as u32, hits[b] as u32);
+                    let e = self.shared.entry(key).or_insert((0.0, self.t));
+                    let decayed = e.0 * (-self.lambda * (self.t - e.1) as f64).exp2();
+                    *e = (decayed + 1.0, self.t);
+                }
+            }
+        }
+        if self.t.is_multiple_of(self.gap) {
+            self.cleanup();
+        }
+    }
+
+    /// Drops weak micro-clusters and stale shared-density edges,
+    /// re-indexing the graph.
+    fn cleanup(&mut self) {
+        let t = self.t;
+        let lambda = self.lambda;
+        let w_min = self.w_min;
+        let mut keep_map: Vec<Option<u32>> = Vec::with_capacity(self.mcs.len());
+        let mut next = 0u32;
+        for mc in &self.mcs {
+            let w = mc.weight * (-lambda * (t - mc.last) as f64).exp2();
+            if w >= w_min {
+                keep_map.push(Some(next));
+                next += 1;
+            } else {
+                keep_map.push(None);
+            }
+        }
+        let mut kept = Vec::with_capacity(next as usize);
+        for (mc, keep) in self.mcs.drain(..).zip(keep_map.iter()) {
+            if keep.is_some() {
+                kept.push(mc);
+            }
+        }
+        self.mcs = kept;
+        self.shared = self
+            .shared
+            .drain()
+            .filter_map(|((a, b), v)| {
+                match (keep_map[a as usize], keep_map[b as usize]) {
+                    (Some(na), Some(nb)) => Some(((na, nb), v)),
+                    _ => None,
+                }
+            })
+            .collect();
+    }
+
+    /// Offline macro-clustering: merge micro-clusters whose shared density
+    /// relative to their mean weight exceeds `alpha`; returns per-MC
+    /// macro-cluster ids.
+    fn macro_ids(&self) -> Vec<u32> {
+        let k = self.mcs.len();
+        let mut uf = UnionFind::new(k);
+        for (&(a, b), &(s, last)) in &self.shared {
+            let s = s * (-self.lambda * (self.t - last) as f64).exp2();
+            let wa = self.decay(self.mcs[a as usize].weight, self.mcs[a as usize].last);
+            let wb = self.decay(self.mcs[b as usize].weight, self.mcs[b as usize].last);
+            let conn = s / ((wa + wb) / 2.0);
+            if conn >= self.alpha {
+                uf.union(a as usize, b as usize);
+            }
+        }
+        uf.component_ids()
+    }
+
+    /// Labels one point against the current model: the macro-cluster of
+    /// the nearest micro-cluster within `r`, else noise.
+    pub fn label(&self, p: &[f64], macro_ids: &[u32]) -> PointLabel {
+        let r2 = self.radius * self.radius;
+        let mut best: Option<(f64, u32)> = None;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            let d = sq_dist(&mc.center, p);
+            if d <= r2 && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, macro_ids[i]));
+            }
+        }
+        match best {
+            Some((_, c)) => PointLabel::Border(c),
+            None => PointLabel::Noise,
+        }
+    }
+
+    /// Convenience batch API: stream the data once, then label every point
+    /// against the final model (the evaluation protocol of Table 4).
+    pub fn fit(points: &[Vec<f64>], radius: f64, lambda: f64, alpha: f64) -> Clustering {
+        let mut engine = Self::new(radius, lambda, 0.1, alpha, 1000);
+        for p in points {
+            engine.insert(p);
+        }
+        let ids = engine.macro_ids();
+        Clustering::from_labels(points.iter().map(|p| engine.label(p, &ids)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interleaved_blobs(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+                vec![c + (i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_two_streams() {
+        let pts = interleaved_blobs(800);
+        let c = DbStream::fit(&pts, 1.5, 0.001, 0.1);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_ne!(c.cluster_of(0), c.cluster_of(1));
+    }
+
+    #[test]
+    fn compresses_to_few_micro_clusters() {
+        let pts = interleaved_blobs(2000);
+        let mut e = DbStream::new(1.5, 0.001, 0.1, 0.1, 500);
+        for p in &pts {
+            e.insert(p);
+        }
+        assert!(
+            e.num_micro_clusters() < 60,
+            "got {}",
+            e.num_micro_clusters()
+        );
+    }
+
+    #[test]
+    fn far_point_is_noise() {
+        let pts = interleaved_blobs(400);
+        let mut e = DbStream::new(1.5, 0.001, 0.1, 0.1, 500);
+        for p in &pts {
+            e.insert(p);
+        }
+        let ids = e.macro_ids();
+        assert_eq!(e.label(&[9999.0, 9999.0], &ids), PointLabel::Noise);
+    }
+
+    #[test]
+    fn decay_prunes_stale_clusters() {
+        let mut e = DbStream::new(1.0, 0.05, 0.5, 0.1, 100);
+        e.insert(&[0.0, 0.0]);
+        // flood a far region so time passes and cleanup fires
+        for i in 0..1000 {
+            e.insert(&[100.0 + (i % 3) as f64 * 0.1, 0.0]);
+        }
+        // the stale cluster at the origin decayed away
+        let ids = e.macro_ids();
+        assert_eq!(e.label(&[0.0, 0.0], &ids), PointLabel::Noise);
+    }
+}

@@ -1,0 +1,138 @@
+//! Density Peaks clustering (Rodriguez & Laio, Science 2014): rank every
+//! point by local density `ρ` and by `δ`, the distance to its nearest
+//! higher-density neighbor; cluster centers are the points where both are
+//! large (`γ = ρ·δ`), and every other point inherits the cluster of its
+//! nearest denser neighbor. `O(n²)` time, `O(n)` memory — a Table 3
+//! baseline (the paper reports it running out of 500 GB on the large
+//! sets, which the quadratic all-pairs structure explains).
+
+use mdbscan_core::{Clustering, PointLabel};
+use mdbscan_metric::Metric;
+
+/// Runs Density Peaks with cutoff distance `d_c`, extracting the top-`k`
+/// points by `γ = ρ·δ` as cluster centers.
+pub fn density_peak<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    d_c: f64,
+    k: usize,
+) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::from_labels(vec![]);
+    }
+    let k = k.clamp(1, n);
+    // ρ: cutoff-kernel local density (self excluded, as in the original).
+    let mut rho = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if metric.within(&points[i], &points[j], d_c) {
+                rho[i] += 1;
+                rho[j] += 1;
+            }
+        }
+    }
+    // δ and the nearest denser neighbor. Ties in ρ are broken by index so
+    // that the "denser than" relation is a strict total order (the
+    // original prescribes sorting by ρ).
+    let denser = |a: usize, b: usize| rho[a] > rho[b] || (rho[a] == rho[b] && a < b);
+    let mut delta = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut global_max = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || !denser(j, i) {
+                continue;
+            }
+            let d = metric.distance(&points[i], &points[j]);
+            if d < delta[i] {
+                delta[i] = d;
+                parent[i] = j;
+            }
+        }
+        if delta[i].is_infinite() {
+            // the densest point: δ = max distance to anything
+            let d = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| metric.distance(&points[i], &points[j]))
+                .fold(0.0, f64::max);
+            delta[i] = d;
+        }
+        global_max = global_max.max(delta[i]);
+    }
+    // centers: top-k by γ.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&a, &b| {
+        let ga = rho[a] as f64 * delta[a];
+        let gb = rho[b] as f64 * delta[b];
+        gb.total_cmp(&ga)
+    });
+    let mut cluster = vec![u32::MAX; n];
+    for (c, &i) in order.iter().take(k).enumerate() {
+        cluster[i] = c as u32;
+    }
+    // assignment in decreasing-density order: inherit from parent.
+    let mut by_density: Vec<usize> = (0..n).collect();
+    by_density.sort_unstable_by(|&a, &b| {
+        if denser(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    for &i in &by_density {
+        if cluster[i] == u32::MAX {
+            let p = parent[i];
+            cluster[i] = if p == usize::MAX { 0 } else { cluster[p] };
+        }
+    }
+    Clustering::from_labels(
+        cluster
+            .into_iter()
+            .map(PointLabel::Core)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in [[0.0, 0.0], [40.0, 0.0]] {
+            for i in 0..40 {
+                pts.push(vec![c[0] + (i % 8) as f64 * 0.2, c[1] + (i / 8) as f64 * 0.2]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn two_peaks_two_clusters() {
+        let pts = blobs();
+        let c = density_peak(&pts, &Euclidean, 1.0, 2);
+        assert_eq!(c.num_clusters(), 2);
+        for i in 0..40 {
+            assert_eq!(c.cluster_of(i), c.cluster_of(0), "first blob split at {i}");
+            assert_eq!(c.cluster_of(40 + i), c.cluster_of(40));
+        }
+        assert_ne!(c.cluster_of(0), c.cluster_of(40));
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let pts = blobs();
+        let c = density_peak(&pts, &Euclidean, 1.0, 1);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let c = density_peak(&[vec![1.0]], &Euclidean, 1.0, 3);
+        assert_eq!(c.num_clusters(), 1);
+        let c = density_peak::<Vec<f64>, _>(&[], &Euclidean, 1.0, 3);
+        assert!(c.is_empty());
+    }
+}

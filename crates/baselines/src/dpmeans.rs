@@ -1,0 +1,149 @@
+//! DP-means (Kulis & Jordan, ICML 2012): the nonparametric k-means the
+//! paper compares against in §5.4 and Fig. 5. A point farther than `√λ`
+//! from every center spawns a new cluster; otherwise Lloyd updates run as
+//! usual. Fast and simple — and, being center-based, structurally unable
+//! to recover arbitrary-shape clusters or reject outliers, which is the
+//! contrast Fig. 5 draws.
+
+use mdbscan_core::{Clustering, PointLabel};
+use mdbscan_kcenter::gonzalez;
+use mdbscan_metric::Euclidean;
+
+use crate::kmeans::sq_dist;
+
+/// The λ-selection rule the paper uses (§5.4): the squared maximum
+/// distance of a `k`-center (Gonzalez) initialization.
+pub fn lambda_from_kcenter(points: &[Vec<f64>], k: usize, first: usize) -> f64 {
+    if points.is_empty() {
+        return 1.0;
+    }
+    let res = gonzalez(points, &Euclidean, k.max(1), first % points.len());
+    (res.radius * res.radius).max(f64::MIN_POSITIVE)
+}
+
+/// Runs DP-means with cluster penalty `lambda` (squared-distance units)
+/// until assignments stabilize or `max_iters` passes.
+///
+/// Every point is assigned (DP-means has no noise concept); labels are
+/// all [`PointLabel::Core`] since the output is a plain partition.
+pub fn dp_means(points: &[Vec<f64>], lambda: f64, max_iters: usize) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::from_labels(vec![]);
+    }
+    assert!(lambda > 0.0, "lambda must be positive");
+    let d = points[0].len();
+    // Init: single cluster at the global mean.
+    let mut centers: Vec<Vec<f64>> = vec![(0..d)
+        .map(|j| points.iter().map(|p| p[j]).sum::<f64>() / n as f64)
+        .collect()];
+    let mut assignment = vec![0u32; n];
+    for _ in 0..max_iters.max(1) {
+        let mut changed = false;
+        // Assignment / spawning sweep.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let dd = sq_dist(p, center);
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if best_d > lambda {
+                centers.push(p.clone());
+                best = centers.len() - 1;
+                changed = true;
+            }
+            if assignment[i] != best as u32 {
+                assignment[i] = best as u32;
+                changed = true;
+            }
+        }
+        // Mean update.
+        let mut sums = vec![vec![0.0; d]; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            let a = assignment[i] as usize;
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p.iter()) {
+                *s += x;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (x, s) in center.iter_mut().zip(sums[c].iter()) {
+                    *x = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering::from_labels(
+        assignment
+            .into_iter()
+            .map(PointLabel::Core)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]] {
+            for i in 0..30 {
+                pts.push(vec![c[0] + (i % 6) as f64 * 0.1, c[1] + (i / 6) as f64 * 0.1]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_separated_blobs() {
+        let pts = three_blobs();
+        // λ between blob diameter² (~0.6²) and separation² (50²)
+        let c = dp_means(&pts, 100.0, 50);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.num_noise(), 0);
+        for i in 0..30 {
+            assert_eq!(c.cluster_of(i), c.cluster_of(0));
+            assert_eq!(c.cluster_of(30 + i), c.cluster_of(30));
+        }
+    }
+
+    #[test]
+    fn huge_lambda_gives_one_cluster() {
+        let pts = three_blobs();
+        let c = dp_means(&pts, 1e9, 20);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn tiny_lambda_fragments() {
+        let pts = three_blobs();
+        let c = dp_means(&pts, 1e-6, 20);
+        assert!(c.num_clusters() > 3);
+    }
+
+    #[test]
+    fn lambda_helper_is_sane() {
+        let pts = three_blobs();
+        let l = lambda_from_kcenter(&pts, 3, 0);
+        // 3-center radius of three tight blobs is ≤ blob diameter
+        assert!(l < 10.0, "lambda {l}");
+        let c = dp_means(&pts, l.max(1.0), 50);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(lambda_from_kcenter(&[], 3, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dp_means(&[], 1.0, 5).is_empty());
+    }
+}

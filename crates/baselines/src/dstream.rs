@@ -1,0 +1,198 @@
+//! D-Stream (Chen & Tu, KDD 2007): density-grid stream clustering. Space
+//! is cut into fixed cells; each arrival bumps its cell's exponentially
+//! decayed density; offline, cells are classified dense / transitional /
+//! sparse and adjacent dense cells (with transitional boundaries) form
+//! clusters. Grid-based, so Euclidean and effectively low-dimensional —
+//! in the paper's Table 4 it collapses on the high-dimensional sets,
+//! which this implementation reproduces honestly.
+
+use mdbscan_core::{Clustering, PointLabel, UnionFind};
+use std::collections::HashMap;
+
+type Cell = Vec<i64>;
+
+/// The D-Stream engine.
+pub struct DStream {
+    /// Cell side length.
+    pub cell_side: f64,
+    /// Decay factor λ (base-2 exponent per time step).
+    pub lambda: f64,
+    /// Density at or above which a cell is *dense*.
+    pub dense_threshold: f64,
+    /// Density below which a cell is *sparse* (and prunable);
+    /// densities in between are *transitional*.
+    pub sparse_threshold: f64,
+    cells: HashMap<Cell, (f64, u64)>,
+    t: u64,
+}
+
+impl DStream {
+    /// Creates an engine with the given grid and density knobs.
+    pub fn new(cell_side: f64, lambda: f64, dense_threshold: f64, sparse_threshold: f64) -> Self {
+        assert!(cell_side > 0.0 && dense_threshold >= sparse_threshold);
+        Self {
+            cell_side,
+            lambda,
+            dense_threshold,
+            sparse_threshold,
+            cells: HashMap::new(),
+            t: 0,
+        }
+    }
+
+    fn key(&self, p: &[f64]) -> Cell {
+        p.iter().map(|&x| (x / self.cell_side).floor() as i64).collect()
+    }
+
+    /// Feeds one point.
+    pub fn insert(&mut self, p: &[f64]) {
+        self.t += 1;
+        let key = self.key(p);
+        let t = self.t;
+        let lambda = self.lambda;
+        let e = self.cells.entry(key).or_insert((0.0, t));
+        let decayed = e.0 * (-lambda * (t - e.1) as f64).exp2();
+        *e = (decayed + 1.0, t);
+    }
+
+    /// Number of tracked cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn density(&self, cell: &Cell) -> f64 {
+        self.cells
+            .get(cell)
+            .map(|&(d, last)| d * (-self.lambda * (self.t - last) as f64).exp2())
+            .unwrap_or(0.0)
+    }
+
+    /// Offline clustering: group face-adjacent dense cells, attach
+    /// transitional cells that touch a dense group; returns the cell →
+    /// cluster map.
+    fn cluster_cells(&self) -> HashMap<Cell, u32> {
+        let dense: Vec<&Cell> = self
+            .cells
+            .keys()
+            .filter(|c| self.density(c) >= self.dense_threshold)
+            .collect();
+        let index: HashMap<&Cell, usize> =
+            dense.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let mut uf = UnionFind::new(dense.len());
+        for (i, cell) in dense.iter().enumerate() {
+            for dim in 0..cell.len() {
+                for delta in [-1i64, 1] {
+                    let mut nb = (*cell).clone();
+                    nb[dim] += delta;
+                    if let Some(&j) = index.get(&nb) {
+                        uf.union(i, j);
+                    }
+                }
+            }
+        }
+        let comp = uf.component_ids();
+        let mut out: HashMap<Cell, u32> = dense
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((*c).clone(), comp[i]))
+            .collect();
+        // transitional cells adopt an adjacent dense group's id
+        for cell in self.cells.keys() {
+            let d = self.density(cell);
+            if d < self.dense_threshold && d >= self.sparse_threshold {
+                'dims: for dim in 0..cell.len() {
+                    for delta in [-1i64, 1] {
+                        let mut nb = cell.clone();
+                        nb[dim] += delta;
+                        if let Some(&j) = index.get(&nb) {
+                            out.insert(cell.clone(), comp[j]);
+                            break 'dims;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Convenience batch API: stream once, then label every point by its
+    /// cell's cluster (sparse/unclustered cells → noise).
+    pub fn fit(
+        points: &[Vec<f64>],
+        cell_side: f64,
+        lambda: f64,
+        dense_threshold: f64,
+        sparse_threshold: f64,
+    ) -> Clustering {
+        let mut engine = Self::new(cell_side, lambda, dense_threshold, sparse_threshold);
+        for p in points {
+            engine.insert(p);
+        }
+        let map = engine.cluster_cells();
+        let labels: Vec<PointLabel> = points
+            .iter()
+            .map(|p| match map.get(&engine.key(p)) {
+                Some(&c) => PointLabel::Border(c),
+                None => PointLabel::Noise,
+            })
+            .collect();
+        Clustering::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_strips(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 30.0 };
+                vec![c + (i % 10) as f64 * 0.3, ((i / 10) % 4) as f64 * 0.3]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_strips() {
+        let pts = two_strips(2000);
+        let c = DStream::fit(&pts, 1.0, 0.0, 10.0, 2.0);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(0), c.cluster_of(2));
+        assert_ne!(c.cluster_of(0), c.cluster_of(1));
+    }
+
+    #[test]
+    fn sparse_regions_are_noise() {
+        let mut pts = two_strips(1000);
+        pts.push(vec![500.0, 500.0]);
+        let c = DStream::fit(&pts, 1.0, 0.0, 10.0, 2.0);
+        assert!(c.labels().last().unwrap().is_noise());
+    }
+
+    #[test]
+    fn decay_forgets_old_regions() {
+        let mut e = DStream::new(1.0, 0.01, 5.0, 1.0);
+        for _ in 0..20 {
+            e.insert(&[0.0, 0.0]);
+        }
+        for i in 0..5000 {
+            e.insert(&[50.0 + (i % 5) as f64 * 0.3, 0.0]);
+        }
+        let map = e.cluster_cells();
+        assert!(
+            !map.contains_key(&e.key(&[0.0, 0.0])),
+            "old cell should have decayed below the thresholds"
+        );
+    }
+
+    #[test]
+    fn cell_count_is_bounded_by_support() {
+        let pts = two_strips(5000);
+        let mut e = DStream::new(1.0, 0.0, 10.0, 2.0);
+        for p in &pts {
+            e.insert(p);
+        }
+        assert!(e.num_cells() < 30, "got {}", e.num_cells());
+    }
+}

@@ -1,0 +1,284 @@
+//! evoStream (Carnein & Trautmann, Big Data Research 2018): stream
+//! clustering that maintains DBStream-style micro-clusters online and
+//! refines the macro-clustering with an evolutionary algorithm during
+//! idle time — a population of candidate center sets evolves by
+//! tournament selection, uniform crossover, and Gaussian mutation against
+//! the weighted k-means objective over the micro-clusters.
+
+use mdbscan_core::{Clustering, PointLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::{sq_dist, weighted_kmeans, weighted_ssq};
+
+struct MicroCluster {
+    center: Vec<f64>,
+    weight: f64,
+    last: u64,
+}
+
+/// The evoStream engine.
+pub struct EvoStream {
+    /// Micro-cluster radius.
+    pub radius: f64,
+    /// Decay factor λ.
+    pub lambda: f64,
+    /// Macro-cluster count `k`.
+    pub k: usize,
+    /// Evolutionary population size.
+    pub population: usize,
+    /// Generations evolved per [`EvoStream::evolve`] call.
+    pub generations: usize,
+    mcs: Vec<MicroCluster>,
+    t: u64,
+    seed: u64,
+}
+
+impl EvoStream {
+    /// Creates an engine.
+    pub fn new(radius: f64, lambda: f64, k: usize, population: usize, generations: usize, seed: u64) -> Self {
+        assert!(radius > 0.0 && k >= 1 && population >= 2);
+        Self {
+            radius,
+            lambda,
+            k,
+            population,
+            generations,
+            mcs: Vec::new(),
+            t: 0,
+            seed,
+        }
+    }
+
+    /// Feeds one point (DBStream-style nearest-leader update).
+    pub fn insert(&mut self, p: &[f64]) {
+        self.t += 1;
+        let r2 = self.radius * self.radius;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            let d = sq_dist(&mc.center, p);
+            if d <= r2 && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let t = self.t;
+                let lambda = self.lambda;
+                let mc = &mut self.mcs[i];
+                mc.weight = mc.weight * (-lambda * (t - mc.last) as f64).exp2() + 1.0;
+                mc.last = t;
+                let eta = 1.0 / mc.weight;
+                for (c, &x) in mc.center.iter_mut().zip(p.iter()) {
+                    *c += eta * (x - *c);
+                }
+            }
+            None => self.mcs.push(MicroCluster {
+                center: p.to_vec(),
+                weight: 1.0,
+                last: self.t,
+            }),
+        }
+    }
+
+    /// Number of live micro-clusters.
+    pub fn num_micro_clusters(&self) -> usize {
+        self.mcs.len()
+    }
+
+    fn micro_points(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let pts: Vec<Vec<f64>> = self.mcs.iter().map(|m| m.center.clone()).collect();
+        let ws: Vec<f64> = self
+            .mcs
+            .iter()
+            .map(|m| m.weight * (-self.lambda * (self.t - m.last) as f64).exp2())
+            .collect();
+        (pts, ws)
+    }
+
+    /// The offline evolutionary macro-clustering: evolves center sets for
+    /// `self.generations` generations and returns the fittest one.
+    pub fn evolve(&self) -> Vec<Vec<f64>> {
+        let (pts, ws) = self.micro_points();
+        if pts.is_empty() {
+            return Vec::new();
+        }
+        let k = self.k.min(pts.len());
+        let d = pts[0].len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Initial population: k-means++ solutions with different seeds
+        // (one individual gets full Lloyd, the rest are raw seedings —
+        // mirrors evoStream's "incrementally refined" population).
+        let mut pop: Vec<Vec<Vec<f64>>> = (0..self.population)
+            .map(|i| {
+                let iters = if i == 0 { 5 } else { 0 };
+                weighted_kmeans(&pts, &ws, k, iters, self.seed.wrapping_add(i as u64)).0
+            })
+            .collect();
+        let fitness =
+            |ind: &Vec<Vec<f64>>| -> f64 { 1.0 / (1.0 + weighted_ssq(&pts, &ws, ind)) };
+        let mut scores: Vec<f64> = pop.iter().map(&fitness).collect();
+        let spread = {
+            // mutation scale: data spread / 20
+            let mut lo = vec![f64::INFINITY; d];
+            let mut hi = vec![f64::NEG_INFINITY; d];
+            for p in &pts {
+                for j in 0..d {
+                    lo[j] = lo[j].min(p[j]);
+                    hi[j] = hi[j].max(p[j]);
+                }
+            }
+            (0..d).map(|j| (hi[j] - lo[j]).max(1e-9) / 20.0).collect::<Vec<f64>>()
+        };
+        for _ in 0..self.generations {
+            // tournament selection of two parents
+            let pick = |rng: &mut StdRng, scores: &[f64]| -> usize {
+                let a = rng.random_range(0..scores.len());
+                let b = rng.random_range(0..scores.len());
+                if scores[a] >= scores[b] {
+                    a
+                } else {
+                    b
+                }
+            };
+            let pa = pick(&mut rng, &scores);
+            let pb = pick(&mut rng, &scores);
+            // uniform crossover over centers
+            let mut child: Vec<Vec<f64>> = (0..k)
+                .map(|c| {
+                    if rng.random::<bool>() {
+                        pop[pa][c].clone()
+                    } else {
+                        pop[pb][c].clone()
+                    }
+                })
+                .collect();
+            // Gaussian mutation
+            for center in child.iter_mut() {
+                for (j, x) in center.iter_mut().enumerate() {
+                    if rng.random::<f64>() < 0.1 {
+                        *x += spread[j] * crate::gaussian(&mut rng);
+                    }
+                }
+            }
+            let f = fitness(&child);
+            // replace the worst individual if the child beats it
+            let (worst, &worst_f) = scores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("non-empty population");
+            if f > worst_f {
+                pop[worst] = child;
+                scores[worst] = f;
+            }
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty population");
+        pop.swap_remove(best)
+    }
+
+    /// Labels a point: macro-cluster of its nearest micro-cluster within
+    /// the radius, else noise.
+    pub fn label(&self, p: &[f64], macro_centers: &[Vec<f64>]) -> PointLabel {
+        let r2 = self.radius * self.radius;
+        let mut nearest_mc: Option<(f64, usize)> = None;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            let d = sq_dist(&mc.center, p);
+            if d <= r2 && nearest_mc.is_none_or(|(bd, _)| d < bd) {
+                nearest_mc = Some((d, i));
+            }
+        }
+        let Some((_, mci)) = nearest_mc else {
+            return PointLabel::Noise;
+        };
+        let mc_center = &self.mcs[mci].center;
+        let mut best = 0u32;
+        let mut best_d = f64::INFINITY;
+        for (c, center) in macro_centers.iter().enumerate() {
+            let d = sq_dist(mc_center, center);
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        PointLabel::Border(best)
+    }
+
+    /// Batch convenience: stream once, evolve, label everything.
+    pub fn fit(points: &[Vec<f64>], radius: f64, lambda: f64, k: usize, seed: u64) -> Clustering {
+        let mut engine = Self::new(radius, lambda, k, 10, 500, seed);
+        for p in points {
+            engine.insert(p);
+        }
+        let centers = engine.evolve();
+        Clustering::from_labels(
+            points
+                .iter()
+                .map(|p| engine.label(p, &centers))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let c = (i % 3) as f64 * 25.0;
+                vec![c + (i % 7) as f64 * 0.2, ((i / 7) % 5) as f64 * 0.2]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let pts = blobs(900);
+        let c = EvoStream::fit(&pts, 2.0, 0.0, 3, 42);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.cluster_of(0), c.cluster_of(3));
+        assert_ne!(c.cluster_of(0), c.cluster_of(1));
+        assert_ne!(c.cluster_of(1), c.cluster_of(2));
+    }
+
+    #[test]
+    fn evolution_does_not_regress_fitness() {
+        let pts = blobs(600);
+        let mut engine = EvoStream::new(2.0, 0.0, 3, 8, 0, 7);
+        for p in &pts {
+            engine.insert(p);
+        }
+        let (mpts, mws) = engine.micro_points();
+        let no_evo = engine.evolve();
+        engine.generations = 400;
+        let evolved = engine.evolve();
+        assert!(
+            weighted_ssq(&mpts, &mws, &evolved) <= weighted_ssq(&mpts, &mws, &no_evo) + 1e-9,
+            "evolution made the objective worse"
+        );
+    }
+
+    #[test]
+    fn far_point_is_noise() {
+        let pts = blobs(300);
+        let mut engine = EvoStream::new(2.0, 0.0, 3, 8, 50, 7);
+        for p in &pts {
+            engine.insert(p);
+        }
+        let centers = engine.evolve();
+        assert_eq!(engine.label(&[1e6, 1e6], &centers), PointLabel::Noise);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let engine = EvoStream::new(1.0, 0.0, 2, 4, 10, 1);
+        assert!(engine.evolve().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Gan–Tao grid DBSCAN (SIGMOD 2015), exact and ρ-approximate — the
+//! low-dimensional *Euclidean* baselines (GT_Exact / GT_Approx in Fig. 3).
+//!
+//! The space is cut into cells of side `ε/√d`, so any two points in one
+//! cell are within `ε` (a populated cell with `≥ MinPts` points is all
+//! core). Core labeling scans the `O((2⌈√d⌉+1)^d)` neighboring cells;
+//! merging connects cells whose *core* point sets contain a pair `≤ ε`
+//! (exact: early-terminated BCP; approximate: a per-cell sub-grid of side
+//! `ρε/(2√d)` answers the relaxed test "`≤ ε ⇒ connect`,
+//! `> (1+ρ)ε ⇒ don't`, in between ⇒ may", which is Gan–Tao's
+//! approximation contract with a sub-grid instead of their quadtree).
+//!
+//! Cost grows as `(1/ρ)^{d−1}` and `(√d)^d`, exactly why the main paper's
+//! Fig. 3 only runs GT on its low/medium-dimensional panels; this
+//! implementation enforces `d ≤ 8`.
+
+use std::collections::HashMap;
+
+use mdbscan_core::{Clustering, PointLabel, UnionFind};
+use mdbscan_metric::{Euclidean, Metric};
+
+type CellKey = Vec<i64>;
+
+struct Grid {
+    side: f64,
+    cells: HashMap<CellKey, Vec<usize>>,
+    /// Neighbor offsets whose cells can contain points within ε.
+    offsets: Vec<Vec<i64>>,
+}
+
+fn build_grid(points: &[Vec<f64>], eps: f64) -> Grid {
+    let d = points.first().map_or(0, Vec::len);
+    assert!(
+        (1..=8).contains(&d),
+        "grid DBSCAN is a low-dimensional Euclidean algorithm (d ≤ 8), got d={d}"
+    );
+    let side = eps / (d as f64).sqrt();
+    let mut cells: HashMap<CellKey, Vec<usize>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let key: CellKey = p.iter().map(|&x| (x / side).floor() as i64).collect();
+        cells.entry(key).or_default().push(i);
+    }
+    // Offsets with min cell-to-cell distance ≤ ε: per-axis offset o
+    // contributes (|o|-1)·side of guaranteed gap when |o| ≥ 1.
+    let reach = (eps / side).ceil() as i64 + 1;
+    let mut offsets: Vec<Vec<i64>> = vec![vec![]];
+    for _ in 0..d {
+        let mut next = Vec::new();
+        for o in &offsets {
+            for v in -reach..=reach {
+                let mut o2 = o.clone();
+                o2.push(v);
+                next.push(o2);
+            }
+        }
+        offsets = next;
+    }
+    let eps2 = eps * eps;
+    offsets.retain(|o| {
+        let gap2: f64 = o
+            .iter()
+            .map(|&v| {
+                let g = (v.abs() - 1).max(0) as f64 * side;
+                g * g
+            })
+            .sum();
+        gap2 <= eps2
+    });
+    Grid {
+        side,
+        cells,
+        offsets,
+    }
+}
+
+impl Grid {
+    fn key_of(&self, p: &[f64]) -> CellKey {
+        p.iter().map(|&x| (x / self.side).floor() as i64).collect()
+    }
+
+    fn neighbors<'g>(&'g self, key: &'g CellKey) -> impl Iterator<Item = &'g CellKey> + 'g {
+        self.offsets.iter().filter_map(move |o| {
+            let k: CellKey = key.iter().zip(o.iter()).map(|(a, b)| a + b).collect();
+            self.cells.get_key_value(&k).map(|(kk, _)| kk)
+        })
+    }
+}
+
+/// Shared pipeline; `approx` = Some(ρ) switches the merge step to the
+/// relaxed sub-grid test.
+fn grid_dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, approx: Option<f64>) -> Clustering {
+    let n = points.len();
+    if n == 0 {
+        return Clustering::from_labels(vec![]);
+    }
+    let grid = build_grid(points, eps);
+    // ---- core labeling ----
+    let mut is_core = vec![false; n];
+    for (key, members) in &grid.cells {
+        if members.len() >= min_pts {
+            for &p in members {
+                is_core[p] = true;
+            }
+            continue;
+        }
+        for &p in members {
+            let mut count = 0usize;
+            'cells: for nk in grid.neighbors(key) {
+                for &q in &grid.cells[nk] {
+                    if Euclidean.within(&points[p], &points[q], eps) {
+                        count += 1;
+                        if count >= min_pts {
+                            break 'cells;
+                        }
+                    }
+                }
+            }
+            is_core[p] = count >= min_pts;
+        }
+    }
+    // ---- collect core cells ----
+    let core_cells: Vec<(&CellKey, Vec<usize>)> = grid
+        .cells
+        .iter()
+        .map(|(k, v)| (k, v.iter().copied().filter(|&p| is_core[p]).collect::<Vec<_>>()))
+        .filter(|(_, cores)| !cores.is_empty())
+        .collect();
+    let cell_index: HashMap<&CellKey, usize> = core_cells
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| (*k, i))
+        .collect();
+    // Approximate mode: per-cell sub-grid representatives of core points.
+    let reps: Option<Vec<Vec<usize>>> = approx.map(|rho| {
+        let d = points[0].len() as f64;
+        let sub_side = rho * eps / (2.0 * d.sqrt());
+        core_cells
+            .iter()
+            .map(|(_, cores)| {
+                let mut seen: HashMap<CellKey, usize> = HashMap::new();
+                for &p in cores {
+                    let k: CellKey = points[p]
+                        .iter()
+                        .map(|&x| (x / sub_side).floor() as i64)
+                        .collect();
+                    seen.entry(k).or_insert(p);
+                }
+                seen.into_values().collect()
+            })
+            .collect()
+    });
+    // ---- merge core cells ----
+    let mut uf = UnionFind::new(core_cells.len());
+    for (a, (key, cores_a)) in core_cells.iter().enumerate() {
+        for nk in grid.neighbors(key) {
+            let Some(&b) = cell_index.get(nk) else {
+                continue;
+            };
+            if b <= a || uf.connected(a, b) {
+                continue;
+            }
+            let connected = match (&reps, approx) {
+                (Some(reps), Some(rho)) => {
+                    // relaxed test against sub-grid representatives:
+                    // rep within (1+ρ/2)ε ⇔ some pair ≤ (1+ρ)ε may exist,
+                    // and every true pair ≤ ε is caught.
+                    let bound = (1.0 + rho / 2.0) * eps;
+                    cores_a.iter().any(|&p| {
+                        reps[b]
+                            .iter()
+                            .any(|&r| Euclidean.within(&points[p], &points[r], bound))
+                    })
+                }
+                _ => cores_a.iter().any(|&p| {
+                    core_cells[b]
+                        .1
+                        .iter()
+                        .any(|&q| Euclidean.within(&points[p], &points[q], eps))
+                }),
+            };
+            if connected {
+                uf.union(a, b);
+            }
+        }
+    }
+    let comp = uf.component_ids();
+    // ---- labels ----
+    let mut labels = vec![PointLabel::Noise; n];
+    for (a, (_, cores)) in core_cells.iter().enumerate() {
+        for &p in cores {
+            labels[p] = PointLabel::Core(comp[a]);
+        }
+    }
+    for p in 0..n {
+        if is_core[p] {
+            continue;
+        }
+        let key = grid.key_of(&points[p]);
+        let mut best: Option<(f64, u32)> = None;
+        for nk in grid.neighbors(&key) {
+            let Some(&b) = cell_index.get(nk) else {
+                continue;
+            };
+            for &q in &core_cells[b].1 {
+                let bound = best.map_or(eps, |(d, _)| d);
+                if let Some(d) = Euclidean.distance_leq(&points[p], &points[q], bound) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, comp[b]));
+                    }
+                }
+            }
+        }
+        if let Some((_, c)) = best {
+            labels[p] = PointLabel::Border(c);
+        }
+    }
+    Clustering::from_labels(labels)
+}
+
+/// Gan–Tao exact grid DBSCAN. Euclidean, `d ≤ 8`.
+pub fn grid_dbscan_exact(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Clustering {
+    grid_dbscan(points, eps, min_pts, None)
+}
+
+/// Gan–Tao ρ-approximate grid DBSCAN. Euclidean, `d ≤ 8`, `ρ > 0`.
+pub fn grid_dbscan_approx(
+    points: &[Vec<f64>],
+    eps: f64,
+    min_pts: usize,
+    rho: f64,
+) -> Clustering {
+    assert!(rho > 0.0, "rho must be positive");
+    grid_dbscan(points, eps, min_pts, Some(rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs_2d() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![(i % 10) as f64 * 0.2, (i / 10) as f64 * 0.2]);
+            pts.push(vec![30.0 + (i % 10) as f64 * 0.2, (i / 10) as f64 * 0.2]);
+        }
+        pts.push(vec![15.0, 15.0]);
+        pts
+    }
+
+    #[test]
+    fn exact_matches_original_dbscan() {
+        let pts = two_blobs_2d();
+        for eps in [0.3, 0.5, 1.0] {
+            let grid = grid_dbscan_exact(&pts, eps, 4);
+            let reference = crate::original_dbscan(&pts, &Euclidean, eps, 4);
+            assert_eq!(grid.num_clusters(), reference.num_clusters(), "eps={eps}");
+            for i in 0..pts.len() {
+                assert_eq!(
+                    grid.labels()[i].is_core(),
+                    reference.labels()[i].is_core(),
+                    "eps={eps} i={i}"
+                );
+                assert_eq!(
+                    grid.labels()[i].is_noise(),
+                    reference.labels()[i].is_noise(),
+                    "eps={eps} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_is_sandwiched() {
+        let pts = two_blobs_2d();
+        let eps = 0.5;
+        let rho = 0.5;
+        let lower = crate::original_dbscan(&pts, &Euclidean, eps, 4);
+        let upper = crate::original_dbscan(&pts, &Euclidean, (1.0 + rho) * eps, 4);
+        let mid = grid_dbscan_approx(&pts, eps, 4, rho);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let low_pair = lower.labels()[i].is_core()
+                    && lower.labels()[j].is_core()
+                    && lower.cluster_of(i) == lower.cluster_of(j);
+                if low_pair {
+                    assert_eq!(mid.cluster_of(i), mid.cluster_of(j));
+                }
+                let mid_pair = mid.labels()[i].is_core()
+                    && mid.labels()[j].is_core()
+                    && mid.cluster_of(i) == mid.cluster_of(j);
+                if mid_pair {
+                    assert_eq!(upper.cluster_of(i), upper.cluster_of(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            pts.push(vec![
+                (i % 4) as f64 * 0.2,
+                ((i / 4) % 4) as f64 * 0.2,
+                (i / 16) as f64 * 0.2,
+            ]);
+        }
+        pts.push(vec![50.0, 50.0, 50.0]);
+        let c = grid_dbscan_exact(&pts, 0.5, 4);
+        assert_eq!(c.num_clusters(), 1);
+        assert!(c.labels()[40].is_noise());
+    }
+
+    #[test]
+    #[should_panic]
+    fn high_dim_rejected() {
+        let pts = vec![vec![0.0; 32]];
+        let _ = grid_dbscan_exact(&pts, 1.0, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Vec<f64>> = vec![];
+        assert!(grid_dbscan_exact(&pts, 1.0, 2).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared weighted Lloyd k-means with k-means++ seeding, used by the BICO
+//! offline stage and evoStream's fitness evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weighted k-means++ seeding followed by Lloyd iterations.
+///
+/// Returns `(centers, assignment)`. `weights[i]` scales point `i`'s
+/// contribution (coreset semantics). Deterministic per `seed`; `k` is
+/// clamped to the number of points.
+pub(crate) fn weighted_kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    iters: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<u32>) {
+    assert_eq!(points.len(), weights.len());
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let k = k.min(n);
+    let d = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding over weighted points.
+    let total_w: f64 = weights.iter().sum();
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = sample_weighted(&mut rng, weights, total_w);
+    centers.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centers[0])).collect();
+    while centers.len() < k {
+        let scores: Vec<f64> = d2
+            .iter()
+            .zip(weights.iter())
+            .map(|(&dd, &w)| dd * w)
+            .collect();
+        let z: f64 = scores.iter().sum();
+        let next = if z > 0.0 {
+            sample_weighted(&mut rng, &scores, z)
+        } else {
+            rng.random_range(0..n)
+        };
+        centers.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let nd = sq_dist(p, centers.last().expect("non-empty"));
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // Lloyd.
+    let mut assignment = vec![0u32; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let dd = sq_dist(p, center);
+                if dd < best_d {
+                    best_d = dd;
+                    best = c as u32;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; d]; centers.len()];
+        let mut wsum = vec![0.0; centers.len()];
+        for (i, p) in points.iter().enumerate() {
+            let a = assignment[i] as usize;
+            wsum[a] += weights[i];
+            for (s, &x) in sums[a].iter_mut().zip(p.iter()) {
+                *s += weights[i] * x;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if wsum[c] > 0.0 {
+                for (x, s) in center.iter_mut().zip(sums[c].iter()) {
+                    *x = s / wsum[c];
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (centers, assignment)
+}
+
+pub(crate) fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn sample_weighted<R: Rng>(rng: &mut R, weights: &[f64], total: f64) -> usize {
+    let mut t = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Weighted within-cluster sum of squared distances of `points` to their
+/// nearest center — the k-means objective (evoStream's fitness).
+pub(crate) fn weighted_ssq(points: &[Vec<f64>], weights: &[f64], centers: &[Vec<f64>]) -> f64 {
+    points
+        .iter()
+        .zip(weights.iter())
+        .map(|(p, &w)| {
+            let d = centers
+                .iter()
+                .map(|c| sq_dist(p, c))
+                .fold(f64::INFINITY, f64::min);
+            w * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_weighted_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        let w = vec![1.0; pts.len()];
+        let (centers, assign) = weighted_kmeans(&pts, &w, 2, 20, 1);
+        assert_eq!(centers.len(), 2);
+        // points of the same blob share an assignment
+        for i in (0..40).step_by(2) {
+            assert_eq!(assign[i], assign[0]);
+            assert_eq!(assign[i + 1], assign[1]);
+        }
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn weights_pull_centers() {
+        let pts = vec![vec![0.0], vec![10.0]];
+        let (centers, _) = weighted_kmeans(&pts, &[1000.0, 1.0], 1, 10, 2);
+        assert!(centers[0][0] < 0.1, "heavy point dominates: {}", centers[0][0]);
+    }
+
+    #[test]
+    fn k_clamped_and_degenerate() {
+        let pts = vec![vec![1.0]];
+        let (centers, assign) = weighted_kmeans(&pts, &[1.0], 5, 5, 3);
+        assert_eq!(centers.len(), 1);
+        assert_eq!(assign, vec![0]);
+        let (c0, a0) = weighted_kmeans(&[], &[], 3, 5, 3);
+        assert!(c0.is_empty() && a0.is_empty());
+    }
+
+    #[test]
+    fn ssq_decreases_with_more_centers() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let w = vec![1.0; 30];
+        let (c1, _) = weighted_kmeans(&pts, &w, 1, 10, 4);
+        let (c3, _) = weighted_kmeans(&pts, &w, 3, 10, 4);
+        assert!(weighted_ssq(&pts, &w, &c3) < weighted_ssq(&pts, &w, &c1));
+    }
+}

@@ -1,0 +1,69 @@
+//! Baseline algorithms for the metric DBSCAN evaluation.
+//!
+//! Everything the paper's experiment section compares against is
+//! re-implemented here from the respective original papers, behind the
+//! same [`Clustering`](mdbscan_core::Clustering) output type as the main
+//! solvers, so the harness treats all algorithms uniformly.
+//!
+//! | module | algorithm | paper | used in |
+//! |---|---|---|---|
+//! | [`original`] | DBSCAN (brute-force region queries) | Ester et al., KDD '96 | Fig. 3 |
+//! | [`dbscanpp`] | DBSCAN++ (sampled cores) | Jang & Jiang, ICML '19 | Fig. 3 |
+//! | [`grid`] | exact + ρ-approximate grid DBSCAN | Gan & Tao, SIGMOD '15 | Fig. 3 (low-dim Euclidean panels) |
+//! | [`dyw`] | randomized k-center metric DBSCAN | Ding, Yang, Wang, IJCAI '21 | Fig. 3 |
+//! | [`dpmeans`] | DP-means | Kulis & Jordan, ICML '12 | Fig. 5, Table 3 |
+//! | [`bico`] | BICO coreset-tree streaming k-means | Fichtenberger et al., ESA '13 | Tables 3–4 |
+//! | [`densitypeak`] | Density Peaks | Rodriguez & Laio, Science '14 | Table 3 |
+//! | [`meanshift`] | flat-kernel mean shift | Comaniciu & Meer, PAMI '02 | Table 3 |
+//! | [`optics`](mod@optics) | OPTICS ordering + ExtractDBSCAN | Ankerst et al., SIGMOD '99 | related-work oracle |
+//! | [`dbstream`] | DBStream shared-density micro-clusters | Hahsler & Bolaños, TKDE '16 | Table 4 |
+//! | [`dstream`] | D-Stream density grid | Chen & Tu, KDD '07 | Table 4 |
+//! | [`evostream`] | evoStream evolutionary stream clustering | Carnein & Trautmann, BDR '18 | Table 4 |
+//!
+//! Documented simplifications (all conservative — they can only make the
+//! *baseline* faster/better relative to our solvers, never weaker):
+//! BICO's projection filter is replaced by plain nearest-CF search;
+//! Gan–Tao's per-cell quadtree is a per-cell sub-grid with the identical
+//! `≤ε ⇒ connect / >(1+ρ)ε ⇒ don't` contract; evoStream's micro-cluster
+//! front-end reuses DBStream's insertion rule, as in the original.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bico;
+pub mod dbscanpp;
+pub mod dbstream;
+pub mod densitypeak;
+pub mod dpmeans;
+pub mod dstream;
+pub mod dyw;
+pub mod evostream;
+pub mod grid;
+mod kmeans;
+pub mod meanshift;
+pub mod optics;
+pub mod original;
+
+pub use bico::Bico;
+pub use dbscanpp::{dbscan_pp, SampleInit};
+pub use dbstream::DbStream;
+pub use densitypeak::density_peak;
+pub use dpmeans::{dp_means, lambda_from_kcenter};
+pub use dstream::DStream;
+pub use dyw::dyw_dbscan;
+pub use evostream::EvoStream;
+pub use grid::{grid_dbscan_approx, grid_dbscan_exact};
+pub use meanshift::mean_shift;
+pub use optics::{optics, OpticsOrdering};
+pub use original::original_dbscan;
+
+/// Box–Muller standard normal sample (shared by evoStream's mutation).
+pub(crate) fn gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}

@@ -1,0 +1,119 @@
+//! The original DBSCAN of Ester, Kriegel, Sander, Xu (KDD 1996), with
+//! brute-force region queries — the metric-space baseline every
+//! acceleration in the main paper is measured against. `Θ(n²)` distance
+//! evaluations, `O(n)` memory (neighborhoods are recomputed per expansion,
+//! never stored).
+
+use mdbscan_core::{Clustering, PointLabel};
+use mdbscan_metric::Metric;
+
+/// Classic DBSCAN: BFS cluster expansion from unvisited core points.
+///
+/// Matches Definition 1 of the metric DBSCAN paper: core = `|B(p, ε) ∩ X|
+/// ≥ MinPts` (closed ball, self included); borders join the first cluster
+/// that reaches them.
+pub fn original_dbscan<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+) -> Clustering {
+    let n = points.len();
+    let mut labels = vec![PointLabel::Noise; n];
+    // Pass 1: core flags (n² early-abandoned distance tests).
+    let mut is_core = vec![false; n];
+    for i in 0..n {
+        let mut count = 0usize;
+        for j in 0..n {
+            if metric.within(&points[i], &points[j], eps) {
+                count += 1;
+                if count >= min_pts {
+                    is_core[i] = true;
+                    break;
+                }
+            }
+        }
+    }
+    // Pass 2: BFS over the core graph; borders are absorbed en route.
+    let mut cluster = 0u32;
+    let mut queue: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if !is_core[start] || !labels[start].is_noise() {
+            continue;
+        }
+        labels[start] = PointLabel::Core(cluster);
+        queue.push(start);
+        while let Some(p) = queue.pop() {
+            for q in 0..n {
+                if !metric.within(&points[p], &points[q], eps) {
+                    continue;
+                }
+                if is_core[q] {
+                    if labels[q].is_noise() {
+                        labels[q] = PointLabel::Core(cluster);
+                        queue.push(q);
+                    }
+                } else if labels[q].is_noise() {
+                    labels[q] = PointLabel::Border(cluster);
+                }
+            }
+        }
+        cluster += 1;
+    }
+    Clustering::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::{Euclidean, Levenshtein};
+
+    #[test]
+    fn two_line_segments() {
+        let mut pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.5]).collect();
+        pts.extend((0..10).map(|i| vec![100.0 + i as f64 * 0.5]));
+        pts.push(vec![50.0]); // lone outlier
+        let c = original_dbscan(&pts, &Euclidean, 0.6, 3);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.num_noise(), 1);
+        assert!(c.labels()[20].is_noise());
+        assert_eq!(c.cluster_of(0), c.cluster_of(9));
+        assert_ne!(c.cluster_of(0), c.cluster_of(10));
+    }
+
+    #[test]
+    fn border_points_are_not_core() {
+        // chain: core has 3 neighbors, endpoint has 2
+        let pts = vec![vec![0.0], vec![0.5], vec![1.0], vec![1.5]];
+        let c = original_dbscan(&pts, &Euclidean, 0.6, 3);
+        assert_eq!(c.num_clusters(), 1);
+        assert!(!c.labels()[0].is_core());
+        assert!(c.labels()[1].is_core());
+    }
+
+    #[test]
+    fn agrees_with_metric_dbscan_core_solver() {
+        // cross-check against the accelerated exact solver on strings
+        let words: Vec<String> = ["aaaa", "aaab", "aaba", "abaa", "zzzz", "zzzy", "qqqq"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ours = mdbscan_core::exact_dbscan(&words, &Levenshtein, 1.0, 2).unwrap();
+        let reference = original_dbscan(&words, &Levenshtein, 1.0, 2);
+        assert_eq!(ours.num_clusters(), reference.num_clusters());
+        for i in 0..words.len() {
+            assert_eq!(ours.labels()[i].is_core(), reference.labels()[i].is_core());
+            assert_eq!(ours.labels()[i].is_noise(), reference.labels()[i].is_noise());
+        }
+    }
+
+    #[test]
+    fn empty_and_min_pts_one() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let c = original_dbscan(&pts, &Euclidean, 1.0, 2);
+        assert_eq!(c.len(), 0);
+        let pts = vec![vec![0.0], vec![10.0]];
+        let c = original_dbscan(&pts, &Euclidean, 1.0, 1);
+        assert_eq!(c.num_clusters(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based cross-validation of the baseline DBSCAN variants
+//! against the original algorithm on randomized instances.
+
+use mdbscan_baselines::{dbscan_pp, dyw_dbscan, grid_dbscan_exact, optics, original_dbscan, SampleInit};
+use mdbscan_metric::Euclidean;
+use proptest::prelude::*;
+
+fn instances() -> impl Strategy<Value = (Vec<Vec<f64>>, f64, usize)> {
+    (
+        prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 3..70),
+        0.3f64..3.0,
+        1usize..6,
+    )
+}
+
+/// Core flags and noise flags must coincide with the reference; that is
+/// the full exactness statement modulo border tie-breaking.
+fn assert_core_noise_match(
+    tag: &str,
+    a: &mdbscan_core::Clustering,
+    b: &mdbscan_core::Clustering,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.num_clusters(), b.num_clusters(), "{}: cluster count", tag);
+    for i in 0..a.len() {
+        prop_assert_eq!(
+            a.labels()[i].is_core(),
+            b.labels()[i].is_core(),
+            "{}: core at {}",
+            tag,
+            i
+        );
+        prop_assert_eq!(
+            a.labels()[i].is_noise(),
+            b.labels()[i].is_noise(),
+            "{}: noise at {}",
+            tag,
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grid_is_exact((pts, eps, min_pts) in instances()) {
+        let reference = original_dbscan(&pts, &Euclidean, eps, min_pts);
+        let grid = grid_dbscan_exact(&pts, eps, min_pts);
+        assert_core_noise_match("grid", &grid, &reference)?;
+    }
+
+    #[test]
+    fn dyw_is_exact((pts, eps, min_pts) in instances(), seed in 0u64..100) {
+        let reference = original_dbscan(&pts, &Euclidean, eps, min_pts);
+        let dyw = dyw_dbscan(&pts, &Euclidean, eps, min_pts, pts.len() / 10, 1.0, pts.len(), seed);
+        assert_core_noise_match("dyw", &dyw, &reference)?;
+    }
+
+    #[test]
+    fn dbscan_pp_at_full_sampling_is_exact((pts, eps, min_pts) in instances(), seed in 0u64..100) {
+        let reference = original_dbscan(&pts, &Euclidean, eps, min_pts);
+        let pp = dbscan_pp(&pts, &Euclidean, eps, min_pts, 1.0, SampleInit::Uniform, seed);
+        assert_core_noise_match("dbscan++", &pp, &reference)?;
+    }
+
+    /// OPTICS' single-sweep ExtractDBSCAN agrees with DBSCAN on the core
+    /// structure; border points *visited before their cluster's first
+    /// core* are left noise (the original paper's documented behavior),
+    /// so noise may only ever be a superset on non-core points.
+    #[test]
+    fn optics_extraction_matches_core_structure((pts, eps, min_pts) in instances()) {
+        let reference = original_dbscan(&pts, &Euclidean, eps, min_pts);
+        let ordering = optics(&pts, &Euclidean, eps, min_pts);
+        let extracted = ordering.extract_dbscan(eps);
+        prop_assert_eq!(extracted.num_clusters(), reference.num_clusters());
+        for i in 0..pts.len() {
+            prop_assert_eq!(
+                extracted.labels()[i].is_core(),
+                reference.labels()[i].is_core(),
+                "core at {}", i
+            );
+            if reference.labels()[i].is_noise() {
+                prop_assert!(extracted.labels()[i].is_noise(), "phantom member at {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Algorithm 1 (radius-guided Gonzalez) scaling: Lemma 1 says the
+//! iteration count depends on (Δ/r̄)^D + z, not on n, so total work should
+//! scale linearly in n at fixed geometry — this bench plots that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_kcenter::RadiusGuidedNet;
+use mdbscan_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    // Lemma 1's linearity in n needs the net to saturate: |E| is bounded
+    // by the geometry (Δ/r̄)^D, not by n — so the data must actually have
+    // low doubling dimension. 2-d blobs saturate at ≈180 centers by
+    // n = 1000; past that, doubling n should double the time.
+    let mut g = c.benchmark_group("alg1_scaling_n");
+    for n in [1000usize, 2000, 4000, 8000] {
+        let pts = blobs(
+            &BlobSpec {
+                n,
+                dim: 2,
+                clusters: 5,
+                std: 1.0,
+                center_box: 20.0,
+                outlier_frac: 0.01,
+            },
+            3,
+        )
+        .into_parts()
+        .0;
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| RadiusGuidedNet::build(black_box(pts), &Euclidean, 1.0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rbar(c: &mut Criterion) {
+    let pts = blobs(
+        &BlobSpec {
+            n: 4000,
+            dim: 2,
+            clusters: 5,
+            std: 1.0,
+            center_box: 20.0,
+            outlier_frac: 0.01,
+        },
+        3,
+    )
+    .into_parts()
+    .0;
+    let mut g = c.benchmark_group("alg1_vs_rbar");
+    for rbar in [0.25f64, 0.5, 1.0, 2.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(rbar), &rbar, |b, &rbar| {
+            b.iter(|| RadiusGuidedNet::build(black_box(&pts), &Euclidean, rbar))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_scaling, bench_rbar
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Cover-tree construction and query microbenches (Claim 1: near-constant
+//! query cost on doubling data, vs the linear brute-force scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbscan_covertree::CoverTree;
+use mdbscan_datagen::{manifold_clusters, ManifoldSpec};
+use mdbscan_metric::{Euclidean, Metric};
+use std::hint::black_box;
+
+fn data(n: usize) -> Vec<Vec<f64>> {
+    manifold_clusters(
+        &ManifoldSpec {
+            n,
+            ambient_dim: 32,
+            intrinsic_dim: 4,
+            clusters: 5,
+            outlier_frac: 0.0,
+            ..Default::default()
+        },
+        7,
+    )
+    .into_parts()
+    .0
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("covertree_build");
+    for n in [500usize, 2000] {
+        let pts = data(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| CoverTree::build(black_box(pts), &Euclidean))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let pts = data(4000);
+    let tree = CoverTree::build(&pts, &Euclidean);
+    let q = pts[17].iter().map(|x| x + 0.01).collect::<Vec<f64>>();
+    let mut g = c.benchmark_group("covertree_query");
+    g.bench_function("nearest_tree", |b| {
+        b.iter(|| tree.nearest(black_box(&q)).expect("non-empty"))
+    });
+    g.bench_function("nearest_brute", |b| {
+        b.iter(|| {
+            pts.iter()
+                .map(|p| Euclidean.distance(p, black_box(&q)))
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+    g.bench_function("range_eps", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            tree.range(black_box(&q), 2.0, &mut out)
+        })
+    });
+    g.bench_function("any_within", |b| {
+        b.iter(|| tree.any_within(black_box(&q), 2.0))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_query
+}
+criterion_main!(benches);

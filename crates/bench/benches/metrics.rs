@@ -1,0 +1,49 @@
+//! Microbenches for the cost units underneath everything: distance
+//! evaluations (full vs early-abandoned) and the quality metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdbscan_eval::{adjusted_mutual_info, adjusted_rand_index};
+use mdbscan_metric::{Euclidean, Levenshtein, Metric};
+use std::hint::black_box;
+
+fn bench_distances(c: &mut Criterion) {
+    let a: Vec<f64> = (0..784).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..784).map(|i| (i as f64).cos()).collect();
+    let mut g = c.benchmark_group("euclidean_784d");
+    g.bench_function("full", |bch| {
+        bch.iter(|| Euclidean.distance(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("leq_tight_bound", |bch| {
+        bch.iter(|| Euclidean.distance_leq(black_box(&a), black_box(&b), 1.0))
+    });
+    g.finish();
+
+    let s1 = "the quick brown fox jumps over the lazy dog".to_string();
+    let s2 = "the quick brown fax jumped over a lazy dig".to_string();
+    let mut g = c.benchmark_group("levenshtein_44ch");
+    g.bench_function("full", |bch| {
+        bch.iter(|| Levenshtein.distance(black_box(&s1), black_box(&s2)))
+    });
+    g.bench_function("banded_k3", |bch| {
+        bch.iter(|| Levenshtein.distance_leq(black_box(&s1), black_box(&s2), 3.0))
+    });
+    g.finish();
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let n = 20_000;
+    let a: Vec<i32> = (0..n).map(|i| i % 10).collect();
+    let b: Vec<i32> = (0..n).map(|i| (i / 7) % 12).collect();
+    let mut g = c.benchmark_group("quality_metrics_20k");
+    g.sample_size(20);
+    g.bench_function("ari", |bch| {
+        bch.iter(|| adjusted_rand_index(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("ami", |bch| {
+        bch.iter(|| adjusted_mutual_info(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distances, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end solver comparison on one dataset — the Fig. 3 headline as a
+//! Criterion bench: Our_Exact and Our_Approx vs the quadratic original,
+//! plus the streaming engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdbscan_baselines::original_dbscan;
+use mdbscan_core::{
+    approx_dbscan, exact_dbscan, ApproxParams, StreamingApproxDbscan,
+};
+use mdbscan_datagen::moons;
+use mdbscan_metric::Euclidean;
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let ds = moons(2000, 0.06, 0.02, 42);
+    let pts = ds.points().to_vec();
+    let eps = 0.12;
+    let min_pts = 10;
+    let mut g = c.benchmark_group("solvers_moons2k");
+    g.sample_size(10);
+    g.bench_function("our_exact", |b| {
+        b.iter(|| exact_dbscan(black_box(&pts), &Euclidean, eps, min_pts).expect("exact"))
+    });
+    g.bench_function("our_approx_rho0.5", |b| {
+        b.iter(|| approx_dbscan(black_box(&pts), &Euclidean, eps, min_pts, 0.5).expect("approx"))
+    });
+    g.bench_function("original_dbscan", |b| {
+        b.iter(|| original_dbscan(black_box(&pts), &Euclidean, eps, min_pts))
+    });
+    g.bench_function("streaming_rho0.5", |b| {
+        let params = ApproxParams::new(eps, min_pts, 0.5).expect("params");
+        b.iter(|| {
+            StreamingApproxDbscan::run(&Euclidean, &params, || pts.iter().cloned())
+                .expect("stream")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablations of the design choices DESIGN.md calls out (not a paper
+//! table; motivated by §3.3 and Remarks 3/5):
+//!
+//! 1. dense-ball shortcut on/off (Step 1's amortization, Lemma 4);
+//! 2. cover-tree BCP vs brute-force BCP (Step 2, Lemma 5);
+//! 3. early termination on/off in the merge;
+//! 4. index reuse vs rebuild across an ε sweep (Remark 5);
+//! 5. the §3.2 cover-tree pipeline vs the Algorithm 1 pipeline on
+//!    all-inlier data (Theorem 1's regime).
+
+use mdbscan_bench::registry;
+use mdbscan_bench::{row, timed, HarnessArgs};
+use mdbscan_core::{
+    exact_dbscan_covertree, DbscanParams, ExactConfig, GonzalezIndex,
+};
+use mdbscan_metric::{CountingMetric, Euclidean};
+
+const MIN_PTS: usize = 10;
+
+fn main() {
+    let args = HarnessArgs::parse();
+
+    println!("# ablation 1-3: ExactConfig toggles");
+    row!(
+        "dataset", "dense_shortcut", "cover_tree", "early_term", "solve_ms", "dist_evals",
+        "clusters"
+    );
+    let entries = registry::shape_suite(&args)
+        .into_iter()
+        .chain(registry::high_dim_suite(&args).into_iter().take(2));
+    for entry in entries {
+        let pts = entry.data.points();
+        let eps = entry.eps0;
+        let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+        for dense in [true, false] {
+            for tree in [true, false] {
+                for early in [true, false] {
+                    let cfg = ExactConfig {
+                        dense_shortcut: dense,
+                        cover_tree_merge: tree,
+                        early_termination: early,
+                    };
+                    let m = CountingMetric::new(Euclidean);
+                    let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
+                    m.reset();
+                    let ((c, _stats), ms) =
+                        timed(|| idx.exact_with(&params, &cfg).expect("exact"));
+                    row!(
+                        entry.name,
+                        dense,
+                        tree,
+                        early,
+                        format!("{ms:.2}"),
+                        m.count(),
+                        c.num_clusters()
+                    );
+                }
+            }
+        }
+    }
+
+    println!("\n# ablation 4: index reuse vs rebuild across an eps sweep (Remark 5)");
+    row!("dataset", "mode", "total_ms");
+    for entry in registry::high_dim_suite(&args).into_iter().take(2) {
+        let pts = entry.data.points();
+        let sweep: Vec<f64> = [1.0, 1.25, 1.5, 1.75, 2.0]
+            .iter()
+            .map(|f| entry.eps0 * f)
+            .collect();
+        let (_, reuse_ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &Euclidean, entry.eps0 / 2.0).expect("build");
+            for &eps in &sweep {
+                let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+                idx.exact(&params).expect("exact");
+            }
+        });
+        let (_, rebuild_ms) = timed(|| {
+            for &eps in &sweep {
+                let idx = GonzalezIndex::build(pts, &Euclidean, eps / 2.0).expect("build");
+                let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+                idx.exact(&params).expect("exact");
+            }
+        });
+        row!(entry.name, "reuse", format!("{reuse_ms:.2}"));
+        row!(entry.name, "rebuild", format!("{rebuild_ms:.2}"));
+    }
+
+    println!("\n# ablation 5: §3.2 cover-tree pipeline vs Algorithm 1 pipeline (all-inlier data)");
+    row!("dataset", "pipeline", "total_ms", "clusters");
+    for entry in registry::low_dim_suite(&args).into_iter().take(2) {
+        // strip the outliers: §3.2 assumes the whole input doubles
+        let labels = entry.data.labels().expect("labeled");
+        let pts: Vec<Vec<f64>> = entry
+            .data
+            .points()
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l >= 0)
+            .map(|(p, _)| p.clone())
+            .collect();
+        let eps = entry.eps0;
+        let (res, alg1_ms) = timed(|| {
+            let idx = GonzalezIndex::build(&pts, &Euclidean, eps / 2.0).expect("build");
+            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+                .expect("exact")
+        });
+        row!(entry.name, "algorithm1", format!("{alg1_ms:.2}"), res.num_clusters());
+        let ((res, _stats), tree_ms) =
+            timed(|| exact_dbscan_covertree(&pts, &Euclidean, eps, MIN_PTS).expect("covertree"));
+        row!(entry.name, "covertree_3.2", format!("{tree_ms:.2}"), res.num_clusters());
+    }
+}

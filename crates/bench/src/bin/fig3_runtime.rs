@@ -1,0 +1,205 @@
+//! Figure 3: running time (and distance evaluations) vs ε, per dataset
+//! class, for Our_Exact, Our_Approx (ρ = 0.5), DBSCAN, DBSCAN++ (s = 0.3),
+//! DYW_DBSCAN, GT_Exact, and GT_Approx. `MinPts = 10` throughout (§5.2).
+//!
+//! Grid algorithms run only where they are defined (low-dimensional
+//! Euclidean, here d = 2), matching the paper's footnote that some
+//! baselines are absent from some panels. The quadratic baselines are
+//! skipped above the `--scale`-dependent size cap so default runs finish
+//! in minutes.
+
+use mdbscan_baselines as baselines;
+use mdbscan_bench::registry::{self, StrEntry, VecEntry};
+use mdbscan_bench::{row, timed, HarnessArgs};
+use mdbscan_core::{ApproxParams, DbscanParams, GonzalezIndex};
+use mdbscan_metric::{CountingMetric, Euclidean, Levenshtein};
+
+const MIN_PTS: usize = 10;
+const RHO: f64 = 0.5;
+const EPS_FACTORS: [f64; 4] = [0.75, 1.0, 1.5, 2.0];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    row!(
+        "dataset", "class", "n", "d", "eps", "algorithm", "wall_ms", "dist_evals", "clusters"
+    );
+    for entry in registry::low_dim_suite(&args) {
+        run_vec_panel(&entry, &args);
+    }
+    for entry in registry::high_dim_suite(&args) {
+        run_vec_panel(&entry, &args);
+    }
+    for entry in registry::text_suite(&args) {
+        run_text_panel(&entry);
+    }
+    for entry in registry::large_suite(&args) {
+        run_large_panel(&entry);
+    }
+}
+
+fn run_vec_panel(entry: &VecEntry, args: &HarnessArgs) {
+    let pts = entry.data.points();
+    let n = pts.len();
+    let quadratic_ok = n <= args.sized(4000);
+    for f in EPS_FACTORS {
+        let eps = entry.eps0 * f;
+        let report = |alg: &str, ms: f64, evals: u64, k: usize| {
+            row!(
+                entry.name,
+                format!("{:?}", entry.class),
+                n,
+                entry.dim,
+                format!("{eps:.4}"),
+                alg,
+                format!("{ms:.2}"),
+                evals,
+                k
+            );
+        };
+
+        // Our_Exact (index build + solve, both counted).
+        let m = CountingMetric::new(Euclidean);
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
+            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+                .expect("exact")
+        });
+        report("Our_Exact", ms, m.count(), res.num_clusters());
+
+        // Our_Approx.
+        let m = CountingMetric::new(Euclidean);
+        let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
+            idx.approx(&params).expect("approx")
+        });
+        report("Our_Approx", ms, m.count(), res.num_clusters());
+
+        if quadratic_ok {
+            let m = CountingMetric::new(Euclidean);
+            let (res, ms) = timed(|| baselines::original_dbscan(pts, &m, eps, MIN_PTS));
+            report("DBSCAN", ms, m.count(), res.num_clusters());
+
+            let m = CountingMetric::new(Euclidean);
+            let (res, ms) = timed(|| {
+                baselines::dbscan_pp(
+                    pts,
+                    &m,
+                    eps,
+                    MIN_PTS,
+                    0.3,
+                    baselines::SampleInit::Uniform,
+                    args.seed,
+                )
+            });
+            report("DBSCAN++", ms, m.count(), res.num_clusters());
+
+            let m = CountingMetric::new(Euclidean);
+            let z = n / 100 + 1;
+            let (res, ms) =
+                timed(|| baselines::dyw_dbscan(pts, &m, eps, MIN_PTS, z, 1.0, n, args.seed));
+            report("DYW_DBSCAN", ms, m.count(), res.num_clusters());
+        }
+
+        if entry.dim <= 3 {
+            let (res, ms) = timed(|| baselines::grid_dbscan_exact(pts, eps, MIN_PTS));
+            report("GT_Exact", ms, 0, res.num_clusters());
+            let (res, ms) = timed(|| baselines::grid_dbscan_approx(pts, eps, MIN_PTS, RHO));
+            report("GT_Approx", ms, 0, res.num_clusters());
+        }
+    }
+}
+
+fn run_text_panel(entry: &StrEntry) {
+    let pts = entry.data.points();
+    let n = pts.len();
+    for f in EPS_FACTORS {
+        let eps = (entry.eps0 * f).round();
+        let report = |alg: &str, ms: f64, evals: u64, k: usize| {
+            row!(
+                entry.name,
+                "Text",
+                n,
+                "n/a",
+                format!("{eps:.1}"),
+                alg,
+                format!("{ms:.2}"),
+                evals,
+                k
+            );
+        };
+        let m = CountingMetric::new(Levenshtein);
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
+            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+                .expect("exact")
+        });
+        report("Our_Exact", ms, m.count(), res.num_clusters());
+
+        let m = CountingMetric::new(Levenshtein);
+        let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
+            idx.approx(&params).expect("approx")
+        });
+        report("Our_Approx", ms, m.count(), res.num_clusters());
+
+        let m = CountingMetric::new(Levenshtein);
+        let (res, ms) = timed(|| baselines::original_dbscan(pts, &m, eps, MIN_PTS));
+        report("DBSCAN", ms, m.count(), res.num_clusters());
+
+        let m = CountingMetric::new(Levenshtein);
+        let (res, ms) = timed(|| {
+            baselines::dbscan_pp(pts, &m, eps, MIN_PTS, 0.3, baselines::SampleInit::Uniform, 7)
+        });
+        report("DBSCAN++", ms, m.count(), res.num_clusters());
+
+        let m = CountingMetric::new(Levenshtein);
+        let (res, ms) = timed(|| baselines::dyw_dbscan(pts, &m, eps, MIN_PTS, n / 50 + 1, 1.0, n, 7));
+        report("DYW_DBSCAN", ms, m.count(), res.num_clusters());
+    }
+}
+
+/// Million-scale panels: only the linear algorithms run (the paper's
+/// panels (m)–(p) show exactly that — the baselines time out).
+fn run_large_panel(entry: &VecEntry) {
+    let pts = entry.data.points();
+    let n = pts.len();
+    for f in [1.0, 1.5] {
+        let eps = entry.eps0 * f;
+        let m = CountingMetric::new(Euclidean);
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
+            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+                .expect("exact")
+        });
+        row!(
+            entry.name,
+            "Large",
+            n,
+            entry.dim,
+            format!("{eps:.2}"),
+            "Our_Exact",
+            format!("{ms:.2}"),
+            m.count(),
+            res.num_clusters()
+        );
+        let m = CountingMetric::new(Euclidean);
+        let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
+        let (res, ms) = timed(|| {
+            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
+            idx.approx(&params).expect("approx")
+        });
+        row!(
+            entry.name,
+            "Large",
+            n,
+            entry.dim,
+            format!("{eps:.2}"),
+            "Our_Approx",
+            format!("{ms:.2}"),
+            m.count(),
+            res.num_clusters()
+        );
+    }
+}

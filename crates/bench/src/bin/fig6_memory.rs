@@ -1,0 +1,50 @@
+//! Figure 6: memory usage of the streaming algorithm — the fraction of the
+//! stream kept in memory, `(|E| + |M|)/n` — as ε varies, for
+//! ρ ∈ {0.5, 1, 2}, across eight datasets. The paper's headline: ≈ 1 % of
+//! the points suffice on the dense image sets (the green diamonds mark
+//! the ε used in Table 4, reproduced here as the `at_table4_eps` column).
+
+use mdbscan_bench::registry;
+use mdbscan_bench::{row, HarnessArgs};
+use mdbscan_core::{ApproxParams, StreamingApproxDbscan};
+use mdbscan_metric::Euclidean;
+
+const MIN_PTS: usize = 10;
+const RHOS: [f64; 3] = [0.5, 1.0, 2.0];
+const EPS_FACTORS: [f64; 4] = [0.75, 1.0, 1.5, 2.0];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    row!(
+        "dataset", "n", "rho", "eps", "centers", "parked", "summary", "memory_fraction",
+        "at_table4_eps"
+    );
+    let entries = registry::low_dim_suite(&args)
+        .into_iter()
+        .chain(registry::high_dim_suite(&args));
+    for entry in entries {
+        let pts = entry.data.points();
+        let n = pts.len();
+        for rho in RHOS {
+            for f in EPS_FACTORS {
+                let eps = entry.eps0 * f;
+                let params = ApproxParams::new(eps, MIN_PTS, rho).expect("params");
+                let (_c, engine) =
+                    StreamingApproxDbscan::run(&Euclidean, &params, || pts.iter().cloned())
+                        .expect("stream");
+                let fp = engine.footprint();
+                row!(
+                    entry.name,
+                    n,
+                    rho,
+                    format!("{eps:.3}"),
+                    fp.centers,
+                    fp.parked,
+                    fp.summary,
+                    format!("{:.5}", fp.stored_points() as f64 / n as f64),
+                    (f == 1.0 && rho == 0.5) // the Table 4 operating point
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Table 2: how much of the exact pipeline's runtime the radius-guided
+//! Gonzalez pre-processing (Algorithm 1) takes — the quantity that makes
+//! index reuse (Remark 5) worthwhile. The paper reports 60–99 %.
+//!
+//! Also prints the measured speedup of re-solving at a second ε on the
+//! shared index versus rebuilding from scratch, which is the practical
+//! payoff the table argues for.
+
+use mdbscan_bench::registry;
+use mdbscan_bench::{row, timed, HarnessArgs};
+use mdbscan_core::{DbscanParams, ExactConfig, GonzalezIndex};
+use mdbscan_metric::{Euclidean, Levenshtein};
+
+const MIN_PTS: usize = 10;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    row!(
+        "dataset",
+        "gonzalez_ms",
+        "total_ms",
+        "proportion",
+        "retune_ms",
+        "retune_speedup"
+    );
+    for entry in registry::low_dim_suite(&args)
+        .into_iter()
+        .chain(registry::shape_suite(&args).into_iter().skip(1))
+        .chain(registry::high_dim_suite(&args))
+    {
+        let pts = entry.data.points();
+        let eps = entry.eps0;
+        let (idx, gonzalez_ms) =
+            timed(|| GonzalezIndex::build(pts, &Euclidean, eps / 2.0).expect("build"));
+        let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+        let (_r, solve_ms) =
+            timed(|| idx.exact_with(&params, &ExactConfig::default()).expect("exact"));
+        let total = gonzalez_ms + solve_ms;
+        // Re-tuning at a larger ε reuses the same net (Remark 5).
+        let params2 = DbscanParams::new(eps * 1.5, MIN_PTS).expect("params");
+        let (_r2, retune_ms) = timed(|| idx.exact(&params2).expect("exact"));
+        row!(
+            entry.name,
+            format!("{gonzalez_ms:.2}"),
+            format!("{total:.2}"),
+            format!("{:.0}%", 100.0 * gonzalez_ms / total),
+            format!("{retune_ms:.2}"),
+            format!("{:.1}x", total / retune_ms.max(1e-6))
+        );
+    }
+    // Text rows (COLA / AGNews / MRPC analogues), as in the paper's table.
+    for entry in registry::text_suite(&args).into_iter().take(3) {
+        let pts = entry.data.points();
+        let eps = entry.eps0;
+        let (idx, gonzalez_ms) =
+            timed(|| GonzalezIndex::build(pts, &Levenshtein, eps / 2.0).expect("build"));
+        let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+        let (_r, solve_ms) = timed(|| idx.exact(&params).expect("exact"));
+        let total = gonzalez_ms + solve_ms;
+        let params2 = DbscanParams::new(eps * 1.5, MIN_PTS).expect("params");
+        let (_r2, retune_ms) = timed(|| idx.exact(&params2).expect("exact"));
+        row!(
+            entry.name,
+            format!("{gonzalez_ms:.2}"),
+            format!("{total:.2}"),
+            format!("{:.0}%", 100.0 * gonzalez_ms / total),
+            format!("{retune_ms:.2}"),
+            format!("{:.1}x", total / retune_ms.max(1e-6))
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Algorithm 2: ρ-approximate metric DBSCAN via a core-point summary.
+//!
+//! With `r̄ = ρε/2`, the summary `S*` keeps, per ball `C_e`:
+//! * just the center `e` when `e` is itself a core point (it represents
+//!   every core point of its ball within `r̄`), or
+//! * all core points of `C_e` otherwise — and Lemma 8 shows a non-core
+//!   center's ball has fewer than `MinPts` points, so this adds `< MinPts`
+//!   entries.
+//!
+//! `|S*| = O((Δ/ρε)^D) + z` (Lemma 9). Merging runs *inside the summary
+//! only*, at threshold `(1+ρ)ε`; every other point is labeled against the
+//! summary at threshold `(ρ/2+1)ε`. Theorem 2 proves the result is a valid
+//! ρ-approximate DBSCAN clustering (Gan–Tao semantics), and the sandwich
+//! theorem places it between exact(ε) and exact((1+ρ)ε).
+
+use std::time::Instant;
+
+use mdbscan_kcenter::CenterAdjacency;
+use mdbscan_metric::Metric;
+
+use crate::labels::PointLabel;
+use crate::netview::NetView;
+use crate::params::ApproxParams;
+use crate::steps::count_neighbors_capped;
+use crate::unionfind::UnionFind;
+
+/// Statistics of one Algorithm-2 run (Fig. 6 uses the summary/memory
+/// numbers; the ablations use the timings).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxStats {
+    /// Centers in the net (`|E|`).
+    pub n_centers: usize,
+    /// Summary size `|S*|`.
+    pub summary_size: usize,
+    /// Mean neighbor-ball degree.
+    pub mean_adjacency_degree: f64,
+    /// Seconds computing the adjacency.
+    pub adjacency_secs: f64,
+    /// Seconds constructing `S*` (core tests included).
+    pub summary_secs: f64,
+    /// Seconds merging inside `S*`.
+    pub merge_secs: f64,
+    /// Seconds labeling the remaining points.
+    pub label_secs: f64,
+    /// Summary pairs whose distance was tested during the merge.
+    pub merge_pairs_tested: u64,
+}
+
+/// Runs Algorithm 2 over a prepared net (`net.rbar ≤ ρε/2` — checked by
+/// the caller).
+pub(crate) fn run_approx<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    params: &ApproxParams,
+) -> (Vec<PointLabel>, ApproxStats) {
+    debug_assert!(net.rbar <= params.rbar() * (1.0 + 1e-9));
+    let eps = params.eps();
+    let min_pts = params.min_pts();
+    let k = net.num_centers();
+    let n = net.num_points();
+    let mut stats = ApproxStats {
+        n_centers: k,
+        ..Default::default()
+    };
+
+    // Adjacency threshold (definition (13) generalized to r̄ ≤ ρε/2): it
+    // must cover both the merge radius (centers of summary points within
+    // (1+ρ)ε are ≤ (1+ρ)ε + 2r̄ apart) and the ε-ball containment of
+    // Lemma 2 (needs ≥ 2r̄ + ε). With r̄ = ρε/2 this equals the paper's
+    // 4r̄ + ε.
+    let t = Instant::now();
+    let threshold = (params.merge_radius() + 2.0 * net.rbar).max(2.0 * net.rbar + eps);
+    let adj = CenterAdjacency::build(points, metric, net.centers, threshold);
+    stats.adjacency_secs = t.elapsed().as_secs_f64();
+    stats.mean_adjacency_degree = adj.mean_degree();
+
+    // ---- Summary construction ----
+    let t = Instant::now();
+    // Which centers are core points (|B(e, ε)| ≥ MinPts)?
+    let mut center_core = vec![false; k];
+    #[allow(clippy::needless_range_loop)] // e indexes three parallel structures
+    for e in 0..k {
+        let center_point = net.centers[e];
+        center_core[e] =
+            count_neighbors_capped(points, metric, net, &adj, e, center_point, eps, min_pts)
+                >= min_pts;
+    }
+    // S* as point indices, plus per-center membership lists (positions
+    // into `summary`), plus each center's own summary position.
+    let mut summary: Vec<usize> = Vec::new();
+    let mut summary_by_center: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut is_summary = vec![false; n];
+    for e in 0..k {
+        if center_core[e] {
+            let pos = summary.len() as u32;
+            summary.push(net.centers[e]);
+            summary_by_center[e].push(pos);
+            is_summary[net.centers[e]] = true;
+        } else {
+            // Lemma 8: this ball holds < MinPts points, so the per-point
+            // core tests below stay amortized-linear (Lemma 10).
+            for &p in &net.cover_sets[e] {
+                let pi = p as usize;
+                let core = count_neighbors_capped(points, metric, net, &adj, e, pi, eps, min_pts)
+                    >= min_pts;
+                if core {
+                    let pos = summary.len() as u32;
+                    summary.push(pi);
+                    summary_by_center[e].push(pos);
+                    is_summary[pi] = true;
+                }
+            }
+        }
+    }
+    stats.summary_size = summary.len();
+    stats.summary_secs = t.elapsed().as_secs_f64();
+
+    // ---- Merge inside S* at (1+ρ)ε ----
+    let t = Instant::now();
+    let merge_r = params.merge_radius();
+    let mut uf = UnionFind::new(summary.len());
+    for (i, &sp) in summary.iter().enumerate() {
+        let cs = net.assignment[sp] as usize;
+        for &e2 in &adj.neighbors[cs] {
+            for &jpos in &summary_by_center[e2 as usize] {
+                let j = jpos as usize;
+                if j <= i || uf.connected(i, j) {
+                    continue;
+                }
+                stats.merge_pairs_tested += 1;
+                if metric.within(&points[sp], &points[summary[j]], merge_r) {
+                    uf.union(i, j);
+                }
+            }
+        }
+    }
+    let summary_cluster = uf.component_ids();
+    stats.merge_secs = t.elapsed().as_secs_f64();
+
+    // ---- Label everything ----
+    let t = Instant::now();
+    let label_r = params.label_radius();
+    let mut labels = vec![PointLabel::Noise; n];
+    // Summary members are certified core points.
+    for (i, &sp) in summary.iter().enumerate() {
+        labels[sp] = PointLabel::Core(summary_cluster[i]);
+    }
+    // Position of each core center's summary entry.
+    let center_summary_pos: Vec<Option<u32>> = (0..k)
+        .map(|e| center_core[e].then(|| summary_by_center[e][0]))
+        .collect();
+    for p in 0..n {
+        if is_summary[p] {
+            continue;
+        }
+        let cp = net.assignment[p] as usize;
+        if let Some(pos) = center_summary_pos[cp] {
+            // p is within r̄ ≤ ε of the core center c_p: at least a border
+            // point of that cluster (individual core-ness not certified —
+            // see PointLabel::Border docs).
+            labels[p] = PointLabel::Border(summary_cluster[pos as usize]);
+            continue;
+        }
+        // Nearest summary point within (ρ/2+1)ε among neighbor balls.
+        let mut best: Option<(f64, u32)> = None;
+        for &e2 in &adj.neighbors[cp] {
+            for &jpos in &summary_by_center[e2 as usize] {
+                let bound = best.map_or(label_r, |(d, _)| d);
+                if let Some(d) =
+                    metric.distance_leq(&points[p], &points[summary[jpos as usize]], bound)
+                {
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, jpos));
+                    }
+                }
+            }
+        }
+        if let Some((_, jpos)) = best {
+            labels[p] = PointLabel::Border(summary_cluster[jpos as usize]);
+        }
+    }
+    stats.label_secs = t.elapsed().as_secs_f64();
+
+    (labels, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{approx_dbscan, exact_dbscan, ApproxParams, GonzalezIndex};
+    use mdbscan_metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(seed: u64, per_blob: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [[0.0, 0.0], [20.0, 0.0], [0.0, 20.0]];
+        let mut pts = Vec::new();
+        for c in centers {
+            for _ in 0..per_blob {
+                pts.push(vec![
+                    c[0] + rng.random_range(-1.0..1.0),
+                    c[1] + rng.random_range(-1.0..1.0),
+                ]);
+            }
+        }
+        for _ in 0..per_blob / 10 {
+            pts.push(vec![
+                rng.random_range(-100.0..100.0),
+                rng.random_range(100.0..200.0),
+            ]);
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs(5, 120);
+        let c = approx_dbscan(&pts, &Euclidean, 0.8, 8, 0.5).unwrap();
+        assert_eq!(c.num_clusters(), 3, "three blobs");
+        // the far-away noise stays noise
+        assert!(c.num_noise() >= 6);
+    }
+
+    /// Sandwich theorem (Gan–Tao): points together in exact(ε) stay
+    /// together in approx; points together in approx stay together in
+    /// exact((1+ρ)ε). Checked on core points (border assignment is
+    /// tie-broken freely in all three).
+    #[test]
+    fn sandwich_property() {
+        for seed in [1u64, 2, 3] {
+            let pts = blobs(seed, 60);
+            let eps = 0.9;
+            let rho = 0.5;
+            let lower = exact_dbscan(&pts, &Euclidean, eps, 6).unwrap();
+            let upper = exact_dbscan(&pts, &Euclidean, (1.0 + rho) * eps, 6).unwrap();
+            let mid = approx_dbscan(&pts, &Euclidean, eps, 6, rho).unwrap();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let together_lower = lower.labels()[i].is_core()
+                        && lower.labels()[j].is_core()
+                        && lower.cluster_of(i) == lower.cluster_of(j);
+                    let together_mid = mid.labels()[i].is_core()
+                        && mid.labels()[j].is_core()
+                        && mid.cluster_of(i) == mid.cluster_of(j);
+                    if together_lower {
+                        // exact(ε)-cores are approx-assigned (maybe as
+                        // border reps); require same approx cluster.
+                        assert!(
+                            mid.cluster_of(i).is_some(),
+                            "seed {seed}: exact core {i} unassigned in approx"
+                        );
+                        assert_eq!(
+                            mid.cluster_of(i),
+                            mid.cluster_of(j),
+                            "seed {seed}: exact(ε) pair ({i},{j}) split by approx"
+                        );
+                    }
+                    if together_mid {
+                        assert_eq!(
+                            upper.cluster_of(i),
+                            upper.cluster_of(j),
+                            "seed {seed}: approx pair ({i},{j}) split by exact((1+ρ)ε)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every exact core point must be assigned to some approx cluster
+    /// (Definition 2: each core point belongs to exactly one cluster).
+    #[test]
+    fn exact_cores_are_always_assigned() {
+        for seed in [7u64, 8, 9] {
+            let pts = blobs(seed, 50);
+            let exact = exact_dbscan(&pts, &Euclidean, 1.0, 5).unwrap();
+            let approx = approx_dbscan(&pts, &Euclidean, 1.0, 5, 1.0).unwrap();
+            for i in 0..pts.len() {
+                if exact.labels()[i].is_core() {
+                    assert!(
+                        approx.cluster_of(i).is_some(),
+                        "seed {seed}: core {i} dropped"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_is_small_on_dense_data() {
+        let pts = blobs(11, 400);
+        let params = ApproxParams::new(1.0, 10, 0.5).unwrap();
+        let index = GonzalezIndex::build(&pts, &Euclidean, params.rbar()).unwrap();
+        let (_, stats) = index.approx_with(&params).unwrap();
+        assert!(
+            stats.summary_size < pts.len() / 5,
+            "summary {} should compress {} points",
+            stats.summary_size,
+            pts.len()
+        );
+        assert!(stats.summary_size >= 3, "at least one rep per blob");
+    }
+
+    #[test]
+    fn rho_zero_rejected_rho_two_accepted() {
+        let pts = blobs(1, 30);
+        assert!(approx_dbscan(&pts, &Euclidean, 1.0, 5, 0.0).is_err());
+        assert!(approx_dbscan(&pts, &Euclidean, 1.0, 5, 2.0).is_ok());
+    }
+
+    #[test]
+    fn duplicates_and_tiny_inputs() {
+        let dup = vec![vec![0.0, 0.0]; 12];
+        let c = approx_dbscan(&dup, &Euclidean, 1.0, 4, 0.5).unwrap();
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.num_noise(), 0);
+        let two = vec![vec![0.0], vec![100.0]];
+        let c = approx_dbscan(&two, &Euclidean, 1.0, 2, 0.5).unwrap();
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.num_noise(), 2);
+    }
+}

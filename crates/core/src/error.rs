@@ -1,0 +1,69 @@
+//! Error type for the DBSCAN solvers.
+
+use std::fmt;
+
+/// Errors produced by parameter validation and index reuse checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbscanError {
+    /// `ε` must be positive and finite.
+    InvalidEpsilon(f64),
+    /// `MinPts` must be at least 1.
+    InvalidMinPts(usize),
+    /// `ρ` must be in `(0, 2]` (Theorem 3's standing assumption; values
+    /// above 2 would break the summary size bound of Lemma 8).
+    InvalidRho(f64),
+    /// The input point set is empty.
+    EmptyInput,
+    /// A [`crate::GonzalezIndex`] built with radius `rbar` cannot serve a
+    /// query that requires `rbar ≤ limit` (Remark 5: the net must be at
+    /// least as fine as `ε/2`, resp. `ρε/2` for the approximate solver).
+    IndexTooCoarse {
+        /// The index's net radius.
+        rbar: f64,
+        /// The maximum radius admissible for the requested parameters.
+        limit: f64,
+    },
+    /// The index was built with `max_centers` truncation and does not cover
+    /// the data, so DBSCAN answers would be wrong.
+    IndexNotCovering,
+}
+
+impl fmt::Display for DbscanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbscanError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+            DbscanError::InvalidMinPts(m) => write!(f, "MinPts must be >= 1, got {m}"),
+            DbscanError::InvalidRho(r) => write!(f, "rho must be in (0, 2], got {r}"),
+            DbscanError::EmptyInput => write!(f, "input point set is empty"),
+            DbscanError::IndexTooCoarse { rbar, limit } => write!(
+                f,
+                "index net radius {rbar} is too coarse for this query (needs <= {limit}); \
+                 rebuild the index with a smaller rbar"
+            ),
+            DbscanError::IndexNotCovering => {
+                write!(f, "index was truncated by max_centers and does not cover the data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbscanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DbscanError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DbscanError::InvalidMinPts(0).to_string().contains('0'));
+        assert!(DbscanError::InvalidRho(3.0).to_string().contains('3'));
+        assert!(DbscanError::EmptyInput.to_string().contains("empty"));
+        assert!(DbscanError::IndexTooCoarse { rbar: 2.0, limit: 1.0 }
+            .to_string()
+            .contains("rebuild"));
+        assert!(DbscanError::IndexNotCovering.to_string().contains("max_centers"));
+    }
+}

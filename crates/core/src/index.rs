@@ -1,0 +1,226 @@
+//! The reusable Gonzalez index (Remark 5/6): build the net once, solve
+//! DBSCAN for many `(ε, MinPts[, ρ])` settings.
+
+use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
+use mdbscan_metric::Metric;
+
+use crate::approx::{run_approx, ApproxStats};
+use crate::error::DbscanError;
+use crate::exact::{ExactConfig, ExactStats};
+use crate::labels::Clustering;
+use crate::netview::NetView;
+use crate::params::{ApproxParams, DbscanParams};
+use crate::steps::run_exact_steps;
+
+/// An `r̄`-net index over a borrowed point set, amortizing the expensive
+/// radius-guided Gonzalez pre-processing (Algorithm 1) across queries.
+///
+/// Table 2 of the paper measures Algorithm 1 at 60–99 % of the total
+/// exact-DBSCAN runtime; with this index that cost is paid once per
+/// dataset, and each subsequent `(ε, MinPts)` probe pays only the
+/// (A-set + three steps) remainder.
+///
+/// Constraints enforced at query time:
+/// * exact queries need `r̄ ≤ ε/2`;
+/// * approximate queries need `r̄ ≤ ρε/2`;
+/// * the net must cover the data (no `max_centers` truncation).
+pub struct GonzalezIndex<'a, P, M> {
+    points: &'a [P],
+    metric: &'a M,
+    net: RadiusGuidedNet,
+}
+
+impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
+    /// Runs Algorithm 1 with radius bound `rbar` and wraps the result.
+    pub fn build(points: &'a [P], metric: &'a M, rbar: f64) -> Result<Self, DbscanError> {
+        Self::build_with(points, metric, rbar, &BuildOptions::default())
+    }
+
+    /// As [`GonzalezIndex::build`] with explicit Gonzalez options
+    /// (seed center, threads, center cap).
+    pub fn build_with(
+        points: &'a [P],
+        metric: &'a M,
+        rbar: f64,
+        opts: &BuildOptions,
+    ) -> Result<Self, DbscanError> {
+        if points.is_empty() {
+            return Err(DbscanError::EmptyInput);
+        }
+        if !(rbar.is_finite() && rbar > 0.0) {
+            return Err(DbscanError::InvalidEpsilon(rbar));
+        }
+        let net = RadiusGuidedNet::build_with(points, metric, rbar, opts);
+        Ok(Self {
+            points,
+            metric,
+            net,
+        })
+    }
+
+    /// Wraps an externally built net (used by tests and by callers that
+    /// already ran Algorithm 1 for other purposes).
+    pub fn from_net(
+        points: &'a [P],
+        metric: &'a M,
+        net: RadiusGuidedNet,
+    ) -> Result<Self, DbscanError> {
+        if points.len() != net.len() {
+            return Err(DbscanError::EmptyInput);
+        }
+        Ok(Self {
+            points,
+            metric,
+            net,
+        })
+    }
+
+    /// The underlying net.
+    pub fn net(&self) -> &RadiusGuidedNet {
+        &self.net
+    }
+
+    /// The net radius `r̄`.
+    pub fn rbar(&self) -> f64 {
+        self.net.rbar
+    }
+
+    /// Number of net centers `|E|`.
+    pub fn num_centers(&self) -> usize {
+        self.net.centers.len()
+    }
+
+    /// The points the index was built over.
+    pub fn points(&self) -> &'a [P] {
+        self.points
+    }
+
+    fn view(&self) -> NetView<'_> {
+        NetView {
+            rbar: self.net.rbar,
+            centers: &self.net.centers,
+            assignment: &self.net.assignment,
+            cover_sets: &self.net.cover_sets,
+        }
+    }
+
+    fn check_usable(&self, limit: f64) -> Result<(), DbscanError> {
+        if !self.net.covered {
+            return Err(DbscanError::IndexNotCovering);
+        }
+        if self.net.rbar > limit * (1.0 + 1e-9) {
+            return Err(DbscanError::IndexTooCoarse {
+                rbar: self.net.rbar,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Exact metric DBSCAN (§3.1) at the given parameters.
+    pub fn exact(&self, params: &DbscanParams) -> Result<Clustering, DbscanError> {
+        self.exact_with(params, &ExactConfig::default())
+            .map(|(c, _)| c)
+    }
+
+    /// Exact DBSCAN with explicit configuration, returning phase
+    /// statistics.
+    pub fn exact_with(
+        &self,
+        params: &DbscanParams,
+        cfg: &ExactConfig,
+    ) -> Result<(Clustering, ExactStats), DbscanError> {
+        self.check_usable(params.eps() / 2.0)?;
+        let (labels, stats) = run_exact_steps(self.points, self.metric, &self.view(), params, cfg);
+        Ok((Clustering::from_labels(labels), stats))
+    }
+
+    /// ρ-approximate DBSCAN (Algorithm 2) at the given parameters.
+    pub fn approx(&self, params: &ApproxParams) -> Result<Clustering, DbscanError> {
+        self.approx_with(params).map(|(c, _)| c)
+    }
+
+    /// ρ-approximate DBSCAN returning summary statistics.
+    pub fn approx_with(
+        &self,
+        params: &ApproxParams,
+    ) -> Result<(Clustering, ApproxStats), DbscanError> {
+        self.check_usable(params.rbar())?;
+        let (labels, stats) = run_approx(self.points, self.metric, &self.view(), params);
+        Ok((Clustering::from_labels(labels), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                v.push(vec![i as f64, j as f64]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn build_validation() {
+        let pts = grid();
+        assert!(GonzalezIndex::build(&pts, &Euclidean, 0.5).is_ok());
+        assert!(matches!(
+            GonzalezIndex::<Vec<f64>, _>::build(&[], &Euclidean, 0.5),
+            Err(DbscanError::EmptyInput)
+        ));
+        assert!(matches!(
+            GonzalezIndex::build(&pts, &Euclidean, -1.0),
+            Err(DbscanError::InvalidEpsilon(_))
+        ));
+    }
+
+    #[test]
+    fn coarse_index_rejected() {
+        let pts = grid();
+        let index = GonzalezIndex::build(&pts, &Euclidean, 2.0).unwrap();
+        let params = DbscanParams::new(1.5, 4).unwrap();
+        assert!(matches!(
+            index.exact(&params),
+            Err(DbscanError::IndexTooCoarse { .. })
+        ));
+        // but serves eps >= 4
+        let params = DbscanParams::new(4.0, 4).unwrap();
+        assert!(index.exact(&params).is_ok());
+    }
+
+    #[test]
+    fn truncated_index_rejected() {
+        let pts = grid();
+        let opts = mdbscan_kcenter::BuildOptions {
+            max_centers: 2,
+            ..Default::default()
+        };
+        let index = GonzalezIndex::build_with(&pts, &Euclidean, 0.4, &opts).unwrap();
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        assert!(matches!(
+            index.exact(&params),
+            Err(DbscanError::IndexNotCovering)
+        ));
+    }
+
+    #[test]
+    fn index_reuse_across_eps_matches_fresh_builds() {
+        let pts = grid();
+        let index = GonzalezIndex::build(&pts, &Euclidean, 0.5).unwrap();
+        for eps in [1.0, 1.5, 2.5] {
+            let params = DbscanParams::new(eps, 4).unwrap();
+            let reused = index.exact(&params).unwrap();
+            let fresh = crate::exact_dbscan(&pts, &Euclidean, eps, 4).unwrap();
+            assert!(
+                reused.same_partition(&fresh),
+                "eps={eps}: reused index must match fresh build"
+            );
+        }
+    }
+}

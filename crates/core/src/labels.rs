@@ -1,0 +1,226 @@
+//! Clustering output types.
+
+/// The role and cluster membership of one input point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointLabel {
+    /// A core point: `|B(p, ε) ∩ X| ≥ MinPts`. Belongs to exactly one
+    /// cluster.
+    Core(u32),
+    /// A border point: within `ε` of some core point but not core itself.
+    ///
+    /// Note the paper's footnote 1: a border point may be within `ε` of
+    /// cores from several clusters; like every practical DBSCAN
+    /// implementation we assign it to one of them (the nearest found).
+    ///
+    /// The ρ-approximate solvers also use `Border` for points whose
+    /// individual core-ness the algorithm never certifies (points covered
+    /// by a core *center*'s ball) — "assigned, not certified core".
+    Border(u32),
+    /// An outlier / noise point.
+    Noise,
+}
+
+impl PointLabel {
+    /// The cluster id, or `None` for noise.
+    pub fn cluster(&self) -> Option<u32> {
+        match self {
+            PointLabel::Core(c) | PointLabel::Border(c) => Some(*c),
+            PointLabel::Noise => None,
+        }
+    }
+
+    /// True for [`PointLabel::Core`].
+    pub fn is_core(&self) -> bool {
+        matches!(self, PointLabel::Core(_))
+    }
+
+    /// True for [`PointLabel::Noise`].
+    pub fn is_noise(&self) -> bool {
+        matches!(self, PointLabel::Noise)
+    }
+}
+
+/// A complete clustering of the input: one [`PointLabel`] per point, with
+/// cluster ids compacted to `0..num_clusters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    labels: Vec<PointLabel>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from raw labels, re-numbering cluster ids to the
+    /// dense range `0..num_clusters` (order of first appearance).
+    pub fn from_labels(raw: Vec<PointLabel>) -> Self {
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut labels = raw;
+        for l in labels.iter_mut() {
+            let id = match l {
+                PointLabel::Core(c) | PointLabel::Border(c) => c,
+                PointLabel::Noise => continue,
+            };
+            let next = remap.len() as u32;
+            *id = *remap.entry(*id).or_insert(next);
+        }
+        Clustering {
+            num_clusters: remap.len(),
+            labels,
+        }
+    }
+
+    /// Per-point labels.
+    pub fn labels(&self) -> &[PointLabel] {
+        &self.labels
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The cluster of point `i`, or `None` for noise.
+    pub fn cluster_of(&self, i: usize) -> Option<u32> {
+        self.labels[i].cluster()
+    }
+
+    /// Flat assignment vector: cluster id per point, `-1` for noise — the
+    /// format the evaluation metrics (ARI/AMI) and the experiment harness
+    /// consume.
+    pub fn assignments(&self) -> Vec<i32> {
+        self.labels
+            .iter()
+            .map(|l| l.cluster().map_or(-1, |c| c as i32))
+            .collect()
+    }
+
+    /// Count of core points.
+    pub fn num_core(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_core()).count()
+    }
+
+    /// Count of border points.
+    pub fn num_border(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|l| matches!(l, PointLabel::Border(_)))
+            .count()
+    }
+
+    /// Count of noise points.
+    pub fn num_noise(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_noise()).count()
+    }
+
+    /// The members of each cluster, as point-index lists.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(c) = l.cluster() {
+                out[c as usize].push(i);
+            }
+        }
+        out
+    }
+
+    /// True when `self` and `other` induce the same *partition of the
+    /// non-noise points into clusters* and agree on which points are noise
+    /// — i.e. equal up to cluster renumbering. The core/border distinction
+    /// is ignored (border ties may be broken differently).
+    pub fn same_partition(&self, other: &Clustering) -> bool {
+        if self.len() != other.len() || self.num_clusters != other.num_clusters {
+            return false;
+        }
+        let mut fwd: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut bwd: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (a, b) in self.labels.iter().zip(other.labels.iter()) {
+            match (a.cluster(), b.cluster()) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_renumbers_in_first_appearance_order() {
+        let c = Clustering::from_labels(vec![
+            PointLabel::Core(7),
+            PointLabel::Noise,
+            PointLabel::Border(3),
+            PointLabel::Core(7),
+            PointLabel::Core(3),
+        ]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignments(), vec![0, -1, 1, 0, 1]);
+        assert_eq!(c.num_core(), 3);
+        assert_eq!(c.num_border(), 1);
+        assert_eq!(c.num_noise(), 1);
+        assert_eq!(c.cluster_of(0), Some(0));
+        assert_eq!(c.cluster_of(1), None);
+        assert_eq!(c.clusters(), vec![vec![0, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn same_partition_modulo_renaming() {
+        let a = Clustering::from_labels(vec![
+            PointLabel::Core(0),
+            PointLabel::Core(1),
+            PointLabel::Noise,
+        ]);
+        let b = Clustering::from_labels(vec![
+            PointLabel::Border(5),
+            PointLabel::Core(2),
+            PointLabel::Noise,
+        ]);
+        assert!(a.same_partition(&b));
+        let c = Clustering::from_labels(vec![
+            PointLabel::Core(0),
+            PointLabel::Core(0),
+            PointLabel::Noise,
+        ]);
+        assert!(!a.same_partition(&c));
+        let d = Clustering::from_labels(vec![
+            PointLabel::Core(0),
+            PointLabel::Core(1),
+            PointLabel::Core(1),
+        ]);
+        assert!(!a.same_partition(&d));
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_labels(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters(), 0);
+        assert!(c.clusters().is_empty());
+    }
+
+    #[test]
+    fn label_helpers() {
+        assert!(PointLabel::Core(1).is_core());
+        assert!(!PointLabel::Border(1).is_core());
+        assert!(PointLabel::Noise.is_noise());
+        assert_eq!(PointLabel::Border(4).cluster(), Some(4));
+        assert_eq!(PointLabel::Noise.cluster(), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! # Metric DBSCAN — exact, ρ-approximate, and streaming
+//!
+//! This crate implements the algorithms of
+//!
+//! > Mo, Song, Ding. *Towards Metric DBSCAN: Exact, Approximate, and
+//! > Streaming Algorithms.* SIGMOD 2024.
+//!
+//! for density-based clustering in **general metric spaces** — the only
+//! structure the algorithms use is a [`mdbscan_metric::Metric`]
+//! oracle, so points may be vectors, strings under edit distance, or any
+//! user type. Under the paper's standing assumption (inliers of low
+//! doubling dimension `D`, up to `z` unconstrained outliers) every
+//! algorithm here runs in time **linear in `n`**:
+//!
+//! | entry point | paper | guarantee |
+//! |---|---|---|
+//! | [`exact_dbscan`] / [`GonzalezIndex::exact`] | §3.1 | exact DBSCAN clusters, `O(n((Δ/ε)^D + z log(ε/δ)) t_dis)` |
+//! | [`exact_dbscan_covertree`] | §3.2 | exact, `O(n log Φ · t_dis)` when the *whole* input doubles |
+//! | [`approx_dbscan`] / [`GonzalezIndex::approx`] | Alg. 2 | ρ-approximate DBSCAN (Gan–Tao semantics), `O(n((Δ/ρε)^D + z) t_dis)` |
+//! | [`StreamingApproxDbscan`] | Alg. 3 | 3-pass streaming ρ-approximate, memory `O((Δ/ρε)^D + z)` — independent of `n` |
+//!
+//! ## Parameter tuning for free (Remark 5/6)
+//!
+//! The expensive pre-processing — the radius-guided Gonzalez net — depends
+//! only on the radius bound `r̄`, not on `(ε, MinPts)`. Build a
+//! [`GonzalezIndex`] once with `r̄ ≤ ε₀/2` and solve for as many parameter
+//! settings as you like; only the cheap per-query steps re-run:
+//!
+//! ```
+//! use mdbscan_core::{DbscanParams, GonzalezIndex};
+//! use mdbscan_metric::Euclidean;
+//!
+//! let pts: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+//! let index = GonzalezIndex::build(&pts, &Euclidean, 0.5).unwrap();
+//! for eps in [1.0, 1.5, 2.0] {
+//!     let c = index.exact(&DbscanParams::new(eps, 4).unwrap()).unwrap();
+//!     println!("eps={eps}: {} clusters", c.num_clusters());
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod approx;
+mod error;
+mod exact;
+mod exact_covertree;
+mod index;
+mod labels;
+mod netview;
+mod params;
+mod steps;
+mod streaming;
+mod unionfind;
+
+pub use approx::ApproxStats;
+pub use error::DbscanError;
+pub use exact::{ExactConfig, ExactStats};
+pub use exact_covertree::{exact_dbscan_covertree, CoverTreeExactStats};
+pub use index::GonzalezIndex;
+pub use labels::{Clustering, PointLabel};
+pub use params::{ApproxParams, DbscanParams};
+pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
+pub use unionfind::UnionFind;
+
+use mdbscan_metric::Metric;
+
+/// One-shot exact metric DBSCAN (§3.1): builds the `ε/2`-net with
+/// Algorithm 1, then labels cores, merges via per-group cover trees, and
+/// classifies borders/outliers. See [`GonzalezIndex`] to amortize the net
+/// across parameter settings.
+pub fn exact_dbscan<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+) -> Result<Clustering, DbscanError> {
+    let params = DbscanParams::new(eps, min_pts)?;
+    let index = GonzalezIndex::build(points, metric, eps / 2.0)?;
+    index.exact(&params)
+}
+
+/// One-shot ρ-approximate metric DBSCAN (Algorithm 2): builds the
+/// `ρε/2`-net, constructs the core-point summary `S*`, merges inside the
+/// summary at threshold `(1+ρ)ε`, and labels the rest against it.
+pub fn approx_dbscan<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    rho: f64,
+) -> Result<Clustering, DbscanError> {
+    let params = ApproxParams::new(eps, min_pts, rho)?;
+    let index = GonzalezIndex::build(points, metric, params.rbar())?;
+    index.approx(&params)
+}

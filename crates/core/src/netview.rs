@@ -1,0 +1,27 @@
+//! Internal: a borrowed view of an `r̄`-net, decoupling the DBSCAN steps
+//! from where the net came from (Algorithm 1 or a cover-tree level, §3.2).
+
+/// A covering net with its Voronoi decomposition, by reference.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetView<'n> {
+    /// Covering radius bound: every point is within `rbar` of its center.
+    pub rbar: f64,
+    /// Point indices of the centers.
+    pub centers: &'n [usize],
+    /// Per point, the position in `centers` of its center.
+    pub assignment: &'n [u32],
+    /// Per center, the points assigned to it (a partition of the input).
+    pub cover_sets: &'n [Vec<u32>],
+}
+
+impl<'n> NetView<'n> {
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of centers.
+    pub fn num_centers(&self) -> usize {
+        self.centers.len()
+    }
+}

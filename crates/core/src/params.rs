@@ -1,0 +1,145 @@
+//! Validated parameter bundles.
+
+use crate::error::DbscanError;
+
+/// Parameters of (exact) DBSCAN: the neighborhood radius `ε` and the
+/// density threshold `MinPts`.
+///
+/// Following the paper's convention (and Ester et al.'s original), a point
+/// is **core** when `|B(p, ε) ∩ X| ≥ MinPts`, with the ball *closed* and
+/// `p` itself counted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    eps: f64,
+    min_pts: usize,
+}
+
+impl DbscanParams {
+    /// Validates and constructs. `eps` must be positive and finite;
+    /// `min_pts ≥ 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self, DbscanError> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(DbscanError::InvalidEpsilon(eps));
+        }
+        if min_pts == 0 {
+            return Err(DbscanError::InvalidMinPts(min_pts));
+        }
+        Ok(Self { eps, min_pts })
+    }
+
+    /// The neighborhood radius `ε`.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The density threshold `MinPts`.
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+}
+
+/// Parameters of ρ-approximate DBSCAN (Gan–Tao; paper Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxParams {
+    base: DbscanParams,
+    rho: f64,
+}
+
+impl ApproxParams {
+    /// Validates and constructs. Additionally to [`DbscanParams`],
+    /// `ρ ∈ (0, 2]` (Theorem 3's standing assumption; Remark: the paper
+    /// notes ρ > 2 works with slight modifications, but every experiment
+    /// uses ρ ≤ 2, and Lemma 8's summary bound needs `ρε/2 ≤ ε`).
+    pub fn new(eps: f64, min_pts: usize, rho: f64) -> Result<Self, DbscanError> {
+        let base = DbscanParams::new(eps, min_pts)?;
+        if !(rho.is_finite() && rho > 0.0 && rho <= 2.0) {
+            return Err(DbscanError::InvalidRho(rho));
+        }
+        Ok(Self { base, rho })
+    }
+
+    /// The neighborhood radius `ε`.
+    pub fn eps(&self) -> f64 {
+        self.base.eps()
+    }
+
+    /// The density threshold `MinPts`.
+    pub fn min_pts(&self) -> usize {
+        self.base.min_pts()
+    }
+
+    /// The approximation parameter `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The net radius Algorithm 2 prescribes: `r̄ = ρε/2`.
+    pub fn rbar(&self) -> f64 {
+        self.rho * self.eps() / 2.0
+    }
+
+    /// The merge threshold inside the summary: `(1+ρ)ε`.
+    pub fn merge_radius(&self) -> f64 {
+        (1.0 + self.rho) * self.eps()
+    }
+
+    /// The labeling threshold for points outside the summary:
+    /// `(ρ/2 + 1)ε`.
+    pub fn label_radius(&self) -> f64 {
+        (self.rho / 2.0 + 1.0) * self.eps()
+    }
+
+    /// The exact-DBSCAN view of these parameters.
+    pub fn base(&self) -> DbscanParams {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params() {
+        let p = DbscanParams::new(0.5, 4).unwrap();
+        assert_eq!(p.eps(), 0.5);
+        assert_eq!(p.min_pts(), 4);
+        let a = ApproxParams::new(2.0, 10, 0.5).unwrap();
+        assert_eq!(a.rbar(), 0.5);
+        assert_eq!(a.merge_radius(), 3.0);
+        assert_eq!(a.label_radius(), 2.5);
+        assert_eq!(a.base(), DbscanParams::new(2.0, 10).unwrap());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(matches!(
+            DbscanParams::new(0.0, 4),
+            Err(DbscanError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            DbscanParams::new(f64::NAN, 4),
+            Err(DbscanError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            DbscanParams::new(f64::INFINITY, 4),
+            Err(DbscanError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            DbscanParams::new(1.0, 0),
+            Err(DbscanError::InvalidMinPts(0))
+        ));
+        assert!(matches!(
+            ApproxParams::new(1.0, 4, 0.0),
+            Err(DbscanError::InvalidRho(_))
+        ));
+        assert!(matches!(
+            ApproxParams::new(1.0, 4, 2.5),
+            Err(DbscanError::InvalidRho(_))
+        ));
+        assert!(matches!(
+            ApproxParams::new(-1.0, 4, 0.5),
+            Err(DbscanError::InvalidEpsilon(_))
+        ));
+    }
+}

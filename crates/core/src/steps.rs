@@ -1,0 +1,304 @@
+//! The three steps of exact metric DBSCAN (§3.1), shared by the
+//! Algorithm 1 pipeline ([`crate::GonzalezIndex::exact`]) and the
+//! cover-tree pipeline of §3.2 ([`crate::exact_dbscan_covertree`]).
+//!
+//! * **Step 1** — label core points. Points in *dense* balls
+//!   (`|C_e| ≥ MinPts`) are core for free because the ball has diameter
+//!   `≤ 2r̄ ≤ ε` (this is where `r̄ ≤ ε/2` is needed); points in sparse
+//!   balls count their `ε`-neighborhood inside `∪_{e' ∈ A_e} C_{e'}`
+//!   (sound by Lemma 2), stopping at `MinPts`. Amortized `O(n·z·t_dis)`
+//!   (Lemma 4).
+//! * **Step 2** — merge core groups. All core points inside one ball are
+//!   pairwise within `2r̄ ≤ ε`, hence one cluster fragment; fragments
+//!   `C̃_e, C̃_{e'}` of neighboring balls merge iff their bichromatic
+//!   closest pair is `≤ ε`, decided by a cover tree per fragment with
+//!   early termination on the first witness pair. `O(n·z·log(ε/δ)·t_dis)`
+//!   (Lemma 5).
+//! * **Step 3** — borders vs outliers. Each non-core point looks for its
+//!   nearest core point inside `∪_{e' ∈ A_e} C̃_{e'}`; within `ε` → border
+//!   of that core's cluster, else noise. `O(n·z·t_dis)` (Lemma 6).
+
+use std::time::Instant;
+
+use mdbscan_covertree::CoverTree;
+use mdbscan_kcenter::CenterAdjacency;
+use mdbscan_metric::Metric;
+
+use crate::labels::PointLabel;
+use crate::netview::NetView;
+use crate::params::DbscanParams;
+use crate::unionfind::UnionFind;
+
+/// Toggles for the implementation refinements of the exact pipeline —
+/// the ablation benches flip these to measure what each buys.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactConfig {
+    /// Step 1: label every point of a ball with `|C_e| ≥ MinPts` core
+    /// without any distance computation (the paper's dense/sparse split,
+    /// Lemma 4 / §3.3). Off = every point counts its neighborhood.
+    pub dense_shortcut: bool,
+    /// Step 2/3: answer BCP and nearest-core queries with per-fragment
+    /// cover trees (the paper's design). Off = brute-force scans over the
+    /// fragment pairs (still A-restricted).
+    pub cover_tree_merge: bool,
+    /// Step 2: stop a BCP test at the first witness pair `≤ ε` and skip
+    /// tests between fragments already merged transitively. Off = every
+    /// neighboring pair computes its full BCP.
+    pub early_termination: bool,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self {
+            dense_shortcut: true,
+            cover_tree_merge: true,
+            early_termination: true,
+        }
+    }
+}
+
+/// Phase timings and counters of one exact run (harness fodder: Table 2
+/// reports the Algorithm-1 share, the ablations report the step shares).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepsStats {
+    /// Centers in the net.
+    pub n_centers: usize,
+    /// Mean `|A_e|` over centers (paper Lemma 3 bounds this by
+    /// `O((ε/r̄)^D) + z`).
+    pub mean_adjacency_degree: f64,
+    /// Seconds computing the center adjacency.
+    pub adjacency_secs: f64,
+    /// Seconds in Step 1.
+    pub label_secs: f64,
+    /// Seconds in Step 2 (including fragment cover-tree construction).
+    pub merge_secs: f64,
+    /// Seconds in Step 3.
+    pub assign_secs: f64,
+    /// Number of points labeled core by the dense-ball shortcut.
+    pub dense_cores: usize,
+    /// Fragment pairs whose BCP was tested.
+    pub bcp_tests: u64,
+    /// Fragment pairs found connected.
+    pub bcp_connected: u64,
+}
+
+/// Runs Steps 1–3 over an arbitrary covering net. Caller must guarantee
+/// `net.rbar ≤ params.eps() / 2` — that inequality is what makes the dense
+/// shortcut and the fragment-merge radius sound.
+pub(crate) fn run_exact_steps<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    params: &DbscanParams,
+    cfg: &ExactConfig,
+) -> (Vec<PointLabel>, StepsStats) {
+    debug_assert!(net.rbar <= params.eps() / 2.0 * (1.0 + 1e-9));
+    let eps = params.eps();
+    let min_pts = params.min_pts();
+    let n = net.num_points();
+    let k = net.num_centers();
+    let mut stats = StepsStats {
+        n_centers: k,
+        ..Default::default()
+    };
+
+    // Neighbor-ball adjacency at 2r̄ + ε (definition (1)); Lemma 2 then
+    // confines every ε-ball to its neighbor cover sets.
+    let t = Instant::now();
+    let adj = CenterAdjacency::build(points, metric, net.centers, 2.0 * net.rbar + eps);
+    stats.adjacency_secs = t.elapsed().as_secs_f64();
+    stats.mean_adjacency_degree = adj.mean_degree();
+
+    // ---- Step 1: core labeling ----
+    let t = Instant::now();
+    let mut is_core = vec![false; n];
+    for e in 0..k {
+        let cset = &net.cover_sets[e];
+        if cset.is_empty() {
+            continue;
+        }
+        if cfg.dense_shortcut && cset.len() >= min_pts {
+            for &p in cset {
+                is_core[p as usize] = true;
+            }
+            stats.dense_cores += cset.len();
+        } else {
+            for &p in cset {
+                is_core[p as usize] =
+                    count_neighbors_capped(points, metric, net, &adj, e, p as usize, eps, min_pts)
+                        >= min_pts;
+            }
+        }
+    }
+    stats.label_secs = t.elapsed().as_secs_f64();
+
+    // ---- Step 2: merge core fragments ----
+    let t = Instant::now();
+    // C̃_e: the core points of each cover set.
+    let fragments: Vec<Vec<usize>> = net
+        .cover_sets
+        .iter()
+        .map(|cset| {
+            cset.iter()
+                .map(|&p| p as usize)
+                .filter(|&p| is_core[p])
+                .collect()
+        })
+        .collect();
+    let trees: Vec<Option<CoverTree<'_, P, M>>> = if cfg.cover_tree_merge {
+        fragments
+            .iter()
+            .map(|frag| {
+                (!frag.is_empty())
+                    .then(|| CoverTree::from_indices(points, metric, frag.iter().copied()))
+            })
+            .collect()
+    } else {
+        (0..k).map(|_| None).collect()
+    };
+    let mut uf = UnionFind::new(k);
+    for e in 0..k {
+        if fragments[e].is_empty() {
+            continue;
+        }
+        for &e2 in &adj.neighbors[e] {
+            let e2 = e2 as usize;
+            if e2 <= e || fragments[e2].is_empty() {
+                continue;
+            }
+            if cfg.early_termination && uf.connected(e, e2) {
+                continue;
+            }
+            stats.bcp_tests += 1;
+            if bcp_within(points, metric, &fragments, &trees, e, e2, eps, cfg) {
+                stats.bcp_connected += 1;
+                uf.union(e, e2);
+            }
+        }
+    }
+    stats.merge_secs = t.elapsed().as_secs_f64();
+
+    // ---- Step 3: borders and outliers ----
+    let t = Instant::now();
+    let cluster_of_center = uf.component_ids();
+    let mut labels = vec![PointLabel::Noise; n];
+    for e in 0..k {
+        for &p in &net.cover_sets[e] {
+            let pi = p as usize;
+            if is_core[pi] {
+                labels[pi] = PointLabel::Core(cluster_of_center[e]);
+                continue;
+            }
+            // Nearest core point among neighbor fragments.
+            let mut best: Option<(f64, usize)> = None;
+            for &e2 in &adj.neighbors[e] {
+                let e2 = e2 as usize;
+                if fragments[e2].is_empty() {
+                    continue;
+                }
+                let bound = best.map_or(eps, |(d, _)| d);
+                if let Some(tree) = &trees[e2] {
+                    if let Some(nn) = tree.nearest_within(&points[pi], bound) {
+                        if best.is_none_or(|(d, _)| nn.distance < d) {
+                            best = Some((nn.distance, e2));
+                        }
+                    }
+                } else {
+                    for &q in &fragments[e2] {
+                        if let Some(d) = metric.distance_leq(&points[pi], &points[q], bound) {
+                            if best.is_none_or(|(bd, _)| d < bd) {
+                                best = Some((d, e2));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, e2)) = best {
+                labels[pi] = PointLabel::Border(cluster_of_center[e2]);
+            }
+        }
+    }
+    stats.assign_secs = t.elapsed().as_secs_f64();
+
+    (labels, stats)
+}
+
+/// `|B(p, ε) ∩ X|`, counted over the neighbor cover sets of `p`'s center
+/// `e` and capped at `cap` (early termination — only the `≥ MinPts`
+/// predicate is needed).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Step 1 signature
+pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    adj: &CenterAdjacency,
+    e: usize,
+    p: usize,
+    eps: f64,
+    cap: usize,
+) -> usize {
+    let mut count = 0usize;
+    for &e2 in &adj.neighbors[e] {
+        for &q in &net.cover_sets[e2 as usize] {
+            if metric.within(&points[p], &points[q as usize], eps) {
+                count += 1;
+                if count >= cap {
+                    return count;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Is `BCP(C̃_e, C̃_{e'}) ≤ eps`? Queries come from the smaller fragment
+/// against the larger fragment's cover tree; early termination returns at
+/// the first witness.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Step 2 signature
+fn bcp_within<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    fragments: &[Vec<usize>],
+    trees: &[Option<CoverTree<'_, P, M>>],
+    e: usize,
+    e2: usize,
+    eps: f64,
+    cfg: &ExactConfig,
+) -> bool {
+    // Query from the smaller side.
+    let (host, probe) = if fragments[e].len() >= fragments[e2].len() {
+        (e, e2)
+    } else {
+        (e2, e)
+    };
+    if let Some(tree) = &trees[host] {
+        if cfg.early_termination {
+            fragments[probe]
+                .iter()
+                .any(|&q| tree.any_within(&points[q], eps).is_some())
+        } else {
+            // Full BCP via exact NN per probe point (ablation mode).
+            let mut bcp = f64::INFINITY;
+            for &q in &fragments[probe] {
+                if let Some(nn) = tree.nearest(&points[q]) {
+                    bcp = bcp.min(nn.distance);
+                }
+            }
+            bcp <= eps
+        }
+    } else if cfg.early_termination {
+        fragments[probe].iter().any(|&q| {
+            fragments[host]
+                .iter()
+                .any(|&r| metric.within(&points[q], &points[r], eps))
+        })
+    } else {
+        let mut bcp = f64::INFINITY;
+        for &q in &fragments[probe] {
+            for &r in &fragments[host] {
+                bcp = bcp.min(metric.distance(&points[q], &points[r]));
+            }
+        }
+        bcp <= eps
+    }
+}

@@ -1,0 +1,500 @@
+//! Algorithm 3: streaming ρ-approximate DBSCAN in three passes.
+//!
+//! Memory: `O(|E| + |M|) = O((Δ/ρε)^D) + z` stored points — independent of
+//! the stream length `n` (Theorem 4).
+//!
+//! * **Pass 1** — first-fit netting: a point farther than `r̄ = ρε/2` from
+//!   every existing center becomes a center (so `E` is an `r̄`-packing and
+//!   covers the stream); every center counts how many stream points land
+//!   in its `ε`-ball — once the count reaches `MinPts` the center is a
+//!   certified core point. Points within `r̄` of a not-yet-core center are
+//!   parked in `M` (potential cores whose certification needs a second
+//!   look). Each non-core center parks fewer than `MinPts` points, so
+//!   `|M| < MinPts · |E|`.
+//! * **Pass 2** — recount `|B(m, ε)|` for every `m ∈ M` over the full
+//!   stream (pass 1 undercounts points that arrived *before* `m`); the
+//!   certified cores join the summary `S*`. Then merge inside `S*` offline
+//!   at threshold `(1+ρ)ε` (it fits in memory).
+//! * **Pass 3** — label each stream point: its first-fit center, if core,
+//!   hands it that cluster; otherwise the nearest summary point within
+//!   `(ρ/2+1)ε` does; otherwise it is noise.
+//!
+//! The output satisfies the same ρ-approximate guarantees as Algorithm 2
+//! (same summary argument; the net is built by first-fit instead of
+//! farthest-point, which changes `E` but none of the packing/covering
+//! properties the proof of Theorem 2 uses).
+
+use mdbscan_metric::Metric;
+
+use crate::error::DbscanError;
+use crate::labels::{Clustering, PointLabel};
+use crate::params::ApproxParams;
+use crate::unionfind::UnionFind;
+
+/// Memory accounting of the streaming state, in *stored points* — the
+/// quantity Figure 6 of the paper plots as `(|E| + |M|)/n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingFootprint {
+    /// Number of net centers `|E|`.
+    pub centers: usize,
+    /// Number of parked candidates `|M|` (after pass-1 pruning).
+    pub parked: usize,
+    /// Summary size `|S*|` (subset of the above — no extra storage).
+    pub summary: usize,
+}
+
+impl StreamingFootprint {
+    /// Total stored points (`|E| + |M|`; `S* ⊆ E ∪ M` costs nothing).
+    pub fn stored_points(&self) -> usize {
+        self.centers + self.parked
+    }
+}
+
+/// Counters for one full streaming run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingStats {
+    /// Stream length observed in pass 1.
+    pub n: usize,
+    /// Pass-1 `M` insertions before pruning.
+    pub parked_raw: usize,
+    /// Summary pairs tested during the offline merge.
+    pub merge_pairs_tested: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pass1,
+    Pass2,
+    Pass3,
+}
+
+struct Center<P> {
+    point: P,
+    /// Stream points seen within ε (self included).
+    eps_count: usize,
+    core: bool,
+    /// Position of this center's summary entry, if core.
+    summary_pos: u32,
+}
+
+struct Parked<P> {
+    point: P,
+    /// Center (by position) the point was parked under.
+    center: u32,
+    /// Pass-2 recount of `|B(m, ε)|`.
+    eps_count: usize,
+    core: bool,
+    summary_pos: u32,
+}
+
+/// The streaming ρ-approximate DBSCAN engine (paper Algorithm 3).
+///
+/// Drive it manually — `pass1_observe* → finish_pass1 → pass2_observe* →
+/// finish_pass2 → pass3_label*` — or hand a replayable stream to
+/// [`StreamingApproxDbscan::run`]. The manual API is what a real
+/// deployment over an external data source uses; phases are checked and
+/// misuse panics.
+///
+/// ```
+/// use mdbscan_core::{ApproxParams, StreamingApproxDbscan};
+/// use mdbscan_metric::Euclidean;
+///
+/// let stream: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64 * 0.1]).collect();
+/// let params = ApproxParams::new(0.5, 5, 0.5).unwrap();
+/// let (clustering, engine) =
+///     StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+/// assert_eq!(clustering.num_clusters(), 1);
+/// assert!(engine.footprint().stored_points() < 100);
+/// ```
+pub struct StreamingApproxDbscan<'m, P, M> {
+    metric: &'m M,
+    params: ApproxParams,
+    rbar: f64,
+    phase: Phase,
+    centers: Vec<Center<P>>,
+    parked: Vec<Parked<P>>,
+    /// Cluster id per summary position, filled by `finish_pass2`.
+    summary_clusters: Vec<u32>,
+    stats: StreamingStats,
+}
+
+impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
+    /// Creates an empty engine in pass-1 state.
+    pub fn new(metric: &'m M, params: &ApproxParams) -> Self {
+        Self {
+            metric,
+            params: *params,
+            rbar: params.rbar(),
+            phase: Phase::Pass1,
+            centers: Vec::new(),
+            parked: Vec::new(),
+            summary_clusters: Vec::new(),
+            stats: StreamingStats::default(),
+        }
+    }
+
+    /// Pass 1: observe one stream point (clones it only if it becomes a
+    /// center or parks in `M`).
+    pub fn pass1_observe(&mut self, p: &P) {
+        assert_eq!(self.phase, Phase::Pass1, "pass1_observe outside pass 1");
+        self.stats.n += 1;
+        let eps = self.params.eps();
+        let min_pts = self.params.min_pts();
+        // First-fit netting (paper lines 3–5).
+        let mut owner: Option<u32> = None;
+        for (i, c) in self.centers.iter().enumerate() {
+            if self.metric.within(&c.point, p, self.rbar) {
+                owner = Some(i as u32);
+                break;
+            }
+        }
+        if owner.is_none() {
+            self.centers.push(Center {
+                point: p.clone(),
+                eps_count: 0,
+                core: false,
+                summary_pos: u32::MAX,
+            });
+            owner = Some((self.centers.len() - 1) as u32);
+        }
+        let owner = owner.expect("owner set above");
+        // ε-ball counting for every center (lines 6–12).
+        for c in self.centers.iter_mut() {
+            if self.metric.within(&c.point, p, eps) {
+                c.eps_count += 1;
+                if c.eps_count >= min_pts {
+                    c.core = true;
+                }
+            }
+        }
+        // Park p under its owner if that owner is not (yet) core. Centers
+        // park themselves too — their own pass-1 count misses earlier
+        // arrivals, so certification is finished in pass 2.
+        if !self.centers[owner as usize].core {
+            self.parked.push(Parked {
+                point: p.clone(),
+                center: owner,
+                eps_count: 0,
+                core: false,
+                summary_pos: u32::MAX,
+            });
+            self.stats.parked_raw += 1;
+        }
+    }
+
+    /// Ends pass 1: prunes `M` entries whose center got certified core
+    /// (their ball is represented by the center itself, exactly as in
+    /// Algorithm 2's summary rule).
+    pub fn finish_pass1(&mut self) {
+        assert_eq!(self.phase, Phase::Pass1, "finish_pass1 outside pass 1");
+        let centers = &self.centers;
+        self.parked.retain(|m| !centers[m.center as usize].core);
+        // A center parked under itself before *another* center... cannot
+        // happen (first-fit: a center's owner is itself); but a parked
+        // duplicate of a center point is fine — it just recounts.
+        self.phase = Phase::Pass2;
+    }
+
+    /// Pass 2: observe one stream point, updating the `ε`-counts of parked
+    /// candidates.
+    pub fn pass2_observe(&mut self, p: &P) {
+        assert_eq!(self.phase, Phase::Pass2, "pass2_observe outside pass 2");
+        let eps = self.params.eps();
+        let min_pts = self.params.min_pts();
+        for m in self.parked.iter_mut() {
+            if m.eps_count < min_pts && self.metric.within(&m.point, p, eps) {
+                m.eps_count += 1;
+                if m.eps_count >= min_pts {
+                    m.core = true;
+                }
+            }
+        }
+    }
+
+    /// Ends pass 2: assembles the summary `S*` (core centers + certified
+    /// parked cores) and merges inside it at `(1+ρ)ε`, offline in memory.
+    pub fn finish_pass2(&mut self) {
+        assert_eq!(self.phase, Phase::Pass2, "finish_pass2 outside pass 2");
+        // Collect summary points: (clone of point, slot)
+        enum Slot {
+            Center(usize),
+            Parked(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::new();
+        for (i, c) in self.centers.iter().enumerate() {
+            if c.core {
+                slots.push(Slot::Center(i));
+            }
+        }
+        for (i, m) in self.parked.iter().enumerate() {
+            if m.core {
+                slots.push(Slot::Parked(i));
+            }
+        }
+        for (pos, slot) in slots.iter().enumerate() {
+            match slot {
+                Slot::Center(i) => self.centers[*i].summary_pos = pos as u32,
+                Slot::Parked(i) => self.parked[*i].summary_pos = pos as u32,
+            }
+        }
+        let point_of = |s: &Slot, this: &Self| -> P {
+            match s {
+                Slot::Center(i) => this.centers[*i].point.clone(),
+                Slot::Parked(i) => this.parked[*i].point.clone(),
+            }
+        };
+        let summary_points: Vec<P> = slots.iter().map(|s| point_of(s, self)).collect();
+        let merge_r = self.params.merge_radius();
+        let mut uf = UnionFind::new(summary_points.len());
+        for i in 0..summary_points.len() {
+            for j in (i + 1)..summary_points.len() {
+                if uf.connected(i, j) {
+                    continue;
+                }
+                self.stats.merge_pairs_tested += 1;
+                if self
+                    .metric
+                    .within(&summary_points[i], &summary_points[j], merge_r)
+                {
+                    uf.union(i, j);
+                }
+            }
+        }
+        self.summary_clusters = uf.component_ids();
+        self.phase = Phase::Pass3;
+    }
+
+    /// Pass 3: label one stream point. Replays the pass-1 first-fit rule
+    /// (centers are scanned in creation order, so the owner found here is
+    /// the owner from pass 1).
+    pub fn pass3_label(&self, p: &P) -> PointLabel {
+        assert_eq!(self.phase, Phase::Pass3, "pass3_label before finish_pass2");
+        let label_r = self.params.label_radius();
+        // First-fit owner.
+        for c in &self.centers {
+            if self.metric.within(&c.point, p, self.rbar) {
+                if c.core {
+                    return PointLabel::Border(self.summary_clusters[c.summary_pos as usize]);
+                }
+                break;
+            }
+        }
+        // Nearest summary member within (ρ/2+1)ε.
+        let mut best: Option<(f64, u32)> = None;
+        let consider = |point: &P, pos: u32, best: &mut Option<(f64, u32)>| {
+            let bound = best.map_or(label_r, |(d, _)| d);
+            if let Some(d) = self.metric.distance_leq(point, p, bound) {
+                if d == 0.0 {
+                    // The point *is* a summary member: certified core.
+                    *best = Some((-1.0, pos));
+                } else if best.is_none_or(|(bd, _)| d < bd) {
+                    *best = Some((d, pos));
+                }
+            }
+        };
+        for c in &self.centers {
+            if c.core {
+                consider(&c.point, c.summary_pos, &mut best);
+            }
+        }
+        for m in &self.parked {
+            if m.core {
+                consider(&m.point, m.summary_pos, &mut best);
+            }
+        }
+        match best {
+            Some((d, pos)) if d < 0.0 => {
+                PointLabel::Core(self.summary_clusters[pos as usize])
+            }
+            Some((_, pos)) => PointLabel::Border(self.summary_clusters[pos as usize]),
+            None => PointLabel::Noise,
+        }
+    }
+
+    /// Current memory footprint in stored points.
+    pub fn footprint(&self) -> StreamingFootprint {
+        StreamingFootprint {
+            centers: self.centers.len(),
+            parked: self.parked.len(),
+            summary: self
+                .centers
+                .iter()
+                .filter(|c| c.core)
+                .count()
+                + self.parked.iter().filter(|m| m.core).count(),
+        }
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> StreamingStats {
+        self.stats
+    }
+
+    /// Convenience driver: runs all three passes over a replayable stream
+    /// (the factory is invoked three times) and returns the labels in
+    /// stream order plus the engine for inspection.
+    pub fn run<I: Iterator<Item = P>>(
+        metric: &'m M,
+        params: &ApproxParams,
+        make_stream: impl Fn() -> I,
+    ) -> Result<(Clustering, Self), DbscanError> {
+        let mut engine = Self::new(metric, params);
+        for p in make_stream() {
+            engine.pass1_observe(&p);
+        }
+        if engine.stats.n == 0 {
+            return Err(DbscanError::EmptyInput);
+        }
+        engine.finish_pass1();
+        for p in make_stream() {
+            engine.pass2_observe(&p);
+        }
+        engine.finish_pass2();
+        let labels: Vec<PointLabel> = make_stream().map(|p| engine.pass3_label(&p)).collect();
+        Ok((Clustering::from_labels(labels), engine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact_dbscan;
+    use mdbscan_metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_stream(seed: u64, per_blob: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for i in 0..per_blob * 2 {
+            let c = if i % 2 == 0 { 0.0 } else { 30.0 };
+            pts.push(vec![
+                c + rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            ]);
+        }
+        for _ in 0..per_blob / 10 {
+            pts.push(vec![rng.random_range(100.0..200.0), 500.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_blobs_with_small_memory() {
+        let stream = blob_stream(3, 300);
+        let params = ApproxParams::new(1.0, 10, 0.5).unwrap();
+        let (c, engine) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+        assert_eq!(c.num_clusters(), 2);
+        assert!(c.num_noise() >= 20);
+        let fp = engine.footprint();
+        assert!(
+            fp.stored_points() < stream.len() / 3,
+            "memory {} points vs stream {}",
+            fp.stored_points(),
+            stream.len()
+        );
+        assert!(fp.summary <= fp.stored_points());
+        assert_eq!(engine.stats().n, stream.len());
+    }
+
+    /// Sandwich check against the exact solver (the ρ-approximate
+    /// guarantee): exact(ε)-core pairs stay together; streaming pairs
+    /// stay together under exact((1+ρ)ε).
+    #[test]
+    fn sandwich_against_exact() {
+        let stream = blob_stream(5, 120);
+        let eps = 1.0;
+        let rho = 0.5;
+        let params = ApproxParams::new(eps, 8, rho).unwrap();
+        let (mid, _) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+        let lower = exact_dbscan(&stream, &Euclidean, eps, 8).unwrap();
+        let upper = exact_dbscan(&stream, &Euclidean, (1.0 + rho) * eps, 8).unwrap();
+        for i in 0..stream.len() {
+            if lower.labels()[i].is_core() {
+                assert!(
+                    mid.cluster_of(i).is_some(),
+                    "exact core {i} unassigned by streaming"
+                );
+            }
+        }
+        for i in 0..stream.len() {
+            for j in (i + 1)..stream.len() {
+                let both_lower = lower.labels()[i].is_core()
+                    && lower.labels()[j].is_core()
+                    && lower.cluster_of(i) == lower.cluster_of(j);
+                if both_lower {
+                    assert_eq!(
+                        mid.cluster_of(i),
+                        mid.cluster_of(j),
+                        "exact(ε) pair ({i},{j}) split by streaming"
+                    );
+                }
+                let both_mid = mid.labels()[i].is_core()
+                    && mid.labels()[j].is_core()
+                    && mid.cluster_of(i) == mid.cluster_of(j);
+                if both_mid {
+                    assert_eq!(
+                        upper.cluster_of(i),
+                        upper.cluster_of(j),
+                        "streaming pair ({i},{j}) split by exact((1+ρ)ε)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_holds() {
+        // |M| < MinPts * |E| and S* ⊆ E ∪ M.
+        let stream = blob_stream(7, 200);
+        let params = ApproxParams::new(0.8, 6, 1.0).unwrap();
+        let (_, engine) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+        let fp = engine.footprint();
+        assert!(fp.parked < 6 * fp.centers.max(1));
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        let params = ApproxParams::new(1.0, 4, 0.5).unwrap();
+        let empty: Vec<Vec<f64>> = vec![];
+        assert!(matches!(
+            StreamingApproxDbscan::run(&Euclidean, &params, || empty.iter().cloned()),
+            Err(DbscanError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn single_repeated_point_is_one_cluster() {
+        let stream = vec![vec![2.0, 2.0]; 50];
+        let params = ApproxParams::new(1.0, 5, 0.5).unwrap();
+        let (c, engine) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.num_noise(), 0);
+        assert_eq!(engine.footprint().centers, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phase_misuse_panics() {
+        let params = ApproxParams::new(1.0, 4, 0.5).unwrap();
+        let engine: StreamingApproxDbscan<Vec<f64>, _> =
+            StreamingApproxDbscan::new(&Euclidean, &params);
+        let _ = engine.pass3_label(&vec![0.0]);
+    }
+
+    #[test]
+    fn labels_in_stream_order() {
+        let stream = blob_stream(11, 50);
+        let params = ApproxParams::new(1.0, 5, 0.5).unwrap();
+        let (c, engine) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter().cloned()).unwrap();
+        // manual pass-3 replay gives the same labels
+        for (i, p) in stream.iter().enumerate() {
+            assert_eq!(c.labels()[i].cluster(), engine.pass3_label(p).cluster());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based certification of the three solvers on arbitrary inputs.
+
+use mdbscan_core::{approx_dbscan, exact_dbscan, ApproxParams, StreamingApproxDbscan};
+use mdbscan_metric::{Euclidean, Metric};
+use proptest::prelude::*;
+
+fn instances() -> impl Strategy<Value = (Vec<Vec<f64>>, f64, usize)> {
+    (
+        prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 2), 2..80),
+        0.2f64..2.0,
+        1usize..6,
+    )
+}
+
+/// Brute-force core test.
+fn brute_core(pts: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<bool> {
+    (0..pts.len())
+        .map(|i| {
+            pts.iter()
+                .filter(|q| Euclidean.distance(&pts[i], q) <= eps)
+                .count()
+                >= min_pts
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact solver: core set matches brute force; every core is clustered;
+    /// every border has a witness core within ε; noise has no core within ε.
+    #[test]
+    fn exact_labels_are_sound((pts, eps, min_pts) in instances()) {
+        let c = exact_dbscan(&pts, &Euclidean, eps, min_pts).unwrap();
+        let cores = brute_core(&pts, eps, min_pts);
+        for i in 0..pts.len() {
+            prop_assert_eq!(c.labels()[i].is_core(), cores[i], "core mismatch at {}", i);
+            match c.labels()[i] {
+                mdbscan_core::PointLabel::Core(_) => {}
+                mdbscan_core::PointLabel::Border(cl) => {
+                    let ok = (0..pts.len()).any(|j| cores[j]
+                        && c.cluster_of(j) == Some(cl)
+                        && Euclidean.distance(&pts[i], &pts[j]) <= eps);
+                    prop_assert!(ok, "border {} lacks witness", i);
+                }
+                mdbscan_core::PointLabel::Noise => {
+                    let near_core = (0..pts.len()).any(|j| cores[j]
+                        && Euclidean.distance(&pts[i], &pts[j]) <= eps);
+                    prop_assert!(!near_core, "noise {} is actually border", i);
+                }
+            }
+        }
+        // Directly ε-connected cores share a cluster.
+        for i in 0..pts.len() {
+            for j in (i+1)..pts.len() {
+                if cores[i] && cores[j] && Euclidean.distance(&pts[i], &pts[j]) <= eps {
+                    prop_assert_eq!(c.cluster_of(i), c.cluster_of(j));
+                }
+            }
+        }
+    }
+
+    /// Approx solver: sandwich between exact(ε) and exact((1+ρ)ε) on cores.
+    #[test]
+    fn approx_is_sandwiched((pts, eps, min_pts) in instances(), rho in 0.1f64..2.0) {
+        let lower = exact_dbscan(&pts, &Euclidean, eps, min_pts).unwrap();
+        let upper = exact_dbscan(&pts, &Euclidean, (1.0 + rho) * eps, min_pts).unwrap();
+        let mid = approx_dbscan(&pts, &Euclidean, eps, min_pts, rho).unwrap();
+        for i in 0..pts.len() {
+            if lower.labels()[i].is_core() {
+                prop_assert!(mid.cluster_of(i).is_some(), "exact core {} unassigned", i);
+            }
+        }
+        for i in 0..pts.len() {
+            for j in (i+1)..pts.len() {
+                let low_pair = lower.labels()[i].is_core() && lower.labels()[j].is_core()
+                    && lower.cluster_of(i) == lower.cluster_of(j);
+                if low_pair {
+                    prop_assert_eq!(mid.cluster_of(i), mid.cluster_of(j),
+                        "exact pair ({},{}) split by approx", i, j);
+                }
+                let mid_pair = mid.labels()[i].is_core() && mid.labels()[j].is_core()
+                    && mid.cluster_of(i) == mid.cluster_of(j);
+                if mid_pair {
+                    prop_assert_eq!(upper.cluster_of(i), upper.cluster_of(j),
+                        "approx pair ({},{}) split by exact((1+rho)eps)", i, j);
+                }
+            }
+        }
+    }
+
+    /// Streaming solver: same sandwich property, plus the memory bound
+    /// |M| < MinPts·|E|.
+    #[test]
+    fn streaming_is_sandwiched((pts, eps, min_pts) in instances(), rho in 0.1f64..2.0) {
+        let params = ApproxParams::new(eps, min_pts, rho).unwrap();
+        let (mid, engine) =
+            StreamingApproxDbscan::run(&Euclidean, &params, || pts.iter().cloned()).unwrap();
+        let lower = exact_dbscan(&pts, &Euclidean, eps, min_pts).unwrap();
+        let upper = exact_dbscan(&pts, &Euclidean, (1.0 + rho) * eps, min_pts).unwrap();
+        let fp = engine.footprint();
+        prop_assert!(fp.parked <= min_pts * fp.centers.max(1));
+        for i in 0..pts.len() {
+            if lower.labels()[i].is_core() {
+                prop_assert!(mid.cluster_of(i).is_some());
+            }
+        }
+        for i in 0..pts.len() {
+            for j in (i+1)..pts.len() {
+                let low_pair = lower.labels()[i].is_core() && lower.labels()[j].is_core()
+                    && lower.cluster_of(i) == lower.cluster_of(j);
+                if low_pair {
+                    prop_assert_eq!(mid.cluster_of(i), mid.cluster_of(j));
+                }
+                let mid_pair = mid.labels()[i].is_core() && mid.labels()[j].is_core()
+                    && mid.cluster_of(i) == mid.cluster_of(j);
+                if mid_pair {
+                    prop_assert_eq!(upper.cluster_of(i), upper.cluster_of(j));
+                }
+            }
+        }
+    }
+}

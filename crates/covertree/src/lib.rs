@@ -1,0 +1,40 @@
+//! Cover tree: the spatial-index substrate of the metric DBSCAN pipeline.
+//!
+//! A cover tree (Beygelzimer, Kakade, Langford, ICML 2006) stores a point
+//! set `P` from an arbitrary metric space as a hierarchy of nested nets.
+//! Level `i` of the (implicit) tree is a set `T_i ⊆ P` with:
+//!
+//! * **nesting**: `T_i ⊆ T_{i−1}`;
+//! * **covering**: every `q ∈ T_{i−1}` has a parent `p ∈ T_i` with
+//!   `dis(p, q) ≤ 2^i`;
+//! * **separation**: distinct `p, q ∈ T_i` satisfy `dis(p, q) > 2^i`.
+//!
+//! On data of doubling dimension `D`, construction costs
+//! `O(2^{O(D)} · n · log Φ)` distance evaluations and a nearest-neighbor
+//! query `O(2^{O(D)} · log Φ)`, where `Φ` is the aspect ratio (paper
+//! Claim 1). The paper uses cover trees in two places:
+//!
+//! 1. **Step 2 of exact DBSCAN (§3.1)**: a tree per core-point group `C̃_e`
+//!    answers bichromatic-closest-pair queries between neighboring groups —
+//!    here via [`CoverTree::any_within`], which terminates as soon as *any*
+//!    witness pair `≤ ε` is found (Step 2 only needs the predicate, not the
+//!    exact BCP value).
+//! 2. **The §3.2 variant**: when the *whole* input has low doubling
+//!    dimension, the `ε/2`-net that Algorithm 1 would build is read off a
+//!    tree level instead ([`CoverTree::extract_net`]).
+//!
+//! This is the *vanilla* explicit-representation cover tree: one node per
+//! distinct point, implicit self-chains, exact duplicates collapsed into
+//! their representative node (see [`CoverTree::build`]). Simplified /
+//! compressed variants (Izbicki–Shelton 2015, Elkin–Kurlin 2023) could be
+//! dropped in behind the same API, as Remark 2 of the paper notes.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod invariants;
+mod net;
+mod query;
+mod tree;
+
+pub use net::NetExtraction;
+pub use tree::{CoverTree, Neighbor};

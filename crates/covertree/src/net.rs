@@ -1,0 +1,163 @@
+//! Net extraction: reading an `r`-net off a cover-tree level.
+//!
+//! Section 3.2 of the paper: when the *whole* input (outliers included) has
+//! low doubling dimension, the `ε/2`-net that Algorithm 1 would construct
+//! can instead be read off level `i₀` of a cover tree built once over `X`,
+//! giving the `O(n log Φ · t_dis)` bound of Theorem 1.
+//!
+//! One care point: with the standard cover-tree invariants, a point is
+//! within `2^{i+1}` (not `2^i`) of its level-`i` ancestor — the chain
+//! `2^i + 2^{i−1} + …` telescopes to `2^{i+1}`. The paper's prose treats
+//! `T_{i₀}` as an `r̄`-net with `r̄ = 2^{i₀}`; we therefore expose the
+//! *actual* covering radius and the §3.2 pipeline in `mdbscan-core` picks
+//! `i₀ = ⌊log₂(ε/2)⌋ − 1` so that the covering radius `2^{i₀+1} ≤ ε/2`
+//! matches the requirement of the exact pipeline (Remark 5: any
+//! `r̄ ≤ ε/2` works).
+
+use crate::tree::{exp2, CoverTree};
+use mdbscan_metric::Metric;
+
+/// An `r`-net extracted from a cover-tree level: centers, per-point
+/// assignment, and the guaranteed covering radius.
+#[derive(Debug, Clone)]
+pub struct NetExtraction {
+    /// Point indices (into the backing slice) of the net centers — the
+    /// implicit level-`i₀` nodes, i.e. every explicit node with
+    /// `level ≥ i₀`.
+    pub centers: Vec<usize>,
+    /// For every stored point index, the position in `centers` of its
+    /// net center (its lowest ancestor at `level ≥ i₀`).
+    /// Indexed by point index; points not in the tree hold `u32::MAX`.
+    pub assignment: Vec<u32>,
+    /// Upper bound on `dis(point, its center)`: `2^{i₀+1}`.
+    pub cover_radius: f64,
+    /// Lower bound on pairwise center separation: `2^{i₀}`.
+    pub separation: f64,
+}
+
+impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
+    /// Extracts the implicit level-`level` net `T_level`.
+    ///
+    /// Centers are all chains alive at `level` (explicit nodes with
+    /// `node.level ≥ level`); every stored point is assigned to the center
+    /// whose subtree contains it, at distance ≤ `2^{level+1}`.
+    ///
+    /// The `assignment` vector is sized to the backing slice; entries for
+    /// points that were never inserted are `u32::MAX`.
+    pub fn extract_net(&self, level: i32) -> NetExtraction {
+        let mut centers = Vec::new();
+        let mut assignment = vec![u32::MAX; self.points.len()];
+        if let Some(root) = self.root {
+            // DFS carrying the current center: a node starts a new center
+            // when its level is >= the target level; otherwise it belongs
+            // to its parent's center.
+            let mut stack: Vec<(u32, u32)> = Vec::new(); // (node, center pos)
+            let root_center = centers.len() as u32;
+            centers.push(self.nodes[root as usize].point as usize);
+            stack.push((root, root_center));
+            while let Some((id, center)) = stack.pop() {
+                let node = &self.nodes[id as usize];
+                assignment[node.point as usize] = center;
+                for &s in &node.same {
+                    assignment[s as usize] = center;
+                }
+                for &c in &node.children {
+                    let child = &self.nodes[c as usize];
+                    if child.level >= level {
+                        let pos = centers.len() as u32;
+                        centers.push(child.point as usize);
+                        stack.push((c, pos));
+                    } else {
+                        stack.push((c, center));
+                    }
+                }
+            }
+        }
+        NetExtraction {
+            centers,
+            assignment,
+            cover_radius: exp2(level + 1),
+            separation: exp2(level),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn line(n: usize, step: f64) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 * step]).collect()
+    }
+
+    #[test]
+    fn net_covers_and_separates() {
+        let pts = line(100, 1.0);
+        let tree = CoverTree::build(&pts, &Euclidean);
+        for level in [-1, 0, 1, 2, 3, 4] {
+            let net = tree.extract_net(level);
+            assert!(!net.centers.is_empty(), "level {level}");
+            // covering
+            for (i, p) in pts.iter().enumerate() {
+                let c = net.assignment[i];
+                assert_ne!(c, u32::MAX, "point {i} unassigned at level {level}");
+                let center = &pts[net.centers[c as usize]];
+                let d = Euclidean.distance(center, p);
+                assert!(
+                    d <= net.cover_radius + 1e-12,
+                    "level {level}: point {i} at {d} > cover {}",
+                    net.cover_radius
+                );
+            }
+            // separation (the chains alive at `level` form a 2^level packing)
+            for (a, &ci) in net.centers.iter().enumerate() {
+                for &cj in net.centers.iter().skip(a + 1) {
+                    let d = Euclidean.distance(&pts[ci], &pts[cj]);
+                    assert!(
+                        d > net.separation - 1e-12,
+                        "level {level}: centers {ci},{cj} at {d} <= {}",
+                        net.separation
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_level_is_single_center() {
+        let pts = line(32, 1.0);
+        let tree = CoverTree::build(&pts, &Euclidean);
+        let top = tree.root_level().unwrap();
+        let net = tree.extract_net(top + 1);
+        assert_eq!(net.centers.len(), 1);
+        assert!(net.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn fine_level_every_point_is_center() {
+        let pts = line(16, 1.0);
+        let tree = CoverTree::build(&pts, &Euclidean);
+        let net = tree.extract_net(-40);
+        assert_eq!(net.centers.len(), 16);
+    }
+
+    #[test]
+    fn duplicates_share_assignment() {
+        let pts = vec![vec![0.0], vec![0.0], vec![8.0], vec![8.0]];
+        let tree = CoverTree::build(&pts, &Euclidean);
+        let net = tree.extract_net(0);
+        assert_eq!(net.assignment[0], net.assignment[1]);
+        assert_eq!(net.assignment[2], net.assignment[3]);
+        assert_ne!(net.assignment[0], net.assignment[2]);
+    }
+
+    #[test]
+    fn subset_tree_leaves_rest_unassigned() {
+        let pts = line(10, 1.0);
+        let tree = CoverTree::from_indices(&pts, &Euclidean, [0usize, 2, 4]);
+        let net = tree.extract_net(-10);
+        assert_eq!(net.assignment[1], u32::MAX);
+        assert_ne!(net.assignment[0], u32::MAX);
+    }
+}

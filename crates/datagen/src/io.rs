@@ -1,0 +1,138 @@
+//! Minimal CSV import/export for datasets, so the library and the
+//! experiment harness can run on user-supplied data (and so Fig. 5's
+//! cluster dumps can be re-read). No external CSV crate: the format is
+//! plain `f64` columns, optional trailing integer `label` column,
+//! optional `#`-prefixed comments, header auto-detected.
+
+use std::io::{BufRead, Write};
+
+use mdbscan_metric::Dataset;
+
+/// Writes `dataset` as CSV: one row per point, coordinates then (when
+/// present) the ground-truth label as the last column.
+pub fn write_csv<W: Write>(dataset: &Dataset<Vec<f64>>, mut out: W) -> std::io::Result<()> {
+    let d = dataset.points().first().map_or(0, Vec::len);
+    let header: Vec<String> = (0..d)
+        .map(|i| format!("x{i}"))
+        .chain(dataset.labels().map(|_| "label".to_string()))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for (i, p) in dataset.points().iter().enumerate() {
+        let mut row: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
+        if let Some(labels) = dataset.labels() {
+            row.push(labels[i].to_string());
+        }
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV of `f64` columns into a dataset.
+///
+/// * lines starting with `#` and blank lines are skipped;
+/// * a first row that fails to parse as numbers is treated as a header;
+/// * when `labeled` is true the last column is taken as an integer
+///   ground-truth label (`-1` = noise).
+///
+/// Returns an error on ragged rows or unparsable values.
+pub fn read_csv<R: BufRead>(
+    name: impl Into<String>,
+    input: R,
+    labeled: bool,
+) -> std::io::Result<Dataset<Vec<f64>>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<i32> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = fields.iter().map(|f| f.parse::<f64>()).collect();
+        let Ok(mut values) = parsed else {
+            if points.is_empty() && width.is_none() {
+                continue; // header row
+            }
+            return Err(bad(format!("line {}: unparsable value", lineno + 1)));
+        };
+        let label = if labeled {
+            let l = values
+                .pop()
+                .ok_or_else(|| bad(format!("line {}: empty row", lineno + 1)))?;
+            if l.fract() != 0.0 {
+                return Err(bad(format!("line {}: non-integer label {l}", lineno + 1)));
+            }
+            Some(l as i32)
+        } else {
+            None
+        };
+        match width {
+            None => width = Some(values.len()),
+            Some(w) if w != values.len() => {
+                return Err(bad(format!(
+                    "line {}: expected {w} coordinates, got {}",
+                    lineno + 1,
+                    values.len()
+                )));
+            }
+            _ => {}
+        }
+        points.push(values);
+        if let Some(l) = label {
+            labels.push(l);
+        }
+    }
+    Ok(if labeled {
+        Dataset::with_labels(name, points, labels)
+    } else {
+        Dataset::new(name, points)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_labels() {
+        let ds = crate::moons(50, 0.05, 0.1, 3);
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv("moons", buf.as_slice(), true).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.points(), ds.points());
+        assert_eq!(back.labels(), ds.labels());
+    }
+
+    #[test]
+    fn round_trip_without_labels() {
+        let ds = Dataset::new("raw", vec![vec![1.5, -2.0], vec![0.0, 3.25]]);
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv("raw", buf.as_slice(), false).unwrap();
+        assert_eq!(back.points(), ds.points());
+        assert!(back.labels().is_none());
+    }
+
+    #[test]
+    fn comments_blanks_and_headers_are_skipped() {
+        let text = "# a comment\nx0,x1,label\n\n1.0,2.0,0\n3.0,4.0,-1\n";
+        let ds = read_csv("t", text.as_bytes(), true).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.labels().unwrap(), &[0, -1]);
+        assert_eq!(ds.points()[1], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(read_csv("t", "1.0,2.0\n3.0\n".as_bytes(), false).is_err());
+        // (an unparsable *first* row is a header by design; later rows must parse)
+        assert!(read_csv("t", "1.0,2.0\n1.0,oops\n".as_bytes(), false).is_err());
+        assert!(read_csv("t", "1.0,2.5\n".as_bytes(), true).is_err(), "fractional label");
+        let empty = read_csv("t", "# nothing\n".as_bytes(), false).unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Small deterministic sampling helpers (no external distribution crate:
+//! Box–Muller over `rand`'s uniform source keeps the dependency set to the
+//! approved list).
+
+use rand::Rng;
+
+/// One standard normal sample via Box–Muller.
+pub(crate) fn normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// A standard normal vector of dimension `d`.
+pub(crate) fn normal_vec<R: Rng>(rng: &mut R, d: usize) -> Vec<f64> {
+    (0..d).map(|_| normal(rng)).collect()
+}
+
+/// A uniform vector in the axis-aligned box `[lo, hi]^d`.
+pub(crate) fn uniform_vec<R: Rng>(rng: &mut R, d: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..d).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn vectors_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(normal_vec(&mut rng, 7).len(), 7);
+        let u = uniform_vec(&mut rng, 5, -3.0, 3.0);
+        assert_eq!(u.len(), 5);
+        assert!(u.iter().all(|&x| (-3.0..3.0).contains(&x)));
+    }
+}

@@ -1,0 +1,205 @@
+//! Classic 2-D shape benchmarks: arbitrary-shape clusters that
+//! center-based algorithms (k-means, DP-means) butcher and density-based
+//! ones recover — the motivating examples of the paper's Figure 5.
+
+use mdbscan_metric::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::randutil::normal;
+
+/// Two interleaving half-moons with Gaussian noise — the construction of
+/// scikit-learn's `make_moons`, which is the paper's "Moons" dataset.
+/// `noise_frac` of additional uniform outliers (label `-1`) are scattered
+/// over an enclosing box.
+pub fn moons(n: usize, noise_std: f64, noise_frac: f64, seed: u64) -> Dataset<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let half = n / 2;
+    for i in 0..n {
+        let (cx, cy, flip, label) = if i < half {
+            (0.0, 0.0, 1.0, 0)
+        } else {
+            (1.0, 0.5, -1.0, 1)
+        };
+        let t = std::f64::consts::PI * rng.random::<f64>();
+        points.push(vec![
+            cx + flip * t.cos() + noise_std * normal(&mut rng),
+            cy + flip * t.sin() + noise_std * normal(&mut rng),
+        ]);
+        labels.push(label);
+    }
+    let outliers = ((n as f64) * noise_frac) as usize;
+    for _ in 0..outliers {
+        points.push(vec![
+            rng.random_range(-3.0..4.0),
+            rng.random_range(-3.0..3.5),
+        ]);
+        labels.push(-1);
+    }
+    Dataset::with_labels("moons", points, labels)
+}
+
+/// Two concentric circles (inner radius `0.5`, outer `1.0`) with Gaussian
+/// noise — scikit-learn's `make_circles`.
+pub fn circles(n: usize, noise_std: f64, seed: u64) -> Dataset<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let (r, label) = if i % 2 == 0 { (1.0, 0) } else { (0.5, 1) };
+        let t = std::f64::consts::TAU * rng.random::<f64>();
+        points.push(vec![
+            r * t.cos() + noise_std * normal(&mut rng),
+            r * t.sin() + noise_std * normal(&mut rng),
+        ]);
+        labels.push(label);
+    }
+    Dataset::with_labels("circles", points, labels)
+}
+
+/// A banana-shaped cluster next to a round blob (the Fig. 5 example shape),
+/// plus uniform outliers.
+pub fn banana(n: usize, noise_frac: f64, seed: u64) -> Dataset<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let per = n / 2;
+    // banana: arc of 270 degrees, thickened
+    for _ in 0..per {
+        let t = 1.5 * std::f64::consts::PI * rng.random::<f64>();
+        let r = 2.5 + 0.15 * normal(&mut rng);
+        points.push(vec![r * t.cos(), r * t.sin()]);
+        labels.push(0);
+    }
+    // blob in the arc's mouth, > 1 unit of clearance from the arc so the
+    // ρ-relaxed merge radius (up to ~2ε) cannot bridge the gap
+    for _ in 0..(n - per) {
+        points.push(vec![
+            0.6 + 0.2 * normal(&mut rng),
+            -0.6 + 0.2 * normal(&mut rng),
+        ]);
+        labels.push(1);
+    }
+    let outliers = ((n as f64) * noise_frac) as usize;
+    for _ in 0..outliers {
+        points.push(vec![
+            rng.random_range(-6.0..6.0),
+            rng.random_range(-6.0..6.0),
+        ]);
+        labels.push(-1);
+    }
+    Dataset::with_labels("banana", points, labels)
+}
+
+/// A CLUTO-t4-like composition: several parametric strokes (line, sine
+/// wave, two disks) of varying density, immersed in uniform background
+/// noise — the stress shape for arbitrary-geometry density clustering.
+pub fn cluto_like(n: usize, noise_frac: f64, seed: u64) -> Dataset<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::new();
+    let mut labels = Vec::new();
+    let per = n / 4;
+    // diagonal stroke
+    for _ in 0..per {
+        let t = rng.random::<f64>();
+        points.push(vec![
+            10.0 * t + 0.2 * normal(&mut rng),
+            10.0 * t + 0.2 * normal(&mut rng),
+        ]);
+        labels.push(0);
+    }
+    // sine wave
+    for _ in 0..per {
+        let t = rng.random::<f64>();
+        points.push(vec![
+            10.0 * t + 0.2 * normal(&mut rng),
+            8.0 + 2.0 * (t * std::f64::consts::TAU).sin() + 0.2 * normal(&mut rng),
+        ]);
+        labels.push(1);
+    }
+    // two disks
+    for k in 0..2 {
+        let (cx, cy) = if k == 0 { (2.0, -4.0) } else { (8.0, -4.0) };
+        for _ in 0..(n - 2 * per) / 2 {
+            let t = std::f64::consts::TAU * rng.random::<f64>();
+            let r = 1.2 * rng.random::<f64>().sqrt();
+            points.push(vec![cx + r * t.cos(), cy + r * t.sin()]);
+            labels.push(2 + k);
+        }
+    }
+    let outliers = ((n as f64) * noise_frac) as usize;
+    for _ in 0..outliers {
+        points.push(vec![
+            rng.random_range(-2.0..12.0),
+            rng.random_range(-7.0..12.0),
+        ]);
+        labels.push(-1);
+    }
+    Dataset::with_labels("cluto", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::{validate_vectors, Euclidean, Metric};
+
+    #[test]
+    fn moons_shape_and_labels() {
+        let ds = moons(400, 0.05, 0.05, 7);
+        assert_eq!(ds.len(), 400 + 20);
+        validate_vectors(ds.points()).unwrap();
+        let labels = ds.labels().unwrap();
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 200);
+        assert_eq!(labels.iter().filter(|&&l| l == -1).count(), 20);
+        // moons live roughly in [-1.5, 2.5] x [-1.5, 1.5]
+        for (p, &l) in ds.points().iter().zip(labels) {
+            if l >= 0 {
+                assert!(p[0].abs() < 3.0 && p[1].abs() < 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(moons(100, 0.1, 0.1, 3).points(), moons(100, 0.1, 0.1, 3).points());
+        assert_eq!(circles(100, 0.1, 3).points(), circles(100, 0.1, 3).points());
+        assert_eq!(banana(100, 0.1, 3).points(), banana(100, 0.1, 3).points());
+        assert_eq!(cluto_like(100, 0.1, 3).points(), cluto_like(100, 0.1, 3).points());
+        assert_ne!(moons(100, 0.1, 0.1, 3).points(), moons(100, 0.1, 0.1, 4).points());
+    }
+
+    #[test]
+    fn circles_have_two_radii() {
+        let ds = circles(600, 0.01, 1);
+        let labels = ds.labels().unwrap();
+        for (p, &l) in ds.points().iter().zip(labels) {
+            let r = Euclidean.distance(p, &vec![0.0, 0.0]);
+            if l == 0 {
+                assert!((r - 1.0).abs() < 0.15, "outer point at r={r}");
+            } else {
+                assert!((r - 0.5).abs() < 0.15, "inner point at r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluto_has_four_clusters_plus_noise() {
+        let ds = cluto_like(1000, 0.1, 5);
+        let labels = ds.labels().unwrap();
+        let distinct: std::collections::HashSet<i32> = labels.iter().copied().collect();
+        assert!(distinct.contains(&-1));
+        assert_eq!(distinct.iter().filter(|&&l| l >= 0).count(), 4);
+        validate_vectors(ds.points()).unwrap();
+    }
+
+    #[test]
+    fn banana_is_two_clusters() {
+        let ds = banana(500, 0.02, 2);
+        let labels = ds.labels().unwrap();
+        let distinct: std::collections::HashSet<i32> =
+            labels.iter().copied().filter(|&l| l >= 0).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Edit-distance text workloads — the stand-in for the paper's COLA /
+//! AG News / MRPC / MNLI experiments, where clustering runs in the
+//! non-Euclidean metric space of strings under Levenshtein distance.
+
+use mdbscan_metric::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification for [`string_clusters`].
+#[derive(Debug, Clone)]
+pub struct StringSpec {
+    /// Total inlier count.
+    pub n: usize,
+    /// Number of clusters (seed strings).
+    pub clusters: usize,
+    /// Length of each seed string.
+    pub seed_len: usize,
+    /// Maximum number of random edits applied to a member (each member
+    /// gets `1..=max_edits` edits, so clusters have edit-distance radius
+    /// `≤ max_edits`).
+    pub max_edits: usize,
+    /// Alphabet to draw characters from.
+    pub alphabet: &'static [u8],
+    /// Fraction of `n` added as fully random outlier strings, label `-1`.
+    pub outlier_frac: f64,
+}
+
+impl Default for StringSpec {
+    fn default() -> Self {
+        Self {
+            n: 500,
+            clusters: 5,
+            seed_len: 24,
+            max_edits: 3,
+            alphabet: b"abcdefghijklmnopqrstuvwxyz",
+            outlier_frac: 0.02,
+        }
+    }
+}
+
+fn random_string<R: Rng>(rng: &mut R, len: usize, alphabet: &[u8]) -> String {
+    (0..len)
+        .map(|_| alphabet[rng.random_range(0..alphabet.len())] as char)
+        .collect()
+}
+
+fn apply_edit<R: Rng>(rng: &mut R, s: &mut Vec<char>, alphabet: &[u8]) {
+    let c = alphabet[rng.random_range(0..alphabet.len())] as char;
+    match rng.random_range(0..3) {
+        0 if !s.is_empty() => {
+            // substitute
+            let i = rng.random_range(0..s.len());
+            s[i] = c;
+        }
+        1 if !s.is_empty() => {
+            // delete
+            let i = rng.random_range(0..s.len());
+            s.remove(i);
+        }
+        _ => {
+            // insert
+            let i = rng.random_range(0..=s.len());
+            s.insert(i, c);
+        }
+    }
+}
+
+/// Clusters of strings: `clusters` random seed strings; each member is its
+/// cluster's seed with `1..=max_edits` random edits (so intra-cluster edit
+/// distance is `≤ 2·max_edits` by the triangle inequality); outliers are
+/// fresh random strings (with high probability far from every seed).
+pub fn string_clusters(spec: &StringSpec, seed: u64) -> Dataset<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds: Vec<String> = (0..spec.clusters)
+        .map(|_| random_string(&mut rng, spec.seed_len, spec.alphabet))
+        .collect();
+    let mut points = Vec::with_capacity(spec.n);
+    let mut labels = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let k = i % spec.clusters;
+        let mut chars: Vec<char> = seeds[k].chars().collect();
+        let edits = rng.random_range(1..=spec.max_edits.max(1));
+        for _ in 0..edits {
+            apply_edit(&mut rng, &mut chars, spec.alphabet);
+        }
+        points.push(chars.into_iter().collect());
+        labels.push(k as i32);
+    }
+    let outliers = ((spec.n as f64) * spec.outlier_frac) as usize;
+    for _ in 0..outliers {
+        // Outliers use a different length band to stay far in edit
+        // distance.
+        let len = spec.seed_len * 2 + rng.random_range(0..spec.seed_len);
+        points.push(random_string(&mut rng, len, spec.alphabet));
+        labels.push(-1);
+    }
+    Dataset::with_labels("strings", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::{Levenshtein, Metric};
+
+    #[test]
+    fn members_stay_near_their_seed() {
+        let spec = StringSpec {
+            n: 100,
+            clusters: 4,
+            seed_len: 20,
+            max_edits: 3,
+            outlier_frac: 0.1,
+            ..Default::default()
+        };
+        let ds = string_clusters(&spec, 17);
+        assert_eq!(ds.len(), 110);
+        let labels = ds.labels().unwrap();
+        // members of the same cluster are within 2*max_edits of each other
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if labels[i] == labels[j] {
+                    let d = Levenshtein.distance(&ds.points()[i], &ds.points()[j]);
+                    assert!(d <= 6.0, "same-cluster distance {d}");
+                }
+            }
+        }
+        // outliers are far from every inlier (length gap >= seed_len)
+        for i in 100..110 {
+            for j in 0..100 {
+                let d = Levenshtein.distance(&ds.points()[i], &ds.points()[j]);
+                assert!(d > 6.0, "outlier {i} too close ({d})");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = StringSpec::default();
+        assert_eq!(
+            string_clusters(&spec, 1).points(),
+            string_clusters(&spec, 1).points()
+        );
+        assert_ne!(
+            string_clusters(&spec, 1).points(),
+            string_clusters(&spec, 2).points()
+        );
+    }
+
+    #[test]
+    fn edit_helper_changes_string() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s: Vec<char> = "hello".chars().collect();
+        for _ in 0..10 {
+            apply_edit(&mut rng, &mut s, b"xyz");
+        }
+        let out: String = s.iter().collect();
+        assert_ne!(out, "hello");
+    }
+}

@@ -1,0 +1,119 @@
+//! Contingency table between two labelings.
+
+use std::collections::HashMap;
+
+/// A sparse contingency table: joint counts `n_ij` of points labeled `i`
+/// by the first labeling and `j` by the second, with marginals.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// Joint counts, keyed by (row-class index, col-class index).
+    cells: HashMap<(u32, u32), u64>,
+    /// Row marginals `a_i`.
+    rows: Vec<u64>,
+    /// Column marginals `b_j`.
+    cols: Vec<u64>,
+    /// Total number of points `n`.
+    n: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table. Panics if the two labelings differ in length.
+    /// Label values are arbitrary `i32` (noise `-1` is just another
+    /// value).
+    pub fn new(a: &[i32], b: &[i32]) -> Self {
+        assert_eq!(a.len(), b.len(), "labelings must have equal length");
+        let mut row_ids: HashMap<i32, u32> = HashMap::new();
+        let mut col_ids: HashMap<i32, u32> = HashMap::new();
+        let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut rows: Vec<u64> = Vec::new();
+        let mut cols: Vec<u64> = Vec::new();
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let next_r = row_ids.len() as u32;
+            let i = *row_ids.entry(x).or_insert(next_r);
+            if i as usize == rows.len() {
+                rows.push(0);
+            }
+            let next_c = col_ids.len() as u32;
+            let j = *col_ids.entry(y).or_insert(next_c);
+            if j as usize == cols.len() {
+                cols.push(0);
+            }
+            rows[i as usize] += 1;
+            cols[j as usize] += 1;
+            *cells.entry((i, j)).or_insert(0) += 1;
+        }
+        Self {
+            cells,
+            rows,
+            cols,
+            n: a.len() as u64,
+        }
+    }
+
+    /// Total number of points.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Row marginals (first labeling's cluster sizes).
+    pub fn row_marginals(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Column marginals (second labeling's cluster sizes).
+    pub fn col_marginals(&self) -> &[u64] {
+        &self.cols
+    }
+
+    /// Iterates the non-zero joint counts `(i, j, n_ij)`.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.cells.iter().map(|(&(i, j), &c)| (i, j, c))
+    }
+
+    /// Number of distinct classes in the first labeling.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of distinct classes in the second labeling.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_marginals_and_cells() {
+        let a = [0, 0, 1, 2, -1];
+        let b = [5, 5, 5, 7, 7];
+        let t = ContingencyTable::new(&a, &b);
+        assert_eq!(t.n(), 5);
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_cols(), 2);
+        let mut rows = t.row_marginals().to_vec();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 1, 1, 2]);
+        let mut cols = t.col_marginals().to_vec();
+        cols.sort_unstable();
+        assert_eq!(cols, vec![2, 3]);
+        let total: u64 = t.cells().map(|(_, _, c)| c).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn empty_labelings() {
+        let t = ContingencyTable::new(&[], &[]);
+        assert_eq!(t.n(), 0);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.cells().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = ContingencyTable::new(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Information-theoretic clustering metrics: MI, expected MI under the
+//! hypergeometric null model, AMI, and NMI.
+
+use crate::contingency::ContingencyTable;
+
+/// Shannon entropy (nats) of a labeling.
+pub fn entropy(labels: &[i32]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<i32, u64> = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let n = labels.len() as f64;
+    -counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Mutual information (nats) between two labelings:
+/// `I = Σ_ij (n_ij/n) ln(n·n_ij / (a_i·b_j))`.
+pub fn mutual_info(a: &[i32], b: &[i32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    mutual_info_of(&t)
+}
+
+fn mutual_info_of(t: &ContingencyTable) -> f64 {
+    let n = t.n() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let rows = t.row_marginals();
+    let cols = t.col_marginals();
+    let mut s = 0.0;
+    for (i, j, nij) in t.cells() {
+        let nij = nij as f64;
+        s += (nij / n) * ((n * nij) / (rows[i as usize] as f64 * cols[j as usize] as f64)).ln();
+    }
+    s.max(0.0)
+}
+
+/// Exact expected mutual information between random labelings with the
+/// observed marginals, under the permutation (hypergeometric) model of
+/// Vinh et al. 2009:
+///
+/// `EMI = Σ_i Σ_j Σ_{n_ij} (n_ij/n)·ln(n·n_ij/(a_i b_j)) · P_hyp(n_ij)`.
+///
+/// Cost `O(Σ_ij min(a_i, b_j))` with an `O(n)` log-factorial table.
+pub fn expected_mutual_info(a: &[i32], b: &[i32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    expected_mutual_info_of(&t)
+}
+
+fn expected_mutual_info_of(t: &ContingencyTable) -> f64 {
+    let n = t.n();
+    if n == 0 {
+        return 0.0;
+    }
+    // ln k! table, built iteratively (exact enough for n in the millions:
+    // each entry is a sum of ≤ n ln's with ~1 ulp error each).
+    let mut lf = vec![0.0f64; (n + 1) as usize];
+    for k in 2..=n {
+        lf[k as usize] = lf[(k - 1) as usize] + (k as f64).ln();
+    }
+    let nf = n as f64;
+    let mut emi = 0.0;
+    for &ai in t.row_marginals() {
+        for &bj in t.col_marginals() {
+            let lo = (ai + bj).saturating_sub(n).max(1); // max(1, a_i + b_j − n)
+            let hi = ai.min(bj);
+            for nij in lo..=hi {
+                let nij_f = nij as f64;
+                let term = (nij_f / nf) * ((nf * nij_f) / (ai as f64 * bj as f64)).ln();
+                // ln P_hyp(nij)
+                let lp = lf[ai as usize] + lf[bj as usize]
+                    + lf[(n - ai) as usize]
+                    + lf[(n - bj) as usize]
+                    - lf[n as usize]
+                    - lf[nij as usize]
+                    - lf[(ai - nij) as usize]
+                    - lf[(bj - nij) as usize]
+                    - lf[(n + nij - ai - bj) as usize]; // nij ≥ ai+bj−n keeps this non-negative
+                emi += term * lp.exp();
+            }
+        }
+    }
+    emi
+}
+
+/// Adjusted Mutual Information (Vinh et al. 2009), arithmetic-mean
+/// normalization (scikit-learn's default):
+///
+/// `AMI = (I − E[I]) / (½(H(U) + H(V)) − E[I])`.
+///
+/// 1 for identical partitions, ≈ 0 for chance, can be negative.
+///
+/// ```
+/// use mdbscan_eval::adjusted_mutual_info;
+/// assert_eq!(adjusted_mutual_info(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+/// ```
+pub fn adjusted_mutual_info(a: &[i32], b: &[i32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    if t.n() == 0 {
+        return 1.0;
+    }
+    // Both partitions a single cluster: defined as 1.0 (scikit-learn's
+    // special case); everything else goes through the formula.
+    if t.num_rows() <= 1 && t.num_cols() <= 1 {
+        return 1.0;
+    }
+    let mi = mutual_info_of(&t);
+    let emi = expected_mutual_info_of(&t);
+    let hu = entropy(a);
+    let hv = entropy(b);
+    let mean = 0.5 * (hu + hv);
+    let mut denom = mean - emi;
+    // Guard against cancellation exactly like scikit-learn.
+    if denom < 0.0 {
+        denom = denom.min(-f64::EPSILON);
+    } else {
+        denom = denom.max(f64::EPSILON);
+    }
+    (mi - emi) / denom
+}
+
+/// Normalized Mutual Information, arithmetic-mean normalization:
+/// `NMI = I / (½(H(U) + H(V)))`. Not chance-corrected (use AMI for
+/// comparisons across cluster counts); kept because several baselines'
+/// original papers report it.
+pub fn normalized_mutual_info(a: &[i32], b: &[i32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    if t.n() == 0 {
+        return 1.0;
+    }
+    if t.num_rows() <= 1 && t.num_cols() <= 1 {
+        return 1.0;
+    }
+    let hu = entropy(a);
+    let hv = entropy(b);
+    if hu == 0.0 || hv == 0.0 {
+        return 0.0;
+    }
+    let mi = mutual_info_of(&t);
+    if mi <= 0.0 {
+        return 0.0;
+    }
+    mi / (0.5 * (hu + hv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values from an independent reference implementation of the
+    /// same formulas (pure-Python, math.lgamma-free log-factorial table).
+    #[test]
+    #[allow(clippy::approx_constant)] // golden values happen to contain ln 2
+    fn golden_values() {
+        type Case = (&'static [i32], &'static [i32], f64, f64, f64, f64);
+        let cases: &[Case] = &[
+            // (a, b, mi, emi, ami, nmi)
+            (&[0, 0, 1, 1], &[0, 0, 1, 1], 0.693147180560, 0.231049060187, 1.0, 1.0),
+            (&[0, 0, 1, 1], &[0, 1, 0, 1], 0.0, 0.231049060187, -0.5, 0.0),
+            (
+                &[0, 0, 1, 2],
+                &[0, 0, 1, 1],
+                0.693147180560,
+                0.462098120373,
+                0.571428571429,
+                0.8,
+            ),
+            (
+                &[0, 0, 1, 1, 2],
+                &[0, 0, 1, 2, 2],
+                0.777661295762,
+                0.611305972428,
+                0.375,
+                0.737175493807,
+            ),
+            (
+                &[0, 0, 0, 1, 1, 1, 2, 2, 2],
+                &[0, 0, 1, 1, 2, 2, 0, 1, 2],
+                0.308065413582,
+                0.336299230550,
+                -0.037037037037,
+                0.280413223810,
+            ),
+            (
+                &[-1, 0, 0, 1, 1, -1],
+                &[0, 0, 0, 1, 1, 1],
+                0.462098120373,
+                0.277258872224,
+                0.298792458171,
+                0.515803742979,
+            ),
+            (
+                &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2],
+                &[0, 0, 1, 1, 1, 2, 2, 2, 2, 0],
+                0.448077609162,
+                0.287942481257,
+                0.204262433631,
+                0.418017911209,
+            ),
+        ];
+        for (a, b, mi_w, emi_w, ami_w, nmi_w) in cases {
+            assert!(
+                (mutual_info(a, b) - mi_w).abs() < 1e-9,
+                "MI({a:?},{b:?}) = {}, want {mi_w}",
+                mutual_info(a, b)
+            );
+            assert!(
+                (expected_mutual_info(a, b) - emi_w).abs() < 1e-9,
+                "EMI({a:?},{b:?}) = {}, want {emi_w}",
+                expected_mutual_info(a, b)
+            );
+            assert!(
+                (adjusted_mutual_info(a, b) - ami_w).abs() < 1e-9,
+                "AMI({a:?},{b:?}) = {}, want {ami_w}",
+                adjusted_mutual_info(a, b)
+            );
+            assert!(
+                (normalized_mutual_info(a, b) - nmi_w).abs() < 1e-9,
+                "NMI({a:?},{b:?}) = {}, want {nmi_w}",
+                normalized_mutual_info(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_against_singletons_scores_zero() {
+        // one cluster vs all singletons: MI = EMI = 0, so AMI = 0
+        let a = [0, 0, 0, 0, 0, 0];
+        let b = [0, 1, 2, 3, 4, 5];
+        assert_eq!(adjusted_mutual_info(&a, &b), 0.0);
+        assert_eq!(adjusted_mutual_info(&b, &a), 0.0);
+        assert_eq!(normalized_mutual_info(&a, &b), 0.0);
+        // both single-cluster: 1.0 by the special case
+        assert_eq!(adjusted_mutual_info(&a, &[7, 7, 7, 7, 7, 7]), 1.0);
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[1, 1, 1]), 0.0);
+        assert!((entropy(&[0, 1]) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = [0, 0, 1, 1, 2, 2, 2];
+        assert_eq!(adjusted_mutual_info(&a, &a), 1.0);
+        assert!((normalized_mutual_info(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [0, 1, 1, 2, 2, 0];
+        assert!((adjusted_mutual_info(&a, &b) - adjusted_mutual_info(&b, &a)).abs() < 1e-12);
+        assert!((mutual_info(&a, &b) - mutual_info(&b, &a)).abs() < 1e-12);
+    }
+}

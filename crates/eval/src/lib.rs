@@ -1,0 +1,31 @@
+//! External clustering-quality metrics.
+//!
+//! The paper's quality experiments (Fig. 4, Tables 3–4) score clusterings
+//! against ground truth with the **Adjusted Rand Index** (Hubert & Arabie
+//! 1985) and **Adjusted Mutual Information** (Vinh, Epps, Bailey 2009).
+//! Both are chance-corrected: a random labeling scores ≈ 0 regardless of
+//! cluster-count imbalance, and 1 means identical partitions.
+//!
+//! Conventions match the de-facto standard (scikit-learn, which the
+//! original paper's pipeline uses):
+//!
+//! * labels are arbitrary `i32`; **noise (`-1`) is treated as a regular
+//!   label value**, i.e. all noise points form one group — pass the
+//!   assignment vectors produced by `Clustering::assignments` directly;
+//! * AMI uses the *exact* hypergeometric expected mutual information and
+//!   arithmetic-mean normalization;
+//! * degenerate cases follow scikit-learn: two trivial (single-cluster)
+//!   partitions score 1.0, a trivial vs. non-trivial partition scores 0.0
+//!   under NMI, etc.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod contingency;
+mod info;
+mod rand_index;
+mod vmeasure;
+
+pub use contingency::ContingencyTable;
+pub use info::{adjusted_mutual_info, entropy, expected_mutual_info, mutual_info, normalized_mutual_info};
+pub use rand_index::adjusted_rand_index;
+pub use vmeasure::{completeness, fowlkes_mallows, homogeneity, v_measure};

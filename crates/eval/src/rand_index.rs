@@ -1,0 +1,91 @@
+//! Adjusted Rand Index (Hubert & Arabie 1985).
+
+use crate::contingency::ContingencyTable;
+
+#[inline]
+fn choose2(x: u64) -> f64 {
+    (x as f64) * ((x as f64) - 1.0) / 2.0
+}
+
+/// The Adjusted Rand Index between two labelings.
+///
+/// `ARI = (Σ_ij C(n_ij,2) − E) / (½(Σ_i C(a_i,2) + Σ_j C(b_j,2)) − E)`
+/// where `E = Σ_i C(a_i,2) · Σ_j C(b_j,2) / C(n,2)`.
+///
+/// Range `[-1, 1]`; 1 iff the partitions are identical, ≈ 0 for chance.
+/// Two trivial partitions (or any degenerate 0/0) score 1.0, matching
+/// scikit-learn.
+///
+/// ```
+/// use mdbscan_eval::adjusted_rand_index;
+/// assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+/// assert!(adjusted_rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.0);
+/// ```
+pub fn adjusted_rand_index(a: &[i32], b: &[i32]) -> f64 {
+    let t = ContingencyTable::new(a, b);
+    if t.n() < 2 {
+        return 1.0;
+    }
+    let sum_ij: f64 = t.cells().map(|(_, _, c)| choose2(c)).sum();
+    let sum_a: f64 = t.row_marginals().iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = t.col_marginals().iter().map(|&x| choose2(x)).sum();
+    let cn2 = choose2(t.n());
+    let expected = sum_a * sum_b / cn2;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < f64::EPSILON * max_index.max(1.0) {
+        return 1.0;
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    /// Golden values from an independent reference implementation
+    /// (see tools note in EXPERIMENTS.md).
+    #[test]
+    fn golden_values() {
+        let cases: &[(&[i32], &[i32], f64)] = &[
+            (&[0, 0, 1, 1], &[0, 0, 1, 1], 1.0),
+            (&[0, 0, 1, 1], &[1, 1, 0, 0], 1.0),
+            (&[0, 0, 1, 1], &[0, 1, 0, 1], -0.5),
+            (&[0, 0, 1, 2], &[0, 0, 1, 1], 0.571428571429),
+            (&[0, 0, 1, 1, 2], &[0, 0, 1, 2, 2], 0.375),
+            (
+                &[0, 0, 0, 1, 1, 1, 2, 2, 2],
+                &[0, 0, 1, 1, 2, 2, 0, 1, 2],
+                -0.037037037037,
+            ),
+            (&[-1, 0, 0, 1, 1, -1], &[0, 0, 0, 1, 1, 1], 0.242424242424),
+            (&[0, 1, 2, 3, 4, 5], &[0, 0, 0, 0, 0, 0], 0.0),
+            (
+                &[0, 0, 0, 0, 1, 1, 1, 1, 2, 2],
+                &[0, 0, 1, 1, 1, 2, 2, 2, 2, 0],
+                0.169741697417,
+            ),
+        ];
+        for (a, b, want) in cases {
+            let got = adjusted_rand_index(a, b);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "ARI({a:?}, {b:?}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_and_trivia() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [0, 1, 1, 2, 2, 0];
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < TOL);
+        // both trivial
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]), 1.0);
+        // single point
+        assert_eq!(adjusted_rand_index(&[0], &[3]), 1.0);
+        // all-singletons in both
+        assert_eq!(adjusted_rand_index(&[0, 1, 2], &[5, 6, 7]), 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Entropy-based set-matching metrics: homogeneity, completeness,
+//! V-measure (Rosenberg & Hirschberg 2007) and the Fowlkes–Mallows index.
+//! Not used in the paper's headline tables (those are ARI/AMI) but
+//! standard companions when reporting clustering quality, and cheap to
+//! compute from the same contingency table.
+
+use crate::contingency::ContingencyTable;
+
+/// Conditional entropy `H(row | col)` in nats.
+fn conditional_entropy_rows_given_cols(t: &ContingencyTable) -> f64 {
+    let n = t.n() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cols = t.col_marginals();
+    let mut h = 0.0;
+    for (_, j, nij) in t.cells() {
+        let nij = nij as f64;
+        let bj = cols[j as usize] as f64;
+        h -= (nij / n) * (nij / bj).ln();
+    }
+    h
+}
+
+fn entropy_of_marginals(m: &[u64], n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    -m.iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            if p > 0.0 {
+                p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+}
+
+/// Homogeneity: 1 iff every predicted cluster contains members of a
+/// single ground-truth class. `truth` first, `pred` second (asymmetric).
+pub fn homogeneity(truth: &[i32], pred: &[i32]) -> f64 {
+    let t = ContingencyTable::new(truth, pred);
+    let h_truth = entropy_of_marginals(t.row_marginals(), t.n());
+    if h_truth == 0.0 {
+        return 1.0;
+    }
+    1.0 - conditional_entropy_rows_given_cols(&t) / h_truth
+}
+
+/// Completeness: 1 iff every ground-truth class lands in a single
+/// predicted cluster. Dual of [`homogeneity`].
+pub fn completeness(truth: &[i32], pred: &[i32]) -> f64 {
+    homogeneity(pred, truth)
+}
+
+/// V-measure: harmonic mean of homogeneity and completeness (the `beta=1`
+/// form of Rosenberg & Hirschberg). Identical to NMI with arithmetic
+/// normalization; exposed under its own name for report compatibility.
+pub fn v_measure(truth: &[i32], pred: &[i32]) -> f64 {
+    let h = homogeneity(truth, pred);
+    let c = completeness(truth, pred);
+    if h + c == 0.0 {
+        return 0.0;
+    }
+    2.0 * h * c / (h + c)
+}
+
+/// Fowlkes–Mallows index: geometric mean of pairwise precision and
+/// recall, `TP / √((TP+FP)(TP+FN))` over point pairs. 1 for identical
+/// partitions; → 0 for unrelated ones as n grows.
+pub fn fowlkes_mallows(truth: &[i32], pred: &[i32]) -> f64 {
+    let t = ContingencyTable::new(truth, pred);
+    if t.n() < 2 {
+        return 1.0;
+    }
+    let c2 = |x: u64| x as f64 * (x as f64 - 1.0) / 2.0;
+    let tp: f64 = t.cells().map(|(_, _, c)| c2(c)).sum();
+    let pa: f64 = t.row_marginals().iter().map(|&x| c2(x)).sum();
+    let pb: f64 = t.col_marginals().iter().map(|&x| c2(x)).sum();
+    if pa == 0.0 || pb == 0.0 {
+        return if pa == pb { 1.0 } else { 0.0 };
+    }
+    tp / (pa * pb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_degenerate_cases() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((homogeneity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((completeness(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((v_measure(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((fowlkes_mallows(&a, &a) - 1.0).abs() < 1e-12);
+        // relabeled
+        let b = [5, 5, 3, 3, 9, 9];
+        assert!((v_measure(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversplitting_is_homogeneous_not_complete() {
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let split = [0, 0, 1, 1, 2, 2, 3, 3];
+        assert!((homogeneity(&truth, &split) - 1.0).abs() < 1e-12);
+        assert!(completeness(&truth, &split) < 0.8);
+        let v = v_measure(&truth, &split);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn merging_is_complete_not_homogeneous() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let merged = [0, 0, 0, 0, 1, 1];
+        assert!((completeness(&truth, &merged) - 1.0).abs() < 1e-12);
+        assert!(homogeneity(&truth, &merged) < 0.8);
+    }
+
+    /// sklearn golden values:
+    /// homogeneity_score([0,0,1,1],[1,1,0,0]) = 1.0;
+    /// v_measure_score([0,0,1,2],[0,0,1,1]) = 0.8 (== NMI arithmetic);
+    /// fowlkes_mallows_score([0,0,1,1],[0,0,1,1]) = 1.0;
+    /// fowlkes_mallows_score([0,0,1,1],[1,1,0,0]) = 1.0;
+    /// fowlkes_mallows_score([0,0,0,0],[0,1,2,3]) = 0.0 (pb == 0).
+    #[test]
+    fn golden_values() {
+        assert!((homogeneity(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
+        assert!((v_measure(&[0, 0, 1, 2], &[0, 0, 1, 1]) - 0.8).abs() < 1e-9);
+        assert!((fowlkes_mallows(&[0, 0, 1, 1], &[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
+        assert_eq!(fowlkes_mallows(&[0, 0, 0, 0], &[0, 1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn v_measure_equals_arithmetic_nmi() {
+        let a = [0, 0, 1, 1, 2, 2, 0, 1];
+        let b = [1, 1, 0, 2, 2, 2, 1, 0];
+        let v = v_measure(&a, &b);
+        let nmi = crate::normalized_mutual_info(&a, &b);
+        assert!((v - nmi).abs() < 1e-9, "v={v} nmi={nmi}");
+    }
+}

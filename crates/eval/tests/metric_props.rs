@@ -1,0 +1,73 @@
+//! Property tests for the quality metrics.
+
+use mdbscan_eval::{
+    adjusted_mutual_info, adjusted_rand_index, entropy, mutual_info, normalized_mutual_info,
+};
+use proptest::prelude::*;
+
+fn labelings() -> impl Strategy<Value = (Vec<i32>, Vec<i32>)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-1i32..5, n),
+            prop::collection::vec(-1i32..5, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ari_bounds_and_symmetry((a, b) in labelings()) {
+        let v = adjusted_rand_index(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "ARI out of range: {v}");
+        prop_assert!((v - adjusted_rand_index(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ari_one_on_identical(a in prop::collection::vec(-1i32..5, 2..60)) {
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ami_bounds_symmetry_identity((a, b) in labelings()) {
+        let v = adjusted_mutual_info(&a, &b);
+        prop_assert!(v <= 1.0 + 1e-9, "AMI > 1: {v}");
+        prop_assert!((v - adjusted_mutual_info(&b, &a)).abs() < 1e-7);
+        // Identity scores 1 except for the all-singletons degeneracy,
+        // where EMI = MI = H and AMI is 0 by convention (as in sklearn).
+        let all_distinct = {
+            let mut s = a.clone();
+            s.sort_unstable();
+            s.windows(2).all(|w| w[0] != w[1])
+        };
+        // (The degenerate value itself is 0/ε — numerically unstable in
+        // every implementation including sklearn — so don't pin it.)
+        if !all_distinct {
+            let self_v = adjusted_mutual_info(&a, &a);
+            prop_assert!((self_v - 1.0).abs() < 1e-9, "identity: {self_v}");
+        }
+    }
+
+    #[test]
+    fn permutation_invariance((a, b) in labelings()) {
+        // relabel b's classes by an injective map
+        let b2: Vec<i32> = b.iter().map(|&x| x * 7 + 100).collect();
+        prop_assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&a, &b2)).abs() < 1e-9);
+        prop_assert!((adjusted_mutual_info(&a, &b) - adjusted_mutual_info(&a, &b2)).abs() < 1e-9);
+        prop_assert!((normalized_mutual_info(&a, &b) - normalized_mutual_info(&a, &b2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_nonnegative_and_bounded_by_entropies((a, b) in labelings()) {
+        let mi = mutual_info(&a, &b);
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= entropy(&a).min(entropy(&b)) + 1e-9);
+    }
+
+    #[test]
+    fn nmi_in_unit_interval((a, b) in labelings()) {
+        let v = normalized_mutual_info(&a, &b);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+    }
+}

@@ -1,0 +1,126 @@
+//! Center-to-center neighbor adjacency (the `A` sets of the paper).
+
+use mdbscan_metric::Metric;
+
+/// Symmetric adjacency over a center set: `neighbors[e]` lists every center
+/// index `e'` (position, not point id) with `dis(e, e') ≤ threshold`,
+/// *including* `e` itself.
+///
+/// For a point `p` with closest center `c_p`, the paper's neighbor ball
+/// center set `A_p = {e ∈ E : dis(e, c_p) ≤ threshold}` is exactly
+/// `neighbors[c_p]` — Lemma 2 then guarantees
+/// `B(p, ε) ∩ X ⊆ ∪_{e ∈ A_p} C_e` when `threshold ≥ 2r̄ + ε`.
+#[derive(Debug, Clone)]
+pub struct CenterAdjacency {
+    /// Per center (by position), the neighboring center positions.
+    pub neighbors: Vec<Vec<u32>>,
+    /// The distance threshold the adjacency was computed at.
+    pub threshold: f64,
+}
+
+impl CenterAdjacency {
+    /// Builds the adjacency by pairwise early-abandoned distance tests.
+    ///
+    /// `centers` holds point indices into `points`. `O(|E|²/2)` calls to
+    /// [`Metric::distance_leq`].
+    pub fn build<P, M: Metric<P>>(
+        points: &[P],
+        metric: &M,
+        centers: &[usize],
+        threshold: f64,
+    ) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "adjacency threshold must be non-negative, got {threshold}"
+        );
+        let k = centers.len();
+        let mut neighbors: Vec<Vec<u32>> = (0..k).map(|e| vec![e as u32]).collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if metric
+                    .distance_leq(&points[centers[i]], &points[centers[j]], threshold)
+                    .is_some()
+                {
+                    neighbors[i].push(j as u32);
+                    neighbors[j].push(i as u32);
+                }
+            }
+        }
+        Self {
+            neighbors,
+            threshold,
+        }
+    }
+
+    /// Number of centers.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when there are no centers.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Mean neighbor-list size — the empirical `|A_p|`, reported by the
+    /// experiment harness against the paper's `O((ε/r̄)^D) + z` bound
+    /// (Lemma 3).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.neighbors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    #[test]
+    fn adjacency_is_symmetric_and_reflexive() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 2.0]).collect();
+        let centers: Vec<usize> = (0..10).collect();
+        let adj = CenterAdjacency::build(&pts, &Euclidean, &centers, 4.0);
+        assert_eq!(adj.len(), 10);
+        for (e, ns) in adj.neighbors.iter().enumerate() {
+            assert!(ns.contains(&(e as u32)), "self-neighbor missing");
+            for &o in ns {
+                assert!(
+                    adj.neighbors[o as usize].contains(&(e as u32)),
+                    "asymmetric edge {e} -> {o}"
+                );
+            }
+        }
+        // center 0 at x=0: neighbors within 4.0 are x=0,2,4 -> 3 entries
+        assert_eq!(adj.neighbors[0].len(), 3);
+        // middle center sees two on each side plus itself
+        assert_eq!(adj.neighbors[5].len(), 5);
+        assert!(adj.mean_degree() > 1.0);
+    }
+
+    #[test]
+    fn zero_threshold_only_self() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let adj = CenterAdjacency::build(&pts, &Euclidean, &[0, 1], 0.0);
+        assert_eq!(adj.neighbors[0], vec![0]);
+        assert_eq!(adj.neighbors[1], vec![1]);
+    }
+
+    #[test]
+    fn empty_centers() {
+        let pts = vec![vec![0.0]];
+        let adj = CenterAdjacency::build(&pts, &Euclidean, &[], 1.0);
+        assert!(adj.is_empty());
+        assert_eq!(adj.mean_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_threshold_panics() {
+        let pts = vec![vec![0.0]];
+        let _ = CenterAdjacency::build(&pts, &Euclidean, &[0], -1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Vanilla Gonzalez greedy `k`-center.
+
+use mdbscan_metric::Metric;
+
+/// Output of [`gonzalez`].
+#[derive(Debug, Clone)]
+pub struct KCenterResult {
+    /// Point indices of the selected centers, in selection order.
+    pub centers: Vec<usize>,
+    /// For each point, the position (in `centers`) of its closest center.
+    pub assignment: Vec<u32>,
+    /// For each point, the distance to its closest center.
+    pub dist_to_center: Vec<f64>,
+    /// The clustering radius: `max_p dis(p, centers)`, which is at most
+    /// twice the optimal `k`-center radius.
+    pub radius: f64,
+}
+
+/// Gonzalez's farthest-point greedy for `k`-center clustering
+/// (2-approximation; Gonzalez 1985). Deterministic given `first`, the index
+/// of the seed center.
+///
+/// Runs `k` iterations of `O(n)` distance evaluations each. Panics if
+/// `points` is empty, `k == 0`, or `first` is out of range.
+pub fn gonzalez<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    first: usize,
+) -> KCenterResult {
+    assert!(!points.is_empty(), "k-center of an empty set");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(first < points.len(), "seed index out of range");
+    let n = points.len();
+    let mut centers = vec![first];
+    let mut assignment = vec![0u32; n];
+    let mut dist: Vec<f64> = points
+        .iter()
+        .map(|p| metric.distance(&points[first], p))
+        .collect();
+    while centers.len() < k.min(n) {
+        let (far, &far_d) = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        if far_d == 0.0 {
+            break; // every remaining point is a duplicate of a center
+        }
+        let c = centers.len() as u32;
+        centers.push(far);
+        for (i, p) in points.iter().enumerate() {
+            // Early abandon: a point closer to its center than `d` stays.
+            if let Some(d) = metric.distance_leq(&points[far], p, dist[i]) {
+                if d < dist[i] || i == far {
+                    dist[i] = d;
+                    assignment[i] = c;
+                }
+            }
+        }
+        dist[far] = 0.0;
+        assignment[far] = c;
+    }
+    let radius = dist.iter().copied().fold(0.0, f64::max);
+    KCenterResult {
+        centers,
+        assignment,
+        dist_to_center: dist,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(vec![i as f64 * 0.1, 0.0]);
+            v.push(vec![100.0 + i as f64 * 0.1, 0.0]);
+        }
+        v
+    }
+
+    #[test]
+    fn k2_separates_blobs() {
+        let pts = two_blobs();
+        let res = gonzalez(&pts, &Euclidean, 2, 0);
+        assert_eq!(res.centers.len(), 2);
+        assert!(res.radius < 2.0, "radius {} should be small", res.radius);
+        // centers in different blobs
+        let c0 = pts[res.centers[0]][0];
+        let c1 = pts[res.centers[1]][0];
+        assert!((c0 < 50.0) != (c1 < 50.0));
+        // assignment is the closest center
+        for (i, p) in pts.iter().enumerate() {
+            let a = res.assignment[i] as usize;
+            let da = Euclidean.distance(&pts[res.centers[a]], p);
+            for &c in &res.centers {
+                assert!(da <= Euclidean.distance(&pts[c], p) + 1e-12);
+            }
+            assert!((res.dist_to_center[i] - da).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_distinct_points_stops_early() {
+        let pts = vec![vec![0.0], vec![0.0], vec![1.0]];
+        let res = gonzalez(&pts, &Euclidean, 10, 0);
+        assert_eq!(res.centers.len(), 2);
+        assert_eq!(res.radius, 0.0);
+    }
+
+    #[test]
+    fn radius_is_two_approx_on_line() {
+        // 9 points on a line, k=3: optimal radius 1 (centers at 1,4,7).
+        let pts: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        let res = gonzalez(&pts, &Euclidean, 3, 0);
+        assert!(res.radius <= 2.0 + 1e-12, "2-approx bound, got {}", res.radius);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_panics() {
+        let pts: Vec<Vec<f64>> = vec![];
+        let _ = gonzalez(&pts, &Euclidean, 1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let pts = vec![vec![0.0]];
+        let _ = gonzalez(&pts, &Euclidean, 0, 0);
+    }
+}

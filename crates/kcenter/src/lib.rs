@@ -1,0 +1,34 @@
+//! k-center clustering toolkit for the metric DBSCAN pipeline.
+//!
+//! Three algorithms live here:
+//!
+//! * [`gonzalez`] — the classical 2-approximate greedy for `k`-center
+//!   (Gonzalez 1985): repeatedly add the point farthest from the current
+//!   center set.
+//! * [`RadiusGuidedNet`] — **Algorithm 1 of the paper**: the same greedy,
+//!   but driven by a *radius bound* `r̄` instead of `k`. It terminates as
+//!   soon as every point lies within `r̄` of a center, producing an `r̄`-net
+//!   `E` of the data together with the *cover sets* `C_e` (the Voronoi
+//!   cells of the net) and per-point closest-center assignments `c_p`. On
+//!   inliers of doubling dimension `D` plus `z` arbitrary outliers, the
+//!   greedy stops after `O((Δ/r̄)^D) + z` iterations (Lemma 1); each
+//!   iteration is a linear scan, parallelizable across points.
+//! * [`kcenter_with_outliers`] — the randomized greedy of Ding–Yu–Wang
+//!   (ESA 2019) that the DYW_DBSCAN baseline (Ding et al., IJCAI 2021)
+//!   builds on: each round samples the next center uniformly from the
+//!   `(1+η)·z̃` farthest points, which tolerates up to `z̃` adversarial
+//!   outliers with constant success probability per round. The paper
+//!   (§3.3) contrasts its own deterministic, parameter-light Algorithm 1
+//!   against exactly this routine.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod adjacency;
+mod gonzalez;
+mod outliers;
+mod radius_guided;
+
+pub use adjacency::CenterAdjacency;
+pub use gonzalez::{gonzalez, KCenterResult};
+pub use outliers::{kcenter_with_outliers, OutlierKCenter};
+pub use radius_guided::{BuildOptions, RadiusGuidedNet};

@@ -1,0 +1,170 @@
+//! Randomized k-center with outliers (Ding–Yu–Wang, ESA 2019).
+//!
+//! This is the pre-processing routine that the DYW_DBSCAN baseline
+//! (Ding, Yang, Wang, IJCAI 2021) relies on. Each round the next center is
+//! sampled **uniformly from the `(1+η)·z̃` farthest points**; with
+//! probability `η/(1+η)` the sample is an inlier, in which case the round
+//! makes the same progress as the deterministic Gonzalez step. The paper
+//! under reproduction (§3.3) criticizes exactly the knobs visible in this
+//! signature: the outlier estimate `z̃` and the manual termination budget,
+//! plus the per-round failure probability — all of which its own
+//! Algorithm 1 removes.
+
+use mdbscan_metric::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of [`kcenter_with_outliers`].
+#[derive(Debug, Clone)]
+pub struct OutlierKCenter {
+    /// Point indices of the selected centers, in selection order.
+    pub centers: Vec<usize>,
+    /// For each point, the position in `centers` of its closest center.
+    pub assignment: Vec<u32>,
+    /// For each point, the distance to its closest center.
+    pub dist_to_center: Vec<f64>,
+    /// Number of points left farther than `rbar` from every center when
+    /// the run stopped (ideally ≤ z̃).
+    pub uncovered: usize,
+    /// Whether the run stopped because coverage was reached (as opposed to
+    /// exhausting `max_centers`).
+    pub converged: bool,
+}
+
+/// Greedy k-center with outliers: sample each new center uniformly among
+/// the `(1+eta)·z_estimate` farthest points; stop when at most `z_estimate`
+/// points remain farther than `rbar` from the centers, or after
+/// `max_centers` rounds.
+///
+/// Deterministic given `seed`. Panics on empty input or non-positive
+/// `rbar`/`eta`.
+pub fn kcenter_with_outliers<P, M: Metric<P>>(
+    points: &[P],
+    metric: &M,
+    rbar: f64,
+    z_estimate: usize,
+    eta: f64,
+    max_centers: usize,
+    seed: u64,
+) -> OutlierKCenter {
+    assert!(!points.is_empty(), "k-center with outliers on empty set");
+    assert!(rbar.is_finite() && rbar > 0.0, "rbar must be positive");
+    assert!(eta > 0.0, "eta must be positive");
+    let n = points.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let first = rng.random_range(0..n);
+    let mut centers = vec![first];
+    let mut assignment = vec![0u32; n];
+    let mut dist: Vec<f64> = points
+        .iter()
+        .map(|p| metric.distance(&points[first], p))
+        .collect();
+    dist[first] = 0.0;
+
+    let sample_pool = (((1.0 + eta) * z_estimate as f64).ceil() as usize).clamp(1, n);
+
+    loop {
+        // Points still uncovered at radius rbar.
+        let uncovered = dist.iter().filter(|&&d| d > rbar).count();
+        if uncovered <= z_estimate || centers.len() >= max_centers.max(1) {
+            return OutlierKCenter {
+                centers,
+                assignment,
+                dist_to_center: dist,
+                uncovered,
+                converged: uncovered <= z_estimate,
+            };
+        }
+        // Rank points by distance and sample among the farthest pool.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| dist[b].total_cmp(&dist[a]));
+        let pick = order[rng.random_range(0..sample_pool)];
+        if dist[pick] == 0.0 {
+            // Degenerate: pool collapsed onto existing centers.
+            return OutlierKCenter {
+                centers,
+                assignment,
+                dist_to_center: dist,
+                uncovered,
+                converged: false,
+            };
+        }
+        let c = centers.len() as u32;
+        centers.push(pick);
+        for (i, p) in points.iter().enumerate() {
+            if let Some(nd) = metric.distance_leq(&points[pick], p, dist[i]) {
+                if nd < dist[i] {
+                    dist[i] = nd;
+                    assignment[i] = c;
+                }
+            }
+        }
+        dist[pick] = 0.0;
+        assignment[pick] = c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    /// Two tight blobs plus scattered outliers.
+    fn blobs_with_outliers() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(vec![(i % 10) as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + (i % 10) as f64 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            pts.push(vec![1e4 + i as f64 * 1e3, 5e3]);
+        }
+        pts
+    }
+
+    #[test]
+    fn covers_inliers_with_few_centers() {
+        let pts = blobs_with_outliers();
+        let res = kcenter_with_outliers(&pts, &Euclidean, 1.0, 5, 1.0, 50, 7);
+        assert!(res.converged, "should cover all but 5 outliers");
+        assert!(res.uncovered <= 5);
+        // Inliers (first 100 points) are covered...
+        let covered_inliers = (0..100).filter(|&i| res.dist_to_center[i] <= 1.0).count();
+        assert_eq!(covered_inliers, 100);
+    }
+
+    #[test]
+    fn underestimating_z_burns_centers() {
+        let pts = blobs_with_outliers();
+        // z̃ = 0 forces it to chase every outlier (the failure mode §3.3
+        // warns about): needs ~2 + 5 centers instead of 2.
+        let res = kcenter_with_outliers(&pts, &Euclidean, 1.0, 0, 1.0, 50, 7);
+        assert!(res.centers.len() >= 7);
+    }
+
+    #[test]
+    fn center_budget_respected() {
+        let pts = blobs_with_outliers();
+        let res = kcenter_with_outliers(&pts, &Euclidean, 0.001, 0, 1.0, 3, 7);
+        assert!(res.centers.len() <= 3);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = blobs_with_outliers();
+        let a = kcenter_with_outliers(&pts, &Euclidean, 1.0, 5, 1.0, 50, 42);
+        let b = kcenter_with_outliers(&pts, &Euclidean, 1.0, 5, 1.0, 50, 42);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn duplicate_only_input_converges() {
+        let pts = vec![vec![3.0]; 9];
+        let res = kcenter_with_outliers(&pts, &Euclidean, 0.5, 0, 1.0, 10, 1);
+        assert_eq!(res.centers.len(), 1);
+        assert_eq!(res.uncovered, 0);
+        assert!(res.converged);
+    }
+}

@@ -1,0 +1,390 @@
+//! Algorithm 1: radius-guided Gonzalez.
+
+use crate::adjacency::CenterAdjacency;
+use mdbscan_metric::Metric;
+
+/// Knobs for [`RadiusGuidedNet::build_with`].
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Index of the arbitrary first center `p₀` (paper line 1). Default 0.
+    pub first: usize,
+    /// Worker threads for the per-iteration distance sweep. The sweep over
+    /// `n` points against the freshly added center is embarrassingly
+    /// parallel; 1 (default) keeps runs deterministic *and* is what the
+    /// complexity accounting in the experiment harness assumes.
+    pub threads: usize,
+    /// Hard cap on `|E|`; `usize::MAX` by default. A safety valve for
+    /// adversarial inputs where `r̄` was chosen far below the data's
+    /// resolution (Lemma 1 bounds `|E|` by `O((Δ/r̄)^D) + z`, but `D` of
+    /// the *whole* input is unbounded).
+    pub max_centers: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            first: 0,
+            threads: 1,
+            max_centers: usize::MAX,
+        }
+    }
+}
+
+/// The output of the radius-guided Gonzalez greedy (paper Algorithm 1): an
+/// `r̄`-net `E` of the input with its Voronoi decomposition.
+///
+/// Properties (proved in §2 of the paper, certified by the tests below):
+///
+/// * **covering**: every point is within `r̄` of its center
+///   (`dist_to_center[p] ≤ r̄`), except when `max_centers` truncated the run
+///   (then [`RadiusGuidedNet::covered`] is false);
+/// * **packing**: distinct centers are more than `r̄` apart;
+/// * the cover sets `C_e` partition the input.
+///
+/// The net depends only on `(X, dis, r̄)` — *not* on `(ε, MinPts)` — which
+/// is what makes parameter tuning cheap (Remark 5/6): build once with
+/// `r̄ ≤ ε₀/2`, then reuse for every `(ε, MinPts)` with `ε ≥ ε₀`.
+#[derive(Debug, Clone)]
+pub struct RadiusGuidedNet {
+    /// The radius bound `r̄` the net was built with.
+    pub rbar: f64,
+    /// Point indices of the centers `E`, in insertion order.
+    pub centers: Vec<usize>,
+    /// For each point, the position in `centers` of its closest center
+    /// `c_p` (ties broken toward the earlier center).
+    pub assignment: Vec<u32>,
+    /// For each point, `dis(p, c_p)`.
+    pub dist_to_center: Vec<f64>,
+    /// Cover sets `C_e`: for each center, the points assigned to it
+    /// (every point appears in exactly one cover set).
+    pub cover_sets: Vec<Vec<u32>>,
+    /// Whether the greedy reached `d_max ≤ r̄` (false only when truncated
+    /// by `max_centers`).
+    pub covered: bool,
+}
+
+impl RadiusGuidedNet {
+    /// Runs Algorithm 1 with default options (first center = point 0,
+    /// sequential sweep).
+    ///
+    /// Panics if `points` is empty or `rbar` is not positive and finite.
+    pub fn build<P: Sync, M: Metric<P> + Sync>(points: &[P], metric: &M, rbar: f64) -> Self {
+        Self::build_with(points, metric, rbar, &BuildOptions::default())
+    }
+
+    /// Runs Algorithm 1 with explicit options.
+    pub fn build_with<P: Sync, M: Metric<P> + Sync>(
+        points: &[P],
+        metric: &M,
+        rbar: f64,
+        opts: &BuildOptions,
+    ) -> Self {
+        assert!(!points.is_empty(), "Algorithm 1 on an empty set");
+        assert!(
+            rbar.is_finite() && rbar > 0.0,
+            "radius bound must be positive and finite, got {rbar}"
+        );
+        assert!(opts.first < points.len(), "first-center index out of range");
+        let n = points.len();
+        let mut centers: Vec<usize> = vec![opts.first];
+        let mut assignment = vec![0u32; n];
+        let mut dist: Vec<f64> = vec![0.0; n];
+        sweep(
+            points,
+            metric,
+            opts.first,
+            0,
+            &mut dist,
+            &mut assignment,
+            true,
+            opts.threads,
+        );
+
+        loop {
+            let (far, far_d) = argmax(&dist);
+            if far_d <= rbar || centers.len() >= opts.max_centers.max(1) {
+                let covered = far_d <= rbar;
+                return finish(centers, assignment, dist, rbar, covered);
+            }
+            let c = centers.len() as u32;
+            centers.push(far);
+            sweep(
+                points,
+                metric,
+                far,
+                c,
+                &mut dist,
+                &mut assignment,
+                false,
+                opts.threads,
+            );
+        }
+    }
+
+    /// Number of points the net was built over.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True when built over zero points (cannot happen via `build`, but
+    /// keeps the API total).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Computes the neighbor-ball adjacency at `threshold`: for every
+    /// center `e`, the centers `e'` with `dis(e, e') ≤ threshold`
+    /// (including `e` itself).
+    ///
+    /// With `threshold = 2r̄ + ε` this is exactly the paper's `A_p` for
+    /// every `p ∈ C_e` (definition (1)); the ρ-approximate algorithm uses
+    /// `4r̄ + ε` (definition (13)). Cost: `|E|²/2` early-abandoned distance
+    /// evaluations — independent of `n`, so re-running it per `(ε, MinPts)`
+    /// choice is the cheap part of parameter tuning.
+    pub fn neighbor_adjacency<P, M: Metric<P>>(
+        &self,
+        points: &[P],
+        metric: &M,
+        threshold: f64,
+    ) -> CenterAdjacency {
+        CenterAdjacency::build(points, metric, &self.centers, threshold)
+    }
+}
+
+fn argmax(dist: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::NEG_INFINITY;
+    for (i, &d) in dist.iter().enumerate() {
+        if d > best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    (best, best_d)
+}
+
+/// Updates `dist`/`assignment` against the newly added center (paper
+/// line 6). `init` seeds the arrays instead of taking minima.
+#[allow(clippy::too_many_arguments)]
+fn sweep<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    center: usize,
+    center_pos: u32,
+    dist: &mut [f64],
+    assignment: &mut [u32],
+    init: bool,
+    threads: usize,
+) {
+    let cpoint = &points[center];
+    let work = |points_chunk: &[P], dist_chunk: &mut [f64], assign_chunk: &mut [u32]| {
+        for ((p, d), a) in points_chunk
+            .iter()
+            .zip(dist_chunk.iter_mut())
+            .zip(assign_chunk.iter_mut())
+        {
+            if init {
+                *d = metric.distance(cpoint, p);
+                *a = center_pos;
+            } else if let Some(nd) = metric.distance_leq(cpoint, p, *d) {
+                // `<` keeps ties on the earlier center, matching the
+                // paper's "arbitrarily pick one" determinism contract.
+                if nd < *d {
+                    *d = nd;
+                    *a = center_pos;
+                }
+            }
+        }
+    };
+    if threads <= 1 || points.len() < 4096 {
+        work(points, dist, assignment);
+    } else {
+        let chunk = points.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for ((pc, dc), ac) in points
+                .chunks(chunk)
+                .zip(dist.chunks_mut(chunk))
+                .zip(assignment.chunks_mut(chunk))
+            {
+                s.spawn(move |_| work(pc, dc, ac));
+            }
+        })
+        .expect("sweep worker panicked");
+    }
+    dist[center] = 0.0;
+    assignment[center] = center_pos;
+}
+
+fn finish(
+    centers: Vec<usize>,
+    assignment: Vec<u32>,
+    dist: Vec<f64>,
+    rbar: f64,
+    covered: bool,
+) -> RadiusGuidedNet {
+    let mut cover_sets: Vec<Vec<u32>> = vec![Vec::new(); centers.len()];
+    for (i, &a) in assignment.iter().enumerate() {
+        cover_sets[a as usize].push(i as u32);
+    }
+    RadiusGuidedNet {
+        rbar,
+        centers,
+        assignment,
+        dist_to_center: dist,
+        cover_sets,
+        covered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::{CountingMetric, Euclidean};
+
+    fn line(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64]).collect()
+    }
+
+    fn check_net_properties(pts: &[Vec<f64>], net: &RadiusGuidedNet) {
+        // covering
+        for (i, p) in pts.iter().enumerate() {
+            let c = net.centers[net.assignment[i] as usize];
+            let d = Euclidean.distance(&pts[c], p);
+            assert!((d - net.dist_to_center[i]).abs() < 1e-12);
+            if net.covered {
+                assert!(d <= net.rbar + 1e-12, "point {i} at {d} > rbar {}", net.rbar);
+            }
+            // closest center
+            for &e in &net.centers {
+                assert!(d <= Euclidean.distance(&pts[e], p) + 1e-12);
+            }
+        }
+        // packing
+        for (a, &ci) in net.centers.iter().enumerate() {
+            for &cj in net.centers.iter().skip(a + 1) {
+                assert!(
+                    Euclidean.distance(&pts[ci], &pts[cj]) > net.rbar,
+                    "centers {ci},{cj} violate packing"
+                );
+            }
+        }
+        // partition
+        let total: usize = net.cover_sets.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        let mut seen = vec![false; pts.len()];
+        for (e, set) in net.cover_sets.iter().enumerate() {
+            for &p in set {
+                assert!(!seen[p as usize]);
+                seen[p as usize] = true;
+                assert_eq!(net.assignment[p as usize] as usize, e);
+            }
+        }
+    }
+
+    #[test]
+    fn net_on_a_line() {
+        let pts = line(100);
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, 5.0);
+        assert!(net.covered);
+        assert!(net.centers.len() >= 10, "needs >= Δ/2r̄ centers");
+        check_net_properties(&pts, &net);
+    }
+
+    #[test]
+    fn tiny_radius_promotes_every_point() {
+        let pts = line(20);
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, 0.5);
+        assert_eq!(net.centers.len(), 20);
+        assert!(net.covered);
+        check_net_properties(&pts, &net);
+    }
+
+    #[test]
+    fn huge_radius_single_center() {
+        let pts = line(20);
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, 100.0);
+        assert_eq!(net.centers.len(), 1);
+        assert_eq!(net.centers[0], 0);
+        assert!(net.covered);
+    }
+
+    #[test]
+    fn duplicates_are_fine() {
+        let pts = vec![vec![0.0]; 7];
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, 1.0);
+        assert_eq!(net.centers.len(), 1);
+        assert_eq!(net.cover_sets[0].len(), 7);
+    }
+
+    #[test]
+    fn max_centers_truncates() {
+        let pts = line(100);
+        let opts = BuildOptions {
+            max_centers: 3,
+            ..Default::default()
+        };
+        let net = RadiusGuidedNet::build_with(&pts, &Euclidean, 0.1, &opts);
+        assert_eq!(net.centers.len(), 3);
+        assert!(!net.covered);
+    }
+
+    #[test]
+    fn custom_first_center() {
+        let pts = line(50);
+        let opts = BuildOptions {
+            first: 25,
+            ..Default::default()
+        };
+        let net = RadiusGuidedNet::build_with(&pts, &Euclidean, 10.0, &opts);
+        assert_eq!(net.centers[0], 25);
+        check_net_properties(&pts, &net);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let pts: Vec<Vec<f64>> = (0..9000)
+            .map(|i| vec![(i % 97) as f64, (i % 89) as f64 * 0.5])
+            .collect();
+        let seq = RadiusGuidedNet::build(&pts, &Euclidean, 7.0);
+        let par = RadiusGuidedNet::build_with(
+            &pts,
+            &Euclidean,
+            7.0,
+            &BuildOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.centers, par.centers);
+        assert_eq!(seq.assignment, par.assignment);
+    }
+
+    #[test]
+    fn linear_distance_cost_per_iteration() {
+        let pts = line(500);
+        let counting = CountingMetric::new(Euclidean);
+        let net = RadiusGuidedNet::build(&pts, &counting, 50.0);
+        // Each iteration sweeps at most n points.
+        let iters = net.centers.len() as u64;
+        assert!(
+            counting.count() <= iters * 500,
+            "count {} > iters {} * n",
+            counting.count(),
+            iters
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_panics() {
+        let pts = line(5);
+        let _ = RadiusGuidedNet::build(&pts, &Euclidean, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_radius_panics() {
+        let pts = line(5);
+        let _ = RadiusGuidedNet::build(&pts, &Euclidean, f64::NAN);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: Algorithm 1 always yields a packing-and-covering r̄-net
+//! whose cover sets partition the input, on arbitrary inputs.
+
+use mdbscan_kcenter::{CenterAdjacency, RadiusGuidedNet};
+use mdbscan_metric::{Euclidean, Metric};
+use proptest::prelude::*;
+
+fn inputs() -> impl Strategy<Value = (Vec<Vec<f64>>, f64)> {
+    (
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 2), 1..150),
+        0.1f64..50.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn net_is_packing_and_covering((pts, rbar) in inputs()) {
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, rbar);
+        prop_assert!(net.covered);
+        prop_assert_eq!(net.len(), pts.len());
+        // covering within rbar
+        for (i, p) in pts.iter().enumerate() {
+            let c = net.centers[net.assignment[i] as usize];
+            prop_assert!(Euclidean.distance(&pts[c], p) <= rbar + 1e-9);
+        }
+        // packing > rbar
+        for (a, &ci) in net.centers.iter().enumerate() {
+            for &cj in net.centers.iter().skip(a + 1) {
+                prop_assert!(Euclidean.distance(&pts[ci], &pts[cj]) > rbar - 1e-9);
+            }
+        }
+        // partition
+        let total: usize = net.cover_sets.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, pts.len());
+    }
+
+    /// Lemma 2: for every point p, the true ε-ball is contained in the
+    /// union of neighbor cover sets at threshold 2r̄ + ε.
+    #[test]
+    fn neighbor_balls_capture_epsilon_neighborhoods(
+        (pts, rbar) in inputs(),
+        eps_factor in 0.5f64..4.0,
+    ) {
+        let eps = rbar * eps_factor;
+        let net = RadiusGuidedNet::build(&pts, &Euclidean, rbar);
+        let adj = CenterAdjacency::build(&pts, &Euclidean, &net.centers, 2.0 * rbar + eps);
+        for (i, p) in pts.iter().enumerate() {
+            let cp = net.assignment[i] as usize;
+            // membership test: every q within eps of p lies in some C_e
+            // with e in neighbors[cp]
+            for (j, q) in pts.iter().enumerate() {
+                if Euclidean.distance(p, q) <= eps {
+                    let cq = net.assignment[j];
+                    prop_assert!(
+                        adj.neighbors[cp].contains(&cq),
+                        "point {j} within eps of {i} but its center {cq} not in A"
+                    );
+                }
+            }
+        }
+    }
+}

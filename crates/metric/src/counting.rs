@@ -1,0 +1,123 @@
+//! Distance-evaluation counting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metric::Metric;
+
+/// Wraps a metric and counts how many distance evaluations pass through it.
+///
+/// The paper states every complexity bound in units of `t_dis` (one distance
+/// evaluation), so the number of calls is the hardware-independent cost of a
+/// run. The experiment harness reports this count next to wall time; it is
+/// what makes the reproduced "shape" of Figure 3 comparable to the paper's
+/// even though the machines differ.
+///
+/// The counter is a relaxed atomic: exact under single-threaded use, and a
+/// faithful total under the scoped-thread sweeps in Algorithm 1.
+///
+/// ```
+/// use mdbscan_metric::{CountingMetric, Euclidean, Metric};
+/// let m = CountingMetric::new(Euclidean);
+/// let a = vec![0.0]; let b = vec![2.0];
+/// m.distance(&a, &b);
+/// m.within(&a, &b, 1.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct CountingMetric<M> {
+    inner: M,
+    calls: AtomicU64,
+}
+
+impl<M> CountingMetric<M> {
+    /// Wraps `inner` with a fresh counter.
+    pub fn new(inner: M) -> Self {
+        Self {
+            inner,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of distance evaluations so far.
+    pub fn count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.calls.swap(0, Ordering::Relaxed)
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the counter.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<P: ?Sized, M: Metric<P>> Metric<P> for CountingMetric<M> {
+    #[inline]
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance(a, b)
+    }
+
+    #[inline]
+    fn distance_leq(&self, a: &P, b: &P, bound: f64) -> Option<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance_leq(a, b, bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Euclidean;
+
+    #[test]
+    fn counts_and_resets() {
+        let m = CountingMetric::new(Euclidean);
+        let a = vec![0.0, 0.0];
+        let b = vec![1.0, 0.0];
+        assert_eq!(m.count(), 0);
+        let _ = m.distance(&a, &b);
+        let _ = m.distance_leq(&a, &b, 0.5);
+        let _ = m.within(&a, &b, 2.0);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.reset(), 3);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.inner(), &Euclidean);
+    }
+
+    #[test]
+    fn counting_preserves_semantics() {
+        let m = CountingMetric::new(Euclidean);
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(m.distance(&a, &b), 5.0);
+        assert_eq!(m.distance_leq(&a, &b, 4.0), None);
+        assert_eq!(m.distance_leq(&a, &b, 5.0), Some(5.0));
+        assert_eq!(m.into_inner(), Euclidean);
+    }
+
+    #[test]
+    fn counter_is_shared_across_threads() {
+        let m = CountingMetric::new(Euclidean);
+        let a = vec![0.0];
+        let b = vec![1.0];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let _ = m.distance(&a, &b);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count(), 400);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dataset container and input validation.
+
+use crate::error::MetricError;
+use crate::metric::Metric;
+
+/// Validates a slice of dense vectors: non-empty, uniform dimensionality,
+/// all coordinates finite.
+///
+/// The DBSCAN algorithms assume a well-formed metric space; NaNs would
+/// silently break every pruning bound, so reject them eagerly.
+pub fn validate_vectors(points: &[Vec<f64>]) -> Result<(), MetricError> {
+    let first = points.first().ok_or(MetricError::Empty)?;
+    let expected = first.len();
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != expected {
+            return Err(MetricError::DimensionMismatch {
+                point: i,
+                got: p.len(),
+                expected,
+            });
+        }
+        for (j, v) in p.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(MetricError::NonFinite {
+                    point: i,
+                    coordinate: j,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A point set bundled with convenience diagnostics.
+///
+/// All workspace algorithms take `(&[P], &impl Metric<P>)` directly, so this
+/// container is optional sugar; it exists for the experiment harness, which
+/// wants aspect-ratio and spread estimates (`Δ`, `δ`, `Φ = Δ/δ` in the
+/// paper's notation) to pick sensible `ε` sweeps per dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset<P> {
+    points: Vec<P>,
+    /// Optional ground-truth labels (cluster id per point, `-1` = noise);
+    /// used by the quality experiments (ARI/AMI).
+    labels: Option<Vec<i32>>,
+    /// Human-readable name used in reports.
+    name: String,
+}
+
+impl<P> Dataset<P> {
+    /// Creates an unlabeled dataset.
+    pub fn new(name: impl Into<String>, points: Vec<P>) -> Self {
+        Self {
+            points,
+            labels: None,
+            name: name.into(),
+        }
+    }
+
+    /// Creates a dataset with ground-truth labels (`-1` = noise).
+    ///
+    /// Panics if `labels.len() != points.len()`.
+    pub fn with_labels(name: impl Into<String>, points: Vec<P>, labels: Vec<i32>) -> Self {
+        assert_eq!(points.len(), labels.len(), "labels must match points");
+        Self {
+            points,
+            labels: Some(labels),
+            name: name.into(),
+        }
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Ground-truth labels, if any.
+    pub fn labels(&self) -> Option<&[i32]> {
+        self.labels.as_deref()
+    }
+
+    /// Dataset name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Consumes the dataset, returning `(points, labels)`.
+    pub fn into_parts(self) -> (Vec<P>, Option<Vec<i32>>) {
+        (self.points, self.labels)
+    }
+
+    /// Estimates the maximum pairwise distance `Δ` by the standard
+    /// 2-approximation: max distance from an arbitrary anchor, doubled is an
+    /// upper bound; the anchor max itself is a lower bound. Returns the
+    /// anchor max (use `* 2.0` for a safe upper bound).
+    pub fn spread_estimate<M: Metric<P>>(&self, metric: &M) -> f64 {
+        let Some(anchor) = self.points.first() else {
+            return 0.0;
+        };
+        self.points
+            .iter()
+            .map(|p| metric.distance(anchor, p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Samples `pairs` random-ish pairwise distances (deterministic stride,
+    /// no RNG needed) and returns `(min_nonzero, max)` — a cheap probe of
+    /// `(δ, Δ)` for choosing ε sweeps.
+    pub fn distance_probe<M: Metric<P>>(&self, metric: &M, pairs: usize) -> (f64, f64) {
+        let n = self.points.len();
+        if n < 2 {
+            return (0.0, 0.0);
+        }
+        let mut min_nz = f64::INFINITY;
+        let mut max = 0.0f64;
+        let stride = (n * (n - 1) / 2 / pairs.max(1)).max(1);
+        let mut k = 0usize;
+        let mut taken = 0usize;
+        'outer: for i in 0..n {
+            for j in (i + 1)..n {
+                if k.is_multiple_of(stride) {
+                    let d = metric.distance(&self.points[i], &self.points[j]);
+                    if d > 0.0 && d < min_nz {
+                        min_nz = d;
+                    }
+                    if d > max {
+                        max = d;
+                    }
+                    taken += 1;
+                    if taken >= pairs {
+                        break 'outer;
+                    }
+                }
+                k += 1;
+            }
+        }
+        if min_nz.is_infinite() {
+            min_nz = 0.0;
+        }
+        (min_nz, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Euclidean;
+
+    #[test]
+    fn validate_accepts_good_input() {
+        let pts = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        assert!(validate_vectors(&pts).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_input() {
+        assert_eq!(validate_vectors(&[]), Err(MetricError::Empty));
+        let nan = vec![vec![0.0], vec![f64::NAN]];
+        assert_eq!(
+            validate_vectors(&nan),
+            Err(MetricError::NonFinite {
+                point: 1,
+                coordinate: 0
+            })
+        );
+        let mismatch = vec![vec![0.0, 1.0], vec![2.0]];
+        assert_eq!(
+            validate_vectors(&mismatch),
+            Err(MetricError::DimensionMismatch {
+                point: 1,
+                got: 1,
+                expected: 2
+            })
+        );
+        let inf = vec![vec![f64::INFINITY]];
+        assert!(matches!(
+            validate_vectors(&inf),
+            Err(MetricError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = Dataset::with_labels(
+            "toy",
+            vec![vec![0.0], vec![1.0], vec![10.0]],
+            vec![0, 0, -1],
+        );
+        assert_eq!(ds.name(), "toy");
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.labels().unwrap()[2], -1);
+        let spread = ds.spread_estimate(&Euclidean);
+        assert_eq!(spread, 10.0);
+        let (lo, hi) = ds.distance_probe(&Euclidean, 16);
+        assert!(lo > 0.0 && hi >= lo);
+        let (pts, labels) = ds.into_parts();
+        assert_eq!(pts.len(), 3);
+        assert!(labels.is_some());
+    }
+
+    #[test]
+    fn empty_and_tiny_probes() {
+        let ds: Dataset<Vec<f64>> = Dataset::new("empty", vec![]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.spread_estimate(&Euclidean), 0.0);
+        assert_eq!(ds.distance_probe(&Euclidean, 4), (0.0, 0.0));
+        let one = Dataset::new("one", vec![vec![1.0]]);
+        assert_eq!(one.distance_probe(&Euclidean, 4), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::with_labels("bad", vec![vec![0.0]], vec![0, 1]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the substrate.
+
+use std::fmt;
+
+/// Errors produced while validating metric-space inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// A vector contained NaN or an infinity at the given (point, coordinate).
+    NonFinite {
+        /// Index of the offending point in the input slice.
+        point: usize,
+        /// Offending coordinate index.
+        coordinate: usize,
+    },
+    /// Two points disagreed on dimensionality.
+    DimensionMismatch {
+        /// Index of the offending point.
+        point: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+        /// Dimensionality of the first point.
+        expected: usize,
+    },
+    /// The input was empty where at least one point is required.
+    Empty,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::NonFinite { point, coordinate } => write!(
+                f,
+                "point {point} has a non-finite value at coordinate {coordinate}"
+            ),
+            MetricError::DimensionMismatch {
+                point,
+                got,
+                expected,
+            } => write!(
+                f,
+                "point {point} has dimension {got}, expected {expected}"
+            ),
+            MetricError::Empty => write!(f, "input point set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MetricError::Empty.to_string().contains("empty"));
+        assert!(MetricError::NonFinite {
+            point: 3,
+            coordinate: 1
+        }
+        .to_string()
+        .contains("point 3"));
+        assert!(MetricError::DimensionMismatch {
+            point: 2,
+            got: 4,
+            expected: 8
+        }
+        .to_string()
+        .contains("dimension 4"));
+    }
+}

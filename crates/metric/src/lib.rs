@@ -1,0 +1,53 @@
+//! Metric-space substrate for the `metric-dbscan` workspace.
+//!
+//! The algorithms of *Towards Metric DBSCAN* (Mo, Song, Ding; SIGMOD 2024)
+//! operate in an abstract metric space `(X, dis)`: they never inspect
+//! coordinates, only pairwise distances. This crate provides that
+//! abstraction:
+//!
+//! * [`Metric`] — the distance-function trait, with an optional
+//!   early-abandoning entry point ([`Metric::distance_leq`]) that lets
+//!   expensive metrics (edit distance, high-dimensional Euclidean) stop as
+//!   soon as a threshold is provably exceeded;
+//! * vector metrics ([`Euclidean`], [`Manhattan`], [`Chebyshev`],
+//!   [`Minkowski`], [`Angular`]) over `[f64]` / `Vec<f64>`;
+//! * string metrics ([`Levenshtein`], [`Hamming`]) over `str` / `String` —
+//!   the paper clusters text corpora under edit distance;
+//! * sparse vectors ([`SparseVector`]) with `O(nnz)` metrics
+//!   ([`SparseEuclidean`], [`SparseAngular`], [`SparseJaccard`]) for
+//!   bag-of-words / TF-IDF inputs;
+//! * [`CountingMetric`] — a transparent wrapper counting distance
+//!   evaluations, the hardware-independent cost unit (`t_dis`) used in the
+//!   paper's complexity statements and in our experiment reports;
+//! * [`Dataset`] — a thin container bundling points with diagnostics
+//!   (aspect-ratio estimation, empirical doubling-dimension probes).
+//!
+//! # Example
+//!
+//! ```
+//! use mdbscan_metric::{Euclidean, Metric};
+//!
+//! let a = vec![0.0, 0.0];
+//! let b = vec![3.0, 4.0];
+//! assert_eq!(Euclidean.distance(&a, &b), 5.0);
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod counting;
+mod dataset;
+mod doubling;
+mod error;
+mod metric;
+mod sparse;
+mod string;
+mod vector;
+
+pub use counting::CountingMetric;
+pub use dataset::{validate_vectors, Dataset};
+pub use doubling::{estimate_doubling_dimension, DoublingEstimate};
+pub use error::MetricError;
+pub use metric::{FnMetric, Metric};
+pub use sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
+pub use string::{Hamming, Levenshtein};
+pub use vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};

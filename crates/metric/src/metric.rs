@@ -1,0 +1,104 @@
+//! The [`Metric`] trait and generic adapters.
+
+/// A distance function on points of type `P`.
+///
+/// Implementations must satisfy the metric axioms on the data they are used
+/// with — the correctness proofs of every algorithm in this workspace
+/// (neighbor-ball pruning, cover-tree search, summary merging) rely on the
+/// triangle inequality:
+///
+/// 1. `distance(a, b) >= 0`, and `distance(a, a) == 0`;
+/// 2. symmetry: `distance(a, b) == distance(b, a)`;
+/// 3. triangle inequality: `distance(a, c) <= distance(a, b) + distance(b, c)`.
+///
+/// Distances must also be finite (no NaN/∞) for the inputs supplied;
+/// [`crate::validate_vectors`] can be used to reject malformed vector data
+/// up front.
+pub trait Metric<P: ?Sized>: Send + Sync {
+    /// The distance between `a` and `b`.
+    fn distance(&self, a: &P, b: &P) -> f64;
+
+    /// Early-abandoning distance: returns `Some(d)` with the exact distance
+    /// when `d <= bound`, and `None` when the distance provably exceeds
+    /// `bound`.
+    ///
+    /// The default implementation just computes the full distance. Expensive
+    /// metrics (e.g. [`crate::Levenshtein`], which can band its dynamic
+    /// program) override this to stop early; every threshold query in the
+    /// workspace (`|B(p, ε)|` counting, BCP-≤-ε tests, summary merging) is
+    /// routed through this entry point.
+    fn distance_leq(&self, a: &P, b: &P, bound: f64) -> Option<f64> {
+        let d = self.distance(a, b);
+        if d <= bound {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Convenience predicate: is `distance(a, b) <= bound`?
+    fn within(&self, a: &P, b: &P, bound: f64) -> bool {
+        self.distance_leq(a, b, bound).is_some()
+    }
+}
+
+/// Forward through references so `&M` can be passed where `impl Metric<P>`
+/// is expected without cloning the metric.
+impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn distance_leq(&self, a: &P, b: &P, bound: f64) -> Option<f64> {
+        (**self).distance_leq(a, b, bound)
+    }
+}
+
+/// A metric defined by a closure, handy for tests and one-off user metrics.
+///
+/// ```
+/// use mdbscan_metric::{FnMetric, Metric};
+/// let line = FnMetric::new(|a: &f64, b: &f64| (a - b).abs());
+/// assert_eq!(line.distance(&1.0, &4.0), 3.0);
+/// ```
+pub struct FnMetric<F> {
+    f: F,
+}
+
+impl<F> FnMetric<F> {
+    /// Wraps `f` as a [`Metric`].
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<P: ?Sized, F> Metric<P> for FnMetric<F>
+where
+    F: Fn(&P, &P) -> f64 + Send + Sync,
+{
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        (self.f)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_metric_wraps_closure() {
+        let m = FnMetric::new(|a: &i32, b: &i32| (a - b).abs() as f64);
+        assert_eq!(m.distance(&3, &8), 5.0);
+        assert_eq!(m.distance_leq(&3, &8, 5.0), Some(5.0));
+        assert_eq!(m.distance_leq(&3, &8, 4.9), None);
+        assert!(m.within(&0, &1, 1.0));
+        assert!(!m.within(&0, &2, 1.0));
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let m = FnMetric::new(|a: &i32, b: &i32| (a - b).abs() as f64);
+        let r = &m;
+        assert_eq!(Metric::distance(&r, &1, &4), 3.0);
+        assert_eq!(Metric::distance_leq(&r, &1, &4, 10.0), Some(3.0));
+    }
+}

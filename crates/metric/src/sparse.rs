@@ -1,0 +1,268 @@
+//! Sparse vectors and their metrics.
+//!
+//! Bag-of-words text, TF-IDF rows, and one-hot interaction data — the
+//! kinds of high-dimensional inputs the paper's metric setting targets —
+//! are almost always *sparse*. [`SparseVector`] stores only the non-zero
+//! coordinates (sorted by index), and the metrics below run in
+//! `O(nnz(a) + nnz(b))` instead of `O(d)`, with the ambient dimension
+//! never materialized.
+
+use crate::metric::Metric;
+
+/// An immutable sparse vector: parallel `(indices, values)` arrays with
+/// strictly increasing indices and non-zero values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Builds from `(index, value)` pairs; entries are sorted, duplicate
+    /// indices summed, exact zeros dropped.
+    ///
+    /// Panics on non-finite values.
+    pub fn new(mut entries: Vec<(u32, f64)>) -> Self {
+        entries.sort_unstable_by_key(|e| e.0);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            assert!(v.is_finite(), "sparse value at index {i} is not finite");
+            if let Some(last) = indices.last() {
+                if *last == i {
+                    *values.last_mut().expect("parallel arrays") += v;
+                    continue;
+                }
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        // drop entries that cancelled to zero
+        let mut keep_i = Vec::with_capacity(indices.len());
+        let mut keep_v = Vec::with_capacity(values.len());
+        for (i, v) in indices.into_iter().zip(values) {
+            if v != 0.0 {
+                keep_i.push(i);
+                keep_v.push(v);
+            }
+        }
+        Self {
+            indices: keep_i,
+            values: keep_v,
+        }
+    }
+
+    /// Builds from a dense slice, dropping zeros.
+    pub fn from_dense(dense: &[f64]) -> Self {
+        Self::new(
+            dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect(),
+        )
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when every coordinate is zero.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterates `(index, value)` in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Merge-joins two sparse vectors, calling `f(a_i, b_i)` for every
+    /// index present in either (absent side passed as 0.0).
+    fn merge_join(&self, other: &Self, mut f: impl FnMut(f64, f64)) {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => {
+                    f(self.values[i], 0.0);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    f(0.0, other.values[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    f(self.values[i], other.values[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.indices.len() {
+            f(self.values[i], 0.0);
+            i += 1;
+        }
+        while j < other.indices.len() {
+            f(0.0, other.values[j]);
+            j += 1;
+        }
+    }
+}
+
+/// Euclidean distance on sparse vectors, `O(nnz)` per call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseEuclidean;
+
+impl Metric<SparseVector> for SparseEuclidean {
+    fn distance(&self, a: &SparseVector, b: &SparseVector) -> f64 {
+        let mut s = 0.0;
+        a.merge_join(b, |x, y| {
+            let d = x - y;
+            s += d * d;
+        });
+        s.sqrt()
+    }
+}
+
+/// Angular distance on sparse vectors (`arccos(cos)/π`, a true metric on
+/// rays; zero vectors are at distance 1 from everything except other
+/// zero vectors).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseAngular;
+
+impl Metric<SparseVector> for SparseAngular {
+    fn distance(&self, a: &SparseVector, b: &SparseVector) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return if a.is_empty() == b.is_empty() { 0.0 } else { 1.0 };
+        }
+        let mut dot = 0.0;
+        a.merge_join(b, |x, y| dot += x * y);
+        let cos = (dot / (a.norm_sq().sqrt() * b.norm_sq().sqrt())).clamp(-1.0, 1.0);
+        cos.acos() / std::f64::consts::PI
+    }
+}
+
+/// Generalized Jaccard distance on non-negative sparse vectors:
+/// `1 − Σ min(a_i, b_i) / Σ max(a_i, b_i)` — a metric (Charikar 2002);
+/// reduces to the set Jaccard distance on 0/1 vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseJaccard;
+
+impl Metric<SparseVector> for SparseJaccard {
+    fn distance(&self, a: &SparseVector, b: &SparseVector) -> f64 {
+        let mut min_sum = 0.0;
+        let mut max_sum = 0.0;
+        a.merge_join(b, |x, y| {
+            debug_assert!(x >= 0.0 && y >= 0.0, "Jaccard requires non-negative values");
+            min_sum += x.min(y);
+            max_sum += x.max(y);
+        });
+        if max_sum == 0.0 {
+            return 0.0; // both empty
+        }
+        1.0 - min_sum / max_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(entries: &[(u32, f64)]) -> SparseVector {
+        SparseVector::new(entries.to_vec())
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let v = SparseVector::new(vec![(5, 1.0), (2, 3.0), (5, 2.0), (7, 0.0)]);
+        assert_eq!(v.nnz(), 2);
+        let entries: Vec<(u32, f64)> = v.iter().collect();
+        assert_eq!(entries, vec![(2, 3.0), (5, 3.0)]);
+        // cancellation drops the entry
+        let z = SparseVector::new(vec![(1, 2.0), (1, -2.0)]);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let dense = [0.0, 1.5, 0.0, -2.0, 0.0];
+        let v = SparseVector::from_dense(&dense);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(1, 1.5), (3, -2.0)]);
+    }
+
+    #[test]
+    fn sparse_euclidean_matches_dense() {
+        use crate::vector::Euclidean;
+        let da = [1.0, 0.0, 2.0, 0.0, 3.0];
+        let db = [0.0, 4.0, 2.0, 0.0, 1.0];
+        let sa = SparseVector::from_dense(&da);
+        let sb = SparseVector::from_dense(&db);
+        let dense_d = Euclidean.distance(&da[..], &db[..]);
+        assert!((SparseEuclidean.distance(&sa, &sb) - dense_d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_angular_matches_dense() {
+        use crate::vector::Angular;
+        let da = [1.0, 0.0, 2.0];
+        let db = [0.5, 3.0, 0.0];
+        let sa = SparseVector::from_dense(&da);
+        let sb = SparseVector::from_dense(&db);
+        let dense_d = Angular.distance(&da[..], &db[..]);
+        assert!((SparseAngular.distance(&sa, &sb) - dense_d).abs() < 1e-12);
+        // zero vector conventions
+        let z = SparseVector::from_dense(&[0.0, 0.0]);
+        assert_eq!(SparseAngular.distance(&z, &z), 0.0);
+        assert_eq!(SparseAngular.distance(&z, &sa), 1.0);
+    }
+
+    #[test]
+    fn jaccard_on_sets_and_bags() {
+        // sets {1,2,3} vs {2,3,4}: |∩|=2, |∪|=4 → distance 0.5
+        let a = sv(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        let b = sv(&[(2, 1.0), (3, 1.0), (4, 1.0)]);
+        assert!((SparseJaccard.distance(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(SparseJaccard.distance(&a, &a), 0.0);
+        let empty = sv(&[]);
+        assert_eq!(SparseJaccard.distance(&empty, &empty), 0.0);
+        assert_eq!(SparseJaccard.distance(&a, &empty), 1.0);
+        // weighted bags
+        let c = sv(&[(0, 2.0), (1, 1.0)]);
+        let d = sv(&[(0, 1.0), (1, 3.0)]);
+        // min-sum = 1+1 = 2, max-sum = 2+3 = 5
+        assert!((SparseJaccard.distance(&c, &d) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let vs = [
+            sv(&[(0, 1.0), (3, 2.0)]),
+            sv(&[(1, 1.0), (3, 1.0)]),
+            sv(&[(0, 2.0), (1, 2.0), (2, 1.0)]),
+            sv(&[]),
+        ];
+        for m in [
+            &SparseEuclidean as &dyn Metric<SparseVector>,
+            &SparseJaccard,
+        ] {
+            for a in &vs {
+                for b in &vs {
+                    for c in &vs {
+                        let ab = m.distance(a, b);
+                        let bc = m.distance(b, c);
+                        let ac = m.distance(a, c);
+                        assert!(ac <= ab + bc + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

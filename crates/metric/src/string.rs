@@ -1,0 +1,237 @@
+//! Metrics on strings.
+//!
+//! The paper's non-Euclidean experiments cluster text corpora (COLA,
+//! AG News, MRPC, MNLI) under **edit distance** (Levenshtein). Edit distance
+//! is the canonical example of a metric that (a) satisfies the triangle
+//! inequality, (b) has no coordinate structure to grid or hash, and (c) is
+//! expensive — `O(|a|·|b|)` per evaluation — so reducing the *number* of
+//! distance calls (the whole point of the paper) dominates runtime.
+
+use crate::metric::Metric;
+
+/// Levenshtein edit distance (unit-cost insert/delete/substitute), operating
+/// on Unicode scalar values.
+///
+/// [`Metric::distance_leq`] runs the banded variant (Ukkonen's cutoff): only
+/// the diagonal band of width `2·bound + 1` of the DP matrix is evaluated,
+/// giving `O(bound · max(|a|, |b|))` time and an immediate `None` when
+/// `||a| − |b|| > bound`. DBSCAN only ever asks threshold queries, so in
+/// practice the full quadratic DP is rarely executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Levenshtein;
+
+/// Hamming distance on equal-length strings (number of differing positions).
+///
+/// Panics in debug builds if the strings have different character counts;
+/// in release the excess tail counts as mismatches, matching the common
+/// "pad with sentinels" convention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+fn levenshtein_full(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // One-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur: Vec<usize> = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded Levenshtein: returns `Some(d)` iff `d <= k`.
+fn levenshtein_banded(a: &[char], b: &[char], k: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 {
+        return Some(m); // m <= k by the check above
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // prev[j] = edit distance of a[..i] vs b[..j] restricted to the band
+    // |i - j| <= k; entries outside the band hold BIG.
+    let mut prev: Vec<usize> = vec![BIG; m + 1];
+    let mut cur: Vec<usize> = vec![BIG; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        if lo > hi {
+            return None;
+        }
+        // Column 0 (D(i,0) = i) is inside the band while i <= k; past that
+        // it is provably > k and acts as a BIG sentinel.
+        cur[lo - 1] = if lo == 1 && i <= k { i } else { BIG };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1].saturating_add(usize::from(a[i - 1] != b[j - 1]));
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            let v = sub.min(del).min(ins);
+            cur[j] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < m {
+            cur[hi + 1] = BIG;
+        }
+        if row_min > k {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= k).then_some(d)
+}
+
+impl Metric<str> for Levenshtein {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        levenshtein_full(&ca, &cb) as f64
+    }
+
+    fn distance_leq(&self, a: &str, b: &str, bound: f64) -> Option<f64> {
+        if bound < 0.0 {
+            return None;
+        }
+        if a == b {
+            return Some(0.0);
+        }
+        let k = bound.floor() as usize;
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        levenshtein_banded(&ca, &cb, k).map(|d| d as f64)
+    }
+}
+
+impl Metric<str> for Hamming {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        debug_assert_eq!(
+            a.chars().count(),
+            b.chars().count(),
+            "Hamming distance requires equal-length strings"
+        );
+        let mut ia = a.chars();
+        let mut ib = b.chars();
+        let mut d = 0usize;
+        loop {
+            match (ia.next(), ib.next()) {
+                (Some(x), Some(y)) => d += usize::from(x != y),
+                (None, None) => break,
+                _ => d += 1,
+            }
+        }
+        d as f64
+    }
+}
+
+/// Forwards a `Metric<str>` impl to owned `String` points.
+macro_rules! forward_string {
+    ($($m:ty),*) => {$(
+        impl Metric<String> for $m {
+            #[inline]
+            fn distance(&self, a: &String, b: &String) -> f64 {
+                Metric::<str>::distance(self, a.as_str(), b.as_str())
+            }
+            #[inline]
+            fn distance_leq(&self, a: &String, b: &String, bound: f64) -> Option<f64> {
+                Metric::<str>::distance_leq(self, a.as_str(), b.as_str(), bound)
+            }
+        }
+    )*};
+}
+
+forward_string!(Levenshtein, Hamming);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lev(a: &str, b: &str) -> f64 {
+        Metric::<str>::distance(&Levenshtein, a, b)
+    }
+
+    fn lev_leq(a: &str, b: &str, k: f64) -> Option<f64> {
+        Metric::<str>::distance_leq(&Levenshtein, a, b, k)
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(lev("kitten", "sitting"), 3.0);
+        assert_eq!(lev("flaw", "lawn"), 2.0);
+        assert_eq!(lev("", "abc"), 3.0);
+        assert_eq!(lev("abc", ""), 3.0);
+        assert_eq!(lev("same", "same"), 0.0);
+        assert_eq!(lev("a", "b"), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(lev("héllo", "hello"), 1.0);
+        assert_eq!(lev("日本語", "日本"), 1.0);
+    }
+
+    #[test]
+    fn banded_agrees_with_full() {
+        let words = [
+            "", "a", "ab", "abc", "abcd", "kitten", "sitting", "industry", "interest",
+            "density", "destiny", "clustering", "clattering",
+        ];
+        for a in &words {
+            for b in &words {
+                let d = lev(a, b);
+                for k in 0..12 {
+                    let got = lev_leq(a, b, k as f64);
+                    if d <= k as f64 {
+                        assert_eq!(got, Some(d), "a={a} b={b} k={k}");
+                    } else {
+                        assert_eq!(got, None, "a={a} b={b} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_length_gap_shortcut() {
+        assert_eq!(lev_leq("short", "muchlongerstring", 3.0), None);
+        assert_eq!(lev_leq("x", "x", -1.0), None);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(Metric::<str>::distance(&Hamming, "karolin", "kathrin"), 3.0);
+        assert_eq!(Metric::<str>::distance(&Hamming, "", ""), 0.0);
+        let a = String::from("abcd");
+        let b = String::from("abcf");
+        assert_eq!(Hamming.distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn string_forwarding() {
+        let a = String::from("kitten");
+        let b = String::from("sitting");
+        assert_eq!(Levenshtein.distance(&a, &b), 3.0);
+        assert_eq!(Levenshtein.distance_leq(&a, &b, 3.0), Some(3.0));
+        assert_eq!(Levenshtein.distance_leq(&a, &b, 2.0), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Metrics on dense `f64` vectors.
+//!
+//! Each metric is implemented for `[f64]` and, via a forwarding macro, for
+//! `Vec<f64>` so callers can store owned points. Dimensions are checked with
+//! `debug_assert!`; use [`crate::validate_vectors`] to validate untrusted
+//! data eagerly.
+
+use crate::metric::Metric;
+
+/// Euclidean (L2) distance.
+///
+/// `distance_leq` abandons the accumulation as soon as the running sum of
+/// squares exceeds `bound²`, which matters for the paper's high-dimensional
+/// workloads (d up to 3072) where most candidate pairs are far apart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+/// Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+/// Minkowski (Lp) distance for `p >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates the Lp metric. Panics if `p < 1` (not a metric below 1).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Minkowski requires p >= 1, got {p}");
+        Self { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Angular distance: `arccos(cos_similarity) / π`, normalized to `[0, 1]`.
+///
+/// Unlike raw cosine *dissimilarity* (`1 − cos`), the angle is a true metric
+/// on the unit sphere, so the triangle-inequality-based pruning in the
+/// DBSCAN algorithms remains sound. Zero vectors are treated as distance 1
+/// from everything except other zero vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Angular;
+
+#[inline]
+fn check_dims(a: &[f64], b: &[f64]) {
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "vector metric applied to mismatched dimensions {} vs {}",
+        a.len(),
+        b.len()
+    );
+}
+
+impl Metric<[f64]> for Euclidean {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        let mut sum = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            let d = x - y;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    #[inline]
+    fn distance_leq(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        if bound < 0.0 {
+            return None;
+        }
+        let bound_sq = bound * bound;
+        let mut sum = 0.0;
+        // Accumulate in chunks so the early-exit branch runs once every 8
+        // lanes instead of every lane; keeps the loop vectorizable.
+        let mut it_a = a.chunks_exact(8);
+        let mut it_b = b.chunks_exact(8);
+        for (ca, cb) in (&mut it_a).zip(&mut it_b) {
+            let mut local = 0.0;
+            for (x, y) in ca.iter().zip(cb.iter()) {
+                let d = x - y;
+                local += d * d;
+            }
+            sum += local;
+            if sum > bound_sq {
+                return None;
+            }
+        }
+        for (x, y) in it_a.remainder().iter().zip(it_b.remainder().iter()) {
+            let d = x - y;
+            sum += d * d;
+        }
+        if sum <= bound_sq {
+            Some(sum.sqrt())
+        } else {
+            None
+        }
+    }
+}
+
+impl Metric<[f64]> for Manhattan {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    #[inline]
+    fn distance_leq(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        check_dims(a, b);
+        let mut sum = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            sum += (x - y).abs();
+            if sum > bound {
+                return None;
+            }
+        }
+        Some(sum)
+    }
+}
+
+impl Metric<[f64]> for Chebyshev {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Metric<[f64]> for Minkowski {
+    #[inline]
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        let s: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
+        s.powf(1.0 / self.p)
+    }
+}
+
+impl Metric<[f64]> for Angular {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        check_dims(a, b);
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            return if na == nb { 0.0 } else { 1.0 };
+        }
+        let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+        cos.acos() / std::f64::consts::PI
+    }
+}
+
+/// Forwards a `Metric<[f64]>` impl to `Vec<f64>` points.
+macro_rules! forward_vec {
+    ($($m:ty),*) => {$(
+        impl Metric<Vec<f64>> for $m {
+            #[inline]
+            fn distance(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+                Metric::<[f64]>::distance(self, a.as_slice(), b.as_slice())
+            }
+            #[inline]
+            fn distance_leq(&self, a: &Vec<f64>, b: &Vec<f64>, bound: f64) -> Option<f64> {
+                Metric::<[f64]>::distance_leq(self, a.as_slice(), b.as_slice(), bound)
+            }
+        }
+    )*};
+}
+
+forward_vec!(Euclidean, Manhattan, Chebyshev, Minkowski, Angular);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &[f64]) -> Vec<f64> {
+        x.to_vec()
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(Euclidean.distance(&v(&[0.0, 0.0]), &v(&[3.0, 4.0])), 5.0);
+        assert_eq!(Euclidean.distance(&v(&[1.0]), &v(&[1.0])), 0.0);
+    }
+
+    #[test]
+    fn euclidean_early_abandon_matches_full() {
+        // 20-dim vectors exercise both the chunked and remainder paths.
+        let a: Vec<f64> = (0..20).map(|i| i as f64 * 0.7).collect();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin() * 3.0).collect();
+        let d = Euclidean.distance(&a, &b);
+        assert!((Euclidean.distance_leq(&a, &b, d + 1e-9).unwrap() - d).abs() < 1e-12);
+        assert_eq!(Euclidean.distance_leq(&a, &b, d - 1e-6), None);
+        assert_eq!(Euclidean.distance_leq(&a, &b, -1.0), None);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = v(&[1.0, 2.0, 3.0]);
+        let b = v(&[4.0, 0.0, 3.5]);
+        assert_eq!(Manhattan.distance(&a, &b), 3.0 + 2.0 + 0.5);
+        assert_eq!(Chebyshev.distance(&a, &b), 3.0);
+        assert_eq!(Manhattan.distance_leq(&a, &b, 5.0), None);
+        assert_eq!(Manhattan.distance_leq(&a, &b, 5.5), Some(5.5));
+    }
+
+    #[test]
+    fn minkowski_interpolates() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[3.0, 4.0]);
+        assert!((Minkowski::new(2.0).distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((Minkowski::new(1.0).distance(&a, &b) - 7.0).abs() < 1e-12);
+        assert!(Minkowski::new(3.0).p() == 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn minkowski_rejects_p_below_one() {
+        let _ = Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn angular_range_and_extremes() {
+        let x = v(&[1.0, 0.0]);
+        let y = v(&[0.0, 1.0]);
+        let nx = v(&[-1.0, 0.0]);
+        assert!((Angular.distance(&x, &y) - 0.5).abs() < 1e-12);
+        assert!((Angular.distance(&x, &nx) - 1.0).abs() < 1e-12);
+        assert!(Angular.distance(&x, &x).abs() < 1e-12);
+        // zero vectors
+        let z = v(&[0.0, 0.0]);
+        assert_eq!(Angular.distance(&z, &z), 0.0);
+        assert_eq!(Angular.distance(&z, &x), 1.0);
+    }
+
+    #[test]
+    fn angular_scale_invariance() {
+        let a = v(&[0.3, 0.7, -0.1]);
+        let b = v(&[-0.2, 0.5, 0.9]);
+        let a2: Vec<f64> = a.iter().map(|x| x * 7.5).collect();
+        assert!((Angular.distance(&a, &b) - Angular.distance(&a2, &b)).abs() < 1e-12);
+    }
+}

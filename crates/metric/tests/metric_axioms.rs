@@ -1,0 +1,111 @@
+//! Property-based tests: every shipped metric satisfies the metric axioms
+//! on randomized inputs, and `distance_leq` is consistent with `distance`.
+
+use mdbscan_metric::{
+    Angular, Chebyshev, Euclidean, Hamming, Levenshtein, Manhattan, Metric, Minkowski,
+};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 3)
+}
+
+fn small_string() -> impl Strategy<Value = String> {
+    "[a-d]{0,8}"
+}
+
+macro_rules! axiom_tests {
+    ($name:ident, $metric:expr, $strategy:expr, $tol:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn identity(a in $strategy) {
+                    let m = $metric;
+                    prop_assert!(m.distance(&a, &a).abs() <= $tol);
+                }
+
+                #[test]
+                fn symmetry(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    prop_assert!((m.distance(&a, &b) - m.distance(&b, &a)).abs() <= $tol);
+                }
+
+                #[test]
+                fn non_negative(a in $strategy, b in $strategy) {
+                    let m = $metric;
+                    prop_assert!(m.distance(&a, &b) >= -$tol);
+                }
+
+                #[test]
+                fn triangle(a in $strategy, b in $strategy, c in $strategy) {
+                    let m = $metric;
+                    let ab = m.distance(&a, &b);
+                    let bc = m.distance(&b, &c);
+                    let ac = m.distance(&a, &c);
+                    prop_assert!(ac <= ab + bc + $tol,
+                        "triangle violated: d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+                }
+
+                #[test]
+                fn leq_consistent(a in $strategy, b in $strategy, bound in 0.0f64..50.0) {
+                    let m = $metric;
+                    let d = m.distance(&a, &b);
+                    match m.distance_leq(&a, &b, bound) {
+                        Some(got) => {
+                            prop_assert!(d <= bound + $tol);
+                            prop_assert!((got - d).abs() <= $tol);
+                        }
+                        None => prop_assert!(d > bound - $tol),
+                    }
+                }
+            }
+        }
+    };
+}
+
+axiom_tests!(euclidean, Euclidean, vec3(), EPS);
+axiom_tests!(manhattan, Manhattan, vec3(), EPS);
+axiom_tests!(chebyshev, Chebyshev, vec3(), EPS);
+axiom_tests!(minkowski3, Minkowski::new(3.0), vec3(), 1e-6);
+axiom_tests!(levenshtein, Levenshtein, small_string(), 0.0);
+
+proptest! {
+    /// Angular distance is a metric on nonzero vectors.
+    #[test]
+    fn angular_triangle(
+        a in vec3().prop_filter("nonzero", |v| v.iter().any(|x| x.abs() > 1e-3)),
+        b in vec3().prop_filter("nonzero", |v| v.iter().any(|x| x.abs() > 1e-3)),
+        c in vec3().prop_filter("nonzero", |v| v.iter().any(|x| x.abs() > 1e-3)),
+    ) {
+        let ab = Angular.distance(&a, &b);
+        let bc = Angular.distance(&b, &c);
+        let ac = Angular.distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-7);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ac));
+    }
+
+    /// Hamming on equal-length strings is a metric.
+    #[test]
+    fn hamming_axioms(a in "[ab]{6}", b in "[ab]{6}", c in "[ab]{6}") {
+        let m = Hamming;
+        prop_assert_eq!(m.distance(&a, &a), 0.0);
+        prop_assert_eq!(m.distance(&a, &b), m.distance(&b, &a));
+        prop_assert!(m.distance(&a, &c) <= m.distance(&a, &b) + m.distance(&b, &c));
+    }
+
+    /// Levenshtein distance_leq agrees with the full DP at every bound.
+    #[test]
+    fn levenshtein_band_agreement(a in small_string(), b in small_string(), k in 0usize..10) {
+        let d = Metric::<str>::distance(&Levenshtein, &a, &b);
+        let got = Metric::<str>::distance_leq(&Levenshtein, &a, &b, k as f64);
+        if d <= k as f64 {
+            prop_assert_eq!(got, Some(d));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's core premise, end to end: data whose *inliers* live on a
+//! low-dimensional manifold inside a huge ambient space, with adversarial
+//! outliers scattered anywhere (the AI-security scenario of §1). Exact
+//! and ρ-approximate metric DBSCAN recover the clusters and isolate the
+//! outliers; a distance-evaluation counter shows the sub-quadratic
+//! behavior that Assumption 1 buys.
+//!
+//! ```sh
+//! cargo run --release --example high_dim_outliers
+//! ```
+
+use metric_dbscan::core::{approx_dbscan, exact_dbscan};
+use metric_dbscan::datagen::{manifold_clusters, ManifoldSpec};
+use metric_dbscan::eval::adjusted_rand_index;
+use metric_dbscan::metric::{estimate_doubling_dimension, CountingMetric, Euclidean};
+
+fn main() {
+    let spec = ManifoldSpec {
+        n: 4000,
+        ambient_dim: 784, // MNIST-shaped ambient space
+        intrinsic_dim: 5, // ... but intrinsically 5-dimensional
+        clusters: 10,
+        std: 1.0,
+        center_box: 40.0,
+        outlier_frac: 0.02, // adversarial ambient outliers
+        ambient_box: 60.0,
+    };
+    let data = manifold_clusters(&spec, 9);
+    let points = data.points();
+    let truth = data.labels().expect("labeled");
+
+    // Confirm the premise: the inliers' empirical doubling dimension is
+    // tiny compared to the ambient 784.
+    let inliers: Vec<Vec<f64>> = points
+        .iter()
+        .zip(truth)
+        .filter(|(_, &l)| l >= 0)
+        .map(|(p, _)| p.clone())
+        .take(1000)
+        .collect();
+    let probe = estimate_doubling_dimension(&inliers, &Euclidean, 6);
+    println!(
+        "ambient dimension: {}, doubling-dimension probe of the inliers: {:.1}",
+        spec.ambient_dim, probe.dimension
+    );
+
+    let n = points.len() as u64;
+    let eps = 4.0;
+    let min_pts = 10;
+
+    let counting = CountingMetric::new(Euclidean);
+    let exact = exact_dbscan(points, &counting, eps, min_pts).expect("valid");
+    let evals = counting.count();
+    println!(
+        "\nexact:  {} clusters, {} noise, ARI {:.3}, {} distance evals ({:.1}% of n²)",
+        exact.num_clusters(),
+        exact.num_noise(),
+        adjusted_rand_index(truth, &exact.assignments()),
+        evals,
+        100.0 * evals as f64 / (n * n) as f64,
+    );
+
+    // ρ = 1 keeps the net at the same resolution as the exact solver
+    // (r̄ = ε/2), isolating Algorithm 2's actual trade: the core-point
+    // summary replaces the BCP merge. Smaller ρ would demand a finer net
+    // (r̄ = ρε/2), whose (1/ρ)^D extra centers dominate at this scale —
+    // see EXPERIMENTS.md for the measured crossover.
+    counting.reset();
+    let approx = approx_dbscan(points, &counting, eps, min_pts, 1.0).expect("valid");
+    let evals = counting.count();
+    println!(
+        "approx: {} clusters, {} noise, ARI {:.3}, {} distance evals ({:.1}% of n²)",
+        approx.num_clusters(),
+        approx.num_noise(),
+        adjusted_rand_index(truth, &approx.assignments()),
+        evals,
+        100.0 * evals as f64 / (n * n) as f64,
+    );
+
+    // Every planted outlier should be labeled noise (they are far from
+    // the manifold with overwhelming probability).
+    let caught = truth
+        .iter()
+        .zip(exact.labels())
+        .filter(|(&t, l)| t == -1 && l.is_noise())
+        .count();
+    let planted = truth.iter().filter(|&&t| t == -1).count();
+    println!("\noutliers caught by exact: {caught}/{planted}");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: exact metric DBSCAN on a 2-D dataset with outliers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use metric_dbscan::core::exact_dbscan;
+use metric_dbscan::datagen::moons;
+use metric_dbscan::eval::{adjusted_mutual_info, adjusted_rand_index};
+use metric_dbscan::metric::Euclidean;
+
+fn main() {
+    // Two interleaved half-moons, 2 % scattered outliers.
+    let dataset = moons(2000, 0.06, 0.02, 42);
+    let points = dataset.points();
+
+    // DBSCAN parameters: neighborhood radius ε and density threshold.
+    let eps = 0.12;
+    let min_pts = 10;
+
+    let clustering = exact_dbscan(points, &Euclidean, eps, min_pts).expect("valid parameters");
+
+    println!(
+        "{} points -> {} clusters, {} core / {} border / {} noise",
+        points.len(),
+        clustering.num_clusters(),
+        clustering.num_core(),
+        clustering.num_border(),
+        clustering.num_noise(),
+    );
+
+    // Ground truth is available for the synthetic data: score the result.
+    let truth = dataset.labels().expect("generator provides labels");
+    let pred = clustering.assignments();
+    println!(
+        "ARI = {:.3}, AMI = {:.3}",
+        adjusted_rand_index(truth, &pred),
+        adjusted_mutual_info(truth, &pred),
+    );
+
+    // Cluster sizes.
+    for (k, members) in clustering.clusters().iter().enumerate() {
+        println!("cluster {k}: {} points", members.len());
+    }
+}

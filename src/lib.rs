@@ -1,0 +1,55 @@
+//! # metric-dbscan
+//!
+//! A production-quality Rust implementation of
+//!
+//! > Mo, Song, Ding. *Towards Metric DBSCAN: Exact, Approximate, and
+//! > Streaming Algorithms.* SIGMOD 2024 (PACMMOD 2(3), article 178).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's algorithms: exact metric DBSCAN (§3.1 and the
+//!   §3.2 cover-tree variant), ρ-approximate DBSCAN (Algorithm 2), and the
+//!   3-pass streaming engine (Algorithm 3), plus the reusable
+//!   [`core::GonzalezIndex`] for cheap parameter tuning (Remark 5/6);
+//! * [`metric`] — the metric-space substrate (Euclidean/L1/L∞/angular,
+//!   Levenshtein/Hamming, distance-call counting);
+//! * [`covertree`] — the cover-tree index (Beygelzimer et al. 2006);
+//! * [`kcenter`] — Gonzalez, radius-guided Gonzalez (Algorithm 1),
+//!   k-center with outliers;
+//! * [`baselines`] — every comparator of the paper's evaluation;
+//! * [`eval`] — ARI / AMI / NMI;
+//! * [`datagen`] — deterministic synthetic workloads for all dataset
+//!   classes of Table 1.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use metric_dbscan::core::exact_dbscan;
+//! use metric_dbscan::metric::Euclidean;
+//!
+//! // two tight groups and one stray point
+//! let mut points: Vec<Vec<f64>> = Vec::new();
+//! for i in 0..20 {
+//!     points.push(vec![i as f64 * 0.01, 0.0]);
+//!     points.push(vec![5.0 + i as f64 * 0.01, 0.0]);
+//! }
+//! points.push(vec![100.0, 100.0]);
+//!
+//! let clustering = exact_dbscan(&points, &Euclidean, 0.5, 5).unwrap();
+//! assert_eq!(clustering.num_clusters(), 2);
+//! assert!(clustering.labels().last().unwrap().is_noise());
+//! ```
+//!
+//! See `examples/` for text clustering under edit distance, streaming
+//! session clustering, parameter tuning on a shared index, and
+//! high-dimensional outlier-robust clustering.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use mdbscan_baselines as baselines;
+pub use mdbscan_core as core;
+pub use mdbscan_covertree as covertree;
+pub use mdbscan_datagen as datagen;
+pub use mdbscan_eval as eval;
+pub use mdbscan_kcenter as kcenter;
+pub use mdbscan_metric as metric;

@@ -1,0 +1,137 @@
+//! Qualitative ordering tests across algorithm families — the
+//! load-bearing comparisons behind Tables 3 and 4, asserted as
+//! inequalities so they are robust to seeds:
+//!
+//! * density methods beat center methods on arbitrary shapes;
+//! * DBSCAN family rejects planted outliers, center methods cannot;
+//! * the streaming engine tracks the offline approximate solver.
+
+use metric_dbscan::baselines::{dp_means, lambda_from_kcenter, optics, Bico, DbStream};
+use metric_dbscan::core::{approx_dbscan, ApproxParams, StreamingApproxDbscan};
+use metric_dbscan::datagen::{manifold_clusters, moons, ManifoldSpec};
+use metric_dbscan::eval::{adjusted_rand_index, fowlkes_mallows, homogeneity};
+use metric_dbscan::metric::Euclidean;
+
+#[test]
+fn density_beats_centers_on_moons() {
+    let ds = moons(1200, 0.06, 0.02, 5);
+    let truth = ds.labels().unwrap();
+    let dbscan_ari = {
+        let c = approx_dbscan(ds.points(), &Euclidean, 0.12, 10, 0.5).unwrap();
+        adjusted_rand_index(truth, &c.assignments())
+    };
+    let dp_ari = {
+        let lambda = lambda_from_kcenter(ds.points(), 2, 0);
+        let c = dp_means(ds.points(), lambda, 50);
+        adjusted_rand_index(truth, &c.assignments())
+    };
+    let bico_ari = {
+        let c = Bico::fit(ds.points(), 2, 200, 1);
+        adjusted_rand_index(truth, &c.assignments())
+    };
+    assert!(
+        dbscan_ari > dp_ari + 0.3 && dbscan_ari > bico_ari + 0.3,
+        "dbscan {dbscan_ari} vs dp {dp_ari} / bico {bico_ari}"
+    );
+}
+
+#[test]
+fn center_methods_cannot_reject_outliers() {
+    let ds = manifold_clusters(
+        &ManifoldSpec {
+            n: 600,
+            ambient_dim: 64,
+            intrinsic_dim: 4,
+            clusters: 4,
+            std: 1.0,
+            center_box: 30.0,
+            outlier_frac: 0.05,
+            ambient_box: 50.0,
+        },
+        11,
+    );
+    let truth = ds.labels().unwrap();
+    let dbscan = approx_dbscan(ds.points(), &Euclidean, 3.5, 8, 0.5).unwrap();
+    let dp = dp_means(ds.points(), lambda_from_kcenter(ds.points(), 4, 0), 50);
+    // DBSCAN marks the planted outliers noise; DP-means absorbs them.
+    let planted: Vec<usize> = truth
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t == -1)
+        .map(|(i, _)| i)
+        .collect();
+    let caught = planted
+        .iter()
+        .filter(|&&i| dbscan.labels()[i].is_noise())
+        .count();
+    assert!(
+        caught as f64 >= 0.9 * planted.len() as f64,
+        "dbscan caught {caught}/{}",
+        planted.len()
+    );
+    assert_eq!(dp.num_noise(), 0, "DP-means has no noise concept");
+    // and that costs DP-means homogeneity
+    assert!(
+        homogeneity(truth, &dbscan.assignments()) >= homogeneity(truth, &dp.assignments()),
+        "outlier absorption should not make DP-means more homogeneous"
+    );
+}
+
+#[test]
+fn streaming_tracks_offline_approx() {
+    let ds = manifold_clusters(
+        &ManifoldSpec {
+            n: 1500,
+            ambient_dim: 32,
+            intrinsic_dim: 4,
+            clusters: 5,
+            std: 1.0,
+            center_box: 35.0,
+            outlier_frac: 0.01,
+            ambient_box: 50.0,
+        },
+        23,
+    );
+    let truth = ds.labels().unwrap();
+    let offline = approx_dbscan(ds.points(), &Euclidean, 4.0, 10, 0.5).unwrap();
+    let params = ApproxParams::new(4.0, 10, 0.5).unwrap();
+    let (streaming, _) =
+        StreamingApproxDbscan::run(&Euclidean, &params, || ds.points().iter().cloned()).unwrap();
+    let off_ari = adjusted_rand_index(truth, &offline.assignments());
+    let str_ari = adjusted_rand_index(truth, &streaming.assignments());
+    assert!(
+        (off_ari - str_ari).abs() < 0.1,
+        "offline {off_ari} vs streaming {str_ari}"
+    );
+    assert!(str_ari > 0.9);
+    // and it beats DBStream at default-ish knobs on this data
+    let dbs = DbStream::fit(ds.points(), 4.0, 0.0005, 0.1);
+    let dbs_fm = fowlkes_mallows(truth, &dbs.assignments());
+    let our_fm = fowlkes_mallows(truth, &streaming.assignments());
+    assert!(
+        our_fm >= dbs_fm - 0.05,
+        "ours {our_fm} vs dbstream {dbs_fm}"
+    );
+}
+
+#[test]
+fn optics_extraction_is_a_valid_dbscan_oracle() {
+    let ds = moons(500, 0.06, 0.02, 9);
+    let ordering = optics(ds.points(), &Euclidean, 0.3, 8);
+    for eps in [0.1, 0.15, 0.3] {
+        let from_optics = ordering.extract_dbscan(eps);
+        let direct = metric_dbscan::core::exact_dbscan(ds.points(), &Euclidean, eps, 8).unwrap();
+        assert_eq!(
+            from_optics.num_clusters(),
+            direct.num_clusters(),
+            "eps={eps}"
+        );
+        for i in 0..ds.len() {
+            assert_eq!(
+                from_optics.labels()[i].is_core(),
+                direct.labels()[i].is_core(),
+                "eps={eps} i={i}"
+            );
+        }
+    }
+}

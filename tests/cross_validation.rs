@@ -1,0 +1,120 @@
+//! Cross-crate validation: every exact solver in the workspace — the
+//! paper's accelerated pipeline (§3.1), its cover-tree variant (§3.2),
+//! Gan–Tao's grid (Euclidean), and DYW — must produce the *same* result
+//! as the original DBSCAN of Ester et al. on the same data. This is the
+//! repository's strongest end-to-end exactness statement.
+
+use metric_dbscan::baselines::{dyw_dbscan, grid_dbscan_exact, original_dbscan};
+use metric_dbscan::core::{exact_dbscan, exact_dbscan_covertree, Clustering};
+use metric_dbscan::datagen::{
+    blobs, cluto_like, moons, string_clusters, BlobSpec, StringSpec,
+};
+use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
+
+/// Cores, noise set, and the core partition must agree (borders may
+/// tie-break differently across implementations; see paper footnote 1).
+fn assert_same_dbscan<P, M: Metric<P>>(
+    tag: &str,
+    points: &[P],
+    _metric: &M,
+    a: &Clustering,
+    b: &Clustering,
+) {
+    assert_eq!(a.len(), b.len(), "{tag}: length");
+    assert_eq!(a.num_clusters(), b.num_clusters(), "{tag}: cluster count");
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for i in 0..points.len() {
+        assert_eq!(
+            a.labels()[i].is_core(),
+            b.labels()[i].is_core(),
+            "{tag}: core flag at {i}"
+        );
+        assert_eq!(
+            a.labels()[i].is_noise(),
+            b.labels()[i].is_noise(),
+            "{tag}: noise flag at {i}"
+        );
+        if a.labels()[i].is_core() {
+            let (x, y) = (a.cluster_of(i).unwrap(), b.cluster_of(i).unwrap());
+            assert_eq!(*fwd.entry(x).or_insert(y), y, "{tag}: partition at {i}");
+            assert_eq!(*bwd.entry(y).or_insert(x), x, "{tag}: partition at {i}");
+        }
+    }
+}
+
+#[test]
+fn all_exact_solvers_agree_on_moons() {
+    let ds = moons(600, 0.06, 0.03, 11);
+    let pts = ds.points();
+    for eps in [0.1, 0.15, 0.25] {
+        let reference = original_dbscan(pts, &Euclidean, eps, 8);
+        let ours = exact_dbscan(pts, &Euclidean, eps, 8).unwrap();
+        assert_same_dbscan("ours", pts, &Euclidean, &ours, &reference);
+        let (tree, _) = exact_dbscan_covertree(pts, &Euclidean, eps, 8).unwrap();
+        assert_same_dbscan("covertree", pts, &Euclidean, &tree, &reference);
+        let grid = grid_dbscan_exact(pts, eps, 8);
+        assert_same_dbscan("grid", pts, &Euclidean, &grid, &reference);
+        let dyw = dyw_dbscan(pts, &Euclidean, eps, 8, 20, 1.0, pts.len(), 5);
+        assert_same_dbscan("dyw", pts, &Euclidean, &dyw, &reference);
+    }
+}
+
+#[test]
+fn all_exact_solvers_agree_on_cluto_shapes() {
+    let ds = cluto_like(800, 0.08, 23);
+    let pts = ds.points();
+    let eps = 0.45;
+    let reference = original_dbscan(pts, &Euclidean, eps, 10);
+    let ours = exact_dbscan(pts, &Euclidean, eps, 10).unwrap();
+    assert_same_dbscan("ours", pts, &Euclidean, &ours, &reference);
+    let grid = grid_dbscan_exact(pts, eps, 10);
+    assert_same_dbscan("grid", pts, &Euclidean, &grid, &reference);
+}
+
+#[test]
+fn metric_solvers_agree_on_medium_dim_blobs() {
+    let ds = blobs(
+        &BlobSpec {
+            n: 400,
+            dim: 41,
+            clusters: 3,
+            std: 1.0,
+            center_box: 30.0,
+            outlier_frac: 0.02,
+        },
+        31,
+    );
+    let pts = ds.points();
+    let eps = 9.5;
+    let reference = original_dbscan(pts, &Euclidean, eps, 10);
+    let ours = exact_dbscan(pts, &Euclidean, eps, 10).unwrap();
+    assert_same_dbscan("ours", pts, &Euclidean, &ours, &reference);
+    let dyw = dyw_dbscan(pts, &Euclidean, eps, 10, 8, 1.0, pts.len(), 5);
+    assert_same_dbscan("dyw", pts, &Euclidean, &dyw, &reference);
+}
+
+#[test]
+fn metric_solvers_agree_on_edit_distance_text() {
+    let ds = string_clusters(
+        &StringSpec {
+            n: 150,
+            clusters: 5,
+            seed_len: 18,
+            max_edits: 2,
+            outlier_frac: 0.05,
+            ..Default::default()
+        },
+        17,
+    );
+    let pts = ds.points();
+    for eps in [3.0, 5.0] {
+        let reference = original_dbscan(pts, &Levenshtein, eps, 5);
+        let ours = exact_dbscan(pts, &Levenshtein, eps, 5).unwrap();
+        assert_same_dbscan("ours-text", pts, &Levenshtein, &ours, &reference);
+        let (tree, _) = exact_dbscan_covertree(pts, &Levenshtein, eps, 5).unwrap();
+        assert_same_dbscan("covertree-text", pts, &Levenshtein, &tree, &reference);
+        let dyw = dyw_dbscan(pts, &Levenshtein, eps, 5, 10, 1.0, pts.len(), 3);
+        assert_same_dbscan("dyw-text", pts, &Levenshtein, &dyw, &reference);
+    }
+}

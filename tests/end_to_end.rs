@@ -1,0 +1,178 @@
+//! End-to-end behavioral tests across the whole stack: generators →
+//! solvers → quality metrics, exercising the claims the README makes.
+
+use metric_dbscan::core::{
+    approx_dbscan, exact_dbscan, ApproxParams, DbscanParams, GonzalezIndex,
+    StreamingApproxDbscan,
+};
+use metric_dbscan::datagen::{
+    banana, manifold_clusters, moons, string_clusters, DriftingStream, ManifoldSpec, StringSpec,
+};
+use metric_dbscan::eval::{adjusted_mutual_info, adjusted_rand_index};
+use metric_dbscan::metric::{CountingMetric, Euclidean, Levenshtein};
+
+#[test]
+fn moons_are_recovered_with_high_quality() {
+    let ds = moons(1500, 0.06, 0.02, 42);
+    let truth = ds.labels().unwrap();
+    let c = exact_dbscan(ds.points(), &Euclidean, 0.12, 10).unwrap();
+    assert_eq!(c.num_clusters(), 2);
+    let pred = c.assignments();
+    assert!(adjusted_rand_index(truth, &pred) > 0.95);
+    assert!(adjusted_mutual_info(truth, &pred) > 0.9);
+}
+
+#[test]
+fn banana_shape_defeats_centers_but_not_dbscan() {
+    let ds = banana(1200, 0.03, 7);
+    let truth = ds.labels().unwrap();
+    let c = exact_dbscan(ds.points(), &Euclidean, 0.45, 10).unwrap();
+    let ari_dbscan = adjusted_rand_index(truth, &c.assignments());
+    let lambda = metric_dbscan::baselines::lambda_from_kcenter(ds.points(), 2, 0);
+    let dp = metric_dbscan::baselines::dp_means(ds.points(), lambda, 50);
+    let ari_dp = adjusted_rand_index(truth, &dp.assignments());
+    assert!(
+        ari_dbscan > ari_dp + 0.2,
+        "density {ari_dbscan} should beat centers {ari_dp} on the banana"
+    );
+}
+
+#[test]
+fn high_dimensional_outliers_are_rejected() {
+    let ds = manifold_clusters(
+        &ManifoldSpec {
+            n: 1200,
+            ambient_dim: 512,
+            intrinsic_dim: 5,
+            clusters: 6,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.03,
+            ambient_box: 60.0,
+        },
+        5,
+    );
+    let truth = ds.labels().unwrap();
+    let c = exact_dbscan(ds.points(), &Euclidean, 4.0, 10).unwrap();
+    // every planted ambient outlier ends up noise
+    for (i, &t) in truth.iter().enumerate() {
+        if t == -1 {
+            assert!(c.labels()[i].is_noise(), "outlier {i} not rejected");
+        }
+    }
+    assert!(adjusted_rand_index(truth, &c.assignments()) > 0.95);
+}
+
+#[test]
+fn text_pipeline_counts_few_distance_evaluations() {
+    // large enough that the n·|E| linear term separates from n²
+    let ds = string_clusters(
+        &StringSpec {
+            n: 700,
+            clusters: 6,
+            seed_len: 20,
+            max_edits: 2,
+            outlier_frac: 0.03,
+            ..Default::default()
+        },
+        3,
+    );
+    let n = ds.len() as u64;
+    let counting = CountingMetric::new(Levenshtein);
+    let c = exact_dbscan(ds.points(), &counting, 5.0, 5).unwrap();
+    assert_eq!(c.num_clusters(), 6);
+    assert!(
+        counting.count() < n * n / 2,
+        "expected sub-quadratic distance evals, got {} (n² = {})",
+        counting.count(),
+        n * n
+    );
+}
+
+#[test]
+fn index_reuse_serves_a_parameter_grid() {
+    let ds = moons(800, 0.06, 0.02, 9);
+    let pts = ds.points();
+    let index = GonzalezIndex::build(pts, &Euclidean, 0.05).unwrap();
+    for eps in [0.1, 0.12, 0.15, 0.2] {
+        for min_pts in [5, 10, 15] {
+            let reused = index
+                .exact(&DbscanParams::new(eps, min_pts).unwrap())
+                .unwrap();
+            let fresh = exact_dbscan(pts, &Euclidean, eps, min_pts).unwrap();
+            assert_eq!(
+                reused.num_clusters(),
+                fresh.num_clusters(),
+                "eps={eps} minpts={min_pts}"
+            );
+            for i in 0..pts.len() {
+                assert_eq!(
+                    reused.labels()[i].is_core(),
+                    fresh.labels()[i].is_core(),
+                    "eps={eps} minpts={min_pts} i={i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn approx_quality_degrades_gracefully_with_rho() {
+    let ds = manifold_clusters(
+        &ManifoldSpec {
+            n: 900,
+            ambient_dim: 128,
+            intrinsic_dim: 5,
+            clusters: 8,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.01,
+            ambient_box: 60.0,
+        },
+        13,
+    );
+    let truth = ds.labels().unwrap();
+    // fragmenting ε, as in Fig. 4
+    let eps = 3.0;
+    let exact_ari = {
+        let c = exact_dbscan(ds.points(), &Euclidean, eps, 10).unwrap();
+        adjusted_rand_index(truth, &c.assignments())
+    };
+    for rho in [0.1, 0.5, 1.0, 2.0] {
+        let c = approx_dbscan(ds.points(), &Euclidean, eps, 10, rho).unwrap();
+        let ari = adjusted_rand_index(truth, &c.assignments());
+        // never catastrophically worse than exact at the same ε
+        assert!(
+            ari > exact_ari - 0.3,
+            "rho={rho}: ARI {ari} vs exact {exact_ari}"
+        );
+    }
+}
+
+#[test]
+fn streaming_engine_matches_quality_with_bounded_memory() {
+    let stream = DriftingStream {
+        n: 8000,
+        dim: 16,
+        intrinsic_dim: 4,
+        sources: 4,
+        std: 0.5,
+        drift: 0.0005,
+        outlier_prob: 0.01,
+        boxsize: 60.0,
+        seed: 21,
+    };
+    let params = ApproxParams::new(2.0, 10, 0.5).unwrap();
+    let (c, engine) =
+        StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter()).unwrap();
+    assert_eq!(c.num_clusters(), 4);
+    let truth = stream.labels();
+    assert!(adjusted_rand_index(&truth, &c.assignments()) > 0.9);
+    let fp = engine.footprint();
+    assert!(
+        fp.stored_points() < stream.n / 4,
+        "memory {} of {}",
+        fp.stored_points(),
+        stream.n
+    );
+}

@@ -1,0 +1,80 @@
+//! The solvers are generic over the metric: run the full pipeline on
+//! sparse bag-of-words vectors under Jaccard distance and on angular
+//! distance — no coordinate structure, only the metric axioms.
+
+use metric_dbscan::baselines::original_dbscan;
+use metric_dbscan::core::exact_dbscan;
+use metric_dbscan::metric::{SparseJaccard, SparseVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic bag-of-words: each cluster has a vocabulary block; documents
+/// sample words mostly from their block.
+fn bow_corpus(seed: u64) -> (Vec<SparseVector>, Vec<i32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::new();
+    let mut labels = Vec::new();
+    for cluster in 0..3u32 {
+        let vocab_base = cluster * 100;
+        for _ in 0..40 {
+            let mut entries = Vec::new();
+            for _ in 0..20 {
+                // 90 % in-topic words, 10 % global noise words
+                let idx = if rng.random::<f64>() < 0.9 {
+                    vocab_base + rng.random_range(0..30)
+                } else {
+                    1000 + rng.random_range(0..50)
+                };
+                entries.push((idx, 1.0));
+            }
+            docs.push(SparseVector::new(entries));
+            labels.push(cluster as i32);
+        }
+    }
+    // a few junk documents with their own unique vocabulary
+    for k in 0..5u32 {
+        let entries: Vec<(u32, f64)> = (0..20).map(|w| (2000 + k * 100 + w, 1.0)).collect();
+        docs.push(SparseVector::new(entries));
+        labels.push(-1);
+    }
+    (docs, labels)
+}
+
+#[test]
+fn jaccard_bow_clusters_are_recovered() {
+    let (docs, truth) = bow_corpus(3);
+    // in-topic documents share most of a 30-word vocabulary → Jaccard
+    // distance well below ~0.9; junk documents share nothing → 1.0
+    let c = exact_dbscan(&docs, &SparseJaccard, 0.85, 5).unwrap();
+    assert_eq!(c.num_clusters(), 3);
+    for (i, &t) in truth.iter().enumerate() {
+        if t == -1 {
+            assert!(c.labels()[i].is_noise(), "junk doc {i} not rejected");
+        }
+    }
+    let pred = c.assignments();
+    let ari = metric_dbscan::eval::adjusted_rand_index(&truth, &pred);
+    assert!(ari > 0.9, "ARI {ari}");
+}
+
+#[test]
+fn accelerated_pipeline_is_exact_under_jaccard() {
+    let (docs, _) = bow_corpus(7);
+    for eps in [0.7, 0.85] {
+        let ours = exact_dbscan(&docs, &SparseJaccard, eps, 4).unwrap();
+        let reference = original_dbscan(&docs, &SparseJaccard, eps, 4);
+        assert_eq!(ours.num_clusters(), reference.num_clusters(), "eps={eps}");
+        for i in 0..docs.len() {
+            assert_eq!(
+                ours.labels()[i].is_core(),
+                reference.labels()[i].is_core(),
+                "eps={eps} i={i}"
+            );
+            assert_eq!(
+                ours.labels()[i].is_noise(),
+                reference.labels()[i].is_noise(),
+                "eps={eps} i={i}"
+            );
+        }
+    }
+}
