@@ -133,11 +133,7 @@ impl Bico {
                     }
                 }
             }
-            self.threshold = if min_d.is_finite() {
-                min_d.sqrt()
-            } else {
-                1.0
-            };
+            self.threshold = if min_d.is_finite() { min_d.sqrt() } else { 1.0 };
         }
         while self.features.len() > self.budget {
             self.threshold *= 2.0;

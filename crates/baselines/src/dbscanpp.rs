@@ -21,7 +21,7 @@ pub enum SampleInit {
 }
 
 /// Runs DBSCAN++ with sample fraction `s ∈ (0, 1]`.
-pub fn dbscan_pp<P, M: Metric<P>>(
+pub fn dbscan_pp<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,

@@ -134,12 +134,12 @@ impl DbStream {
         self.shared = self
             .shared
             .drain()
-            .filter_map(|((a, b), v)| {
-                match (keep_map[a as usize], keep_map[b as usize]) {
+            .filter_map(
+                |((a, b), v)| match (keep_map[a as usize], keep_map[b as usize]) {
                     (Some(na), Some(nb)) => Some(((na, nb), v)),
                     _ => None,
-                }
-            })
+                },
+            )
             .collect();
     }
 

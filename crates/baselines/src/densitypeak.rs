@@ -11,12 +11,7 @@ use mdbscan_metric::Metric;
 
 /// Runs Density Peaks with cutoff distance `d_c`, extracting the top-`k`
 /// points by `γ = ρ·δ` as cluster centers.
-pub fn density_peak<P, M: Metric<P>>(
-    points: &[P],
-    metric: &M,
-    d_c: f64,
-    k: usize,
-) -> Clustering {
+pub fn density_peak<P, M: Metric<P>>(points: &[P], metric: &M, d_c: f64, k: usize) -> Clustering {
     let n = points.len();
     if n == 0 {
         return Clustering::from_labels(vec![]);
@@ -103,7 +98,10 @@ mod tests {
         let mut pts = Vec::new();
         for c in [[0.0, 0.0], [40.0, 0.0]] {
             for i in 0..40 {
-                pts.push(vec![c[0] + (i % 8) as f64 * 0.2, c[1] + (i / 8) as f64 * 0.2]);
+                pts.push(vec![
+                    c[0] + (i % 8) as f64 * 0.2,
+                    c[1] + (i / 8) as f64 * 0.2,
+                ]);
             }
         }
         pts

@@ -98,7 +98,10 @@ mod tests {
         let mut pts = Vec::new();
         for c in [[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]] {
             for i in 0..30 {
-                pts.push(vec![c[0] + (i % 6) as f64 * 0.1, c[1] + (i / 6) as f64 * 0.1]);
+                pts.push(vec![
+                    c[0] + (i % 6) as f64 * 0.1,
+                    c[1] + (i / 6) as f64 * 0.1,
+                ]);
             }
         }
         pts

@@ -41,7 +41,9 @@ impl DStream {
     }
 
     fn key(&self, p: &[f64]) -> Cell {
-        p.iter().map(|&x| (x / self.cell_side).floor() as i64).collect()
+        p.iter()
+            .map(|&x| (x / self.cell_side).floor() as i64)
+            .collect()
     }
 
     /// Feeds one point.
@@ -76,8 +78,7 @@ impl DStream {
             .keys()
             .filter(|c| self.density(c) >= self.dense_threshold)
             .collect();
-        let index: HashMap<&Cell, usize> =
-            dense.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let index: HashMap<&Cell, usize> = dense.iter().enumerate().map(|(i, c)| (*c, i)).collect();
         let mut uf = UnionFind::new(dense.len());
         for (i, cell) in dense.iter().enumerate() {
             for dim in 0..cell.len() {

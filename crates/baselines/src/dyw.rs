@@ -24,7 +24,7 @@ use mdbscan_metric::Metric;
 /// termination budget (all three are knobs the main paper's §3.3
 /// criticizes; see the crate docs).
 #[allow(clippy::too_many_arguments)]
-pub fn dyw_dbscan<P, M: Metric<P>>(
+pub fn dyw_dbscan<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(ours.num_clusters(), reference.num_clusters());
         for i in 0..pts.len() {
             assert_eq!(ours.labels()[i].is_core(), reference.labels()[i].is_core());
-            assert_eq!(ours.labels()[i].is_noise(), reference.labels()[i].is_noise());
+            assert_eq!(
+                ours.labels()[i].is_noise(),
+                reference.labels()[i].is_noise()
+            );
         }
     }
 
@@ -163,7 +166,10 @@ mod tests {
         let reference = crate::original_dbscan(&pts, &Euclidean, 0.3, 5);
         for i in 0..pts.len() {
             assert_eq!(ours.labels()[i].is_core(), reference.labels()[i].is_core());
-            assert_eq!(ours.labels()[i].is_noise(), reference.labels()[i].is_noise());
+            assert_eq!(
+                ours.labels()[i].is_noise(),
+                reference.labels()[i].is_noise()
+            );
         }
     }
 

@@ -36,7 +36,14 @@ pub struct EvoStream {
 
 impl EvoStream {
     /// Creates an engine.
-    pub fn new(radius: f64, lambda: f64, k: usize, population: usize, generations: usize, seed: u64) -> Self {
+    pub fn new(
+        radius: f64,
+        lambda: f64,
+        k: usize,
+        population: usize,
+        generations: usize,
+        seed: u64,
+    ) -> Self {
         assert!(radius > 0.0 && k >= 1 && population >= 2);
         Self {
             radius,
@@ -115,8 +122,7 @@ impl EvoStream {
                 weighted_kmeans(&pts, &ws, k, iters, self.seed.wrapping_add(i as u64)).0
             })
             .collect();
-        let fitness =
-            |ind: &Vec<Vec<f64>>| -> f64 { 1.0 / (1.0 + weighted_ssq(&pts, &ws, ind)) };
+        let fitness = |ind: &Vec<Vec<f64>>| -> f64 { 1.0 / (1.0 + weighted_ssq(&pts, &ws, ind)) };
         let mut scores: Vec<f64> = pop.iter().map(&fitness).collect();
         let spread = {
             // mutation scale: data spread / 20
@@ -128,7 +134,9 @@ impl EvoStream {
                     hi[j] = hi[j].max(p[j]);
                 }
             }
-            (0..d).map(|j| (hi[j] - lo[j]).max(1e-9) / 20.0).collect::<Vec<f64>>()
+            (0..d)
+                .map(|j| (hi[j] - lo[j]).max(1e-9) / 20.0)
+                .collect::<Vec<f64>>()
         };
         for _ in 0..self.generations {
             // tournament selection of two parents

@@ -122,7 +122,15 @@ fn grid_dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, approx: Option<f64
     let core_cells: Vec<(&CellKey, Vec<usize>)> = grid
         .cells
         .iter()
-        .map(|(k, v)| (k, v.iter().copied().filter(|&p| is_core[p]).collect::<Vec<_>>()))
+        .map(|(k, v)| {
+            (
+                k,
+                v.iter()
+                    .copied()
+                    .filter(|&p| is_core[p])
+                    .collect::<Vec<_>>(),
+            )
+        })
         .filter(|(_, cores)| !cores.is_empty())
         .collect();
     let cell_index: HashMap<&CellKey, usize> = core_cells
@@ -223,12 +231,7 @@ pub fn grid_dbscan_exact(points: &[Vec<f64>], eps: f64, min_pts: usize) -> Clust
 }
 
 /// Gan–Tao ρ-approximate grid DBSCAN. Euclidean, `d ≤ 8`, `ρ > 0`.
-pub fn grid_dbscan_approx(
-    points: &[Vec<f64>],
-    eps: f64,
-    min_pts: usize,
-    rho: f64,
-) -> Clustering {
+pub fn grid_dbscan_approx(points: &[Vec<f64>], eps: f64, min_pts: usize, rho: f64) -> Clustering {
     assert!(rho > 0.0, "rho must be positive");
     grid_dbscan(points, eps, min_pts, Some(rho))
 }

@@ -151,7 +151,11 @@ mod tests {
     fn weights_pull_centers() {
         let pts = vec![vec![0.0], vec![10.0]];
         let (centers, _) = weighted_kmeans(&pts, &[1000.0, 1.0], 1, 10, 2);
-        assert!(centers[0][0] < 0.1, "heavy point dominates: {}", centers[0][0]);
+        assert!(
+            centers[0][0] < 0.1,
+            "heavy point dominates: {}",
+            centers[0][0]
+        );
     }
 
     #[test]

@@ -216,7 +216,11 @@ mod tests {
             .count();
         assert!(spikes >= 1, "expected a reachability spike between blobs");
         assert!(
-            o.reachability.iter().filter(|r| r.is_finite() && **r < 1.0).count() > 60,
+            o.reachability
+                .iter()
+                .filter(|r| r.is_finite() && **r < 1.0)
+                .count()
+                > 60,
             "most reachabilities are intra-blob"
         );
     }

@@ -103,7 +103,10 @@ mod tests {
         assert_eq!(ours.num_clusters(), reference.num_clusters());
         for i in 0..words.len() {
             assert_eq!(ours.labels()[i].is_core(), reference.labels()[i].is_core());
-            assert_eq!(ours.labels()[i].is_noise(), reference.labels()[i].is_noise());
+            assert_eq!(
+                ours.labels()[i].is_noise(),
+                reference.labels()[i].is_noise()
+            );
         }
     }
 

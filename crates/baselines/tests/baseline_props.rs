@@ -1,7 +1,9 @@
 //! Property-based cross-validation of the baseline DBSCAN variants
 //! against the original algorithm on randomized instances.
 
-use mdbscan_baselines::{dbscan_pp, dyw_dbscan, grid_dbscan_exact, optics, original_dbscan, SampleInit};
+use mdbscan_baselines::{
+    dbscan_pp, dyw_dbscan, grid_dbscan_exact, optics, original_dbscan, SampleInit,
+};
 use mdbscan_metric::Euclidean;
 use proptest::prelude::*;
 

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mdbscan_baselines::original_dbscan;
-use mdbscan_core::{
-    approx_dbscan, exact_dbscan, ApproxParams, StreamingApproxDbscan,
-};
+use mdbscan_core::{approx_dbscan, exact_dbscan, ApproxParams, StreamingApproxDbscan};
 use mdbscan_datagen::moons;
 use mdbscan_metric::Euclidean;
 use std::hint::black_box;
@@ -30,8 +28,7 @@ fn bench_solvers(c: &mut Criterion) {
     g.bench_function("streaming_rho0.5", |b| {
         let params = ApproxParams::new(eps, min_pts, 0.5).expect("params");
         b.iter(|| {
-            StreamingApproxDbscan::run(&Euclidean, &params, || pts.iter().cloned())
-                .expect("stream")
+            StreamingApproxDbscan::run(&Euclidean, &params, || pts.iter().cloned()).expect("stream")
         })
     });
     g.finish();

@@ -1,0 +1,73 @@
+//! Thread-scaling of the exact pipeline: the same 100k-point blob set
+//! solved at 1/2/4/8 worker threads. Labels are asserted identical to
+//! the 1-thread run before any timing — speed may vary with the core
+//! count, correctness may not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdbscan_core::{DbscanParams, ExactConfig, GonzalezIndex, ParallelConfig};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_kcenter::BuildOptions;
+use mdbscan_metric::Euclidean;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const EPS: f64 = 1.0;
+const MIN_PTS: usize = 10;
+
+fn dataset() -> Vec<Vec<f64>> {
+    blobs(
+        &BlobSpec {
+            n: N,
+            dim: 2,
+            clusters: 8,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.01,
+        },
+        42,
+    )
+    .into_parts()
+    .0
+}
+
+fn solve(pts: &[Vec<f64>], threads: usize) -> mdbscan_core::Clustering {
+    let parallel = ParallelConfig::new(threads);
+    let opts = BuildOptions {
+        parallel,
+        ..Default::default()
+    };
+    let index = GonzalezIndex::build_with(pts, &Euclidean, EPS / 2.0, &opts).expect("build");
+    let cfg = ExactConfig {
+        parallel,
+        ..ExactConfig::default()
+    };
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    index.exact_with(&params, &cfg).expect("exact").0
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let pts = dataset();
+    let baseline = solve(&pts, 1);
+    let mut g = c.benchmark_group("exact_100k_threads");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(N as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let labels = solve(&pts, threads);
+        assert_eq!(
+            labels.labels(),
+            baseline.labels(),
+            "labels diverged at {threads} threads"
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| solve(black_box(&pts), t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_thread_scaling
+}
+criterion_main!(benches);

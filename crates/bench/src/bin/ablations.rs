@@ -10,9 +10,7 @@
 
 use mdbscan_bench::registry;
 use mdbscan_bench::{row, timed, HarnessArgs};
-use mdbscan_core::{
-    exact_dbscan_covertree, DbscanParams, ExactConfig, GonzalezIndex,
-};
+use mdbscan_core::{exact_dbscan_covertree, DbscanParams, ExactConfig, GonzalezIndex};
 use mdbscan_metric::{CountingMetric, Euclidean};
 
 const MIN_PTS: usize = 10;
@@ -22,7 +20,12 @@ fn main() {
 
     println!("# ablation 1-3: ExactConfig toggles");
     row!(
-        "dataset", "dense_shortcut", "cover_tree", "early_term", "solve_ms", "dist_evals",
+        "dataset",
+        "dense_shortcut",
+        "cover_tree",
+        "early_term",
+        "solve_ms",
+        "dist_evals",
         "clusters"
     );
     let entries = registry::shape_suite(&args)
@@ -39,12 +42,12 @@ fn main() {
                         dense_shortcut: dense,
                         cover_tree_merge: tree,
                         early_termination: early,
+                        ..ExactConfig::default()
                     };
                     let m = CountingMetric::new(Euclidean);
                     let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
                     m.reset();
-                    let ((c, _stats), ms) =
-                        timed(|| idx.exact_with(&params, &cfg).expect("exact"));
+                    let ((c, _stats), ms) = timed(|| idx.exact_with(&params, &cfg).expect("exact"));
                     row!(
                         entry.name,
                         dense,
@@ -104,9 +107,19 @@ fn main() {
             idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
                 .expect("exact")
         });
-        row!(entry.name, "algorithm1", format!("{alg1_ms:.2}"), res.num_clusters());
+        row!(
+            entry.name,
+            "algorithm1",
+            format!("{alg1_ms:.2}"),
+            res.num_clusters()
+        );
         let ((res, _stats), tree_ms) =
             timed(|| exact_dbscan_covertree(&pts, &Euclidean, eps, MIN_PTS).expect("covertree"));
-        row!(entry.name, "covertree_3.2", format!("{tree_ms:.2}"), res.num_clusters());
+        row!(
+            entry.name,
+            "covertree_3.2",
+            format!("{tree_ms:.2}"),
+            res.num_clusters()
+        );
     }
 }

@@ -21,7 +21,15 @@ const EPS_FACTORS: [f64; 4] = [0.75, 1.0, 1.5, 2.0];
 fn main() {
     let args = HarnessArgs::parse();
     row!(
-        "dataset", "class", "n", "d", "eps", "algorithm", "wall_ms", "dist_evals", "clusters"
+        "dataset",
+        "class",
+        "n",
+        "d",
+        "eps",
+        "algorithm",
+        "wall_ms",
+        "dist_evals",
+        "clusters"
     );
     for entry in registry::low_dim_suite(&args) {
         run_vec_panel(&entry, &args);
@@ -150,12 +158,21 @@ fn run_text_panel(entry: &StrEntry) {
 
         let m = CountingMetric::new(Levenshtein);
         let (res, ms) = timed(|| {
-            baselines::dbscan_pp(pts, &m, eps, MIN_PTS, 0.3, baselines::SampleInit::Uniform, 7)
+            baselines::dbscan_pp(
+                pts,
+                &m,
+                eps,
+                MIN_PTS,
+                0.3,
+                baselines::SampleInit::Uniform,
+                7,
+            )
         });
         report("DBSCAN++", ms, m.count(), res.num_clusters());
 
         let m = CountingMetric::new(Levenshtein);
-        let (res, ms) = timed(|| baselines::dyw_dbscan(pts, &m, eps, MIN_PTS, n / 50 + 1, 1.0, n, 7));
+        let (res, ms) =
+            timed(|| baselines::dyw_dbscan(pts, &m, eps, MIN_PTS, n / 50 + 1, 1.0, n, 7));
         report("DYW_DBSCAN", ms, m.count(), res.num_clusters());
     }
 }

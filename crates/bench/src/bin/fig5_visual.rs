@@ -20,7 +20,15 @@ const MIN_PTS: usize = 10;
 fn main() {
     let args = HarnessArgs::parse();
     std::fs::create_dir_all("target/fig5").expect("mkdir target/fig5");
-    row!("dataset", "algorithm", "clusters", "noise", "ari", "ami", "csv");
+    row!(
+        "dataset",
+        "algorithm",
+        "clusters",
+        "noise",
+        "ari",
+        "ami",
+        "csv"
+    );
     let panels: Vec<(Dataset<Vec<f64>>, f64)> = vec![
         (moons(args.sized(1500), 0.06, 0.03, args.seed), 0.12),
         (banana(args.sized(1500), 0.03, args.seed + 1), 0.45),

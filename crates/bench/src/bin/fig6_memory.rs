@@ -16,7 +16,14 @@ const EPS_FACTORS: [f64; 4] = [0.75, 1.0, 1.5, 2.0];
 fn main() {
     let args = HarnessArgs::parse();
     row!(
-        "dataset", "n", "rho", "eps", "centers", "parked", "summary", "memory_fraction",
+        "dataset",
+        "n",
+        "rho",
+        "eps",
+        "centers",
+        "parked",
+        "summary",
+        "memory_fraction",
         "at_table4_eps"
     );
     let entries = registry::low_dim_suite(&args)

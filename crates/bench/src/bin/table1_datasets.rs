@@ -10,7 +10,13 @@ use mdbscan_metric::{estimate_doubling_dimension, Euclidean};
 fn main() {
     let args = HarnessArgs::parse();
     row!(
-        "dataset", "class", "n", "dim", "clusters", "outlier_share", "doubling_probe"
+        "dataset",
+        "class",
+        "n",
+        "dim",
+        "clusters",
+        "outlier_share",
+        "doubling_probe"
     );
     let entries = registry::low_dim_suite(&args)
         .into_iter()

@@ -33,8 +33,10 @@ fn main() {
         let (idx, gonzalez_ms) =
             timed(|| GonzalezIndex::build(pts, &Euclidean, eps / 2.0).expect("build"));
         let params = DbscanParams::new(eps, MIN_PTS).expect("params");
-        let (_r, solve_ms) =
-            timed(|| idx.exact_with(&params, &ExactConfig::default()).expect("exact"));
+        let (_r, solve_ms) = timed(|| {
+            idx.exact_with(&params, &ExactConfig::default())
+                .expect("exact")
+        });
         let total = gonzalez_ms + solve_ms;
         // Re-tuning at a larger ε reuses the same net (Remark 5).
         let params2 = DbscanParams::new(eps * 1.5, MIN_PTS).expect("params");

@@ -7,7 +7,7 @@
 //! in its own cell and everything is noise — the paper's `-` entries,
 //! reproduced rather than patched.
 
-use mdbscan_baselines::{Bico, DbStream, DStream, EvoStream};
+use mdbscan_baselines::{Bico, DStream, DbStream, EvoStream};
 use mdbscan_bench::registry;
 use mdbscan_bench::{row, HarnessArgs};
 use mdbscan_core::{ApproxParams, StreamingApproxDbscan};

@@ -1,0 +1,129 @@
+//! Thread-scaling report for the exact and ρ-approximate pipelines:
+//! solves one ≥100k-point blob set at 1/2/4/8 worker threads, checks
+//! the labels are byte-identical to the 1-thread run, and prints one
+//! JSON object (BENCH_thread_scaling.json shape) with wall-clock and
+//! distance-evaluation counts per thread setting.
+//!
+//! `--scale 0.1` shrinks the dataset for smoke runs; `--full` runs the
+//! million-point panel regardless of `--scale`.
+
+use mdbscan_bench::{timed, HarnessArgs};
+use mdbscan_core::{
+    ApproxParams, Clustering, DbscanParams, ExactConfig, GonzalezIndex, ParallelConfig,
+};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_kcenter::BuildOptions;
+use mdbscan_metric::Euclidean;
+
+const EPS: f64 = 1.0;
+const MIN_PTS: usize = 10;
+const RHO: f64 = 0.5;
+
+struct Run {
+    threads: usize,
+    build_ms: f64,
+    exact_ms: f64,
+    approx_ms: f64,
+    distance_evals: u64,
+    labels_match: bool,
+}
+
+fn solve(
+    pts: &[Vec<f64>],
+    threads: usize,
+    count: bool,
+) -> (Clustering, Clustering, f64, f64, f64, u64) {
+    let parallel = ParallelConfig::new(threads);
+    let opts = BuildOptions {
+        parallel,
+        ..Default::default()
+    };
+    let (index, build_ms) = timed(|| {
+        GonzalezIndex::build_with(pts, &Euclidean, RHO * EPS / 2.0, &opts).expect("build index")
+    });
+    let cfg = ExactConfig {
+        parallel,
+        count_distance_evals: count,
+        ..ExactConfig::default()
+    };
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let ((exact, stats), exact_ms) =
+        timed(|| index.exact_with(&params, &cfg).expect("exact query"));
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let (approx, approx_ms) = timed(|| index.approx(&aparams).expect("approx query"));
+    (
+        exact,
+        approx,
+        build_ms,
+        exact_ms,
+        approx_ms,
+        stats.distance_evals,
+    )
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = if args.full {
+        1_000_000
+    } else {
+        (100_000.0 * args.scale) as usize
+    };
+    let pts = blobs(
+        &BlobSpec {
+            n,
+            dim: 2,
+            clusters: 8,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.01,
+        },
+        args.seed,
+    )
+    .into_parts()
+    .0;
+
+    let (base_exact, base_approx, ..) = solve(&pts, 1, false);
+    let mut runs: Vec<Run> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // Timed pass without counting (the counter atomic is contended);
+        // separate counted pass for the work numbers.
+        let (exact, approx, build_ms, exact_ms, approx_ms, _) = solve(&pts, threads, false);
+        let (_, _, _, _, _, distance_evals) = solve(&pts, threads, true);
+        runs.push(Run {
+            threads,
+            build_ms,
+            exact_ms,
+            approx_ms,
+            distance_evals,
+            labels_match: exact.labels() == base_exact.labels()
+                && approx.labels() == base_approx.labels(),
+        });
+    }
+
+    let t1_total = runs[0].build_ms + runs[0].exact_ms;
+    println!("{{");
+    println!("  \"bench\": \"thread_scaling\",");
+    println!("  \"n\": {n},");
+    println!("  \"eps\": {EPS},");
+    println!("  \"min_pts\": {MIN_PTS},");
+    println!(
+        "  \"available_parallelism\": {},",
+        ParallelConfig::available()
+    );
+    println!("  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let total = r.build_ms + r.exact_ms;
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        println!(
+            "    {{\"threads\": {}, \"build_ms\": {:.2}, \"exact_ms\": {:.2}, \"approx_ms\": {:.2}, \"total_ms\": {:.2}, \"speedup_vs_1t\": {:.3}, \"distance_evals\": {}, \"labels_match_1t\": {}}}{sep}",
+            r.threads, r.build_ms, r.exact_ms, r.approx_ms, total, t1_total / total,
+            r.distance_evals, r.labels_match,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    assert!(
+        runs.iter().all(|r| r.labels_match),
+        "cluster labels diverged across thread counts"
+    );
+}

@@ -137,7 +137,11 @@ fn image_like(
     // noise amplitude: copy-cloud radius ≈ 0.4 « ε₀
     let noise = 0.4 / (dim as f64 / 3.0).sqrt();
     let mut data = noisy_duplication(&base, 10, noise, 0.01, -60.0, 60.0, args.seed + seed_off);
-    data = Dataset::with_labels(name, data.points().to_vec(), data.labels().unwrap().to_vec());
+    data = Dataset::with_labels(
+        name,
+        data.points().to_vec(),
+        data.labels().unwrap().to_vec(),
+    );
     VecEntry {
         data,
         name,
@@ -256,7 +260,15 @@ pub fn noisy_variant(args: &HarnessArgs, base: &VecEntry, seed_off: u64) -> VecE
     // on [0,255]^d pixels has the same "small relative to ε" property.
     let noise = 1.5 / (base.dim as f64 / 3.0).sqrt();
     VecEntry {
-        data: noisy_duplication(&inner.data, 10, noise, 0.01, -60.0, 60.0, args.seed + seed_off),
+        data: noisy_duplication(
+            &inner.data,
+            10,
+            noise,
+            0.01,
+            -60.0,
+            60.0,
+            args.seed + seed_off,
+        ),
         name: match base.name {
             "MNIST" => "MNIST_noisy",
             "FashionMNIST" => "Fashion_noisy",

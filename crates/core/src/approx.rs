@@ -17,12 +17,18 @@ use std::time::Instant;
 
 use mdbscan_kcenter::CenterAdjacency;
 use mdbscan_metric::Metric;
+use mdbscan_parallel::{par_map_range, ParallelConfig};
 
 use crate::labels::PointLabel;
 use crate::netview::NetView;
 use crate::params::ApproxParams;
+use crate::parmerge::{batch_size, union_rounds};
 use crate::steps::count_neighbors_capped;
 use crate::unionfind::UnionFind;
+
+/// Work items per worker below which the summary / labeling loops stay
+/// sequential.
+const APPROX_MIN_PER_THREAD: usize = 512;
 
 /// Statistics of one Algorithm-2 run (Fig. 6 uses the summary/memory
 /// numbers; the ablations use the timings).
@@ -47,18 +53,22 @@ pub struct ApproxStats {
 }
 
 /// Runs Algorithm 2 over a prepared net (`net.rbar ≤ ρε/2` — checked by
-/// the caller).
-pub(crate) fn run_approx<P, M: Metric<P>>(
+/// the caller). Parallel over the phase's natural unit — centers for
+/// the core tests, summary pairs (round-batched) for the merge, points
+/// for the labeling — with labels identical for every thread count.
+pub(crate) fn run_approx<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
     params: &ApproxParams,
+    parallel: &ParallelConfig,
 ) -> (Vec<PointLabel>, ApproxStats) {
     debug_assert!(net.rbar <= params.rbar() * (1.0 + 1e-9));
     let eps = params.eps();
     let min_pts = params.min_pts();
     let k = net.num_centers();
     let n = net.num_points();
+    let threads = parallel.threads();
     let mut stats = ApproxStats {
         n_centers: k,
         ..Default::default()
@@ -71,44 +81,52 @@ pub(crate) fn run_approx<P, M: Metric<P>>(
     // 4r̄ + ε.
     let t = Instant::now();
     let threshold = (params.merge_radius() + 2.0 * net.rbar).max(2.0 * net.rbar + eps);
-    let adj = CenterAdjacency::build(points, metric, net.centers, threshold);
+    let adj = CenterAdjacency::build_with(points, metric, net.centers, threshold, parallel);
     stats.adjacency_secs = t.elapsed().as_secs_f64();
     stats.mean_adjacency_degree = adj.mean_degree();
 
     // ---- Summary construction ----
     let t = Instant::now();
-    // Which centers are core points (|B(e, ε)| ≥ MinPts)?
-    let mut center_core = vec![false; k];
-    #[allow(clippy::needless_range_loop)] // e indexes three parallel structures
-    for e in 0..k {
-        let center_point = net.centers[e];
-        center_core[e] =
-            count_neighbors_capped(points, metric, net, &adj, e, center_point, eps, min_pts)
-                >= min_pts;
-    }
+    // Which centers are core points (|B(e, ε)| ≥ MinPts)? Parallel over
+    // centers; each test is independent.
+    let center_core: Vec<bool> = par_map_range(k, threads, 64, |e| {
+        count_neighbors_capped(points, metric, net, &adj, e, net.centers[e], eps, min_pts)
+            >= min_pts
+    });
+    // Points of non-core-center balls need individual core tests
+    // (Lemma 8 bounds each such ball below MinPts points, so this stays
+    // amortized-linear — Lemma 10). Collect them, test in parallel.
+    let sparse_points: Vec<u32> = (0..k)
+        .filter(|&e| !center_core[e])
+        .flat_map(|e| net.cover_sets.row(e).iter().copied())
+        .collect();
+    let sparse_core: Vec<bool> =
+        par_map_range(sparse_points.len(), threads, APPROX_MIN_PER_THREAD, |i| {
+            let pi = sparse_points[i] as usize;
+            let e = net.assignment[pi] as usize;
+            count_neighbors_capped(points, metric, net, &adj, e, pi, eps, min_pts) >= min_pts
+        });
     // S* as point indices, plus per-center membership lists (positions
-    // into `summary`), plus each center's own summary position.
+    // into `summary`), plus each center's own summary position —
+    // assembled sequentially in center order, exactly as the sequential
+    // algorithm would.
     let mut summary: Vec<usize> = Vec::new();
     let mut summary_by_center: Vec<Vec<u32>> = vec![Vec::new(); k];
-    let mut is_summary = vec![false; n];
+    let mut sparse_cursor = 0usize;
     for e in 0..k {
         if center_core[e] {
             let pos = summary.len() as u32;
             summary.push(net.centers[e]);
             summary_by_center[e].push(pos);
-            is_summary[net.centers[e]] = true;
         } else {
-            // Lemma 8: this ball holds < MinPts points, so the per-point
-            // core tests below stay amortized-linear (Lemma 10).
-            for &p in &net.cover_sets[e] {
-                let pi = p as usize;
-                let core = count_neighbors_capped(points, metric, net, &adj, e, pi, eps, min_pts)
-                    >= min_pts;
+            for &p in net.cover_sets.row(e) {
+                debug_assert_eq!(sparse_points[sparse_cursor], p);
+                let core = sparse_core[sparse_cursor];
+                sparse_cursor += 1;
                 if core {
                     let pos = summary.len() as u32;
-                    summary.push(pi);
+                    summary.push(p as usize);
                     summary_by_center[e].push(pos);
-                    is_summary[pi] = true;
                 }
             }
         }
@@ -120,47 +138,90 @@ pub(crate) fn run_approx<P, M: Metric<P>>(
     let t = Instant::now();
     let merge_r = params.merge_radius();
     let mut uf = UnionFind::new(summary.len());
-    for (i, &sp) in summary.iter().enumerate() {
-        let cs = net.assignment[sp] as usize;
-        for &e2 in &adj.neighbors[cs] {
-            for &jpos in &summary_by_center[e2 as usize] {
-                let j = jpos as usize;
-                if j <= i || uf.connected(i, j) {
-                    continue;
-                }
-                stats.merge_pairs_tested += 1;
-                if metric.within(&points[sp], &points[summary[j]], merge_r) {
-                    uf.union(i, j);
+    if threads <= 1 {
+        for (i, &sp) in summary.iter().enumerate() {
+            let cs = net.assignment[sp] as usize;
+            for &e2 in &adj.neighbors[cs] {
+                for &jpos in &summary_by_center[e2 as usize] {
+                    let j = jpos as usize;
+                    if j <= i || uf.connected(i, j) {
+                        continue;
+                    }
+                    stats.merge_pairs_tested += 1;
+                    if metric.within(&points[sp], &points[summary[j]], merge_r) {
+                        uf.union(i, j);
+                    }
                 }
             }
         }
+    } else {
+        // Round-batched: same candidate order, parallel distance tests;
+        // the final components (and so the labels) are identical.
+        let batch = batch_size(threads);
+        let mut i_cursor = 0usize;
+        let mut pending: std::collections::VecDeque<(u32, u32)> = std::collections::VecDeque::new();
+        let (tested, _) = union_rounds(
+            &mut uf,
+            threads,
+            |uf| {
+                let mut out = Vec::new();
+                loop {
+                    while out.len() < batch {
+                        match pending.pop_front() {
+                            Some((i, j)) => {
+                                if uf.root(i as usize) != uf.root(j as usize) {
+                                    out.push((i, j));
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                    if out.len() >= batch || i_cursor >= summary.len() {
+                        return out;
+                    }
+                    let i = i_cursor;
+                    i_cursor += 1;
+                    let cs = net.assignment[summary[i]] as usize;
+                    for &e2 in &adj.neighbors[cs] {
+                        for &jpos in &summary_by_center[e2 as usize] {
+                            if (jpos as usize) > i {
+                                pending.push_back((i as u32, jpos));
+                            }
+                        }
+                    }
+                }
+            },
+            |i, j| metric.within(&points[summary[i]], &points[summary[j]], merge_r),
+        );
+        stats.merge_pairs_tested = tested;
     }
     let summary_cluster = uf.component_ids();
     stats.merge_secs = t.elapsed().as_secs_f64();
 
-    // ---- Label everything ----
+    // ---- Label everything, parallel over points ----
     let t = Instant::now();
     let label_r = params.label_radius();
-    let mut labels = vec![PointLabel::Noise; n];
-    // Summary members are certified core points.
+    // Summary position of each point (u32::MAX = not in S*) and of each
+    // core center.
+    let mut summary_pos_of_point = vec![u32::MAX; n];
     for (i, &sp) in summary.iter().enumerate() {
-        labels[sp] = PointLabel::Core(summary_cluster[i]);
+        summary_pos_of_point[sp] = i as u32;
     }
-    // Position of each core center's summary entry.
     let center_summary_pos: Vec<Option<u32>> = (0..k)
         .map(|e| center_core[e].then(|| summary_by_center[e][0]))
         .collect();
-    for p in 0..n {
-        if is_summary[p] {
-            continue;
+    let labels: Vec<PointLabel> = par_map_range(n, threads, APPROX_MIN_PER_THREAD, |p| {
+        // Summary members are certified core points.
+        let pos = summary_pos_of_point[p];
+        if pos != u32::MAX {
+            return PointLabel::Core(summary_cluster[pos as usize]);
         }
         let cp = net.assignment[p] as usize;
         if let Some(pos) = center_summary_pos[cp] {
             // p is within r̄ ≤ ε of the core center c_p: at least a border
             // point of that cluster (individual core-ness not certified —
             // see PointLabel::Border docs).
-            labels[p] = PointLabel::Border(summary_cluster[pos as usize]);
-            continue;
+            return PointLabel::Border(summary_cluster[pos as usize]);
         }
         // Nearest summary point within (ρ/2+1)ε among neighbor balls.
         let mut best: Option<(f64, u32)> = None;
@@ -176,10 +237,11 @@ pub(crate) fn run_approx<P, M: Metric<P>>(
                 }
             }
         }
-        if let Some((_, jpos)) = best {
-            labels[p] = PointLabel::Border(summary_cluster[jpos as usize]);
+        match best {
+            Some((_, jpos)) => PointLabel::Border(summary_cluster[jpos as usize]),
+            None => PointLabel::Noise,
         }
-    }
+    });
     stats.label_secs = t.elapsed().as_secs_f64();
 
     (labels, stats)

@@ -43,7 +43,10 @@ impl fmt::Display for DbscanError {
                  rebuild the index with a smaller rbar"
             ),
             DbscanError::IndexNotCovering => {
-                write!(f, "index was truncated by max_centers and does not cover the data")
+                write!(
+                    f,
+                    "index was truncated by max_centers and does not cover the data"
+                )
             }
         }
     }
@@ -61,9 +64,14 @@ mod tests {
         assert!(DbscanError::InvalidMinPts(0).to_string().contains('0'));
         assert!(DbscanError::InvalidRho(3.0).to_string().contains('3'));
         assert!(DbscanError::EmptyInput.to_string().contains("empty"));
-        assert!(DbscanError::IndexTooCoarse { rbar: 2.0, limit: 1.0 }
+        assert!(DbscanError::IndexTooCoarse {
+            rbar: 2.0,
+            limit: 1.0
+        }
+        .to_string()
+        .contains("rebuild"));
+        assert!(DbscanError::IndexNotCovering
             .to_string()
-            .contains("rebuild"));
-        assert!(DbscanError::IndexNotCovering.to_string().contains("max_centers"));
+            .contains("max_centers"));
     }
 }

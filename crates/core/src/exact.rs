@@ -154,12 +154,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = rng.random_range(20..140);
             let pts: Vec<Vec<f64>> = (0..n)
-                .map(|_| {
-                    vec![
-                        rng.random_range(-3.0..3.0),
-                        rng.random_range(-3.0..3.0),
-                    ]
-                })
+                .map(|_| vec![rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)])
                 .collect();
             let eps = rng.random_range(0.2..1.5);
             let min_pts = rng.random_range(2..7);
@@ -204,6 +199,7 @@ mod tests {
                         dense_shortcut: dense,
                         cover_tree_merge: tree,
                         early_termination: early,
+                        ..ExactConfig::default()
                     };
                     let (c, stats) = index.exact_with(&params, &cfg).unwrap();
                     assert!(

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use mdbscan_covertree::CoverTree;
 use mdbscan_metric::Metric;
+use mdbscan_parallel::Csr;
 
 use crate::error::DbscanError;
 use crate::exact::{ExactConfig, ExactStats};
@@ -45,11 +46,25 @@ pub struct CoverTreeExactStats {
 /// input is known to double — e.g. no adversarial outliers — because the
 /// cover tree is reusable across *all* `ε` (any level can be extracted),
 /// not just `ε ≥ 2r̄`.
-pub fn exact_dbscan_covertree<P, M: Metric<P>>(
+pub fn exact_dbscan_covertree<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
     min_pts: usize,
+) -> Result<(Clustering, CoverTreeExactStats), DbscanError> {
+    exact_dbscan_covertree_with(points, metric, eps, min_pts, &ExactConfig::default())
+}
+
+/// As [`exact_dbscan_covertree`], with explicit step configuration —
+/// the ablation toggles plus the [`ExactConfig::parallel`] thread knob
+/// for the shared Steps 1–3. (The cover-tree construction itself is
+/// sequential: inserts depend on the evolving tree.)
+pub fn exact_dbscan_covertree_with<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    cfg: &ExactConfig,
 ) -> Result<(Clustering, CoverTreeExactStats), DbscanError> {
     let params = DbscanParams::new(eps, min_pts)?;
     if points.is_empty() {
@@ -69,20 +84,14 @@ pub fn exact_dbscan_covertree<P, M: Metric<P>>(
 
     // Rebuild cover sets from the assignment (the net gives center pos per
     // point).
-    let cover_sets: Vec<Vec<u32>> = {
-        let mut cs = vec![Vec::new(); net.centers.len()];
-        for (p, &a) in net.assignment.iter().enumerate() {
-            cs[a as usize].push(p as u32);
-        }
-        cs
-    };
+    let cover_sets = Csr::from_assignment(&net.assignment, net.centers.len());
     let view = NetView {
         rbar: net.cover_radius,
         centers: &net.centers,
         assignment: &net.assignment,
         cover_sets: &cover_sets,
     };
-    let (labels, steps) = run_exact_steps(points, metric, &view, &params, &ExactConfig::default());
+    let (labels, steps) = run_exact_steps(points, metric, &view, &params, cfg);
     Ok((
         Clustering::from_labels(labels),
         CoverTreeExactStats {
@@ -121,7 +130,11 @@ mod tests {
             // Both are exact: identical core partition & noise set; borders
             // may tie-break differently, so compare through the partition
             // only when cluster structure is unambiguous.
-            assert_eq!(via_alg1.num_clusters(), via_tree.num_clusters(), "eps={eps}");
+            assert_eq!(
+                via_alg1.num_clusters(),
+                via_tree.num_clusters(),
+                "eps={eps}"
+            );
             for i in 0..pts.len() {
                 assert_eq!(
                     via_alg1.labels()[i].is_core(),

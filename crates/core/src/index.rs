@@ -3,6 +3,7 @@
 
 use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
 use mdbscan_metric::Metric;
+use mdbscan_parallel::ParallelConfig;
 
 use crate::approx::{run_approx, ApproxStats};
 use crate::error::DbscanError;
@@ -28,6 +29,7 @@ pub struct GonzalezIndex<'a, P, M> {
     points: &'a [P],
     metric: &'a M,
     net: RadiusGuidedNet,
+    parallel: ParallelConfig,
 }
 
 impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
@@ -55,6 +57,7 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
             points,
             metric,
             net,
+            parallel: opts.parallel,
         })
     }
 
@@ -72,7 +75,14 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
             points,
             metric,
             net,
+            parallel: ParallelConfig::default(),
         })
+    }
+
+    /// The thread-count knob queries on this index use by default
+    /// (inherited from [`BuildOptions::parallel`] at build time).
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// The underlying net.
@@ -117,10 +127,14 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
         Ok(())
     }
 
-    /// Exact metric DBSCAN (§3.1) at the given parameters.
+    /// Exact metric DBSCAN (§3.1) at the given parameters, threaded per
+    /// the index's [`GonzalezIndex::parallel`] config.
     pub fn exact(&self, params: &DbscanParams) -> Result<Clustering, DbscanError> {
-        self.exact_with(params, &ExactConfig::default())
-            .map(|(c, _)| c)
+        let cfg = ExactConfig {
+            parallel: self.parallel,
+            ..ExactConfig::default()
+        };
+        self.exact_with(params, &cfg).map(|(c, _)| c)
     }
 
     /// Exact DBSCAN with explicit configuration, returning phase
@@ -146,7 +160,13 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
         params: &ApproxParams,
     ) -> Result<(Clustering, ApproxStats), DbscanError> {
         self.check_usable(params.rbar())?;
-        let (labels, stats) = run_approx(self.points, self.metric, &self.view(), params);
+        let (labels, stats) = run_approx(
+            self.points,
+            self.metric,
+            &self.view(),
+            params,
+            &self.parallel,
+        );
         Ok((Clustering::from_labels(labels), stats))
     }
 }

@@ -37,6 +37,39 @@
 //!     println!("eps={eps}: {} clusters", c.num_clusters());
 //! }
 //! ```
+//!
+//! ## Threading model
+//!
+//! Every hot phase is data-parallel over scoped threads, controlled by
+//! one knob — [`ParallelConfig`] — which defaults to the machine's
+//! available parallelism and threads through
+//! [`mdbscan_kcenter::BuildOptions::parallel`] (Algorithm 1 build),
+//! [`GonzalezIndex`] (stored at build time, reused by queries), and
+//! [`ExactConfig::parallel`] (per-query override for the exact steps).
+//!
+//! What scales with cores:
+//!
+//! | phase | parallel over |
+//! |---|---|
+//! | Algorithm 1 sweep + farthest-point reduction | points |
+//! | center adjacency (`A` sets) | upper-triangle center rows |
+//! | Step 1 core labeling / Algorithm 2 core tests | points / centers |
+//! | Step 2 fragment cover trees | fragments (weighted) |
+//! | Step 2 BCP tests / summary merges | candidate pairs, batched per union-find round |
+//! | Step 3 border assignment / Algorithm 2 labeling | points |
+//! | streaming pass 3 | stream blocks |
+//!
+//! Cover-tree construction for the §3.2 variant and streaming passes
+//! 1–2 are inherently sequential (each insert/arrival depends on the
+//! state so far).
+//!
+//! **Determinism is unconditional**: chunks are contiguous in index
+//! order, reductions combine per-chunk results in chunk order with ties
+//! broken toward the smaller index, and batched merging only skips
+//! pairs already connected — so cluster labels are bit-identical across
+//! thread counts (a 1-thread and a 64-thread run agree byte for byte).
+//! Only derived counters that measure *work done* (e.g.
+//! [`ExactStats::bcp_tests`]) may differ.
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
@@ -48,6 +81,7 @@ mod index;
 mod labels;
 mod netview;
 mod params;
+mod parmerge;
 mod steps;
 mod streaming;
 mod unionfind;
@@ -55,9 +89,12 @@ mod unionfind;
 pub use approx::ApproxStats;
 pub use error::DbscanError;
 pub use exact::{ExactConfig, ExactStats};
-pub use exact_covertree::{exact_dbscan_covertree, CoverTreeExactStats};
+pub use exact_covertree::{
+    exact_dbscan_covertree, exact_dbscan_covertree_with, CoverTreeExactStats,
+};
 pub use index::GonzalezIndex;
 pub use labels::{Clustering, PointLabel};
+pub use mdbscan_parallel::ParallelConfig;
 pub use params::{ApproxParams, DbscanParams};
 pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 pub use unionfind::UnionFind;

@@ -1,7 +1,13 @@
 //! Internal: a borrowed view of an `r̄`-net, decoupling the DBSCAN steps
 //! from where the net came from (Algorithm 1 or a cover-tree level, §3.2).
 
+use mdbscan_parallel::Csr;
+
 /// A covering net with its Voronoi decomposition, by reference.
+///
+/// The cover sets are shared as flat CSR rows (offsets + values), so the
+/// Step 1–3 inner loops stream one contiguous array instead of chasing a
+/// `Vec` per center.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct NetView<'n> {
     /// Covering radius bound: every point is within `rbar` of its center.
@@ -10,8 +16,8 @@ pub(crate) struct NetView<'n> {
     pub centers: &'n [usize],
     /// Per point, the position in `centers` of its center.
     pub assignment: &'n [u32],
-    /// Per center, the points assigned to it (a partition of the input).
-    pub cover_sets: &'n [Vec<u32>],
+    /// Per center, the points assigned to it (rows partition the input).
+    pub cover_sets: &'n Csr,
 }
 
 impl<'n> NetView<'n> {

@@ -1,0 +1,112 @@
+//! Round-batched parallel union-find merging.
+//!
+//! The sequential merge loops (exact Step 2, the Algorithm-2 summary
+//! merge, the streaming offline merge) interleave *pure* pair tests
+//! (`BCP ≤ ε`, `dis ≤ (1+ρ)ε`) with union-find updates, skipping pairs
+//! already connected. That interleaving is inherently serial, but the
+//! *final partition* only depends on which pairs pass their test:
+//! skipped pairs are exactly those already connected transitively, so
+//! adding or removing them never changes the connected components.
+//!
+//! [`union_rounds`] exploits that: candidate pairs are consumed in
+//! batches; each batch is pre-filtered against the current union-find
+//! state (read-only roots), its tests run in parallel, and its positive
+//! pairs are unioned in order. A parallel run may test a few pairs a
+//! sequential run would have skipped (the price of batching), but the
+//! resulting components — and therefore the final cluster labels — are
+//! identical for every thread count.
+
+use crate::unionfind::UnionFind;
+use mdbscan_parallel::par_map_range;
+
+/// Drains `next_batch` until exhaustion, testing each candidate pair
+/// with `test` (in parallel across the batch) and unioning positives in
+/// batch order. Returns `(pairs_tested, pairs_positive)`.
+///
+/// `next_batch` sees the up-to-date union-find and should (a) skip
+/// pairs whose endpoints are already connected — use
+/// [`UnionFind::root`] — and (b) bound the batch size so skipping stays
+/// effective; it returns an empty batch to finish.
+pub(crate) fn union_rounds<F>(
+    uf: &mut UnionFind,
+    threads: usize,
+    mut next_batch: impl FnMut(&UnionFind) -> Vec<(u32, u32)>,
+    test: F,
+) -> (u64, u64)
+where
+    F: Fn(usize, usize) -> bool + Sync,
+{
+    let mut tested = 0u64;
+    let mut positive = 0u64;
+    loop {
+        let batch = next_batch(uf);
+        if batch.is_empty() {
+            return (tested, positive);
+        }
+        tested += batch.len() as u64;
+        // Small batches run inline — a handful of distance tests never
+        // pays for a thread spawn.
+        let hits: Vec<bool> = par_map_range(batch.len(), threads, 8, |i| {
+            let (a, b) = batch[i];
+            test(a as usize, b as usize)
+        });
+        for (&(a, b), hit) in batch.iter().zip(hits) {
+            if hit {
+                positive += 1;
+                uf.union(a as usize, b as usize);
+            }
+        }
+    }
+}
+
+/// A sensible batch size: large enough to amortize a round's spawn
+/// cost, small enough that connectivity discovered early in the round
+/// still prunes most of what follows.
+pub(crate) fn batch_size(threads: usize) -> usize {
+    (threads * 16).max(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chain 0-1-2-…-n as candidate pairs plus all the transitive
+    /// pairs; the transitive ones must be skipped or harmless.
+    #[test]
+    fn components_match_sequential_for_any_threading() {
+        let n = 40usize;
+        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        // connect iff same parity
+        let test = |a: usize, b: usize| (a % 2) == (b % 2);
+
+        let run = |threads: usize, batch: usize| -> Vec<u32> {
+            let mut uf = UnionFind::new(n);
+            let mut cursor = 0usize;
+            let (_, _) = union_rounds(
+                &mut uf,
+                threads,
+                |uf| {
+                    let mut out = Vec::new();
+                    while out.len() < batch && cursor < all_pairs.len() {
+                        let (a, b) = all_pairs[cursor];
+                        cursor += 1;
+                        if uf.root(a as usize) != uf.root(b as usize) {
+                            out.push((a, b));
+                        }
+                    }
+                    out
+                },
+                test,
+            );
+            uf.component_ids()
+        };
+
+        let reference = run(1, 1);
+        assert_eq!(reference.iter().filter(|&&c| c == 0).count(), n / 2);
+        for (threads, batch) in [(1, 7), (4, 16), (8, 64)] {
+            assert_eq!(run(threads, batch), reference, "threads={threads}");
+        }
+    }
+}

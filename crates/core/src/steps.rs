@@ -17,17 +17,37 @@
 //! * **Step 3** — borders vs outliers. Each non-core point looks for its
 //!   nearest core point inside `∪_{e' ∈ A_e} C̃_{e'}`; within `ε` → border
 //!   of that core's cluster, else noise. `O(n·z·t_dis)` (Lemma 6).
+//!
+//! # Threading
+//!
+//! Every phase is parallel over its natural unit and deterministic for
+//! any thread count ([`ExactConfig::parallel`]):
+//!
+//! * the adjacency parallelizes over upper-triangle center rows;
+//! * Step 1 over points (each point's core test is independent);
+//! * Step 2 builds the per-fragment cover trees in parallel (weighted
+//!   by fragment size) and batches BCP tests per union-find round — a
+//!   batch is pre-filtered against current connectivity, tested in
+//!   parallel, and unioned in order, preserving the early-termination
+//!   *semantics* (skipped pairs are already-connected pairs) and the
+//!   final labels exactly;
+//! * Step 3 over points again.
 
 use std::time::Instant;
 
 use mdbscan_covertree::CoverTree;
 use mdbscan_kcenter::CenterAdjacency;
-use mdbscan_metric::Metric;
+use mdbscan_metric::{CountingMetric, Metric};
+use mdbscan_parallel::{par_map_range, par_map_ranges, split_weighted, Csr, ParallelConfig};
 
 use crate::labels::PointLabel;
 use crate::netview::NetView;
 use crate::params::DbscanParams;
+use crate::parmerge::{batch_size, union_rounds};
 use crate::unionfind::UnionFind;
+
+/// Points per worker below which Step 1/3 stay sequential.
+const STEP_MIN_PER_THREAD: usize = 512;
 
 /// Toggles for the implementation refinements of the exact pipeline —
 /// the ablation benches flip these to measure what each buys.
@@ -45,6 +65,16 @@ pub struct ExactConfig {
     /// tests between fragments already merged transitively. Off = every
     /// neighboring pair computes its full BCP.
     pub early_termination: bool,
+    /// Worker threads for the adjacency and Steps 1–3. The labels are
+    /// identical for every setting; only wall-clock changes. Defaults to
+    /// the machine's available parallelism.
+    pub parallel: ParallelConfig,
+    /// Count distance evaluations into [`StepsStats::distance_evals`].
+    /// Off by default: the counter is one shared atomic, whose
+    /// contention is measurable next to cheap metrics (e.g. 2-d
+    /// Euclidean) — enable it for work accounting, not for wall-clock
+    /// runs.
+    pub count_distance_evals: bool,
 }
 
 impl Default for ExactConfig {
@@ -53,6 +83,8 @@ impl Default for ExactConfig {
             dense_shortcut: true,
             cover_tree_merge: true,
             early_termination: true,
+            parallel: ParallelConfig::default(),
+            count_distance_evals: false,
         }
     }
 }
@@ -76,16 +108,40 @@ pub struct StepsStats {
     pub assign_secs: f64,
     /// Number of points labeled core by the dense-ball shortcut.
     pub dense_cores: usize,
-    /// Fragment pairs whose BCP was tested.
+    /// Fragment pairs whose BCP was tested. With multiple threads a few
+    /// extra pairs may be tested relative to a 1-thread run (batch
+    /// pre-filtering is round-granular); the resulting labels are
+    /// identical.
     pub bcp_tests: u64,
     /// Fragment pairs found connected.
     pub bcp_connected: u64,
+    /// Distance evaluations across all phases (adjacency + Steps 1–3),
+    /// in units of the paper's `t_dis`. Zero unless
+    /// [`ExactConfig::count_distance_evals`] is set.
+    pub distance_evals: u64,
 }
 
 /// Runs Steps 1–3 over an arbitrary covering net. Caller must guarantee
 /// `net.rbar ≤ params.eps() / 2` — that inequality is what makes the dense
 /// shortcut and the fragment-merge radius sound.
-pub(crate) fn run_exact_steps<P, M: Metric<P>>(
+pub(crate) fn run_exact_steps<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    params: &DbscanParams,
+    cfg: &ExactConfig,
+) -> (Vec<PointLabel>, StepsStats) {
+    if cfg.count_distance_evals {
+        let counting = CountingMetric::new(metric);
+        let (labels, mut stats) = run_steps_inner(points, &counting, net, params, cfg);
+        stats.distance_evals = counting.count();
+        (labels, stats)
+    } else {
+        run_steps_inner(points, metric, net, params, cfg)
+    }
+}
+
+fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
@@ -97,6 +153,7 @@ pub(crate) fn run_exact_steps<P, M: Metric<P>>(
     let min_pts = params.min_pts();
     let n = net.num_points();
     let k = net.num_centers();
+    let threads = cfg.parallel.threads();
     let mut stats = StepsStats {
         n_centers: k,
         ..Default::default()
@@ -105,67 +162,94 @@ pub(crate) fn run_exact_steps<P, M: Metric<P>>(
     // Neighbor-ball adjacency at 2r̄ + ε (definition (1)); Lemma 2 then
     // confines every ε-ball to its neighbor cover sets.
     let t = Instant::now();
-    let adj = CenterAdjacency::build(points, metric, net.centers, 2.0 * net.rbar + eps);
+    let adj = CenterAdjacency::build_with(
+        points,
+        metric,
+        net.centers,
+        2.0 * net.rbar + eps,
+        &cfg.parallel,
+    );
     stats.adjacency_secs = t.elapsed().as_secs_f64();
     stats.mean_adjacency_degree = adj.mean_degree();
 
-    // ---- Step 1: core labeling ----
+    // ---- Step 1: core labeling, parallel over points ----
     let t = Instant::now();
-    let mut is_core = vec![false; n];
-    for e in 0..k {
-        let cset = &net.cover_sets[e];
-        if cset.is_empty() {
-            continue;
-        }
-        if cfg.dense_shortcut && cset.len() >= min_pts {
-            for &p in cset {
-                is_core[p as usize] = true;
-            }
-            stats.dense_cores += cset.len();
-        } else {
-            for &p in cset {
-                is_core[p as usize] =
-                    count_neighbors_capped(points, metric, net, &adj, e, p as usize, eps, min_pts)
-                        >= min_pts;
-            }
-        }
-    }
+    let dense: Vec<bool> = (0..k)
+        .map(|e| cfg.dense_shortcut && net.cover_sets.row_len(e) >= min_pts)
+        .collect();
+    stats.dense_cores = (0..k)
+        .filter(|&e| dense[e])
+        .map(|e| net.cover_sets.row_len(e))
+        .sum();
+    let is_core: Vec<bool> = par_map_range(n, threads, STEP_MIN_PER_THREAD, |p| {
+        let e = net.assignment[p] as usize;
+        dense[e] || count_neighbors_capped(points, metric, net, &adj, e, p, eps, min_pts) >= min_pts
+    });
     stats.label_secs = t.elapsed().as_secs_f64();
 
     // ---- Step 2: merge core fragments ----
     let t = Instant::now();
-    // C̃_e: the core points of each cover set.
-    let fragments: Vec<Vec<usize>> = net
-        .cover_sets
-        .iter()
-        .map(|cset| {
-            cset.iter()
-                .map(|&p| p as usize)
-                .filter(|&p| is_core[p])
-                .collect()
-        })
-        .collect();
+    // C̃_e: the core points of each cover set, flattened like the cover
+    // sets themselves.
+    let fragments: Csr = {
+        let mut offsets = vec![0usize; k + 1];
+        let mut values = Vec::new();
+        for e in 0..k {
+            values.extend(
+                net.cover_sets
+                    .row(e)
+                    .iter()
+                    .copied()
+                    .filter(|&p| is_core[p as usize]),
+            );
+            offsets[e + 1] = values.len();
+        }
+        Csr::from_parts(offsets, values)
+    };
     let trees: Vec<Option<CoverTree<'_, P, M>>> = if cfg.cover_tree_merge {
-        fragments
-            .iter()
-            .map(|frag| {
-                (!frag.is_empty())
-                    .then(|| CoverTree::from_indices(points, metric, frag.iter().copied()))
+        // Parallel over centers, weighted by fragment size (construction
+        // cost is superlinear in the fragment, so even splits by row
+        // count would starve some workers). Small core sets build
+        // sequentially — a few microseconds of tree work never pays for
+        // a spawn.
+        let tree_threads = if fragments.total_len() >= 2 * STEP_MIN_PER_THREAD {
+            threads
+        } else {
+            1
+        };
+        let ranges = split_weighted(k, tree_threads, |e| fragments.row_len(e));
+        par_map_ranges(ranges, |rows| {
+            rows.map(|e| {
+                let frag = fragments.row(e);
+                (!frag.is_empty()).then(|| {
+                    CoverTree::from_indices(points, metric, frag.iter().map(|&p| p as usize))
+                })
             })
-            .collect()
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     } else {
         (0..k).map(|_| None).collect()
     };
     let mut uf = UnionFind::new(k);
-    for e in 0..k {
-        if fragments[e].is_empty() {
-            continue;
-        }
-        for &e2 in &adj.neighbors[e] {
-            let e2 = e2 as usize;
-            if e2 <= e || fragments[e2].is_empty() {
-                continue;
-            }
+    // Candidate fragment pairs in (e, e') lexicographic order — the same
+    // order the sequential loop tests them in.
+    let candidates: Vec<(u32, u32)> = (0..k)
+        .filter(|&e| fragments.row_len(e) > 0)
+        .flat_map(|e| {
+            adj.neighbors[e]
+                .iter()
+                .map(move |&e2| (e as u32, e2))
+                .filter(|&(e, e2)| e2 as usize > e as usize && fragments.row_len(e2 as usize) > 0)
+        })
+        .collect();
+    if threads <= 1 {
+        // Classic sequential interleaving: test, union, and let fresh
+        // connectivity skip later pairs immediately.
+        for &(e, e2) in &candidates {
+            let (e, e2) = (e as usize, e2 as usize);
             if cfg.early_termination && uf.connected(e, e2) {
                 continue;
             }
@@ -175,49 +259,71 @@ pub(crate) fn run_exact_steps<P, M: Metric<P>>(
                 uf.union(e, e2);
             }
         }
+    } else {
+        let batch = batch_size(threads);
+        let mut cursor = 0usize;
+        let (tested, connected) = union_rounds(
+            &mut uf,
+            threads,
+            |uf| {
+                let mut out = Vec::new();
+                while out.len() < batch && cursor < candidates.len() {
+                    let (e, e2) = candidates[cursor];
+                    cursor += 1;
+                    if cfg.early_termination && uf.root(e as usize) == uf.root(e2 as usize) {
+                        continue;
+                    }
+                    out.push((e, e2));
+                }
+                out
+            },
+            |e, e2| bcp_within(points, metric, &fragments, &trees, e, e2, eps, cfg),
+        );
+        stats.bcp_tests = tested;
+        stats.bcp_connected = connected;
     }
     stats.merge_secs = t.elapsed().as_secs_f64();
 
-    // ---- Step 3: borders and outliers ----
+    // ---- Step 3: borders and outliers, parallel over points ----
     let t = Instant::now();
     let cluster_of_center = uf.component_ids();
-    let mut labels = vec![PointLabel::Noise; n];
-    for e in 0..k {
-        for &p in &net.cover_sets[e] {
-            let pi = p as usize;
-            if is_core[pi] {
-                labels[pi] = PointLabel::Core(cluster_of_center[e]);
+    let labels: Vec<PointLabel> = par_map_range(n, threads, STEP_MIN_PER_THREAD, |pi| {
+        if is_core[pi] {
+            let e = net.assignment[pi] as usize;
+            return PointLabel::Core(cluster_of_center[e]);
+        }
+        // Nearest core point among neighbor fragments; ties break toward
+        // the earlier center (ascending adjacency rows + strict `<`).
+        let e = net.assignment[pi] as usize;
+        let mut best: Option<(f64, usize)> = None;
+        for &e2 in &adj.neighbors[e] {
+            let e2 = e2 as usize;
+            let frag = fragments.row(e2);
+            if frag.is_empty() {
                 continue;
             }
-            // Nearest core point among neighbor fragments.
-            let mut best: Option<(f64, usize)> = None;
-            for &e2 in &adj.neighbors[e] {
-                let e2 = e2 as usize;
-                if fragments[e2].is_empty() {
-                    continue;
-                }
-                let bound = best.map_or(eps, |(d, _)| d);
-                if let Some(tree) = &trees[e2] {
-                    if let Some(nn) = tree.nearest_within(&points[pi], bound) {
-                        if best.is_none_or(|(d, _)| nn.distance < d) {
-                            best = Some((nn.distance, e2));
-                        }
+            let bound = best.map_or(eps, |(d, _)| d);
+            if let Some(tree) = &trees[e2] {
+                if let Some(nn) = tree.nearest_within(&points[pi], bound) {
+                    if best.is_none_or(|(d, _)| nn.distance < d) {
+                        best = Some((nn.distance, e2));
                     }
-                } else {
-                    for &q in &fragments[e2] {
-                        if let Some(d) = metric.distance_leq(&points[pi], &points[q], bound) {
-                            if best.is_none_or(|(bd, _)| d < bd) {
-                                best = Some((d, e2));
-                            }
+                }
+            } else {
+                for &q in frag {
+                    if let Some(d) = metric.distance_leq(&points[pi], &points[q as usize], bound) {
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, e2));
                         }
                     }
                 }
-            }
-            if let Some((_, e2)) = best {
-                labels[pi] = PointLabel::Border(cluster_of_center[e2]);
             }
         }
-    }
+        match best {
+            Some((_, e2)) => PointLabel::Border(cluster_of_center[e2]),
+            None => PointLabel::Noise,
+        }
+    });
     stats.assign_secs = t.elapsed().as_secs_f64();
 
     (labels, stats)
@@ -239,7 +345,7 @@ pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
 ) -> usize {
     let mut count = 0usize;
     for &e2 in &adj.neighbors[e] {
-        for &q in &net.cover_sets[e2 as usize] {
+        for &q in net.cover_sets.row(e2 as usize) {
             if metric.within(&points[p], &points[q as usize], eps) {
                 count += 1;
                 if count >= cap {
@@ -253,12 +359,13 @@ pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
 
 /// Is `BCP(C̃_e, C̃_{e'}) ≤ eps`? Queries come from the smaller fragment
 /// against the larger fragment's cover tree; early termination returns at
-/// the first witness.
+/// the first witness. Pure (no shared state), so Step 2 batches may run
+/// it concurrently.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Step 2 signature
 fn bcp_within<P, M: Metric<P>>(
     points: &[P],
     metric: &M,
-    fragments: &[Vec<usize>],
+    fragments: &Csr,
     trees: &[Option<CoverTree<'_, P, M>>],
     e: usize,
     e2: usize,
@@ -266,37 +373,39 @@ fn bcp_within<P, M: Metric<P>>(
     cfg: &ExactConfig,
 ) -> bool {
     // Query from the smaller side.
-    let (host, probe) = if fragments[e].len() >= fragments[e2].len() {
+    let (host, probe) = if fragments.row_len(e) >= fragments.row_len(e2) {
         (e, e2)
     } else {
         (e2, e)
     };
+    let probe_row = fragments.row(probe);
     if let Some(tree) = &trees[host] {
         if cfg.early_termination {
-            fragments[probe]
+            probe_row
                 .iter()
-                .any(|&q| tree.any_within(&points[q], eps).is_some())
+                .any(|&q| tree.any_within(&points[q as usize], eps).is_some())
         } else {
             // Full BCP via exact NN per probe point (ablation mode).
             let mut bcp = f64::INFINITY;
-            for &q in &fragments[probe] {
-                if let Some(nn) = tree.nearest(&points[q]) {
+            for &q in probe_row {
+                if let Some(nn) = tree.nearest(&points[q as usize]) {
                     bcp = bcp.min(nn.distance);
                 }
             }
             bcp <= eps
         }
     } else if cfg.early_termination {
-        fragments[probe].iter().any(|&q| {
-            fragments[host]
+        probe_row.iter().any(|&q| {
+            fragments
+                .row(host)
                 .iter()
-                .any(|&r| metric.within(&points[q], &points[r], eps))
+                .any(|&r| metric.within(&points[q as usize], &points[r as usize], eps))
         })
     } else {
         let mut bcp = f64::INFINITY;
-        for &q in &fragments[probe] {
-            for &r in &fragments[host] {
-                bcp = bcp.min(metric.distance(&points[q], &points[r]));
+        for &q in probe_row {
+            for &r in fragments.row(host) {
+                bcp = bcp.min(metric.distance(&points[q as usize], &points[r as usize]));
             }
         }
         bcp <= eps

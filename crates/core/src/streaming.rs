@@ -25,11 +25,16 @@
 //! properties the proof of Theorem 2 uses).
 
 use mdbscan_metric::Metric;
+use mdbscan_parallel::{par_map_range, ParallelConfig};
 
 use crate::error::DbscanError;
 use crate::labels::{Clustering, PointLabel};
 use crate::params::ApproxParams;
+use crate::parmerge::{batch_size, union_rounds};
 use crate::unionfind::UnionFind;
+
+/// Pass-3 labeling buffers this many stream points per parallel block.
+const PASS3_BLOCK: usize = 4096;
 
 /// Memory accounting of the streaming state, in *stored points* — the
 /// quantity Figure 6 of the paper plots as `(|E| + |M|)/n`.
@@ -109,6 +114,7 @@ struct Parked<P> {
 pub struct StreamingApproxDbscan<'m, P, M> {
     metric: &'m M,
     params: ApproxParams,
+    parallel: ParallelConfig,
     rbar: f64,
     phase: Phase,
     centers: Vec<Center<P>>,
@@ -118,12 +124,13 @@ pub struct StreamingApproxDbscan<'m, P, M> {
     stats: StreamingStats,
 }
 
-impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
+impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
     /// Creates an empty engine in pass-1 state.
     pub fn new(metric: &'m M, params: &ApproxParams) -> Self {
         Self {
             metric,
             params: *params,
+            parallel: ParallelConfig::default(),
             rbar: params.rbar(),
             phase: Phase::Pass1,
             centers: Vec::new(),
@@ -131,6 +138,15 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
             summary_clusters: Vec::new(),
             stats: StreamingStats::default(),
         }
+    }
+
+    /// Sets the thread knob for the offline summary merge and the
+    /// batched pass-3 labeling. Passes 1 and 2 are inherently
+    /// sequential (first-fit netting depends on arrival order); the
+    /// result is identical for every thread count.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Pass 1: observe one stream point (clones it only if it becomes a
@@ -245,20 +261,53 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
         };
         let summary_points: Vec<P> = slots.iter().map(|s| point_of(s, self)).collect();
         let merge_r = self.params.merge_radius();
-        let mut uf = UnionFind::new(summary_points.len());
-        for i in 0..summary_points.len() {
-            for j in (i + 1)..summary_points.len() {
-                if uf.connected(i, j) {
-                    continue;
-                }
-                self.stats.merge_pairs_tested += 1;
-                if self
-                    .metric
-                    .within(&summary_points[i], &summary_points[j], merge_r)
-                {
-                    uf.union(i, j);
+        let s = summary_points.len();
+        let threads = self.parallel.threads();
+        let mut uf = UnionFind::new(s);
+        if threads <= 1 {
+            for i in 0..s {
+                for j in (i + 1)..s {
+                    if uf.connected(i, j) {
+                        continue;
+                    }
+                    self.stats.merge_pairs_tested += 1;
+                    if self
+                        .metric
+                        .within(&summary_points[i], &summary_points[j], merge_r)
+                    {
+                        uf.union(i, j);
+                    }
                 }
             }
+        } else {
+            // Round-batched all-pairs sweep: same candidate order,
+            // parallel distance tests, identical final components.
+            let batch = batch_size(threads);
+            let mut i = 0usize;
+            let mut j = 1usize;
+            let (tested, _) = union_rounds(
+                &mut uf,
+                threads,
+                |uf| {
+                    let mut out = Vec::new();
+                    while out.len() < batch && i + 1 < s {
+                        if uf.root(i) != uf.root(j) {
+                            out.push((i as u32, j as u32));
+                        }
+                        j += 1;
+                        if j >= s {
+                            i += 1;
+                            j = i + 1;
+                        }
+                    }
+                    out
+                },
+                |a, b| {
+                    self.metric
+                        .within(&summary_points[a], &summary_points[b], merge_r)
+                },
+            );
+            self.stats.merge_pairs_tested = tested;
         }
         self.summary_clusters = uf.component_ids();
         self.phase = Phase::Pass3;
@@ -303,9 +352,7 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
             }
         }
         match best {
-            Some((d, pos)) if d < 0.0 => {
-                PointLabel::Core(self.summary_clusters[pos as usize])
-            }
+            Some((d, pos)) if d < 0.0 => PointLabel::Core(self.summary_clusters[pos as usize]),
             Some((_, pos)) => PointLabel::Border(self.summary_clusters[pos as usize]),
             None => PointLabel::Noise,
         }
@@ -316,11 +363,7 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
         StreamingFootprint {
             centers: self.centers.len(),
             parked: self.parked.len(),
-            summary: self
-                .centers
-                .iter()
-                .filter(|c| c.core)
-                .count()
+            summary: self.centers.iter().filter(|c| c.core).count()
                 + self.parked.iter().filter(|m| m.core).count(),
         }
     }
@@ -338,7 +381,20 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
         params: &ApproxParams,
         make_stream: impl Fn() -> I,
     ) -> Result<(Clustering, Self), DbscanError> {
-        let mut engine = Self::new(metric, params);
+        Self::run_with(metric, params, &ParallelConfig::default(), make_stream)
+    }
+
+    /// As [`StreamingApproxDbscan::run`], with an explicit thread knob
+    /// for the offline merge and pass-3 labeling. Pass 3 buffers the
+    /// stream in fixed-size blocks and labels each block in parallel —
+    /// memory stays `O(summary + block)`, independent of `n`.
+    pub fn run_with<I: Iterator<Item = P>>(
+        metric: &'m M,
+        params: &ApproxParams,
+        parallel: &ParallelConfig,
+        make_stream: impl Fn() -> I,
+    ) -> Result<(Clustering, Self), DbscanError> {
+        let mut engine = Self::new(metric, params).with_parallel(*parallel);
         for p in make_stream() {
             engine.pass1_observe(&p);
         }
@@ -350,7 +406,18 @@ impl<'m, P: Clone, M: Metric<P>> StreamingApproxDbscan<'m, P, M> {
             engine.pass2_observe(&p);
         }
         engine.finish_pass2();
-        let labels: Vec<PointLabel> = make_stream().map(|p| engine.pass3_label(&p)).collect();
+        let threads = parallel.threads();
+        let mut labels: Vec<PointLabel> = Vec::with_capacity(engine.stats.n);
+        let mut stream = make_stream();
+        loop {
+            let block: Vec<P> = stream.by_ref().take(PASS3_BLOCK).collect();
+            if block.is_empty() {
+                break;
+            }
+            labels.extend(par_map_range(block.len(), threads, 512, |i| {
+                engine.pass3_label(&block[i])
+            }));
+        }
         Ok((Clustering::from_labels(labels), engine))
     }
 }

@@ -73,9 +73,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             let net = self.extract_net(level);
             for (a, &ci) in net.centers.iter().enumerate() {
                 for &cj in net.centers.iter().skip(a + 1) {
-                    let d = self
-                        .metric
-                        .distance(&self.points[ci], &self.points[cj]);
+                    let d = self.metric.distance(&self.points[ci], &self.points[cj]);
                     if d <= exp2(level) {
                         return Err(format!(
                             "separation violated at level {level}: d({ci},{cj})={d} <= {}",

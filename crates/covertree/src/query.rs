@@ -40,12 +40,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
     /// in the beam; it returns the new pruning base (e.g. the current best
     /// distance for NN, a fixed `r` for range queries) or `None` to abort
     /// the whole traversal early (used by [`Self::any_within`]).
-    fn descend(
-        &self,
-        query: &P,
-        mut base: f64,
-        mut visit: impl FnMut(&mut f64, u32, f64) -> bool,
-    ) {
+    fn descend(&self, query: &P, mut base: f64, mut visit: impl FnMut(&mut f64, u32, f64) -> bool) {
         let Some(root) = self.root else {
             return;
         };
@@ -76,7 +71,8 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
                 return;
             }
             let mut new_nodes: Vec<(u32, f64)> = Vec::new();
-            #[allow(clippy::needless_range_loop)] // indexing avoids holding a borrow across the mutation below
+            #[allow(clippy::needless_range_loop)]
+            // indexing avoids holding a borrow across the mutation below
             for k in 0..beam.len() {
                 let q = beam[k].0;
                 for &c in &self.nodes[q as usize].children {
@@ -338,10 +334,12 @@ mod tests {
 
     #[test]
     fn works_with_strings() {
-        let words: Vec<String> = ["cluster", "clusters", "cloister", "banana", "bandana", "dbscan"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let words: Vec<String> = [
+            "cluster", "clusters", "cloister", "banana", "bandana", "dbscan",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let tree = CoverTree::build(&words, &Levenshtein);
         let nn = tree.nearest(&"clustering".to_string()).unwrap();
         assert_eq!(nn.distance, 3.0); // "cluster" and "clusters" tie at 3

@@ -179,7 +179,8 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             // Expand: Q = Q_i ∪ {children of Q_i at level − 1} (the nodes
             // themselves stand in for their implicit self-children).
             let mut expanded = cover.clone();
-            #[allow(clippy::needless_range_loop)] // indexing avoids holding a borrow across the mutation below
+            #[allow(clippy::needless_range_loop)]
+            // indexing avoids holding a borrow across the mutation below
             for k in 0..cover.len() {
                 let q = cover[k].0;
                 // Collect ids first: computing distances needs `&self`.
@@ -207,10 +208,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
                 // d(p, Q) > 2^i: no chain below can adopt p.
                 break;
             }
-            cover = expanded
-                .into_iter()
-                .filter(|&(_, d)| d <= radius)
-                .collect();
+            cover = expanded.into_iter().filter(|&(_, d)| d <= radius).collect();
             // Jump past levels where nothing changes: no new children get
             // expanded and the parent candidate stays the current argmin
             // until the covering test first fails at `level_for(dmin) − 1`.

@@ -5,10 +5,7 @@ use mdbscan_metric::{Euclidean, Levenshtein, Metric};
 use proptest::prelude::*;
 
 fn points_2d() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f64..50.0, 2),
-        1..120,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), 1..120)
 }
 
 /// Clustered + outlier mixture: many near-duplicates plus far-away points —

@@ -131,7 +131,10 @@ mod tests {
         assert!(read_csv("t", "1.0,2.0\n3.0\n".as_bytes(), false).is_err());
         // (an unparsable *first* row is a header by design; later rows must parse)
         assert!(read_csv("t", "1.0,2.0\n1.0,oops\n".as_bytes(), false).is_err());
-        assert!(read_csv("t", "1.0,2.5\n".as_bytes(), true).is_err(), "fractional label");
+        assert!(
+            read_csv("t", "1.0,2.5\n".as_bytes(), true).is_err(),
+            "fractional label"
+        );
         let empty = read_csv("t", "# nothing\n".as_bytes(), false).unwrap();
         assert!(empty.is_empty());
     }

@@ -90,7 +90,12 @@ pub fn manifold_clusters(spec: &ManifoldSpec, seed: u64) -> Dataset<Vec<f64>> {
     let min_sep = 8.0 * spec.std;
     let mut attempts = 0;
     while centers.len() < spec.clusters {
-        let c = uniform_vec(&mut rng, spec.intrinsic_dim, -spec.center_box, spec.center_box);
+        let c = uniform_vec(
+            &mut rng,
+            spec.intrinsic_dim,
+            -spec.center_box,
+            spec.center_box,
+        );
         attempts += 1;
         let ok = centers.iter().all(|o| {
             let d2: f64 = o.iter().zip(c.iter()).map(|(x, y)| (x - y).powi(2)).sum();

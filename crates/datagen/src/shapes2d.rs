@@ -163,11 +163,20 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(moons(100, 0.1, 0.1, 3).points(), moons(100, 0.1, 0.1, 3).points());
+        assert_eq!(
+            moons(100, 0.1, 0.1, 3).points(),
+            moons(100, 0.1, 0.1, 3).points()
+        );
         assert_eq!(circles(100, 0.1, 3).points(), circles(100, 0.1, 3).points());
         assert_eq!(banana(100, 0.1, 3).points(), banana(100, 0.1, 3).points());
-        assert_eq!(cluto_like(100, 0.1, 3).points(), cluto_like(100, 0.1, 3).points());
-        assert_ne!(moons(100, 0.1, 0.1, 3).points(), moons(100, 0.1, 0.1, 4).points());
+        assert_eq!(
+            cluto_like(100, 0.1, 3).points(),
+            cluto_like(100, 0.1, 3).points()
+        );
+        assert_ne!(
+            moons(100, 0.1, 0.1, 3).points(),
+            moons(100, 0.1, 0.1, 4).points()
+        );
     }
 
     #[test]

@@ -77,7 +77,8 @@ fn expected_mutual_info_of(t: &ContingencyTable) -> f64 {
                 let nij_f = nij as f64;
                 let term = (nij_f / nf) * ((nf * nij_f) / (ai as f64 * bj as f64)).ln();
                 // ln P_hyp(nij)
-                let lp = lf[ai as usize] + lf[bj as usize]
+                let lp = lf[ai as usize]
+                    + lf[bj as usize]
                     + lf[(n - ai) as usize]
                     + lf[(n - bj) as usize]
                     - lf[n as usize]
@@ -164,7 +165,14 @@ mod tests {
         type Case = (&'static [i32], &'static [i32], f64, f64, f64, f64);
         let cases: &[Case] = &[
             // (a, b, mi, emi, ami, nmi)
-            (&[0, 0, 1, 1], &[0, 0, 1, 1], 0.693147180560, 0.231049060187, 1.0, 1.0),
+            (
+                &[0, 0, 1, 1],
+                &[0, 0, 1, 1],
+                0.693147180560,
+                0.231049060187,
+                1.0,
+                1.0,
+            ),
             (&[0, 0, 1, 1], &[0, 1, 0, 1], 0.0, 0.231049060187, -0.5, 0.0),
             (
                 &[0, 0, 1, 2],

@@ -26,6 +26,8 @@ mod rand_index;
 mod vmeasure;
 
 pub use contingency::ContingencyTable;
-pub use info::{adjusted_mutual_info, entropy, expected_mutual_info, mutual_info, normalized_mutual_info};
+pub use info::{
+    adjusted_mutual_info, entropy, expected_mutual_info, mutual_info, normalized_mutual_info,
+};
 pub use rand_index::adjusted_rand_index;
 pub use vmeasure::{completeness, fowlkes_mallows, homogeneity, v_measure};

@@ -1,60 +1,126 @@
 //! Center-to-center neighbor adjacency (the `A` sets of the paper).
 
 use mdbscan_metric::Metric;
+use mdbscan_parallel::{par_map_ranges, split_weighted, Csr, ParallelConfig};
 
 /// Symmetric adjacency over a center set: `neighbors[e]` lists every center
 /// index `e'` (position, not point id) with `dis(e, e') ≤ threshold`,
-/// *including* `e` itself.
+/// *including* `e` itself, in ascending order.
 ///
 /// For a point `p` with closest center `c_p`, the paper's neighbor ball
 /// center set `A_p = {e ∈ E : dis(e, c_p) ≤ threshold}` is exactly
 /// `neighbors[c_p]` — Lemma 2 then guarantees
 /// `B(p, ε) ∩ X ⊆ ∪_{e ∈ A_p} C_e` when `threshold ≥ 2r̄ + ε`.
+///
+/// Rows are stored flat ([`Csr`]): the Step 1/3 inner loops walk
+/// `neighbors[e]` for every point, so the rows sit in one contiguous
+/// allocation instead of one `Vec` per center.
 #[derive(Debug, Clone)]
 pub struct CenterAdjacency {
-    /// Per center (by position), the neighboring center positions.
-    pub neighbors: Vec<Vec<u32>>,
+    /// Per center (by position), the neighboring center positions
+    /// (ascending, self included). Index with `neighbors[e]` to get the
+    /// row slice.
+    pub neighbors: Csr,
     /// The distance threshold the adjacency was computed at.
     pub threshold: f64,
 }
 
 impl CenterAdjacency {
-    /// Builds the adjacency by pairwise early-abandoned distance tests.
-    ///
-    /// `centers` holds point indices into `points`. `O(|E|²/2)` calls to
-    /// [`Metric::distance_leq`].
-    pub fn build<P, M: Metric<P>>(
+    /// Builds the adjacency with default parallelism. See
+    /// [`CenterAdjacency::build_with`].
+    pub fn build<P: Sync, M: Metric<P> + Sync>(
         points: &[P],
         metric: &M,
         centers: &[usize],
         threshold: f64,
+    ) -> Self {
+        Self::build_with(
+            points,
+            metric,
+            centers,
+            threshold,
+            &ParallelConfig::default(),
+        )
+    }
+
+    /// Builds the adjacency by pairwise early-abandoned distance tests,
+    /// parallelized over upper-triangle rows.
+    ///
+    /// `centers` holds point indices into `points`. `O(|E|²/2)` calls to
+    /// [`Metric::distance_leq`] total, independent of the thread count;
+    /// rows are weighted by their remaining-triangle size so workers get
+    /// balanced shares. The result is identical for every thread count.
+    pub fn build_with<P: Sync, M: Metric<P> + Sync>(
+        points: &[P],
+        metric: &M,
+        centers: &[usize],
+        threshold: f64,
+        parallel: &ParallelConfig,
     ) -> Self {
         assert!(
             threshold.is_finite() && threshold >= 0.0,
             "adjacency threshold must be non-negative, got {threshold}"
         );
         let k = centers.len();
-        let mut neighbors: Vec<Vec<u32>> = (0..k).map(|e| vec![e as u32]).collect();
-        for i in 0..k {
-            for j in (i + 1)..k {
-                if metric
-                    .distance_leq(&points[centers[i]], &points[centers[j]], threshold)
-                    .is_some()
-                {
-                    neighbors[i].push(j as u32);
-                    neighbors[j].push(i as u32);
-                }
+        // Upper triangle, row-parallel: row i holds every j > i within
+        // the threshold. Weight = number of pairs the row tests.
+        let threads = if k >= 256 { parallel.threads() } else { 1 };
+        let ranges = split_weighted(k, threads, |i| k - 1 - i);
+        let upper_chunks: Vec<Vec<Vec<u32>>> = par_map_ranges(ranges, |rows| {
+            rows.map(|i| {
+                let ci = &points[centers[i]];
+                ((i + 1)..k)
+                    .filter(|&j| {
+                        metric
+                            .distance_leq(ci, &points[centers[j]], threshold)
+                            .is_some()
+                    })
+                    .map(|j| j as u32)
+                    .collect()
+            })
+            .collect()
+        });
+
+        // Assemble the symmetric CSR; each row comes out ascending:
+        // mirrored smaller neighbors first (sources visited in ascending
+        // i), then self, then the row's own larger neighbors.
+        let mut offsets = vec![0usize; k + 1];
+        for (i, row) in upper_chunks.iter().flatten().enumerate() {
+            offsets[i + 1] += row.len() + 1; // + self
+            for &j in row {
+                offsets[j as usize + 1] += 1;
             }
         }
+        for e in 0..k {
+            offsets[e + 1] += offsets[e];
+        }
+        let mut cursor: Vec<usize> = offsets[..k].to_vec();
+        let mut values = vec![0u32; offsets[k]];
+        for (i, row) in upper_chunks.iter().flatten().enumerate() {
+            for &j in row {
+                values[cursor[j as usize]] = i as u32;
+                cursor[j as usize] += 1;
+            }
+            // Mirrored entries for row i come only from sources < i, all
+            // already visited, so row i's self slot is next.
+            values[cursor[i]] = i as u32;
+            cursor[i] += 1;
+        }
+        for (i, row) in upper_chunks.iter().flatten().enumerate() {
+            values[cursor[i]..cursor[i] + row.len()].copy_from_slice(row);
+            cursor[i] += row.len();
+        }
+        debug_assert!(cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o));
+
         Self {
-            neighbors,
+            neighbors: Csr::from_parts(offsets, values),
             threshold,
         }
     }
 
     /// Number of centers.
     pub fn len(&self) -> usize {
-        self.neighbors.len()
+        self.neighbors.num_rows()
     }
 
     /// True when there are no centers.
@@ -69,8 +135,7 @@ impl CenterAdjacency {
         if self.neighbors.is_empty() {
             return 0.0;
         }
-        let total: usize = self.neighbors.iter().map(Vec::len).sum();
-        total as f64 / self.neighbors.len() as f64
+        self.neighbors.total_len() as f64 / self.neighbors.num_rows() as f64
     }
 }
 
@@ -85,8 +150,10 @@ mod tests {
         let centers: Vec<usize> = (0..10).collect();
         let adj = CenterAdjacency::build(&pts, &Euclidean, &centers, 4.0);
         assert_eq!(adj.len(), 10);
-        for (e, ns) in adj.neighbors.iter().enumerate() {
+        for e in 0..adj.len() {
+            let ns = &adj.neighbors[e];
             assert!(ns.contains(&(e as u32)), "self-neighbor missing");
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "row {e} not sorted");
             for &o in ns {
                 assert!(
                     adj.neighbors[o as usize].contains(&(e as u32)),
@@ -102,11 +169,36 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_sequential() {
+        let pts: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i % 31) as f64, (i / 31) as f64 * 1.5])
+            .collect();
+        let centers: Vec<usize> = (0..400).collect();
+        let seq = CenterAdjacency::build_with(
+            &pts,
+            &Euclidean,
+            &centers,
+            3.0,
+            &ParallelConfig::sequential(),
+        );
+        for threads in [2usize, 4, 8] {
+            let par = CenterAdjacency::build_with(
+                &pts,
+                &Euclidean,
+                &centers,
+                3.0,
+                &ParallelConfig::new(threads),
+            );
+            assert_eq!(seq.neighbors, par.neighbors, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn zero_threshold_only_self() {
         let pts = vec![vec![0.0], vec![1.0]];
         let adj = CenterAdjacency::build(&pts, &Euclidean, &[0, 1], 0.0);
-        assert_eq!(adj.neighbors[0], vec![0]);
-        assert_eq!(adj.neighbors[1], vec![1]);
+        assert_eq!(&adj.neighbors[0], &[0u32][..]);
+        assert_eq!(&adj.neighbors[1], &[1u32][..]);
     }
 
     #[test]

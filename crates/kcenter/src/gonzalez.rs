@@ -1,6 +1,8 @@
 //! Vanilla Gonzalez greedy `k`-center.
 
+use crate::radius_guided::{sweep_chunk, SWEEP_MIN_PER_THREAD};
 use mdbscan_metric::Metric;
+use mdbscan_parallel::{sweep_rounds, ParallelConfig, SweepTask};
 
 /// Output of [`gonzalez`].
 #[derive(Debug, Clone)]
@@ -22,45 +24,60 @@ pub struct KCenterResult {
 ///
 /// Runs `k` iterations of `O(n)` distance evaluations each. Panics if
 /// `points` is empty, `k == 0`, or `first` is out of range.
-pub fn gonzalez<P, M: Metric<P>>(
+pub fn gonzalez<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     k: usize,
     first: usize,
 ) -> KCenterResult {
+    gonzalez_with(points, metric, k, first, &ParallelConfig::default())
+}
+
+/// As [`gonzalez`], with an explicit thread-count knob for the
+/// per-iteration sweep and farthest-point reduction. Both are
+/// deterministic for any thread count (ties break on point index), so
+/// every setting returns the same centers and assignment.
+pub fn gonzalez_with<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    k: usize,
+    first: usize,
+    parallel: &ParallelConfig,
+) -> KCenterResult {
     assert!(!points.is_empty(), "k-center of an empty set");
     assert!(k >= 1, "k must be at least 1");
     assert!(first < points.len(), "seed index out of range");
     let n = points.len();
+    let threads = parallel.threads();
     let mut centers = vec![first];
-    let mut assignment = vec![0u32; n];
-    let mut dist: Vec<f64> = points
-        .iter()
-        .map(|p| metric.distance(&points[first], p))
-        .collect();
-    while centers.len() < k.min(n) {
-        let (far, &far_d) = dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty");
-        if far_d == 0.0 {
-            break; // every remaining point is a duplicate of a center
-        }
-        let c = centers.len() as u32;
-        centers.push(far);
-        for (i, p) in points.iter().enumerate() {
-            // Early abandon: a point closer to its center than `d` stays.
-            if let Some(d) = metric.distance_leq(&points[far], p, dist[i]) {
-                if d < dist[i] || i == far {
-                    dist[i] = d;
-                    assignment[i] = c;
-                }
+    // Same persistent-worker rounds as Algorithm 1; only the stopping
+    // rule differs (fixed k, or duplicate saturation).
+    let (dist, assignment) = sweep_rounds(
+        n,
+        threads,
+        SWEEP_MIN_PER_THREAD,
+        SweepTask {
+            center: first,
+            center_pos: 0,
+            init: true,
+        },
+        |task, offset, dist_chunk, assign_chunk| {
+            sweep_chunk(points, metric, task, offset, dist_chunk, assign_chunk)
+        },
+        |far, far_d| {
+            if centers.len() >= k.min(n) || far_d == 0.0 {
+                // far_d == 0: every remaining point duplicates a center
+                return None;
             }
-        }
-        dist[far] = 0.0;
-        assignment[far] = c;
-    }
+            let c = centers.len() as u32;
+            centers.push(far);
+            Some(SweepTask {
+                center: far,
+                center_pos: c,
+                init: false,
+            })
+        },
+    );
     let radius = dist.iter().copied().fold(0.0, f64::max);
     KCenterResult {
         centers,
@@ -118,7 +135,24 @@ mod tests {
         // 9 points on a line, k=3: optimal radius 1 (centers at 1,4,7).
         let pts: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
         let res = gonzalez(&pts, &Euclidean, 3, 0);
-        assert!(res.radius <= 2.0 + 1e-12, "2-approx bound, got {}", res.radius);
+        assert!(
+            res.radius <= 2.0 + 1e-12,
+            "2-approx bound, got {}",
+            res.radius
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let pts: Vec<Vec<f64>> = (0..6000)
+            .map(|i| vec![(i % 83) as f64, (i % 71) as f64])
+            .collect();
+        let seq = gonzalez_with(&pts, &Euclidean, 12, 0, &ParallelConfig::sequential());
+        for threads in [2usize, 8] {
+            let par = gonzalez_with(&pts, &Euclidean, 12, 0, &ParallelConfig::new(threads));
+            assert_eq!(seq.centers, par.centers, "threads={threads}");
+            assert_eq!(seq.assignment, par.assignment, "threads={threads}");
+        }
     }
 
     #[test]

@@ -29,6 +29,6 @@ mod outliers;
 mod radius_guided;
 
 pub use adjacency::CenterAdjacency;
-pub use gonzalez::{gonzalez, KCenterResult};
+pub use gonzalez::{gonzalez, gonzalez_with, KCenterResult};
 pub use outliers::{kcenter_with_outliers, OutlierKCenter};
 pub use radius_guided::{BuildOptions, RadiusGuidedNet};

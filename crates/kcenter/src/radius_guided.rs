@@ -2,17 +2,25 @@
 
 use crate::adjacency::CenterAdjacency;
 use mdbscan_metric::Metric;
+use mdbscan_parallel::{sweep_rounds, Csr, ParallelConfig, SweepTask};
+
+/// Points per worker below which the sweep stays sequential — the
+/// distance evaluations must outweigh the thread-spawn cost.
+pub(crate) const SWEEP_MIN_PER_THREAD: usize = 4096;
 
 /// Knobs for [`RadiusGuidedNet::build_with`].
 #[derive(Debug, Clone)]
 pub struct BuildOptions {
     /// Index of the arbitrary first center `p₀` (paper line 1). Default 0.
     pub first: usize,
-    /// Worker threads for the per-iteration distance sweep. The sweep over
-    /// `n` points against the freshly added center is embarrassingly
-    /// parallel; 1 (default) keeps runs deterministic *and* is what the
-    /// complexity accounting in the experiment harness assumes.
-    pub threads: usize,
+    /// Worker threads for the per-iteration distance sweep and the
+    /// farthest-point reduction. The sweep is embarrassingly parallel
+    /// and the reduction breaks ties on point index, so the result is
+    /// **identical for every thread count** — the default is the
+    /// machine's available parallelism. (Earlier revisions defaulted to
+    /// one thread "for determinism"; determinism now holds by
+    /// construction.)
+    pub parallel: ParallelConfig,
     /// Hard cap on `|E|`; `usize::MAX` by default. A safety valve for
     /// adversarial inputs where `r̄` was chosen far below the data's
     /// resolution (Lemma 1 bounds `|E|` by `O((Δ/r̄)^D) + z`, but `D` of
@@ -24,7 +32,7 @@ impl Default for BuildOptions {
     fn default() -> Self {
         Self {
             first: 0,
-            threads: 1,
+            parallel: ParallelConfig::default(),
             max_centers: usize::MAX,
         }
     }
@@ -43,7 +51,8 @@ impl Default for BuildOptions {
 ///
 /// The net depends only on `(X, dis, r̄)` — *not* on `(ε, MinPts)` — which
 /// is what makes parameter tuning cheap (Remark 5/6): build once with
-/// `r̄ ≤ ε₀/2`, then reuse for every `(ε, MinPts)` with `ε ≥ ε₀`.
+/// `r̄ ≤ ε₀/2`, then reuse for every `(ε, MinPts)` with `ε ≥ ε₀`. It also
+/// does not depend on the thread count used to build it.
 #[derive(Debug, Clone)]
 pub struct RadiusGuidedNet {
     /// The radius bound `r̄` the net was built with.
@@ -55,9 +64,11 @@ pub struct RadiusGuidedNet {
     pub assignment: Vec<u32>,
     /// For each point, `dis(p, c_p)`.
     pub dist_to_center: Vec<f64>,
-    /// Cover sets `C_e`: for each center, the points assigned to it
-    /// (every point appears in exactly one cover set).
-    pub cover_sets: Vec<Vec<u32>>,
+    /// Cover sets `C_e`: for each center, the points assigned to it,
+    /// ascending — every point appears in exactly one row. Stored flat
+    /// (offsets + values) so the Step 1–3 inner loops stream contiguous
+    /// memory.
+    pub cover_sets: Csr,
     /// Whether the greedy reached `d_max ≤ r̄` (false only when truncated
     /// by `max_centers`).
     pub covered: bool,
@@ -65,7 +76,7 @@ pub struct RadiusGuidedNet {
 
 impl RadiusGuidedNet {
     /// Runs Algorithm 1 with default options (first center = point 0,
-    /// sequential sweep).
+    /// sweep parallelized over available cores).
     ///
     /// Panics if `points` is empty or `rbar` is not positive and finite.
     pub fn build<P: Sync, M: Metric<P> + Sync>(points: &[P], metric: &M, rbar: f64) -> Self {
@@ -86,39 +97,39 @@ impl RadiusGuidedNet {
         );
         assert!(opts.first < points.len(), "first-center index out of range");
         let n = points.len();
+        let threads = opts.parallel.threads();
         let mut centers: Vec<usize> = vec![opts.first];
-        let mut assignment = vec![0u32; n];
-        let mut dist: Vec<f64> = vec![0.0; n];
-        sweep(
-            points,
-            metric,
-            opts.first,
-            0,
-            &mut dist,
-            &mut assignment,
-            true,
-            opts.threads,
+        let mut covered = true;
+        // Persistent workers sweep rounds until the coverage test (or the
+        // center cap) stops the greedy — one thread spawn per worker for
+        // the whole build, not per iteration.
+        let (dist, assignment) = sweep_rounds(
+            n,
+            threads,
+            SWEEP_MIN_PER_THREAD,
+            SweepTask {
+                center: opts.first,
+                center_pos: 0,
+                init: true,
+            },
+            |task, offset, dist_chunk, assign_chunk| {
+                sweep_chunk(points, metric, task, offset, dist_chunk, assign_chunk)
+            },
+            |far, far_d| {
+                if far_d <= rbar || centers.len() >= opts.max_centers.max(1) {
+                    covered = far_d <= rbar;
+                    return None;
+                }
+                let c = centers.len() as u32;
+                centers.push(far);
+                Some(SweepTask {
+                    center: far,
+                    center_pos: c,
+                    init: false,
+                })
+            },
         );
-
-        loop {
-            let (far, far_d) = argmax(&dist);
-            if far_d <= rbar || centers.len() >= opts.max_centers.max(1) {
-                let covered = far_d <= rbar;
-                return finish(centers, assignment, dist, rbar, covered);
-            }
-            let c = centers.len() as u32;
-            centers.push(far);
-            sweep(
-                points,
-                metric,
-                far,
-                c,
-                &mut dist,
-                &mut assignment,
-                false,
-                opts.threads,
-            );
-        }
+        finish(centers, assignment, dist, rbar, covered)
     }
 
     /// Number of points the net was built over.
@@ -141,7 +152,7 @@ impl RadiusGuidedNet {
     /// `4r̄ + ε` (definition (13)). Cost: `|E|²/2` early-abandoned distance
     /// evaluations — independent of `n`, so re-running it per `(ε, MinPts)`
     /// choice is the cheap part of parameter tuning.
-    pub fn neighbor_adjacency<P, M: Metric<P>>(
+    pub fn neighbor_adjacency<P: Sync, M: Metric<P> + Sync>(
         &self,
         points: &[P],
         metric: &M,
@@ -151,68 +162,42 @@ impl RadiusGuidedNet {
     }
 }
 
-fn argmax(dist: &[f64]) -> (usize, f64) {
-    let mut best = 0usize;
-    let mut best_d = f64::NEG_INFINITY;
-    for (i, &d) in dist.iter().enumerate() {
-        if d > best_d {
-            best = i;
-            best_d = d;
-        }
-    }
-    (best, best_d)
-}
-
-/// Updates `dist`/`assignment` against the newly added center (paper
-/// line 6). `init` seeds the arrays instead of taking minima.
-#[allow(clippy::too_many_arguments)]
-fn sweep<P: Sync, M: Metric<P> + Sync>(
+/// One chunk of the sweep against the newly added center (paper line 6).
+/// `task.init` seeds the arrays instead of taking minima; the center's
+/// own slot is pinned to distance 0 in place of the post-sweep fixup the
+/// sequential formulation uses. Element-local, so the chunking is
+/// invisible in the result.
+pub(crate) fn sweep_chunk<P, M: Metric<P>>(
     points: &[P],
     metric: &M,
-    center: usize,
-    center_pos: u32,
-    dist: &mut [f64],
-    assignment: &mut [u32],
-    init: bool,
-    threads: usize,
+    task: &SweepTask,
+    offset: usize,
+    dist_chunk: &mut [f64],
+    assign_chunk: &mut [u32],
 ) {
-    let cpoint = &points[center];
-    let work = |points_chunk: &[P], dist_chunk: &mut [f64], assign_chunk: &mut [u32]| {
-        for ((p, d), a) in points_chunk
-            .iter()
-            .zip(dist_chunk.iter_mut())
-            .zip(assign_chunk.iter_mut())
-        {
-            if init {
-                *d = metric.distance(cpoint, p);
-                *a = center_pos;
-            } else if let Some(nd) = metric.distance_leq(cpoint, p, *d) {
-                // `<` keeps ties on the earlier center, matching the
-                // paper's "arbitrarily pick one" determinism contract.
-                if nd < *d {
-                    *d = nd;
-                    *a = center_pos;
-                }
+    let cpoint = &points[task.center];
+    let points_chunk = &points[offset..offset + dist_chunk.len()];
+    for (i, ((p, d), a)) in points_chunk
+        .iter()
+        .zip(dist_chunk.iter_mut())
+        .zip(assign_chunk.iter_mut())
+        .enumerate()
+    {
+        if offset + i == task.center {
+            *d = 0.0;
+            *a = task.center_pos;
+        } else if task.init {
+            *d = metric.distance(cpoint, p);
+            *a = task.center_pos;
+        } else if let Some(nd) = metric.distance_leq(cpoint, p, *d) {
+            // `<` keeps ties on the earlier center, matching the
+            // paper's "arbitrarily pick one" determinism contract.
+            if nd < *d {
+                *d = nd;
+                *a = task.center_pos;
             }
         }
-    };
-    if threads <= 1 || points.len() < 4096 {
-        work(points, dist, assignment);
-    } else {
-        let chunk = points.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for ((pc, dc), ac) in points
-                .chunks(chunk)
-                .zip(dist.chunks_mut(chunk))
-                .zip(assignment.chunks_mut(chunk))
-            {
-                s.spawn(move |_| work(pc, dc, ac));
-            }
-        })
-        .expect("sweep worker panicked");
     }
-    dist[center] = 0.0;
-    assignment[center] = center_pos;
 }
 
 fn finish(
@@ -222,10 +207,7 @@ fn finish(
     rbar: f64,
     covered: bool,
 ) -> RadiusGuidedNet {
-    let mut cover_sets: Vec<Vec<u32>> = vec![Vec::new(); centers.len()];
-    for (i, &a) in assignment.iter().enumerate() {
-        cover_sets[a as usize].push(i as u32);
-    }
+    let cover_sets = Csr::from_assignment(&assignment, centers.len());
     RadiusGuidedNet {
         rbar,
         centers,
@@ -252,7 +234,11 @@ mod tests {
             let d = Euclidean.distance(&pts[c], p);
             assert!((d - net.dist_to_center[i]).abs() < 1e-12);
             if net.covered {
-                assert!(d <= net.rbar + 1e-12, "point {i} at {d} > rbar {}", net.rbar);
+                assert!(
+                    d <= net.rbar + 1e-12,
+                    "point {i} at {d} > rbar {}",
+                    net.rbar
+                );
             }
             // closest center
             for &e in &net.centers {
@@ -269,8 +255,7 @@ mod tests {
             }
         }
         // partition
-        let total: usize = net.cover_sets.iter().map(Vec::len).sum();
-        assert_eq!(total, pts.len());
+        assert_eq!(net.cover_sets.total_len(), pts.len());
         let mut seen = vec![false; pts.len()];
         for (e, set) in net.cover_sets.iter().enumerate() {
             for &p in set {
@@ -345,25 +330,40 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..9000)
             .map(|i| vec![(i % 97) as f64, (i % 89) as f64 * 0.5])
             .collect();
-        let seq = RadiusGuidedNet::build(&pts, &Euclidean, 7.0);
-        let par = RadiusGuidedNet::build_with(
+        let seq = RadiusGuidedNet::build_with(
             &pts,
             &Euclidean,
             7.0,
             &BuildOptions {
-                threads: 4,
+                parallel: ParallelConfig::sequential(),
                 ..Default::default()
             },
         );
-        assert_eq!(seq.centers, par.centers);
-        assert_eq!(seq.assignment, par.assignment);
+        for threads in [2usize, 4, 8] {
+            let par = RadiusGuidedNet::build_with(
+                &pts,
+                &Euclidean,
+                7.0,
+                &BuildOptions {
+                    parallel: ParallelConfig::new(threads),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(seq.centers, par.centers, "threads={threads}");
+            assert_eq!(seq.assignment, par.assignment, "threads={threads}");
+            assert_eq!(seq.cover_sets, par.cover_sets, "threads={threads}");
+        }
     }
 
     #[test]
     fn linear_distance_cost_per_iteration() {
         let pts = line(500);
         let counting = CountingMetric::new(Euclidean);
-        let net = RadiusGuidedNet::build(&pts, &counting, 50.0);
+        let opts = BuildOptions {
+            parallel: ParallelConfig::sequential(),
+            ..Default::default()
+        };
+        let net = RadiusGuidedNet::build_with(&pts, &counting, 50.0, &opts);
         // Each iteration sweeps at most n points.
         let iters = net.centers.len() as u64;
         assert!(

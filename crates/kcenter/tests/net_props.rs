@@ -32,7 +32,7 @@ proptest! {
             }
         }
         // partition
-        let total: usize = net.cover_sets.iter().map(Vec::len).sum();
+        let total: usize = net.cover_sets.total_len();
         prop_assert_eq!(total, pts.len());
     }
 

@@ -149,9 +149,7 @@ mod tests {
         let net = greedy_net(&pts, &Euclidean, r);
         // covering
         for p in &pts {
-            assert!(net
-                .iter()
-                .any(|&c| Euclidean.distance(&pts[c], p) <= r));
+            assert!(net.iter().any(|&c| Euclidean.distance(&pts[c], p) <= r));
         }
         // packing
         for (a, &i) in net.iter().enumerate() {

@@ -36,10 +36,7 @@ impl fmt::Display for MetricError {
                 point,
                 got,
                 expected,
-            } => write!(
-                f,
-                "point {point} has dimension {got}, expected {expected}"
-            ),
+            } => write!(f, "point {point} has dimension {got}, expected {expected}"),
             MetricError::Empty => write!(f, "input point set is empty"),
         }
     }

@@ -76,7 +76,10 @@ impl SparseVector {
 
     /// Iterates `(index, value)` in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// The squared Euclidean norm.
@@ -140,7 +143,11 @@ pub struct SparseAngular;
 impl Metric<SparseVector> for SparseAngular {
     fn distance(&self, a: &SparseVector, b: &SparseVector) -> f64 {
         if a.is_empty() || b.is_empty() {
-            return if a.is_empty() == b.is_empty() { 0.0 } else { 1.0 };
+            return if a.is_empty() == b.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
         }
         let mut dot = 0.0;
         a.merge_join(b, |x, y| dot += x * y);

@@ -193,8 +193,19 @@ mod tests {
     #[test]
     fn banded_agrees_with_full() {
         let words = [
-            "", "a", "ab", "abc", "abcd", "kitten", "sitting", "industry", "interest",
-            "density", "destiny", "clustering", "clattering",
+            "",
+            "a",
+            "ab",
+            "abc",
+            "abcd",
+            "kitten",
+            "sitting",
+            "industry",
+            "interest",
+            "density",
+            "destiny",
+            "clustering",
+            "clattering",
         ];
         for a in &words {
             for b in &words {

@@ -1,0 +1,70 @@
+//! The thread-count knob shared by every parallel phase.
+
+/// How many worker threads a parallel phase may use.
+///
+/// The pipeline is deterministic **regardless** of this setting (ties
+/// break on point/center index everywhere), so the default is the
+/// machine's available parallelism; use [`ParallelConfig::sequential`]
+/// to pin a run to one thread (e.g. for complexity accounting in units
+/// of sequential distance evaluations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+}
+
+impl ParallelConfig {
+    /// Exactly `threads` workers; `0` means "use available parallelism".
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Self::default()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// One worker: the classic sequential pipeline.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The number of worker threads phases will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this config runs on a single thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// The machine's available parallelism (1 when unknown).
+    pub fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            threads: Self::available(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_available() {
+        assert_eq!(
+            ParallelConfig::new(0).threads(),
+            ParallelConfig::available()
+        );
+        assert_eq!(ParallelConfig::new(3).threads(), 3);
+        assert!(ParallelConfig::sequential().is_sequential());
+        assert!(ParallelConfig::available() >= 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Compressed sparse rows: `Vec<Vec<u32>>` flattened to two arrays.
+
+use std::ops::{Index, Range};
+
+/// A list of `u32` rows stored as one flat value array plus offsets —
+/// row `i` is `values[offsets[i]..offsets[i+1]]`.
+///
+/// Used for the three hot containers of the pipeline: cover sets `C_e`
+/// (rows = centers, values = point ids), the center adjacency `A_e`
+/// (rows = centers, values = neighboring center positions), and core
+/// fragments `C̃_e`. Compared to nested `Vec`s this removes one pointer
+/// indirection + separate allocation per row, which is exactly what the
+/// innermost distance loops iterate over.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>, // len = rows + 1; offsets[0] == 0
+    values: Vec<u32>,
+}
+
+impl Csr {
+    /// An empty container with zero rows.
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from explicit parts. `offsets` must start at 0, be
+    /// non-decreasing, and end at `values.len()`.
+    pub fn from_parts(offsets: Vec<usize>, values: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            values.len(),
+            "offsets must end at values.len()"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, values }
+    }
+
+    /// Builds from nested rows (test/interop convenience).
+    pub fn from_rows<I>(rows: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u32]>,
+    {
+        let mut offsets = vec![0usize];
+        let mut values = Vec::new();
+        for row in rows {
+            values.extend_from_slice(row.as_ref());
+            offsets.push(values.len());
+        }
+        Self { offsets, values }
+    }
+
+    /// Inverts an assignment (`assignment[i] = row of element i`) into
+    /// rows via counting sort: row `r` lists, in ascending order, every
+    /// `i` with `assignment[i] == r`. This is exactly the cover-set
+    /// construction of Algorithm 1.
+    pub fn from_assignment(assignment: &[u32], num_rows: usize) -> Self {
+        let mut offsets = vec![0usize; num_rows + 1];
+        for &a in assignment {
+            offsets[a as usize + 1] += 1;
+        }
+        for r in 0..num_rows {
+            offsets[r + 1] += offsets[r];
+        }
+        let mut cursor = offsets.clone();
+        let mut values = vec![0u32; assignment.len()];
+        for (i, &a) in assignment.iter().enumerate() {
+            values[cursor[a as usize]] = i as u32;
+            cursor[a as usize] += 1;
+        }
+        Self { offsets, values }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    /// Total number of stored values across all rows.
+    pub fn total_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.values[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Length of row `i` without touching the value array.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The value range of row `i` (an index range into
+    /// [`Csr::values`]).
+    #[inline]
+    pub fn row_range(&self, i: usize) -> Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Iterates rows in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[u32]> + '_ {
+        (0..self.num_rows()).map(|i| self.row(i))
+    }
+
+    /// The flat value array.
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// The offset array (length `num_rows() + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+impl Index<usize> for Csr {
+    type Output = [u32];
+    #[inline]
+    fn index(&self, i: usize) -> &[u32] {
+        self.row(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows: Vec<Vec<u32>> = vec![vec![1, 2], vec![], vec![7]];
+        let csr = Csr::from_rows(&rows);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.total_len(), 3);
+        assert_eq!(&csr[0], &[1, 2][..]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row_len(2), 1);
+        assert_eq!(csr.row_range(2), 2..3);
+        let collected: Vec<&[u32]> = csr.iter().collect();
+        assert_eq!(collected, vec![&[1u32, 2][..], &[][..], &[7][..]]);
+    }
+
+    #[test]
+    fn from_assignment_matches_push_loop() {
+        let assignment = [2u32, 0, 2, 1, 0, 2];
+        let csr = Csr::from_assignment(&assignment, 3);
+        // reference: the nested push loop the seed used
+        let mut reference: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        for (i, &a) in assignment.iter().enumerate() {
+            reference[a as usize].push(i as u32);
+        }
+        assert_eq!(csr, Csr::from_rows(&reference));
+    }
+
+    #[test]
+    fn empty_rows_everywhere() {
+        let csr = Csr::from_assignment(&[], 4);
+        assert_eq!(csr.num_rows(), 4);
+        assert!(csr.iter().all(<[u32]>::is_empty));
+        assert!(!csr.is_empty());
+        assert!(Csr::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_offsets_rejected() {
+        let _ = Csr::from_parts(vec![0, 5], vec![1, 2]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Scoped-thread executors, deterministic by construction.
+//!
+//! All splitting is into contiguous chunks in index order and all
+//! per-chunk results are combined in chunk order, so every function here
+//! returns bit-identical output for any thread count.
+
+use std::ops::Range;
+use std::thread;
+
+/// Splits `0..n` into at most `parts` contiguous ranges of nearly equal
+/// length (the first `n % parts` ranges get one extra element). Empty
+/// ranges are never produced.
+pub fn split_even(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// How many workers are worth spawning for `n` items when each thread
+/// should own at least `min_per_thread` of them.
+pub(crate) fn worker_count(threads: usize, n: usize, min_per_thread: usize) -> usize {
+    threads.max(1).min(n / min_per_thread.max(1)).max(1)
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of roughly
+/// equal **total weight** (`weight(i)` per index). Used where per-index
+/// cost is skewed — e.g. upper-triangle adjacency rows (row `i` costs
+/// `n - i - 1`) or per-fragment cover-tree builds.
+pub fn split_weighted(
+    n: usize,
+    parts: usize,
+    weight: impl Fn(usize) -> usize,
+) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    if parts <= 1 {
+        let mut all = Vec::new();
+        if n > 0 {
+            all.push(0..n);
+        }
+        return all;
+    }
+    let total: usize = (0..n).map(&weight).sum();
+    let target = total / parts + 1;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    let mut acc = 0usize;
+    for i in 0..n {
+        acc += weight(i);
+        if acc >= target && out.len() + 1 < parts {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+/// Runs one task per given range on its own scoped thread, returning
+/// results in range order. Ranges typically come from [`split_even`] or
+/// [`split_weighted`].
+pub fn par_map_ranges<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let mut out: Vec<R> = Vec::with_capacity(ranges.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| f(r))).collect();
+        for h in handles {
+            out.push(h.join().expect("parallel range worker panicked"));
+        }
+    });
+    out
+}
+
+/// Order-preserving parallel map over `0..n`: the result at position
+/// `i` is `f(i)`, exactly as the sequential `(0..n).map(f).collect()`.
+pub fn par_map_range<R, F>(n: usize, threads: usize, min_per_thread: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let t = worker_count(threads, n, min_per_thread);
+    if t <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let ranges = split_even(n, t);
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(|| r.map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_even(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_range_matches_sequential_for_any_thread_count() {
+        let n = 10_000;
+        let seq: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let par = par_map_range(n, threads, 1, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn weighted_split_covers_and_balances() {
+        // triangle weights: row i costs n - 1 - i
+        let n = 1000;
+        let ranges = split_weighted(n, 4, |i| n - 1 - i);
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, n);
+        let weights: Vec<usize> = ranges
+            .iter()
+            .map(|r| r.clone().map(|i| n - 1 - i).sum())
+            .collect();
+        let total: usize = weights.iter().sum();
+        for w in &weights {
+            assert!(*w >= total / 16, "a chunk got starved: {weights:?}");
+        }
+        assert!(split_weighted(0, 4, |_| 1).is_empty());
+
+        let out = par_map_ranges(ranges, |r| r.len());
+        assert_eq!(out.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        // must not panic / spawn for tiny inputs
+        let out = par_map_range(3, 64, 4096, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Persistent-worker engine for iterative farthest-point sweeps.
+//!
+//! The Gonzalez greedies (vanilla and Algorithm 1) run thousands of
+//! rounds of "update every point's distance against one new center,
+//! then take an argmax". Spawning scoped threads per round would burn
+//! more time in thread startup than in distance evaluations once the
+//! per-round work shrinks — so this engine spawns each worker **once**,
+//! hands it ownership of a contiguous chunk of the `(dist, assignment)`
+//! arrays, and drives rounds over channels: broadcast task → per-chunk
+//! update + local argmax → ordered reduction on the driver thread.
+//!
+//! Determinism: chunk boundaries depend only on `(n, threads)`, the
+//! per-element update is element-local, and the argmax reduction scans
+//! partials in chunk order with strict `>` — the smallest index among
+//! maxima wins for every thread count, exactly like a sequential
+//! left-to-right scan.
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::executors::{split_even, worker_count};
+
+/// One round's work order: sweep against `center` (stored at position
+/// `center_pos` in the caller's center list). `init` seeds the arrays
+/// instead of taking minima.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTask {
+    /// Point index of the center to sweep against.
+    pub center: usize,
+    /// Its position in the caller's center list.
+    pub center_pos: u32,
+    /// First round: overwrite instead of min-merge.
+    pub init: bool,
+}
+
+/// Runs rounds of chunk-parallel sweeps until `driver` stops.
+///
+/// Per round, `update(&task, offset, dist_chunk, assign_chunk)` runs on
+/// every chunk (in parallel), then the global argmax of `dist` —
+/// smallest index on ties — is handed to `driver`, which returns the
+/// next task or `None` to stop. Returns the final `(dist, assignment)`.
+///
+/// `update` must be element-local (chunk `i` only reads/writes its own
+/// elements) — that's what makes the chunking invisible in the result.
+pub fn sweep_rounds<U, D>(
+    n: usize,
+    threads: usize,
+    min_per_thread: usize,
+    first: SweepTask,
+    update: U,
+    mut driver: D,
+) -> (Vec<f64>, Vec<u32>)
+where
+    U: Fn(&SweepTask, usize, &mut [f64], &mut [u32]) + Sync,
+    D: FnMut(usize, f64) -> Option<SweepTask>,
+{
+    let t = worker_count(threads, n, min_per_thread);
+    if t <= 1 {
+        let mut dist = vec![0.0f64; n];
+        let mut assignment = vec![0u32; n];
+        let mut task = first;
+        loop {
+            update(&task, 0, &mut dist, &mut assignment);
+            let (far, far_d) = chunk_argmax(0, &dist);
+            match driver(far, far_d) {
+                Some(next) => task = next,
+                None => return (dist, assignment),
+            }
+        }
+    }
+
+    let ranges = split_even(n, t);
+    let mut dist = vec![0.0f64; n];
+    let mut assignment = vec![0u32; n];
+    thread::scope(|s| {
+        // Each worker owns its chunk for the whole run and reports a
+        // local argmax per round; chunks come home over `done` channels.
+        struct Lane {
+            task_tx: mpsc::Sender<SweepTask>,
+            partial_rx: mpsc::Receiver<(usize, f64)>,
+            done_rx: mpsc::Receiver<(usize, Vec<f64>, Vec<u32>)>,
+        }
+        let update = &update;
+        let lanes: Vec<Lane> = ranges
+            .iter()
+            .map(|r| {
+                let (task_tx, task_rx) = mpsc::channel::<SweepTask>();
+                let (partial_tx, partial_rx) = mpsc::channel();
+                let (done_tx, done_rx) = mpsc::channel();
+                let offset = r.start;
+                let len = r.len();
+                s.spawn(move || {
+                    let mut d_chunk = vec![0.0f64; len];
+                    let mut a_chunk = vec![0u32; len];
+                    while let Ok(task) = task_rx.recv() {
+                        update(&task, offset, &mut d_chunk, &mut a_chunk);
+                        let sent = partial_tx.send(chunk_argmax(offset, &d_chunk));
+                        if sent.is_err() {
+                            break; // driver gone — unwinding
+                        }
+                    }
+                    let _ = done_tx.send((offset, d_chunk, a_chunk));
+                });
+                Lane {
+                    task_tx,
+                    partial_rx,
+                    done_rx,
+                }
+            })
+            .collect();
+
+        let mut task = first;
+        loop {
+            for lane in &lanes {
+                lane.task_tx.send(task).expect("sweep worker hung up");
+            }
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for lane in &lanes {
+                let (i, v) = lane.partial_rx.recv().expect("sweep worker hung up");
+                // strict > keeps the earliest chunk's index on ties
+                if v > best.1 {
+                    best = (i, v);
+                }
+            }
+            match driver(best.0, best.1) {
+                Some(next) => task = next,
+                None => break,
+            }
+        }
+        for lane in lanes {
+            drop(lane.task_tx); // workers drain and return their chunks
+            let (offset, d_chunk, a_chunk) = lane.done_rx.recv().expect("sweep worker hung up");
+            dist[offset..offset + d_chunk.len()].copy_from_slice(&d_chunk);
+            assignment[offset..offset + a_chunk.len()].copy_from_slice(&a_chunk);
+        }
+    });
+    (dist, assignment)
+}
+
+fn chunk_argmax(offset: usize, chunk: &[f64]) -> (usize, f64) {
+    let mut best = offset;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in chunk.iter().enumerate() {
+        if v > best_v {
+            best = offset + i;
+            best_v = v;
+        }
+    }
+    (best, best_v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted farthest-point run: points on a line, distance to the
+    /// running center set, exactly the Gonzalez recurrence.
+    fn run(n: usize, threads: usize, k: usize) -> (Vec<usize>, Vec<f64>, Vec<u32>) {
+        let coords: Vec<f64> = (0..n).map(|i| (i as f64 * 0.731).sin() * 100.0).collect();
+        let mut centers = vec![0usize];
+        let (dist, assignment) = sweep_rounds(
+            n,
+            threads,
+            1,
+            SweepTask {
+                center: 0,
+                center_pos: 0,
+                init: true,
+            },
+            |task, offset, d, a| {
+                let c = coords[task.center];
+                for (i, (dv, av)) in d.iter_mut().zip(a.iter_mut()).enumerate() {
+                    let nd = (coords[offset + i] - c).abs();
+                    if task.init || nd < *dv {
+                        *dv = nd;
+                        *av = task.center_pos;
+                    }
+                }
+            },
+            |far, _| {
+                if centers.len() >= k {
+                    None
+                } else {
+                    centers.push(far);
+                    Some(SweepTask {
+                        center: far,
+                        center_pos: (centers.len() - 1) as u32,
+                        init: false,
+                    })
+                }
+            },
+        );
+        (centers, dist, assignment)
+    }
+
+    #[test]
+    fn persistent_workers_match_sequential() {
+        let seq = run(5000, 1, 12);
+        for threads in [2usize, 3, 8] {
+            let par = run(5000, threads, 12);
+            assert_eq!(seq.0, par.0, "centers, threads={threads}");
+            assert_eq!(seq.1, par.1, "dist, threads={threads}");
+            assert_eq!(seq.2, par.2, "assignment, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_fine() {
+        // driver stops immediately after the first sweep
+        let (dist, assignment) = sweep_rounds(
+            100,
+            4,
+            1,
+            SweepTask {
+                center: 0,
+                center_pos: 0,
+                init: true,
+            },
+            |_, _, d, _| d.fill(1.0),
+            |_, _| None,
+        );
+        assert!(dist.iter().all(|&d| d == 1.0));
+        assert_eq!(assignment, vec![0u32; 100]);
+    }
+}

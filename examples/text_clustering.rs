@@ -13,16 +13,42 @@ fn main() {
     // A small corpus: misspelled variants of three head words plus junk.
     let corpus: Vec<String> = [
         // cluster: "clustering"
-        "clustering", "clusterng", "clustering!", "klustering", "clusterings", "cluster1ng",
-        "clusterinng", "cllustering", "clustring", "clusteringg",
+        "clustering",
+        "clusterng",
+        "clustering!",
+        "klustering",
+        "clusterings",
+        "cluster1ng",
+        "clusterinng",
+        "cllustering",
+        "clustring",
+        "clusteringg",
         // cluster: "database"
-        "database", "databse", "dattabase", "databases", "databaze", "datebase", "databasee",
-        "xdatabase", "databas", "dat4base",
+        "database",
+        "databse",
+        "dattabase",
+        "databases",
+        "databaze",
+        "datebase",
+        "databasee",
+        "xdatabase",
+        "databas",
+        "dat4base",
         // cluster: "streaming"
-        "streaming", "streeming", "streamin", "sstreaming", "str3aming", "streaming?",
-        "strexming", "streamingo", "treaming", "stream1ng",
+        "streaming",
+        "streeming",
+        "streamin",
+        "sstreaming",
+        "str3aming",
+        "streaming?",
+        "strexming",
+        "streamingo",
+        "treaming",
+        "stream1ng",
         // junk
-        "zygomorphic", "quixotic", "brrr",
+        "zygomorphic",
+        "quixotic",
+        "brrr",
     ]
     .iter()
     .map(|s| s.to_string())

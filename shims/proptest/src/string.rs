@@ -1,0 +1,122 @@
+//! String strategies from miniature regex patterns.
+//!
+//! Real proptest compiles full regexes; this stand-in understands the
+//! subset its workspace uses: literal characters, `[a-d]`-style classes
+//! (ranges and singletons), and an optional `{m}` / `{m,n}` repeat
+//! after a class. That covers patterns like `"[a-d]{0,8}"` or
+//! `"[ab]{6}"`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Literal(char),
+    Class {
+        chars: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }, // hi inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        if c == '[' {
+            let mut chars = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match it.next() {
+                    Some(']') => break,
+                    Some('-') if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                        let start = prev.take().expect("checked");
+                        let end = it.next().expect("peeked");
+                        // `start` was already pushed; extend the range past it.
+                        let mut ch = start;
+                        while ch < end {
+                            ch = char::from_u32(ch as u32 + 1).expect("ascii range");
+                            chars.push(ch);
+                        }
+                    }
+                    Some(ch) => {
+                        chars.push(ch);
+                        prev = Some(ch);
+                    }
+                    None => panic!("unterminated character class in pattern {pattern:?}"),
+                }
+            }
+            assert!(!chars.is_empty(), "empty character class in {pattern:?}");
+            let (lo, hi) = if it.peek() == Some(&'{') {
+                it.next();
+                let spec: String = it.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repeat lower bound"),
+                        n.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let m: usize = spec.trim().parse().expect("repeat count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece::Class { chars, lo, hi });
+        } else {
+            pieces.push(Piece::Literal(c));
+        }
+    }
+    pieces
+}
+
+/// String literals act as pattern strategies producing `String`s.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            match piece {
+                Piece::Literal(c) => out.push(c),
+                Piece::Class { chars, lo, hi } => {
+                    let reps = if lo == hi {
+                        lo
+                    } else {
+                        rng.random_range(lo..=hi)
+                    };
+                    for _ in 0..reps {
+                        out.push(chars[rng.random_range(0..chars.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_range_and_repeat() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-d]{0,8}".sample(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_repeat_and_literals() {
+        let mut rng = TestRng::from_seed(2);
+        let s = "x[ab]{6}y".sample(&mut rng);
+        assert_eq!(s.len(), 8);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+        assert!(s[1..7].chars().all(|c| c == 'a' || c == 'b'));
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`covertree`] — the cover-tree index (Beygelzimer et al. 2006);
 //! * [`kcenter`] — Gonzalez, radius-guided Gonzalez (Algorithm 1),
 //!   k-center with outliers;
+//! * [`parallel`] — the deterministic scoped-thread executors and flat
+//!   CSR storage the pipeline runs on, plus the
+//!   [`parallel::ParallelConfig`] thread knob (see `core`'s "Threading
+//!   model" docs);
 //! * [`baselines`] — every comparator of the paper's evaluation;
 //! * [`eval`] — ARI / AMI / NMI;
 //! * [`datagen`] — deterministic synthetic workloads for all dataset
@@ -53,3 +57,4 @@ pub use mdbscan_datagen as datagen;
 pub use mdbscan_eval as eval;
 pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
+pub use mdbscan_parallel as parallel;

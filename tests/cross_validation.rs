@@ -6,9 +6,7 @@
 
 use metric_dbscan::baselines::{dyw_dbscan, grid_dbscan_exact, original_dbscan};
 use metric_dbscan::core::{exact_dbscan, exact_dbscan_covertree, Clustering};
-use metric_dbscan::datagen::{
-    blobs, cluto_like, moons, string_clusters, BlobSpec, StringSpec,
-};
+use metric_dbscan::datagen::{blobs, cluto_like, moons, string_clusters, BlobSpec, StringSpec};
 use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
 
 /// Cores, noise set, and the core partition must agree (borders may

@@ -2,8 +2,7 @@
 //! solvers → quality metrics, exercising the claims the README makes.
 
 use metric_dbscan::core::{
-    approx_dbscan, exact_dbscan, ApproxParams, DbscanParams, GonzalezIndex,
-    StreamingApproxDbscan,
+    approx_dbscan, exact_dbscan, ApproxParams, DbscanParams, GonzalezIndex, StreamingApproxDbscan,
 };
 use metric_dbscan::datagen::{
     banana, manifold_clusters, moons, string_clusters, DriftingStream, ManifoldSpec, StringSpec,
@@ -163,8 +162,7 @@ fn streaming_engine_matches_quality_with_bounded_memory() {
         seed: 21,
     };
     let params = ApproxParams::new(2.0, 10, 0.5).unwrap();
-    let (c, engine) =
-        StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter()).unwrap();
+    let (c, engine) = StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter()).unwrap();
     assert_eq!(c.num_clusters(), 4);
     let truth = stream.labels();
     assert!(adjusted_rand_index(&truth, &c.assignments()) > 0.9);
