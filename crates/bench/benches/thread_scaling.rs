@@ -4,11 +4,11 @@
 //! count, correctness may not.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mdbscan_core::{DbscanParams, ExactConfig, GonzalezIndex, ParallelConfig};
+use mdbscan_core::{DbscanParams, ExactConfig, MetricDbscan, ParallelConfig};
 use mdbscan_datagen::{blobs, BlobSpec};
-use mdbscan_kcenter::BuildOptions;
 use mdbscan_metric::Euclidean;
 use std::hint::black_box;
+use std::sync::Arc;
 
 const N: usize = 100_000;
 const EPS: f64 = 1.0;
@@ -30,23 +30,25 @@ fn dataset() -> Vec<Vec<f64>> {
     .0
 }
 
-fn solve(pts: &[Vec<f64>], threads: usize) -> mdbscan_core::Clustering {
+fn solve(pts: &Arc<[Vec<f64>]>, threads: usize) -> mdbscan_core::Clustering {
     let parallel = ParallelConfig::new(threads);
-    let opts = BuildOptions {
-        parallel,
-        ..Default::default()
-    };
-    let index = GonzalezIndex::build_with(pts, &Euclidean, EPS / 2.0, &opts).expect("build");
+    // Arc::clone keeps the timed path free of the 100k-point deep copy
+    // the borrowed GonzalezIndex never paid.
+    let engine = MetricDbscan::builder(Arc::clone(pts), Euclidean)
+        .rbar(EPS / 2.0)
+        .parallel(parallel)
+        .build()
+        .expect("build");
     let cfg = ExactConfig {
         parallel,
         ..ExactConfig::default()
     };
     let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
-    index.exact_with(&params, &cfg).expect("exact").0
+    engine.exact_with(&params, &cfg).expect("exact").clustering
 }
 
 fn bench_thread_scaling(c: &mut Criterion) {
-    let pts = dataset();
+    let pts: Arc<[Vec<f64>]> = dataset().into();
     let baseline = solve(&pts, 1);
     let mut g = c.benchmark_group("exact_100k_threads");
     g.sample_size(5);

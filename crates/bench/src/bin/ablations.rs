@@ -4,13 +4,15 @@
 //! 1. dense-ball shortcut on/off (Step 1's amortization, Lemma 4);
 //! 2. cover-tree BCP vs brute-force BCP (Step 2, Lemma 5);
 //! 3. early termination on/off in the merge;
-//! 4. index reuse vs rebuild across an ε sweep (Remark 5);
+//! 4. engine reuse vs rebuild across an ε sweep (Remark 5), plus the
+//!    PR-2 fragment-tree LRU: replaying the same sweep warm;
 //! 5. the §3.2 cover-tree pipeline vs the Algorithm 1 pipeline on
-//!    all-inlier data (Theorem 1's regime).
+//!    all-inlier data (Theorem 1's regime) — both as engine methods, so
+//!    the whole-input cover tree is also built once and reused.
 
 use mdbscan_bench::registry;
 use mdbscan_bench::{row, timed, HarnessArgs};
-use mdbscan_core::{exact_dbscan_covertree, DbscanParams, ExactConfig, GonzalezIndex};
+use mdbscan_core::{DbscanParams, ExactConfig, MetricDbscan};
 use mdbscan_metric::{CountingMetric, Euclidean};
 
 const MIN_PTS: usize = 10;
@@ -35,6 +37,15 @@ fn main() {
         let pts = entry.data.points();
         let eps = entry.eps0;
         let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+        let m = CountingMetric::new(Euclidean);
+        // Non-default toggle combinations bypass the fragment cache, so
+        // one engine is fair game for the whole grid; the (true, true)
+        // row disables caching explicitly to measure the raw pipeline.
+        let engine = MetricDbscan::builder(pts.to_vec(), &m)
+            .rbar(eps / 2.0)
+            .cache_capacity(0)
+            .build()
+            .expect("build");
         for dense in [true, false] {
             for tree in [true, false] {
                 for early in [true, false] {
@@ -44,10 +55,8 @@ fn main() {
                         early_termination: early,
                         ..ExactConfig::default()
                     };
-                    let m = CountingMetric::new(Euclidean);
-                    let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
                     m.reset();
-                    let ((c, _stats), ms) = timed(|| idx.exact_with(&params, &cfg).expect("exact"));
+                    let (run, ms) = timed(|| engine.exact_with(&params, &cfg).expect("exact"));
                     row!(
                         entry.name,
                         dense,
@@ -55,14 +64,16 @@ fn main() {
                         early,
                         format!("{ms:.2}"),
                         m.count(),
-                        c.num_clusters()
+                        run.clustering.num_clusters()
                     );
                 }
             }
         }
     }
 
-    println!("\n# ablation 4: index reuse vs rebuild across an eps sweep (Remark 5)");
+    println!(
+        "\n# ablation 4: engine reuse vs rebuild across an eps sweep (Remark 5) + warm LRU (PR 2)"
+    );
     row!("dataset", "mode", "total_ms");
     for entry in registry::high_dim_suite(&args).into_iter().take(2) {
         let pts = entry.data.points();
@@ -70,22 +81,41 @@ fn main() {
             .iter()
             .map(|f| entry.eps0 * f)
             .collect();
-        let (_, reuse_ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &Euclidean, entry.eps0 / 2.0).expect("build");
+        let owned = pts.to_vec();
+        let (engine, build_ms) = timed(move || {
+            MetricDbscan::builder(owned, Euclidean)
+                .rbar(entry.eps0 / 2.0)
+                .build()
+                .expect("build")
+        });
+        let (_, sweep_ms) = timed(|| {
             for &eps in &sweep {
                 let params = DbscanParams::new(eps, MIN_PTS).expect("params");
-                idx.exact(&params).expect("exact");
+                engine.exact(&params).expect("exact");
             }
         });
         let (_, rebuild_ms) = timed(|| {
             for &eps in &sweep {
-                let idx = GonzalezIndex::build(pts, &Euclidean, eps / 2.0).expect("build");
+                let fresh = MetricDbscan::builder(pts.to_vec(), Euclidean)
+                    .rbar(eps / 2.0)
+                    .build()
+                    .expect("build");
                 let params = DbscanParams::new(eps, MIN_PTS).expect("params");
-                idx.exact(&params).expect("exact");
+                fresh.exact(&params).expect("exact");
             }
         });
-        row!(entry.name, "reuse", format!("{reuse_ms:.2}"));
+        // Same sweep again on the same engine: every (ε, MinPts) is now
+        // resident in the fragment LRU.
+        let (_, warm_ms) = timed(|| {
+            for &eps in &sweep {
+                let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+                let run = engine.exact(&params).expect("exact");
+                assert!(run.report.cache_hit, "warm sweep must hit the LRU");
+            }
+        });
+        row!(entry.name, "reuse", format!("{:.2}", build_ms + sweep_ms));
         row!(entry.name, "rebuild", format!("{rebuild_ms:.2}"));
+        row!(entry.name, "reuse_warm_lru", format!("{warm_ms:.2}"));
     }
 
     println!("\n# ablation 5: §3.2 cover-tree pipeline vs Algorithm 1 pipeline (all-inlier data)");
@@ -102,24 +132,38 @@ fn main() {
             .map(|(p, _)| p.clone())
             .collect();
         let eps = entry.eps0;
-        let (res, alg1_ms) = timed(|| {
-            let idx = GonzalezIndex::build(&pts, &Euclidean, eps / 2.0).expect("build");
-            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
-                .expect("exact")
+        let owned = pts.clone();
+        let (engine, build_ms) = timed(move || {
+            MetricDbscan::builder(owned, Euclidean)
+                .rbar(eps / 2.0)
+                .build()
+                .expect("build")
         });
+        let params = DbscanParams::new(eps, MIN_PTS).expect("params");
+        let (res, alg1_ms) = timed(|| engine.exact(&params).expect("exact"));
         row!(
             entry.name,
             "algorithm1",
-            format!("{alg1_ms:.2}"),
-            res.num_clusters()
+            format!("{:.2}", build_ms + alg1_ms),
+            res.clustering.num_clusters()
         );
-        let ((res, _stats), tree_ms) =
-            timed(|| exact_dbscan_covertree(&pts, &Euclidean, eps, MIN_PTS).expect("covertree"));
+        let (res, tree_ms) = timed(|| engine.covertree(&params).expect("covertree"));
         row!(
             entry.name,
             "covertree_3.2",
             format!("{tree_ms:.2}"),
-            res.num_clusters()
+            res.clustering.num_clusters()
+        );
+        // The whole-input tree is engine-resident now: a second ε costs
+        // only the net extraction + steps.
+        let params2 = DbscanParams::new(eps * 1.5, MIN_PTS).expect("params");
+        let (res, tree2_ms) = timed(|| engine.covertree(&params2).expect("covertree"));
+        assert!(res.report.cache_hit, "second covertree run reuses the tree");
+        row!(
+            entry.name,
+            "covertree_3.2_reused",
+            format!("{tree2_ms:.2}"),
+            res.clustering.num_clusters()
         );
     }
 }

@@ -11,7 +11,7 @@
 use mdbscan_baselines as baselines;
 use mdbscan_bench::registry::{self, StrEntry, VecEntry};
 use mdbscan_bench::{row, timed, HarnessArgs};
-use mdbscan_core::{ApproxParams, DbscanParams, GonzalezIndex};
+use mdbscan_core::{ApproxParams, DbscanParams, MetricDbscan};
 use mdbscan_metric::{CountingMetric, Euclidean, Levenshtein};
 
 const MIN_PTS: usize = 10;
@@ -67,21 +67,32 @@ fn run_vec_panel(entry: &VecEntry, args: &HarnessArgs) {
 
         // Our_Exact (index build + solve, both counted).
         let m = CountingMetric::new(Euclidean);
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
-            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(eps / 2.0)
+                .build()
+                .expect("build");
+            engine
+                .exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
                 .expect("exact")
         });
-        report("Our_Exact", ms, m.count(), res.num_clusters());
+        report("Our_Exact", ms, m.count(), res.clustering.num_clusters());
 
         // Our_Approx.
         let m = CountingMetric::new(Euclidean);
         let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
-            idx.approx(&params).expect("approx")
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(params.rbar())
+                .build()
+                .expect("build");
+            engine.approx(&params).expect("approx")
         });
-        report("Our_Approx", ms, m.count(), res.num_clusters());
+        report("Our_Approx", ms, m.count(), res.clustering.num_clusters());
 
         if quadratic_ok {
             let m = CountingMetric::new(Euclidean);
@@ -137,20 +148,31 @@ fn run_text_panel(entry: &StrEntry) {
             );
         };
         let m = CountingMetric::new(Levenshtein);
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
-            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(eps / 2.0)
+                .build()
+                .expect("build");
+            engine
+                .exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
                 .expect("exact")
         });
-        report("Our_Exact", ms, m.count(), res.num_clusters());
+        report("Our_Exact", ms, m.count(), res.clustering.num_clusters());
 
         let m = CountingMetric::new(Levenshtein);
         let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
-            idx.approx(&params).expect("approx")
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(params.rbar())
+                .build()
+                .expect("build");
+            engine.approx(&params).expect("approx")
         });
-        report("Our_Approx", ms, m.count(), res.num_clusters());
+        report("Our_Approx", ms, m.count(), res.clustering.num_clusters());
 
         let m = CountingMetric::new(Levenshtein);
         let (res, ms) = timed(|| baselines::original_dbscan(pts, &m, eps, MIN_PTS));
@@ -185,9 +207,15 @@ fn run_large_panel(entry: &VecEntry) {
     for f in [1.0, 1.5] {
         let eps = entry.eps0 * f;
         let m = CountingMetric::new(Euclidean);
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, eps / 2.0).expect("build");
-            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(eps / 2.0)
+                .build()
+                .expect("build");
+            engine
+                .exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
                 .expect("exact")
         });
         row!(
@@ -199,13 +227,18 @@ fn run_large_panel(entry: &VecEntry) {
             "Our_Exact",
             format!("{ms:.2}"),
             m.count(),
-            res.num_clusters()
+            res.clustering.num_clusters()
         );
         let m = CountingMetric::new(Euclidean);
         let params = ApproxParams::new(eps, MIN_PTS, RHO).expect("params");
-        let (res, ms) = timed(|| {
-            let idx = GonzalezIndex::build(pts, &m, params.rbar()).expect("build");
-            idx.approx(&params).expect("approx")
+        let owned = pts.to_vec();
+        let mref = &m;
+        let (res, ms) = timed(move || {
+            let engine = MetricDbscan::builder(owned, mref)
+                .rbar(params.rbar())
+                .build()
+                .expect("build");
+            engine.approx(&params).expect("approx")
         });
         row!(
             entry.name,
@@ -216,7 +249,7 @@ fn run_large_panel(entry: &VecEntry) {
             "Our_Approx",
             format!("{ms:.2}"),
             m.count(),
-            res.num_clusters()
+            res.clustering.num_clusters()
         );
     }
 }

@@ -2,10 +2,14 @@
 //! ρ-approximate solver at ρ ∈ {0.1, 0.5, 1, 2} with fixed ε, next to the
 //! exact solver's score, on the four high-dimensional image-class
 //! datasets (MNIST, USPS HW, Fashion MNIST, CIFAR 10 stand-ins).
+//!
+//! ρ = 1 shares its net resolution with the exact solver (r̄ = ε/2), so
+//! those two run on ONE `MetricDbscan` engine; the other ρ values need a
+//! finer net and build their own.
 
 use mdbscan_bench::registry;
 use mdbscan_bench::{row, HarnessArgs};
-use mdbscan_core::{ApproxParams, DbscanParams, GonzalezIndex};
+use mdbscan_core::{ApproxParams, DbscanParams, MetricDbscan};
 use mdbscan_eval::{adjusted_mutual_info, adjusted_rand_index};
 use mdbscan_metric::Euclidean;
 
@@ -24,11 +28,15 @@ fn main() {
         // of ρ visibly changes what gets merged, as in the paper's Fig. 4.
         let eps = entry.eps0 * 0.75;
 
-        let exact = {
-            let idx = GonzalezIndex::build(pts, &Euclidean, eps / 2.0).expect("build");
-            idx.exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
-                .expect("exact")
-        };
+        // One engine at r̄ = ε/2 serves the exact solver and ρ = 1.
+        let shared = MetricDbscan::builder(pts.to_vec(), Euclidean)
+            .rbar(eps / 2.0)
+            .build()
+            .expect("build");
+        let exact = shared
+            .exact(&DbscanParams::new(eps, MIN_PTS).expect("params"))
+            .expect("exact")
+            .clustering;
         let pred = exact.assignments();
         row!(
             entry.name,
@@ -41,8 +49,21 @@ fn main() {
 
         for rho in RHOS {
             let params = ApproxParams::new(eps, MIN_PTS, rho).expect("params");
-            let idx = GonzalezIndex::build(pts, &Euclidean, params.rbar()).expect("build");
-            let approx = idx.approx(&params).expect("approx");
+            // Share only when the solver's natural resolution r̄ = ρε/2
+            // coincides with the shared net (ρ = 1); every other ρ builds
+            // its own net so the figure measures each configuration at
+            // the paper's prescribed resolution.
+            let approx = if (shared.rbar() - params.rbar()).abs() < 1e-12 {
+                shared.approx(&params).expect("approx").clustering
+            } else {
+                MetricDbscan::builder(pts.to_vec(), Euclidean)
+                    .rbar(params.rbar())
+                    .build()
+                    .expect("build")
+                    .approx(&params)
+                    .expect("approx")
+                    .clustering
+            };
             let pred = approx.assignments();
             row!(
                 entry.name,

@@ -9,7 +9,7 @@
 
 use mdbscan_baselines::{dp_means, lambda_from_kcenter};
 use mdbscan_bench::{row, HarnessArgs};
-use mdbscan_core::{approx_dbscan, exact_dbscan, Clustering};
+use mdbscan_core::{ApproxParams, Clustering, DbscanParams, MetricDbscan};
 use mdbscan_datagen::{banana, moons};
 use mdbscan_eval::{adjusted_mutual_info, adjusted_rand_index};
 use mdbscan_metric::{Dataset, Euclidean};
@@ -24,6 +24,7 @@ fn main() {
         "dataset",
         "algorithm",
         "clusters",
+        "largest",
         "noise",
         "ari",
         "ami",
@@ -36,9 +37,19 @@ fn main() {
     for (ds, eps) in &panels {
         let pts = ds.points();
         let truth = ds.labels().expect("labeled");
-        let exact = exact_dbscan(pts, &Euclidean, *eps, MIN_PTS).expect("exact");
+        // One engine per panel, at the resolution of the finest query
+        // (the ρ = 0.5 approximate run needs r̄ ≤ ρε/2 = ε/4).
+        let aparams = ApproxParams::new(*eps, MIN_PTS, 0.5).expect("params");
+        let engine = MetricDbscan::builder(pts.to_vec(), Euclidean)
+            .rbar(aparams.rbar())
+            .build()
+            .expect("build");
+        let exact = engine
+            .exact(&DbscanParams::new(*eps, MIN_PTS).expect("params"))
+            .expect("exact")
+            .clustering;
         emit(ds, "exact", &exact, truth);
-        let approx = approx_dbscan(pts, &Euclidean, *eps, MIN_PTS, 0.5).expect("approx");
+        let approx = engine.approx(&aparams).expect("approx").clustering;
         emit(ds, "approx_rho0.5", &approx, truth);
         let lambda = lambda_from_kcenter(pts, 2, 0);
         let dp = dp_means(pts, lambda, 50);
@@ -59,6 +70,7 @@ fn emit(ds: &Dataset<Vec<f64>>, alg: &str, c: &Clustering, truth: &[i32]) {
         ds.name(),
         alg,
         c.num_clusters(),
+        c.cluster_sizes().into_iter().max().unwrap_or(0),
         c.num_noise(),
         format!("{:.4}", adjusted_rand_index(truth, &pred)),
         format!("{:.4}", adjusted_mutual_info(truth, &pred)),

@@ -9,10 +9,9 @@
 
 use mdbscan_bench::{timed, HarnessArgs};
 use mdbscan_core::{
-    ApproxParams, Clustering, DbscanParams, ExactConfig, GonzalezIndex, ParallelConfig,
+    ApproxParams, Clustering, DbscanParams, ExactConfig, MetricDbscan, ParallelConfig,
 };
 use mdbscan_datagen::{blobs, BlobSpec};
-use mdbscan_kcenter::BuildOptions;
 use mdbscan_metric::Euclidean;
 
 const EPS: f64 = 1.0;
@@ -34,12 +33,13 @@ fn solve(
     count: bool,
 ) -> (Clustering, Clustering, f64, f64, f64, u64) {
     let parallel = ParallelConfig::new(threads);
-    let opts = BuildOptions {
-        parallel,
-        ..Default::default()
-    };
-    let (index, build_ms) = timed(|| {
-        GonzalezIndex::build_with(pts, &Euclidean, RHO * EPS / 2.0, &opts).expect("build index")
+    let owned = pts.to_vec();
+    let (engine, build_ms) = timed(move || {
+        MetricDbscan::builder(owned, Euclidean)
+            .rbar(RHO * EPS / 2.0)
+            .parallel(parallel)
+            .build()
+            .expect("build engine")
     });
     let cfg = ExactConfig {
         parallel,
@@ -47,17 +47,21 @@ fn solve(
         ..ExactConfig::default()
     };
     let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
-    let ((exact, stats), exact_ms) =
-        timed(|| index.exact_with(&params, &cfg).expect("exact query"));
+    let (exact_run, exact_ms) = timed(|| engine.exact_with(&params, &cfg).expect("exact query"));
+    let distance_evals = exact_run
+        .report
+        .exact_stats()
+        .expect("exact run carries stats")
+        .distance_evals;
     let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
-    let (approx, approx_ms) = timed(|| index.approx(&aparams).expect("approx query"));
+    let (approx_run, approx_ms) = timed(|| engine.approx(&aparams).expect("approx query"));
     (
-        exact,
-        approx,
+        exact_run.clustering,
+        approx_run.clustering,
         build_ms,
         exact_ms,
         approx_ms,
-        stats.distance_evals,
+        distance_evals,
     )
 }
 

@@ -249,7 +249,7 @@ pub(crate) fn run_approx<P: Sync, M: Metric<P> + Sync>(
 
 #[cfg(test)]
 mod tests {
-    use crate::{approx_dbscan, exact_dbscan, ApproxParams, GonzalezIndex};
+    use crate::{approx_dbscan, exact_dbscan, ApproxParams, MetricDbscan};
     use mdbscan_metric::Euclidean;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -352,14 +352,19 @@ mod tests {
     #[test]
     fn summary_is_small_on_dense_data() {
         let pts = blobs(11, 400);
+        let n = pts.len();
         let params = ApproxParams::new(1.0, 10, 0.5).unwrap();
-        let index = GonzalezIndex::build(&pts, &Euclidean, params.rbar()).unwrap();
-        let (_, stats) = index.approx_with(&params).unwrap();
+        let engine = MetricDbscan::builder(pts, Euclidean)
+            .rbar(params.rbar())
+            .build()
+            .unwrap();
+        let run = engine.approx(&params).unwrap();
+        let stats = run.report.approx_stats().expect("approx run");
         assert!(
-            stats.summary_size < pts.len() / 5,
+            stats.summary_size < n / 5,
             "summary {} should compress {} points",
             stats.summary_size,
-            pts.len()
+            n
         );
         assert!(stats.summary_size >= 3, "at least one rep per blob");
     }

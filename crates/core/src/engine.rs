@@ -1,0 +1,873 @@
+//! The owned, shareable metric-DBSCAN engine: one builder facade over
+//! the exact (§3.1), cover-tree exact (§3.2), ρ-approximate
+//! (Algorithm 2), and streaming (Algorithm 3) solvers.
+//!
+//! [`MetricDbscan`] owns its point set (`Arc<[P]>`) and metric, so —
+//! unlike the borrowed [`crate::GonzalezIndex`] it replaces — it is
+//! `Send + Sync`, lives happily inside an `Arc`, and can serve queries
+//! from many request-handling threads at once. The paper's Remark 5/6
+//! insight (the radius-guided Gonzalez net depends only on `r̄`, not on
+//! `(ε, MinPts, ρ)`) makes this the natural unit of deployment: build
+//! once, answer parameter probes forever.
+//!
+//! On top of the shared net the engine adds two caches, both behind one
+//! mutex and both invisible in the results (cached artifacts are
+//! deterministic functions of the net and the query parameters, so a hit
+//! returns **bit-identical labels** to a cold run):
+//!
+//! * a **fragment LRU** keyed by `(pipeline, ε, MinPts)` holding the
+//!   Step-1 core flags, the Step-2 fragment partition, and the fragment
+//!   cover trees as borrow-free skeletons — repeated parameter probes
+//!   skip Step 1 and all tree construction;
+//! * the **whole-input cover tree** of the §3.2 pipeline, built lazily on
+//!   the first [`MetricDbscan::covertree`] call and reused for every
+//!   `ε` thereafter (any level can be extracted from one tree).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
+use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
+use mdbscan_metric::Metric;
+use mdbscan_parallel::{Csr, ParallelConfig};
+
+use crate::approx::{run_approx, ApproxStats};
+use crate::error::DbscanError;
+use crate::exact::{ExactConfig, ExactStats};
+use crate::exact_covertree::{covertree_level, CoverTreeExactStats};
+use crate::labels::Clustering;
+use crate::netview::NetView;
+use crate::params::{ApproxParams, DbscanParams};
+use crate::steps::{run_exact_steps, StepArtifacts};
+use crate::streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
+
+/// Default number of fragment-artifact entries the engine retains.
+const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// Which solver produced a [`Run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Exact DBSCAN over the engine's Gonzalez net (§3.1).
+    Exact,
+    /// ρ-approximate DBSCAN, Algorithm 2.
+    Approx,
+    /// Exact DBSCAN over a cover-tree-derived net (§3.2).
+    CoverTree,
+    /// Three-pass streaming ρ-approximate DBSCAN, Algorithm 3.
+    Streaming,
+}
+
+/// Solver-specific statistics inside a [`RunReport`].
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum RunDetail {
+    /// Phase stats of the §3.1 exact pipeline.
+    Exact(ExactStats),
+    /// Summary/merge stats of Algorithm 2.
+    Approx(ApproxStats),
+    /// Tree + phase stats of the §3.2 pipeline.
+    CoverTree(CoverTreeExactStats),
+    /// Pass counters and the memory footprint of Algorithm 3.
+    Streaming {
+        /// Stream-pass counters.
+        stats: StreamingStats,
+        /// Stored points at the end of the run (`|E| + |M|`).
+        footprint: StreamingFootprint,
+    },
+}
+
+/// The unified per-run report every engine entry point returns,
+/// subsuming the per-solver stats structs.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct RunReport {
+    /// Which solver ran.
+    pub algorithm: AlgorithmKind,
+    /// Wall-clock seconds for the whole query (cache lookups included,
+    /// engine construction excluded).
+    pub total_secs: f64,
+    /// True when this run reused at least one cached artifact (fragment
+    /// trees and/or the whole-input cover tree).
+    pub cache_hit: bool,
+    /// Engine-lifetime cache hits, sampled after this run.
+    pub cache_hits: u64,
+    /// Engine-lifetime cache misses, sampled after this run.
+    pub cache_misses: u64,
+    /// Solver-specific statistics.
+    pub detail: RunDetail,
+}
+
+impl RunReport {
+    /// The exact-pipeline stats, when this was an exact or cover-tree run.
+    pub fn exact_stats(&self) -> Option<&ExactStats> {
+        match &self.detail {
+            RunDetail::Exact(s) => Some(s),
+            RunDetail::CoverTree(s) => Some(&s.steps),
+            _ => None,
+        }
+    }
+
+    /// The Algorithm-2 stats, when this was an approximate run.
+    pub fn approx_stats(&self) -> Option<&ApproxStats> {
+        match &self.detail {
+            RunDetail::Approx(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The streaming footprint, when this was a streaming run.
+    pub fn streaming_footprint(&self) -> Option<StreamingFootprint> {
+        match &self.detail {
+            RunDetail::Streaming { footprint, .. } => Some(*footprint),
+            _ => None,
+        }
+    }
+}
+
+/// One engine query: the clustering plus its [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// The cluster labels.
+    pub clustering: Clustering,
+    /// Timings, counters, and cache telemetry of this query.
+    pub report: RunReport,
+}
+
+impl Run {
+    /// Drops the report, keeping only the clustering.
+    pub fn into_clustering(self) -> Clustering {
+        self.clustering
+    }
+}
+
+/// A snapshot of the engine's cache counters
+/// ([`MetricDbscan::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a reusable artifact.
+    pub hits: u64,
+    /// Lookups that had to compute from scratch.
+    pub misses: u64,
+    /// Fragment-artifact entries currently retained.
+    pub entries: usize,
+    /// Whether the whole-input cover tree has been built and retained.
+    pub covertree_cached: bool,
+}
+
+/// Which pipeline a cached fragment partition belongs to. The §3.1 and
+/// §3.2 pipelines derive different nets, so their artifacts must never
+/// collide even at equal `(ε, MinPts)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetKind {
+    Gonzalez,
+    CoverTree,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    kind: NetKind,
+    eps_bits: u64,
+    min_pts: usize,
+}
+
+/// A tiny exact-scan LRU: the working set is a handful of parameter
+/// probes, so a `Vec` ordered most-recent-first beats any hash scheme.
+struct FragmentLru {
+    capacity: usize,
+    entries: Vec<(CacheKey, Arc<StepArtifacts>)>,
+}
+
+impl FragmentLru {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<StepArtifacts>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = Arc::clone(&entry.1);
+        self.entries.insert(0, entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<StepArtifacts>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.retain(|(k, _)| k != &key);
+        self.entries.insert(0, (key, value));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Total heap bytes retained (diagnostic).
+    fn heap_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, a)| a.heap_bytes()).sum()
+    }
+}
+
+struct EngineCache {
+    fragments: FragmentLru,
+    covertree: Option<Arc<CoverTreeSkeleton>>,
+}
+
+/// Builder for [`MetricDbscan`]; see [`MetricDbscan::builder`].
+pub struct MetricDbscanBuilder<P, M> {
+    points: Arc<[P]>,
+    metric: M,
+    rbar: Option<f64>,
+    first: usize,
+    max_centers: usize,
+    parallel: Option<ParallelConfig>,
+    cache_capacity: usize,
+}
+
+impl<P: Sync, M: Metric<P>> MetricDbscanBuilder<P, M> {
+    /// The net radius `r̄` for the Algorithm-1 preprocessing.
+    /// **Required.** Exact queries need `r̄ ≤ ε/2`; ρ-approximate queries
+    /// need `r̄ ≤ ρε/2` — pick the bound for the finest parameters you
+    /// intend to probe.
+    pub fn rbar(mut self, rbar: f64) -> Self {
+        self.rbar = Some(rbar);
+        self
+    }
+
+    /// Worker threads for the build and for every query that does not
+    /// override them ([`ExactConfig::parallel`]). Defaults to the
+    /// machine's available parallelism.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Index of the arbitrary first Gonzalez center (paper line 1).
+    /// Defaults to 0.
+    pub fn first_center(mut self, first: usize) -> Self {
+        self.first = first;
+        self
+    }
+
+    /// Hard cap on `|E|` — a safety valve for adversarial inputs; a
+    /// truncated net rejects queries with
+    /// [`DbscanError::IndexNotCovering`]. Defaults to unlimited.
+    pub fn max_centers(mut self, max_centers: usize) -> Self {
+        self.max_centers = max_centers;
+        self
+    }
+
+    /// Number of `(ε, MinPts)` fragment-artifact entries the engine
+    /// retains (default 16); `0` disables caching entirely.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration and runs Algorithm 1.
+    ///
+    /// Errors: [`DbscanError::EmptyInput`], [`DbscanError::RadiusNotSet`],
+    /// [`DbscanError::InvalidRadius`], [`DbscanError::InvalidFirstCenter`].
+    pub fn build(self) -> Result<MetricDbscan<P, M>, DbscanError> {
+        let rbar = self.rbar.ok_or(DbscanError::RadiusNotSet)?;
+        crate::error::validate_points_and_rbar(self.points.len(), rbar)?;
+        if self.first >= self.points.len() {
+            return Err(DbscanError::InvalidFirstCenter {
+                first: self.first,
+                len: self.points.len(),
+            });
+        }
+        let parallel = self.parallel.unwrap_or_default();
+        let opts = BuildOptions {
+            first: self.first,
+            parallel,
+            max_centers: self.max_centers,
+        };
+        let net = RadiusGuidedNet::build_with(&self.points, &self.metric, rbar, &opts);
+        Ok(MetricDbscan {
+            points: self.points,
+            metric: self.metric,
+            net,
+            parallel,
+            cache: Mutex::new(EngineCache {
+                fragments: FragmentLru::new(self.cache_capacity),
+                covertree: None,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
+/// An owned, `Send + Sync` metric-DBSCAN engine: the radius-guided
+/// Gonzalez net (Algorithm 1) plus its point set and metric, queryable
+/// concurrently from many threads, with cached per-parameter artifacts.
+///
+/// Built via [`MetricDbscan::builder`]; supersedes the lifetime-bound
+/// [`crate::GonzalezIndex`]. Four entry points share the one net and
+/// return a uniform [`Run`]:
+///
+/// * [`MetricDbscan::exact`] — exact DBSCAN, §3.1 (needs `r̄ ≤ ε/2`);
+/// * [`MetricDbscan::approx`] — ρ-approximate, Algorithm 2
+///   (needs `r̄ ≤ ρε/2`);
+/// * [`MetricDbscan::covertree`] — exact via a cover-tree net, §3.2
+///   (independent of `r̄`; the tree is built once and reused);
+/// * [`MetricDbscan::streaming`] — Algorithm 3 replayed over the owned
+///   points; [`MetricDbscan::streaming_session`] opens a manual session
+///   for external streams.
+///
+/// # Concurrency and determinism
+///
+/// All query methods take `&self`; an `Arc<MetricDbscan<_, _>>` can be
+/// cloned into any number of worker threads. Labels are **bit-identical**
+/// across thread counts, across concurrent interleavings, and across
+/// cache hits vs. cold runs — cached artifacts are deterministic
+/// functions of `(net, ε, MinPts)`, so reuse changes wall-clock only.
+///
+/// ```
+/// use mdbscan_core::{DbscanParams, MetricDbscan};
+/// use mdbscan_metric::Euclidean;
+/// use std::sync::Arc;
+///
+/// let pts: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+/// let engine = Arc::new(
+///     MetricDbscan::builder(pts, Euclidean).rbar(0.5).build().unwrap(),
+/// );
+/// let shared = Arc::clone(&engine);
+/// let handle = std::thread::spawn(move || {
+///     shared.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap()
+/// });
+/// let here = engine.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap();
+/// let there = handle.join().unwrap();
+/// assert_eq!(here.clustering, there.clustering);
+/// // With the artifacts now resident, a repeat probe replays the cache.
+/// let again = engine.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap();
+/// assert!(again.report.cache_hit);
+/// ```
+pub struct MetricDbscan<P, M> {
+    points: Arc<[P]>,
+    metric: M,
+    net: RadiusGuidedNet,
+    parallel: ParallelConfig,
+    cache: Mutex<EngineCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
+    /// Starts a builder over an owned point set (a `Vec<P>`, an
+    /// `Arc<[P]>`, or anything converting into one) and an owned metric.
+    /// A borrowed metric works too: `&M` implements [`Metric`] whenever
+    /// `M` does.
+    pub fn builder(points: impl Into<Arc<[P]>>, metric: M) -> MetricDbscanBuilder<P, M> {
+        MetricDbscanBuilder {
+            points: points.into(),
+            metric,
+            rbar: None,
+            first: 0,
+            max_centers: usize::MAX,
+            parallel: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// The points the engine owns.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// A cheap handle to the owned point set (shared, not copied).
+    pub fn points_arc(&self) -> Arc<[P]> {
+        Arc::clone(&self.points)
+    }
+
+    /// The metric the engine owns.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The underlying radius-guided Gonzalez net.
+    pub fn net(&self) -> &RadiusGuidedNet {
+        &self.net
+    }
+
+    /// The net radius `r̄`.
+    pub fn rbar(&self) -> f64 {
+        self.net.rbar
+    }
+
+    /// Number of net centers `|E|`.
+    pub fn num_centers(&self) -> usize {
+        self.net.centers.len()
+    }
+
+    /// The default thread knob (set at build time).
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Snapshot of the cache counters and occupancy.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().expect("engine cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: cache.fragments.entries.len(),
+            covertree_cached: cache.covertree.is_some(),
+        }
+    }
+
+    /// Approximate heap bytes held by the fragment cache (diagnostic,
+    /// for capacity tuning).
+    pub fn cache_heap_bytes(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .fragments
+            .heap_bytes()
+    }
+
+    /// Drops every cached artifact (fragment entries and the whole-input
+    /// cover tree). Counters are preserved.
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        cache.fragments.entries.clear();
+        cache.covertree = None;
+    }
+
+    fn view(&self) -> NetView<'_> {
+        NetView::of(&self.net)
+    }
+
+    fn check_usable(&self, limit: f64) -> Result<(), DbscanError> {
+        if !self.net.covered {
+            return Err(DbscanError::IndexNotCovering);
+        }
+        if self.net.rbar > limit * (1.0 + 1e-9) {
+            return Err(DbscanError::IndexTooCoarse {
+                rbar: self.net.rbar,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    fn count_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn report(
+        &self,
+        algorithm: AlgorithmKind,
+        t0: Instant,
+        hit: bool,
+        detail: RunDetail,
+    ) -> RunReport {
+        RunReport {
+            algorithm,
+            total_secs: t0.elapsed().as_secs_f64(),
+            cache_hit: hit,
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            detail,
+        }
+    }
+
+    /// Shared Steps-1–3 driver with fragment-cache consultation.
+    fn run_steps_cached(
+        &self,
+        view: &NetView<'_>,
+        params: &DbscanParams,
+        cfg: &ExactConfig,
+        kind: NetKind,
+    ) -> (Clustering, ExactStats, bool) {
+        // Only the default Step-1/2 shape is cacheable: the ablation
+        // toggles change what the artifacts contain.
+        let cacheable = cfg.dense_shortcut && cfg.cover_tree_merge;
+        let key = CacheKey {
+            kind,
+            eps_bits: params.eps().to_bits(),
+            min_pts: params.min_pts(),
+        };
+        let cached: Option<Arc<StepArtifacts>> = if cacheable {
+            let found = self
+                .cache
+                .lock()
+                .expect("engine cache poisoned")
+                .fragments
+                .get(&key);
+            self.count_lookup(found.is_some());
+            found
+        } else {
+            None
+        };
+        let hit = cached.is_some();
+        let (labels, stats, fresh) = run_exact_steps(
+            &self.points,
+            &self.metric,
+            view,
+            params,
+            cfg,
+            cached.as_deref(),
+        );
+        if cacheable {
+            if let Some(artifacts) = fresh {
+                self.cache
+                    .lock()
+                    .expect("engine cache poisoned")
+                    .fragments
+                    .insert(key, Arc::new(artifacts));
+            }
+        }
+        (Clustering::from_labels(labels), stats, hit)
+    }
+
+    /// Exact metric DBSCAN (§3.1) at the given parameters, with the
+    /// engine's default configuration. Requires `r̄ ≤ ε/2`.
+    pub fn exact(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
+        let cfg = ExactConfig {
+            parallel: self.parallel,
+            ..ExactConfig::default()
+        };
+        self.exact_with(params, &cfg)
+    }
+
+    /// Exact metric DBSCAN with explicit configuration (ablation toggles,
+    /// per-query thread override, distance counting).
+    pub fn exact_with(&self, params: &DbscanParams, cfg: &ExactConfig) -> Result<Run, DbscanError> {
+        let t0 = Instant::now();
+        self.check_usable(params.eps() / 2.0)?;
+        let (clustering, stats, hit) =
+            self.run_steps_cached(&self.view(), params, cfg, NetKind::Gonzalez);
+        let report = self.report(AlgorithmKind::Exact, t0, hit, RunDetail::Exact(stats));
+        Ok(Run { clustering, report })
+    }
+
+    /// ρ-approximate DBSCAN (Algorithm 2). Requires `r̄ ≤ ρε/2`.
+    pub fn approx(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
+        let t0 = Instant::now();
+        self.check_usable(params.rbar())?;
+        let (labels, stats) = run_approx(
+            &self.points,
+            &self.metric,
+            &self.view(),
+            params,
+            &self.parallel,
+        );
+        let report = self.report(AlgorithmKind::Approx, t0, false, RunDetail::Approx(stats));
+        Ok(Run {
+            clustering: Clustering::from_labels(labels),
+            report,
+        })
+    }
+
+    /// Exact DBSCAN via a cover-tree-derived net (§3.2, Theorem 1), with
+    /// the engine's default configuration.
+    ///
+    /// Unlike [`MetricDbscan::exact`] this path does not depend on `r̄`:
+    /// the whole-input cover tree is built lazily on the first call
+    /// (sequentially — inserts depend on the evolving tree) and cached on
+    /// the engine, after which **any** `ε` extracts its net from the same
+    /// tree with zero further distance evaluations.
+    pub fn covertree(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
+        let cfg = ExactConfig {
+            parallel: self.parallel,
+            ..ExactConfig::default()
+        };
+        self.covertree_with(params, &cfg)
+    }
+
+    /// As [`MetricDbscan::covertree`], with explicit configuration.
+    pub fn covertree_with(
+        &self,
+        params: &DbscanParams,
+        cfg: &ExactConfig,
+    ) -> Result<Run, DbscanError> {
+        let t0 = Instant::now();
+        let t = Instant::now();
+        let (skeleton, tree_hit) = {
+            let cached = self
+                .cache
+                .lock()
+                .expect("engine cache poisoned")
+                .covertree
+                .clone();
+            match cached {
+                Some(s) => (s, true),
+                None => {
+                    // Build outside the lock so concurrent exact/approx
+                    // queries are not stalled behind the sequential
+                    // construction; if two threads race, both build the
+                    // same (deterministic) tree and the first insertion
+                    // wins.
+                    let tree = CoverTree::build(&self.points, &self.metric);
+                    let built = Arc::new(tree.into_skeleton());
+                    let mut cache = self.cache.lock().expect("engine cache poisoned");
+                    let kept = cache
+                        .covertree
+                        .get_or_insert_with(|| Arc::clone(&built))
+                        .clone();
+                    (kept, false)
+                }
+            }
+        };
+        self.count_lookup(tree_hit);
+        let tree = CoverTree::from_skeleton(&self.points, &self.metric, (*skeleton).clone());
+        let tree_secs = t.elapsed().as_secs_f64();
+
+        let level = covertree_level(params.eps());
+        let t = Instant::now();
+        let net = tree.extract_net(level);
+        let net_secs = t.elapsed().as_secs_f64();
+        debug_assert!(net.cover_radius <= params.eps() / 2.0 * (1.0 + 1e-9));
+        let cover_sets = Csr::from_assignment(&net.assignment, net.centers.len());
+        let view = NetView {
+            rbar: net.cover_radius,
+            centers: &net.centers,
+            assignment: &net.assignment,
+            cover_sets: &cover_sets,
+        };
+        let (clustering, steps, frag_hit) =
+            self.run_steps_cached(&view, params, cfg, NetKind::CoverTree);
+        let detail = RunDetail::CoverTree(CoverTreeExactStats {
+            tree_secs,
+            net_secs,
+            level,
+            n_centers: net.centers.len(),
+            steps,
+        });
+        let report = self.report(AlgorithmKind::CoverTree, t0, tree_hit || frag_hit, detail);
+        Ok(Run { clustering, report })
+    }
+}
+
+impl<P: Clone + Sync, M: Metric<P>> MetricDbscan<P, M> {
+    /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
+    /// engine's own points — three in-memory passes with the same
+    /// validation and labeling semantics a true stream would see. Useful
+    /// for cross-checking a deployment's streaming parameters against a
+    /// held dataset; for unbounded external streams use
+    /// [`MetricDbscan::streaming_session`].
+    pub fn streaming(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
+        let t0 = Instant::now();
+        let (clustering, session) =
+            StreamingApproxDbscan::run_with(&self.metric, params, &self.parallel, || {
+                self.points.iter().cloned()
+            })?;
+        let detail = RunDetail::Streaming {
+            stats: session.stats(),
+            footprint: session.footprint(),
+        };
+        let report = self.report(AlgorithmKind::Streaming, t0, false, detail);
+        Ok(Run { clustering, report })
+    }
+
+    /// Opens a fresh Algorithm-3 session borrowing the engine's metric
+    /// and thread knob, to be driven pass-by-pass over an **external**
+    /// stream (`pass1_observe* → finish_pass1 → pass2_observe* →
+    /// finish_pass2 → pass3_label*`). The session stores only
+    /// `O((Δ/ρε)^D + z)` points — it never touches the engine's own data.
+    pub fn streaming_session(&self, params: &ApproxParams) -> StreamingApproxDbscan<'_, P, M> {
+        StreamingApproxDbscan::new(&self.metric, params).with_parallel(self.parallel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn grid() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                v.push(vec![i as f64, j as f64]);
+            }
+        }
+        v
+    }
+
+    fn engine(rbar: f64) -> MetricDbscan<Vec<f64>, Euclidean> {
+        MetricDbscan::builder(grid(), Euclidean)
+            .rbar(rbar)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_arc_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricDbscan<Vec<f64>, Euclidean>>();
+        assert_send_sync::<Arc<MetricDbscan<String, mdbscan_metric::Levenshtein>>>();
+    }
+
+    #[test]
+    fn builder_validation() {
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert!(matches!(
+            MetricDbscan::builder(empty, Euclidean).rbar(0.5).build(),
+            Err(DbscanError::EmptyInput)
+        ));
+        assert!(matches!(
+            MetricDbscan::builder(grid(), Euclidean).build(),
+            Err(DbscanError::RadiusNotSet)
+        ));
+        assert!(matches!(
+            MetricDbscan::builder(grid(), Euclidean).rbar(-2.0).build(),
+            Err(DbscanError::InvalidRadius(_))
+        ));
+        assert!(matches!(
+            MetricDbscan::builder(grid(), Euclidean)
+                .rbar(f64::NAN)
+                .build(),
+            Err(DbscanError::InvalidRadius(_))
+        ));
+        assert!(matches!(
+            MetricDbscan::builder(grid(), Euclidean)
+                .rbar(0.5)
+                .first_center(10_000)
+                .build(),
+            Err(DbscanError::InvalidFirstCenter { .. })
+        ));
+    }
+
+    #[test]
+    fn coarse_and_truncated_nets_rejected() {
+        let e = engine(2.0);
+        assert!(matches!(
+            e.exact(&DbscanParams::new(1.5, 4).unwrap()),
+            Err(DbscanError::IndexTooCoarse { .. })
+        ));
+        assert!(e.exact(&DbscanParams::new(4.0, 4).unwrap()).is_ok());
+        let truncated = MetricDbscan::builder(grid(), Euclidean)
+            .rbar(0.4)
+            .max_centers(2)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            truncated.exact(&DbscanParams::new(1.0, 4).unwrap()),
+            Err(DbscanError::IndexNotCovering)
+        ));
+    }
+
+    #[test]
+    fn repeated_query_hits_fragment_cache_with_identical_labels() {
+        let e = engine(0.5);
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        let cold = e.exact(&params).unwrap();
+        assert!(!cold.report.cache_hit);
+        assert_eq!(cold.report.cache_misses, 1);
+        let warm = e.exact(&params).unwrap();
+        assert!(warm.report.cache_hit);
+        assert_eq!(warm.report.cache_hits, 1);
+        assert_eq!(cold.clustering, warm.clustering);
+        // A different (ε, MinPts) misses, then hits on repeat.
+        let params2 = DbscanParams::new(2.0, 6).unwrap();
+        assert!(!e.exact(&params2).unwrap().report.cache_hit);
+        assert!(e.exact(&params2).unwrap().report.cache_hit);
+        let stats = e.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2));
+        assert!(e.cache_heap_bytes() > 0);
+        e.clear_cache();
+        assert_eq!(e.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let e = MetricDbscan::builder(grid(), Euclidean)
+            .rbar(0.5)
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        let a = e.exact(&params).unwrap();
+        let b = e.exact(&params).unwrap();
+        assert!(!b.report.cache_hit);
+        assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let e = MetricDbscan::builder(grid(), Euclidean)
+            .rbar(0.5)
+            .cache_capacity(2)
+            .build()
+            .unwrap();
+        let p1 = DbscanParams::new(1.0, 4).unwrap();
+        let p2 = DbscanParams::new(1.5, 4).unwrap();
+        let p3 = DbscanParams::new(2.0, 4).unwrap();
+        e.exact(&p1).unwrap();
+        e.exact(&p2).unwrap();
+        e.exact(&p3).unwrap(); // evicts p1
+        assert_eq!(e.cache_stats().entries, 2);
+        assert!(!e.exact(&p1).unwrap().report.cache_hit, "p1 was evicted");
+        assert!(e.exact(&p3).unwrap().report.cache_hit, "p3 is resident");
+    }
+
+    #[test]
+    fn all_four_entry_points_agree_where_they_should() {
+        let pts = grid();
+        let e = MetricDbscan::builder(pts.clone(), Euclidean)
+            .rbar(0.5)
+            .build()
+            .unwrap();
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        let exact = e.exact(&params).unwrap();
+        let tree = e.covertree(&params).unwrap();
+        // Both are exact solvers: identical partition.
+        assert!(exact.clustering.same_partition(&tree.clustering));
+        assert_eq!(tree.report.algorithm, AlgorithmKind::CoverTree);
+        // Second covertree call reuses the whole-input tree.
+        let tree2 = e.covertree(&params).unwrap();
+        assert!(tree2.report.cache_hit);
+        assert_eq!(tree2.clustering, tree.clustering);
+        // Approx + streaming run and report their stats.
+        let aparams = ApproxParams::new(1.0, 4, 1.0).unwrap();
+        let approx = e.approx(&aparams).unwrap();
+        assert!(approx.report.approx_stats().is_some());
+        let streaming = e.streaming(&aparams).unwrap();
+        assert!(streaming.report.streaming_footprint().is_some());
+        assert_eq!(
+            streaming.clustering.len(),
+            pts.len(),
+            "streaming labels every point"
+        );
+    }
+
+    #[test]
+    fn engine_matches_free_function() {
+        let pts = grid();
+        let e = MetricDbscan::builder(pts.clone(), Euclidean)
+            .rbar(0.5)
+            .build()
+            .unwrap();
+        for eps in [1.0, 1.5, 2.5] {
+            let params = DbscanParams::new(eps, 4).unwrap();
+            let run = e.exact(&params).unwrap();
+            let fresh = crate::exact_dbscan(&pts, &Euclidean, eps, 4).unwrap();
+            assert!(run.clustering.same_partition(&fresh), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn streaming_session_is_driveable() {
+        let e = engine(0.25);
+        let aparams = ApproxParams::new(1.0, 3, 0.5).unwrap();
+        let mut session = e.streaming_session(&aparams);
+        let stream: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 4) as f64 * 0.2, 0.0]).collect();
+        for p in &stream {
+            session.pass1_observe(p);
+        }
+        session.finish_pass1();
+        for p in &stream {
+            session.pass2_observe(p);
+        }
+        session.finish_pass2();
+        assert!(session.pass3_label(&stream[0]).cluster().is_some());
+    }
+}

@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// Errors produced by parameter validation and index reuse checks.
+/// Errors produced by parameter validation, the [`crate::MetricDbscan`]
+/// builder, and index reuse checks.
+///
+/// Marked `#[non_exhaustive]`: future releases may add variants (the
+/// builder grew three in 0.2), so downstream `match`es need a wildcard
+/// arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DbscanError {
     /// `ε` must be positive and finite.
     InvalidEpsilon(f64),
@@ -14,9 +20,25 @@ pub enum DbscanError {
     InvalidRho(f64),
     /// The input point set is empty.
     EmptyInput,
-    /// A [`crate::GonzalezIndex`] built with radius `rbar` cannot serve a
-    /// query that requires `rbar ≤ limit` (Remark 5: the net must be at
-    /// least as fine as `ε/2`, resp. `ρε/2` for the approximate solver).
+    /// The net radius `r̄` handed to the engine builder (or
+    /// [`crate::GonzalezIndex`]) must be positive and finite.
+    InvalidRadius(f64),
+    /// [`crate::MetricDbscanBuilder::build`] was called without
+    /// [`crate::MetricDbscanBuilder::rbar`]; the radius-guided Gonzalez
+    /// net has no default resolution (pick `r̄ ≤ ε₀/2` for the smallest
+    /// `ε₀` you intend to query).
+    RadiusNotSet,
+    /// The seed-center index passed to
+    /// [`crate::MetricDbscanBuilder::first_center`] is out of range.
+    InvalidFirstCenter {
+        /// The requested first-center index.
+        first: usize,
+        /// Number of points in the input.
+        len: usize,
+    },
+    /// An engine built with radius `rbar` cannot serve a query that
+    /// requires `rbar ≤ limit` (Remark 5: the net must be at least as
+    /// fine as `ε/2`, resp. `ρε/2` for the approximate solver).
     IndexTooCoarse {
         /// The index's net radius.
         rbar: f64,
@@ -37,6 +59,18 @@ impl fmt::Display for DbscanError {
             DbscanError::InvalidMinPts(m) => write!(f, "MinPts must be >= 1, got {m}"),
             DbscanError::InvalidRho(r) => write!(f, "rho must be in (0, 2], got {r}"),
             DbscanError::EmptyInput => write!(f, "input point set is empty"),
+            DbscanError::InvalidRadius(r) => {
+                write!(f, "net radius rbar must be positive and finite, got {r}")
+            }
+            DbscanError::RadiusNotSet => write!(
+                f,
+                "no net radius set: call .rbar(r) on the builder (r <= eps/2 \
+                 for the smallest eps you will query)"
+            ),
+            DbscanError::InvalidFirstCenter { first, len } => write!(
+                f,
+                "first-center index {first} out of range for {len} points"
+            ),
             DbscanError::IndexTooCoarse { rbar, limit } => write!(
                 f,
                 "index net radius {rbar} is too coarse for this query (needs <= {limit}); \
@@ -54,6 +88,18 @@ impl fmt::Display for DbscanError {
 
 impl std::error::Error for DbscanError {}
 
+/// Shared input validation for everything that runs Algorithm 1 over a
+/// point set (the engine builder and the one-shot free functions).
+pub(crate) fn validate_points_and_rbar(len: usize, rbar: f64) -> Result<(), DbscanError> {
+    if len == 0 {
+        return Err(DbscanError::EmptyInput);
+    }
+    if !(rbar.is_finite() && rbar > 0.0) {
+        return Err(DbscanError::InvalidRadius(rbar));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +110,13 @@ mod tests {
         assert!(DbscanError::InvalidMinPts(0).to_string().contains('0'));
         assert!(DbscanError::InvalidRho(3.0).to_string().contains('3'));
         assert!(DbscanError::EmptyInput.to_string().contains("empty"));
+        assert!(DbscanError::InvalidRadius(f64::NAN)
+            .to_string()
+            .contains("NaN"));
+        assert!(DbscanError::RadiusNotSet.to_string().contains("rbar"));
+        assert!(DbscanError::InvalidFirstCenter { first: 9, len: 3 }
+            .to_string()
+            .contains('9'));
         assert!(DbscanError::IndexTooCoarse {
             rbar: 2.0,
             limit: 1.0

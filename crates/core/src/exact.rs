@@ -10,7 +10,7 @@ pub use crate::steps::{ExactConfig, StepsStats as ExactStats};
 
 #[cfg(test)]
 mod tests {
-    use crate::{exact_dbscan, Clustering, DbscanParams, ExactConfig, GonzalezIndex, PointLabel};
+    use crate::{exact_dbscan, Clustering, DbscanParams, ExactConfig, MetricDbscan, PointLabel};
     use mdbscan_metric::{CountingMetric, Euclidean, Levenshtein, Metric};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -190,8 +190,11 @@ mod tests {
     fn all_config_ablations_agree() {
         let pts = two_moons_ish(3, 200);
         let params = DbscanParams::new(0.3, 5).unwrap();
-        let index = GonzalezIndex::build(&pts, &Euclidean, 0.15).unwrap();
-        let baseline = index.exact(&params).unwrap();
+        let engine = MetricDbscan::builder(pts.clone(), Euclidean)
+            .rbar(0.15)
+            .build()
+            .unwrap();
+        let baseline = engine.exact(&params).unwrap().clustering;
         for dense in [false, true] {
             for tree in [false, true] {
                 for early in [false, true] {
@@ -201,18 +204,20 @@ mod tests {
                         early_termination: early,
                         ..ExactConfig::default()
                     };
-                    let (c, stats) = index.exact_with(&params, &cfg).unwrap();
+                    let run = engine.exact_with(&params, &cfg).unwrap();
+                    let c = &run.clustering;
                     assert!(
                         c.same_partition(&baseline) || {
                             // borders may tie-break differently across configs;
                             // require identical core partition + noise set
                             let ref_c = reference_dbscan(&pts, &Euclidean, 0.3, 5);
-                            assert_equivalent(&pts, &Euclidean, 0.3, &c, &ref_c);
+                            assert_equivalent(&pts, &Euclidean, 0.3, c, &ref_c);
                             true
                         },
                         "config {cfg:?} changed the result"
                     );
-                    assert_eq!(stats.n_centers, index.num_centers());
+                    let stats = run.report.exact_stats().expect("exact run");
+                    assert_eq!(stats.n_centers, engine.num_centers());
                 }
             }
         }

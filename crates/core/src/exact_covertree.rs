@@ -24,6 +24,13 @@ use crate::netview::NetView;
 use crate::params::DbscanParams;
 use crate::steps::run_exact_steps;
 
+/// The cover-tree level the §3.2 pipeline reads its net from: covering
+/// radius of level `i` is `2^{i+1}`, and the pipeline needs it `≤ ε/2`,
+/// so `i₀ = ⌊log₂(ε/2)⌋ − 1` (one below the paper's prose level).
+pub(crate) fn covertree_level(eps: f64) -> i32 {
+    (eps / 2.0).log2().floor() as i32 - 1
+}
+
 /// Statistics of a §3.2 run.
 #[derive(Debug, Clone, Copy)]
 pub struct CoverTreeExactStats {
@@ -74,9 +81,7 @@ pub fn exact_dbscan_covertree_with<P: Sync, M: Metric<P> + Sync>(
     let tree = CoverTree::build(points, metric);
     let tree_secs = t.elapsed().as_secs_f64();
 
-    // Covering radius of level i is 2^{i+1}; we need it ≤ ε/2, so
-    // i₀ = ⌊log₂(ε/2)⌋ − 1 (one below the paper's prose level).
-    let i0 = (eps / 2.0).log2().floor() as i32 - 1;
+    let i0 = covertree_level(eps);
     let t = Instant::now();
     let net = tree.extract_net(i0);
     let net_secs = t.elapsed().as_secs_f64();
@@ -91,7 +96,7 @@ pub fn exact_dbscan_covertree_with<P: Sync, M: Metric<P> + Sync>(
         assignment: &net.assignment,
         cover_sets: &cover_sets,
     };
-    let (labels, steps) = run_exact_steps(points, metric, &view, &params, cfg);
+    let (labels, steps, _) = run_exact_steps(points, metric, &view, &params, cfg, None);
     Ok((
         Clustering::from_labels(labels),
         CoverTreeExactStats {

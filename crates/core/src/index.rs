@@ -1,5 +1,7 @@
-//! The reusable Gonzalez index (Remark 5/6): build the net once, solve
-//! DBSCAN for many `(ε, MinPts[, ρ])` settings.
+//! The deprecated borrowed Gonzalez index (Remark 5/6), superseded by
+//! the owned [`crate::MetricDbscan`] engine.
+
+#![allow(deprecated)] // the shim keeps using itself for one release
 
 use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
 use mdbscan_metric::Metric;
@@ -13,18 +15,24 @@ use crate::netview::NetView;
 use crate::params::{ApproxParams, DbscanParams};
 use crate::steps::run_exact_steps;
 
-/// An `r̄`-net index over a borrowed point set, amortizing the expensive
+/// An `r̄`-net index over a **borrowed** point set, amortizing the
 /// radius-guided Gonzalez pre-processing (Algorithm 1) across queries.
 ///
-/// Table 2 of the paper measures Algorithm 1 at 60–99 % of the total
-/// exact-DBSCAN runtime; with this index that cost is paid once per
-/// dataset, and each subsequent `(ε, MinPts)` probe pays only the
-/// (A-set + three steps) remainder.
+/// Deprecated in favor of [`crate::MetricDbscan`], which owns its data
+/// (so it is `Send + Sync + 'static`, `Arc`-shareable across threads),
+/// unifies all four solver entry points, and caches Step-2 fragment
+/// trees across repeated `(ε, MinPts)` probes. This shim delegates to
+/// the same internals and will be removed one release after 0.2.
 ///
 /// Constraints enforced at query time:
 /// * exact queries need `r̄ ≤ ε/2`;
 /// * approximate queries need `r̄ ≤ ρε/2`;
 /// * the net must cover the data (no `max_centers` truncation).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `MetricDbscan::builder(points, metric).rbar(r).build()` — \
+            the owned engine is Arc-shareable and caches fragment trees"
+)]
 pub struct GonzalezIndex<'a, P, M> {
     points: &'a [P],
     metric: &'a M,
@@ -34,24 +42,27 @@ pub struct GonzalezIndex<'a, P, M> {
 
 impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
     /// Runs Algorithm 1 with radius bound `rbar` and wraps the result.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricDbscan::builder(...).rbar(r).build()`"
+    )]
     pub fn build(points: &'a [P], metric: &'a M, rbar: f64) -> Result<Self, DbscanError> {
         Self::build_with(points, metric, rbar, &BuildOptions::default())
     }
 
     /// As [`GonzalezIndex::build`] with explicit Gonzalez options
     /// (seed center, threads, center cap).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MetricDbscan::builder(...)` with `.parallel()`, `.first_center()`, `.max_centers()`"
+    )]
     pub fn build_with(
         points: &'a [P],
         metric: &'a M,
         rbar: f64,
         opts: &BuildOptions,
     ) -> Result<Self, DbscanError> {
-        if points.is_empty() {
-            return Err(DbscanError::EmptyInput);
-        }
-        if !(rbar.is_finite() && rbar > 0.0) {
-            return Err(DbscanError::InvalidEpsilon(rbar));
-        }
+        crate::error::validate_points_and_rbar(points.len(), rbar)?;
         let net = RadiusGuidedNet::build_with(points, metric, rbar, opts);
         Ok(Self {
             points,
@@ -63,6 +74,7 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
 
     /// Wraps an externally built net (used by tests and by callers that
     /// already ran Algorithm 1 for other purposes).
+    #[deprecated(since = "0.2.0", note = "use `MetricDbscan`")]
     pub fn from_net(
         points: &'a [P],
         metric: &'a M,
@@ -106,12 +118,7 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
     }
 
     fn view(&self) -> NetView<'_> {
-        NetView {
-            rbar: self.net.rbar,
-            centers: &self.net.centers,
-            assignment: &self.net.assignment,
-            cover_sets: &self.net.cover_sets,
-        }
+        NetView::of(&self.net)
     }
 
     fn check_usable(&self, limit: f64) -> Result<(), DbscanError> {
@@ -129,6 +136,7 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
 
     /// Exact metric DBSCAN (§3.1) at the given parameters, threaded per
     /// the index's [`GonzalezIndex::parallel`] config.
+    #[deprecated(since = "0.2.0", note = "use `MetricDbscan::exact`")]
     pub fn exact(&self, params: &DbscanParams) -> Result<Clustering, DbscanError> {
         let cfg = ExactConfig {
             parallel: self.parallel,
@@ -139,22 +147,26 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
 
     /// Exact DBSCAN with explicit configuration, returning phase
     /// statistics.
+    #[deprecated(since = "0.2.0", note = "use `MetricDbscan::exact_with`")]
     pub fn exact_with(
         &self,
         params: &DbscanParams,
         cfg: &ExactConfig,
     ) -> Result<(Clustering, ExactStats), DbscanError> {
         self.check_usable(params.eps() / 2.0)?;
-        let (labels, stats) = run_exact_steps(self.points, self.metric, &self.view(), params, cfg);
+        let (labels, stats, _) =
+            run_exact_steps(self.points, self.metric, &self.view(), params, cfg, None);
         Ok((Clustering::from_labels(labels), stats))
     }
 
     /// ρ-approximate DBSCAN (Algorithm 2) at the given parameters.
+    #[deprecated(since = "0.2.0", note = "use `MetricDbscan::approx`")]
     pub fn approx(&self, params: &ApproxParams) -> Result<Clustering, DbscanError> {
         self.approx_with(params).map(|(c, _)| c)
     }
 
     /// ρ-approximate DBSCAN returning summary statistics.
+    #[deprecated(since = "0.2.0", note = "use `MetricDbscan::approx`")]
     pub fn approx_with(
         &self,
         params: &ApproxParams,
@@ -196,7 +208,7 @@ mod tests {
         ));
         assert!(matches!(
             GonzalezIndex::build(&pts, &Euclidean, -1.0),
-            Err(DbscanError::InvalidEpsilon(_))
+            Err(DbscanError::InvalidRadius(_))
         ));
     }
 

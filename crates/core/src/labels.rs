@@ -132,6 +132,27 @@ impl Clustering {
         out
     }
 
+    /// Iterates over `(cluster_id, members)` pairs in cluster-id order,
+    /// each member list ascending by point index.
+    pub fn iter_clusters(&self) -> impl Iterator<Item = (u32, Vec<usize>)> {
+        self.clusters()
+            .into_iter()
+            .enumerate()
+            .map(|(id, members)| (id as u32, members))
+    }
+
+    /// Point count per cluster, indexed by cluster id — one `O(n)` pass,
+    /// no member lists materialized.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for l in &self.labels {
+            if let Some(c) = l.cluster() {
+                sizes[c as usize] += 1;
+            }
+        }
+        sizes
+    }
+
     /// True when `self` and `other` induce the same *partition of the
     /// non-noise points into clusters* and agree on which points are noise
     /// — i.e. equal up to cluster renumbering. The core/border distinction
@@ -178,6 +199,23 @@ mod tests {
         assert_eq!(c.cluster_of(0), Some(0));
         assert_eq!(c.cluster_of(1), None);
         assert_eq!(c.clusters(), vec![vec![0, 3], vec![2, 4]]);
+        assert_eq!(c.cluster_sizes(), vec![2, 2]);
+        let collected: Vec<(u32, Vec<usize>)> = c.iter_clusters().collect();
+        assert_eq!(collected, vec![(0, vec![0, 3]), (1, vec![2, 4])]);
+    }
+
+    #[test]
+    fn sizes_ignore_noise_and_cover_empty() {
+        let c = Clustering::from_labels(vec![PointLabel::Noise, PointLabel::Noise]);
+        assert!(c.cluster_sizes().is_empty());
+        assert_eq!(c.iter_clusters().count(), 0);
+        let c = Clustering::from_labels(vec![
+            PointLabel::Core(1),
+            PointLabel::Border(1),
+            PointLabel::Noise,
+            PointLabel::Core(1),
+        ]);
+        assert_eq!(c.cluster_sizes(), vec![3]);
     }
 
     #[test]

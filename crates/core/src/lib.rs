@@ -10,32 +10,53 @@
 //! oracle, so points may be vectors, strings under edit distance, or any
 //! user type. Under the paper's standing assumption (inliers of low
 //! doubling dimension `D`, up to `z` unconstrained outliers) every
-//! algorithm here runs in time **linear in `n`**:
+//! algorithm here runs in time **linear in `n`**.
+//!
+//! ## The engine
+//!
+//! The primary API is [`MetricDbscan`]: an **owned, `Send + Sync`,
+//! `Arc`-shareable engine** built once per dataset, serving all four
+//! solvers behind one surface. Every entry point returns a [`Run`] — the
+//! [`Clustering`] plus a unified [`RunReport`] with timings, solver
+//! stats, and cache telemetry:
 //!
 //! | entry point | paper | guarantee |
 //! |---|---|---|
-//! | [`exact_dbscan`] / [`GonzalezIndex::exact`] | §3.1 | exact DBSCAN clusters, `O(n((Δ/ε)^D + z log(ε/δ)) t_dis)` |
-//! | [`exact_dbscan_covertree`] | §3.2 | exact, `O(n log Φ · t_dis)` when the *whole* input doubles |
-//! | [`approx_dbscan`] / [`GonzalezIndex::approx`] | Alg. 2 | ρ-approximate DBSCAN (Gan–Tao semantics), `O(n((Δ/ρε)^D + z) t_dis)` |
-//! | [`StreamingApproxDbscan`] | Alg. 3 | 3-pass streaming ρ-approximate, memory `O((Δ/ρε)^D + z)` — independent of `n` |
+//! | [`MetricDbscan::exact`] | §3.1 | exact DBSCAN clusters, `O(n((Δ/ε)^D + z log(ε/δ)) t_dis)` |
+//! | [`MetricDbscan::covertree`] | §3.2 | exact, `O(n log Φ · t_dis)` when the *whole* input doubles |
+//! | [`MetricDbscan::approx`] | Alg. 2 | ρ-approximate DBSCAN (Gan–Tao semantics), `O(n((Δ/ρε)^D + z) t_dis)` |
+//! | [`MetricDbscan::streaming`] / [`MetricDbscan::streaming_session`] | Alg. 3 | 3-pass streaming ρ-approximate, memory `O((Δ/ρε)^D + z)` |
 //!
-//! ## Parameter tuning for free (Remark 5/6)
+//! One-shot conveniences remain for scripts: [`exact_dbscan`],
+//! [`approx_dbscan`], [`exact_dbscan_covertree`], and the raw
+//! [`StreamingApproxDbscan`] engine.
 //!
-//! The expensive pre-processing — the radius-guided Gonzalez net — depends
-//! only on the radius bound `r̄`, not on `(ε, MinPts)`. Build a
-//! [`GonzalezIndex`] once with `r̄ ≤ ε₀/2` and solve for as many parameter
-//! settings as you like; only the cheap per-query steps re-run:
+//! ## Parameter tuning for free (Remark 5/6) — now with caching
+//!
+//! The expensive pre-processing — the radius-guided Gonzalez net —
+//! depends only on the radius bound `r̄`, not on `(ε, MinPts, ρ)`. Build
+//! the engine once with `r̄ ≤ ε₀/2` and solve for as many parameter
+//! settings as you like; only the cheap per-query steps re-run. On top,
+//! the engine keeps an LRU of the `(ε, MinPts)`-derived Step-2 fragment
+//! cover trees, so *repeating* a setting (dashboards, A/B probes,
+//! concurrent users asking the same question) skips Step 1 and all tree
+//! construction — check [`RunReport::cache_hit`]:
 //!
 //! ```
-//! use mdbscan_core::{DbscanParams, GonzalezIndex};
+//! use mdbscan_core::{DbscanParams, MetricDbscan};
 //! use mdbscan_metric::Euclidean;
 //!
 //! let pts: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
-//! let index = GonzalezIndex::build(&pts, &Euclidean, 0.5).unwrap();
-//! for eps in [1.0, 1.5, 2.0] {
-//!     let c = index.exact(&DbscanParams::new(eps, 4).unwrap()).unwrap();
-//!     println!("eps={eps}: {} clusters", c.num_clusters());
+//! let engine = MetricDbscan::builder(pts, Euclidean).rbar(0.5).build().unwrap();
+//! for eps in [1.0, 1.5, 2.0, 1.0] {
+//!     let run = engine.exact(&DbscanParams::new(eps, 4).unwrap()).unwrap();
+//!     println!(
+//!         "eps={eps}: {} clusters (cache {})",
+//!         run.clustering.num_clusters(),
+//!         if run.report.cache_hit { "hit" } else { "miss" },
+//!     );
 //! }
+//! assert_eq!(engine.cache_stats().hits, 1); // the repeated eps=1.0 probe
 //! ```
 //!
 //! ## Threading model
@@ -44,8 +65,9 @@
 //! one knob — [`ParallelConfig`] — which defaults to the machine's
 //! available parallelism and threads through
 //! [`mdbscan_kcenter::BuildOptions::parallel`] (Algorithm 1 build),
-//! [`GonzalezIndex`] (stored at build time, reused by queries), and
-//! [`ExactConfig::parallel`] (per-query override for the exact steps).
+//! [`MetricDbscanBuilder::parallel`] (stored on the engine, reused by
+//! queries), and [`ExactConfig::parallel`] (per-query override for the
+//! exact steps).
 //!
 //! What scales with cores:
 //!
@@ -65,15 +87,17 @@
 //!
 //! **Determinism is unconditional**: chunks are contiguous in index
 //! order, reductions combine per-chunk results in chunk order with ties
-//! broken toward the smaller index, and batched merging only skips
-//! pairs already connected — so cluster labels are bit-identical across
-//! thread counts (a 1-thread and a 64-thread run agree byte for byte).
-//! Only derived counters that measure *work done* (e.g.
-//! [`ExactStats::bcp_tests`]) may differ.
+//! broken toward the smaller index, batched merging only skips pairs
+//! already connected, and cached artifacts are deterministic functions
+//! of `(net, ε, MinPts)` — so cluster labels are bit-identical across
+//! thread counts, across concurrent engine queries, and across cache
+//! hits vs. cold runs. Only derived counters that measure *work done*
+//! (e.g. [`ExactStats::bcp_tests`]) may differ.
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod approx;
+mod engine;
 mod error;
 mod exact;
 mod exact_covertree;
@@ -87,11 +111,15 @@ mod streaming;
 mod unionfind;
 
 pub use approx::ApproxStats;
+pub use engine::{
+    AlgorithmKind, CacheStats, MetricDbscan, MetricDbscanBuilder, Run, RunDetail, RunReport,
+};
 pub use error::DbscanError;
 pub use exact::{ExactConfig, ExactStats};
 pub use exact_covertree::{
     exact_dbscan_covertree, exact_dbscan_covertree_with, CoverTreeExactStats,
 };
+#[allow(deprecated)]
 pub use index::GonzalezIndex;
 pub use labels::{Clustering, PointLabel};
 pub use mdbscan_parallel::ParallelConfig;
@@ -99,12 +127,13 @@ pub use params::{ApproxParams, DbscanParams};
 pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 pub use unionfind::UnionFind;
 
+use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
 use mdbscan_metric::Metric;
 
-/// One-shot exact metric DBSCAN (§3.1): builds the `ε/2`-net with
-/// Algorithm 1, then labels cores, merges via per-group cover trees, and
-/// classifies borders/outliers. See [`GonzalezIndex`] to amortize the net
-/// across parameter settings.
+/// One-shot exact metric DBSCAN (§3.1) over borrowed points: builds the
+/// `ε/2`-net with Algorithm 1, then labels cores, merges via per-group
+/// cover trees, and classifies borders/outliers. See [`MetricDbscan`] to
+/// amortize the net (and the Step-2 trees) across parameter settings.
 pub fn exact_dbscan<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
@@ -112,13 +141,23 @@ pub fn exact_dbscan<P: Sync, M: Metric<P> + Sync>(
     min_pts: usize,
 ) -> Result<Clustering, DbscanError> {
     let params = DbscanParams::new(eps, min_pts)?;
-    let index = GonzalezIndex::build(points, metric, eps / 2.0)?;
-    index.exact(&params)
+    let net = build_net(points, metric, eps / 2.0)?;
+    let cfg = ExactConfig::default();
+    let (labels, _, _) = steps::run_exact_steps(
+        points,
+        metric,
+        &netview::NetView::of(&net),
+        &params,
+        &cfg,
+        None,
+    );
+    Ok(Clustering::from_labels(labels))
 }
 
-/// One-shot ρ-approximate metric DBSCAN (Algorithm 2): builds the
-/// `ρε/2`-net, constructs the core-point summary `S*`, merges inside the
-/// summary at threshold `(1+ρ)ε`, and labels the rest against it.
+/// One-shot ρ-approximate metric DBSCAN (Algorithm 2) over borrowed
+/// points: builds the `ρε/2`-net, constructs the core-point summary `S*`,
+/// merges inside the summary at threshold `(1+ρ)ε`, and labels the rest
+/// against it. See [`MetricDbscan::approx`] for the engine form.
 pub fn approx_dbscan<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
@@ -127,6 +166,27 @@ pub fn approx_dbscan<P: Sync, M: Metric<P> + Sync>(
     rho: f64,
 ) -> Result<Clustering, DbscanError> {
     let params = ApproxParams::new(eps, min_pts, rho)?;
-    let index = GonzalezIndex::build(points, metric, params.rbar())?;
-    index.approx(&params)
+    let net = build_net(points, metric, params.rbar())?;
+    let (labels, _) = approx::run_approx(
+        points,
+        metric,
+        &netview::NetView::of(&net),
+        &params,
+        &ParallelConfig::default(),
+    );
+    Ok(Clustering::from_labels(labels))
+}
+
+fn build_net<P: Sync, M: Metric<P> + Sync>(
+    points: &[P],
+    metric: &M,
+    rbar: f64,
+) -> Result<RadiusGuidedNet, DbscanError> {
+    error::validate_points_and_rbar(points.len(), rbar)?;
+    Ok(RadiusGuidedNet::build_with(
+        points,
+        metric,
+        rbar,
+        &BuildOptions::default(),
+    ))
 }

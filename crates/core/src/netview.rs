@@ -21,6 +21,16 @@ pub(crate) struct NetView<'n> {
 }
 
 impl<'n> NetView<'n> {
+    /// Views an Algorithm-1 net (the one place the field mapping lives).
+    pub fn of(net: &'n mdbscan_kcenter::RadiusGuidedNet) -> Self {
+        NetView {
+            rbar: net.rbar,
+            centers: &net.centers,
+            assignment: &net.assignment,
+            cover_sets: &net.cover_sets,
+        }
+    }
+
     /// Number of points.
     pub fn num_points(&self) -> usize {
         self.assignment.len()

@@ -35,7 +35,7 @@
 
 use std::time::Instant;
 
-use mdbscan_covertree::CoverTree;
+use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
 use mdbscan_kcenter::CenterAdjacency;
 use mdbscan_metric::{CountingMetric, Metric};
 use mdbscan_parallel::{par_map_range, par_map_ranges, split_weighted, Csr, ParallelConfig};
@@ -121,23 +121,63 @@ pub struct StepsStats {
     pub distance_evals: u64,
 }
 
+/// The `(ε, MinPts)`-dependent intermediates of Steps 1–2 that an engine
+/// may cache across queries: the core flags, the fragment partition
+/// `C̃_e`, and the per-fragment cover trees as owned, borrow-free
+/// [`CoverTreeSkeleton`]s.
+///
+/// For a fixed net all three are **deterministic functions of
+/// `(ε, MinPts)`** — independent of thread count and of the ablation
+/// toggles under which they are cached (the defaults: dense shortcut and
+/// cover-tree merge on) — so replaying them yields bit-identical labels.
+/// Re-attaching a skeleton costs zero distance evaluations, which is
+/// exactly the Step-2 construction cost the cache amortizes.
+pub(crate) struct StepArtifacts {
+    pub(crate) is_core: Vec<bool>,
+    pub(crate) dense_cores: usize,
+    pub(crate) fragments: Csr,
+    pub(crate) skeletons: Vec<Option<CoverTreeSkeleton>>,
+}
+
+impl StepArtifacts {
+    /// Approximate heap footprint, for cache accounting.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.is_core.len()
+            + self.fragments.total_len() * std::mem::size_of::<u32>()
+            + self
+                .skeletons
+                .iter()
+                .flatten()
+                .map(CoverTreeSkeleton::heap_bytes)
+                .sum::<usize>()
+    }
+}
+
 /// Runs Steps 1–3 over an arbitrary covering net. Caller must guarantee
 /// `net.rbar ≤ params.eps() / 2` — that inequality is what makes the dense
 /// shortcut and the fragment-merge radius sound.
+///
+/// `reuse` replays cached [`StepArtifacts`] (same net, same
+/// `(ε, MinPts)`), skipping Step 1 and the fragment cover-tree
+/// construction. The third return value carries freshly computed
+/// artifacts for the caller to cache — `Some` only when nothing was
+/// reused and the configuration matches the cacheable defaults.
 pub(crate) fn run_exact_steps<P: Sync, M: Metric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
     params: &DbscanParams,
     cfg: &ExactConfig,
-) -> (Vec<PointLabel>, StepsStats) {
+    reuse: Option<&StepArtifacts>,
+) -> (Vec<PointLabel>, StepsStats, Option<StepArtifacts>) {
     if cfg.count_distance_evals {
         let counting = CountingMetric::new(metric);
-        let (labels, mut stats) = run_steps_inner(points, &counting, net, params, cfg);
+        let (labels, mut stats, fresh) =
+            run_steps_inner(points, &counting, net, params, cfg, reuse);
         stats.distance_evals = counting.count();
-        (labels, stats)
+        (labels, stats, fresh)
     } else {
-        run_steps_inner(points, metric, net, params, cfg)
+        run_steps_inner(points, metric, net, params, cfg, reuse)
     }
 }
 
@@ -147,7 +187,8 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     net: &NetView<'_>,
     params: &DbscanParams,
     cfg: &ExactConfig,
-) -> (Vec<PointLabel>, StepsStats) {
+    reuse: Option<&StepArtifacts>,
+) -> (Vec<PointLabel>, StepsStats, Option<StepArtifacts>) {
     debug_assert!(net.rbar <= params.eps() / 2.0 * (1.0 + 1e-9));
     let eps = params.eps();
     let min_pts = params.min_pts();
@@ -173,25 +214,41 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     stats.mean_adjacency_degree = adj.mean_degree();
 
     // ---- Step 1: core labeling, parallel over points ----
+    // With cached artifacts the whole step replays from the cache (the
+    // core flags are a pure function of (net, ε, MinPts)).
     let t = Instant::now();
-    let dense: Vec<bool> = (0..k)
-        .map(|e| cfg.dense_shortcut && net.cover_sets.row_len(e) >= min_pts)
-        .collect();
-    stats.dense_cores = (0..k)
-        .filter(|&e| dense[e])
-        .map(|e| net.cover_sets.row_len(e))
-        .sum();
-    let is_core: Vec<bool> = par_map_range(n, threads, STEP_MIN_PER_THREAD, |p| {
-        let e = net.assignment[p] as usize;
-        dense[e] || count_neighbors_capped(points, metric, net, &adj, e, p, eps, min_pts) >= min_pts
-    });
+    let is_core_local: Option<Vec<bool>> = if reuse.is_some() {
+        None
+    } else {
+        let dense: Vec<bool> = (0..k)
+            .map(|e| cfg.dense_shortcut && net.cover_sets.row_len(e) >= min_pts)
+            .collect();
+        stats.dense_cores = (0..k)
+            .filter(|&e| dense[e])
+            .map(|e| net.cover_sets.row_len(e))
+            .sum();
+        Some(par_map_range(n, threads, STEP_MIN_PER_THREAD, |p| {
+            let e = net.assignment[p] as usize;
+            dense[e]
+                || count_neighbors_capped(points, metric, net, &adj, e, p, eps, min_pts) >= min_pts
+        }))
+    };
+    let is_core: &[bool] = match reuse {
+        Some(a) => {
+            stats.dense_cores = a.dense_cores;
+            &a.is_core
+        }
+        None => is_core_local.as_deref().expect("computed above"),
+    };
     stats.label_secs = t.elapsed().as_secs_f64();
 
     // ---- Step 2: merge core fragments ----
     let t = Instant::now();
     // C̃_e: the core points of each cover set, flattened like the cover
     // sets themselves.
-    let fragments: Csr = {
+    let fragments_local: Option<Csr> = if reuse.is_some() {
+        None
+    } else {
         let mut offsets = vec![0usize; k + 1];
         let mut values = Vec::new();
         for e in 0..k {
@@ -204,9 +261,25 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
             );
             offsets[e + 1] = values.len();
         }
-        Csr::from_parts(offsets, values)
+        Some(Csr::from_parts(offsets, values))
     };
-    let trees: Vec<Option<CoverTree<'_, P, M>>> = if cfg.cover_tree_merge {
+    let fragments: &Csr = match reuse {
+        Some(a) => &a.fragments,
+        None => fragments_local.as_ref().expect("computed above"),
+    };
+    let trees: Vec<Option<CoverTree<'_, P, M>>> = if !cfg.cover_tree_merge {
+        (0..k).map(|_| None).collect()
+    } else if let Some(a) = reuse {
+        // Cache hit: re-attach the stored skeletons — zero distance
+        // evaluations, just a structure clone per fragment.
+        a.skeletons
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .map(|sk| CoverTree::from_skeleton(points, metric, sk.clone()))
+            })
+            .collect()
+    } else {
         // Parallel over centers, weighted by fragment size (construction
         // cost is superlinear in the fragment, so even splits by row
         // count would starve some workers). Small core sets build
@@ -230,8 +303,6 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
         .into_iter()
         .flatten()
         .collect()
-    } else {
-        (0..k).map(|_| None).collect()
     };
     let mut uf = UnionFind::new(k);
     // Candidate fragment pairs in (e, e') lexicographic order — the same
@@ -254,7 +325,7 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
                 continue;
             }
             stats.bcp_tests += 1;
-            if bcp_within(points, metric, &fragments, &trees, e, e2, eps, cfg) {
+            if bcp_within(points, metric, fragments, &trees, e, e2, eps, cfg) {
                 stats.bcp_connected += 1;
                 uf.union(e, e2);
             }
@@ -277,7 +348,7 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
                 }
                 out
             },
-            |e, e2| bcp_within(points, metric, &fragments, &trees, e, e2, eps, cfg),
+            |e, e2| bcp_within(points, metric, fragments, &trees, e, e2, eps, cfg),
         );
         stats.bcp_tests = tested;
         stats.bcp_connected = connected;
@@ -326,7 +397,22 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     });
     stats.assign_secs = t.elapsed().as_secs_f64();
 
-    (labels, stats)
+    // Hand freshly computed artifacts back for caching — only when the
+    // run matches the cacheable defaults (the dense shortcut keeps
+    // `dense_cores` meaningful, the trees only exist under
+    // `cover_tree_merge`).
+    let fresh =
+        (reuse.is_none() && cfg.dense_shortcut && cfg.cover_tree_merge).then(|| StepArtifacts {
+            is_core: is_core_local.expect("computed when reuse is None"),
+            dense_cores: stats.dense_cores,
+            fragments: fragments_local.expect("computed when reuse is None"),
+            skeletons: trees
+                .into_iter()
+                .map(|t| t.map(CoverTree::into_skeleton))
+                .collect(),
+        });
+
+    (labels, stats, fresh)
 }
 
 /// `|B(p, ε) ∩ X|`, counted over the neighbor cover sets of `p`'s center

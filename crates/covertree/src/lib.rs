@@ -37,4 +37,4 @@ mod query;
 mod tree;
 
 pub use net::NetExtraction;
-pub use tree::{CoverTree, Neighbor};
+pub use tree::{CoverTree, CoverTreeSkeleton, Neighbor};

@@ -12,6 +12,7 @@ pub struct Neighbor {
     pub distance: f64,
 }
 
+#[derive(Debug, Clone)]
 pub(crate) struct Node {
     /// Index of the representative point in the backing slice.
     pub(crate) point: u32,
@@ -25,6 +26,49 @@ pub(crate) struct Node {
     /// the separation invariant survives duplicated inputs (the paper's
     /// noisy-duplication datasets contain many).
     pub(crate) same: Vec<u32>,
+}
+
+/// The borrow-free structure of a [`CoverTree`]: node records (point
+/// indices, levels, child links) without the point slice or metric.
+///
+/// A skeleton is what a long-lived owner (e.g. a clustering engine that
+/// caches per-fragment trees across queries) stores: detach it with
+/// [`CoverTree::into_skeleton`], keep it as long as the backing point
+/// slice stays unchanged, and re-attach with [`CoverTree::from_skeleton`]
+/// — re-attachment performs **zero distance evaluations**, which is the
+/// entire construction cost the cache amortizes.
+#[derive(Debug, Clone)]
+pub struct CoverTreeSkeleton {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: Option<u32>,
+    pub(crate) len: usize,
+    /// Largest point index stored anywhere in `nodes` (0 when empty),
+    /// computed once at detach time so re-attachment validates in O(1)
+    /// instead of rescanning every node.
+    pub(crate) max_index: u32,
+}
+
+impl CoverTreeSkeleton {
+    /// Number of points the originating tree stored (duplicates included).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the originating tree was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes (node records + link lists) —
+    /// what an LRU over skeletons accounts against its budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| (n.children.len() + n.same.len()) * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
 }
 
 /// A cover tree over a borrowed point slice.
@@ -93,6 +137,45 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             tree.insert(i);
         }
         tree
+    }
+
+    /// Detaches the tree's structure from the borrowed points and metric,
+    /// producing an owned [`CoverTreeSkeleton`] that can outlive both.
+    pub fn into_skeleton(self) -> CoverTreeSkeleton {
+        let max_index = self
+            .nodes
+            .iter()
+            .flat_map(|n| std::iter::once(n.point).chain(n.same.iter().copied()))
+            .max()
+            .unwrap_or(0);
+        CoverTreeSkeleton {
+            nodes: self.nodes,
+            root: self.root,
+            len: self.len,
+            max_index,
+        }
+    }
+
+    /// Re-attaches a skeleton to a point slice and metric, restoring a
+    /// queryable tree **without any distance evaluations** (the cost is a
+    /// structure move plus an O(1) bounds check).
+    ///
+    /// The caller must supply the same (or an equal) point slice the
+    /// skeleton was built over; every point index stored in the skeleton
+    /// must be in range for `points` (checked via the skeleton's
+    /// precomputed maximum index).
+    pub fn from_skeleton(points: &'a [P], metric: &'a M, skeleton: CoverTreeSkeleton) -> Self {
+        assert!(
+            skeleton.nodes.is_empty() || (skeleton.max_index as usize) < points.len(),
+            "skeleton indexes past the supplied point slice"
+        );
+        Self {
+            points,
+            metric,
+            nodes: skeleton.nodes,
+            root: skeleton.root,
+            len: skeleton.len,
+        }
     }
 
     /// Number of points stored (including collapsed duplicates).
@@ -332,5 +415,35 @@ mod tests {
         let pts = vec![vec![0.0]];
         let mut t = CoverTree::build(&pts, &Euclidean);
         t.insert(5);
+    }
+
+    #[test]
+    fn skeleton_round_trip_preserves_queries() {
+        let pts: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![(i % 13) as f64 * 0.7, (i % 29) as f64 * 0.3])
+            .collect();
+        let tree = CoverTree::build(&pts, &Euclidean);
+        let queries: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.43, 2.1]).collect();
+        let want: Vec<_> = queries.iter().map(|q| tree.nearest(q)).collect();
+        let skeleton = tree.into_skeleton();
+        assert_eq!(skeleton.len(), 150);
+        assert!(!skeleton.is_empty());
+        assert!(skeleton.heap_bytes() > 0);
+        // A clone re-attaches independently; both answer identically.
+        let restored = CoverTree::from_skeleton(&pts, &Euclidean, skeleton.clone());
+        let again = CoverTree::from_skeleton(&pts, &Euclidean, skeleton);
+        for (q, w) in queries.iter().zip(&want) {
+            assert_eq!(&restored.nearest(q), w);
+            assert_eq!(&again.nearest(q), w);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn skeleton_rejects_short_slice() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let skeleton = CoverTree::build(&pts, &Euclidean).into_skeleton();
+        let short = &pts[..3];
+        let _ = CoverTree::from_skeleton(short, &Euclidean, skeleton);
     }
 }

@@ -8,8 +8,9 @@ use mdbscan_parallel::{sweep_rounds, Csr, ParallelConfig, SweepTask};
 /// distance evaluations must outweigh the thread-spawn cost.
 pub(crate) const SWEEP_MIN_PER_THREAD: usize = 4096;
 
-/// Knobs for [`RadiusGuidedNet::build_with`].
-#[derive(Debug, Clone)]
+/// Knobs for [`RadiusGuidedNet::build_with`]. Plain-old-data (`Copy`),
+/// so an owning engine can stash and replay it freely.
+#[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
     /// Index of the arbitrary first center `p₀` (paper line 1). Default 0.
     pub first: usize,

@@ -1,15 +1,15 @@
 //! The paper's core premise, end to end: data whose *inliers* live on a
 //! low-dimensional manifold inside a huge ambient space, with adversarial
-//! outliers scattered anywhere (the AI-security scenario of §1). Exact
-//! and ρ-approximate metric DBSCAN recover the clusters and isolate the
-//! outliers; a distance-evaluation counter shows the sub-quadratic
-//! behavior that Assumption 1 buys.
+//! outliers scattered anywhere (the AI-security scenario of §1). One
+//! `MetricDbscan` engine — built once — runs both the exact and the
+//! ρ-approximate solver over the same net; a distance-evaluation counter
+//! shows the sub-quadratic behavior that Assumption 1 buys.
 //!
 //! ```sh
 //! cargo run --release --example high_dim_outliers
 //! ```
 
-use metric_dbscan::core::{approx_dbscan, exact_dbscan};
+use metric_dbscan::core::{ApproxParams, DbscanParams, MetricDbscan};
 use metric_dbscan::datagen::{manifold_clusters, ManifoldSpec};
 use metric_dbscan::eval::adjusted_rand_index;
 use metric_dbscan::metric::{estimate_doubling_dimension, CountingMetric, Euclidean};
@@ -26,14 +26,14 @@ fn main() {
         ambient_box: 60.0,
     };
     let data = manifold_clusters(&spec, 9);
-    let points = data.points();
-    let truth = data.labels().expect("labeled");
+    let (points, labels) = data.into_parts();
+    let truth = labels.expect("labeled");
 
     // Confirm the premise: the inliers' empirical doubling dimension is
     // tiny compared to the ambient 784.
     let inliers: Vec<Vec<f64>> = points
         .iter()
-        .zip(truth)
+        .zip(&truth)
         .filter(|(_, &l)| l >= 0)
         .map(|(p, _)| p.clone())
         .take(1000)
@@ -48,31 +48,46 @@ fn main() {
     let eps = 4.0;
     let min_pts = 10;
 
+    // ρ = 1 keeps the net at the same resolution as the exact solver
+    // (r̄ = ρε/2 = ε/2), so ONE engine serves both entry points and
+    // isolates Algorithm 2's actual trade: the core-point summary
+    // replaces the BCP merge. Smaller ρ would demand a finer net, whose
+    // (1/ρ)^D extra centers dominate at this scale — see EXPERIMENTS.md
+    // for the measured crossover.
+    let aparams = ApproxParams::new(eps, min_pts, 1.0).expect("valid");
     let counting = CountingMetric::new(Euclidean);
-    let exact = exact_dbscan(points, &counting, eps, min_pts).expect("valid");
+    let engine = MetricDbscan::builder(points, &counting)
+        .rbar(aparams.rbar())
+        .build()
+        .expect("build");
+    println!(
+        "\nAlgorithm 1 (shared by both solvers): {} centers, {} distance evals",
+        engine.num_centers(),
+        counting.count(),
+    );
+
+    counting.reset();
+    let exact = engine
+        .exact(&DbscanParams::new(eps, min_pts).expect("valid"))
+        .expect("query");
     let evals = counting.count();
     println!(
-        "\nexact:  {} clusters, {} noise, ARI {:.3}, {} distance evals ({:.1}% of n²)",
-        exact.num_clusters(),
-        exact.num_noise(),
-        adjusted_rand_index(truth, &exact.assignments()),
+        "exact:  {} clusters, {} noise, ARI {:.3}, {} distance evals ({:.1}% of n²)",
+        exact.clustering.num_clusters(),
+        exact.clustering.num_noise(),
+        adjusted_rand_index(&truth, &exact.clustering.assignments()),
         evals,
         100.0 * evals as f64 / (n * n) as f64,
     );
 
-    // ρ = 1 keeps the net at the same resolution as the exact solver
-    // (r̄ = ε/2), isolating Algorithm 2's actual trade: the core-point
-    // summary replaces the BCP merge. Smaller ρ would demand a finer net
-    // (r̄ = ρε/2), whose (1/ρ)^D extra centers dominate at this scale —
-    // see EXPERIMENTS.md for the measured crossover.
     counting.reset();
-    let approx = approx_dbscan(points, &counting, eps, min_pts, 1.0).expect("valid");
+    let approx = engine.approx(&aparams).expect("query");
     let evals = counting.count();
     println!(
         "approx: {} clusters, {} noise, ARI {:.3}, {} distance evals ({:.1}% of n²)",
-        approx.num_clusters(),
-        approx.num_noise(),
-        adjusted_rand_index(truth, &approx.assignments()),
+        approx.clustering.num_clusters(),
+        approx.clustering.num_noise(),
+        adjusted_rand_index(&truth, &approx.clustering.assignments()),
         evals,
         100.0 * evals as f64 / (n * n) as f64,
     );
@@ -81,7 +96,7 @@ fn main() {
     // the manifold with overwhelming probability).
     let caught = truth
         .iter()
-        .zip(exact.labels())
+        .zip(exact.clustering.labels())
         .filter(|(&t, l)| t == -1 && l.is_noise())
         .count();
     let planted = truth.iter().filter(|&&t| t == -1).count();

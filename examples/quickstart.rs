@@ -1,10 +1,10 @@
-//! Quickstart: exact metric DBSCAN on a 2-D dataset with outliers.
+//! Quickstart: the `MetricDbscan` engine on a 2-D dataset with outliers.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use metric_dbscan::core::exact_dbscan;
+use metric_dbscan::core::{DbscanParams, MetricDbscan};
 use metric_dbscan::datagen::moons;
 use metric_dbscan::eval::{adjusted_mutual_info, adjusted_rand_index};
 use metric_dbscan::metric::Euclidean;
@@ -12,34 +12,45 @@ use metric_dbscan::metric::Euclidean;
 fn main() {
     // Two interleaved half-moons, 2 % scattered outliers.
     let dataset = moons(2000, 0.06, 0.02, 42);
-    let points = dataset.points();
 
     // DBSCAN parameters: neighborhood radius ε and density threshold.
     let eps = 0.12;
     let min_pts = 10;
 
-    let clustering = exact_dbscan(points, &Euclidean, eps, min_pts).expect("valid parameters");
+    // The engine owns its points and metric: build once (Algorithm 1 at
+    // r̄ = ε/2), query as often as you like — from any thread.
+    let (points, labels) = dataset.into_parts();
+    let engine = MetricDbscan::builder(points, Euclidean)
+        .rbar(eps / 2.0)
+        .build()
+        .expect("non-empty input and a valid radius");
+
+    let run = engine
+        .exact(&DbscanParams::new(eps, min_pts).expect("valid parameters"))
+        .expect("rbar is fine enough for this eps");
+    let clustering = &run.clustering;
 
     println!(
-        "{} points -> {} clusters, {} core / {} border / {} noise",
-        points.len(),
+        "{} points -> {} clusters, {} core / {} border / {} noise in {:.1} ms",
+        engine.points().len(),
         clustering.num_clusters(),
         clustering.num_core(),
         clustering.num_border(),
         clustering.num_noise(),
+        run.report.total_secs * 1e3,
     );
 
     // Ground truth is available for the synthetic data: score the result.
-    let truth = dataset.labels().expect("generator provides labels");
+    let truth = labels.expect("generator provides labels");
     let pred = clustering.assignments();
     println!(
         "ARI = {:.3}, AMI = {:.3}",
-        adjusted_rand_index(truth, &pred),
-        adjusted_mutual_info(truth, &pred),
+        adjusted_rand_index(&truth, &pred),
+        adjusted_mutual_info(&truth, &pred),
     );
 
-    // Cluster sizes.
-    for (k, members) in clustering.clusters().iter().enumerate() {
-        println!("cluster {k}: {} points", members.len());
+    // Cluster sizes, without materializing the member lists.
+    for (k, size) in clustering.cluster_sizes().iter().enumerate() {
+        println!("cluster {k}: {size} points");
     }
 }

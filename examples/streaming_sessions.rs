@@ -2,11 +2,21 @@
 //! stream — the paper's Spotify_Session scenario: the stream is far too
 //! large to hold, but three passes and O((Δ/ρε)^D + z) memory suffice.
 //!
+//! Two ways to run it:
+//!
+//! 1. a standalone [`StreamingApproxDbscan`] over a replayable stream
+//!    (nothing is ever owned in full);
+//! 2. a session opened from a [`MetricDbscan`] engine
+//!    ([`MetricDbscan::streaming_session`]) — the deployment shape where
+//!    an engine already serves exact/approx queries on reference data and
+//!    hands out Algorithm-3 sessions (same metric, same thread knob) for
+//!    live traffic.
+//!
 //! ```sh
 //! cargo run --release --example streaming_sessions
 //! ```
 
-use metric_dbscan::core::{ApproxParams, StreamingApproxDbscan};
+use metric_dbscan::core::{ApproxParams, MetricDbscan, StreamingApproxDbscan};
 use metric_dbscan::datagen::DriftingStream;
 use metric_dbscan::eval::{adjusted_mutual_info, adjusted_rand_index};
 use metric_dbscan::metric::Euclidean;
@@ -27,8 +37,7 @@ fn main() {
 
     let params = ApproxParams::new(2.0, 10, 0.5).expect("valid parameters");
 
-    // The engine can also be driven pass-by-pass over a real data source;
-    // `run` replays the factory three times.
+    // --- 1. standalone: `run` replays the factory three times ---
     let (clustering, engine) =
         StreamingApproxDbscan::run(&Euclidean, &params, || stream.iter()).expect("non-empty");
 
@@ -54,5 +63,40 @@ fn main() {
         "ARI = {:.3}, AMI = {:.3}",
         adjusted_rand_index(&truth, &pred),
         adjusted_mutual_info(&truth, &pred),
+    );
+
+    // --- 2. engine-issued session: reference data + live stream ---
+    // The engine owns a historical sample (here: the first 2000 stream
+    // points) and serves parameter probes on it; live streams get their
+    // own bounded-memory sessions from the same engine.
+    let sample: Vec<Vec<f64>> = stream.iter().take(2000).collect();
+    let engine = MetricDbscan::builder(sample, Euclidean)
+        .rbar(params.rbar())
+        .build()
+        .expect("build");
+    let probe = engine.approx(&params).expect("probe");
+    println!(
+        "\nengine over a 2000-point sample: {} clusters on the reference data",
+        probe.clustering.num_clusters(),
+    );
+
+    let mut session = engine.streaming_session(&params);
+    for p in stream.iter() {
+        session.pass1_observe(&p);
+    }
+    session.finish_pass1();
+    for p in stream.iter() {
+        session.pass2_observe(&p);
+    }
+    session.finish_pass2();
+    let noise = stream
+        .iter()
+        .filter(|p| session.pass3_label(p).is_noise())
+        .count();
+    let fp = session.footprint();
+    println!(
+        "engine-issued session labeled the full stream: {} noise, {} stored points",
+        noise,
+        fp.stored_points(),
     );
 }

@@ -1,12 +1,14 @@
 //! Clustering text by edit distance — the paper's motivating
 //! general-metric-space workload ("clustering a set of texts by using
 //! edit distance", §1): no coordinates, no grid, just a distance oracle.
+//! One engine, built once over the corpus, serves both the exact and the
+//! ρ-approximate solver.
 //!
 //! ```sh
 //! cargo run --release --example text_clustering
 //! ```
 
-use metric_dbscan::core::{approx_dbscan, exact_dbscan};
+use metric_dbscan::core::{ApproxParams, DbscanParams, MetricDbscan};
 use metric_dbscan::metric::{CountingMetric, Levenshtein};
 
 fn main() {
@@ -56,20 +58,36 @@ fn main() {
 
     // Count distance evaluations: with edit distance each one is O(L²)
     // work, so the whole point of the metric DBSCAN machinery is to make
-    // this number small.
+    // this number small. The engine borrows the metric (`&M` is itself a
+    // `Metric`), so the counter stays readable out here.
     let metric = CountingMetric::new(Levenshtein);
 
     let eps = 3.0; // up to 3 edits = same word family
     let min_pts = 4;
+    let rho = 0.5;
 
-    let clustering = exact_dbscan(&corpus, &metric, eps, min_pts).expect("valid parameters");
+    // r̄ = ρε/2 is fine enough for both the exact query (needs ≤ ε/2)
+    // and the ρ-approximate one (needs ≤ ρε/2).
+    let aparams = ApproxParams::new(eps, min_pts, rho).expect("valid parameters");
+    let engine = MetricDbscan::builder(corpus.clone(), &metric)
+        .rbar(aparams.rbar())
+        .build()
+        .expect("build");
+    let build_evals = metric.count();
+    println!("Algorithm 1 once for both solvers: {build_evals} distance evaluations\n");
+
+    metric.reset();
+    let run = engine
+        .exact(&DbscanParams::new(eps, min_pts).expect("valid parameters"))
+        .expect("query");
+    let clustering = &run.clustering;
     println!(
         "exact: {} clusters / {} noise words using {} distance evaluations\n",
         clustering.num_clusters(),
         clustering.num_noise(),
         metric.count(),
     );
-    for (k, members) in clustering.clusters().iter().enumerate() {
+    for (k, members) in clustering.iter_clusters() {
         let words: Vec<&str> = members.iter().map(|&i| corpus[i].as_str()).collect();
         println!("cluster {k}: {words:?}");
     }
@@ -86,11 +104,11 @@ fn main() {
     // smaller summary; on text it usually answers with far fewer distance
     // evaluations at the same clustering.
     metric.reset();
-    let approx = approx_dbscan(&corpus, &metric, eps, min_pts, 0.5).expect("valid parameters");
+    let approx = engine.approx(&aparams).expect("query");
     println!(
-        "rho=0.5 approx: {} clusters / {} noise using {} distance evaluations",
-        approx.num_clusters(),
-        approx.num_noise(),
+        "rho={rho} approx: {} clusters / {} noise using {} distance evaluations",
+        approx.clustering.num_clusters(),
+        approx.clustering.num_noise(),
         metric.count(),
     );
 }

@@ -2,10 +2,10 @@
 //!
 //! The build environment has no network access, so this workspace vendors
 //! the *subset* of proptest it uses: the [`proptest!`] /
-//! [`prop_assert!`] / [`prop_assert_eq!`] macros, the [`Strategy`]
-//! trait with `prop_map` / `prop_filter` / `prop_flat_map`, range and
-//! tuple strategies, [`collection::vec`], and string strategies from
-//! simple `[class]{m,n}` patterns.
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`], and
+//! string strategies from simple `[class]{m,n}` patterns.
 //!
 //! Differences from real proptest, deliberately accepted:
 //!

@@ -7,13 +7,17 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
-//! * [`core`] — the paper's algorithms: exact metric DBSCAN (§3.1 and the
-//!   §3.2 cover-tree variant), ρ-approximate DBSCAN (Algorithm 2), and the
-//!   3-pass streaming engine (Algorithm 3), plus the reusable
-//!   [`core::GonzalezIndex`] for cheap parameter tuning (Remark 5/6);
+//! * [`core`] — the paper's algorithms behind one owned, `Send + Sync`,
+//!   `Arc`-shareable engine, [`core::MetricDbscan`]: exact metric DBSCAN
+//!   (§3.1 and the §3.2 cover-tree variant), ρ-approximate DBSCAN
+//!   (Algorithm 2), and the 3-pass streaming engine (Algorithm 3). Build
+//!   once, probe `(ε, MinPts, ρ)` forever (Remark 5/6) — with an LRU of
+//!   Step-2 fragment cover trees so *repeated* probes get cheaper still;
 //! * [`metric`] — the metric-space substrate (Euclidean/L1/L∞/angular,
 //!   Levenshtein/Hamming, distance-call counting);
-//! * [`covertree`] — the cover-tree index (Beygelzimer et al. 2006);
+//! * [`covertree`] — the cover-tree index (Beygelzimer et al. 2006),
+//!   including the detachable [`covertree::CoverTreeSkeleton`] the
+//!   engine's caches are built on;
 //! * [`kcenter`] — Gonzalez, radius-guided Gonzalez (Algorithm 1),
 //!   k-center with outliers;
 //! * [`parallel`] — the deterministic scoped-thread executors and flat
@@ -28,7 +32,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use metric_dbscan::core::exact_dbscan;
+//! use metric_dbscan::core::{DbscanParams, MetricDbscan};
 //! use metric_dbscan::metric::Euclidean;
 //!
 //! // two tight groups and one stray point
@@ -39,13 +43,22 @@
 //! }
 //! points.push(vec![100.0, 100.0]);
 //!
-//! let clustering = exact_dbscan(&points, &Euclidean, 0.5, 5).unwrap();
-//! assert_eq!(clustering.num_clusters(), 2);
-//! assert!(clustering.labels().last().unwrap().is_noise());
+//! let engine = MetricDbscan::builder(points, Euclidean)
+//!     .rbar(0.25) // r̄ ≤ ε/2 for every ε we will query
+//!     .build()
+//!     .unwrap();
+//! let run = engine.exact(&DbscanParams::new(0.5, 5).unwrap()).unwrap();
+//! assert_eq!(run.clustering.num_clusters(), 2);
+//! assert!(run.clustering.labels().last().unwrap().is_noise());
+//! // same parameters again → served from the fragment-tree cache
+//! assert!(engine.exact(&DbscanParams::new(0.5, 5).unwrap()).unwrap().report.cache_hit);
 //! ```
 //!
+//! One-shot free functions ([`core::exact_dbscan`], [`core::approx_dbscan`])
+//! remain for scripts that cluster borrowed data exactly once.
+//!
 //! See `examples/` for text clustering under edit distance, streaming
-//! session clustering, parameter tuning on a shared index, and
+//! session clustering, parameter tuning on a shared engine, and
 //! high-dimensional outlier-robust clustering.
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -1,0 +1,166 @@
+//! The engine's concurrency contract (PR 2): one `Arc<MetricDbscan>`
+//! shared across 8 threads running mixed exact/approx parameter sweeps
+//! produces labels **bit-identical** to a single-thread baseline — the
+//! cross-thread extension of the `parallel_determinism.rs` invariant —
+//! and repeated `(ε, MinPts)` probes hit the fragment-tree LRU.
+
+use std::sync::Arc;
+
+use metric_dbscan::core::{ApproxParams, DbscanParams, MetricDbscan, ParallelConfig, PointLabel};
+use metric_dbscan::datagen::{blobs, string_clusters, BlobSpec, StringSpec};
+use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
+
+const WORKERS: usize = 8;
+
+/// The mixed sweep each worker replays: alternating exact and approx
+/// queries across a small (ε, MinPts) grid.
+fn sweep<P: Sync, M: Metric<P>>(
+    engine: &MetricDbscan<P, M>,
+    eps_grid: &[f64],
+    min_pts_grid: &[usize],
+    rho: f64,
+) -> Vec<Vec<PointLabel>> {
+    let mut out = Vec::new();
+    for &eps in eps_grid {
+        for &min_pts in min_pts_grid {
+            let params = DbscanParams::new(eps, min_pts).expect("params");
+            out.push(
+                engine
+                    .exact(&params)
+                    .expect("exact")
+                    .clustering
+                    .labels()
+                    .to_vec(),
+            );
+            let aparams = ApproxParams::new(eps, min_pts, rho).expect("approx params");
+            out.push(
+                engine
+                    .approx(&aparams)
+                    .expect("approx")
+                    .clustering
+                    .labels()
+                    .to_vec(),
+            );
+        }
+    }
+    out
+}
+
+fn assert_concurrent_sweeps_match<P: Sync + Send, M: Metric<P>>(
+    engine: Arc<MetricDbscan<P, M>>,
+    eps_grid: &[f64],
+    min_pts_grid: &[usize],
+    rho: f64,
+) {
+    // Single-thread baseline on a cold cache.
+    engine.clear_cache();
+    let baseline = sweep(&engine, eps_grid, min_pts_grid, rho);
+    // Warm or cold, hit or miss, interleaved however the scheduler likes:
+    // every worker must reproduce the baseline byte for byte.
+    engine.clear_cache();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || sweep(&engine, eps_grid, min_pts_grid, rho))
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            let got = handle.join().expect("worker panicked");
+            assert_eq!(got.len(), baseline.len());
+            for (q, (g, b)) in got.iter().zip(&baseline).enumerate() {
+                assert_eq!(g, b, "worker {w}, query {q}: labels diverged");
+            }
+        }
+    });
+}
+
+#[test]
+fn eight_threads_share_one_engine_on_blobs() {
+    let pts = blobs(
+        &BlobSpec {
+            n: 800,
+            dim: 2,
+            clusters: 3,
+            std: 1.0,
+            center_box: 15.0,
+            outlier_frac: 0.05,
+        },
+        7,
+    )
+    .into_parts()
+    .0;
+    let rho = 0.5;
+    // rbar fine enough for the approx queries at the smallest eps
+    // (rho * eps / 2) serves the exact queries too.
+    let engine = Arc::new(
+        MetricDbscan::builder(pts, Euclidean)
+            .rbar(rho * 0.8 / 2.0)
+            .parallel(ParallelConfig::new(2))
+            .build()
+            .expect("engine"),
+    );
+    assert_concurrent_sweeps_match(engine, &[0.8, 1.2, 1.6], &[5, 10], rho);
+}
+
+#[test]
+fn eight_threads_share_one_engine_on_strings() {
+    let words = string_clusters(
+        &StringSpec {
+            n: 120,
+            clusters: 3,
+            seed_len: 12,
+            max_edits: 2,
+            alphabet: b"abcd",
+            outlier_frac: 0.05,
+        },
+        11,
+    )
+    .into_parts()
+    .0;
+    let rho = 0.5;
+    let engine = Arc::new(
+        MetricDbscan::builder(words, Levenshtein)
+            .rbar(rho * 3.0 / 2.0)
+            .build()
+            .expect("engine"),
+    );
+    assert_concurrent_sweeps_match(engine, &[3.0, 4.0], &[3, 4], rho);
+}
+
+#[test]
+fn repeated_probe_hits_the_fragment_lru() {
+    let pts = blobs(
+        &BlobSpec {
+            n: 500,
+            dim: 2,
+            clusters: 2,
+            std: 0.8,
+            center_box: 12.0,
+            outlier_frac: 0.02,
+        },
+        3,
+    )
+    .into_parts()
+    .0;
+    let engine = MetricDbscan::builder(pts, Euclidean)
+        .rbar(0.4)
+        .build()
+        .expect("engine");
+    let params = DbscanParams::new(1.0, 8).expect("params");
+    let cold = engine.exact(&params).expect("cold");
+    assert!(!cold.report.cache_hit, "first probe must be a miss");
+    let warm = engine.exact(&params).expect("warm");
+    assert!(warm.report.cache_hit, "repeated probe must hit the LRU");
+    assert!(
+        warm.report.cache_hits >= 1,
+        "RunReport must expose the engine's hit counter"
+    );
+    assert_eq!(
+        cold.clustering, warm.clustering,
+        "cache replay must be bit-identical"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+}

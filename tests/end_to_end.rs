@@ -2,7 +2,7 @@
 //! solvers → quality metrics, exercising the claims the README makes.
 
 use metric_dbscan::core::{
-    approx_dbscan, exact_dbscan, ApproxParams, DbscanParams, GonzalezIndex, StreamingApproxDbscan,
+    approx_dbscan, exact_dbscan, ApproxParams, DbscanParams, MetricDbscan, StreamingApproxDbscan,
 };
 use metric_dbscan::datagen::{
     banana, manifold_clusters, moons, string_clusters, DriftingStream, ManifoldSpec, StringSpec,
@@ -89,15 +89,19 @@ fn text_pipeline_counts_few_distance_evaluations() {
 }
 
 #[test]
-fn index_reuse_serves_a_parameter_grid() {
+fn engine_reuse_serves_a_parameter_grid() {
     let ds = moons(800, 0.06, 0.02, 9);
     let pts = ds.points();
-    let index = GonzalezIndex::build(pts, &Euclidean, 0.05).unwrap();
+    let engine = MetricDbscan::builder(pts.to_vec(), Euclidean)
+        .rbar(0.05)
+        .build()
+        .unwrap();
     for eps in [0.1, 0.12, 0.15, 0.2] {
         for min_pts in [5, 10, 15] {
-            let reused = index
+            let reused = engine
                 .exact(&DbscanParams::new(eps, min_pts).unwrap())
-                .unwrap();
+                .unwrap()
+                .clustering;
             let fresh = exact_dbscan(pts, &Euclidean, eps, min_pts).unwrap();
             assert_eq!(
                 reused.num_clusters(),
@@ -111,6 +115,16 @@ fn index_reuse_serves_a_parameter_grid() {
                     "eps={eps} minpts={min_pts} i={i}"
                 );
             }
+        }
+    }
+    // The grid re-probed: every (ε, MinPts) is now resident in the LRU
+    // (12 entries ≤ the default capacity), so the sweep replays from it.
+    for eps in [0.1, 0.12, 0.15, 0.2] {
+        for min_pts in [5, 10, 15] {
+            let run = engine
+                .exact(&DbscanParams::new(eps, min_pts).unwrap())
+                .unwrap();
+            assert!(run.report.cache_hit, "eps={eps} minpts={min_pts}");
         }
     }
 }

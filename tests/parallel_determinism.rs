@@ -5,19 +5,18 @@
 //! data and on Levenshtein string data alike.
 
 use metric_dbscan::core::{
-    exact_dbscan_covertree_with, ApproxParams, DbscanParams, ExactConfig, GonzalezIndex,
+    exact_dbscan_covertree_with, ApproxParams, DbscanParams, ExactConfig, MetricDbscan,
     ParallelConfig, PointLabel, StreamingApproxDbscan,
 };
 use metric_dbscan::datagen::{blobs, string_clusters, BlobSpec, StringSpec};
-use metric_dbscan::kcenter::BuildOptions;
 use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 2] = [2, 8];
 
-/// Exact + approx labels at a given thread count, over a shared
-/// fresh-built index (index construction itself is also threaded).
-fn solve_both<P: Sync + Clone, M: Metric<P> + Sync>(
+/// Exact + approx labels at a given thread count, over a fresh-built
+/// engine (engine construction itself is also threaded).
+fn solve_both<P: Sync + Clone + Send, M: Metric<P> + Sync>(
     pts: &[P],
     metric: &M,
     eps: f64,
@@ -26,20 +25,20 @@ fn solve_both<P: Sync + Clone, M: Metric<P> + Sync>(
     threads: usize,
 ) -> (Vec<PointLabel>, Vec<PointLabel>) {
     let parallel = ParallelConfig::new(threads);
-    let opts = BuildOptions {
-        parallel,
-        ..Default::default()
-    };
     let aparams = ApproxParams::new(eps, min_pts, rho).expect("approx params");
-    // One index at the approx radius serves both queries (rbar = ρε/2 ≤ ε/2).
-    let index = GonzalezIndex::build_with(pts, metric, aparams.rbar(), &opts).expect("index");
+    // One engine at the approx radius serves both queries (rbar = ρε/2 ≤ ε/2).
+    let engine = MetricDbscan::builder(pts.to_vec(), metric)
+        .rbar(aparams.rbar())
+        .parallel(parallel)
+        .build()
+        .expect("engine");
     let cfg = ExactConfig {
         parallel,
         ..ExactConfig::default()
     };
     let params = DbscanParams::new(eps, min_pts).expect("params");
-    let exact = index.exact_with(&params, &cfg).expect("exact").0;
-    let approx = index.approx(&aparams).expect("approx");
+    let exact = engine.exact_with(&params, &cfg).expect("exact").clustering;
+    let approx = engine.approx(&aparams).expect("approx").clustering;
     (exact.labels().to_vec(), approx.labels().to_vec())
 }
 
