@@ -17,14 +17,13 @@
 
 use mdbscan_core::{Clustering, PointLabel};
 use mdbscan_kcenter::{kcenter_with_outliers, CenterAdjacency};
-use mdbscan_metric::Metric;
 
 /// Runs DYW_DBSCAN. `z_estimate` is their outlier-count guess `z̃`,
 /// `eta` the sampling oversampling factor, `max_centers` the manual
 /// termination budget (all three are knobs the main paper's §3.3
 /// criticizes; see the crate docs).
 #[allow(clippy::too_many_arguments)]
-pub fn dyw_dbscan<P: Sync, M: Metric<P> + Sync>(
+pub fn dyw_dbscan<P: Sync, M: mdbscan_metric::BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,

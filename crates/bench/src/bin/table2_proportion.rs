@@ -10,11 +10,16 @@
 use mdbscan_bench::registry;
 use mdbscan_bench::{row, timed, HarnessArgs};
 use mdbscan_core::{DbscanParams, ExactConfig, MetricDbscan};
-use mdbscan_metric::{Euclidean, Levenshtein, Metric};
+use mdbscan_metric::{Euclidean, Levenshtein};
 
 const MIN_PTS: usize = 10;
 
-fn run_entry<P: Sync + Send + Clone, M: Metric<P>>(name: &str, pts: &[P], metric: M, eps: f64) {
+fn run_entry<P: Sync + Send + Clone, M: mdbscan_metric::BatchMetric<P>>(
+    name: &str,
+    pts: &[P],
+    metric: M,
+    eps: f64,
+) {
     let owned = pts.to_vec();
     let (engine, gonzalez_ms) = timed(move || {
         MetricDbscan::builder(owned, metric)

@@ -4,15 +4,24 @@
 //! JSON object (BENCH_thread_scaling.json shape) with wall-clock and
 //! distance-evaluation counts per thread setting.
 //!
+//! It additionally writes `BENCH_distance_evals.json` — the pruning
+//! baseline: per solver (exact / approx / covertree / streaming) and per
+//! pruning setting, the wall-clock, the distance-evaluation count, and
+//! the bound-accept/reject/anchor counters — asserting along the way
+//! that labels are byte-identical with pruning on vs off and that the
+//! counters are self-consistent. CI runs this at a tiny `--scale` as a
+//! smoke test of the whole distance-minimization layer.
+//!
 //! `--scale 0.1` shrinks the dataset for smoke runs; `--full` runs the
 //! million-point panel regardless of `--scale`.
 
 use mdbscan_bench::{timed, HarnessArgs};
 use mdbscan_core::{
     ApproxParams, Clustering, DbscanParams, ExactConfig, MetricDbscan, ParallelConfig,
+    Run as EngineRun,
 };
 use mdbscan_datagen::{blobs, BlobSpec};
-use mdbscan_metric::Euclidean;
+use mdbscan_metric::{CountingMetric, Euclidean, PruneStats, PruningConfig};
 
 const EPS: f64 = 1.0;
 const MIN_PTS: usize = 10;
@@ -129,5 +138,127 @@ fn main() {
     assert!(
         runs.iter().all(|r| r.labels_match),
         "cluster labels diverged across thread counts"
+    );
+
+    write_distance_evals_baseline(&pts, n);
+}
+
+/// One row of the pruning baseline.
+struct EvalRow {
+    solver: &'static str,
+    pruning: bool,
+    wall_ms: f64,
+    distance_evals: u64,
+    bounds: PruneStats,
+}
+
+/// Runs every solver with pruning on and off over a `CountingMetric`,
+/// asserts the labels are byte-identical and the counters sane, and
+/// writes `BENCH_distance_evals.json`.
+fn write_distance_evals_baseline(pts: &[Vec<f64>], n: usize) {
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let mut rows: Vec<EvalRow> = Vec::new();
+    let mut labels: std::collections::HashMap<(&'static str, bool), Clustering> =
+        std::collections::HashMap::new();
+    for pruning_on in [false, true] {
+        let pruning = if pruning_on {
+            PruningConfig::default()
+        } else {
+            PruningConfig::off()
+        };
+        // cache_capacity(0): every query recomputes, so the counters
+        // compare like for like between the two settings.
+        let engine = MetricDbscan::builder(pts.to_vec(), CountingMetric::new(Euclidean))
+            .rbar(RHO * EPS / 2.0)
+            .pruning(pruning)
+            .cache_capacity(0)
+            .build()
+            .expect("build engine");
+        let mut record = |solver: &'static str, run: EngineRun, wall_ms: f64, evals: u64| {
+            let bounds = run.report.pruning;
+            rows.push(EvalRow {
+                solver,
+                pruning: pruning_on,
+                wall_ms,
+                distance_evals: evals,
+                bounds,
+            });
+            labels.insert((solver, pruning_on), run.clustering);
+        };
+        engine.metric().reset();
+        let (run, ms) = timed(|| engine.exact(&params).expect("exact"));
+        record("exact", run, ms, engine.metric().reset());
+        let (run, ms) = timed(|| engine.approx(&aparams).expect("approx"));
+        record("approx", run, ms, engine.metric().reset());
+        let (run, ms) = timed(|| engine.covertree(&params).expect("covertree"));
+        record("covertree", run, ms, engine.metric().reset());
+        let (run, ms) = timed(|| engine.streaming(&aparams).expect("streaming"));
+        record("streaming", run, ms, engine.metric().reset());
+    }
+
+    // Self-consistency: identical labels per solver, zeroed counters
+    // with pruning off, live counters (and no extra work) with it on.
+    for solver in ["exact", "approx", "covertree", "streaming"] {
+        assert_eq!(
+            labels[&(solver, false)],
+            labels[&(solver, true)],
+            "{solver}: pruning changed the labels"
+        );
+        let off = rows
+            .iter()
+            .find(|r| r.solver == solver && !r.pruning)
+            .expect("off row");
+        let on = rows
+            .iter()
+            .find(|r| r.solver == solver && r.pruning)
+            .expect("on row");
+        assert_eq!(
+            off.bounds,
+            PruneStats::default(),
+            "{solver}: pruning-off must report zero bound counters"
+        );
+        assert!(
+            on.bounds.bound_accepts + on.bounds.bound_rejects > 0,
+            "{solver}: bounds never fired on clustered data"
+        );
+        if solver == "exact" || solver == "approx" {
+            assert!(
+                on.distance_evals <= off.distance_evals,
+                "{solver}: pruning increased evals ({} vs {})",
+                on.distance_evals,
+                off.distance_evals
+            );
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"distance_evals\",\n");
+    json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!(
+        "  \"eps\": {EPS}, \"min_pts\": {MIN_PTS}, \"rho\": {RHO},\n"
+    ));
+    json.push_str("  \"solvers\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"solver\": \"{}\", \"pruning\": {}, \"wall_ms\": {:.2}, \"distance_evals\": {}, \"bound_accepts\": {}, \"bound_rejects\": {}, \"anchor_evals\": {}, \"distance_evals_saved\": {}}}{sep}\n",
+            r.solver,
+            r.pruning,
+            r.wall_ms,
+            r.distance_evals,
+            r.bounds.bound_accepts,
+            r.bounds.bound_rejects,
+            r.bounds.anchor_evals,
+            r.bounds.distance_evals_saved(),
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    std::fs::write("BENCH_distance_evals.json", &json).expect("write BENCH_distance_evals.json");
+    eprintln!(
+        "wrote BENCH_distance_evals.json ({} solver rows)",
+        rows.len()
     );
 }

@@ -12,18 +12,26 @@
 //! summary at threshold `(ρ/2+1)ε`. Theorem 2 proves the result is a valid
 //! ρ-approximate DBSCAN clustering (Gan–Tao semantics), and the sandwich
 //! theorem places it between exact(ε) and exact((1+ρ)ε).
+//!
+//! Like the exact steps, every phase exploits the net's recorded
+//! distances for triangle-inequality pruning
+//! ([`mdbscan_metric::PruningConfig`]): summary pairs whose center-pair
+//! bounds already decide the `(1+ρ)ε` test merge (or are discarded)
+//! without an evaluation, and the labeling scan anchors each neighbor
+//! ball once. Labels are bit-identical with pruning on or off.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mdbscan_kcenter::CenterAdjacency;
-use mdbscan_metric::Metric;
-use mdbscan_parallel::{par_map_range, ParallelConfig};
+use mdbscan_metric::{BatchMetric, PruneStats};
+use mdbscan_parallel::{par_map_ranges, split_even, worker_count, Csr, ParallelConfig};
 
 use crate::labels::PointLabel;
 use crate::netview::NetView;
 use crate::params::ApproxParams;
 use crate::parmerge::{batch_size, union_rounds};
-use crate::steps::count_neighbors_capped;
+use crate::steps::{count_neighbors_capped, AnchorScratch};
 use crate::unionfind::UnionFind;
 
 /// Work items per worker below which the summary / labeling loops stay
@@ -48,21 +56,74 @@ pub struct ApproxStats {
     pub merge_secs: f64,
     /// Seconds labeling the remaining points.
     pub label_secs: f64,
-    /// Summary pairs whose distance was tested during the merge.
+    /// Summary pairs whose distance was tested during the merge
+    /// (distance-free accepts are not tests; see `pruning`).
     pub merge_pairs_tested: u64,
+    /// Triangle-inequality pruning ledger (adjacency + summary + merge +
+    /// labeling). Work counters: thread count and cache hits may shift
+    /// them while labels stay identical.
+    pub pruning: PruneStats,
+}
+
+/// The `(ε, MinPts, ρ)`-dependent intermediates of Algorithm 2 that an
+/// engine may cache: the per-center core flags, the summary `S*`, its
+/// per-center membership rows, and the merged summary clusters.
+///
+/// All are deterministic functions of `(net, ε, MinPts, ρ)` —
+/// independent of thread count and pruning — so replaying them yields
+/// bit-identical labels while skipping the summary construction *and*
+/// the merge.
+pub(crate) struct ApproxArtifacts {
+    pub(crate) center_core: Vec<bool>,
+    /// Summary point ids, in construction order.
+    pub(crate) summary: Vec<u32>,
+    /// Per center, the summary positions of its members.
+    pub(crate) summary_by_center: Csr,
+    /// Cluster id per summary position (post-merge components).
+    pub(crate) summary_cluster: Vec<u32>,
+}
+
+impl ApproxArtifacts {
+    /// Approximate heap footprint, for cache accounting.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.center_core.len()
+            + (self.summary.len() + self.summary_cluster.len()) * std::mem::size_of::<u32>()
+            + self.summary_by_center.total_len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Cached inputs a caller may replay into [`run_approx`], mirroring
+/// [`crate::steps::StepsReuse`].
+#[derive(Default)]
+pub(crate) struct ApproxReuse<'a> {
+    pub(crate) artifacts: Option<&'a ApproxArtifacts>,
+    pub(crate) adjacency: Option<Arc<CenterAdjacency>>,
+}
+
+/// Everything one Algorithm-2 run produces.
+pub(crate) struct ApproxOutcome {
+    pub(crate) labels: Vec<PointLabel>,
+    pub(crate) stats: ApproxStats,
+    /// Fresh artifacts for the caller to cache (`Some` only when nothing
+    /// was reused).
+    pub(crate) fresh_artifacts: Option<ApproxArtifacts>,
+    /// The adjacency this run used (freshly built or replayed).
+    pub(crate) adjacency: Arc<CenterAdjacency>,
 }
 
 /// Runs Algorithm 2 over a prepared net (`net.rbar ≤ ρε/2` — checked by
 /// the caller). Parallel over the phase's natural unit — centers for
 /// the core tests, summary pairs (round-batched) for the merge, points
 /// for the labeling — with labels identical for every thread count.
-pub(crate) fn run_approx<P: Sync, M: Metric<P> + Sync>(
+pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
     params: &ApproxParams,
     parallel: &ParallelConfig,
-) -> (Vec<PointLabel>, ApproxStats) {
+    pruning: &mdbscan_metric::PruningConfig,
+    reuse: ApproxReuse<'_>,
+) -> ApproxOutcome {
     debug_assert!(net.rbar <= params.rbar() * (1.0 + 1e-9));
     let eps = params.eps();
     let min_pts = params.min_pts();
@@ -80,123 +141,237 @@ pub(crate) fn run_approx<P: Sync, M: Metric<P> + Sync>(
     // Lemma 2 (needs ≥ 2r̄ + ε). With r̄ = ρε/2 this equals the paper's
     // 4r̄ + ε.
     let t = Instant::now();
-    let threshold = (params.merge_radius() + 2.0 * net.rbar).max(2.0 * net.rbar + eps);
-    let adj = CenterAdjacency::build_with(points, metric, net.centers, threshold, parallel);
+    let threshold = approx_threshold(net.rbar, params);
+    let adj: Arc<CenterAdjacency> = match reuse.adjacency {
+        Some(adj) => {
+            debug_assert_eq!(adj.threshold, threshold, "adjacency cache mixup");
+            adj
+        }
+        None => {
+            let built = CenterAdjacency::build_pruned(
+                points,
+                metric,
+                net.centers,
+                threshold,
+                parallel,
+                pruning,
+            );
+            stats.pruning.merge(&built.pruning);
+            Arc::new(built)
+        }
+    };
     stats.adjacency_secs = t.elapsed().as_secs_f64();
     stats.mean_adjacency_degree = adj.mean_degree();
 
-    // ---- Summary construction ----
-    let t = Instant::now();
-    // Which centers are core points (|B(e, ε)| ≥ MinPts)? Parallel over
-    // centers; each test is independent.
-    let center_core: Vec<bool> = par_map_range(k, threads, 64, |e| {
-        count_neighbors_capped(points, metric, net, &adj, e, net.centers[e], eps, min_pts)
-            >= min_pts
-    });
-    // Points of non-core-center balls need individual core tests
-    // (Lemma 8 bounds each such ball below MinPts points, so this stays
-    // amortized-linear — Lemma 10). Collect them, test in parallel.
-    let sparse_points: Vec<u32> = (0..k)
-        .filter(|&e| !center_core[e])
-        .flat_map(|e| net.cover_sets.row(e).iter().copied())
-        .collect();
-    let sparse_core: Vec<bool> =
-        par_map_range(sparse_points.len(), threads, APPROX_MIN_PER_THREAD, |i| {
-            let pi = sparse_points[i] as usize;
-            let e = net.assignment[pi] as usize;
-            count_neighbors_capped(points, metric, net, &adj, e, pi, eps, min_pts) >= min_pts
+    // ---- Summary construction + merge (replayed wholesale on a hit) ----
+    let fresh: Option<ApproxArtifacts> = if reuse.artifacts.is_some() {
+        None
+    } else {
+        // Which centers are core points (|B(e, ε)| ≥ MinPts)? Parallel
+        // over centers; each test is independent.
+        let t = Instant::now();
+        let w = worker_count(threads, k, 64);
+        let chunks = par_map_ranges(split_even(k, w), |r| {
+            let mut ps = PruneStats::default();
+            let flags: Vec<bool> = r
+                .map(|e| {
+                    count_neighbors_capped(
+                        points,
+                        metric,
+                        net,
+                        &adj,
+                        e,
+                        net.centers[e],
+                        eps,
+                        min_pts,
+                        pruning,
+                        &mut ps,
+                    ) >= min_pts
+                })
+                .collect();
+            (flags, ps)
         });
-    // S* as point indices, plus per-center membership lists (positions
-    // into `summary`), plus each center's own summary position —
-    // assembled sequentially in center order, exactly as the sequential
-    // algorithm would.
-    let mut summary: Vec<usize> = Vec::new();
-    let mut summary_by_center: Vec<Vec<u32>> = vec![Vec::new(); k];
-    let mut sparse_cursor = 0usize;
-    for e in 0..k {
-        if center_core[e] {
-            let pos = summary.len() as u32;
-            summary.push(net.centers[e]);
-            summary_by_center[e].push(pos);
-        } else {
-            for &p in net.cover_sets.row(e) {
-                debug_assert_eq!(sparse_points[sparse_cursor], p);
-                let core = sparse_core[sparse_cursor];
-                sparse_cursor += 1;
-                if core {
-                    let pos = summary.len() as u32;
-                    summary.push(p as usize);
-                    summary_by_center[e].push(pos);
+        let mut center_core = Vec::with_capacity(k);
+        for (chunk, ps) in chunks {
+            center_core.extend(chunk);
+            stats.pruning.merge(&ps);
+        }
+        // Points of non-core-center balls need individual core tests
+        // (Lemma 8 bounds each such ball below MinPts points, so this
+        // stays amortized-linear — Lemma 10). Collect them, test in
+        // parallel.
+        let sparse_points: Vec<u32> = (0..k)
+            .filter(|&e| !center_core[e])
+            .flat_map(|e| net.cover_sets.row(e).iter().copied())
+            .collect();
+        let w = worker_count(threads, sparse_points.len(), APPROX_MIN_PER_THREAD);
+        let chunks = par_map_ranges(split_even(sparse_points.len(), w), |r| {
+            let mut ps = PruneStats::default();
+            let flags: Vec<bool> = r
+                .map(|i| {
+                    let pi = sparse_points[i] as usize;
+                    let e = net.assignment[pi] as usize;
+                    count_neighbors_capped(
+                        points, metric, net, &adj, e, pi, eps, min_pts, pruning, &mut ps,
+                    ) >= min_pts
+                })
+                .collect();
+            (flags, ps)
+        });
+        let mut sparse_core = Vec::with_capacity(sparse_points.len());
+        for (chunk, ps) in chunks {
+            sparse_core.extend(chunk);
+            stats.pruning.merge(&ps);
+        }
+        // S* as point indices, plus per-center membership rows (positions
+        // into `summary`) — assembled sequentially in center order,
+        // exactly as the sequential algorithm would.
+        let mut summary: Vec<u32> = Vec::new();
+        let mut by_center_offsets = vec![0usize; k + 1];
+        let mut by_center_values: Vec<u32> = Vec::new();
+        let mut sparse_cursor = 0usize;
+        for e in 0..k {
+            if center_core[e] {
+                by_center_values.push(summary.len() as u32);
+                summary.push(net.centers[e] as u32);
+            } else {
+                for &p in net.cover_sets.row(e) {
+                    debug_assert_eq!(sparse_points[sparse_cursor], p);
+                    let core = sparse_core[sparse_cursor];
+                    sparse_cursor += 1;
+                    if core {
+                        by_center_values.push(summary.len() as u32);
+                        summary.push(p);
+                    }
                 }
             }
+            by_center_offsets[e + 1] = by_center_values.len();
         }
-    }
-    stats.summary_size = summary.len();
-    stats.summary_secs = t.elapsed().as_secs_f64();
+        let summary_by_center = Csr::from_parts(by_center_offsets, by_center_values);
+        stats.summary_secs = t.elapsed().as_secs_f64();
 
-    // ---- Merge inside S* at (1+ρ)ε ----
-    let t = Instant::now();
-    let merge_r = params.merge_radius();
-    let mut uf = UnionFind::new(summary.len());
-    if threads <= 1 {
-        for (i, &sp) in summary.iter().enumerate() {
-            let cs = net.assignment[sp] as usize;
-            for &e2 in &adj.neighbors[cs] {
-                for &jpos in &summary_by_center[e2 as usize] {
+        // ---- Merge inside S* at (1+ρ)ε ----
+        let t = Instant::now();
+        let merge_r = params.merge_radius();
+        let mut uf = UnionFind::new(summary.len());
+        // Per summary pair (i, j): centers cs_i, cs_j with adjacency
+        // bounds [lb, ub] on dis(cs_i, cs_j), and recorded anchor
+        // distances dq_i = dis(sp_i, cs_i), dq_j. Then
+        //   dis(sp_i, sp_j) ∈ [lb − dq_i − dq_j, ub + dq_i + dq_j]
+        // decides most pairs against (1+ρ)ε without an evaluation.
+        let dq = |sp: u32| net.center_dist_ub(sp as usize);
+        // (candidate pair, verdict): Some(true) = free merge,
+        // Some(false) = free discard (handled at generation), None = test.
+        let gen_pairs = |i: usize,
+                         pending: &mut std::collections::VecDeque<(u32, u32)>,
+                         uf: &mut UnionFind,
+                         stats: &mut ApproxStats| {
+            let cs = net.assignment[summary[i] as usize] as usize;
+            let row = adj.neighbors.row(cs);
+            let lbs = adj.lbound_row(cs);
+            let ubs = adj.ubound_row(cs);
+            for ((&e2, &lb), &ub) in row.iter().zip(lbs).zip(ubs) {
+                for &jpos in summary_by_center.row(e2 as usize) {
                     let j = jpos as usize;
-                    if j <= i || uf.connected(i, j) {
+                    if j <= i {
+                        continue;
+                    }
+                    if pruning.enabled {
+                        let slack = dq(summary[i]) + dq(summary[j]);
+                        if lb - slack > merge_r {
+                            stats.pruning.bound_rejects += 1;
+                            continue;
+                        }
+                        if ub + slack <= merge_r {
+                            if uf.root(i) != uf.root(j) {
+                                stats.pruning.bound_accepts += 1;
+                                uf.union(i, j);
+                            }
+                            continue;
+                        }
+                    }
+                    pending.push_back((i as u32, jpos));
+                }
+            }
+        };
+        if threads <= 1 {
+            let mut pending = std::collections::VecDeque::new();
+            for i in 0..summary.len() {
+                gen_pairs(i, &mut pending, &mut uf, &mut stats);
+                while let Some((a, b)) = pending.pop_front() {
+                    let (a, b) = (a as usize, b as usize);
+                    if uf.connected(a, b) {
                         continue;
                     }
                     stats.merge_pairs_tested += 1;
-                    if metric.within(&points[sp], &points[summary[j]], merge_r) {
-                        uf.union(i, j);
+                    if metric.within(
+                        &points[summary[a] as usize],
+                        &points[summary[b] as usize],
+                        merge_r,
+                    ) {
+                        uf.union(a, b);
                     }
                 }
             }
-        }
-    } else {
-        // Round-batched: same candidate order, parallel distance tests;
-        // the final components (and so the labels) are identical.
-        let batch = batch_size(threads);
-        let mut i_cursor = 0usize;
-        let mut pending: std::collections::VecDeque<(u32, u32)> = std::collections::VecDeque::new();
-        let (tested, _) = union_rounds(
-            &mut uf,
-            threads,
-            |uf| {
-                let mut out = Vec::new();
-                loop {
-                    while out.len() < batch {
-                        match pending.pop_front() {
-                            Some((i, j)) => {
-                                if uf.root(i as usize) != uf.root(j as usize) {
-                                    out.push((i, j));
+        } else {
+            // Round-batched: same candidate order, parallel distance
+            // tests; the final components (and so the labels) are
+            // identical.
+            let batch = batch_size(threads);
+            let mut i_cursor = 0usize;
+            let mut pending: std::collections::VecDeque<(u32, u32)> =
+                std::collections::VecDeque::new();
+            let mut local = ApproxStats::default();
+            let (tested, _) = union_rounds(
+                &mut uf,
+                threads,
+                |uf| {
+                    let mut out = Vec::new();
+                    loop {
+                        while out.len() < batch {
+                            match pending.pop_front() {
+                                Some((i, j)) => {
+                                    if uf.root(i as usize) != uf.root(j as usize) {
+                                        out.push((i, j));
+                                    }
                                 }
-                            }
-                            None => break,
-                        }
-                    }
-                    if out.len() >= batch || i_cursor >= summary.len() {
-                        return out;
-                    }
-                    let i = i_cursor;
-                    i_cursor += 1;
-                    let cs = net.assignment[summary[i]] as usize;
-                    for &e2 in &adj.neighbors[cs] {
-                        for &jpos in &summary_by_center[e2 as usize] {
-                            if (jpos as usize) > i {
-                                pending.push_back((i as u32, jpos));
+                                None => break,
                             }
                         }
+                        if out.len() >= batch || i_cursor >= summary.len() {
+                            return out;
+                        }
+                        let i = i_cursor;
+                        i_cursor += 1;
+                        gen_pairs(i, &mut pending, uf, &mut local);
                     }
-                }
-            },
-            |i, j| metric.within(&points[summary[i]], &points[summary[j]], merge_r),
-        );
-        stats.merge_pairs_tested = tested;
-    }
-    let summary_cluster = uf.component_ids();
-    stats.merge_secs = t.elapsed().as_secs_f64();
+                },
+                |i, j| {
+                    metric.within(
+                        &points[summary[i] as usize],
+                        &points[summary[j] as usize],
+                        merge_r,
+                    )
+                },
+            );
+            stats.merge_pairs_tested = tested;
+            stats.pruning.merge(&local.pruning);
+        }
+        let summary_cluster = uf.component_ids();
+        stats.merge_secs = t.elapsed().as_secs_f64();
+
+        Some(ApproxArtifacts {
+            center_core,
+            summary,
+            summary_by_center,
+            summary_cluster,
+        })
+    };
+    let art: &ApproxArtifacts = match reuse.artifacts {
+        Some(a) => a,
+        None => fresh.as_ref().expect("computed above"),
+    };
+    stats.summary_size = art.summary.len();
 
     // ---- Label everything, parallel over points ----
     let t = Instant::now();
@@ -204,47 +379,133 @@ pub(crate) fn run_approx<P: Sync, M: Metric<P> + Sync>(
     // Summary position of each point (u32::MAX = not in S*) and of each
     // core center.
     let mut summary_pos_of_point = vec![u32::MAX; n];
-    for (i, &sp) in summary.iter().enumerate() {
-        summary_pos_of_point[sp] = i as u32;
+    for (i, &sp) in art.summary.iter().enumerate() {
+        summary_pos_of_point[sp as usize] = i as u32;
     }
     let center_summary_pos: Vec<Option<u32>> = (0..k)
-        .map(|e| center_core[e].then(|| summary_by_center[e][0]))
+        .map(|e| art.center_core[e].then(|| art.summary_by_center.row(e)[0]))
         .collect();
-    let labels: Vec<PointLabel> = par_map_range(n, threads, APPROX_MIN_PER_THREAD, |p| {
-        // Summary members are certified core points.
-        let pos = summary_pos_of_point[p];
-        if pos != u32::MAX {
-            return PointLabel::Core(summary_cluster[pos as usize]);
-        }
-        let cp = net.assignment[p] as usize;
-        if let Some(pos) = center_summary_pos[cp] {
-            // p is within r̄ ≤ ε of the core center c_p: at least a border
-            // point of that cluster (individual core-ness not certified —
-            // see PointLabel::Border docs).
-            return PointLabel::Border(summary_cluster[pos as usize]);
-        }
-        // Nearest summary point within (ρ/2+1)ε among neighbor balls.
-        let mut best: Option<(f64, u32)> = None;
-        for &e2 in &adj.neighbors[cp] {
-            for &jpos in &summary_by_center[e2 as usize] {
-                let bound = best.map_or(label_r, |(d, _)| d);
-                if let Some(d) =
-                    metric.distance_leq(&points[p], &points[summary[jpos as usize]], bound)
-                {
-                    if best.is_none_or(|(bd, _)| d < bd) {
-                        best = Some((d, jpos));
-                    }
+    let w = worker_count(threads, n, APPROX_MIN_PER_THREAD);
+    let chunks = par_map_ranges(split_even(n, w), |r| {
+        let mut ps = PruneStats::default();
+        let mut scratch = AnchorScratch::default();
+        let labels: Vec<PointLabel> = r
+            .map(|p| {
+                label_point(
+                    points,
+                    metric,
+                    net,
+                    &adj,
+                    art,
+                    &summary_pos_of_point,
+                    &center_summary_pos,
+                    p,
+                    label_r,
+                    pruning,
+                    &mut scratch,
+                    &mut ps,
+                )
+            })
+            .collect();
+        (labels, ps)
+    });
+    let mut labels = Vec::with_capacity(n);
+    for (chunk, ps) in chunks {
+        labels.extend(chunk);
+        stats.pruning.merge(&ps);
+    }
+    stats.label_secs = t.elapsed().as_secs_f64();
+
+    ApproxOutcome {
+        labels,
+        stats,
+        fresh_artifacts: fresh,
+        adjacency: adj,
+    }
+}
+
+/// The adjacency threshold Algorithm 2 needs at a given net radius.
+pub(crate) fn approx_threshold(rbar: f64, params: &ApproxParams) -> f64 {
+    (params.merge_radius() + 2.0 * rbar).max(2.0 * rbar + params.eps())
+}
+
+/// Labels one point against the merged summary (Algorithm 2's final
+/// phase), with the neighbor-ball scan anchored per center like Step 3.
+#[allow(clippy::too_many_arguments)] // mirrors the labeling signature
+fn label_point<P, M: BatchMetric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    adj: &CenterAdjacency,
+    art: &ApproxArtifacts,
+    summary_pos_of_point: &[u32],
+    center_summary_pos: &[Option<u32>],
+    p: usize,
+    label_r: f64,
+    pruning: &mdbscan_metric::PruningConfig,
+    scratch: &mut AnchorScratch,
+    ps: &mut PruneStats,
+) -> PointLabel {
+    // Summary members are certified core points.
+    let pos = summary_pos_of_point[p];
+    if pos != u32::MAX {
+        return PointLabel::Core(art.summary_cluster[pos as usize]);
+    }
+    let cp = net.assignment[p] as usize;
+    if let Some(pos) = center_summary_pos[cp] {
+        // p is within r̄ ≤ ε of the core center c_p: at least a border
+        // point of that cluster (individual core-ness not certified —
+        // see PointLabel::Border docs).
+        return PointLabel::Border(art.summary_cluster[pos as usize]);
+    }
+    // Nearest summary point within (ρ/2+1)ε among neighbor balls,
+    // anchored per neighbor center when its summary row is big enough.
+    let row = adj.neighbors.row(cp);
+    let own = net.dist_to_center.map(|d2c| (cp as u32, d2c[p]));
+    scratch.anchor_rows(
+        points,
+        metric,
+        net,
+        row,
+        |e2| art.summary_by_center.row_len(e2),
+        p,
+        own,
+        pruning,
+        ps,
+    );
+    let mut cursor = 0usize;
+    let mut best: Option<(f64, u32)> = None;
+    for &e2 in row {
+        let e2 = e2 as usize;
+        let members = art.summary_by_center.row(e2);
+        let anchor = if pruning.enabled && members.len() >= pruning.min_anchor_group {
+            let a = scratch.anchors[cursor];
+            cursor += 1;
+            Some(a)
+        } else {
+            None
+        };
+        for &jpos in members {
+            let bound = best.map_or(label_r, |(d, _)| d);
+            let sp = art.summary[jpos as usize] as usize;
+            if let Some(a) = anchor {
+                let dq = net.center_dist_ub(sp);
+                if a - dq > bound || (net.dist_to_center.is_some() && dq - a > bound) {
+                    ps.bound_rejects += 1;
+                    continue;
+                }
+            }
+            if let Some(d) = metric.distance_leq(&points[p], &points[sp], bound) {
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, jpos));
                 }
             }
         }
-        match best {
-            Some((_, jpos)) => PointLabel::Border(summary_cluster[jpos as usize]),
-            None => PointLabel::Noise,
-        }
-    });
-    stats.label_secs = t.elapsed().as_secs_f64();
-
-    (labels, stats)
+    }
+    match best {
+        Some((_, jpos)) => PointLabel::Border(art.summary_cluster[jpos as usize]),
+        None => PointLabel::Noise,
+    }
 }
 
 #[cfg(test)]

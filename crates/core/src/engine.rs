@@ -28,22 +28,27 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
-use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
-use mdbscan_metric::Metric;
+use mdbscan_kcenter::{BuildOptions, CenterAdjacency, RadiusGuidedNet};
+use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
 
-use crate::approx::{run_approx, ApproxStats};
+use crate::approx::{approx_threshold, run_approx, ApproxArtifacts, ApproxReuse, ApproxStats};
 use crate::error::DbscanError;
 use crate::exact::{ExactConfig, ExactStats};
 use crate::exact_covertree::{covertree_level, CoverTreeExactStats};
 use crate::labels::Clustering;
 use crate::netview::NetView;
 use crate::params::{ApproxParams, DbscanParams};
-use crate::steps::{run_exact_steps, StepArtifacts};
+use crate::steps::{run_exact_steps, StepArtifacts, StepsReuse};
 use crate::streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 
 /// Default number of fragment-artifact entries the engine retains.
 const DEFAULT_CACHE_CAPACITY: usize = 16;
+
+/// Entries the `ε`-keyed center-adjacency cache retains. The adjacency
+/// depends on `ε` only (not `MinPts`), so `(ε, MinPts)` sweeps share one
+/// entry per `ε` value; a handful covers any realistic sweep.
+const ADJACENCY_CACHE_CAPACITY: usize = 8;
 
 /// Which solver produced a [`Run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,12 +93,21 @@ pub struct RunReport {
     /// engine construction excluded).
     pub total_secs: f64,
     /// True when this run reused at least one cached artifact (fragment
-    /// trees and/or the whole-input cover tree).
+    /// trees, the approx summary, and/or the whole-input cover tree; the
+    /// `ε`-keyed adjacency cache is reported separately in
+    /// [`CacheStats`]).
     pub cache_hit: bool,
     /// Engine-lifetime cache hits, sampled after this run.
     pub cache_hits: u64,
     /// Engine-lifetime cache misses, sampled after this run.
     pub cache_misses: u64,
+    /// Triangle-inequality pruning ledger of this run: pairs accepted /
+    /// rejected by the net-anchored bounds without a distance
+    /// evaluation, and the anchor evaluations paid for them
+    /// ([`PruneStats::distance_evals_saved`] nets the two). Always
+    /// collected; all zeros when the engine was built with
+    /// [`MetricDbscanBuilder::pruning`] off.
+    pub pruning: PruneStats,
     /// Solver-specific statistics.
     pub detail: RunDetail,
 }
@@ -145,14 +159,20 @@ impl Run {
 /// ([`MetricDbscan::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found a reusable artifact.
+    /// Lookups that found a reusable artifact (fragment/summary LRU).
     pub hits: u64,
-    /// Lookups that had to compute from scratch.
+    /// Lookups that had to compute from scratch (fragment/summary LRU).
     pub misses: u64,
-    /// Fragment-artifact entries currently retained.
+    /// Fragment/summary-artifact entries currently retained.
     pub entries: usize,
     /// Whether the whole-input cover tree has been built and retained.
     pub covertree_cached: bool,
+    /// Lookups that found a cached `ε`-keyed center adjacency.
+    pub adjacency_hits: u64,
+    /// Adjacency lookups that had to rebuild.
+    pub adjacency_misses: u64,
+    /// Center-adjacency entries currently retained.
+    pub adjacency_entries: usize,
 }
 
 /// Which pipeline a cached fragment partition belongs to. The §3.1 and
@@ -169,16 +189,38 @@ struct CacheKey {
     kind: NetKind,
     eps_bits: u64,
     min_pts: usize,
+    /// `Some(ρ bits)` for Algorithm-2 summaries, `None` for the exact
+    /// pipelines — the two artifact families never collide even at equal
+    /// `(ε, MinPts)`.
+    rho_bits: Option<u64>,
 }
 
-/// A tiny exact-scan LRU: the working set is a handful of parameter
-/// probes, so a `Vec` ordered most-recent-first beats any hash scheme.
-struct FragmentLru {
+/// A cached per-parameter artifact: the exact pipelines store Step-1/2
+/// outputs, the approximate pipeline its merged summary.
+enum CachedArtifacts {
+    Steps(Arc<StepArtifacts>),
+    Approx(Arc<ApproxArtifacts>),
+}
+
+impl CachedArtifacts {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            CachedArtifacts::Steps(a) => a.heap_bytes(),
+            CachedArtifacts::Approx(a) => a.heap_bytes(),
+        }
+    }
+}
+
+/// A tiny exact-scan most-recent-first LRU: the working set is a
+/// handful of parameter probes, so a `Vec` scanned linearly beats any
+/// hash scheme. Shared by the fragment/summary cache and the adjacency
+/// cache; capacity 0 disables insertion entirely.
+struct Lru<K, V> {
     capacity: usize,
-    entries: Vec<(CacheKey, Arc<StepArtifacts>)>,
+    entries: Vec<(K, V)>,
 }
 
-impl FragmentLru {
+impl<K: PartialEq, V> Lru<K, V> {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
@@ -186,21 +228,41 @@ impl FragmentLru {
         }
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<StepArtifacts>> {
+    /// Looks up `key`, promoting a hit to most-recent.
+    fn promote(&mut self, key: &K) -> Option<&V> {
         let pos = self.entries.iter().position(|(k, _)| k == key)?;
         let entry = self.entries.remove(pos);
-        let value = Arc::clone(&entry.1);
         self.entries.insert(0, entry);
-        Some(value)
+        Some(&self.entries[0].1)
     }
 
-    fn insert(&mut self, key: CacheKey, value: Arc<StepArtifacts>) {
+    fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
         self.entries.retain(|(k, _)| k != &key);
         self.entries.insert(0, (key, value));
         self.entries.truncate(self.capacity);
+    }
+}
+
+/// The fragment/summary artifact cache, with typed accessors over the
+/// shared [`Lru`].
+type FragmentLru = Lru<CacheKey, CachedArtifacts>;
+
+impl FragmentLru {
+    fn get_steps(&mut self, key: &CacheKey) -> Option<Arc<StepArtifacts>> {
+        match self.promote(key)? {
+            CachedArtifacts::Steps(a) => Some(Arc::clone(a)),
+            CachedArtifacts::Approx(_) => None,
+        }
+    }
+
+    fn get_approx(&mut self, key: &CacheKey) -> Option<Arc<ApproxArtifacts>> {
+        match self.promote(key)? {
+            CachedArtifacts::Approx(a) => Some(Arc::clone(a)),
+            CachedArtifacts::Steps(_) => None,
+        }
     }
 
     /// Total heap bytes retained (diagnostic).
@@ -209,8 +271,23 @@ impl FragmentLru {
     }
 }
 
+/// Key of the `ε`-only center-adjacency cache: the adjacency is a pure
+/// function of (net, threshold, screening mode) — `MinPts` and `ρ`
+/// never enter. Cover-tree nets differ per level, so the level joins
+/// the key there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AdjKey {
+    kind: NetKind,
+    level: i32,
+    threshold_bits: u64,
+    /// The per-edge bounds differ between screened and unscreened
+    /// builds (membership does not), so the two never share an entry.
+    pruned: bool,
+}
+
 struct EngineCache {
     fragments: FragmentLru,
+    adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
     covertree: Option<Arc<CoverTreeSkeleton>>,
 }
 
@@ -222,10 +299,11 @@ pub struct MetricDbscanBuilder<P, M> {
     first: usize,
     max_centers: usize,
     parallel: Option<ParallelConfig>,
+    pruning: PruningConfig,
     cache_capacity: usize,
 }
 
-impl<P: Sync, M: Metric<P>> MetricDbscanBuilder<P, M> {
+impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
     /// The net radius `r̄` for the Algorithm-1 preprocessing.
     /// **Required.** Exact queries need `r̄ ≤ ε/2`; ρ-approximate queries
     /// need `r̄ ≤ ρε/2` — pick the bound for the finest parameters you
@@ -259,9 +337,20 @@ impl<P: Sync, M: Metric<P>> MetricDbscanBuilder<P, M> {
     }
 
     /// Number of `(ε, MinPts)` fragment-artifact entries the engine
-    /// retains (default 16); `0` disables caching entirely.
+    /// retains (default 16); `0` disables caching entirely (the
+    /// `ε`-keyed adjacency cache included).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Net-anchored triangle-inequality pruning policy for every query
+    /// this engine serves (default: on). Pruning skips distance
+    /// evaluations whose outcome the net's recorded distances already
+    /// decide — cluster labels are **bit-identical** with it on or off;
+    /// only [`RunReport::pruning`] and the evaluation counts change.
+    pub fn pruning(mut self, pruning: PruningConfig) -> Self {
+        self.pruning = pruning;
         self
     }
 
@@ -285,17 +374,26 @@ impl<P: Sync, M: Metric<P>> MetricDbscanBuilder<P, M> {
             max_centers: self.max_centers,
         };
         let net = RadiusGuidedNet::build_with(&self.points, &self.metric, rbar, &opts);
+        let adj_capacity = if self.cache_capacity == 0 {
+            0
+        } else {
+            ADJACENCY_CACHE_CAPACITY
+        };
         Ok(MetricDbscan {
             points: self.points,
             metric: self.metric,
             net,
             parallel,
+            pruning: self.pruning,
             cache: Mutex::new(EngineCache {
-                fragments: FragmentLru::new(self.cache_capacity),
+                fragments: Lru::new(self.cache_capacity),
+                adjacency: Lru::new(adj_capacity),
                 covertree: None,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            adj_hits: AtomicU64::new(0),
+            adj_misses: AtomicU64::new(0),
         })
     }
 }
@@ -350,16 +448,19 @@ pub struct MetricDbscan<P, M> {
     metric: M,
     net: RadiusGuidedNet,
     parallel: ParallelConfig,
+    pruning: PruningConfig,
     cache: Mutex<EngineCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    adj_hits: AtomicU64,
+    adj_misses: AtomicU64,
 }
 
-impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
+impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Starts a builder over an owned point set (a `Vec<P>`, an
     /// `Arc<[P]>`, or anything converting into one) and an owned metric.
-    /// A borrowed metric works too: `&M` implements [`Metric`] whenever
-    /// `M` does.
+    /// A borrowed metric works too: `&M` implements
+    /// [`mdbscan_metric::Metric`]/[`BatchMetric`] whenever `M` does.
     pub fn builder(points: impl Into<Arc<[P]>>, metric: M) -> MetricDbscanBuilder<P, M> {
         MetricDbscanBuilder {
             points: points.into(),
@@ -368,6 +469,7 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             first: 0,
             max_centers: usize::MAX,
             parallel: None,
+            pruning: PruningConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
@@ -407,6 +509,11 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
         self.parallel
     }
 
+    /// The default pruning policy (set at build time).
+    pub fn pruning(&self) -> PruningConfig {
+        self.pruning
+    }
+
     /// Snapshot of the cache counters and occupancy.
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.cache.lock().expect("engine cache poisoned");
@@ -415,6 +522,9 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             misses: self.misses.load(Ordering::Relaxed),
             entries: cache.fragments.entries.len(),
             covertree_cached: cache.covertree.is_some(),
+            adjacency_hits: self.adj_hits.load(Ordering::Relaxed),
+            adjacency_misses: self.adj_misses.load(Ordering::Relaxed),
+            adjacency_entries: cache.adjacency.entries.len(),
         }
     }
 
@@ -428,11 +538,13 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             .heap_bytes()
     }
 
-    /// Drops every cached artifact (fragment entries and the whole-input
-    /// cover tree). Counters are preserved.
+    /// Drops every cached artifact (fragment/summary entries, cached
+    /// adjacencies, and the whole-input cover tree). Counters are
+    /// preserved.
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         cache.fragments.entries.clear();
+        cache.adjacency.entries.clear();
         cache.covertree = None;
     }
 
@@ -466,6 +578,7 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
         algorithm: AlgorithmKind,
         t0: Instant,
         hit: bool,
+        pruning: PruneStats,
         detail: RunDetail,
     ) -> RunReport {
         RunReport {
@@ -474,17 +587,58 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             cache_hit: hit,
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
+            pruning,
             detail,
         }
     }
 
-    /// Shared Steps-1–3 driver with fragment-cache consultation.
+    /// Consults the `ε`-keyed adjacency cache; `None` means "build it"
+    /// (and hand it back via [`MetricDbscan::store_adjacency`]).
+    fn lookup_adjacency(
+        &self,
+        kind: NetKind,
+        level: i32,
+        threshold: f64,
+        pruned: bool,
+    ) -> (AdjKey, Option<Arc<CenterAdjacency>>) {
+        let key = AdjKey {
+            kind,
+            level,
+            threshold_bits: threshold.to_bits(),
+            pruned,
+        };
+        let found = self
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .adjacency
+            .promote(&key)
+            .map(Arc::clone);
+        if found.is_some() {
+            self.adj_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.adj_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        (key, found)
+    }
+
+    fn store_adjacency(&self, key: AdjKey, adjacency: &Arc<CenterAdjacency>) {
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .adjacency
+            .insert(key, Arc::clone(adjacency));
+    }
+
+    /// Shared Steps-1–3 driver with fragment- and adjacency-cache
+    /// consultation.
     fn run_steps_cached(
         &self,
         view: &NetView<'_>,
         params: &DbscanParams,
         cfg: &ExactConfig,
         kind: NetKind,
+        level: i32,
     ) -> (Clustering, ExactStats, bool) {
         // Only the default Step-1/2 shape is cacheable: the ablation
         // toggles change what the artifacts contain.
@@ -493,6 +647,7 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             kind,
             eps_bits: params.eps().to_bits(),
             min_pts: params.min_pts(),
+            rho_bits: None,
         };
         let cached: Option<Arc<StepArtifacts>> = if cacheable {
             let found = self
@@ -500,31 +655,41 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
                 .lock()
                 .expect("engine cache poisoned")
                 .fragments
-                .get(&key);
+                .get_steps(&key);
             self.count_lookup(found.is_some());
             found
         } else {
             None
         };
         let hit = cached.is_some();
-        let (labels, stats, fresh) = run_exact_steps(
+        let threshold = 2.0 * view.rbar + params.eps();
+        let (adj_key, adj_cached) =
+            self.lookup_adjacency(kind, level, threshold, cfg.pruning.enabled);
+        let adj_was_cached = adj_cached.is_some();
+        let outcome = run_exact_steps(
             &self.points,
             &self.metric,
             view,
             params,
             cfg,
-            cached.as_deref(),
+            StepsReuse {
+                artifacts: cached.as_deref(),
+                adjacency: adj_cached,
+            },
         );
+        if !adj_was_cached {
+            self.store_adjacency(adj_key, &outcome.adjacency);
+        }
         if cacheable {
-            if let Some(artifacts) = fresh {
+            if let Some(artifacts) = outcome.fresh_artifacts {
                 self.cache
                     .lock()
                     .expect("engine cache poisoned")
                     .fragments
-                    .insert(key, Arc::new(artifacts));
+                    .insert(key, CachedArtifacts::Steps(Arc::new(artifacts)));
             }
         }
-        (Clustering::from_labels(labels), stats, hit)
+        (Clustering::from_labels(outcome.labels), outcome.stats, hit)
     }
 
     /// Exact metric DBSCAN (§3.1) at the given parameters, with the
@@ -532,36 +697,91 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
     pub fn exact(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
         let cfg = ExactConfig {
             parallel: self.parallel,
+            pruning: self.pruning,
             ..ExactConfig::default()
         };
         self.exact_with(params, &cfg)
     }
 
     /// Exact metric DBSCAN with explicit configuration (ablation toggles,
-    /// per-query thread override, distance counting).
+    /// pruning override, per-query thread override, distance counting).
     pub fn exact_with(&self, params: &DbscanParams, cfg: &ExactConfig) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
         self.check_usable(params.eps() / 2.0)?;
         let (clustering, stats, hit) =
-            self.run_steps_cached(&self.view(), params, cfg, NetKind::Gonzalez);
-        let report = self.report(AlgorithmKind::Exact, t0, hit, RunDetail::Exact(stats));
+            self.run_steps_cached(&self.view(), params, cfg, NetKind::Gonzalez, 0);
+        let report = self.report(
+            AlgorithmKind::Exact,
+            t0,
+            hit,
+            stats.pruning,
+            RunDetail::Exact(stats),
+        );
         Ok(Run { clustering, report })
     }
 
     /// ρ-approximate DBSCAN (Algorithm 2). Requires `r̄ ≤ ρε/2`.
+    ///
+    /// Repeated probes at the same `(ε, MinPts, ρ)` replay the merged
+    /// summary from the artifact LRU (bit-identical labels, the summary
+    /// construction and merge skipped); the `ε`-keyed adjacency cache is
+    /// shared with the exact pipeline's entries at matching thresholds.
     pub fn approx(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
         self.check_usable(params.rbar())?;
-        let (labels, stats) = run_approx(
+        let view = self.view();
+        let key = CacheKey {
+            kind: NetKind::Gonzalez,
+            eps_bits: params.eps().to_bits(),
+            min_pts: params.min_pts(),
+            rho_bits: Some(params.rho().to_bits()),
+        };
+        let cached: Option<Arc<ApproxArtifacts>> = {
+            let found = self
+                .cache
+                .lock()
+                .expect("engine cache poisoned")
+                .fragments
+                .get_approx(&key);
+            self.count_lookup(found.is_some());
+            found
+        };
+        let hit = cached.is_some();
+        let threshold = approx_threshold(view.rbar, params);
+        let (adj_key, adj_cached) =
+            self.lookup_adjacency(NetKind::Gonzalez, 0, threshold, self.pruning.enabled);
+        let adj_was_cached = adj_cached.is_some();
+        let outcome = run_approx(
             &self.points,
             &self.metric,
-            &self.view(),
+            &view,
             params,
             &self.parallel,
+            &self.pruning,
+            ApproxReuse {
+                artifacts: cached.as_deref(),
+                adjacency: adj_cached,
+            },
         );
-        let report = self.report(AlgorithmKind::Approx, t0, false, RunDetail::Approx(stats));
+        if !adj_was_cached {
+            self.store_adjacency(adj_key, &outcome.adjacency);
+        }
+        if let Some(artifacts) = outcome.fresh_artifacts {
+            self.cache
+                .lock()
+                .expect("engine cache poisoned")
+                .fragments
+                .insert(key, CachedArtifacts::Approx(Arc::new(artifacts)));
+        }
+        let report = self.report(
+            AlgorithmKind::Approx,
+            t0,
+            hit,
+            outcome.stats.pruning,
+            RunDetail::Approx(outcome.stats),
+        );
         Ok(Run {
-            clustering: Clustering::from_labels(labels),
+            clustering: Clustering::from_labels(outcome.labels),
             report,
         })
     }
@@ -577,6 +797,7 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
     pub fn covertree(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
         let cfg = ExactConfig {
             parallel: self.parallel,
+            pruning: self.pruning,
             ..ExactConfig::default()
         };
         self.covertree_with(params, &cfg)
@@ -631,9 +852,10 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             centers: &net.centers,
             assignment: &net.assignment,
             cover_sets: &cover_sets,
+            dist_to_center: None,
         };
         let (clustering, steps, frag_hit) =
-            self.run_steps_cached(&view, params, cfg, NetKind::CoverTree);
+            self.run_steps_cached(&view, params, cfg, NetKind::CoverTree, level);
         let detail = RunDetail::CoverTree(CoverTreeExactStats {
             tree_secs,
             net_secs,
@@ -641,12 +863,18 @@ impl<P: Sync, M: Metric<P>> MetricDbscan<P, M> {
             n_centers: net.centers.len(),
             steps,
         });
-        let report = self.report(AlgorithmKind::CoverTree, t0, tree_hit || frag_hit, detail);
+        let report = self.report(
+            AlgorithmKind::CoverTree,
+            t0,
+            tree_hit || frag_hit,
+            steps.pruning,
+            detail,
+        );
         Ok(Run { clustering, report })
     }
 }
 
-impl<P: Clone + Sync, M: Metric<P>> MetricDbscan<P, M> {
+impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
     /// engine's own points — three in-memory passes with the same
     /// validation and labeling semantics a true stream would see. Useful
@@ -655,25 +883,32 @@ impl<P: Clone + Sync, M: Metric<P>> MetricDbscan<P, M> {
     /// [`MetricDbscan::streaming_session`].
     pub fn streaming(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
-        let (clustering, session) =
-            StreamingApproxDbscan::run_with(&self.metric, params, &self.parallel, || {
-                self.points.iter().cloned()
-            })?;
+        let (clustering, session) = StreamingApproxDbscan::run_pruned(
+            &self.metric,
+            params,
+            &self.parallel,
+            &self.pruning,
+            || self.points.iter().cloned(),
+        )?;
+        let stats = session.stats();
         let detail = RunDetail::Streaming {
-            stats: session.stats(),
+            stats,
             footprint: session.footprint(),
         };
-        let report = self.report(AlgorithmKind::Streaming, t0, false, detail);
+        let report = self.report(AlgorithmKind::Streaming, t0, false, stats.pruning, detail);
         Ok(Run { clustering, report })
     }
 
-    /// Opens a fresh Algorithm-3 session borrowing the engine's metric
-    /// and thread knob, to be driven pass-by-pass over an **external**
-    /// stream (`pass1_observe* → finish_pass1 → pass2_observe* →
-    /// finish_pass2 → pass3_label*`). The session stores only
-    /// `O((Δ/ρε)^D + z)` points — it never touches the engine's own data.
+    /// Opens a fresh Algorithm-3 session borrowing the engine's metric,
+    /// thread knob, and pruning policy, to be driven pass-by-pass over
+    /// an **external** stream (`pass1_observe* → finish_pass1 →
+    /// pass2_observe* → finish_pass2 → pass3_label*`). The session
+    /// stores only `O((Δ/ρε)^D + z)` points — it never touches the
+    /// engine's own data.
     pub fn streaming_session(&self, params: &ApproxParams) -> StreamingApproxDbscan<'_, P, M> {
-        StreamingApproxDbscan::new(&self.metric, params).with_parallel(self.parallel)
+        StreamingApproxDbscan::new(&self.metric, params)
+            .with_parallel(self.parallel)
+            .with_pruning(self.pruning)
     }
 }
 

@@ -14,7 +14,7 @@
 use std::time::Instant;
 
 use mdbscan_covertree::CoverTree;
-use mdbscan_metric::Metric;
+use mdbscan_metric::BatchMetric;
 use mdbscan_parallel::Csr;
 
 use crate::error::DbscanError;
@@ -22,7 +22,7 @@ use crate::exact::{ExactConfig, ExactStats};
 use crate::labels::Clustering;
 use crate::netview::NetView;
 use crate::params::DbscanParams;
-use crate::steps::run_exact_steps;
+use crate::steps::{run_exact_steps, StepsReuse};
 
 /// The cover-tree level the §3.2 pipeline reads its net from: covering
 /// radius of level `i` is `2^{i+1}`, and the pipeline needs it `≤ ε/2`,
@@ -53,7 +53,7 @@ pub struct CoverTreeExactStats {
 /// input is known to double — e.g. no adversarial outliers — because the
 /// cover tree is reusable across *all* `ε` (any level can be extracted),
 /// not just `ε ≥ 2r̄`.
-pub fn exact_dbscan_covertree<P: Sync, M: Metric<P> + Sync>(
+pub fn exact_dbscan_covertree<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
@@ -66,7 +66,7 @@ pub fn exact_dbscan_covertree<P: Sync, M: Metric<P> + Sync>(
 /// the ablation toggles plus the [`ExactConfig::parallel`] thread knob
 /// for the shared Steps 1–3. (The cover-tree construction itself is
 /// sequential: inserts depend on the evolving tree.)
-pub fn exact_dbscan_covertree_with<P: Sync, M: Metric<P> + Sync>(
+pub fn exact_dbscan_covertree_with<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
@@ -95,16 +95,17 @@ pub fn exact_dbscan_covertree_with<P: Sync, M: Metric<P> + Sync>(
         centers: &net.centers,
         assignment: &net.assignment,
         cover_sets: &cover_sets,
+        dist_to_center: None,
     };
-    let (labels, steps, _) = run_exact_steps(points, metric, &view, &params, cfg, None);
+    let out = run_exact_steps(points, metric, &view, &params, cfg, StepsReuse::default());
     Ok((
-        Clustering::from_labels(labels),
+        Clustering::from_labels(out.labels),
         CoverTreeExactStats {
             tree_secs,
             net_secs,
             level: i0,
             n_centers: net.centers.len(),
-            steps,
+            steps: out.stats,
         },
     ))
 }

@@ -4,16 +4,16 @@
 #![allow(deprecated)] // the shim keeps using itself for one release
 
 use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
-use mdbscan_metric::Metric;
+use mdbscan_metric::BatchMetric;
 use mdbscan_parallel::ParallelConfig;
 
-use crate::approx::{run_approx, ApproxStats};
+use crate::approx::{run_approx, ApproxReuse, ApproxStats};
 use crate::error::DbscanError;
 use crate::exact::{ExactConfig, ExactStats};
 use crate::labels::Clustering;
 use crate::netview::NetView;
 use crate::params::{ApproxParams, DbscanParams};
-use crate::steps::run_exact_steps;
+use crate::steps::{run_exact_steps, StepsReuse};
 
 /// An `r̄`-net index over a **borrowed** point set, amortizing the
 /// radius-guided Gonzalez pre-processing (Algorithm 1) across queries.
@@ -40,7 +40,7 @@ pub struct GonzalezIndex<'a, P, M> {
     parallel: ParallelConfig,
 }
 
-impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
+impl<'a, P: Sync, M: BatchMetric<P> + Sync> GonzalezIndex<'a, P, M> {
     /// Runs Algorithm 1 with radius bound `rbar` and wraps the result.
     #[deprecated(
         since = "0.2.0",
@@ -154,9 +154,15 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
         cfg: &ExactConfig,
     ) -> Result<(Clustering, ExactStats), DbscanError> {
         self.check_usable(params.eps() / 2.0)?;
-        let (labels, stats, _) =
-            run_exact_steps(self.points, self.metric, &self.view(), params, cfg, None);
-        Ok((Clustering::from_labels(labels), stats))
+        let out = run_exact_steps(
+            self.points,
+            self.metric,
+            &self.view(),
+            params,
+            cfg,
+            StepsReuse::default(),
+        );
+        Ok((Clustering::from_labels(out.labels), out.stats))
     }
 
     /// ρ-approximate DBSCAN (Algorithm 2) at the given parameters.
@@ -172,14 +178,16 @@ impl<'a, P: Sync, M: Metric<P> + Sync> GonzalezIndex<'a, P, M> {
         params: &ApproxParams,
     ) -> Result<(Clustering, ApproxStats), DbscanError> {
         self.check_usable(params.rbar())?;
-        let (labels, stats) = run_approx(
+        let out = run_approx(
             self.points,
             self.metric,
             &self.view(),
             params,
             &self.parallel,
+            &mdbscan_metric::PruningConfig::default(),
+            ApproxReuse::default(),
         );
-        Ok((Clustering::from_labels(labels), stats))
+        Ok((Clustering::from_labels(out.labels), out.stats))
     }
 }
 

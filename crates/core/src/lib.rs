@@ -128,13 +128,13 @@ pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 pub use unionfind::UnionFind;
 
 use mdbscan_kcenter::{BuildOptions, RadiusGuidedNet};
-use mdbscan_metric::Metric;
+use mdbscan_metric::BatchMetric;
 
 /// One-shot exact metric DBSCAN (§3.1) over borrowed points: builds the
 /// `ε/2`-net with Algorithm 1, then labels cores, merges via per-group
 /// cover trees, and classifies borders/outliers. See [`MetricDbscan`] to
 /// amortize the net (and the Step-2 trees) across parameter settings.
-pub fn exact_dbscan<P: Sync, M: Metric<P> + Sync>(
+pub fn exact_dbscan<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
@@ -143,22 +143,22 @@ pub fn exact_dbscan<P: Sync, M: Metric<P> + Sync>(
     let params = DbscanParams::new(eps, min_pts)?;
     let net = build_net(points, metric, eps / 2.0)?;
     let cfg = ExactConfig::default();
-    let (labels, _, _) = steps::run_exact_steps(
+    let out = steps::run_exact_steps(
         points,
         metric,
         &netview::NetView::of(&net),
         &params,
         &cfg,
-        None,
+        steps::StepsReuse::default(),
     );
-    Ok(Clustering::from_labels(labels))
+    Ok(Clustering::from_labels(out.labels))
 }
 
 /// One-shot ρ-approximate metric DBSCAN (Algorithm 2) over borrowed
 /// points: builds the `ρε/2`-net, constructs the core-point summary `S*`,
 /// merges inside the summary at threshold `(1+ρ)ε`, and labels the rest
 /// against it. See [`MetricDbscan::approx`] for the engine form.
-pub fn approx_dbscan<P: Sync, M: Metric<P> + Sync>(
+pub fn approx_dbscan<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     eps: f64,
@@ -167,17 +167,19 @@ pub fn approx_dbscan<P: Sync, M: Metric<P> + Sync>(
 ) -> Result<Clustering, DbscanError> {
     let params = ApproxParams::new(eps, min_pts, rho)?;
     let net = build_net(points, metric, params.rbar())?;
-    let (labels, _) = approx::run_approx(
+    let out = approx::run_approx(
         points,
         metric,
         &netview::NetView::of(&net),
         &params,
         &ParallelConfig::default(),
+        &mdbscan_metric::PruningConfig::default(),
+        approx::ApproxReuse::default(),
     );
-    Ok(Clustering::from_labels(labels))
+    Ok(Clustering::from_labels(out.labels))
 }
 
-fn build_net<P: Sync, M: Metric<P> + Sync>(
+fn build_net<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     rbar: f64,

@@ -26,11 +26,14 @@ use mdbscan_parallel::par_map_range;
 /// `next_batch` sees the up-to-date union-find and should (a) skip
 /// pairs whose endpoints are already connected — use
 /// [`UnionFind::root`] — and (b) bound the batch size so skipping stays
-/// effective; it returns an empty batch to finish.
+/// effective; it returns an empty batch to finish. It receives the
+/// union-find **mutably** so triangle-inequality *free accepts* (pairs
+/// whose distance upper bound is already within the threshold) can be
+/// unioned during batch assembly without spending a test slot.
 pub(crate) fn union_rounds<F>(
     uf: &mut UnionFind,
     threads: usize,
-    mut next_batch: impl FnMut(&UnionFind) -> Vec<(u32, u32)>,
+    mut next_batch: impl FnMut(&mut UnionFind) -> Vec<(u32, u32)>,
     test: F,
 ) -> (u64, u64)
 where

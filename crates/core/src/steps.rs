@@ -1,5 +1,5 @@
 //! The three steps of exact metric DBSCAN (§3.1), shared by the
-//! Algorithm 1 pipeline ([`crate::GonzalezIndex::exact`]) and the
+//! Algorithm 1 pipeline ([`crate::MetricDbscan::exact`]) and the
 //! cover-tree pipeline of §3.2 ([`crate::exact_dbscan_covertree`]).
 //!
 //! * **Step 1** — label core points. Points in *dense* balls
@@ -18,13 +18,27 @@
 //!   nearest core point inside `∪_{e' ∈ A_e} C̃_{e'}`; within `ε` → border
 //!   of that core's cluster, else noise. `O(n·z·t_dis)` (Lemma 6).
 //!
+//! # Net-anchored pruning
+//!
+//! Every phase additionally exploits the distances the net already
+//! knows ([`mdbscan_metric::PruningConfig`], on by default): each point
+//! carries `dis(p, c_p)`, so one *anchor* evaluation `dis(q, c)` per
+//! (query, neighbor-center) pair sandwiches every pair distance in that
+//! center's group by the triangle inequality — most Step-1 candidates
+//! are counted or discarded, Step-2 fragment pairs merged, and Step-3
+//! fragments skipped **without evaluating their distances**. Decisions
+//! agree exactly with the evaluated predicates, so labels are
+//! bit-identical with pruning on or off; [`StepsStats::pruning`]
+//! reports the ledger.
+//!
 //! # Threading
 //!
 //! Every phase is parallel over its natural unit and deterministic for
 //! any thread count ([`ExactConfig::parallel`]):
 //!
 //! * the adjacency parallelizes over upper-triangle center rows;
-//! * Step 1 over points (each point's core test is independent);
+//! * Step 1 over points (each point's core test is independent), with
+//!   pruning counters reduced per worker chunk;
 //! * Step 2 builds the per-fragment cover trees in parallel (weighted
 //!   by fragment size) and batches BCP tests per union-find round — a
 //!   batch is pre-filtered against current connectivity, tested in
@@ -33,12 +47,15 @@
 //!   final labels exactly;
 //! * Step 3 over points again.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
 use mdbscan_kcenter::CenterAdjacency;
-use mdbscan_metric::{CountingMetric, Metric};
-use mdbscan_parallel::{par_map_range, par_map_ranges, split_weighted, Csr, ParallelConfig};
+use mdbscan_metric::{BatchMetric, CountingMetric, PruneStats, PruningConfig};
+use mdbscan_parallel::{
+    par_map_ranges, split_even, split_weighted, worker_count, Csr, ParallelConfig,
+};
 
 use crate::labels::PointLabel;
 use crate::netview::NetView;
@@ -63,17 +80,24 @@ pub struct ExactConfig {
     pub cover_tree_merge: bool,
     /// Step 2: stop a BCP test at the first witness pair `≤ ε` and skip
     /// tests between fragments already merged transitively. Off = every
-    /// neighboring pair computes its full BCP.
+    /// neighboring pair computes its full BCP — note that `pruning` must
+    /// *also* be off for textbook BCP counts, since distance-free merge
+    /// accepts bypass [`StepsStats::bcp_tests`] entirely.
     pub early_termination: bool,
+    /// Net-anchored triangle-inequality pruning across the adjacency and
+    /// Steps 1–3 (see the module docs). Labels are identical with it on
+    /// or off; only the number of distance evaluations changes. On by
+    /// default.
+    pub pruning: PruningConfig,
     /// Worker threads for the adjacency and Steps 1–3. The labels are
     /// identical for every setting; only wall-clock changes. Defaults to
     /// the machine's available parallelism.
     pub parallel: ParallelConfig,
-    /// Count distance evaluations into [`StepsStats::distance_evals`].
-    /// Off by default: the counter is one shared atomic, whose
-    /// contention is measurable next to cheap metrics (e.g. 2-d
-    /// Euclidean) — enable it for work accounting, not for wall-clock
-    /// runs.
+    /// Count distance evaluations into [`StepsStats::distance_evals`]
+    /// (and the per-phase `*_evals` fields). Off by default: the counter
+    /// is one shared atomic, whose contention is measurable next to
+    /// cheap metrics (e.g. 2-d Euclidean) — enable it for work
+    /// accounting, not for wall-clock runs.
     pub count_distance_evals: bool,
 }
 
@@ -83,6 +107,7 @@ impl Default for ExactConfig {
             dense_shortcut: true,
             cover_tree_merge: true,
             early_termination: true,
+            pruning: PruningConfig::default(),
             parallel: ParallelConfig::default(),
             count_distance_evals: false,
         }
@@ -113,29 +138,51 @@ pub struct StepsStats {
     /// pre-filtering is round-granular); the resulting labels are
     /// identical.
     pub bcp_tests: u64,
-    /// Fragment pairs found connected.
+    /// Fragment pairs found connected (distance-free accepts included).
     pub bcp_connected: u64,
+    /// Triangle-inequality pruning ledger across the adjacency and
+    /// Steps 1–3. `bound_*` counters are in candidate *pairs*; for
+    /// tree-backed groups a skipped group counts all its pairs even
+    /// though the tree would have evaluated fewer, so
+    /// [`PruneStats::distance_evals_saved`] is an upper estimate there.
+    /// Like `bcp_tests`, these are work counters — thread count and
+    /// cache hits may shift them while labels stay identical.
+    pub pruning: PruneStats,
     /// Distance evaluations across all phases (adjacency + Steps 1–3),
     /// in units of the paper's `t_dis`. Zero unless
     /// [`ExactConfig::count_distance_evals`] is set.
     pub distance_evals: u64,
+    /// Distance evaluations spent in the adjacency build (zero when the
+    /// adjacency came from the engine cache, or when not counting).
+    pub adjacency_evals: u64,
+    /// Distance evaluations spent in Step 1 (zero on a fragment-cache
+    /// hit, or when not counting).
+    pub label_evals: u64,
+    /// Distance evaluations spent in Step 2 (when counting).
+    pub merge_evals: u64,
+    /// Distance evaluations spent in Step 3 (when counting).
+    pub assign_evals: u64,
 }
 
 /// The `(ε, MinPts)`-dependent intermediates of Steps 1–2 that an engine
 /// may cache across queries: the core flags, the fragment partition
-/// `C̃_e`, and the per-fragment cover trees as owned, borrow-free
-/// [`CoverTreeSkeleton`]s.
+/// `C̃_e` (with per-fragment anchor radii), and the per-fragment cover
+/// trees as owned, borrow-free [`CoverTreeSkeleton`]s.
 ///
-/// For a fixed net all three are **deterministic functions of
-/// `(ε, MinPts)`** — independent of thread count and of the ablation
-/// toggles under which they are cached (the defaults: dense shortcut and
-/// cover-tree merge on) — so replaying them yields bit-identical labels.
-/// Re-attaching a skeleton costs zero distance evaluations, which is
-/// exactly the Step-2 construction cost the cache amortizes.
+/// For a fixed net all of these are **deterministic functions of
+/// `(ε, MinPts)`** — independent of thread count, of the pruning knob,
+/// and of the ablation toggles under which they are cached (the
+/// defaults: dense shortcut and cover-tree merge on) — so replaying
+/// them yields bit-identical labels. Re-attaching a skeleton costs zero
+/// distance evaluations, which is exactly the Step-2 construction cost
+/// the cache amortizes.
 pub(crate) struct StepArtifacts {
     pub(crate) is_core: Vec<bool>,
     pub(crate) dense_cores: usize,
     pub(crate) fragments: Csr,
+    /// Per center: `max_{p ∈ C̃_e} dis(p, c_e)` (0 for empty fragments)
+    /// — the anchor radius Step 2/3 pruning measures against.
+    pub(crate) frag_radius: Vec<f64>,
     pub(crate) skeletons: Vec<Option<CoverTreeSkeleton>>,
 }
 
@@ -144,6 +191,7 @@ impl StepArtifacts {
     pub(crate) fn heap_bytes(&self) -> usize {
         self.is_core.len()
             + self.fragments.total_len() * std::mem::size_of::<u32>()
+            + self.frag_radius.len() * std::mem::size_of::<f64>()
             + self
                 .skeletons
                 .iter()
@@ -153,42 +201,61 @@ impl StepArtifacts {
     }
 }
 
+/// Cached inputs a caller may replay into [`run_exact_steps`]: Step-1/2
+/// artifacts (same net, same `(ε, MinPts)`) and/or a center adjacency
+/// (same net, same threshold — it depends on `ε` only).
+#[derive(Default)]
+pub(crate) struct StepsReuse<'a> {
+    pub(crate) artifacts: Option<&'a StepArtifacts>,
+    pub(crate) adjacency: Option<Arc<CenterAdjacency>>,
+}
+
+/// Everything one Steps-1–3 run produces: labels, stats, and the
+/// freshly computed cacheables (`None`/`Err` sides mean "was reused or
+/// not cacheable").
+pub(crate) struct StepsOutcome {
+    pub(crate) labels: Vec<PointLabel>,
+    pub(crate) stats: StepsStats,
+    /// Fresh artifacts for the caller to cache — `Some` only when
+    /// nothing was reused and the configuration matches the cacheable
+    /// defaults.
+    pub(crate) fresh_artifacts: Option<StepArtifacts>,
+    /// The adjacency this run used (freshly built or the replayed one).
+    pub(crate) adjacency: Arc<CenterAdjacency>,
+}
+
 /// Runs Steps 1–3 over an arbitrary covering net. Caller must guarantee
 /// `net.rbar ≤ params.eps() / 2` — that inequality is what makes the dense
 /// shortcut and the fragment-merge radius sound.
-///
-/// `reuse` replays cached [`StepArtifacts`] (same net, same
-/// `(ε, MinPts)`), skipping Step 1 and the fragment cover-tree
-/// construction. The third return value carries freshly computed
-/// artifacts for the caller to cache — `Some` only when nothing was
-/// reused and the configuration matches the cacheable defaults.
-pub(crate) fn run_exact_steps<P: Sync, M: Metric<P> + Sync>(
+pub(crate) fn run_exact_steps<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
     params: &DbscanParams,
     cfg: &ExactConfig,
-    reuse: Option<&StepArtifacts>,
-) -> (Vec<PointLabel>, StepsStats, Option<StepArtifacts>) {
+    reuse: StepsReuse<'_>,
+) -> StepsOutcome {
     if cfg.count_distance_evals {
         let counting = CountingMetric::new(metric);
-        let (labels, mut stats, fresh) =
-            run_steps_inner(points, &counting, net, params, cfg, reuse);
-        stats.distance_evals = counting.count();
-        (labels, stats, fresh)
+        let tick = || counting.count();
+        let mut out = run_steps_inner(points, &counting, net, params, cfg, reuse, &tick);
+        out.stats.distance_evals = counting.count();
+        out
     } else {
-        run_steps_inner(points, metric, net, params, cfg, reuse)
+        run_steps_inner(points, metric, net, params, cfg, reuse, &|| 0)
     }
 }
 
-fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
+#[allow(clippy::too_many_arguments)] // internal driver, mirrors run_exact_steps
+fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
     params: &DbscanParams,
     cfg: &ExactConfig,
-    reuse: Option<&StepArtifacts>,
-) -> (Vec<PointLabel>, StepsStats, Option<StepArtifacts>) {
+    reuse: StepsReuse<'_>,
+    tick: &(dyn Fn() -> u64 + Sync),
+) -> StepsOutcome {
     debug_assert!(net.rbar <= params.eps() / 2.0 * (1.0 + 1e-9));
     let eps = params.eps();
     let min_pts = params.min_pts();
@@ -201,15 +268,29 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     };
 
     // Neighbor-ball adjacency at 2r̄ + ε (definition (1)); Lemma 2 then
-    // confines every ε-ball to its neighbor cover sets.
+    // confines every ε-ball to its neighbor cover sets. An `ε`-matching
+    // cached adjacency replays for free.
     let t = Instant::now();
-    let adj = CenterAdjacency::build_with(
-        points,
-        metric,
-        net.centers,
-        2.0 * net.rbar + eps,
-        &cfg.parallel,
-    );
+    let evals_before = tick();
+    let adj: Arc<CenterAdjacency> = match reuse.adjacency {
+        Some(adj) => {
+            debug_assert_eq!(adj.threshold, 2.0 * net.rbar + eps, "adjacency cache mixup");
+            adj
+        }
+        None => {
+            let built = CenterAdjacency::build_pruned(
+                points,
+                metric,
+                net.centers,
+                2.0 * net.rbar + eps,
+                &cfg.parallel,
+                &cfg.pruning,
+            );
+            stats.pruning.merge(&built.pruning);
+            Arc::new(built)
+        }
+    };
+    stats.adjacency_evals = tick() - evals_before;
     stats.adjacency_secs = t.elapsed().as_secs_f64();
     stats.mean_adjacency_degree = adj.mean_degree();
 
@@ -217,7 +298,8 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     // With cached artifacts the whole step replays from the cache (the
     // core flags are a pure function of (net, ε, MinPts)).
     let t = Instant::now();
-    let is_core_local: Option<Vec<bool>> = if reuse.is_some() {
+    let evals_before = tick();
+    let is_core_local: Option<Vec<bool>> = if reuse.artifacts.is_some() {
         None
     } else {
         let dense: Vec<bool> = (0..k)
@@ -227,49 +309,82 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
             .filter(|&e| dense[e])
             .map(|e| net.cover_sets.row_len(e))
             .sum();
-        Some(par_map_range(n, threads, STEP_MIN_PER_THREAD, |p| {
-            let e = net.assignment[p] as usize;
-            dense[e]
-                || count_neighbors_capped(points, metric, net, &adj, e, p, eps, min_pts) >= min_pts
-        }))
+        let w = worker_count(threads, n, STEP_MIN_PER_THREAD);
+        let chunks = par_map_ranges(split_even(n, w), |r| {
+            let mut ps = PruneStats::default();
+            let flags: Vec<bool> = r
+                .map(|p| {
+                    let e = net.assignment[p] as usize;
+                    dense[e]
+                        || count_neighbors_capped(
+                            points,
+                            metric,
+                            net,
+                            &adj,
+                            e,
+                            p,
+                            eps,
+                            min_pts,
+                            &cfg.pruning,
+                            &mut ps,
+                        ) >= min_pts
+                })
+                .collect();
+            (flags, ps)
+        });
+        let mut flags = Vec::with_capacity(n);
+        for (chunk, ps) in chunks {
+            flags.extend(chunk);
+            stats.pruning.merge(&ps);
+        }
+        Some(flags)
     };
-    let is_core: &[bool] = match reuse {
+    let is_core: &[bool] = match reuse.artifacts {
         Some(a) => {
             stats.dense_cores = a.dense_cores;
             &a.is_core
         }
         None => is_core_local.as_deref().expect("computed above"),
     };
+    stats.label_evals = tick() - evals_before;
     stats.label_secs = t.elapsed().as_secs_f64();
 
     // ---- Step 2: merge core fragments ----
     let t = Instant::now();
+    let evals_before = tick();
     // C̃_e: the core points of each cover set, flattened like the cover
-    // sets themselves.
-    let fragments_local: Option<Csr> = if reuse.is_some() {
+    // sets themselves, plus each fragment's anchor radius
+    // max dis(p, c_e) — free to record, and what the distance-free
+    // merge accepts measure against.
+    let frag_local: Option<(Csr, Vec<f64>)> = if reuse.artifacts.is_some() {
         None
     } else {
         let mut offsets = vec![0usize; k + 1];
         let mut values = Vec::new();
+        let mut radius = Vec::with_capacity(k);
         for e in 0..k {
-            values.extend(
-                net.cover_sets
-                    .row(e)
-                    .iter()
-                    .copied()
-                    .filter(|&p| is_core[p as usize]),
-            );
+            let mut r = 0.0f64;
+            for &p in net.cover_sets.row(e) {
+                if is_core[p as usize] {
+                    values.push(p);
+                    r = r.max(net.center_dist_ub(p as usize));
+                }
+            }
             offsets[e + 1] = values.len();
+            radius.push(r);
         }
-        Some(Csr::from_parts(offsets, values))
+        Some((Csr::from_parts(offsets, values), radius))
     };
-    let fragments: &Csr = match reuse {
-        Some(a) => &a.fragments,
-        None => fragments_local.as_ref().expect("computed above"),
+    let (fragments, frag_radius): (&Csr, &[f64]) = match reuse.artifacts {
+        Some(a) => (&a.fragments, &a.frag_radius),
+        None => {
+            let (f, r) = frag_local.as_ref().expect("computed above");
+            (f, r)
+        }
     };
     let trees: Vec<Option<CoverTree<'_, P, M>>> = if !cfg.cover_tree_merge {
         (0..k).map(|_| None).collect()
-    } else if let Some(a) = reuse {
+    } else if let Some(a) = reuse.artifacts {
         // Cache hit: re-attach the stored skeletons — zero distance
         // evaluations, just a structure clone per fragment.
         a.skeletons
@@ -306,22 +421,50 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     };
     let mut uf = UnionFind::new(k);
     // Candidate fragment pairs in (e, e') lexicographic order — the same
-    // order the sequential loop tests them in.
-    let candidates: Vec<(u32, u32)> = (0..k)
-        .filter(|&e| fragments.row_len(e) > 0)
-        .flat_map(|e| {
-            adj.neighbors[e]
-                .iter()
-                .map(move |&e2| (e as u32, e2))
-                .filter(|&(e, e2)| e2 as usize > e as usize && fragments.row_len(e2 as usize) > 0)
-        })
-        .collect();
+    // order the sequential loop tests them in — each carrying its
+    // distance-free verdict from the adjacency's center-pair bounds:
+    // `ub + r_e + r_e' ≤ ε` merges without a BCP test (every cross pair
+    // is within ε), `lb − r_e − r_e' > ε` discards the candidate
+    // entirely (no cross pair can reach ε).
+    let mut candidates: Vec<(u32, u32, bool)> = Vec::new();
+    for e in 0..k {
+        if fragments.row_len(e) == 0 {
+            continue;
+        }
+        let row = adj.neighbors.row(e);
+        let lbs = adj.lbound_row(e);
+        let ubs = adj.ubound_row(e);
+        for ((&e2, &lb), &ub) in row.iter().zip(lbs).zip(ubs) {
+            let e2u = e2 as usize;
+            if e2u <= e || fragments.row_len(e2u) == 0 {
+                continue;
+            }
+            if cfg.pruning.enabled {
+                let slack = frag_radius[e] + frag_radius[e2u];
+                if lb - slack > eps {
+                    stats.pruning.bound_rejects += 1;
+                    continue;
+                }
+                if ub + slack <= eps {
+                    stats.pruning.bound_accepts += 1;
+                    candidates.push((e as u32, e2, true));
+                    continue;
+                }
+            }
+            candidates.push((e as u32, e2, false));
+        }
+    }
     if threads <= 1 {
         // Classic sequential interleaving: test, union, and let fresh
         // connectivity skip later pairs immediately.
-        for &(e, e2) in &candidates {
+        for &(e, e2, free) in &candidates {
             let (e, e2) = (e as usize, e2 as usize);
             if cfg.early_termination && uf.connected(e, e2) {
+                continue;
+            }
+            if free {
+                stats.bcp_connected += 1;
+                uf.union(e, e2);
                 continue;
             }
             stats.bcp_tests += 1;
@@ -333,15 +476,21 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
     } else {
         let batch = batch_size(threads);
         let mut cursor = 0usize;
+        let mut free_connected = 0u64;
         let (tested, connected) = union_rounds(
             &mut uf,
             threads,
             |uf| {
                 let mut out = Vec::new();
                 while out.len() < batch && cursor < candidates.len() {
-                    let (e, e2) = candidates[cursor];
+                    let (e, e2, free) = candidates[cursor];
                     cursor += 1;
                     if cfg.early_termination && uf.root(e as usize) == uf.root(e2 as usize) {
+                        continue;
+                    }
+                    if free {
+                        free_connected += 1;
+                        uf.union(e as usize, e2 as usize);
                         continue;
                     }
                     out.push((e, e2));
@@ -351,75 +500,164 @@ fn run_steps_inner<P: Sync, M: Metric<P> + Sync>(
             |e, e2| bcp_within(points, metric, fragments, &trees, e, e2, eps, cfg),
         );
         stats.bcp_tests = tested;
-        stats.bcp_connected = connected;
+        stats.bcp_connected = connected + free_connected;
     }
+    stats.merge_evals = tick() - evals_before;
     stats.merge_secs = t.elapsed().as_secs_f64();
 
     // ---- Step 3: borders and outliers, parallel over points ----
     let t = Instant::now();
+    let evals_before = tick();
     let cluster_of_center = uf.component_ids();
-    let labels: Vec<PointLabel> = par_map_range(n, threads, STEP_MIN_PER_THREAD, |pi| {
-        if is_core[pi] {
-            let e = net.assignment[pi] as usize;
-            return PointLabel::Core(cluster_of_center[e]);
-        }
-        // Nearest core point among neighbor fragments; ties break toward
-        // the earlier center (ascending adjacency rows + strict `<`).
-        let e = net.assignment[pi] as usize;
-        let mut best: Option<(f64, usize)> = None;
-        for &e2 in &adj.neighbors[e] {
-            let e2 = e2 as usize;
-            let frag = fragments.row(e2);
-            if frag.is_empty() {
-                continue;
-            }
-            let bound = best.map_or(eps, |(d, _)| d);
-            if let Some(tree) = &trees[e2] {
-                if let Some(nn) = tree.nearest_within(&points[pi], bound) {
-                    if best.is_none_or(|(d, _)| nn.distance < d) {
-                        best = Some((nn.distance, e2));
-                    }
+    let w = worker_count(threads, n, STEP_MIN_PER_THREAD);
+    let chunks = par_map_ranges(split_even(n, w), |r| {
+        let mut ps = PruneStats::default();
+        let mut scratch = AnchorScratch::default();
+        let labels: Vec<PointLabel> = r
+            .map(|pi| {
+                if is_core[pi] {
+                    let e = net.assignment[pi] as usize;
+                    return PointLabel::Core(cluster_of_center[e]);
                 }
-            } else {
-                for &q in frag {
-                    if let Some(d) = metric.distance_leq(&points[pi], &points[q as usize], bound) {
-                        if best.is_none_or(|(bd, _)| d < bd) {
-                            best = Some((d, e2));
-                        }
-                    }
-                }
-            }
-        }
-        match best {
-            Some((_, e2)) => PointLabel::Border(cluster_of_center[e2]),
-            None => PointLabel::Noise,
-        }
+                assign_border(
+                    points,
+                    metric,
+                    net,
+                    &adj,
+                    fragments,
+                    frag_radius,
+                    &trees,
+                    &cluster_of_center,
+                    pi,
+                    eps,
+                    &cfg.pruning,
+                    &mut scratch,
+                    &mut ps,
+                )
+            })
+            .collect();
+        (labels, ps)
     });
+    let mut labels = Vec::with_capacity(n);
+    for (chunk, ps) in chunks {
+        labels.extend(chunk);
+        stats.pruning.merge(&ps);
+    }
+    stats.assign_evals = tick() - evals_before;
     stats.assign_secs = t.elapsed().as_secs_f64();
 
     // Hand freshly computed artifacts back for caching — only when the
     // run matches the cacheable defaults (the dense shortcut keeps
     // `dense_cores` meaningful, the trees only exist under
     // `cover_tree_merge`).
-    let fresh =
-        (reuse.is_none() && cfg.dense_shortcut && cfg.cover_tree_merge).then(|| StepArtifacts {
-            is_core: is_core_local.expect("computed when reuse is None"),
-            dense_cores: stats.dense_cores,
-            fragments: fragments_local.expect("computed when reuse is None"),
-            skeletons: trees
-                .into_iter()
-                .map(|t| t.map(CoverTree::into_skeleton))
-                .collect(),
+    let fresh_artifacts = (reuse.artifacts.is_none() && cfg.dense_shortcut && cfg.cover_tree_merge)
+        .then(|| {
+            let (fragments, frag_radius) = frag_local.expect("computed when reuse is None");
+            StepArtifacts {
+                is_core: is_core_local.expect("computed when reuse is None"),
+                dense_cores: stats.dense_cores,
+                fragments,
+                frag_radius,
+                skeletons: trees
+                    .into_iter()
+                    .map(|t| t.map(CoverTree::into_skeleton))
+                    .collect(),
+            }
         });
 
-    (labels, stats, fresh)
+    StepsOutcome {
+        labels,
+        stats,
+        fresh_artifacts,
+        adjacency: adj,
+    }
+}
+
+/// Reusable per-worker buffers for the anchored scans: the neighbor
+/// centers selected for anchoring, their batched distances, and the
+/// own-center substitution slots.
+#[derive(Default)]
+pub(crate) struct AnchorScratch {
+    ids: Vec<u32>,
+    evals: Vec<f64>,
+    own_slots: Vec<bool>,
+    pub(crate) anchors: Vec<f64>,
+}
+
+impl AnchorScratch {
+    /// One batched [`BatchMetric::dist_many`] call evaluating
+    /// `dis(p, c_{e'})` for every neighbor center in `row` whose group
+    /// (as reported by `group_len`) passes the anchoring gate. The
+    /// caller walks `row` again with the same gate, consuming
+    /// `self.anchors` in order.
+    ///
+    /// `own` short-circuits the point's **own** center: the net already
+    /// stores `dis(p, c_p)` exactly, so when center position `own.0`
+    /// shows up in the row its slot is filled with `own.1` instead of
+    /// spending an evaluation on a distance we hold.
+    #[allow(clippy::too_many_arguments)] // per-worker hot-loop helper
+    pub(crate) fn anchor_rows<P, M: BatchMetric<P>>(
+        &mut self,
+        points: &[P],
+        metric: &M,
+        net: &NetView<'_>,
+        row: &[u32],
+        group_len: impl Fn(usize) -> usize,
+        p: usize,
+        own: Option<(u32, f64)>,
+        pruning: &PruningConfig,
+        ps: &mut PruneStats,
+    ) {
+        self.ids.clear();
+        self.own_slots.clear();
+        self.anchors.clear();
+        if !pruning.enabled {
+            return;
+        }
+        for &e2 in row {
+            if group_len(e2 as usize) >= pruning.min_anchor_group {
+                match own {
+                    Some((oe, _)) if oe == e2 => self.own_slots.push(true),
+                    _ => {
+                        self.own_slots.push(false);
+                        self.ids.push(net.centers[e2 as usize] as u32);
+                    }
+                }
+            }
+        }
+        if !self.ids.is_empty() {
+            metric.dist_many(points, &points[p], &self.ids, &mut self.evals);
+            ps.anchor_evals += self.ids.len() as u64;
+        } else {
+            self.evals.clear();
+        }
+        let mut cursor = 0usize;
+        for &is_own in &self.own_slots {
+            if is_own {
+                self.anchors.push(own.expect("own slot recorded").1);
+            } else {
+                self.anchors.push(self.evals[cursor]);
+                cursor += 1;
+            }
+        }
+    }
 }
 
 /// `|B(p, ε) ∩ X|`, counted over the neighbor cover sets of `p`'s center
 /// `e` and capped at `cap` (early termination — only the `≥ MinPts`
 /// predicate is needed).
+///
+/// With pruning, one anchor evaluation `dis(p, c_{e'})` per
+/// sufficiently large neighbor ball sandwiches each member's distance:
+/// `dis(p, q) ∈ [|a − dis(q, c)|, a + dis(q, c)]`, so most members are
+/// counted (upper bound within `ε`) or discarded (lower bound beyond
+/// `ε`) without an evaluation. Anchors are paid **lazily, per ball** —
+/// a scan that reaches `cap` in its first ball never anchors the rest —
+/// and the point's own ball reuses the net's stored `dis(p, c_p)` for
+/// free. The returned count may exceed `cap` by a group-accept, but the
+/// `≥ cap` predicate — the only thing callers read — is exact.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Step 1 signature
-pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
+pub(crate) fn count_neighbors_capped<P, M: BatchMetric<P>>(
     points: &[P],
     metric: &M,
     net: &NetView<'_>,
@@ -428,14 +666,73 @@ pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
     p: usize,
     eps: f64,
     cap: usize,
+    pruning: &PruningConfig,
+    ps: &mut PruneStats,
 ) -> usize {
+    let row = adj.neighbors.row(e);
     let mut count = 0usize;
-    for &e2 in &adj.neighbors[e] {
-        for &q in net.cover_sets.row(e2 as usize) {
-            if metric.within(&points[p], &points[q as usize], eps) {
-                count += 1;
-                if count >= cap {
-                    return count;
+    for &e2 in row {
+        let e2 = e2 as usize;
+        let cover = net.cover_sets.row(e2);
+        let anchor = if pruning.enabled && cover.len() >= pruning.min_anchor_group {
+            Some(match net.dist_to_center {
+                // The own ball's anchor is already on record.
+                Some(d2c) if e2 == e => d2c[p],
+                _ => {
+                    ps.anchor_evals += 1;
+                    metric.distance(&points[p], &points[net.centers[e2]])
+                }
+            })
+        } else {
+            None
+        };
+        match (anchor, net.dist_to_center) {
+            (Some(a), Some(d2c)) => {
+                for &q in cover {
+                    let dq = d2c[q as usize];
+                    if a + dq <= eps {
+                        ps.bound_accepts += 1;
+                        count += 1;
+                    } else if (a - dq).abs() > eps {
+                        ps.bound_rejects += 1;
+                    } else if metric.within(&points[p], &points[q as usize], eps) {
+                        count += 1;
+                    }
+                    if count >= cap {
+                        return count;
+                    }
+                }
+            }
+            (Some(a), None) => {
+                // Only the covering radius bounds dis(q, c): whole-group
+                // decisions at `r̄` granularity.
+                if a + net.rbar <= eps {
+                    ps.bound_accepts += cover.len() as u64;
+                    count += cover.len();
+                    if count >= cap {
+                        return count;
+                    }
+                } else if a - net.rbar > eps {
+                    ps.bound_rejects += cover.len() as u64;
+                } else {
+                    for &q in cover {
+                        if metric.within(&points[p], &points[q as usize], eps) {
+                            count += 1;
+                            if count >= cap {
+                                return count;
+                            }
+                        }
+                    }
+                }
+            }
+            (None, _) => {
+                for &q in cover {
+                    if metric.within(&points[p], &points[q as usize], eps) {
+                        count += 1;
+                        if count >= cap {
+                            return count;
+                        }
+                    }
                 }
             }
         }
@@ -443,12 +740,100 @@ pub(crate) fn count_neighbors_capped<P, M: Metric<P>>(
     count
 }
 
+/// Step 3 for one non-core point: nearest core point among neighbor
+/// fragments; ties break toward the earlier center (ascending adjacency
+/// rows + strict `<`). Anchored fragments whose triangle lower bound
+/// exceeds the current best are skipped without touching them.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Step 3 signature
+fn assign_border<P, M: BatchMetric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    adj: &CenterAdjacency,
+    fragments: &Csr,
+    frag_radius: &[f64],
+    trees: &[Option<CoverTree<'_, P, M>>],
+    cluster_of_center: &[u32],
+    pi: usize,
+    eps: f64,
+    pruning: &PruningConfig,
+    scratch: &mut AnchorScratch,
+    ps: &mut PruneStats,
+) -> PointLabel {
+    let e = net.assignment[pi] as usize;
+    let row = adj.neighbors.row(e);
+    let own = net.dist_to_center.map(|d2c| (e as u32, d2c[pi]));
+    scratch.anchor_rows(
+        points,
+        metric,
+        net,
+        row,
+        |e2| fragments.row_len(e2),
+        pi,
+        own,
+        pruning,
+        ps,
+    );
+    let mut cursor = 0usize;
+    let mut best: Option<(f64, usize)> = None;
+    for &e2 in row {
+        let e2 = e2 as usize;
+        let frag = fragments.row(e2);
+        let anchor = if pruning.enabled && frag.len() >= pruning.min_anchor_group {
+            let a = scratch.anchors[cursor];
+            cursor += 1;
+            Some(a)
+        } else {
+            None
+        };
+        if frag.is_empty() {
+            continue;
+        }
+        let bound = best.map_or(eps, |(d, _)| d);
+        if let Some(a) = anchor {
+            // No fragment member can beat the current best: the anchor
+            // minus the fragment's radius already exceeds it.
+            if a - frag_radius[e2] > bound {
+                ps.bound_rejects += frag.len() as u64;
+                continue;
+            }
+        }
+        if let Some(tree) = &trees[e2] {
+            if let Some(nn) = tree.nearest_within(&points[pi], bound) {
+                if best.is_none_or(|(d, _)| nn.distance < d) {
+                    best = Some((nn.distance, e2));
+                }
+            }
+        } else {
+            let d2c = net.dist_to_center;
+            for &q in frag {
+                if let (Some(a), Some(d2c)) = (anchor, d2c) {
+                    let dq = d2c[q as usize];
+                    if (a - dq).abs() > bound {
+                        ps.bound_rejects += 1;
+                        continue;
+                    }
+                }
+                if let Some(d) = metric.distance_leq(&points[pi], &points[q as usize], bound) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, e2));
+                    }
+                }
+            }
+        }
+    }
+    match best {
+        Some((_, e2)) => PointLabel::Border(cluster_of_center[e2]),
+        None => PointLabel::Noise,
+    }
+}
+
 /// Is `BCP(C̃_e, C̃_{e'}) ≤ eps`? Queries come from the smaller fragment
 /// against the larger fragment's cover tree; early termination returns at
 /// the first witness. Pure (no shared state), so Step 2 batches may run
 /// it concurrently.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Step 2 signature
-fn bcp_within<P, M: Metric<P>>(
+fn bcp_within<P, M: BatchMetric<P>>(
     points: &[P],
     metric: &M,
     fragments: &Csr,

@@ -23,8 +23,24 @@
 //! (same summary argument; the net is built by first-fit instead of
 //! farthest-point, which changes `E` but none of the packing/covering
 //! properties the proof of Theorem 2 uses).
+//!
+//! # First-center anchoring
+//!
+//! Streaming has no Algorithm-1 net, but the same triangle-inequality
+//! pruning applies with the **first center as the anchor**: every
+//! stored point (center or parked candidate) records its distance to
+//! `E[0]` at creation time, and each arriving stream point pays one
+//! anchor evaluation `d₀ = dis(p, E[0])` (which simultaneously *is* its
+//! distance test against `E[0]`). Then `|d₀ − dis(x, E[0])|` /
+//! `d₀ + dis(x, E[0])` decide most `r̄`- and `ε`-threshold tests against
+//! stored points without evaluating them — in all three passes and in
+//! the offline merge. Labels are bit-identical with pruning on or off
+//! ([`mdbscan_metric::PruningConfig`]); [`StreamingStats::pruning`]
+//! carries the ledger.
 
-use mdbscan_metric::Metric;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mdbscan_metric::{Metric, PruneStats, PruningConfig};
 use mdbscan_parallel::{par_map_range, ParallelConfig};
 
 use crate::error::DbscanError;
@@ -64,6 +80,9 @@ pub struct StreamingStats {
     pub parked_raw: usize,
     /// Summary pairs tested during the offline merge.
     pub merge_pairs_tested: u64,
+    /// First-center-anchored pruning ledger across all passes and the
+    /// offline merge (work counters; labels are identical regardless).
+    pub pruning: PruneStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +94,8 @@ enum Phase {
 
 struct Center<P> {
     point: P,
+    /// Distance to the first center, recorded at creation (anchor).
+    d_to_first: f64,
     /// Stream points seen within ε (self included).
     eps_count: usize,
     core: bool,
@@ -86,6 +107,8 @@ struct Parked<P> {
     point: P,
     /// Center (by position) the point was parked under.
     center: u32,
+    /// Distance to the first center, recorded at parking time (anchor).
+    d_to_first: f64,
     /// Pass-2 recount of `|B(m, ε)|`.
     eps_count: usize,
     core: bool,
@@ -115,13 +138,48 @@ pub struct StreamingApproxDbscan<'m, P, M> {
     metric: &'m M,
     params: ApproxParams,
     parallel: ParallelConfig,
+    pruning: PruningConfig,
     rbar: f64,
     phase: Phase,
     centers: Vec<Center<P>>,
     parked: Vec<Parked<P>>,
     /// Cluster id per summary position, filled by `finish_pass2`.
     summary_clusters: Vec<u32>,
+    /// Parked candidates not yet certified in pass 2 — when this hits
+    /// zero, pass-2 observations stop paying for anchors (or any work).
+    pass2_pending: usize,
     stats: StreamingStats,
+    // Pruning counters as relaxed atomics: pass 3 labels through `&self`
+    // from many threads at once.
+    p_accepts: AtomicU64,
+    p_rejects: AtomicU64,
+    p_anchors: AtomicU64,
+}
+
+/// One stored point's threshold test `dis(x, p) ≤ bound`, decided by the
+/// first-center anchor when possible. Returns the decision and whether
+/// it was free.
+#[inline]
+#[allow(clippy::too_many_arguments)] // per-pair hot-path helper
+fn anchored_within<P, M: Metric<P>>(
+    metric: &M,
+    stored: &P,
+    stored_anchor: f64,
+    p: &P,
+    d0: f64,
+    bound: f64,
+    accepts: &AtomicU64,
+    rejects: &AtomicU64,
+) -> bool {
+    if (d0 - stored_anchor).abs() > bound {
+        rejects.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    if d0 + stored_anchor <= bound {
+        accepts.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    metric.within(stored, p, bound)
 }
 
 impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
@@ -131,12 +189,17 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             metric,
             params: *params,
             parallel: ParallelConfig::default(),
+            pruning: PruningConfig::default(),
             rbar: params.rbar(),
             phase: Phase::Pass1,
             centers: Vec::new(),
             parked: Vec::new(),
             summary_clusters: Vec::new(),
+            pass2_pending: 0,
             stats: StreamingStats::default(),
+            p_accepts: AtomicU64::new(0),
+            p_rejects: AtomicU64::new(0),
+            p_anchors: AtomicU64::new(0),
         }
     }
 
@@ -149,6 +212,34 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         self
     }
 
+    /// Sets the first-center-anchored pruning policy (default: on).
+    /// Labels are identical either way; only the evaluation counts in
+    /// [`StreamingStats::pruning`] change.
+    ///
+    /// Must be called **before the first observation**: points stored
+    /// while pruning is off record no anchor distance, so flipping it on
+    /// mid-stream would prune against garbage anchors. Panics otherwise.
+    pub fn with_pruning(mut self, pruning: PruningConfig) -> Self {
+        assert!(
+            self.stats.n == 0,
+            "with_pruning must be called before the first observation"
+        );
+        self.pruning = pruning;
+        self
+    }
+
+    /// The anchor distance `dis(p, E[0])` for an incoming point, or
+    /// `None` when pruning is off / no center exists yet. One metric
+    /// call, counted as an anchor evaluation.
+    #[inline]
+    fn anchor_of(&self, p: &P) -> Option<f64> {
+        if !self.pruning.enabled || self.centers.is_empty() {
+            return None;
+        }
+        self.p_anchors.fetch_add(1, Ordering::Relaxed);
+        Some(self.metric.distance(&self.centers[0].point, p))
+    }
+
     /// Pass 1: observe one stream point (clones it only if it becomes a
     /// center or parks in `M`).
     pub fn pass1_observe(&mut self, p: &P) {
@@ -156,10 +247,26 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         self.stats.n += 1;
         let eps = self.params.eps();
         let min_pts = self.params.min_pts();
+        let d0 = self.anchor_of(p);
         // First-fit netting (paper lines 3–5).
         let mut owner: Option<u32> = None;
         for (i, c) in self.centers.iter().enumerate() {
-            if self.metric.within(&c.point, p, self.rbar) {
+            let within = match d0 {
+                // The anchor distance *is* the test against center 0.
+                Some(d0) if i == 0 => d0 <= self.rbar,
+                Some(d0) => anchored_within(
+                    self.metric,
+                    &c.point,
+                    c.d_to_first,
+                    p,
+                    d0,
+                    self.rbar,
+                    &self.p_accepts,
+                    &self.p_rejects,
+                ),
+                None => self.metric.within(&c.point, p, self.rbar),
+            };
+            if within {
                 owner = Some(i as u32);
                 break;
             }
@@ -167,6 +274,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         if owner.is_none() {
             self.centers.push(Center {
                 point: p.clone(),
+                d_to_first: d0.unwrap_or(0.0),
                 eps_count: 0,
                 core: false,
                 summary_pos: u32::MAX,
@@ -175,8 +283,22 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         }
         let owner = owner.expect("owner set above");
         // ε-ball counting for every center (lines 6–12).
-        for c in self.centers.iter_mut() {
-            if self.metric.within(&c.point, p, eps) {
+        for (i, c) in self.centers.iter_mut().enumerate() {
+            let within = match d0 {
+                Some(d0) if i == 0 => d0 <= eps,
+                Some(d0) => anchored_within(
+                    self.metric,
+                    &c.point,
+                    c.d_to_first,
+                    p,
+                    d0,
+                    eps,
+                    &self.p_accepts,
+                    &self.p_rejects,
+                ),
+                None => self.metric.within(&c.point, p, eps),
+            };
+            if within {
                 c.eps_count += 1;
                 if c.eps_count >= min_pts {
                     c.core = true;
@@ -190,6 +312,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             self.parked.push(Parked {
                 point: p.clone(),
                 center: owner,
+                d_to_first: d0.unwrap_or(0.0),
                 eps_count: 0,
                 core: false,
                 summary_pos: u32::MAX,
@@ -208,6 +331,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         // A center parked under itself before *another* center... cannot
         // happen (first-fit: a center's owner is itself); but a parked
         // duplicate of a center point is fine — it just recounts.
+        self.pass2_pending = self.parked.len();
         self.phase = Phase::Pass2;
     }
 
@@ -217,18 +341,45 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         assert_eq!(self.phase, Phase::Pass2, "pass2_observe outside pass 2");
         let eps = self.params.eps();
         let min_pts = self.params.min_pts();
+        // Once every parked candidate is certified, the pass is a no-op
+        // per point — in particular no anchor evaluation is paid.
+        if self.pass2_pending == 0 {
+            return;
+        }
+        let d0 = self.anchor_of(p);
+        let mut pending = self.pass2_pending;
         for m in self.parked.iter_mut() {
-            if m.eps_count < min_pts && self.metric.within(&m.point, p, eps) {
+            if m.eps_count >= min_pts {
+                continue;
+            }
+            let within = match d0 {
+                Some(d0) => anchored_within(
+                    self.metric,
+                    &m.point,
+                    m.d_to_first,
+                    p,
+                    d0,
+                    eps,
+                    &self.p_accepts,
+                    &self.p_rejects,
+                ),
+                None => self.metric.within(&m.point, p, eps),
+            };
+            if within {
                 m.eps_count += 1;
                 if m.eps_count >= min_pts {
                     m.core = true;
+                    pending -= 1;
                 }
             }
         }
+        self.pass2_pending = pending;
     }
 
     /// Ends pass 2: assembles the summary `S*` (core centers + certified
     /// parked cores) and merges inside it at `(1+ρ)ε`, offline in memory.
+    /// Summary pairs whose first-center anchors already decide the merge
+    /// threshold are unioned (or skipped) without a distance test.
     pub fn finish_pass2(&mut self) {
         assert_eq!(self.phase, Phase::Pass2, "finish_pass2 outside pass 2");
         // Collect summary points: (clone of point, slot)
@@ -253,29 +404,64 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
                 Slot::Parked(i) => self.parked[*i].summary_pos = pos as u32,
             }
         }
-        let point_of = |s: &Slot, this: &Self| -> P {
-            match s {
-                Slot::Center(i) => this.centers[*i].point.clone(),
-                Slot::Parked(i) => this.parked[*i].point.clone(),
-            }
-        };
-        let summary_points: Vec<P> = slots.iter().map(|s| point_of(s, self)).collect();
+        let summary_points: Vec<P> = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Center(i) => self.centers[*i].point.clone(),
+                Slot::Parked(i) => self.parked[*i].point.clone(),
+            })
+            .collect();
+        let anchors: Vec<f64> = slots
+            .iter()
+            .map(|s| match s {
+                Slot::Center(i) => self.centers[*i].d_to_first,
+                Slot::Parked(i) => self.parked[*i].d_to_first,
+            })
+            .collect();
         let merge_r = self.params.merge_radius();
         let s = summary_points.len();
         let threads = self.parallel.threads();
+        let pruning_on = self.pruning.enabled;
         let mut uf = UnionFind::new(s);
+        // Pair verdict from the anchors alone: Some(true) = free union,
+        // Some(false) = free skip, None = needs a distance test. The
+        // first summary slot is E[0] itself only if E[0] is core; the
+        // anchors are sound bounds either way (plain triangle
+        // inequality through E[0]).
+        let verdict = |i: usize, j: usize| -> Option<bool> {
+            if !pruning_on {
+                return None;
+            }
+            if (anchors[i] - anchors[j]).abs() > merge_r {
+                self.p_rejects.fetch_add(1, Ordering::Relaxed);
+                return Some(false);
+            }
+            if anchors[i] + anchors[j] <= merge_r {
+                self.p_accepts.fetch_add(1, Ordering::Relaxed);
+                return Some(true);
+            }
+            None
+        };
         if threads <= 1 {
             for i in 0..s {
                 for j in (i + 1)..s {
                     if uf.connected(i, j) {
                         continue;
                     }
-                    self.stats.merge_pairs_tested += 1;
-                    if self
-                        .metric
-                        .within(&summary_points[i], &summary_points[j], merge_r)
-                    {
-                        uf.union(i, j);
+                    match verdict(i, j) {
+                        Some(true) => {
+                            uf.union(i, j);
+                        }
+                        Some(false) => {}
+                        None => {
+                            self.stats.merge_pairs_tested += 1;
+                            if self
+                                .metric
+                                .within(&summary_points[i], &summary_points[j], merge_r)
+                            {
+                                uf.union(i, j);
+                            }
+                        }
                     }
                 }
             }
@@ -292,7 +478,13 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
                     let mut out = Vec::new();
                     while out.len() < batch && i + 1 < s {
                         if uf.root(i) != uf.root(j) {
-                            out.push((i as u32, j as u32));
+                            match verdict(i, j) {
+                                Some(true) => {
+                                    uf.union(i, j);
+                                }
+                                Some(false) => {}
+                                None => out.push((i as u32, j as u32)),
+                            }
                         }
                         j += 1;
                         if j >= s {
@@ -319,19 +511,43 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
     pub fn pass3_label(&self, p: &P) -> PointLabel {
         assert_eq!(self.phase, Phase::Pass3, "pass3_label before finish_pass2");
         let label_r = self.params.label_radius();
+        let d0 = self.anchor_of(p);
         // First-fit owner.
-        for c in &self.centers {
-            if self.metric.within(&c.point, p, self.rbar) {
+        for (i, c) in self.centers.iter().enumerate() {
+            let within = match d0 {
+                Some(d0) if i == 0 => d0 <= self.rbar,
+                Some(d0) => anchored_within(
+                    self.metric,
+                    &c.point,
+                    c.d_to_first,
+                    p,
+                    d0,
+                    self.rbar,
+                    &self.p_accepts,
+                    &self.p_rejects,
+                ),
+                None => self.metric.within(&c.point, p, self.rbar),
+            };
+            if within {
                 if c.core {
                     return PointLabel::Border(self.summary_clusters[c.summary_pos as usize]);
                 }
                 break;
             }
         }
-        // Nearest summary member within (ρ/2+1)ε.
+        // Nearest summary member within (ρ/2+1)ε. The anchored lower
+        // bound skips members that provably cannot beat the current
+        // best (`dis ≥ |d₀ − anchor| > bound` ⇒ the bounded evaluation
+        // would reject them anyway).
         let mut best: Option<(f64, u32)> = None;
-        let consider = |point: &P, pos: u32, best: &mut Option<(f64, u32)>| {
+        let consider = |point: &P, anchor: f64, pos: u32, best: &mut Option<(f64, u32)>| {
             let bound = best.map_or(label_r, |(d, _)| d);
+            if let Some(d0) = d0 {
+                if (d0 - anchor).abs() > bound {
+                    self.p_rejects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
             if let Some(d) = self.metric.distance_leq(point, p, bound) {
                 if d == 0.0 {
                     // The point *is* a summary member: certified core.
@@ -343,12 +559,12 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         };
         for c in &self.centers {
             if c.core {
-                consider(&c.point, c.summary_pos, &mut best);
+                consider(&c.point, c.d_to_first, c.summary_pos, &mut best);
             }
         }
         for m in &self.parked {
             if m.core {
-                consider(&m.point, m.summary_pos, &mut best);
+                consider(&m.point, m.d_to_first, m.summary_pos, &mut best);
             }
         }
         match best {
@@ -368,9 +584,15 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         }
     }
 
-    /// Run counters.
+    /// Run counters, the pruning ledger included.
     pub fn stats(&self) -> StreamingStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.pruning = PruneStats {
+            bound_accepts: self.p_accepts.load(Ordering::Relaxed),
+            bound_rejects: self.p_rejects.load(Ordering::Relaxed),
+            anchor_evals: self.p_anchors.load(Ordering::Relaxed),
+        };
+        stats
     }
 
     /// Convenience driver: runs all three passes over a replayable stream
@@ -394,7 +616,27 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         parallel: &ParallelConfig,
         make_stream: impl Fn() -> I,
     ) -> Result<(Clustering, Self), DbscanError> {
-        let mut engine = Self::new(metric, params).with_parallel(*parallel);
+        Self::run_pruned(
+            metric,
+            params,
+            parallel,
+            &PruningConfig::default(),
+            make_stream,
+        )
+    }
+
+    /// As [`StreamingApproxDbscan::run_with`], with an explicit pruning
+    /// policy (labels are identical for every setting).
+    pub fn run_pruned<I: Iterator<Item = P>>(
+        metric: &'m M,
+        params: &ApproxParams,
+        parallel: &ParallelConfig,
+        pruning: &PruningConfig,
+        make_stream: impl Fn() -> I,
+    ) -> Result<(Clustering, Self), DbscanError> {
+        let mut engine = Self::new(metric, params)
+            .with_parallel(*parallel)
+            .with_pruning(*pruning);
         for p in make_stream() {
             engine.pass1_observe(&p);
         }
@@ -463,6 +705,38 @@ mod tests {
         );
         assert!(fp.summary <= fp.stored_points());
         assert_eq!(engine.stats().n, stream.len());
+        // Two far-apart blobs: the anchor bounds must decide many tests.
+        assert!(
+            engine.stats().pruning.bound_rejects > 0,
+            "anchoring never fired: {:?}",
+            engine.stats().pruning
+        );
+    }
+
+    /// Pruning on vs off: byte-identical labels and footprint.
+    #[test]
+    fn pruning_is_invisible_in_labels() {
+        let stream = blob_stream(13, 150);
+        let params = ApproxParams::new(1.0, 8, 0.5).unwrap();
+        let (on, e_on) = StreamingApproxDbscan::run_pruned(
+            &Euclidean,
+            &params,
+            &ParallelConfig::sequential(),
+            &PruningConfig::default(),
+            || stream.iter().cloned(),
+        )
+        .unwrap();
+        let (off, e_off) = StreamingApproxDbscan::run_pruned(
+            &Euclidean,
+            &params,
+            &ParallelConfig::sequential(),
+            &PruningConfig::off(),
+            || stream.iter().cloned(),
+        )
+        .unwrap();
+        assert_eq!(on.labels(), off.labels());
+        assert_eq!(e_on.footprint(), e_off.footprint());
+        assert_eq!(e_off.stats().pruning, PruneStats::default());
     }
 
     /// Sandwich check against the exact solver (the ρ-approximate

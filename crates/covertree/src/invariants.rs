@@ -63,6 +63,14 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
                         child.level + 1
                     ));
                 }
+                // The stored parent anchor must be the exact edge
+                // distance — the query-time pruning bounds rely on it.
+                if d != child.parent_dist {
+                    return Err(format!(
+                        "stale parent_dist: stored {} but d={d}",
+                        child.parent_dist
+                    ));
+                }
             }
         }
 

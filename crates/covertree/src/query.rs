@@ -36,10 +36,14 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
     /// point within `keep_radius(best)` of the query, updating `best` via
     /// `visit` for every node representative encountered.
     ///
-    /// `visit(node_id, dist)` is called exactly once per explicit node kept
-    /// in the beam; it returns the new pruning base (e.g. the current best
-    /// distance for NN, a fixed `r` for range queries) or `None` to abort
-    /// the whole traversal early (used by [`Self::any_within`]).
+    /// `visit(node_id, dist)` is called at most once per explicit node,
+    /// and is guaranteed to be called for every node whose distance can
+    /// influence the answer (children whose parent-anchored triangle
+    /// lower bound already exceeds the pruning base are skipped without
+    /// a distance evaluation); it returns the new pruning base (e.g. the
+    /// current best distance for NN, a fixed `r` for range queries) or
+    /// `None` to abort the whole traversal early (used by
+    /// [`Self::any_within`]).
     fn descend(&self, query: &P, mut base: f64, mut visit: impl FnMut(&mut f64, u32, f64) -> bool) {
         let Some(root) = self.root else {
             return;
@@ -70,13 +74,26 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             if beam.is_empty() {
                 return;
             }
+            // A child at `level` reaches descendants within 2^{level+1}
+            // of itself (geometric chain tail), so the subtree of child
+            // `c` of beam node `q` is entirely farther than
+            // `dis(query, q) − dis(q, c) − 2^{level+1}`. When that
+            // parent-anchored lower bound already exceeds the pruning
+            // base, the child's distance is never evaluated — the
+            // answer cannot live there. Results are identical to the
+            // unpruned traversal; only the evaluation count drops.
+            let reach_child = exp2(level + 1);
             let mut new_nodes: Vec<(u32, f64)> = Vec::new();
             #[allow(clippy::needless_range_loop)]
             // indexing avoids holding a borrow across the mutation below
             for k in 0..beam.len() {
-                let q = beam[k].0;
+                let (q, dq) = beam[k];
                 for &c in &self.nodes[q as usize].children {
-                    if self.nodes[c as usize].level == level {
+                    let node = &self.nodes[c as usize];
+                    if node.level == level {
+                        if dq - node.parent_dist - reach_child > base {
+                            continue;
+                        }
                         let d = self.node_dist(c, query);
                         if !visit(&mut base, c, d) {
                             return;

@@ -20,6 +20,13 @@ pub(crate) struct Node {
     /// all levels below. Children attached at level `j` satisfy
     /// `dis(child, self) ≤ 2^{j+1}`.
     pub(crate) level: i32,
+    /// The exact distance to this node's parent, recorded at insertion
+    /// time (0 for the root). Usually far below the `2^{level+1}`
+    /// covering cap, which is what makes it a *tighter* anchor: both
+    /// insertion and every query skip a child whose parent-anchored
+    /// triangle lower bound already clears the pruning radius — without
+    /// evaluating the child's distance.
+    pub(crate) parent_dist: f64,
     /// Explicit children (node ids), each with `child.level < self.level`.
     pub(crate) children: Vec<u32>,
     /// Exact duplicates of `point` (distance 0), collapsed into this node so
@@ -218,6 +225,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             self.nodes.push(Node {
                 point: index as u32,
                 level: 0,
+                parent_dist: 0.0,
                 children: Vec::new(),
                 same: Vec::new(),
             });
@@ -243,21 +251,21 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
         // Cover set Q_i: (node id, distance to p) for the nodes whose
         // implicit chains at `level` may still adopt p.
         let mut cover: Vec<(u32, f64)> = vec![(root, d_root)];
-        // Deepest (node, level j) seen with `node ∈ Q_j` and
+        // Deepest (node, level j, distance) seen with `node ∈ Q_j` and
         // `dis(p, node) ≤ 2^j`; on descent failure p attaches under `node`
         // at level `j − 1` (textbook step 3b, with the cascade flattened).
-        let mut parent: (u32, i32) = (root, self.nodes[root as usize].level);
+        let mut parent: (u32, i32, f64) = (root, self.nodes[root as usize].level, d_root);
         debug_assert!(d_root <= exp2(parent.1));
 
         loop {
             let radius = exp2(level);
             // Remember the closest valid parent among the incoming Q_i.
-            if let Some(&(q, _)) = cover
+            if let Some(&(q, d)) = cover
                 .iter()
                 .filter(|&&(_, d)| d <= radius)
                 .min_by(|a, b| a.1.total_cmp(&b.1))
             {
-                parent = (q, level);
+                parent = (q, level, d);
             }
             // Expand: Q = Q_i ∪ {children of Q_i at level − 1} (the nodes
             // themselves stand in for their implicit self-children).
@@ -265,13 +273,21 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             #[allow(clippy::needless_range_loop)]
             // indexing avoids holding a borrow across the mutation below
             for k in 0..cover.len() {
-                let q = cover[k].0;
+                let (q, dq) = cover[k];
                 // Collect ids first: computing distances needs `&self`.
+                // Children whose parent-anchored lower bound
+                // `dis(p, q) − dis(c, q)` already exceeds the covering
+                // radius cannot join the next cover set (and cannot be a
+                // duplicate of p) — skip their distance evaluation; the
+                // resulting tree is identical.
                 let child_ids: Vec<u32> = self.nodes[q as usize]
                     .children
                     .iter()
                     .copied()
-                    .filter(|&c| self.nodes[c as usize].level == level - 1)
+                    .filter(|&c| {
+                        let node = &self.nodes[c as usize];
+                        node.level == level - 1 && dq - node.parent_dist <= radius
+                    })
                     .collect();
                 for c in child_ids {
                     let d = self.dist(c, p);
@@ -312,7 +328,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
             level = next.min(level - 1);
         }
 
-        let (pnode, plevel) = parent;
+        let (pnode, plevel, pdist) = parent;
         debug_assert!(
             self.dist(pnode, p) <= exp2(plevel),
             "covering invariant would break"
@@ -320,6 +336,7 @@ impl<'a, P, M: Metric<P>> CoverTree<'a, P, M> {
         let node = Node {
             point: index as u32,
             level: plevel - 1,
+            parent_dist: pdist,
             children: Vec::new(),
             same: Vec::new(),
         };

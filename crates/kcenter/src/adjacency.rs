@@ -1,7 +1,21 @@
-//! Center-to-center neighbor adjacency (the `A` sets of the paper).
+//! Center-to-center neighbor adjacency (the `A` sets of the paper),
+//! with pivot-screened construction and per-edge distance bounds.
 
-use mdbscan_metric::Metric;
-use mdbscan_parallel::{par_map_ranges, split_weighted, Csr, ParallelConfig};
+use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
+use mdbscan_parallel::{par_map_ranges, split_even, split_weighted, Csr, ParallelConfig};
+
+/// Pivots used to screen center pairs by the triangle inequality. The
+/// Gonzalez ordering makes the first few centers mutually far apart —
+/// exactly the spread a pivot set wants.
+const ADJ_PIVOTS: usize = 4;
+
+/// Below this many centers the `O(k²)` pair loop is too cheap for the
+/// pivot pre-pass to pay for itself.
+const ADJ_MIN_CENTERS_FOR_PIVOTS: usize = 16;
+
+/// One upper-triangle adjacency row: `(neighbor, lower bound, upper
+/// bound)` per edge, paired per worker chunk with its pruning counters.
+type UpperRows = Vec<Vec<(u32, f64, f64)>>;
 
 /// Symmetric adjacency over a center set: `neighbors[e]` lists every center
 /// index `e'` (position, not point id) with `dis(e, e') ≤ threshold`,
@@ -15,20 +29,45 @@ use mdbscan_parallel::{par_map_ranges, split_weighted, Csr, ParallelConfig};
 /// Rows are stored flat ([`Csr`]): the Step 1/3 inner loops walk
 /// `neighbors[e]` for every point, so the rows sit in one contiguous
 /// allocation instead of one `Vec` per center.
+///
+/// # Construction and pruning
+///
+/// [`CenterAdjacency::build_pruned`] screens the `O(k²/2)` candidate
+/// pairs against a handful of pivot rows (full distance rows of the
+/// first centers): a pair whose pivot-derived lower bound exceeds the
+/// threshold is rejected without evaluation, and one whose upper bound
+/// is already inside is accepted without evaluation. The *membership*
+/// is identical with screening on or off — only
+/// [`CenterAdjacency::pruning`] changes.
+///
+/// Each edge additionally carries sound lower/upper bounds on the
+/// center pair's distance ([`CenterAdjacency::lbound_row`] /
+/// [`CenterAdjacency::ubound_row`]) — exact when the pair was
+/// evaluated, the pivot bounds when it was accepted for free. Step 2 of
+/// the exact pipeline uses them for distance-free fragment merges.
 #[derive(Debug, Clone)]
 pub struct CenterAdjacency {
     /// Per center (by position), the neighboring center positions
     /// (ascending, self included). Index with `neighbors[e]` to get the
     /// row slice.
     pub neighbors: Csr,
+    /// Per adjacency entry (aligned with the `neighbors` values): a
+    /// sound lower bound on the center pair's distance (exact when the
+    /// pair was evaluated; 0 for the self entry).
+    pub lbounds: Vec<f64>,
+    /// Per adjacency entry: a sound upper bound on the center pair's
+    /// distance (`≤ threshold` by membership; exact when evaluated).
+    pub ubounds: Vec<f64>,
     /// The distance threshold the adjacency was computed at.
     pub threshold: f64,
+    /// Triangle-inequality screening counters of the build.
+    pub pruning: PruneStats,
 }
 
 impl CenterAdjacency {
-    /// Builds the adjacency with default parallelism. See
-    /// [`CenterAdjacency::build_with`].
-    pub fn build<P: Sync, M: Metric<P> + Sync>(
+    /// Builds the adjacency with default parallelism and pruning. See
+    /// [`CenterAdjacency::build_pruned`].
+    pub fn build<P: Sync, M: BatchMetric<P> + Sync>(
         points: &[P],
         metric: &M,
         centers: &[usize],
@@ -43,51 +82,150 @@ impl CenterAdjacency {
         )
     }
 
-    /// Builds the adjacency by pairwise early-abandoned distance tests,
-    /// parallelized over upper-triangle rows.
-    ///
-    /// `centers` holds point indices into `points`. `O(|E|²/2)` calls to
-    /// [`Metric::distance_leq`] total, independent of the thread count;
-    /// rows are weighted by their remaining-triangle size so workers get
-    /// balanced shares. The result is identical for every thread count.
-    pub fn build_with<P: Sync, M: Metric<P> + Sync>(
+    /// Builds the adjacency with explicit parallelism and default
+    /// (enabled) pruning. See [`CenterAdjacency::build_pruned`].
+    pub fn build_with<P: Sync, M: BatchMetric<P> + Sync>(
         points: &[P],
         metric: &M,
         centers: &[usize],
         threshold: f64,
         parallel: &ParallelConfig,
     ) -> Self {
+        Self::build_pruned(
+            points,
+            metric,
+            centers,
+            threshold,
+            parallel,
+            &PruningConfig::default(),
+        )
+    }
+
+    /// Builds the adjacency by pairwise early-abandoned distance tests,
+    /// parallelized over upper-triangle rows and screened against pivot
+    /// rows when `pruning` is enabled.
+    ///
+    /// `centers` holds point indices into `points`. Without screening:
+    /// `O(|E|²/2)` calls to [`mdbscan_metric::Metric::distance_leq`],
+    /// independent of the thread count; rows are weighted by their
+    /// remaining-triangle size so workers get balanced shares. The
+    /// resulting membership is identical for every thread count and
+    /// every pruning setting.
+    pub fn build_pruned<P: Sync, M: BatchMetric<P> + Sync>(
+        points: &[P],
+        metric: &M,
+        centers: &[usize],
+        threshold: f64,
+        parallel: &ParallelConfig,
+        pruning: &PruningConfig,
+    ) -> Self {
         assert!(
             threshold.is_finite() && threshold >= 0.0,
             "adjacency threshold must be non-negative, got {threshold}"
         );
         let k = centers.len();
-        // Upper triangle, row-parallel: row i holds every j > i within
-        // the threshold. Weight = number of pairs the row tests.
+        let center_ids: Vec<u32> = centers.iter().map(|&c| c as u32).collect();
         let threads = if k >= 256 { parallel.threads() } else { 1 };
-        let ranges = split_weighted(k, threads, |i| k - 1 - i);
-        let upper_chunks: Vec<Vec<Vec<u32>>> = par_map_ranges(ranges, |rows| {
-            rows.map(|i| {
-                let ci = &points[centers[i]];
-                ((i + 1)..k)
-                    .filter(|&j| {
-                        metric
-                            .distance_leq(ci, &points[centers[j]], threshold)
-                            .is_some()
-                    })
-                    .map(|j| j as u32)
-                    .collect()
+        let mut stats = PruneStats::default();
+
+        // Pivot rows: full distance rows of the first centers. Row `p`
+        // of the upper triangle needs those distances anyway, so the
+        // only extra evaluations are the `≤ np²` pivot-pivot repeats.
+        let np = if pruning.enabled && k >= ADJ_MIN_CENTERS_FOR_PIVOTS {
+            k.min(ADJ_PIVOTS)
+        } else {
+            0
+        };
+        let pivot_rows: Vec<Vec<f64>> = (0..np)
+            .map(|p| {
+                let query = &points[centers[p]];
+                let chunks = par_map_ranges(split_even(k, threads), |r| {
+                    let mut out = Vec::new();
+                    metric.dist_many(points, query, &center_ids[r], &mut out);
+                    out
+                });
+                chunks.into_iter().flatten().collect()
             })
-            .collect()
+            .collect();
+        // Ledger: the pivot rows double as the first `np` upper-triangle
+        // rows (their pair decisions are read off below without further
+        // evaluations), so the only *overhead* relative to the unpruned
+        // build is the lower-triangle-and-diagonal part of the pivot
+        // block — `np(np+1)/2` evaluations, not the full `np·k`.
+        stats.anchor_evals += (np * (np + 1) / 2) as u64;
+
+        // Upper triangle, row-parallel: row i holds every j > i within
+        // the threshold, each with (lower, upper) distance bounds.
+        // Weight = number of pairs the row tests.
+        let ranges = split_weighted(k, threads, |i| k - 1 - i);
+        let row_chunks: Vec<(UpperRows, PruneStats)> = par_map_ranges(ranges, |rows| {
+            let mut local = PruneStats::default();
+            let mut surv_ids: Vec<u32> = Vec::new();
+            let mut surv_js: Vec<u32> = Vec::new();
+            let mut dists: Vec<f64> = Vec::new();
+            let out = rows
+                .map(|i| {
+                    let mut row: Vec<(u32, f64, f64)> = Vec::new();
+                    if i < np {
+                        // The pivot row already holds this row's exact
+                        // distances — zero further evaluations.
+                        for (j, &d) in pivot_rows[i].iter().enumerate().skip(i + 1) {
+                            if d <= threshold {
+                                row.push((j as u32, d, d));
+                            }
+                        }
+                        return row;
+                    }
+                    let ci = &points[centers[i]];
+                    surv_ids.clear();
+                    surv_js.clear();
+                    // j indexes every pivot row at once; zipping them would
+                    // allocate per pair
+                    for j in (i + 1)..k {
+                        let mut lb = 0.0f64;
+                        let mut ub = f64::INFINITY;
+                        for pr in &pivot_rows {
+                            lb = lb.max((pr[i] - pr[j]).abs());
+                            ub = ub.min(pr[i] + pr[j]);
+                        }
+                        if lb > threshold {
+                            local.bound_rejects += 1;
+                        } else if ub <= threshold {
+                            local.bound_accepts += 1;
+                            row.push((j as u32, lb, ub));
+                        } else {
+                            surv_ids.push(center_ids[j]);
+                            surv_js.push(j as u32);
+                        }
+                    }
+                    if !surv_ids.is_empty() {
+                        metric.dist_many_within(points, ci, &surv_ids, threshold, &mut dists);
+                        for (&j, &d) in surv_js.iter().zip(&dists) {
+                            if d.is_finite() {
+                                row.push((j, d, d));
+                            }
+                        }
+                        row.sort_unstable_by_key(|&(j, _, _)| j);
+                    }
+                    row
+                })
+                .collect();
+            (out, local)
         });
+        let mut upper: Vec<Vec<(u32, f64, f64)>> = Vec::with_capacity(k);
+        for (chunk, local) in row_chunks {
+            upper.extend(chunk);
+            stats.merge(&local);
+        }
 
         // Assemble the symmetric CSR; each row comes out ascending:
         // mirrored smaller neighbors first (sources visited in ascending
-        // i), then self, then the row's own larger neighbors.
+        // i), then self, then the row's own larger neighbors. The bound
+        // arrays stay aligned with the value array throughout.
         let mut offsets = vec![0usize; k + 1];
-        for (i, row) in upper_chunks.iter().flatten().enumerate() {
+        for (i, row) in upper.iter().enumerate() {
             offsets[i + 1] += row.len() + 1; // + self
-            for &j in row {
+            for &(j, _, _) in row {
                 offsets[j as usize + 1] += 1;
             }
         }
@@ -96,9 +234,13 @@ impl CenterAdjacency {
         }
         let mut cursor: Vec<usize> = offsets[..k].to_vec();
         let mut values = vec![0u32; offsets[k]];
-        for (i, row) in upper_chunks.iter().flatten().enumerate() {
-            for &j in row {
+        let mut lbounds = vec![0.0f64; offsets[k]];
+        let mut ubounds = vec![0.0f64; offsets[k]];
+        for (i, row) in upper.iter().enumerate() {
+            for &(j, lo, hi) in row {
                 values[cursor[j as usize]] = i as u32;
+                lbounds[cursor[j as usize]] = lo;
+                ubounds[cursor[j as usize]] = hi;
                 cursor[j as usize] += 1;
             }
             // Mirrored entries for row i come only from sources < i, all
@@ -106,15 +248,22 @@ impl CenterAdjacency {
             values[cursor[i]] = i as u32;
             cursor[i] += 1;
         }
-        for (i, row) in upper_chunks.iter().flatten().enumerate() {
-            values[cursor[i]..cursor[i] + row.len()].copy_from_slice(row);
-            cursor[i] += row.len();
+        for (i, row) in upper.iter().enumerate() {
+            for &(j, lo, hi) in row {
+                values[cursor[i]] = j;
+                lbounds[cursor[i]] = lo;
+                ubounds[cursor[i]] = hi;
+                cursor[i] += 1;
+            }
         }
         debug_assert!(cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o));
 
         Self {
             neighbors: Csr::from_parts(offsets, values),
+            lbounds,
+            ubounds,
             threshold,
+            pruning: stats,
         }
     }
 
@@ -126,6 +275,25 @@ impl CenterAdjacency {
     /// True when there are no centers.
     pub fn is_empty(&self) -> bool {
         self.neighbors.is_empty()
+    }
+
+    /// The per-edge distance **lower** bounds of row `e`, aligned with
+    /// `self.neighbors[e]`.
+    pub fn lbound_row(&self, e: usize) -> &[f64] {
+        &self.lbounds[self.neighbors.row_range(e)]
+    }
+
+    /// The per-edge distance **upper** bounds of row `e`, aligned with
+    /// `self.neighbors[e]`.
+    pub fn ubound_row(&self, e: usize) -> &[f64] {
+        &self.ubounds[self.neighbors.row_range(e)]
+    }
+
+    /// Approximate heap footprint in bytes (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.neighbors.total_len() * std::mem::size_of::<u32>()
+            + (self.neighbors.num_rows() + 1) * std::mem::size_of::<usize>()
+            + (self.lbounds.len() + self.ubounds.len()) * std::mem::size_of::<f64>()
     }
 
     /// Mean neighbor-list size — the empirical `|A_p|`, reported by the
@@ -142,7 +310,7 @@ impl CenterAdjacency {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdbscan_metric::Euclidean;
+    use mdbscan_metric::{Euclidean, Metric};
 
     #[test]
     fn adjacency_is_symmetric_and_reflexive() {
@@ -190,7 +358,70 @@ mod tests {
                 &ParallelConfig::new(threads),
             );
             assert_eq!(seq.neighbors, par.neighbors, "threads={threads}");
+            assert_eq!(seq.lbounds, par.lbounds, "threads={threads}");
+            assert_eq!(seq.ubounds, par.ubounds, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pruned_build_matches_unpruned_membership_with_sound_bounds() {
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    (i % 3) as f64 * 40.0 + (i % 17) as f64 * 0.3,
+                    (i / 100) as f64 * 40.0 + (i % 13) as f64 * 0.4,
+                ]
+            })
+            .collect();
+        let centers: Vec<usize> = (0..300).collect();
+        for threshold in [2.0, 10.0, 50.0] {
+            let off = CenterAdjacency::build_pruned(
+                &pts,
+                &Euclidean,
+                &centers,
+                threshold,
+                &ParallelConfig::sequential(),
+                &PruningConfig::off(),
+            );
+            let on = CenterAdjacency::build_pruned(
+                &pts,
+                &Euclidean,
+                &centers,
+                threshold,
+                &ParallelConfig::sequential(),
+                &PruningConfig::default(),
+            );
+            assert_eq!(off.neighbors, on.neighbors, "threshold={threshold}");
+            assert_eq!(off.pruning, PruneStats::default());
+            // Every edge's bounds must sandwich the true distance.
+            for e in 0..on.len() {
+                let row = &on.neighbors[e];
+                let lbs = on.lbound_row(e);
+                let ubs = on.ubound_row(e);
+                for ((&o, &lo), &hi) in row.iter().zip(lbs).zip(ubs) {
+                    let d = Euclidean.distance(&pts[centers[e]], &pts[centers[o as usize]]);
+                    assert!(
+                        lo <= d + 1e-9 && d <= hi + 1e-9,
+                        "edge ({e},{o}): bounds [{lo},{hi}] miss d={d}"
+                    );
+                    assert!(hi <= threshold + 1e-9);
+                }
+            }
+        }
+        // On clustered data at a mid threshold the screen must fire.
+        let on = CenterAdjacency::build_pruned(
+            &pts,
+            &Euclidean,
+            &centers,
+            10.0,
+            &ParallelConfig::sequential(),
+            &PruningConfig::default(),
+        );
+        assert!(
+            on.pruning.bound_rejects > 0,
+            "pivot screen never fired: {:?}",
+            on.pruning
+        );
     }
 
     #[test]
@@ -199,6 +430,8 @@ mod tests {
         let adj = CenterAdjacency::build(&pts, &Euclidean, &[0, 1], 0.0);
         assert_eq!(&adj.neighbors[0], &[0u32][..]);
         assert_eq!(&adj.neighbors[1], &[1u32][..]);
+        assert_eq!(adj.lbound_row(0), &[0.0][..]);
+        assert_eq!(adj.ubound_row(0), &[0.0][..]);
     }
 
     #[test]

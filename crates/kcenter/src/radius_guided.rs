@@ -153,7 +153,7 @@ impl RadiusGuidedNet {
     /// `4r̄ + ε` (definition (13)). Cost: `|E|²/2` early-abandoned distance
     /// evaluations — independent of `n`, so re-running it per `(ε, MinPts)`
     /// choice is the cheap part of parameter tuning.
-    pub fn neighbor_adjacency<P: Sync, M: Metric<P> + Sync>(
+    pub fn neighbor_adjacency<P: Sync, M: mdbscan_metric::BatchMetric<P> + Sync>(
         &self,
         points: &[P],
         metric: &M,

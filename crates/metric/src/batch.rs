@@ -1,0 +1,295 @@
+//! Batched distance evaluation: the [`BatchMetric`] extension trait.
+//!
+//! The hot loops of the DBSCAN pipeline rarely ask for one distance:
+//! they ask for the distances from one query point to a *list* of
+//! candidates (a center-adjacency row, the anchors of a neighbor-ball
+//! scan, a pivot row). [`BatchMetric`] gives metrics a single entry
+//! point for that shape so they can amortize per-call setup across the
+//! batch — without changing a single result.
+//!
+//! # Contract
+//!
+//! An override of [`BatchMetric::dist_many`] /
+//! [`BatchMetric::dist_many_within`] **must return exactly the values**
+//! the corresponding [`Metric::distance`] / [`Metric::distance_leq`]
+//! loop would produce — same floating-point results, bit for bit, not
+//! merely mathematically equal values. The pipeline's determinism
+//! guarantee ("labels identical across thread counts, cache hits, and
+//! pruning settings") compares runs that may take the batched path in
+//! one configuration and the scalar path in another; any divergence
+//! between the two paths would surface as label differences. Overriding
+//! is therefore only appropriate when the batch kernel reuses *setup*
+//! (decoded queries, scratch buffers, cached norms), never when it
+//! reorders the arithmetic of an individual distance.
+//!
+//! The default implementations are plain loops over the scalar entry
+//! points, so every metric satisfies the contract for free; the
+//! workspace overrides it where setup dominates:
+//!
+//! * [`crate::Levenshtein`] decodes the query's `char`s once and reuses
+//!   its DP rows across the batch, with candidates processed in
+//!   length-sorted buckets so the bounded variant rejects whole buckets
+//!   by the length gap alone;
+//! * [`crate::VectorBlock`] (flat contiguous storage) walks adjacent
+//!   rows and uses its cached norms for evaluation-free rejection in
+//!   the bounded variant.
+
+use crate::counting::CountingMetric;
+use crate::metric::{FnMetric, Metric};
+use crate::sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
+use crate::string::{levenshtein_full_with, Hamming, Levenshtein};
+use crate::vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};
+
+/// Batched distance evaluation against an indexed point slice. See the
+/// crate-level docs for the exactness contract overrides must obey.
+///
+/// `ids` index into `points`; results land in `out` (cleared first), in
+/// the same order as `ids`.
+pub trait BatchMetric<P>: Metric<P> {
+    /// The distances from `query` to each `points[ids[i]]`, in order.
+    ///
+    /// Default: one [`Metric::distance`] call per id.
+    fn dist_many(&self, points: &[P], query: &P, ids: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            ids.iter()
+                .map(|&i| self.distance(query, &points[i as usize])),
+        );
+    }
+
+    /// The bounded variant: `out[i]` is the distance to `points[ids[i]]`
+    /// when it is `≤ bound`, and `f64::INFINITY` otherwise.
+    ///
+    /// Default: one [`Metric::distance_leq`] call per id, so
+    /// early-abandoning metrics keep their per-pair cutoff.
+    fn dist_many_within(
+        &self,
+        points: &[P],
+        query: &P,
+        ids: &[u32],
+        bound: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(ids.iter().map(|&i| {
+            self.distance_leq(query, &points[i as usize], bound)
+                .unwrap_or(f64::INFINITY)
+        }));
+    }
+}
+
+/// Forward through references, like the [`Metric`] blanket impl.
+impl<P, M: BatchMetric<P> + ?Sized> BatchMetric<P> for &M {
+    fn dist_many(&self, points: &[P], query: &P, ids: &[u32], out: &mut Vec<f64>) {
+        (**self).dist_many(points, query, ids, out)
+    }
+    fn dist_many_within(
+        &self,
+        points: &[P],
+        query: &P,
+        ids: &[u32],
+        bound: f64,
+        out: &mut Vec<f64>,
+    ) {
+        (**self).dist_many_within(points, query, ids, bound, out)
+    }
+}
+
+/// Counts the whole batch with one atomic add, then delegates to the
+/// inner metric's (possibly specialized) kernel.
+impl<P, M: BatchMetric<P>> BatchMetric<P> for CountingMetric<M> {
+    fn dist_many(&self, points: &[P], query: &P, ids: &[u32], out: &mut Vec<f64>) {
+        self.add(ids.len() as u64);
+        self.inner().dist_many(points, query, ids, out)
+    }
+    fn dist_many_within(
+        &self,
+        points: &[P],
+        query: &P,
+        ids: &[u32],
+        bound: f64,
+        out: &mut Vec<f64>,
+    ) {
+        self.add(ids.len() as u64);
+        self.inner()
+            .dist_many_within(points, query, ids, bound, out)
+    }
+}
+
+// Vector metrics over owned points: the default loops are already
+// optimal for scattered `Vec<f64>` rows (no setup to amortize) — the
+// specialized vector kernel lives on `crate::VectorBlock`, whose
+// contiguous storage is what makes a better kernel possible.
+impl BatchMetric<Vec<f64>> for Euclidean {}
+impl BatchMetric<Vec<f64>> for Manhattan {}
+impl BatchMetric<Vec<f64>> for Chebyshev {}
+impl BatchMetric<Vec<f64>> for Minkowski {}
+impl BatchMetric<Vec<f64>> for Angular {}
+
+impl BatchMetric<SparseVector> for SparseEuclidean {}
+impl BatchMetric<SparseVector> for SparseAngular {}
+impl BatchMetric<SparseVector> for SparseJaccard {}
+
+impl BatchMetric<String> for Hamming {}
+
+/// Closure metrics get the default loops.
+impl<P, F> BatchMetric<P> for FnMetric<F> where F: Fn(&P, &P) -> f64 + Send + Sync {}
+
+/// Length-bucketed batch kernel for edit distance.
+///
+/// Per batch, the query is decoded to `char`s **once** and the DP rows
+/// are allocated **once** (the scalar path re-does both per pair —
+/// `O(|q|)` and two allocations every call). Candidates are processed
+/// in order of length; in the bounded variant the length gap
+/// `||a| − |b|| > ⌊bound⌋` rejects candidates before decoding them.
+impl BatchMetric<String> for Levenshtein {
+    fn dist_many(&self, points: &[String], query: &String, ids: &[u32], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        let qc: Vec<char> = query.chars().collect();
+        let mut cc: Vec<char> = Vec::new();
+        let (mut prev, mut cur) = (Vec::new(), Vec::new());
+        // Process in ascending candidate length: the DP rows are sized
+        // by the candidate, so buckets of equal length reuse rows
+        // without regrowth. Results are written back by position, so the
+        // output order is unaffected.
+        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+        order.sort_by_key(|&k| points[ids[k as usize] as usize].len());
+        for k in order {
+            let cand = &points[ids[k as usize] as usize];
+            out[k as usize] = if query == cand {
+                0.0
+            } else {
+                cc.clear();
+                cc.extend(cand.chars());
+                levenshtein_full_with(&qc, &cc, &mut prev, &mut cur) as f64
+            };
+        }
+    }
+
+    fn dist_many_within(
+        &self,
+        points: &[String],
+        query: &String,
+        ids: &[u32],
+        bound: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(ids.len(), f64::INFINITY);
+        if bound < 0.0 {
+            return;
+        }
+        let k_max = bound.floor() as usize;
+        let qc: Vec<char> = query.chars().collect();
+        let query_ascii = query.is_ascii();
+        let mut cc: Vec<char> = Vec::new();
+        let (mut prev, mut cur) = (Vec::new(), Vec::new());
+        let mut order: Vec<u32> = (0..ids.len() as u32).collect();
+        order.sort_by_key(|&k| points[ids[k as usize] as usize].len());
+        for k in order {
+            let cand = &points[ids[k as usize] as usize];
+            if query == cand {
+                out[k as usize] = 0.0;
+                continue;
+            }
+            // Pre-reject on the byte-length gap when both sides are
+            // ASCII (then bytes == chars): the banded DP would reject on
+            // the same gap after decoding, so this only skips the decode.
+            if query_ascii && cand.is_ascii() && query.len().abs_diff(cand.len()) > k_max {
+                continue;
+            }
+            cc.clear();
+            cc.extend(cand.chars());
+            if let Some(d) =
+                crate::string::levenshtein_banded_with(&qc, &cc, k_max, &mut prev, &mut cur)
+            {
+                out[k as usize] = d as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn default_batch_matches_scalar_loop() {
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 * 0.7, (i as f64).sin()])
+            .collect();
+        let q = vec![3.3, 0.2];
+        let mut out = Vec::new();
+        Euclidean.dist_many(&pts, &q, &ids(30), &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            assert_eq!(d, Euclidean.distance(&q, &pts[i]), "i={i}");
+        }
+        Euclidean.dist_many_within(&pts, &q, &ids(30), 5.0, &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            match Euclidean.distance_leq(&q, &pts[i], 5.0) {
+                Some(want) => assert_eq!(d, want, "i={i}"),
+                None => assert_eq!(d, f64::INFINITY, "i={i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_batch_matches_scalar_loop() {
+        let words: Vec<String> = [
+            "cluster",
+            "clusters",
+            "cloister",
+            "",
+            "a",
+            "banana",
+            "bandana",
+            "dbscan",
+            "clattering",
+            "日本語",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let q = "clustering".to_string();
+        let mut out = Vec::new();
+        Levenshtein.dist_many(&words, &q, &ids(words.len()), &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            assert_eq!(d, Levenshtein.distance(&q, &words[i]), "i={i}");
+        }
+        for bound in [-1.0, 0.0, 1.0, 3.0, 10.0] {
+            Levenshtein.dist_many_within(&words, &q, &ids(words.len()), bound, &mut out);
+            for (i, &d) in out.iter().enumerate() {
+                match Levenshtein.distance_leq(&q, &words[i], bound) {
+                    Some(want) => assert_eq!(d, want, "i={i} bound={bound}"),
+                    None => assert_eq!(d, f64::INFINITY, "i={i} bound={bound}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_metric_counts_batches() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let m = CountingMetric::new(Euclidean);
+        let mut out = Vec::new();
+        m.dist_many(&pts, &vec![0.5], &ids(10), &mut out);
+        assert_eq!(m.count(), 10);
+        m.dist_many_within(&pts, &vec![0.5], &ids(4), 1.0, &mut out);
+        assert_eq!(m.count(), 14);
+    }
+
+    #[test]
+    fn reference_forwarding_reaches_the_kernel() {
+        let words: Vec<String> = vec!["abc".into(), "abd".into()];
+        let q = "abc".to_string();
+        let r = &Levenshtein;
+        let mut out = Vec::new();
+        BatchMetric::dist_many(&r, &words, &q, &ids(2), &mut out);
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+}

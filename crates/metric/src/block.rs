@@ -1,0 +1,334 @@
+//! Flat contiguous vector storage with cached norms: the specialized
+//! batch kernel for Euclidean workloads.
+//!
+//! `Vec<Vec<f64>>` scatters every row behind its own allocation — the
+//! batched inner loops chase a pointer per candidate. [`VectorBlock`]
+//! stores all rows in **one** buffer (row-major, `f32` or `f64` via
+//! [`BlockScalar`]) and caches each row's L2 norm at construction. The
+//! *points* handed to the clustering engine are then just the row
+//! indices (`u32`), and the block itself is the metric:
+//!
+//! ```
+//! use mdbscan_metric::{Metric, VectorBlock};
+//!
+//! let block = VectorBlock::<f64>::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+//! let ids = block.ids(); // [0, 1] — these are the engine's "points"
+//! assert_eq!(block.distance(&ids[0], &ids[1]), 5.0);
+//! ```
+//!
+//! What the layout buys:
+//!
+//! * **batching** ([`crate::BatchMetric`]): candidate rows stream from
+//!   one allocation, and the cached norms give the bounded variant a
+//!   coordinate-free reject (`|‖a‖ − ‖b‖| ≤ dis(a, b)`, the reverse
+//!   triangle inequality) before any coordinate is read;
+//! * **`f32` storage** halves memory traffic for bandwidth-bound
+//!   high-dimensional sweeps; accumulation stays in `f64`.
+//!
+//! Distances are computed with the same accumulation order as
+//! [`crate::Euclidean`] over `Vec<f64>` rows, so an `f64` block yields
+//! bit-identical clusterings to the scattered representation.
+
+use crate::batch::BatchMetric;
+use crate::metric::Metric;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Element type of a [`VectorBlock`]: `f32` (half the memory traffic)
+/// or `f64` (bit-compatible with [`crate::Euclidean`] on `Vec<f64>`).
+pub trait BlockScalar: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Widens to `f64` for accumulation.
+    fn to_f64(self) -> f64;
+    /// Narrows from `f64` at construction time.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl BlockScalar for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl BlockScalar for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Row-major contiguous vector storage acting as a **Euclidean metric
+/// over row indices** (`Metric<u32>`), with per-row L2 norms cached for
+/// the batched bounded kernel.
+#[derive(Debug, Clone)]
+pub struct VectorBlock<T = f64> {
+    dim: usize,
+    rows: usize,
+    data: Vec<T>,
+    norms: Vec<f64>,
+}
+
+impl<T: BlockScalar> VectorBlock<T> {
+    /// Packs `rows` into one flat buffer and caches their norms.
+    ///
+    /// Panics if the rows are ragged (unequal lengths) or contain
+    /// non-finite values — the same inputs [`crate::validate_vectors`]
+    /// rejects.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                dim,
+                "ragged input: row {i} has {} dims, row 0 has {dim}",
+                row.len()
+            );
+            for &v in row {
+                assert!(v.is_finite(), "non-finite value in row {i}");
+                data.push(T::from_f64(v));
+            }
+        }
+        Self::from_flat(dim, data)
+    }
+
+    /// Wraps an already-flat row-major buffer (`data.len()` must be a
+    /// multiple of `dim`; with `dim == 0` the buffer must be empty and
+    /// the block holds zero points).
+    pub fn from_flat(dim: usize, data: Vec<T>) -> Self {
+        let rows = if dim == 0 {
+            assert!(data.is_empty(), "dim 0 with non-empty data");
+            0
+        } else {
+            assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+            data.len() / dim
+        };
+        let norms = (0..rows)
+            .map(|r| {
+                data[r * dim..(r + 1) * dim]
+                    .iter()
+                    .map(|v| {
+                        let x = v.to_f64();
+                        x * x
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        Self {
+            dim,
+            rows,
+            data,
+            norms,
+        }
+    }
+
+    /// Number of stored rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a scalar slice.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The cached L2 norm of row `i`.
+    pub fn norm(&self, i: usize) -> f64 {
+        self.norms[i]
+    }
+
+    /// The point set to hand to a clustering engine: the row indices
+    /// `[0, 1, …, len − 1]`.
+    pub fn ids(&self) -> Vec<u32> {
+        (0..self.rows as u32).collect()
+    }
+
+    #[inline]
+    fn row_distance(&self, a: usize, b: usize) -> f64 {
+        let (ra, rb) = (self.row(a), self.row(b));
+        let mut sum = 0.0;
+        for (x, y) in ra.iter().zip(rb.iter()) {
+            let d = x.to_f64() - y.to_f64();
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+}
+
+impl<T: BlockScalar> Metric<u32> for VectorBlock<T> {
+    #[inline]
+    fn distance(&self, a: &u32, b: &u32) -> f64 {
+        self.row_distance(*a as usize, *b as usize)
+    }
+
+    #[inline]
+    fn distance_leq(&self, a: &u32, b: &u32, bound: f64) -> Option<f64> {
+        if bound < 0.0 {
+            return None;
+        }
+        // Reverse triangle inequality on the cached norms: a free reject
+        // before any coordinate is touched.
+        if (self.norms[*a as usize] - self.norms[*b as usize]).abs() > bound {
+            return None;
+        }
+        let d = self.row_distance(*a as usize, *b as usize);
+        (d <= bound).then_some(d)
+    }
+}
+
+impl<T: BlockScalar> BatchMetric<u32> for VectorBlock<T> {
+    /// Streams candidate rows out of the flat buffer. `points` is the
+    /// id slice the engine owns; each id addresses a row of this block.
+    fn dist_many(&self, points: &[u32], query: &u32, ids: &[u32], out: &mut Vec<f64>) {
+        let q = *query as usize;
+        out.clear();
+        out.extend(
+            ids.iter()
+                .map(|&i| self.row_distance(q, points[i as usize] as usize)),
+        );
+    }
+
+    /// Norm-screened bounded batch: rows whose cached-norm gap already
+    /// exceeds `bound` are rejected without reading a coordinate.
+    fn dist_many_within(
+        &self,
+        points: &[u32],
+        query: &u32,
+        ids: &[u32],
+        bound: f64,
+        out: &mut Vec<f64>,
+    ) {
+        let q = *query as usize;
+        out.clear();
+        if bound < 0.0 {
+            out.resize(ids.len(), f64::INFINITY);
+            return;
+        }
+        let nq = self.norms[q];
+        out.extend(ids.iter().map(|&i| {
+            let r = points[i as usize] as usize;
+            if (nq - self.norms[r]).abs() > bound {
+                return f64::INFINITY;
+            }
+            let d = self.row_distance(q, r);
+            if d <= bound {
+                d
+            } else {
+                f64::INFINITY
+            }
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Euclidean;
+
+    fn rows() -> Vec<Vec<f64>> {
+        (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin() * 3.0,
+                    (i % 7) as f64,
+                    i as f64 * 0.01,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f64_block_matches_euclidean_bitwise() {
+        let rows = rows();
+        let block = VectorBlock::<f64>::from_rows(&rows);
+        assert_eq!(block.len(), 40);
+        assert_eq!(block.dim(), 3);
+        for a in 0..rows.len() {
+            for b in 0..rows.len() {
+                let want = Euclidean.distance(&rows[a], &rows[b]);
+                assert_eq!(block.distance(&(a as u32), &(b as u32)), want);
+                match block.distance_leq(&(a as u32), &(b as u32), 2.5) {
+                    Some(d) => assert!(d <= 2.5 && d == want),
+                    None => assert!(want > 2.5),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_block_is_a_metric() {
+        let rows = rows();
+        let block = VectorBlock::<f32>::from_rows(&rows);
+        for a in 0..rows.len() {
+            assert_eq!(block.distance(&(a as u32), &(a as u32)), 0.0);
+            for b in 0..rows.len() {
+                let d = block.distance(&(a as u32), &(b as u32));
+                let want = Euclidean.distance(&rows[a], &rows[b]);
+                assert!((d - want).abs() < 1e-3, "f32 distance off: {d} vs {want}");
+                assert_eq!(d, block.distance(&(b as u32), &(a as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let rows = rows();
+        let block = VectorBlock::<f64>::from_rows(&rows);
+        let pts = block.ids();
+        let ids: Vec<u32> = (0..pts.len() as u32).collect();
+        let mut out = Vec::new();
+        block.dist_many(&pts, &pts[3], &ids, &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            assert_eq!(d, block.distance(&pts[3], &pts[i]));
+        }
+        block.dist_many_within(&pts, &pts[3], &ids, 2.0, &mut out);
+        for (i, &d) in out.iter().enumerate() {
+            match block.distance_leq(&pts[3], &pts[i], 2.0) {
+                Some(want) => assert_eq!(d, want),
+                None => assert_eq!(d, f64::INFINITY),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_flat_constructors() {
+        let empty = VectorBlock::<f64>::from_rows(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.ids(), Vec::<u32>::new());
+        let flat = VectorBlock::<f64>::from_flat(2, vec![0.0, 0.0, 3.0, 4.0]);
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat.norm(1), 5.0);
+        assert_eq!(flat.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        let _ = VectorBlock::<f64>::from_rows(&[vec![0.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_flat_panics() {
+        let _ = VectorBlock::<f64>::from_flat(3, vec![0.0; 4]);
+    }
+}

@@ -48,6 +48,12 @@ impl<M> CountingMetric<M> {
         self.calls.swap(0, Ordering::Relaxed)
     }
 
+    /// Adds `n` evaluations in one shot (used by the batched entry
+    /// points, which count a whole batch with a single atomic add).
+    pub(crate) fn add(&self, n: u64) {
+        self.calls.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The wrapped metric.
     pub fn inner(&self) -> &M {
         &self.inner

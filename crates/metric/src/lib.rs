@@ -22,6 +22,34 @@
 //! * [`Dataset`] — a thin container bundling points with diagnostics
 //!   (aspect-ratio estimation, empirical doubling-dimension probes).
 //!
+//! # The distance-evaluation minimization layer
+//!
+//! Beyond evaluating distances, this crate hosts the two tools the
+//! pipeline uses to **avoid** evaluating them:
+//!
+//! * [`BatchMetric`] — batched evaluation (`dist_many`,
+//!   `dist_many_within`): one query against a list of candidate ids, so
+//!   metrics can amortize per-call setup (decoded strings, scratch
+//!   buffers, cached norms) across the batch. **Contract:** an override
+//!   must return bit-for-bit the values the scalar
+//!   [`Metric::distance`] / [`Metric::distance_leq`] loop would — the
+//!   solvers' determinism guarantee compares runs that take the batched
+//!   path in one configuration and the scalar path in another. The
+//!   provided methods are correct loop defaults, so opting a custom
+//!   metric in is one line — `impl BatchMetric<MyPoint> for MyMetric {}`
+//!   — which the solver crates now **require** (their entry points
+//!   bound on `BatchMetric`, since a blanket impl would forbid the
+//!   specialized kernels). [`Levenshtein`] (length-bucketed, query
+//!   decoded once) and [`VectorBlock`] (flat contiguous rows, cached
+//!   norms) override it; see the `batch` module docs for when
+//!   overriding is appropriate.
+//! * [`PruningConfig`] / [`PruneStats`] — the policy knob and counters
+//!   for net-anchored triangle-inequality pruning: once `dis(p, c_p)`
+//!   to a net center is known, `|dis(q, c_p) − dis(p, c_p)|` and
+//!   `dis(q, c_p) + dis(p, c_p)` sandwich `dis(p, q)`, deciding most
+//!   threshold queries without evaluating them. Pruning never changes
+//!   results — labels are bit-identical with it on or off.
+//!
 //! # Example
 //!
 //! ```
@@ -34,20 +62,26 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod batch;
+mod block;
 mod counting;
 mod dataset;
 mod doubling;
 mod error;
 mod metric;
+mod prune;
 mod sparse;
 mod string;
 mod vector;
 
+pub use batch::BatchMetric;
+pub use block::{BlockScalar, VectorBlock};
 pub use counting::CountingMetric;
 pub use dataset::{validate_vectors, Dataset};
 pub use doubling::{estimate_doubling_dimension, DoublingEstimate};
 pub use error::MetricError;
 pub use metric::{FnMetric, Metric};
+pub use prune::{PruneStats, PruningConfig};
 pub use sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
 pub use string::{Hamming, Levenshtein};
 pub use vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};

@@ -29,6 +29,20 @@ pub struct Levenshtein;
 pub struct Hamming;
 
 fn levenshtein_full(a: &[char], b: &[char]) -> usize {
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    levenshtein_full_with(a, b, &mut prev, &mut cur)
+}
+
+/// As [`levenshtein_full`], reusing caller-provided DP rows — the batched
+/// kernel ([`crate::BatchMetric`]) runs many candidates against one query
+/// and amortizes the row allocations across the whole batch.
+pub(crate) fn levenshtein_full_with(
+    a: &[char],
+    b: &[char],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -36,21 +50,37 @@ fn levenshtein_full(a: &[char], b: &[char]) -> usize {
         return a.len();
     }
     // One-row DP.
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur: Vec<usize> = vec![0; b.len() + 1];
+    prev.clear();
+    prev.extend(0..=b.len());
+    cur.clear();
+    cur.resize(b.len() + 1, 0);
     for (i, &ca) in a.iter().enumerate() {
         cur[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
             let sub = prev[j] + usize::from(ca != cb);
             cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[b.len()]
 }
 
 /// Banded Levenshtein: returns `Some(d)` iff `d <= k`.
 fn levenshtein_banded(a: &[char], b: &[char], k: usize) -> Option<usize> {
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    levenshtein_banded_with(a, b, k, &mut prev, &mut cur)
+}
+
+/// As [`levenshtein_banded`], reusing caller-provided DP rows (see
+/// [`levenshtein_full_with`]).
+pub(crate) fn levenshtein_banded_with(
+    a: &[char],
+    b: &[char],
+    k: usize,
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> Option<usize> {
     let (n, m) = (a.len(), b.len());
     if n.abs_diff(m) > k {
         return None;
@@ -64,8 +94,10 @@ fn levenshtein_banded(a: &[char], b: &[char], k: usize) -> Option<usize> {
     const BIG: usize = usize::MAX / 2;
     // prev[j] = edit distance of a[..i] vs b[..j] restricted to the band
     // |i - j| <= k; entries outside the band hold BIG.
-    let mut prev: Vec<usize> = vec![BIG; m + 1];
-    let mut cur: Vec<usize> = vec![BIG; m + 1];
+    prev.clear();
+    prev.resize(m + 1, BIG);
+    cur.clear();
+    cur.resize(m + 1, BIG);
     for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
         *p = j;
     }
@@ -93,7 +125,7 @@ fn levenshtein_banded(a: &[char], b: &[char], k: usize) -> Option<usize> {
         if row_min > k {
             return None;
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     let d = prev[m];
     (d <= k).then_some(d)

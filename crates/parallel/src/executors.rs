@@ -28,8 +28,11 @@ pub fn split_even(n: usize, parts: usize) -> Vec<Range<usize>> {
 }
 
 /// How many workers are worth spawning for `n` items when each thread
-/// should own at least `min_per_thread` of them.
-pub(crate) fn worker_count(threads: usize, n: usize, min_per_thread: usize) -> usize {
+/// should own at least `min_per_thread` of them. Callers that manage
+/// their own per-worker state (e.g. pruning-counter reduction) combine
+/// this with [`split_even`] + [`par_map_ranges`] to get the same
+/// sequential-degradation behavior as [`par_map_range`].
+pub fn worker_count(threads: usize, n: usize, min_per_thread: usize) -> usize {
     threads.max(1).min(n / min_per_thread.max(1)).max(1)
 }
 

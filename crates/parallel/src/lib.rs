@@ -35,5 +35,5 @@ mod sweeps;
 
 pub use config::ParallelConfig;
 pub use csr::Csr;
-pub use executors::{par_map_range, par_map_ranges, split_even, split_weighted};
+pub use executors::{par_map_range, par_map_ranges, split_even, split_weighted, worker_count};
 pub use sweeps::{sweep_rounds, SweepTask};

@@ -6,16 +6,23 @@
 //! more time in thread startup than in distance evaluations once the
 //! per-round work shrinks — so this engine spawns each worker **once**,
 //! hands it ownership of a contiguous chunk of the `(dist, assignment)`
-//! arrays, and drives rounds over channels: broadcast task → per-chunk
-//! update + local argmax → ordered reduction on the driver thread.
+//! arrays, and drives rounds over a park/unpark **generation barrier**:
+//! the driver publishes the round's task and bumps a generation
+//! counter, workers wake, sweep their chunk, post a local argmax into
+//! their own slot, and the last one to finish wakes the driver. No
+//! channel machinery sits on the round hot path (earlier revisions paid
+//! one mpsc round-trip per worker per Gonzalez iteration); `unpark`
+//! tokens make the wake-ups race-free even when a worker checks the
+//! generation just before the driver bumps it.
 //!
 //! Determinism: chunk boundaries depend only on `(n, threads)`, the
 //! per-element update is element-local, and the argmax reduction scans
-//! partials in chunk order with strict `>` — the smallest index among
-//! maxima wins for every thread count, exactly like a sequential
+//! worker slots in chunk order with strict `>` — the smallest index
+//! among maxima wins for every thread count, exactly like a sequential
 //! left-to-right scan.
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::thread;
 
 use crate::executors::{split_even, worker_count};
@@ -31,6 +38,32 @@ pub struct SweepTask {
     pub center_pos: u32,
     /// First round: overwrite instead of min-merge.
     pub init: bool,
+}
+
+/// One worker's per-round argmax result, written before it signals the
+/// round barrier. The `f64` travels as bits through an atomic; the slot
+/// is only read by the driver after the `done` counter (with
+/// acquire/release ordering) proves the write happened.
+#[derive(Default)]
+struct PartialSlot {
+    index: AtomicUsize,
+    dist_bits: AtomicU64,
+}
+
+/// Round-synchronization state shared between the driver and the
+/// persistent workers.
+struct Barrier {
+    /// Monotone round counter; workers run one sweep per increment.
+    generation: AtomicU64,
+    /// Set (before the final generation bump) to shut workers down.
+    stop: AtomicBool,
+    /// The task of the current generation. Uncontended in practice: the
+    /// driver writes while every worker is parked or reducing.
+    task: Mutex<SweepTask>,
+    /// Workers finished with the current generation.
+    done: AtomicUsize,
+    /// Per-worker argmax slots, indexed by chunk order.
+    partials: Vec<PartialSlot>,
 }
 
 /// Runs rounds of chunk-parallel sweeps until `driver` stops.
@@ -70,66 +103,102 @@ where
     }
 
     let ranges = split_even(n, t);
+    let t = ranges.len(); // == t for n ≥ t, but never trust an off-by-one
     let mut dist = vec![0.0f64; n];
     let mut assignment = vec![0u32; n];
+    let barrier = Barrier {
+        generation: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        task: Mutex::new(first),
+        done: AtomicUsize::new(0),
+        partials: (0..t).map(|_| PartialSlot::default()).collect(),
+    };
     thread::scope(|s| {
-        // Each worker owns its chunk for the whole run and reports a
-        // local argmax per round; chunks come home over `done` channels.
-        struct Lane {
-            task_tx: mpsc::Sender<SweepTask>,
-            partial_rx: mpsc::Receiver<(usize, f64)>,
-            done_rx: mpsc::Receiver<(usize, Vec<f64>, Vec<u32>)>,
-        }
+        let barrier = &barrier;
         let update = &update;
-        let lanes: Vec<Lane> = ranges
-            .iter()
-            .map(|r| {
-                let (task_tx, task_rx) = mpsc::channel::<SweepTask>();
-                let (partial_tx, partial_rx) = mpsc::channel();
-                let (done_tx, done_rx) = mpsc::channel();
-                let offset = r.start;
-                let len = r.len();
-                s.spawn(move || {
-                    let mut d_chunk = vec![0.0f64; len];
-                    let mut a_chunk = vec![0u32; len];
-                    while let Ok(task) = task_rx.recv() {
-                        update(&task, offset, &mut d_chunk, &mut a_chunk);
-                        let sent = partial_tx.send(chunk_argmax(offset, &d_chunk));
-                        if sent.is_err() {
-                            break; // driver gone — unwinding
+        let driver_thread = thread::current();
+        // Each worker owns its chunk for the whole run; the chunks come
+        // home over a one-shot channel at shutdown.
+        let mut handles = Vec::with_capacity(t);
+        let mut done_rxs = Vec::with_capacity(t);
+        for (w, r) in ranges.iter().enumerate() {
+            let (done_tx, done_rx) = mpsc::channel();
+            let offset = r.start;
+            let len = r.len();
+            let driver_thread = driver_thread.clone();
+            handles.push(s.spawn(move || {
+                let mut d_chunk = vec![0.0f64; len];
+                let mut a_chunk = vec![0u32; len];
+                let mut seen = 0u64;
+                loop {
+                    // Wait for the next generation. `park` may wake
+                    // spuriously; the predicate loop re-checks. The
+                    // unpark token guarantees no missed wake-up even if
+                    // the driver bumps between the load and the park.
+                    loop {
+                        let g = barrier.generation.load(Ordering::Acquire);
+                        if g > seen {
+                            seen = g;
+                            break;
                         }
+                        thread::park();
                     }
-                    let _ = done_tx.send((offset, d_chunk, a_chunk));
-                });
-                Lane {
-                    task_tx,
-                    partial_rx,
-                    done_rx,
+                    if barrier.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let task = *barrier.task.lock().expect("sweep task lock poisoned");
+                    update(&task, offset, &mut d_chunk, &mut a_chunk);
+                    let (i, v) = chunk_argmax(offset, &d_chunk);
+                    let slot = &barrier.partials[w];
+                    slot.index.store(i, Ordering::Relaxed);
+                    slot.dist_bits.store(v.to_bits(), Ordering::Relaxed);
+                    // The release on `done` publishes the slot writes;
+                    // the last worker of the round wakes the driver.
+                    if barrier.done.fetch_add(1, Ordering::AcqRel) + 1 == t {
+                        driver_thread.unpark();
+                    }
                 }
-            })
-            .collect();
+                let _ = done_tx.send((offset, d_chunk, a_chunk));
+            }));
+            done_rxs.push(done_rx);
+        }
 
-        let mut task = first;
         loop {
-            for lane in &lanes {
-                lane.task_tx.send(task).expect("sweep worker hung up");
+            // Publish the round: reset the arrival counter *before*
+            // bumping the generation (workers of this round have all
+            // been observed done, so no one is still incrementing).
+            barrier.done.store(0, Ordering::Release);
+            barrier.generation.fetch_add(1, Ordering::Release);
+            for h in &handles {
+                h.thread().unpark();
             }
+            while barrier.done.load(Ordering::Acquire) < t {
+                thread::park();
+            }
+            // Ordered reduction over the worker slots; strict > keeps
+            // the earliest chunk's index on ties.
             let mut best = (0usize, f64::NEG_INFINITY);
-            for lane in &lanes {
-                let (i, v) = lane.partial_rx.recv().expect("sweep worker hung up");
-                // strict > keeps the earliest chunk's index on ties
+            for slot in &barrier.partials {
+                let v = f64::from_bits(slot.dist_bits.load(Ordering::Relaxed));
                 if v > best.1 {
-                    best = (i, v);
+                    best = (slot.index.load(Ordering::Relaxed), v);
                 }
             }
             match driver(best.0, best.1) {
-                Some(next) => task = next,
+                Some(next) => {
+                    *barrier.task.lock().expect("sweep task lock poisoned") = next;
+                }
                 None => break,
             }
         }
-        for lane in lanes {
-            drop(lane.task_tx); // workers drain and return their chunks
-            let (offset, d_chunk, a_chunk) = lane.done_rx.recv().expect("sweep worker hung up");
+        // Shutdown: one more generation with the stop flag raised.
+        barrier.stop.store(true, Ordering::Release);
+        barrier.generation.fetch_add(1, Ordering::Release);
+        for h in &handles {
+            h.thread().unpark();
+        }
+        for rx in done_rxs {
+            let (offset, d_chunk, a_chunk) = rx.recv().expect("sweep worker hung up");
             dist[offset..offset + d_chunk.len()].copy_from_slice(&d_chunk);
             assignment[offset..offset + a_chunk.len()].copy_from_slice(&a_chunk);
         }
@@ -202,6 +271,18 @@ mod tests {
             assert_eq!(seq.1, par.1, "dist, threads={threads}");
             assert_eq!(seq.2, par.2, "assignment, threads={threads}");
         }
+    }
+
+    #[test]
+    fn many_rounds_with_many_threads() {
+        // Stress the barrier: hundreds of generations, more workers than
+        // cores, tiny chunks — any lost wake-up deadlocks (caught by the
+        // test timeout) and any ordering bug diverges from 1 thread.
+        let seq = run(600, 1, 200);
+        let par = run(600, 16, 200);
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.1, par.1);
+        assert_eq!(seq.2, par.2);
     }
 
     #[test]

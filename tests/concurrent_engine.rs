@@ -8,13 +8,13 @@ use std::sync::Arc;
 
 use metric_dbscan::core::{ApproxParams, DbscanParams, MetricDbscan, ParallelConfig, PointLabel};
 use metric_dbscan::datagen::{blobs, string_clusters, BlobSpec, StringSpec};
-use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
+use metric_dbscan::metric::{BatchMetric, Euclidean, Levenshtein};
 
 const WORKERS: usize = 8;
 
 /// The mixed sweep each worker replays: alternating exact and approx
 /// queries across a small (ε, MinPts) grid.
-fn sweep<P: Sync, M: Metric<P>>(
+fn sweep<P: Sync, M: BatchMetric<P>>(
     engine: &MetricDbscan<P, M>,
     eps_grid: &[f64],
     min_pts_grid: &[usize],
@@ -46,7 +46,7 @@ fn sweep<P: Sync, M: Metric<P>>(
     out
 }
 
-fn assert_concurrent_sweeps_match<P: Sync + Send, M: Metric<P>>(
+fn assert_concurrent_sweeps_match<P: Sync + Send, M: BatchMetric<P>>(
     engine: Arc<MetricDbscan<P, M>>,
     eps_grid: &[f64],
     min_pts_grid: &[usize],
@@ -126,6 +126,67 @@ fn eight_threads_share_one_engine_on_strings() {
             .expect("engine"),
     );
     assert_concurrent_sweeps_match(engine, &[3.0, 4.0], &[3, 4], rho);
+}
+
+/// PR-3 satellite: repeated `(ε, MinPts, ρ)` approx probes replay the
+/// cached Algorithm-2 summary (same LRU as the fragment artifacts) with
+/// bit-identical labels, and the `ε`-keyed adjacency cache serves the
+/// sweep.
+#[test]
+fn repeated_approx_probe_hits_the_summary_cache() {
+    let pts = blobs(
+        &BlobSpec {
+            n: 600,
+            dim: 2,
+            clusters: 3,
+            std: 0.9,
+            center_box: 14.0,
+            outlier_frac: 0.03,
+        },
+        5,
+    )
+    .into_parts()
+    .0;
+    let aparams = ApproxParams::new(1.0, 8, 0.5).expect("approx params");
+    let engine = MetricDbscan::builder(pts, Euclidean)
+        .rbar(aparams.rbar())
+        .build()
+        .expect("engine");
+    let cold = engine.approx(&aparams).expect("cold");
+    assert!(!cold.report.cache_hit, "first approx probe must miss");
+    let warm = engine.approx(&aparams).expect("warm");
+    assert!(warm.report.cache_hit, "repeated approx probe must hit");
+    assert!(
+        warm.report.cache_hits >= 1,
+        "RunReport must expose the hit counter"
+    );
+    assert_eq!(
+        cold.clustering, warm.clustering,
+        "summary replay must be bit-identical"
+    );
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(
+        (stats.adjacency_hits, stats.adjacency_misses),
+        (1, 1),
+        "the warm probe must also reuse the ε-keyed adjacency"
+    );
+    // A different MinPts at the same (ε, ρ) misses the summary cache but
+    // still rides the adjacency cache (it depends on ε alone).
+    let aparams2 = ApproxParams::new(1.0, 12, 0.5).expect("approx params");
+    let other = engine.approx(&aparams2).expect("other");
+    assert!(!other.report.cache_hit);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.adjacency_hits, 2, "adjacency is (ε)-keyed");
+    assert_eq!(stats.adjacency_entries, 1);
+    // Exact queries interleave in the same LRU without colliding.
+    let params = DbscanParams::new(1.0, 8).expect("params");
+    let exact_cold = engine.exact(&params).expect("exact cold");
+    assert!(
+        !exact_cold.report.cache_hit,
+        "exact never collides with approx"
+    );
+    assert!(engine.exact(&params).expect("exact warm").report.cache_hit);
 }
 
 #[test]

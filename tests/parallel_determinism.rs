@@ -9,14 +9,14 @@ use metric_dbscan::core::{
     ParallelConfig, PointLabel, StreamingApproxDbscan,
 };
 use metric_dbscan::datagen::{blobs, string_clusters, BlobSpec, StringSpec};
-use metric_dbscan::metric::{Euclidean, Levenshtein, Metric};
+use metric_dbscan::metric::{BatchMetric, Euclidean, Levenshtein};
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 2] = [2, 8];
 
 /// Exact + approx labels at a given thread count, over a fresh-built
 /// engine (engine construction itself is also threaded).
-fn solve_both<P: Sync + Clone + Send, M: Metric<P> + Sync>(
+fn solve_both<P: Sync + Clone + Send, M: BatchMetric<P> + Sync>(
     pts: &[P],
     metric: &M,
     eps: f64,
@@ -42,7 +42,7 @@ fn solve_both<P: Sync + Clone + Send, M: Metric<P> + Sync>(
     (exact.labels().to_vec(), approx.labels().to_vec())
 }
 
-fn streaming_labels<P: Sync + Clone, M: Metric<P> + Sync>(
+fn streaming_labels<P: Sync + Clone, M: BatchMetric<P> + Sync>(
     pts: &[P],
     metric: &M,
     eps: f64,

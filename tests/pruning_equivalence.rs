@@ -1,0 +1,238 @@
+//! The pruning contract, certified end to end (PR 3): for **every**
+//! solver — exact (Algorithm 1 and cover-tree pipelines), ρ-approximate,
+//! and the streaming engine — the cluster labels produced with
+//! net-anchored triangle-inequality pruning **on** are byte-identical to
+//! the pruning-**off** run, for every thread count, on Euclidean blob
+//! data and on Levenshtein string data alike; on clustered data the
+//! bounds must actually fire (`bound_rejects > 0`). A `CountingMetric`
+//! regression on the Fig.-3 Moons dataset pins the headline claim:
+//! Step 1 + adjacency spend ≥ 30 % fewer distance evaluations with
+//! pruning on.
+
+use metric_dbscan::core::{
+    exact_dbscan_covertree_with, ApproxParams, DbscanParams, ExactConfig, MetricDbscan,
+    ParallelConfig, PointLabel, StreamingApproxDbscan,
+};
+use metric_dbscan::datagen::{blobs, moons, string_clusters, BlobSpec, StringSpec};
+use metric_dbscan::metric::{BatchMetric, Euclidean, Levenshtein, PruneStats, PruningConfig};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Exact + approx labels and the run's pruning ledger at a given
+/// pruning setting and thread count, over a fresh engine (so no cache
+/// can leak state between the two settings).
+#[allow(clippy::type_complexity)]
+fn solve_both<P: Sync + Clone + Send, M: BatchMetric<P> + Sync>(
+    pts: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    rho: f64,
+    threads: usize,
+    pruning: PruningConfig,
+) -> (Vec<PointLabel>, Vec<PointLabel>, PruneStats, PruneStats) {
+    let parallel = ParallelConfig::new(threads);
+    let aparams = ApproxParams::new(eps, min_pts, rho).expect("approx params");
+    let engine = MetricDbscan::builder(pts.to_vec(), metric)
+        .rbar(aparams.rbar())
+        .parallel(parallel)
+        .pruning(pruning)
+        .build()
+        .expect("engine");
+    let params = DbscanParams::new(eps, min_pts).expect("params");
+    let exact = engine.exact(&params).expect("exact");
+    let approx = engine.approx(&aparams).expect("approx");
+    (
+        exact.clustering.labels().to_vec(),
+        approx.clustering.labels().to_vec(),
+        exact.report.pruning,
+        approx.report.pruning,
+    )
+}
+
+fn covertree_labels<P: Sync + Clone, M: BatchMetric<P> + Sync>(
+    pts: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    threads: usize,
+    pruning: PruningConfig,
+) -> Vec<PointLabel> {
+    let cfg = ExactConfig {
+        parallel: ParallelConfig::new(threads),
+        pruning,
+        ..ExactConfig::default()
+    };
+    exact_dbscan_covertree_with(pts, metric, eps, min_pts, &cfg)
+        .expect("covertree pipeline")
+        .0
+        .labels()
+        .to_vec()
+}
+
+fn streaming_labels<P: Sync + Clone, M: BatchMetric<P> + Sync>(
+    pts: &[P],
+    metric: &M,
+    eps: f64,
+    min_pts: usize,
+    rho: f64,
+    threads: usize,
+    pruning: PruningConfig,
+) -> (Vec<PointLabel>, PruneStats) {
+    let params = ApproxParams::new(eps, min_pts, rho).expect("params");
+    let (c, engine) = StreamingApproxDbscan::run_pruned(
+        metric,
+        &params,
+        &ParallelConfig::new(threads),
+        &pruning,
+        || pts.iter().cloned(),
+    )
+    .expect("stream");
+    (c.labels().to_vec(), engine.stats().pruning)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Euclidean blobs: all four solvers are pruning-invariant at every
+    /// thread count, and the bounds fire on clustered data.
+    #[test]
+    fn blobs_pruning_invariant(seed in 0u64..1000, eps_scale in 0.6f64..1.6) {
+        let pts = blobs(
+            &BlobSpec {
+                n: 500,
+                dim: 2,
+                clusters: 3,
+                std: 1.0,
+                center_box: 15.0,
+                outlier_frac: 0.05,
+            },
+            seed,
+        )
+        .into_parts()
+        .0;
+        let eps = eps_scale;
+        let (min_pts, rho) = (8usize, 0.5);
+        let on = PruningConfig::default();
+        let off = PruningConfig::off();
+        let (exact_off, approx_off, ps_off, _) =
+            solve_both(&pts, &Euclidean, eps, min_pts, rho, 1, off);
+        prop_assert_eq!(ps_off, PruneStats::default(), "off must report zeros");
+        let (stream_off, sps_off) =
+            streaming_labels(&pts, &Euclidean, eps, min_pts, rho, 1, off);
+        prop_assert_eq!(sps_off, PruneStats::default());
+        let tree_off = covertree_labels(&pts, &Euclidean, eps, min_pts, 1, off);
+        for threads in THREAD_COUNTS {
+            let (exact_on, approx_on, ps_on, aps_on) =
+                solve_both(&pts, &Euclidean, eps, min_pts, rho, threads, on);
+            prop_assert_eq!(&exact_off, &exact_on, "exact diverged at {} threads", threads);
+            prop_assert_eq!(&approx_off, &approx_on, "approx diverged at {} threads", threads);
+            prop_assert!(
+                ps_on.bound_rejects > 0 || aps_on.bound_rejects > 0,
+                "bounds never fired on clustered data (exact {:?}, approx {:?})",
+                ps_on,
+                aps_on
+            );
+            let (stream_on, _) =
+                streaming_labels(&pts, &Euclidean, eps, min_pts, rho, threads, on);
+            prop_assert_eq!(&stream_off, &stream_on, "streaming diverged at {} threads", threads);
+            let tree_on = covertree_labels(&pts, &Euclidean, eps, min_pts, threads, on);
+            prop_assert_eq!(&tree_off, &tree_on, "covertree diverged at {} threads", threads);
+        }
+    }
+
+    /// Levenshtein string clusters: same contract under a discrete,
+    /// expensive metric (where the batched kernel also kicks in).
+    #[test]
+    fn strings_pruning_invariant(seed in 0u64..1000) {
+        let words = string_clusters(
+            &StringSpec {
+                n: 120,
+                clusters: 3,
+                seed_len: 12,
+                max_edits: 2,
+                alphabet: b"abcd",
+                outlier_frac: 0.05,
+            },
+            seed,
+        )
+        .into_parts()
+        .0;
+        let (eps, min_pts, rho) = (4.0, 4usize, 0.5);
+        let on = PruningConfig::default();
+        let off = PruningConfig::off();
+        let (exact_off, approx_off, _, _) =
+            solve_both(&words, &Levenshtein, eps, min_pts, rho, 1, off);
+        let (stream_off, _) = streaming_labels(&words, &Levenshtein, eps, min_pts, rho, 1, off);
+        let tree_off = covertree_labels(&words, &Levenshtein, eps, min_pts, 1, off);
+        for threads in THREAD_COUNTS {
+            let (exact_on, approx_on, _, _) =
+                solve_both(&words, &Levenshtein, eps, min_pts, rho, threads, on);
+            prop_assert_eq!(&exact_off, &exact_on, "exact diverged at {} threads", threads);
+            prop_assert_eq!(&approx_off, &approx_on, "approx diverged at {} threads", threads);
+            let (stream_on, _) =
+                streaming_labels(&words, &Levenshtein, eps, min_pts, rho, threads, on);
+            prop_assert_eq!(&stream_off, &stream_on, "streaming diverged at {} threads", threads);
+            let tree_on = covertree_labels(&words, &Levenshtein, eps, min_pts, threads, on);
+            prop_assert_eq!(&tree_off, &tree_on, "covertree diverged at {} threads", threads);
+        }
+    }
+}
+
+/// The headline regression on the Fig.-3 Moons stand-in (the small
+/// low-dimensional dataset of the runtime panel): with pruning on,
+/// Step 1 + adjacency must spend ≥ 30 % fewer distance evaluations, the
+/// total must strictly drop, and the labels must not move.
+#[test]
+fn fig3_moons_step1_and_adjacency_evals_drop_30_percent() {
+    let pts = moons(2000, 0.06, 0.02, 42).into_parts().0;
+    let (eps, min_pts) = (0.12, 10usize);
+    let solve = |pruning: PruningConfig| {
+        // cache_capacity(0): every run recomputes everything, so the
+        // counters compare like for like.
+        let engine = MetricDbscan::builder(pts.clone(), Euclidean)
+            .rbar(eps / 2.0)
+            .pruning(pruning)
+            .cache_capacity(0)
+            .build()
+            .expect("engine");
+        let cfg = ExactConfig {
+            parallel: engine.parallel(),
+            pruning,
+            count_distance_evals: true,
+            ..ExactConfig::default()
+        };
+        let run = engine
+            .exact_with(&DbscanParams::new(eps, min_pts).expect("params"), &cfg)
+            .expect("exact");
+        let stats = *run.report.exact_stats().expect("exact stats");
+        (run.clustering, stats)
+    };
+    let (labels_off, off) = solve(PruningConfig::off());
+    let (labels_on, on) = solve(PruningConfig::default());
+    assert_eq!(labels_off, labels_on, "pruning moved labels");
+
+    let front_off = off.adjacency_evals + off.label_evals;
+    let front_on = on.adjacency_evals + on.label_evals;
+    assert!(front_off > 0, "counting must be live");
+    assert!(
+        (front_on as f64) <= 0.7 * front_off as f64,
+        "Step-1 + adjacency evals only dropped from {front_off} to {front_on} \
+         (need ≥ 30 %); stats on: {on:?}"
+    );
+    assert!(
+        on.label_evals < off.label_evals,
+        "Step-1 evals must strictly drop ({} vs {})",
+        on.label_evals,
+        off.label_evals
+    );
+    assert!(
+        on.distance_evals < off.distance_evals,
+        "total evals must strictly drop ({} vs {})",
+        on.distance_evals,
+        off.distance_evals
+    );
+    assert!(on.pruning.bound_rejects > 0, "rejects must fire: {on:?}");
+    assert!(on.pruning.bound_accepts > 0, "accepts must fire: {on:?}");
+}
