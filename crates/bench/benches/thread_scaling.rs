@@ -32,8 +32,7 @@ fn dataset() -> Vec<Vec<f64>> {
 
 fn solve(pts: &Arc<[Vec<f64>]>, threads: usize) -> mdbscan_core::Clustering {
     let parallel = ParallelConfig::new(threads);
-    // Arc::clone keeps the timed path free of the 100k-point deep copy
-    // the borrowed GonzalezIndex never paid.
+    // Arc::clone keeps the timed path free of the 100k-point deep copy.
     let engine = MetricDbscan::builder(Arc::clone(pts), Euclidean)
         .rbar(EPS / 2.0)
         .parallel(parallel)

@@ -1,0 +1,127 @@
+//! Online-ingest throughput for the dynamic engine: seeds a
+//! radius-guided engine with the first batch of a blob stream, ingests
+//! the rest in fixed 1k-point batches (one epoch each), and writes
+//! `BENCH_ingest.json` with per-epoch wall-clock, points/sec, center
+//! growth, and distance-evaluation counts (the paper's `t_dis` — the
+//! cost an epoch's first-fit insertions actually pay; snapshot
+//! publication itself evaluates nothing).
+//!
+//! Along the way it asserts the ingest determinism contract at bench
+//! scale: the fully ingested engine's exact labels are byte-identical
+//! to a fresh radius-guided build over the same sequence. CI runs this
+//! at a small `--scale` and smoke-parses the JSON alongside
+//! `BENCH_distance_evals.json`.
+
+use mdbscan_bench::{timed, HarnessArgs};
+use mdbscan_core::{DbscanParams, MetricDbscan, NetStrategy};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_metric::{CountingMetric, Euclidean};
+
+const EPS: f64 = 1.0;
+const MIN_PTS: usize = 10;
+const RBAR: f64 = 0.5;
+const BATCH: usize = 1000;
+
+struct Epoch {
+    epoch: u64,
+    points: usize,
+    centers: usize,
+    new_centers: usize,
+    ingest_ms: f64,
+    points_per_sec: f64,
+    distance_evals: u64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.sized(20_000).max(2 * BATCH);
+    let pts = blobs(
+        &BlobSpec {
+            n,
+            dim: 2,
+            clusters: 8,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.01,
+        },
+        args.seed,
+    )
+    .into_parts()
+    .0;
+
+    let build_engine = |points: Vec<Vec<f64>>| {
+        MetricDbscan::builder(points, CountingMetric::new(Euclidean))
+            .rbar(RBAR)
+            .net_strategy(NetStrategy::RadiusGuided)
+            .build()
+            .expect("build engine")
+    };
+    let engine = build_engine(pts[..BATCH].to_vec());
+    engine.metric().reset();
+
+    let mut epochs: Vec<Epoch> = Vec::new();
+    let mut cursor = BATCH;
+    let t_total = std::time::Instant::now();
+    while cursor < pts.len() {
+        let end = (cursor + BATCH).min(pts.len());
+        let batch = pts[cursor..end].to_vec();
+        let (report, ingest_ms) = timed(|| engine.ingest(batch));
+        let distance_evals = engine.metric().reset();
+        epochs.push(Epoch {
+            epoch: report.epoch,
+            points: report.num_points,
+            centers: report.num_centers,
+            new_centers: report.new_centers,
+            ingest_ms,
+            points_per_sec: report.added_points as f64 / (ingest_ms / 1e3).max(1e-9),
+            distance_evals,
+        });
+        cursor = end;
+    }
+    let total_secs = t_total.elapsed().as_secs_f64();
+    let ingested = pts.len() - BATCH;
+    let total_points_per_sec = ingested as f64 / total_secs.max(1e-9);
+
+    // Determinism smoke at bench scale: grown engine == fresh build.
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let (grown, query_ms) = timed(|| engine.exact(&params).expect("exact on grown engine"));
+    let fresh = build_engine(pts.clone());
+    let fresh_run = fresh.exact(&params).expect("exact on fresh engine");
+    let labels_match = grown.clustering == fresh_run.clustering;
+    assert!(
+        labels_match,
+        "ingest-then-query diverged from the fresh radius-guided build"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingest\",\n");
+    json.push_str(&format!(
+        "  \"n\": {}, \"seed_points\": {BATCH}, \"batch\": {BATCH},\n",
+        pts.len(), // spec n plus the generator's appended outliers
+    ));
+    json.push_str(&format!(
+        "  \"eps\": {EPS}, \"min_pts\": {MIN_PTS}, \"rbar\": {RBAR},\n"
+    ));
+    json.push_str(&format!(
+        "  \"total_points_per_sec\": {total_points_per_sec:.1},\n"
+    ));
+    json.push_str(&format!("  \"final_query_ms\": {query_ms:.2},\n"));
+    json.push_str(&format!(
+        "  \"labels_match_fresh_build\": {labels_match},\n"
+    ));
+    json.push_str("  \"epochs\": [\n");
+    for (i, e) in epochs.iter().enumerate() {
+        let sep = if i + 1 == epochs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"epoch\": {}, \"points\": {}, \"centers\": {}, \"new_centers\": {}, \"ingest_ms\": {:.2}, \"points_per_sec\": {:.1}, \"distance_evals\": {}}}{sep}\n",
+            e.epoch, e.points, e.centers, e.new_centers, e.ingest_ms, e.points_per_sec,
+            e.distance_evals,
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    print!("{json}");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    eprintln!("wrote BENCH_ingest.json ({} epochs)", epochs.len());
+}

@@ -1,34 +1,77 @@
 //! The owned, shareable metric-DBSCAN engine: one builder facade over
 //! the exact (§3.1), cover-tree exact (§3.2), ρ-approximate
-//! (Algorithm 2), and streaming (Algorithm 3) solvers.
+//! (Algorithm 2), and streaming (Algorithm 3) solvers — now **epoch
+//! based and mutable**: the engine can ingest new points while serving
+//! readers.
 //!
-//! [`MetricDbscan`] owns its point set (`Arc<[P]>`) and metric, so —
-//! unlike the borrowed [`crate::GonzalezIndex`] it replaces — it is
-//! `Send + Sync`, lives happily inside an `Arc`, and can serve queries
-//! from many request-handling threads at once. The paper's Remark 5/6
-//! insight (the radius-guided Gonzalez net depends only on `r̄`, not on
-//! `(ε, MinPts, ρ)`) makes this the natural unit of deployment: build
-//! once, answer parameter probes forever.
+//! # The epoch / snapshot model
 //!
-//! On top of the shared net the engine adds two caches, both behind one
-//! mutex and both invisible in the results (cached artifacts are
-//! deterministic functions of the net and the query parameters, so a hit
-//! returns **bit-identical labels** to a cold run):
+//! [`MetricDbscan`] owns an append-only point sequence and its `r̄`-net.
+//! Every mutation ([`MetricDbscan::ingest`] / `ingest_one`) runs behind
+//! one writer mutex, extends the chunked point store and the net, and
+//! *publishes* a new immutable [`EngineSnapshot`] under a bumped
+//! **epoch counter**. Readers never block behind a writer: a query
+//! grabs the current snapshot (one `Arc` clone under a read lock held
+//! for nanoseconds — never across any distance evaluation) and computes
+//! entirely against that frozen state. A snapshot taken *before* an
+//! ingest keeps answering from its own epoch forever — byte-identical
+//! results no matter how much the engine has grown since.
 //!
-//! * a **fragment LRU** keyed by `(pipeline, ε, MinPts)` holding the
-//!   Step-1 core flags, the Step-2 fragment partition, and the fragment
-//!   cover trees as borrow-free skeletons — repeated parameter probes
-//!   skip Step 1 and all tree construction;
-//! * the **whole-input cover tree** of the §3.2 pipeline, built lazily on
-//!   the first [`MetricDbscan::covertree`] call and reused for every
-//!   `ε` thereafter (any level can be extracted from one tree).
+//! Every cached artifact — the fragment/summary LRU, the `ε`-keyed
+//! center adjacency, the whole-input §3.2 cover tree — carries its
+//! **epoch in the cache key**, so stale entries are unreachable *by
+//! construction* rather than by flushing: an epoch-`e` query can only
+//! ever hit epoch-`e` artifacts. Across epochs the engine still reuses
+//! work *incrementally* (reported as [`CacheStats::upgrades`], never as
+//! hits):
+//!
+//! * the center adjacency extends by the new-center rows only, instead
+//!   of an `O(|E|²)` rebuild;
+//! * Step-1 core flags are monotone under ingest, so only new points —
+//!   and old points whose neighbor balls gained members — are
+//!   re-verified;
+//! * fragments only ever gain members, so cached fragment cover trees
+//!   grow by [`mdbscan_covertree::CoverTree::insert`] instead of being
+//!   discarded, and so does the cached whole-input tree.
+//!
+//! # Ingest determinism contract
+//!
+//! The net is maintained by the **radius-guided first-fit rule** — the
+//! streaming pass-1 rule of Algorithm 3: a new point joins the ball of
+//! the first center within `r̄`, else becomes a new center. Ingesting
+//! `p₀ … pₙ` in order therefore replays exactly the loop a one-shot
+//! [`NetStrategy::RadiusGuided`] build over the same sequence runs, so
+//! an engine that was built over a prefix and ingested the rest
+//! produces labels **bit-identical** to a fresh radius-guided engine
+//! over the full sequence — at every thread count, pruning on or off,
+//! for all four solvers. (`tests/dynamic_engine.rs` enforces this.)
+//!
+//! # Radius-guided vs. Gonzalez nets
+//!
+//! The default [`NetStrategy::Gonzalez`] runs Algorithm 1's
+//! farthest-point greedy — a batch algorithm that inspects the whole
+//! input per round and tends to produce the fewest centers. The
+//! [`NetStrategy::RadiusGuided`] first-fit rule sees each point once,
+//! which is what makes online ingest replayable. Both produce valid
+//! `r̄`-nets (covering + packing) with exact `dis(p, c_p)` anchors, so
+//! every solver, cache, and pruning bound works identically on either;
+//! they just select different centers. A Gonzalez-built engine may also
+//! ingest — insertions extend its net by the first-fit rule — but then
+//! only the *ingested engine itself* is the determinism reference (no
+//! fresh batch build reproduces a mixed net).
+//!
+//! On top of the shared net the engine adds the caches described above,
+//! all invisible in the results: cached artifacts are deterministic
+//! functions of `(epoch, net, ε, MinPts)`, so a hit returns
+//! **bit-identical labels** to a cold run.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
-use mdbscan_kcenter::{BuildOptions, CenterAdjacency, RadiusGuidedNet};
+use mdbscan_kcenter::{BuildOptions, CenterAdjacency, IncrementalNet, RadiusGuidedNet};
 use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
 
@@ -39,7 +82,8 @@ use crate::exact_covertree::{covertree_level, CoverTreeExactStats};
 use crate::labels::Clustering;
 use crate::netview::NetView;
 use crate::params::{ApproxParams, DbscanParams};
-use crate::steps::{run_exact_steps, StepArtifacts, StepsReuse};
+use crate::steps::{run_exact_steps, StepArtifacts, StepsReuse, StepsUpgrade};
+use crate::store::ChunkedStore;
 use crate::streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 
 /// Default number of fragment-artifact entries the engine retains.
@@ -50,10 +94,33 @@ const DEFAULT_CACHE_CAPACITY: usize = 16;
 /// entry per `ε` value; a handful covers any realistic sweep.
 const ADJACENCY_CACHE_CAPACITY: usize = 8;
 
+/// Whole-input cover-tree skeletons retained (one per recently queried
+/// epoch; older epochs grow into newer ones by insertion).
+const COVERTREE_CACHE_CAPACITY: usize = 4;
+
+/// Ingest deltas retained for incremental artifact upgrades. A cached
+/// artifact older than this many epochs falls back to a full recompute.
+const DELTA_HISTORY: usize = 128;
+
+/// How the engine's `r̄`-net is selected (see the module docs for the
+/// full contrast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetStrategy {
+    /// Algorithm 1's farthest-point greedy (batch; fewest centers).
+    /// The default.
+    #[default]
+    Gonzalez,
+    /// First-fit netting — the streaming pass-1 insertion rule. One
+    /// pass, sequential, and **replayable**: build-then-ingest is
+    /// bit-identical to a one-shot build over the same point sequence,
+    /// which makes this the strategy of choice for engines that ingest.
+    RadiusGuided,
+}
+
 /// Which solver produced a [`Run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgorithmKind {
-    /// Exact DBSCAN over the engine's Gonzalez net (§3.1).
+    /// Exact DBSCAN over the engine's net (§3.1).
     Exact,
     /// ρ-approximate DBSCAN, Algorithm 2.
     Approx,
@@ -89,13 +156,16 @@ pub enum RunDetail {
 pub struct RunReport {
     /// Which solver ran.
     pub algorithm: AlgorithmKind,
+    /// The epoch the run was answered at.
+    pub epoch: u64,
     /// Wall-clock seconds for the whole query (cache lookups included,
     /// engine construction excluded).
     pub total_secs: f64,
-    /// True when this run reused at least one cached artifact (fragment
-    /// trees, the approx summary, and/or the whole-input cover tree; the
-    /// `ε`-keyed adjacency cache is reported separately in
-    /// [`CacheStats`]).
+    /// True when this run reused at least one cached artifact *of its
+    /// own epoch* (fragment trees, the approx summary, and/or the
+    /// whole-input cover tree; the `ε`-keyed adjacency cache is
+    /// reported separately in [`CacheStats`]). Cross-epoch incremental
+    /// reuse is never reported as a hit — see [`CacheStats::upgrades`].
     pub cache_hit: bool,
     /// Engine-lifetime cache hits, sampled after this run.
     pub cache_hits: u64,
@@ -155,21 +225,51 @@ impl Run {
     }
 }
 
+/// What one [`MetricDbscan::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct IngestReport {
+    /// The epoch the batch published (unchanged for an empty batch).
+    pub epoch: u64,
+    /// Points inserted by this call.
+    pub added_points: usize,
+    /// Centers created by this call.
+    pub new_centers: usize,
+    /// Cover sets that gained members (new centers included).
+    pub dirty_balls: usize,
+    /// Total points after the call.
+    pub num_points: usize,
+    /// Total centers `|E|` after the call.
+    pub num_centers: usize,
+    /// Whether the net still covers every point (false only after a
+    /// `max_centers` truncation; queries then fail with
+    /// [`DbscanError::IndexNotCovering`]).
+    pub covered: bool,
+}
+
 /// A snapshot of the engine's cache counters
 /// ([`MetricDbscan::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found a reusable artifact (fragment/summary LRU).
+    /// Lookups that found a reusable same-epoch artifact
+    /// (fragment/summary LRU).
     pub hits: u64,
-    /// Lookups that had to compute from scratch (fragment/summary LRU).
+    /// Lookups that had to compute — fully or incrementally — at the
+    /// query's epoch (fragment/summary LRU).
     pub misses: u64,
+    /// Cross-epoch incremental reuses: an older epoch's artifact
+    /// (fragments, adjacency, or the whole-input cover tree) was
+    /// *upgraded* through the ingest deltas instead of recomputed from
+    /// scratch. Counted in addition to the miss.
+    pub upgrades: u64,
     /// Fragment/summary-artifact entries currently retained.
     pub entries: usize,
-    /// Whether the whole-input cover tree has been built and retained.
+    /// Whether at least one whole-input cover tree is retained.
     pub covertree_cached: bool,
-    /// Lookups that found a cached `ε`-keyed center adjacency.
+    /// Lookups that found a cached same-epoch `ε`-keyed center
+    /// adjacency.
     pub adjacency_hits: u64,
-    /// Adjacency lookups that had to rebuild.
+    /// Adjacency lookups that had to rebuild or extend.
     pub adjacency_misses: u64,
     /// Center-adjacency entries currently retained.
     pub adjacency_entries: usize,
@@ -187,6 +287,10 @@ enum NetKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CacheKey {
     kind: NetKind,
+    /// Epoch the artifacts were computed at: an epoch-`e` query can only
+    /// hit epoch-`e` entries, so stale artifacts are invalidated by
+    /// construction.
+    epoch: u64,
     eps_bits: u64,
     min_pts: usize,
     /// `Some(ρ bits)` for Algorithm-2 summaries, `None` for the exact
@@ -213,8 +317,9 @@ impl CachedArtifacts {
 
 /// A tiny exact-scan most-recent-first LRU: the working set is a
 /// handful of parameter probes, so a `Vec` scanned linearly beats any
-/// hash scheme. Shared by the fragment/summary cache and the adjacency
-/// cache; capacity 0 disables insertion entirely.
+/// hash scheme. Shared by the fragment/summary cache, the adjacency
+/// cache, and the per-epoch cover-tree cache; capacity 0 disables
+/// insertion entirely.
 struct Lru<K, V> {
     capacity: usize,
     entries: Vec<(K, V)>,
@@ -265,6 +370,27 @@ impl FragmentLru {
         }
     }
 
+    /// The newest strictly-older-epoch Steps entry matching `key`'s
+    /// parameters — the upgrade base for an incremental Step-1/2 run.
+    fn best_steps_base(&self, key: &CacheKey) -> Option<(u64, Arc<StepArtifacts>)> {
+        let mut best: Option<(u64, Arc<StepArtifacts>)> = None;
+        for (k, v) in &self.entries {
+            if k.kind == key.kind
+                && k.eps_bits == key.eps_bits
+                && k.min_pts == key.min_pts
+                && k.rho_bits == key.rho_bits
+                && k.epoch < key.epoch
+            {
+                if let CachedArtifacts::Steps(a) = v {
+                    if best.as_ref().is_none_or(|(e, _)| k.epoch > *e) {
+                        best = Some((k.epoch, Arc::clone(a)));
+                    }
+                }
+            }
+        }
+        best
+    }
+
     /// Total heap bytes retained (diagnostic).
     fn heap_bytes(&self) -> usize {
         self.entries.iter().map(|(_, a)| a.heap_bytes()).sum()
@@ -272,12 +398,13 @@ impl FragmentLru {
 }
 
 /// Key of the `ε`-only center-adjacency cache: the adjacency is a pure
-/// function of (net, threshold, screening mode) — `MinPts` and `ρ`
-/// never enter. Cover-tree nets differ per level, so the level joins
-/// the key there.
+/// function of (epoch, net, threshold, screening mode) — `MinPts` and
+/// `ρ` never enter. Cover-tree nets differ per level, so the level
+/// joins the key there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct AdjKey {
     kind: NetKind,
+    epoch: u64,
     level: i32,
     threshold_bits: u64,
     /// The per-edge bounds differ between screened and unscreened
@@ -285,10 +412,67 @@ struct AdjKey {
     pruned: bool,
 }
 
+/// One published epoch's delta: which cover sets gained members, and
+/// how many points existed before — everything an incremental artifact
+/// upgrade needs.
+struct EpochDelta {
+    epoch: u64,
+    old_num_points: usize,
+    dirty_balls: Vec<u32>,
+}
+
 struct EngineCache {
     fragments: FragmentLru,
     adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
-    covertree: Option<Arc<CoverTreeSkeleton>>,
+    covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
+    /// Published ingest deltas, ascending by epoch, bounded by
+    /// [`DELTA_HISTORY`].
+    deltas: VecDeque<EpochDelta>,
+}
+
+impl EngineCache {
+    /// The union of dirty balls across epochs `(from, to]`, or `None`
+    /// when the delta history no longer covers that span (→ full
+    /// recompute). `old_n` sanity-checks that the upgrade base really
+    /// describes the point prefix present at `from`.
+    fn dirty_since(&self, from: u64, to: u64, old_n: usize) -> Option<Vec<u32>> {
+        let mut needed = from + 1;
+        let mut dirty: Vec<u32> = Vec::new();
+        for d in &self.deltas {
+            if d.epoch < needed {
+                continue;
+            }
+            if d.epoch != needed {
+                return None; // pruned history or a gap
+            }
+            if needed == from + 1 && d.old_num_points != old_n {
+                return None;
+            }
+            dirty.extend_from_slice(&d.dirty_balls);
+            if d.epoch == to {
+                dirty.sort_unstable();
+                dirty.dedup();
+                return Some(dirty);
+            }
+            needed += 1;
+        }
+        None
+    }
+}
+
+/// One published epoch: the contiguous point snapshot and the net over
+/// it. Immutable once published; readers hold it via `Arc`.
+struct EpochState<P> {
+    epoch: u64,
+    points: Arc<[P]>,
+    net: Arc<RadiusGuidedNet>,
+}
+
+/// The writer-side mutable state, initialized lazily on the first
+/// ingest (a never-ingesting engine pays nothing for it).
+struct IngestState<P> {
+    store: ChunkedStore<P>,
+    net: IncrementalNet,
 }
 
 /// Builder for [`MetricDbscan`]; see [`MetricDbscan::builder`].
@@ -298,6 +482,7 @@ pub struct MetricDbscanBuilder<P, M> {
     rbar: Option<f64>,
     first: usize,
     max_centers: usize,
+    strategy: NetStrategy,
     parallel: Option<ParallelConfig>,
     pruning: PruningConfig,
     cache_capacity: usize,
@@ -321,8 +506,19 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         self
     }
 
+    /// How the initial net is built (default
+    /// [`NetStrategy::Gonzalez`]). Choose
+    /// [`NetStrategy::RadiusGuided`] for engines that will
+    /// [`MetricDbscan::ingest`]: build-then-ingest is then bit-identical
+    /// to a fresh build over the concatenated sequence.
+    pub fn net_strategy(mut self, strategy: NetStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Index of the arbitrary first Gonzalez center (paper line 1).
-    /// Defaults to 0.
+    /// Defaults to 0. Ignored under [`NetStrategy::RadiusGuided`],
+    /// where the first point is always the first center (first-fit).
     pub fn first_center(mut self, first: usize) -> Self {
         self.first = first;
         self
@@ -354,7 +550,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         self
     }
 
-    /// Validates the configuration and runs Algorithm 1.
+    /// Validates the configuration and builds the net (Algorithm 1, or
+    /// the first-fit pass under [`NetStrategy::RadiusGuided`]).
     ///
     /// Errors: [`DbscanError::EmptyInput`], [`DbscanError::RadiusNotSet`],
     /// [`DbscanError::InvalidRadius`], [`DbscanError::InvalidFirstCenter`].
@@ -368,90 +565,126 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             });
         }
         let parallel = self.parallel.unwrap_or_default();
-        let opts = BuildOptions {
-            first: self.first,
-            parallel,
-            max_centers: self.max_centers,
+        let net = match self.strategy {
+            NetStrategy::Gonzalez => {
+                let opts = BuildOptions {
+                    first: self.first,
+                    parallel,
+                    max_centers: self.max_centers,
+                };
+                RadiusGuidedNet::build_with(&self.points, &self.metric, rbar, &opts)
+            }
+            NetStrategy::RadiusGuided => {
+                IncrementalNet::build(&self.points, &self.metric, rbar, self.max_centers).to_net()
+            }
         };
-        let net = RadiusGuidedNet::build_with(&self.points, &self.metric, rbar, &opts);
         let adj_capacity = if self.cache_capacity == 0 {
             0
         } else {
             ADJACENCY_CACHE_CAPACITY
         };
+        let tree_capacity = if self.cache_capacity == 0 {
+            0
+        } else {
+            COVERTREE_CACHE_CAPACITY
+        };
         Ok(MetricDbscan {
-            points: self.points,
             metric: self.metric,
-            net,
+            rbar,
             parallel,
             pruning: self.pruning,
+            max_centers: self.max_centers,
+            current: RwLock::new(Arc::new(EpochState {
+                epoch: 0,
+                points: self.points,
+                net: Arc::new(net),
+            })),
+            writer: Mutex::new(None),
             cache: Mutex::new(EngineCache {
                 fragments: Lru::new(self.cache_capacity),
                 adjacency: Lru::new(adj_capacity),
-                covertree: None,
+                covertree: Lru::new(tree_capacity),
+                deltas: VecDeque::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            upgrade_count: AtomicU64::new(0),
             adj_hits: AtomicU64::new(0),
             adj_misses: AtomicU64::new(0),
         })
     }
 }
 
-/// An owned, `Send + Sync` metric-DBSCAN engine: the radius-guided
-/// Gonzalez net (Algorithm 1) plus its point set and metric, queryable
-/// concurrently from many threads, with cached per-parameter artifacts.
+/// An owned, `Send + Sync`, epoch-based metric-DBSCAN engine: an
+/// append-only point sequence with its `r̄`-net, queryable concurrently
+/// from many threads *while ingesting*, with epoch-keyed caches.
 ///
-/// Built via [`MetricDbscan::builder`]; supersedes the lifetime-bound
-/// [`crate::GonzalezIndex`]. Four entry points share the one net and
-/// return a uniform [`Run`]:
+/// Built via [`MetricDbscan::builder`]. Four entry points share the one
+/// net and return a uniform [`Run`]:
 ///
 /// * [`MetricDbscan::exact`] — exact DBSCAN, §3.1 (needs `r̄ ≤ ε/2`);
 /// * [`MetricDbscan::approx`] — ρ-approximate, Algorithm 2
 ///   (needs `r̄ ≤ ρε/2`);
 /// * [`MetricDbscan::covertree`] — exact via a cover-tree net, §3.2
-///   (independent of `r̄`; the tree is built once and reused);
+///   (independent of `r̄`; the tree is grown across epochs and reused);
 /// * [`MetricDbscan::streaming`] — Algorithm 3 replayed over the owned
 ///   points; [`MetricDbscan::streaming_session`] opens a manual session
 ///   for external streams.
 ///
+/// Each delegates to the current [`EngineSnapshot`]; take one explicitly
+/// ([`MetricDbscan::snapshot`]) to pin a query sequence to one epoch
+/// while the engine keeps ingesting.
+///
 /// # Concurrency and determinism
 ///
-/// All query methods take `&self`; an `Arc<MetricDbscan<_, _>>` can be
-/// cloned into any number of worker threads. Labels are **bit-identical**
-/// across thread counts, across concurrent interleavings, and across
-/// cache hits vs. cold runs — cached artifacts are deterministic
-/// functions of `(net, ε, MinPts)`, so reuse changes wall-clock only.
+/// All methods take `&self`; an `Arc<MetricDbscan<_, _>>` can be cloned
+/// into any number of worker threads, readers and one-at-a-time writers
+/// alike. Labels are **bit-identical** across thread counts, across
+/// concurrent interleavings, across cache hits vs. cold runs vs.
+/// incremental upgrades — and, for radius-guided engines, across any
+/// batch split of the same ingest sequence (see the module docs).
 ///
 /// ```
-/// use mdbscan_core::{DbscanParams, MetricDbscan};
+/// use mdbscan_core::{DbscanParams, MetricDbscan, NetStrategy};
 /// use mdbscan_metric::Euclidean;
-/// use std::sync::Arc;
 ///
-/// let pts: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
-/// let engine = Arc::new(
-///     MetricDbscan::builder(pts, Euclidean).rbar(0.5).build().unwrap(),
-/// );
-/// let shared = Arc::clone(&engine);
-/// let handle = std::thread::spawn(move || {
-///     shared.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap()
-/// });
-/// let here = engine.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap();
-/// let there = handle.join().unwrap();
-/// assert_eq!(here.clustering, there.clustering);
-/// // With the artifacts now resident, a repeat probe replays the cache.
-/// let again = engine.exact(&DbscanParams::new(1.0, 4).unwrap()).unwrap();
-/// assert!(again.report.cache_hit);
+/// let pts: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+/// let engine = MetricDbscan::builder(pts.clone(), Euclidean)
+///     .rbar(0.5)
+///     .net_strategy(NetStrategy::RadiusGuided)
+///     .build()
+///     .unwrap();
+/// let params = DbscanParams::new(1.0, 4).unwrap();
+/// let before = engine.exact(&params).unwrap();
+///
+/// // Ingest 100 more grid points while the engine stays queryable.
+/// let more: Vec<Vec<f64>> = (100..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
+/// let report = engine.ingest(more.clone());
+/// assert_eq!(report.epoch, 1);
+/// let after = engine.exact(&params).unwrap();
+///
+/// // Bit-identical to a fresh radius-guided engine over the full sequence.
+/// let all: Vec<Vec<f64>> = pts.into_iter().chain(more).collect();
+/// let fresh = MetricDbscan::builder(all, Euclidean)
+///     .rbar(0.5)
+///     .net_strategy(NetStrategy::RadiusGuided)
+///     .build()
+///     .unwrap();
+/// assert_eq!(after.clustering, fresh.exact(&params).unwrap().clustering);
+/// assert_ne!(before.clustering.len(), after.clustering.len());
 /// ```
 pub struct MetricDbscan<P, M> {
-    points: Arc<[P]>,
     metric: M,
-    net: RadiusGuidedNet,
+    rbar: f64,
     parallel: ParallelConfig,
     pruning: PruningConfig,
+    max_centers: usize,
+    current: RwLock<Arc<EpochState<P>>>,
+    writer: Mutex<Option<IngestState<P>>>,
     cache: Mutex<EngineCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    upgrade_count: AtomicU64,
     adj_hits: AtomicU64,
     adj_misses: AtomicU64,
 }
@@ -468,20 +701,42 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             rbar: None,
             first: 0,
             max_centers: usize::MAX,
+            strategy: NetStrategy::default(),
             parallel: None,
             pruning: PruningConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
         }
     }
 
-    /// The points the engine owns.
-    pub fn points(&self) -> &[P] {
-        &self.points
+    fn state(&self) -> Arc<EpochState<P>> {
+        Arc::clone(&self.current.read().expect("engine state poisoned"))
     }
 
-    /// A cheap handle to the owned point set (shared, not copied).
+    /// Pins the current epoch: the returned [`EngineSnapshot`] keeps
+    /// answering from this exact point set and net no matter how many
+    /// ingests happen after. Cheap (one `Arc` clone) and lock-free on
+    /// the query path.
+    pub fn snapshot(&self) -> EngineSnapshot<'_, P, M> {
+        EngineSnapshot {
+            engine: self,
+            state: self.state(),
+        }
+    }
+
+    /// The current epoch (0 at build; +1 per non-empty ingest batch).
+    pub fn epoch(&self) -> u64 {
+        self.state().epoch
+    }
+
+    /// Total points at the current epoch.
+    pub fn num_points(&self) -> usize {
+        self.state().points.len()
+    }
+
+    /// A cheap handle to the current epoch's point snapshot (shared,
+    /// not copied).
     pub fn points_arc(&self) -> Arc<[P]> {
-        Arc::clone(&self.points)
+        Arc::clone(&self.state().points)
     }
 
     /// The metric the engine owns.
@@ -489,19 +744,19 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         &self.metric
     }
 
-    /// The underlying radius-guided Gonzalez net.
-    pub fn net(&self) -> &RadiusGuidedNet {
-        &self.net
+    /// A cheap handle to the current epoch's net.
+    pub fn net_arc(&self) -> Arc<RadiusGuidedNet> {
+        Arc::clone(&self.state().net)
     }
 
-    /// The net radius `r̄`.
+    /// The net radius `r̄` (fixed at build time).
     pub fn rbar(&self) -> f64 {
-        self.net.rbar
+        self.rbar
     }
 
-    /// Number of net centers `|E|`.
+    /// Number of net centers `|E|` at the current epoch.
     pub fn num_centers(&self) -> usize {
-        self.net.centers.len()
+        self.state().net.centers.len()
     }
 
     /// The default thread knob (set at build time).
@@ -520,8 +775,9 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            upgrades: self.upgrade_count.load(Ordering::Relaxed),
             entries: cache.fragments.entries.len(),
-            covertree_cached: cache.covertree.is_some(),
+            covertree_cached: !cache.covertree.entries.is_empty(),
             adjacency_hits: self.adj_hits.load(Ordering::Relaxed),
             adjacency_misses: self.adj_misses.load(Ordering::Relaxed),
             adjacency_entries: cache.adjacency.entries.len(),
@@ -539,30 +795,13 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Drops every cached artifact (fragment/summary entries, cached
-    /// adjacencies, and the whole-input cover tree). Counters are
-    /// preserved.
+    /// adjacencies, and the whole-input cover trees). Counters and the
+    /// ingest delta history are preserved.
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         cache.fragments.entries.clear();
         cache.adjacency.entries.clear();
-        cache.covertree = None;
-    }
-
-    fn view(&self) -> NetView<'_> {
-        NetView::of(&self.net)
-    }
-
-    fn check_usable(&self, limit: f64) -> Result<(), DbscanError> {
-        if !self.net.covered {
-            return Err(DbscanError::IndexNotCovering);
-        }
-        if self.net.rbar > limit * (1.0 + 1e-9) {
-            return Err(DbscanError::IndexTooCoarse {
-                rbar: self.net.rbar,
-                limit,
-            });
-        }
-        Ok(())
+        cache.covertree.entries.clear();
     }
 
     fn count_lookup(&self, hit: bool) {
@@ -571,6 +810,182 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Exact metric DBSCAN (§3.1) at the current epoch; see
+    /// [`EngineSnapshot::exact`].
+    pub fn exact(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
+        self.snapshot().exact(params)
+    }
+
+    /// Exact metric DBSCAN with explicit configuration at the current
+    /// epoch; see [`EngineSnapshot::exact_with`].
+    pub fn exact_with(&self, params: &DbscanParams, cfg: &ExactConfig) -> Result<Run, DbscanError> {
+        self.snapshot().exact_with(params, cfg)
+    }
+
+    /// ρ-approximate DBSCAN (Algorithm 2) at the current epoch; see
+    /// [`EngineSnapshot::approx`].
+    pub fn approx(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
+        self.snapshot().approx(params)
+    }
+
+    /// Exact DBSCAN via a cover-tree-derived net (§3.2) at the current
+    /// epoch; see [`EngineSnapshot::covertree`].
+    pub fn covertree(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
+        self.snapshot().covertree(params)
+    }
+
+    /// As [`MetricDbscan::covertree`], with explicit configuration.
+    pub fn covertree_with(
+        &self,
+        params: &DbscanParams,
+        cfg: &ExactConfig,
+    ) -> Result<Run, DbscanError> {
+        self.snapshot().covertree_with(params, cfg)
+    }
+}
+
+impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
+    /// Ingests one point; see [`MetricDbscan::ingest`].
+    pub fn ingest_one(&self, point: P) -> IngestReport {
+        self.ingest(std::iter::once(point))
+    }
+
+    /// Appends a batch of points and publishes a new epoch.
+    ///
+    /// The net is maintained by the radius-guided first-fit rule
+    /// (streaming pass 1): each point joins the ball of the first
+    /// center within `r̄`, else becomes a new center — so its
+    /// `dis(p, c_p)` pruning anchor is recorded exactly like at build
+    /// time. Writers are serialized behind one mutex; concurrent
+    /// readers keep answering from their epoch's snapshot throughout
+    /// and observe the new epoch only on their next query. An empty
+    /// batch publishes nothing.
+    ///
+    /// For engines built with [`NetStrategy::RadiusGuided`] the result
+    /// is bit-identical to a fresh build over the concatenated
+    /// sequence, for any batch split (the module-level determinism
+    /// contract).
+    pub fn ingest(&self, points: impl IntoIterator<Item = P>) -> IngestReport {
+        let batch: Vec<P> = points.into_iter().collect();
+        let mut writer = self.writer.lock().expect("engine writer poisoned");
+        let state = self.state();
+        if batch.is_empty() {
+            return IngestReport {
+                epoch: state.epoch,
+                added_points: 0,
+                new_centers: 0,
+                dirty_balls: 0,
+                num_points: state.points.len(),
+                num_centers: state.net.centers.len(),
+                covered: state.net.covered,
+            };
+        }
+        let live = writer.get_or_insert_with(|| IngestState {
+            store: ChunkedStore::from_initial(Arc::clone(&state.points)),
+            net: IncrementalNet::from_net(&state.net, self.max_centers),
+        });
+        let first = live.store.len();
+        live.store.append(batch);
+        let points = live.store.flatten();
+        let delta = live.net.ingest(&points, first, &self.metric);
+        let net = Arc::new(live.net.to_net());
+        let epoch = state.epoch + 1;
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            cache.deltas.push_back(EpochDelta {
+                epoch,
+                old_num_points: first,
+                dirty_balls: delta.dirty_balls.clone(),
+            });
+            while cache.deltas.len() > DELTA_HISTORY {
+                cache.deltas.pop_front();
+            }
+        }
+        let report = IngestReport {
+            epoch,
+            added_points: delta.added_points,
+            new_centers: delta.new_centers,
+            dirty_balls: delta.dirty_balls.len(),
+            num_points: points.len(),
+            num_centers: net.centers.len(),
+            covered: net.covered,
+        };
+        *self.current.write().expect("engine state poisoned") =
+            Arc::new(EpochState { epoch, points, net });
+        report
+    }
+
+    /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
+    /// current epoch's points; see [`EngineSnapshot::streaming`].
+    pub fn streaming(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
+        self.snapshot().streaming(params)
+    }
+
+    /// Opens a fresh Algorithm-3 session borrowing the engine's metric,
+    /// thread knob, and pruning policy, to be driven pass-by-pass over
+    /// an **external** stream (`pass1_observe* → finish_pass1 →
+    /// pass2_observe* → finish_pass2 → pass3_label*`). The session
+    /// stores only `O((Δ/ρε)^D + z)` points — it never touches the
+    /// engine's own data.
+    pub fn streaming_session(&self, params: &ApproxParams) -> StreamingApproxDbscan<'_, P, M> {
+        StreamingApproxDbscan::new(&self.metric, params)
+            .with_parallel(self.parallel)
+            .with_pruning(self.pruning)
+    }
+}
+
+/// One pinned epoch of a [`MetricDbscan`]: an immutable point snapshot
+/// plus its net, answering the same four entry points as the engine —
+/// always from this epoch, regardless of later ingests. Obtained via
+/// [`MetricDbscan::snapshot`]; cheap to take and to drop.
+pub struct EngineSnapshot<'e, P, M> {
+    engine: &'e MetricDbscan<P, M>,
+    state: Arc<EpochState<P>>,
+}
+
+impl<'e, P: Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The snapshot's points.
+    pub fn points(&self) -> &[P] {
+        &self.state.points
+    }
+
+    /// Number of points at this epoch.
+    pub fn num_points(&self) -> usize {
+        self.state.points.len()
+    }
+
+    /// The snapshot's net.
+    pub fn net(&self) -> &RadiusGuidedNet {
+        &self.state.net
+    }
+
+    /// Number of net centers `|E|` at this epoch.
+    pub fn num_centers(&self) -> usize {
+        self.state.net.centers.len()
+    }
+
+    fn view(&self) -> NetView<'_> {
+        NetView::of(&self.state.net)
+    }
+
+    fn check_usable(&self, limit: f64) -> Result<(), DbscanError> {
+        if !self.state.net.covered {
+            return Err(DbscanError::IndexNotCovering);
+        }
+        if self.state.net.rbar > limit * (1.0 + 1e-9) {
+            return Err(DbscanError::IndexTooCoarse {
+                rbar: self.state.net.rbar,
+                limit,
+            });
+        }
+        Ok(())
     }
 
     fn report(
@@ -583,47 +998,91 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     ) -> RunReport {
         RunReport {
             algorithm,
+            epoch: self.state.epoch,
             total_secs: t0.elapsed().as_secs_f64(),
             cache_hit: hit,
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_hits: self.engine.hits.load(Ordering::Relaxed),
+            cache_misses: self.engine.misses.load(Ordering::Relaxed),
             pruning,
             detail,
         }
     }
 
-    /// Consults the `ε`-keyed adjacency cache; `None` means "build it"
-    /// (and hand it back via [`MetricDbscan::store_adjacency`]).
+    /// Consults the epoch+`ε`-keyed adjacency cache. A same-epoch entry
+    /// is a hit; otherwise a Gonzalez-kind adjacency from an older
+    /// epoch is *extended* by the new-center rows (counted as an
+    /// upgrade, stored under this epoch). `None` means "build it" (and
+    /// hand it back via `store_adjacency`).
     fn lookup_adjacency(
         &self,
         kind: NetKind,
         level: i32,
         threshold: f64,
         pruned: bool,
+        parallel: &ParallelConfig,
     ) -> (AdjKey, Option<Arc<CenterAdjacency>>) {
         let key = AdjKey {
             kind,
+            epoch: self.state.epoch,
             level,
             threshold_bits: threshold.to_bits(),
             pruned,
         };
-        let found = self
-            .cache
-            .lock()
-            .expect("engine cache poisoned")
-            .adjacency
-            .promote(&key)
-            .map(Arc::clone);
+        let engine = self.engine;
+        let (found, base) = {
+            let mut cache = engine.cache.lock().expect("engine cache poisoned");
+            match cache.adjacency.promote(&key).map(Arc::clone) {
+                Some(adj) => (Some(adj), None),
+                None if kind == NetKind::Gonzalez => {
+                    // Newest older-epoch entry at the same threshold:
+                    // centers are append-only, so it covers a prefix.
+                    let mut best: Option<(u64, Arc<CenterAdjacency>)> = None;
+                    for (k, v) in &cache.adjacency.entries {
+                        if k.kind == key.kind
+                            && k.level == key.level
+                            && k.threshold_bits == key.threshold_bits
+                            && k.pruned == key.pruned
+                            && k.epoch < key.epoch
+                            && best.as_ref().is_none_or(|(e, _)| k.epoch > *e)
+                        {
+                            best = Some((k.epoch, Arc::clone(v)));
+                        }
+                    }
+                    (None, best.map(|(_, adj)| adj))
+                }
+                None => (None, None),
+            }
+        };
         if found.is_some() {
-            self.adj_hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.adj_misses.fetch_add(1, Ordering::Relaxed);
+            engine.adj_hits.fetch_add(1, Ordering::Relaxed);
+            return (key, found);
         }
-        (key, found)
+        engine.adj_misses.fetch_add(1, Ordering::Relaxed);
+        let Some(base) = base else {
+            return (key, None);
+        };
+        let centers = &self.state.net.centers;
+        let extended = if base.len() == centers.len() {
+            // No new centers since the base epoch: the adjacency is
+            // identical (membership depends only on the center set).
+            base
+        } else {
+            Arc::new(CenterAdjacency::extend(
+                &base,
+                &self.state.points,
+                &engine.metric,
+                centers,
+                parallel,
+            ))
+        };
+        engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+        self.store_adjacency(key, &extended);
+        (key, Some(extended))
     }
 
     fn store_adjacency(&self, key: AdjKey, adjacency: &Arc<CenterAdjacency>) {
-        self.cache
+        self.engine
+            .cache
             .lock()
             .expect("engine cache poisoned")
             .adjacency
@@ -631,7 +1090,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Shared Steps-1–3 driver with fragment- and adjacency-cache
-    /// consultation.
+    /// consultation, plus cross-epoch incremental upgrades.
     fn run_steps_cached(
         &self,
         view: &NetView<'_>,
@@ -640,40 +1099,57 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         kind: NetKind,
         level: i32,
     ) -> (Clustering, ExactStats, bool) {
+        let engine = self.engine;
         // Only the default Step-1/2 shape is cacheable: the ablation
         // toggles change what the artifacts contain.
         let cacheable = cfg.dense_shortcut && cfg.cover_tree_merge;
         let key = CacheKey {
             kind,
+            epoch: self.state.epoch,
             eps_bits: params.eps().to_bits(),
             min_pts: params.min_pts(),
             rho_bits: None,
         };
+        // Same-epoch hit, else (Gonzalez only — cover-tree nets change
+        // wholesale per epoch) an older epoch's artifacts plus the
+        // ingest deltas separating them from this epoch.
+        let mut upgrade_base: Option<(Arc<StepArtifacts>, Vec<u32>)> = None;
         let cached: Option<Arc<StepArtifacts>> = if cacheable {
-            let found = self
-                .cache
-                .lock()
-                .expect("engine cache poisoned")
-                .fragments
-                .get_steps(&key);
-            self.count_lookup(found.is_some());
+            let mut cache = engine.cache.lock().expect("engine cache poisoned");
+            let found = cache.fragments.get_steps(&key);
+            if found.is_none() && kind == NetKind::Gonzalez {
+                if let Some((from, art)) = cache.fragments.best_steps_base(&key) {
+                    if let Some(dirty) = cache.dirty_since(from, key.epoch, art.is_core.len()) {
+                        upgrade_base = Some((art, dirty));
+                    }
+                }
+            }
+            drop(cache);
+            engine.count_lookup(found.is_some());
             found
         } else {
             None
         };
         let hit = cached.is_some();
+        if upgrade_base.is_some() {
+            engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+        }
         let threshold = 2.0 * view.rbar + params.eps();
         let (adj_key, adj_cached) =
-            self.lookup_adjacency(kind, level, threshold, cfg.pruning.enabled);
+            self.lookup_adjacency(kind, level, threshold, cfg.pruning.enabled, &cfg.parallel);
         let adj_was_cached = adj_cached.is_some();
         let outcome = run_exact_steps(
-            &self.points,
-            &self.metric,
+            &self.state.points,
+            &engine.metric,
             view,
             params,
             cfg,
             StepsReuse {
                 artifacts: cached.as_deref(),
+                upgrade: upgrade_base.as_ref().map(|(art, dirty)| StepsUpgrade {
+                    artifacts: art,
+                    dirty_balls: dirty,
+                }),
                 adjacency: adj_cached,
             },
         );
@@ -682,7 +1158,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         }
         if cacheable {
             if let Some(artifacts) = outcome.fresh_artifacts {
-                self.cache
+                engine
+                    .cache
                     .lock()
                     .expect("engine cache poisoned")
                     .fragments
@@ -692,12 +1169,12 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         (Clustering::from_labels(outcome.labels), outcome.stats, hit)
     }
 
-    /// Exact metric DBSCAN (§3.1) at the given parameters, with the
+    /// Exact metric DBSCAN (§3.1) at this snapshot's epoch, with the
     /// engine's default configuration. Requires `r̄ ≤ ε/2`.
     pub fn exact(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
         let cfg = ExactConfig {
-            parallel: self.parallel,
-            pruning: self.pruning,
+            parallel: self.engine.parallel,
+            pruning: self.engine.pruning,
             ..ExactConfig::default()
         };
         self.exact_with(params, &cfg)
@@ -722,42 +1199,50 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
 
     /// ρ-approximate DBSCAN (Algorithm 2). Requires `r̄ ≤ ρε/2`.
     ///
-    /// Repeated probes at the same `(ε, MinPts, ρ)` replay the merged
-    /// summary from the artifact LRU (bit-identical labels, the summary
-    /// construction and merge skipped); the `ε`-keyed adjacency cache is
-    /// shared with the exact pipeline's entries at matching thresholds.
+    /// Repeated probes at the same `(epoch, ε, MinPts, ρ)` replay the
+    /// merged summary from the artifact LRU (bit-identical labels, the
+    /// summary construction and merge skipped); the `ε`-keyed adjacency
+    /// cache is shared with the exact pipeline's entries at matching
+    /// thresholds and extends across epochs.
     pub fn approx(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
         self.check_usable(params.rbar())?;
+        let engine = self.engine;
         let view = self.view();
         let key = CacheKey {
             kind: NetKind::Gonzalez,
+            epoch: self.state.epoch,
             eps_bits: params.eps().to_bits(),
             min_pts: params.min_pts(),
             rho_bits: Some(params.rho().to_bits()),
         };
         let cached: Option<Arc<ApproxArtifacts>> = {
-            let found = self
+            let found = engine
                 .cache
                 .lock()
                 .expect("engine cache poisoned")
                 .fragments
                 .get_approx(&key);
-            self.count_lookup(found.is_some());
+            engine.count_lookup(found.is_some());
             found
         };
         let hit = cached.is_some();
         let threshold = approx_threshold(view.rbar, params);
-        let (adj_key, adj_cached) =
-            self.lookup_adjacency(NetKind::Gonzalez, 0, threshold, self.pruning.enabled);
+        let (adj_key, adj_cached) = self.lookup_adjacency(
+            NetKind::Gonzalez,
+            0,
+            threshold,
+            engine.pruning.enabled,
+            &engine.parallel,
+        );
         let adj_was_cached = adj_cached.is_some();
         let outcome = run_approx(
-            &self.points,
-            &self.metric,
+            &self.state.points,
+            &engine.metric,
             &view,
             params,
-            &self.parallel,
-            &self.pruning,
+            &engine.parallel,
+            &engine.pruning,
             ApproxReuse {
                 artifacts: cached.as_deref(),
                 adjacency: adj_cached,
@@ -767,7 +1252,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             self.store_adjacency(adj_key, &outcome.adjacency);
         }
         if let Some(artifacts) = outcome.fresh_artifacts {
-            self.cache
+            engine
+                .cache
                 .lock()
                 .expect("engine cache poisoned")
                 .fragments
@@ -788,57 +1274,99 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
 
     /// Exact DBSCAN via a cover-tree-derived net (§3.2, Theorem 1), with
     /// the engine's default configuration.
-    ///
-    /// Unlike [`MetricDbscan::exact`] this path does not depend on `r̄`:
-    /// the whole-input cover tree is built lazily on the first call
-    /// (sequentially — inserts depend on the evolving tree) and cached on
-    /// the engine, after which **any** `ε` extracts its net from the same
-    /// tree with zero further distance evaluations.
     pub fn covertree(&self, params: &DbscanParams) -> Result<Run, DbscanError> {
         let cfg = ExactConfig {
-            parallel: self.parallel,
-            pruning: self.pruning,
+            parallel: self.engine.parallel,
+            pruning: self.engine.pruning,
             ..ExactConfig::default()
         };
         self.covertree_with(params, &cfg)
     }
 
-    /// As [`MetricDbscan::covertree`], with explicit configuration.
+    /// As [`EngineSnapshot::covertree`], with explicit configuration.
+    ///
+    /// Unlike [`EngineSnapshot::exact`] this path does not depend on
+    /// `r̄`: the whole-input cover tree is built lazily on the first
+    /// call (sequentially — inserts depend on the evolving tree) and
+    /// cached per epoch. Across epochs the cached tree **grows by
+    /// insertion** of the new points — the grown tree is bit-identical
+    /// to a from-scratch build, because building *is* sequential
+    /// insertion in index order — after which any `ε` extracts its net
+    /// with zero further distance evaluations.
     pub fn covertree_with(
         &self,
         params: &DbscanParams,
         cfg: &ExactConfig,
     ) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
+        let engine = self.engine;
+        let n = self.state.points.len();
         let t = Instant::now();
         let (skeleton, tree_hit) = {
-            let cached = self
-                .cache
-                .lock()
-                .expect("engine cache poisoned")
-                .covertree
-                .clone();
-            match cached {
-                Some(s) => (s, true),
-                None => {
-                    // Build outside the lock so concurrent exact/approx
+            let (cached, base) = {
+                let mut cache = engine.cache.lock().expect("engine cache poisoned");
+                match cache.covertree.promote(&self.state.epoch).map(Arc::clone) {
+                    Some(s) => (Some(s), None),
+                    None => {
+                        // Largest cached prefix tree (points are
+                        // append-only, so any smaller epoch's tree is a
+                        // prefix of this epoch's).
+                        let mut best: Option<Arc<CoverTreeSkeleton>> = None;
+                        for (_, s) in &cache.covertree.entries {
+                            if s.len() <= n && best.as_ref().is_none_or(|b| s.len() > b.len()) {
+                                best = Some(Arc::clone(s));
+                            }
+                        }
+                        (None, best)
+                    }
+                }
+            };
+            match (cached, base) {
+                (Some(s), _) => (s, true),
+                (None, base) => {
+                    // Build (or grow) outside the lock so concurrent
                     // queries are not stalled behind the sequential
-                    // construction; if two threads race, both build the
-                    // same (deterministic) tree and the first insertion
-                    // wins.
-                    let tree = CoverTree::build(&self.points, &self.metric);
-                    let built = Arc::new(tree.into_skeleton());
-                    let mut cache = self.cache.lock().expect("engine cache poisoned");
-                    let kept = cache
-                        .covertree
-                        .get_or_insert_with(|| Arc::clone(&built))
-                        .clone();
+                    // construction; if two threads race, both produce
+                    // the same (deterministic) tree and the first
+                    // insertion wins.
+                    let built = match base {
+                        Some(b) if b.len() == n => {
+                            engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                            b
+                        }
+                        Some(b) => {
+                            let from = b.len();
+                            let mut tree = CoverTree::from_skeleton(
+                                &self.state.points,
+                                &engine.metric,
+                                (*b).clone(),
+                            );
+                            for i in from..n {
+                                tree.insert(i);
+                            }
+                            engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                            Arc::new(tree.into_skeleton())
+                        }
+                        None => {
+                            let tree = CoverTree::build(&self.state.points, &engine.metric);
+                            Arc::new(tree.into_skeleton())
+                        }
+                    };
+                    let mut cache = engine.cache.lock().expect("engine cache poisoned");
+                    let kept = match cache.covertree.promote(&self.state.epoch) {
+                        Some(existing) => Arc::clone(existing),
+                        None => {
+                            cache.covertree.insert(self.state.epoch, Arc::clone(&built));
+                            built
+                        }
+                    };
                     (kept, false)
                 }
             }
         };
-        self.count_lookup(tree_hit);
-        let tree = CoverTree::from_skeleton(&self.points, &self.metric, (*skeleton).clone());
+        engine.count_lookup(tree_hit);
+        let tree =
+            CoverTree::from_skeleton(&self.state.points, &engine.metric, (*skeleton).clone());
         let tree_secs = t.elapsed().as_secs_f64();
 
         let level = covertree_level(params.eps());
@@ -874,21 +1402,22 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 }
 
-impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
-    /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
-    /// engine's own points — three in-memory passes with the same
+impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
+    /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over this
+    /// snapshot's points — three in-memory passes with the same
     /// validation and labeling semantics a true stream would see. Useful
     /// for cross-checking a deployment's streaming parameters against a
     /// held dataset; for unbounded external streams use
     /// [`MetricDbscan::streaming_session`].
     pub fn streaming(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
+        let engine = self.engine;
         let (clustering, session) = StreamingApproxDbscan::run_pruned(
-            &self.metric,
+            &engine.metric,
             params,
-            &self.parallel,
-            &self.pruning,
-            || self.points.iter().cloned(),
+            &engine.parallel,
+            &engine.pruning,
+            || self.state.points.iter().cloned(),
         )?;
         let stats = session.stats();
         let detail = RunDetail::Streaming {
@@ -897,18 +1426,6 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         };
         let report = self.report(AlgorithmKind::Streaming, t0, false, stats.pruning, detail);
         Ok(Run { clustering, report })
-    }
-
-    /// Opens a fresh Algorithm-3 session borrowing the engine's metric,
-    /// thread knob, and pruning policy, to be driven pass-by-pass over
-    /// an **external** stream (`pass1_observe* → finish_pass1 →
-    /// pass2_observe* → finish_pass2 → pass3_label*`). The session
-    /// stores only `O((Δ/ρε)^D + z)` points — it never touches the
-    /// engine's own data.
-    pub fn streaming_session(&self, params: &ApproxParams) -> StreamingApproxDbscan<'_, P, M> {
-        StreamingApproxDbscan::new(&self.metric, params)
-            .with_parallel(self.parallel)
-            .with_pruning(self.pruning)
     }
 }
 
@@ -997,6 +1514,7 @@ mod tests {
         let cold = e.exact(&params).unwrap();
         assert!(!cold.report.cache_hit);
         assert_eq!(cold.report.cache_misses, 1);
+        assert_eq!(cold.report.epoch, 0);
         let warm = e.exact(&params).unwrap();
         assert!(warm.report.cache_hit);
         assert_eq!(warm.report.cache_hits, 1);
@@ -1104,5 +1622,69 @@ mod tests {
         }
         session.finish_pass2();
         assert!(session.pass3_label(&stream[0]).cluster().is_some());
+    }
+
+    #[test]
+    fn ingest_bumps_epochs_and_matches_fresh_radius_guided_build() {
+        let pts = grid();
+        let (seed, rest) = pts.split_at(60);
+        let dynamic = MetricDbscan::builder(seed.to_vec(), Euclidean)
+            .rbar(0.5)
+            .net_strategy(NetStrategy::RadiusGuided)
+            .build()
+            .unwrap();
+        assert_eq!(dynamic.epoch(), 0);
+        assert_eq!(dynamic.ingest(Vec::<Vec<f64>>::new()).added_points, 0);
+        assert_eq!(dynamic.epoch(), 0, "empty batch publishes nothing");
+        let report = dynamic.ingest(rest[..40].to_vec());
+        assert_eq!((report.epoch, report.added_points), (1, 40));
+        let report = dynamic.ingest_one(rest[40].clone());
+        assert_eq!((report.epoch, report.added_points), (2, 1));
+        dynamic.ingest(rest[41..].to_vec());
+        assert_eq!(dynamic.epoch(), 3);
+        assert_eq!(dynamic.num_points(), pts.len());
+
+        let fresh = MetricDbscan::builder(pts, Euclidean)
+            .rbar(0.5)
+            .net_strategy(NetStrategy::RadiusGuided)
+            .build()
+            .unwrap();
+        assert_eq!(dynamic.net_arc().centers, fresh.net_arc().centers);
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        assert_eq!(
+            dynamic.exact(&params).unwrap().clustering,
+            fresh.exact(&params).unwrap().clustering
+        );
+    }
+
+    #[test]
+    fn old_snapshot_unaffected_by_ingest_and_caches_do_not_cross_epochs() {
+        let pts = grid();
+        let (seed, rest) = pts.split_at(100);
+        let e = MetricDbscan::builder(seed.to_vec(), Euclidean)
+            .rbar(0.5)
+            .net_strategy(NetStrategy::RadiusGuided)
+            .build()
+            .unwrap();
+        let params = DbscanParams::new(1.0, 4).unwrap();
+        let snap0 = e.snapshot();
+        let before = snap0.exact(&params).unwrap();
+        assert!(!before.report.cache_hit);
+
+        e.ingest(rest.to_vec());
+        // The pinned snapshot still answers from epoch 0, as a cache hit.
+        let again = snap0.exact(&params).unwrap();
+        assert_eq!(again.report.epoch, 0);
+        assert!(again.report.cache_hit, "same-epoch artifacts are resident");
+        assert_eq!(before.clustering, again.clustering);
+        assert_eq!(snap0.num_points(), 100);
+
+        // The engine's current epoch must not hit epoch-0 artifacts...
+        let after = e.exact(&params).unwrap();
+        assert_eq!(after.report.epoch, 1);
+        assert!(!after.report.cache_hit, "hits never cross epochs");
+        // ...but may upgrade them incrementally.
+        assert!(e.cache_stats().upgrades > 0, "expected incremental reuse");
+        assert_eq!(after.clustering.len(), pts.len());
     }
 }

@@ -20,8 +20,8 @@ pub enum DbscanError {
     InvalidRho(f64),
     /// The input point set is empty.
     EmptyInput,
-    /// The net radius `r̄` handed to the engine builder (or
-    /// [`crate::GonzalezIndex`]) must be positive and finite.
+    /// The net radius `r̄` handed to the engine builder must be positive
+    /// and finite.
     InvalidRadius(f64),
     /// [`crate::MetricDbscanBuilder::build`] was called without
     /// [`crate::MetricDbscanBuilder::rbar`]; the radius-guided Gonzalez

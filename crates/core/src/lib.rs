@@ -15,8 +15,12 @@
 //! ## The engine
 //!
 //! The primary API is [`MetricDbscan`]: an **owned, `Send + Sync`,
-//! `Arc`-shareable engine** built once per dataset, serving all four
-//! solvers behind one surface. Every entry point returns a [`Run`] — the
+//! `Arc`-shareable, epoch-based engine** serving all four solvers
+//! behind one surface — and able to **ingest new points while
+//! serving** ([`MetricDbscan::ingest`]; each batch publishes an
+//! immutable [`EngineSnapshot`] readers query lock-free, and every
+//! cached artifact is keyed by epoch so stale entries are unreachable
+//! by construction). Every entry point returns a [`Run`] — the
 //! [`Clustering`] plus a unified [`RunReport`] with timings, solver
 //! stats, and cache telemetry:
 //!
@@ -101,26 +105,25 @@ mod engine;
 mod error;
 mod exact;
 mod exact_covertree;
-mod index;
 mod labels;
 mod netview;
 mod params;
 mod parmerge;
 mod steps;
+mod store;
 mod streaming;
 mod unionfind;
 
 pub use approx::ApproxStats;
 pub use engine::{
-    AlgorithmKind, CacheStats, MetricDbscan, MetricDbscanBuilder, Run, RunDetail, RunReport,
+    AlgorithmKind, CacheStats, EngineSnapshot, IngestReport, MetricDbscan, MetricDbscanBuilder,
+    NetStrategy, Run, RunDetail, RunReport,
 };
 pub use error::DbscanError;
 pub use exact::{ExactConfig, ExactStats};
 pub use exact_covertree::{
     exact_dbscan_covertree, exact_dbscan_covertree_with, CoverTreeExactStats,
 };
-#[allow(deprecated)]
-pub use index::GonzalezIndex;
 pub use labels::{Clustering, PointLabel};
 pub use mdbscan_parallel::ParallelConfig;
 pub use params::{ApproxParams, DbscanParams};

@@ -1,4 +1,5 @@
-//! Round-batched parallel union-find merging.
+//! Round-batched parallel union-find merging with a component-aware
+//! batch planner.
 //!
 //! The sequential merge loops (exact Step 2, the Algorithm-2 summary
 //! merge, the streaming offline merge) interleave *pure* pair tests
@@ -11,13 +12,89 @@
 //! [`union_rounds`] exploits that: candidate pairs are consumed in
 //! batches; each batch is pre-filtered against the current union-find
 //! state (read-only roots), its tests run in parallel, and its positive
-//! pairs are unioned in order. A parallel run may test a few pairs a
-//! sequential run would have skipped (the price of batching), but the
-//! resulting components — and therefore the final cluster labels — are
-//! identical for every thread count.
+//! pairs are unioned in order.
+//!
+//! # Component-aware planning
+//!
+//! Pre-filtering against *committed* connectivity alone is not enough:
+//! a round that schedules `(A,B)` and later `(B,C)` would also schedule
+//! `(A,C)`, a pair the sequential loop never tests when the first two
+//! succeed. The planner therefore tracks an **optimistic** view of the
+//! round — every scheduled pair is assumed to succeed — and any pair
+//! whose endpoints are already connected in that view is *deferred*,
+//! not tested. Deferred pairs are re-examined at the next round against
+//! the now-committed state: if the optimism held they are dropped
+//! (exactly like the sequential skip); if a test failed they get
+//! scheduled then (exactly like the sequential fallback). A round never
+//! schedules two pairs that connect the same pair of components, so the
+//! batched run never tests a pair the sequential interleaving skips —
+//! the tested count is bounded by (and, when tests succeed, equal to)
+//! the sequential loop's count, closing the old `bcp_tests` gap where
+//! batching could *over*-test. (It can come in slightly under: a
+//! deferred pair may be resolved by a later positive before its retry.)
 
 use crate::unionfind::UnionFind;
 use mdbscan_parallel::par_map_range;
+
+/// The round-local optimistic union-find: scheduled pairs are assumed
+/// connected until their tests land. Entries reset lazily per round via
+/// a generation stamp, so planning stays O(batch α) per round instead
+/// of O(n).
+struct RoundPlanner {
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    round: u32,
+}
+
+impl RoundPlanner {
+    fn new(len: usize) -> Self {
+        Self {
+            parent: vec![0; len],
+            stamp: vec![0; len],
+            round: 0,
+        }
+    }
+
+    fn next_round(&mut self) {
+        self.round = self.round.wrapping_add(1);
+        if self.round == 0 {
+            // Stamp wrap-around (practically unreachable): hard reset.
+            self.stamp.fill(0);
+            self.round = 1;
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.stamp[x] != self.round {
+            self.stamp[x] = self.round;
+            self.parent[x] = x as u32;
+            return x;
+        }
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let up = self.parent[x as usize];
+            // Fresh parents may predate this round; treat them as roots.
+            if self.stamp[up as usize] != self.round {
+                self.stamp[up as usize] = self.round;
+                self.parent[up as usize] = up;
+            }
+            x = up;
+        }
+        x as usize
+    }
+
+    /// Reserves the pair of (committed) roots `a`, `b` for this round:
+    /// returns false — defer the pair — when an already-scheduled chain
+    /// optimistically connects them.
+    fn try_reserve(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb as u32;
+        true
+    }
+}
 
 /// Drains `next_batch` until exhaustion, testing each candidate pair
 /// with `test` (in parallel across the batch) and unioning positives in
@@ -26,10 +103,11 @@ use mdbscan_parallel::par_map_range;
 /// `next_batch` sees the up-to-date union-find and should (a) skip
 /// pairs whose endpoints are already connected — use
 /// [`UnionFind::root`] — and (b) bound the batch size so skipping stays
-/// effective; it returns an empty batch to finish. It receives the
-/// union-find **mutably** so triangle-inequality *free accepts* (pairs
-/// whose distance upper bound is already within the threshold) can be
-/// unioned during batch assembly without spending a test slot.
+/// effective; it returns an empty batch to signal exhaustion (deferred
+/// pairs may still be flushed afterwards). It receives the union-find
+/// **mutably** so triangle-inequality *free accepts* (pairs whose
+/// distance upper bound is already within the threshold) can be unioned
+/// during batch assembly without spending a test slot.
 pub(crate) fn union_rounds<F>(
     uf: &mut UnionFind,
     threads: usize,
@@ -41,10 +119,52 @@ where
 {
     let mut tested = 0u64;
     let mut positive = 0u64;
+    let mut planner = RoundPlanner::new(uf.len());
+    // Pairs postponed because an earlier pair of their round already
+    // (optimistically) connected their components.
+    let mut deferred: Vec<(u32, u32)> = Vec::new();
+    let mut source_dry = false;
     loop {
-        let batch = next_batch(uf);
+        planner.next_round();
+        let mut batch: Vec<(u32, u32)> = Vec::new();
+        // Deferred pairs go first — they are older in candidate order.
+        let mut still_deferred: Vec<(u32, u32)> = Vec::new();
+        for &(a, b) in &deferred {
+            let (ra, rb) = (uf.root(a as usize), uf.root(b as usize));
+            if ra == rb {
+                continue; // the optimism held: sequential would skip too
+            }
+            if planner.try_reserve(ra, rb) {
+                batch.push((a, b));
+            } else {
+                still_deferred.push((a, b));
+            }
+        }
+        deferred = still_deferred;
+        if !source_dry {
+            let fresh = next_batch(uf);
+            if fresh.is_empty() {
+                source_dry = true;
+            }
+            for (a, b) in fresh {
+                let (ra, rb) = (uf.root(a as usize), uf.root(b as usize));
+                if ra == rb {
+                    continue; // connected by a free accept mid-assembly
+                }
+                if planner.try_reserve(ra, rb) {
+                    batch.push((a, b));
+                } else {
+                    deferred.push((a, b));
+                }
+            }
+        }
         if batch.is_empty() {
-            return (tested, positive);
+            if source_dry && deferred.is_empty() {
+                return (tested, positive);
+            }
+            // A fresh round always schedules the first live deferred
+            // pair, so this loops only while progress is still possible.
+            continue;
         }
         tested += batch.len() as u64;
         // Small batches run inline — a handful of distance tests never
@@ -73,6 +193,34 @@ pub(crate) fn batch_size(threads: usize) -> usize {
 mod tests {
     use super::*;
 
+    fn run_pairs(
+        all_pairs: &[(u32, u32)],
+        n: usize,
+        threads: usize,
+        batch: usize,
+        test: impl Fn(usize, usize) -> bool + Sync,
+    ) -> (Vec<u32>, u64) {
+        let mut uf = UnionFind::new(n);
+        let mut cursor = 0usize;
+        let (tested, _) = union_rounds(
+            &mut uf,
+            threads,
+            |uf| {
+                let mut out = Vec::new();
+                while out.len() < batch && cursor < all_pairs.len() {
+                    let (a, b) = all_pairs[cursor];
+                    cursor += 1;
+                    if uf.root(a as usize) != uf.root(b as usize) {
+                        out.push((a, b));
+                    }
+                }
+                out
+            },
+            test,
+        );
+        (uf.component_ids(), tested)
+    }
+
     /// A chain 0-1-2-…-n as candidate pairs plus all the transitive
     /// pairs; the transitive ones must be skipped or harmless.
     #[test]
@@ -83,33 +231,63 @@ mod tests {
             .collect();
         // connect iff same parity
         let test = |a: usize, b: usize| (a % 2) == (b % 2);
-
-        let run = |threads: usize, batch: usize| -> Vec<u32> {
-            let mut uf = UnionFind::new(n);
-            let mut cursor = 0usize;
-            let (_, _) = union_rounds(
-                &mut uf,
-                threads,
-                |uf| {
-                    let mut out = Vec::new();
-                    while out.len() < batch && cursor < all_pairs.len() {
-                        let (a, b) = all_pairs[cursor];
-                        cursor += 1;
-                        if uf.root(a as usize) != uf.root(b as usize) {
-                            out.push((a, b));
-                        }
-                    }
-                    out
-                },
-                test,
-            );
-            uf.component_ids()
-        };
-
-        let reference = run(1, 1);
+        let (reference, _) = run_pairs(&all_pairs, n, 1, 1, test);
         assert_eq!(reference.iter().filter(|&&c| c == 0).count(), n / 2);
         for (threads, batch) in [(1, 7), (4, 16), (8, 64)] {
-            assert_eq!(run(threads, batch), reference, "threads={threads}");
+            let (ids, _) = run_pairs(&all_pairs, n, threads, batch, test);
+            assert_eq!(ids, reference, "threads={threads}");
         }
+    }
+
+    /// The component-aware planner must never test a pair the
+    /// sequential interleaving skips: tested counts are bounded by the
+    /// sequential count for every thread count and batch size (this is
+    /// the `bcp_tests` over-testing gap noted in the roadmap). With an
+    /// always-true predicate the counts are exactly equal — both run
+    /// the same greedy spanning forest.
+    #[test]
+    fn tested_counts_never_exceed_sequential() {
+        let n = 60usize;
+        let all_pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        for modulo in [2usize, 3, 7] {
+            // Deterministic mixed pass/fail predicate.
+            let test =
+                move |a: usize, b: usize| (a % modulo) == (b % modulo) && (a * 31 + b) % 5 != 3;
+            let (seq_ids, seq_tested) = run_pairs(&all_pairs, n, 1, 1, test);
+            for (threads, batch) in [(2, 8), (4, 16), (8, 64), (3, 5)] {
+                let (ids, tested) = run_pairs(&all_pairs, n, threads, batch, test);
+                assert_eq!(ids, seq_ids, "modulo={modulo} threads={threads}");
+                assert!(
+                    tested <= seq_tested,
+                    "modulo={modulo} threads={threads} batch={batch}: \
+                     planner over-tested ({tested} > {seq_tested})"
+                );
+            }
+        }
+        // All-success: exact equality (one spanning tree per component).
+        let always = |_: usize, _: usize| true;
+        let (seq_ids, seq_tested) = run_pairs(&all_pairs, n, 1, 1, always);
+        assert_eq!(seq_tested, (n - 1) as u64);
+        for (threads, batch) in [(4, 16), (8, 128)] {
+            let (ids, tested) = run_pairs(&all_pairs, n, threads, batch, always);
+            assert_eq!(ids, seq_ids);
+            assert_eq!(tested, seq_tested, "threads={threads} batch={batch}");
+        }
+    }
+
+    /// The scenario the old planner over-tested: one round holding the
+    /// whole chain (A,B), (B,C), (A,C) must defer the transitive pair.
+    #[test]
+    fn transitive_pair_within_one_round_is_deferred() {
+        let pairs = [(0u32, 1u32), (1, 2), (0, 2)];
+        let always = |_: usize, _: usize| true;
+        let (seq_ids, seq_tested) = run_pairs(&pairs, 3, 1, 1, always);
+        assert_eq!(seq_tested, 2, "sequential skips the transitive pair");
+        // One big batch: the old planner tested all 3.
+        let (ids, tested) = run_pairs(&pairs, 3, 4, 64, always);
+        assert_eq!(ids, seq_ids);
+        assert_eq!(tested, 2, "round must not schedule (0,2)");
     }
 }

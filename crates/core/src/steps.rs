@@ -47,6 +47,7 @@
 //!   final labels exactly;
 //! * Step 3 over points again.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -133,10 +134,12 @@ pub struct StepsStats {
     pub assign_secs: f64,
     /// Number of points labeled core by the dense-ball shortcut.
     pub dense_cores: usize,
-    /// Fragment pairs whose BCP was tested. With multiple threads a few
-    /// extra pairs may be tested relative to a 1-thread run (batch
-    /// pre-filtering is round-granular); the resulting labels are
-    /// identical.
+    /// Fragment pairs whose BCP was tested. The multi-thread batch
+    /// planner is component-aware (a round never schedules a pair whose
+    /// endpoints an earlier pair of the same round may connect), so this
+    /// never exceeds the 1-thread count — it can come in slightly under
+    /// when a deferred pair resolves before its retry; the resulting
+    /// labels are identical either way.
     pub bcp_tests: u64,
     /// Fragment pairs found connected (distance-free accepts included).
     pub bcp_connected: u64,
@@ -201,12 +204,42 @@ impl StepArtifacts {
     }
 }
 
+/// Per-fragment reuse verdict of an incremental upgrade: carry the
+/// cached cover tree over, grow it by the fragment's added members, or
+/// rebuild from scratch.
+enum FragPlan {
+    Reuse,
+    Grow(Vec<u32>),
+    Build,
+}
+
+/// An older epoch's artifacts plus the ingest delta separating it from
+/// the current net — the input of the *incremental* Step-1/2
+/// maintenance. Core flags are monotone under ingest (adding points
+/// only grows `ε`-neighborhoods), so only points whose neighbor balls
+/// gained members are re-verified, fragments only ever gain members,
+/// and grown fragments extend their cached cover trees by insertion
+/// instead of rebuilding.
+#[derive(Clone, Copy)]
+pub(crate) struct StepsUpgrade<'a> {
+    /// Artifacts computed at the same `(ε, MinPts)` over a prefix of
+    /// the current (append-only) point sequence, on the same net prefix.
+    pub(crate) artifacts: &'a StepArtifacts,
+    /// Ball positions (in the current net) whose cover sets gained
+    /// members since those artifacts were computed, ascending; new
+    /// centers included.
+    pub(crate) dirty_balls: &'a [u32],
+}
+
 /// Cached inputs a caller may replay into [`run_exact_steps`]: Step-1/2
-/// artifacts (same net, same `(ε, MinPts)`) and/or a center adjacency
-/// (same net, same threshold — it depends on `ε` only).
+/// artifacts (same net, same `(ε, MinPts)`), an older epoch's artifacts
+/// to upgrade incrementally (consulted only when `artifacts` is absent),
+/// and/or a center adjacency (same net, same threshold — it depends on
+/// `ε` only).
 #[derive(Default)]
 pub(crate) struct StepsReuse<'a> {
     pub(crate) artifacts: Option<&'a StepArtifacts>,
+    pub(crate) upgrade: Option<StepsUpgrade<'a>>,
     pub(crate) adjacency: Option<Arc<CenterAdjacency>>,
 }
 
@@ -296,9 +329,33 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
 
     // ---- Step 1: core labeling, parallel over points ----
     // With cached artifacts the whole step replays from the cache (the
-    // core flags are a pure function of (net, ε, MinPts)).
+    // core flags are a pure function of (net, ε, MinPts)). With an
+    // older epoch's artifacts (`reuse.upgrade`) the step runs
+    // *incrementally*: core flags are monotone under ingest, so only
+    // new points — plus old non-core points in balls whose neighborhood
+    // gained members — are (re-)verified.
     let t = Instant::now();
     let evals_before = tick();
+    let upgrade = if reuse.artifacts.is_none() {
+        reuse.upgrade
+    } else {
+        None
+    };
+    // Under an upgrade: a ball needs re-verification iff any ball of its
+    // adjacency row is dirty — by Lemma 2 an untouched neighborhood
+    // means an unchanged ε-ball for every member. (A ball's own row
+    // contains itself, so dirty ⊆ affected.)
+    let affected: Option<Vec<bool>> = upgrade.map(|u| {
+        let mut dirty = vec![false; k];
+        for &e in u.dirty_balls {
+            if (e as usize) < k {
+                dirty[e as usize] = true;
+            }
+        }
+        (0..k)
+            .map(|e| adj.neighbors.row(e).iter().any(|&e2| dirty[e2 as usize]))
+            .collect()
+    });
     let is_core_local: Option<Vec<bool>> = if reuse.artifacts.is_some() {
         None
     } else {
@@ -315,6 +372,16 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
             let flags: Vec<bool> = r
                 .map(|p| {
                     let e = net.assignment[p] as usize;
+                    if let (Some(u), Some(aff)) = (upgrade, affected.as_ref()) {
+                        if p < u.artifacts.is_core.len() {
+                            if u.artifacts.is_core[p] {
+                                return true; // cores stay core under ingest
+                            }
+                            if !aff[e] {
+                                return false; // neighborhood untouched
+                            }
+                        }
+                    }
                     dense[e]
                         || count_neighbors_capped(
                             points,
@@ -355,14 +422,34 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
     // C̃_e: the core points of each cover set, flattened like the cover
     // sets themselves, plus each fragment's anchor radius
     // max dis(p, c_e) — free to record, and what the distance-free
-    // merge accepts measure against.
+    // merge accepts measure against. Under an upgrade, every fragment
+    // additionally gets a reuse plan: untouched rows keep their cached
+    // skeleton, grown rows extend it by insertion, the rest rebuild.
+    let mut frag_plans: Option<Vec<FragPlan>> = None;
     let frag_local: Option<(Csr, Vec<f64>)> = if reuse.artifacts.is_some() {
         None
     } else {
         let mut offsets = vec![0usize; k + 1];
         let mut values = Vec::new();
         let mut radius = Vec::with_capacity(k);
+        let mut plans: Option<Vec<FragPlan>> = upgrade.map(|_| Vec::with_capacity(k));
+        let old_k = upgrade.map_or(0, |u| u.artifacts.fragments.num_rows());
         for e in 0..k {
+            if let (Some(u), Some(aff)) = (upgrade, affected.as_ref()) {
+                if e < old_k && !aff[e] {
+                    // Untouched ball: fragment row, anchor radius, and
+                    // skeleton are all carried over verbatim.
+                    values.extend_from_slice(u.artifacts.fragments.row(e));
+                    offsets[e + 1] = values.len();
+                    radius.push(u.artifacts.frag_radius[e]);
+                    plans
+                        .as_mut()
+                        .expect("upgrade has plans")
+                        .push(FragPlan::Reuse);
+                    continue;
+                }
+            }
+            let start = values.len();
             let mut r = 0.0f64;
             for &p in net.cover_sets.row(e) {
                 if is_core[p as usize] {
@@ -372,7 +459,37 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
             }
             offsets[e + 1] = values.len();
             radius.push(r);
+            if let Some(plans) = plans.as_mut() {
+                let u = upgrade.expect("plans imply upgrade");
+                let new_row = &values[start..];
+                let old_row: &[u32] = if e < old_k {
+                    u.artifacts.fragments.row(e)
+                } else {
+                    &[]
+                };
+                let has_old_tree = e < old_k && u.artifacts.skeletons[e].is_some();
+                plans.push(if new_row == old_row {
+                    FragPlan::Reuse
+                } else if has_old_tree {
+                    // Flags are monotone and points append-only, so
+                    // old ⊆ new: grow the cached tree by the difference.
+                    let mut added = Vec::with_capacity(new_row.len() - old_row.len());
+                    let mut oi = 0usize;
+                    for &q in new_row {
+                        if oi < old_row.len() && old_row[oi] == q {
+                            oi += 1;
+                        } else {
+                            added.push(q);
+                        }
+                    }
+                    debug_assert_eq!(oi, old_row.len(), "old fragment not a subset of new");
+                    FragPlan::Grow(added)
+                } else {
+                    FragPlan::Build
+                });
+            }
         }
+        frag_plans = plans;
         Some((Csr::from_parts(offsets, values), radius))
     };
     let (fragments, frag_radius): (&Csr, &[f64]) = match reuse.artifacts {
@@ -392,6 +509,38 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
             .map(|s| {
                 s.as_ref()
                     .map(|sk| CoverTree::from_skeleton(points, metric, sk.clone()))
+            })
+            .collect()
+    } else if let (Some(u), Some(plans)) = (upgrade, frag_plans.as_ref()) {
+        // Incremental upgrade: unchanged fragments re-attach their
+        // cached skeleton for free; fragments that only gained members
+        // insert the difference into the cached tree (the whole point —
+        // fragment construction is the Step-2 cost the epochs amortize);
+        // only brand-new fragments build from scratch.
+        (0..k)
+            .map(|e| match &plans[e] {
+                FragPlan::Reuse => u
+                    .artifacts
+                    .skeletons
+                    .get(e)
+                    .and_then(Option::as_ref)
+                    .map(|sk| CoverTree::from_skeleton(points, metric, sk.clone())),
+                FragPlan::Grow(added) => {
+                    let sk = u.artifacts.skeletons[e]
+                        .as_ref()
+                        .expect("grow implies a tree");
+                    let mut tree = CoverTree::from_skeleton(points, metric, sk.clone());
+                    for &q in added {
+                        tree.insert(q as usize);
+                    }
+                    Some(tree)
+                }
+                FragPlan::Build => {
+                    let frag = fragments.row(e);
+                    (!frag.is_empty()).then(|| {
+                        CoverTree::from_indices(points, metric, frag.iter().map(|&p| p as usize))
+                    })
+                }
             })
             .collect()
     } else {
@@ -425,8 +574,12 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
     // distance-free verdict from the adjacency's center-pair bounds:
     // `ub + r_e + r_e' ≤ ε` merges without a BCP test (every cross pair
     // is within ε), `lb − r_e − r_e' > ε` discards the candidate
-    // entirely (no cross pair can reach ε).
-    let mut candidates: Vec<(u32, u32, bool)> = Vec::new();
+    // entirely (no cross pair can reach ε). Survivors keep the edge's
+    // lower bound: inside the BCP test it anchors each *probe point*
+    // individually (its cached `dis(p, c_p)` sharpens the whole-fragment
+    // slack), skipping tree queries for probes that provably cannot
+    // reach any host member.
+    let mut candidates: Vec<(u32, u32, bool, f64)> = Vec::new();
     for e in 0..k {
         if fragments.row_len(e) == 0 {
             continue;
@@ -447,17 +600,18 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
                 }
                 if ub + slack <= eps {
                     stats.pruning.bound_accepts += 1;
-                    candidates.push((e as u32, e2, true));
+                    candidates.push((e as u32, e2, true, lb));
                     continue;
                 }
             }
-            candidates.push((e as u32, e2, false));
+            candidates.push((e as u32, e2, false, lb));
         }
     }
+    let probe_rejects = AtomicU64::new(0);
     if threads <= 1 {
         // Classic sequential interleaving: test, union, and let fresh
         // connectivity skip later pairs immediately.
-        for &(e, e2, free) in &candidates {
+        for &(e, e2, free, lb) in &candidates {
             let (e, e2) = (e as usize, e2 as usize);
             if cfg.early_termination && uf.connected(e, e2) {
                 continue;
@@ -468,7 +622,20 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
                 continue;
             }
             stats.bcp_tests += 1;
-            if bcp_within(points, metric, fragments, &trees, e, e2, eps, cfg) {
+            if bcp_within(
+                points,
+                metric,
+                net,
+                fragments,
+                frag_radius,
+                &trees,
+                e,
+                e2,
+                eps,
+                lb,
+                cfg,
+                &probe_rejects,
+            ) {
                 stats.bcp_connected += 1;
                 uf.union(e, e2);
             }
@@ -477,13 +644,25 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
         let batch = batch_size(threads);
         let mut cursor = 0usize;
         let mut free_connected = 0u64;
+        // The parallel test closure only sees (e, e2); recover each
+        // surviving candidate's edge lower bound by binary search —
+        // candidates are generated in (e, e2) lexicographic order, so
+        // the non-free subsequence is already sorted.
+        let edge_lb: Vec<(u32, u32, f64)> = candidates
+            .iter()
+            .filter(|c| !c.2)
+            .map(|&(a, b, _, lb)| (a, b, lb))
+            .collect();
+        debug_assert!(edge_lb
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
         let (tested, connected) = union_rounds(
             &mut uf,
             threads,
             |uf| {
                 let mut out = Vec::new();
                 while out.len() < batch && cursor < candidates.len() {
-                    let (e, e2, free) = candidates[cursor];
+                    let (e, e2, free, _) = candidates[cursor];
                     cursor += 1;
                     if cfg.early_termination && uf.root(e as usize) == uf.root(e2 as usize) {
                         continue;
@@ -497,11 +676,33 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
                 }
                 out
             },
-            |e, e2| bcp_within(points, metric, fragments, &trees, e, e2, eps, cfg),
+            |e, e2| {
+                // Every tested pair was scheduled from the non-free
+                // candidates, so the search cannot miss.
+                let lb = edge_lb
+                    .binary_search_by_key(&(e as u32, e2 as u32), |&(a, b, _)| (a, b))
+                    .map(|i| edge_lb[i].2)
+                    .unwrap_or(0.0);
+                bcp_within(
+                    points,
+                    metric,
+                    net,
+                    fragments,
+                    frag_radius,
+                    &trees,
+                    e,
+                    e2,
+                    eps,
+                    lb,
+                    cfg,
+                    &probe_rejects,
+                )
+            },
         );
         stats.bcp_tests = tested;
         stats.bcp_connected = connected + free_connected;
     }
+    stats.pruning.probe_rejects += probe_rejects.load(Ordering::Relaxed);
     stats.merge_evals = tick() - evals_before;
     stats.merge_secs = t.elapsed().as_secs_f64();
 
@@ -830,18 +1031,32 @@ fn assign_border<P, M: BatchMetric<P>>(
 
 /// Is `BCP(C̃_e, C̃_{e'}) ≤ eps`? Queries come from the smaller fragment
 /// against the larger fragment's cover tree; early termination returns at
-/// the first witness. Pure (no shared state), so Step 2 batches may run
-/// it concurrently.
+/// the first witness. Pure (no shared state beyond the relaxed
+/// probe-reject counter), so Step 2 batches may run it concurrently.
+///
+/// Each probe point `q` is anchored against the **host center** before
+/// any tree query: with `lb` a sound lower bound on
+/// `dis(c_probe, c_host)` (recorded by the adjacency), the triangle
+/// inequality gives `dis(q, m) ≥ lb − dis(q, c_q) − r_host` for every
+/// host member `m` — and both `dis(q, c_q)` (the net's stored anchor)
+/// and `r_host` (the fragment radius) are already on record, so the
+/// whole probe is skipped without a single evaluation when that bound
+/// exceeds `eps`. Skipped probes provably contribute no witness pair,
+/// so the BCP verdict — and the labels — are unchanged.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Step 2 signature
 fn bcp_within<P, M: BatchMetric<P>>(
     points: &[P],
     metric: &M,
+    net: &NetView<'_>,
     fragments: &Csr,
+    frag_radius: &[f64],
     trees: &[Option<CoverTree<'_, P, M>>],
     e: usize,
     e2: usize,
     eps: f64,
+    lb: f64,
     cfg: &ExactConfig,
+    probe_rejects: &AtomicU64,
 ) -> bool {
     // Query from the smaller side.
     let (host, probe) = if fragments.row_len(e) >= fragments.row_len(e2) {
@@ -850,15 +1065,35 @@ fn bcp_within<P, M: BatchMetric<P>>(
         (e2, e)
     };
     let probe_row = fragments.row(probe);
+    let d2c = if cfg.pruning.enabled {
+        net.dist_to_center
+    } else {
+        None
+    };
+    let host_radius = frag_radius[host];
+    let live = |q: u32| -> bool {
+        if let Some(d2c) = d2c {
+            if lb - d2c[q as usize] - host_radius > eps {
+                probe_rejects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    };
     if let Some(tree) = &trees[host] {
         if cfg.early_termination {
             probe_row
                 .iter()
-                .any(|&q| tree.any_within(&points[q as usize], eps).is_some())
+                .any(|&q| live(q) && tree.any_within(&points[q as usize], eps).is_some())
         } else {
             // Full BCP via exact NN per probe point (ablation mode).
+            // Anchored-out probes cannot reach eps, so dropping them
+            // never flips the `bcp <= eps` verdict.
             let mut bcp = f64::INFINITY;
             for &q in probe_row {
+                if !live(q) {
+                    continue;
+                }
                 if let Some(nn) = tree.nearest(&points[q as usize]) {
                     bcp = bcp.min(nn.distance);
                 }
@@ -867,14 +1102,18 @@ fn bcp_within<P, M: BatchMetric<P>>(
         }
     } else if cfg.early_termination {
         probe_row.iter().any(|&q| {
-            fragments
-                .row(host)
-                .iter()
-                .any(|&r| metric.within(&points[q as usize], &points[r as usize], eps))
+            live(q)
+                && fragments
+                    .row(host)
+                    .iter()
+                    .any(|&r| metric.within(&points[q as usize], &points[r as usize], eps))
         })
     } else {
         let mut bcp = f64::INFINITY;
         for &q in probe_row {
+            if !live(q) {
+                continue;
+            }
             for &r in fragments.row(host) {
                 bcp = bcp.min(metric.distance(&points[q as usize], &points[r as usize]));
             }

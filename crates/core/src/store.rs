@@ -1,0 +1,75 @@
+//! The engine's chunked, append-only point store.
+//!
+//! Ingest batches arrive as sealed `Arc<[P]>` chunks that are never
+//! moved or reallocated again — concurrent readers may hold any number
+//! of them alive through published snapshots. Each epoch publish
+//! [`ChunkedStore::flatten`]s the chunks into one contiguous `Arc<[P]>`
+//! (the solvers' inner loops index a flat slice), which costs one clone
+//! pass over the points but **zero distance evaluations** — free in the
+//! paper's `t_dis` cost model, and off the read path entirely.
+
+use std::sync::Arc;
+
+/// Append-only storage for the engine's point sequence: sealed chunks
+/// plus the running total.
+pub(crate) struct ChunkedStore<P> {
+    chunks: Vec<Arc<[P]>>,
+    len: usize,
+}
+
+impl<P> ChunkedStore<P> {
+    /// Seeds the store with the engine's build-time points (shared, not
+    /// copied — `Arc<[P]>` clone is a refcount bump).
+    pub(crate) fn from_initial(chunk: Arc<[P]>) -> Self {
+        let len = chunk.len();
+        Self {
+            chunks: vec![chunk],
+            len,
+        }
+    }
+
+    /// Total points across all chunks.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Seals one ingest batch as a new chunk.
+    pub(crate) fn append(&mut self, batch: Vec<P>) {
+        self.len += batch.len();
+        self.chunks.push(batch.into());
+    }
+}
+
+impl<P: Clone> ChunkedStore<P> {
+    /// The contiguous snapshot view of everything stored so far. With a
+    /// single chunk this is a refcount bump; otherwise one clone pass.
+    pub(crate) fn flatten(&self) -> Arc<[P]> {
+        if self.chunks.len() == 1 {
+            return Arc::clone(&self.chunks[0]);
+        }
+        let mut flat = Vec::with_capacity(self.len);
+        for chunk in &self.chunks {
+            flat.extend(chunk.iter().cloned());
+        }
+        flat.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_flatten() {
+        let mut store = ChunkedStore::from_initial(Arc::from(vec![1u32, 2]));
+        assert_eq!(store.len(), 2);
+        let first = store.flatten();
+        store.append(vec![3, 4, 5]);
+        store.append(Vec::new());
+        assert_eq!(store.len(), 5);
+        let flat = store.flatten();
+        assert_eq!(&flat[..], &[1, 2, 3, 4, 5]);
+        // The pre-append snapshot is untouched.
+        assert_eq!(&first[..], &[1, 2]);
+    }
+}

@@ -591,6 +591,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             bound_accepts: self.p_accepts.load(Ordering::Relaxed),
             bound_rejects: self.p_rejects.load(Ordering::Relaxed),
             anchor_evals: self.p_anchors.load(Ordering::Relaxed),
+            ..PruneStats::default()
         };
         stats
     }

@@ -217,11 +217,90 @@ impl CenterAdjacency {
             upper.extend(chunk);
             stats.merge(&local);
         }
+        Self::assemble(upper, threshold, stats)
+    }
 
-        // Assemble the symmetric CSR; each row comes out ascending:
-        // mirrored smaller neighbors first (sources visited in ascending
-        // i), then self, then the row's own larger neighbors. The bound
-        // arrays stay aligned with the value array throughout.
+    /// Extends an adjacency computed over the first `old.len()` entries
+    /// of `centers` (the same center sequence — centers are append-only
+    /// under ingest) to all of `centers`, at the old threshold.
+    ///
+    /// Every old pair decision is reused verbatim: only the
+    /// `(k − k₀)·k` new-vs-existing pairs are evaluated (early-abandoned
+    /// and row-parallel), instead of the full `O(k²/2)` rebuild. New
+    /// center positions are strictly larger than all old ones, so old
+    /// rows stay ascending with the fresh edges appended. The resulting
+    /// *membership* is identical to a from-scratch build; per-edge
+    /// bounds stay sound (old edges keep their recorded bounds, new
+    /// edges carry exact distances), which is all the distance-free
+    /// Step-2 merges require.
+    pub fn extend<P: Sync, M: BatchMetric<P> + Sync>(
+        old: &CenterAdjacency,
+        points: &[P],
+        metric: &M,
+        centers: &[usize],
+        parallel: &ParallelConfig,
+    ) -> Self {
+        let k0 = old.len();
+        let k = centers.len();
+        assert!(k >= k0, "centers are append-only");
+        let threshold = old.threshold;
+        let center_ids: Vec<u32> = centers.iter().map(|&c| c as u32).collect();
+        let threads = if k - k0 >= 8 { parallel.threads() } else { 1 };
+        // Fresh pairs: each new center i against every j < i.
+        let ranges = split_weighted(k - k0, threads, |r| k0 + r);
+        let new_rows: Vec<Vec<(u32, f64)>> = par_map_ranges(ranges, |rows| {
+            let mut dists: Vec<f64> = Vec::new();
+            rows.map(|r| {
+                let i = k0 + r;
+                let ci = &points[centers[i]];
+                metric.dist_many_within(points, ci, &center_ids[..i], threshold, &mut dists);
+                dists
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.is_finite())
+                    .map(|(j, &d)| (j as u32, d))
+                    .collect()
+            })
+            .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Upper triangle: old rows keep their recorded edges (> i) and
+        // bounds; new edges land below, appended in ascending i order.
+        let mut upper: Vec<Vec<(u32, f64, f64)>> = (0..k)
+            .map(|i| {
+                if i >= k0 {
+                    return Vec::new();
+                }
+                let row = old.neighbors.row(i);
+                let lbs = old.lbound_row(i);
+                let ubs = old.ubound_row(i);
+                row.iter()
+                    .zip(lbs)
+                    .zip(ubs)
+                    .filter(|((&j, _), _)| (j as usize) > i)
+                    .map(|((&j, &lo), &hi)| (j, lo, hi))
+                    .collect()
+            })
+            .collect();
+        for (r, row) in new_rows.iter().enumerate() {
+            let i = (k0 + r) as u32;
+            for &(j, d) in row {
+                upper[j as usize].push((i, d, d));
+            }
+        }
+        Self::assemble(upper, threshold, old.pruning)
+    }
+
+    /// Assembles the symmetric CSR from upper-triangle rows; each row
+    /// comes out ascending: mirrored smaller neighbors first (sources
+    /// visited in ascending i), then self, then the row's own larger
+    /// neighbors. The bound arrays stay aligned with the value array
+    /// throughout.
+    fn assemble(upper: Vec<Vec<(u32, f64, f64)>>, threshold: f64, stats: PruneStats) -> Self {
+        let k = upper.len();
         let mut offsets = vec![0usize; k + 1];
         for (i, row) in upper.iter().enumerate() {
             offsets[i + 1] += row.len() + 1; // + self

@@ -13,6 +13,10 @@
 //!   inliers of doubling dimension `D` plus `z` arbitrary outliers, the
 //!   greedy stops after `O((Δ/r̄)^D) + z` iterations (Lemma 1); each
 //!   iteration is a linear scan, parallelizable across points.
+//! * [`IncrementalNet`] — the **online** counterpart of Algorithm 1:
+//!   first-fit netting (the streaming pass-1 rule), maintaining a valid
+//!   `r̄`-net under point-at-a-time insertion with batch-split-invariant
+//!   results — the substrate of the engine's dynamic ingest path.
 //! * [`kcenter_with_outliers`] — the randomized greedy of Ding–Yu–Wang
 //!   (ESA 2019) that the DYW_DBSCAN baseline (Ding et al., IJCAI 2021)
 //!   builds on: each round samples the next center uniformly from the
@@ -25,10 +29,12 @@
 
 mod adjacency;
 mod gonzalez;
+mod online;
 mod outliers;
 mod radius_guided;
 
 pub use adjacency::CenterAdjacency;
 pub use gonzalez::{gonzalez, gonzalez_with, KCenterResult};
+pub use online::{IncrementalNet, IngestDelta};
 pub use outliers::{kcenter_with_outliers, OutlierKCenter};
 pub use radius_guided::{BuildOptions, RadiusGuidedNet};

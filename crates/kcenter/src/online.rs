@@ -1,0 +1,355 @@
+//! The incremental radius-guided net: first-fit netting maintained one
+//! point at a time (the streaming pass-1 rule of Algorithm 3).
+//!
+//! Where [`crate::RadiusGuidedNet::build`] runs the *Gonzalez* greedy
+//! (farthest-point selection — a batch algorithm that must see the whole
+//! input), this module maintains a net **online**: a new point joins the
+//! ball of the first existing center within `r̄` of it, else it becomes a
+//! new center. The result is still an `r̄`-net — covering (every point
+//! within `r̄` of its center) and packing (centers mutually `> r̄` apart)
+//! — which is all the DBSCAN Steps 1–3, Algorithm 2, and the pruning
+//! layer require (Lemma 2 only uses covering; the dense shortcut only
+//! uses the `2r̄` ball diameter; the `dis(p, c_p)` anchors are recorded
+//! exactly as in Algorithm 1).
+//!
+//! The payoff is a **determinism-by-construction** ingest contract:
+//! inserting points `p₀ … pₙ` one batch at a time replays exactly the
+//! loop a one-shot [`IncrementalNet::build`] over the full sequence
+//! runs, so the maintained net — and therefore every cluster label
+//! derived from it — is bit-identical no matter how the sequence was
+//! split into batches.
+//!
+//! Cover sets are kept in an append-only [`ChunkedCsr`] (one sealed
+//! chunk per batch; point ids only ever grow, so concatenated rows stay
+//! ascending) and flattened into the read-optimized [`Csr`] snapshot at
+//! [`IncrementalNet::to_net`] time — a memcpy pass with zero distance
+//! evaluations.
+
+use crate::radius_guided::RadiusGuidedNet;
+use mdbscan_metric::Metric;
+use mdbscan_parallel::{ChunkedCsr, Csr};
+
+/// What one [`IncrementalNet::ingest`] batch changed — the delta an
+/// engine needs to invalidate (or incrementally upgrade) per-parameter
+/// artifacts.
+#[derive(Debug, Clone)]
+pub struct IngestDelta {
+    /// Index of the first point of the batch.
+    pub first_point: usize,
+    /// Number of points inserted.
+    pub added_points: usize,
+    /// `|E|` before the batch.
+    pub prev_centers: usize,
+    /// Centers created by the batch (positions `prev_centers ..`).
+    pub new_centers: usize,
+    /// Every center position whose cover set gained members (ascending,
+    /// new centers included) — the "dirty balls" of this batch.
+    pub dirty_balls: Vec<u32>,
+}
+
+/// An `r̄`-net under online first-fit insertion, with the same recorded
+/// state as [`RadiusGuidedNet`]: centers, per-point assignment, exact
+/// `dis(p, c_p)`, and cover sets.
+#[derive(Debug, Clone)]
+pub struct IncrementalNet {
+    rbar: f64,
+    max_centers: usize,
+    centers: Vec<usize>,
+    assignment: Vec<u32>,
+    dist_to_center: Vec<f64>,
+    cover: ChunkedCsr,
+    /// Exact `dis(c, centers[0])` per center — the first-center anchor
+    /// (same trick as streaming pass 1): one evaluation `dis(p, c₀)`
+    /// per inserted point rejects most centers' `≤ r̄` tests by the
+    /// triangle inequality without evaluating them. Backfilled lazily
+    /// for nets adopted via [`IncrementalNet::from_net`].
+    center_to_first: Vec<f64>,
+    covered: bool,
+}
+
+impl IncrementalNet {
+    /// An empty net that will insert by the first-fit rule at radius
+    /// `rbar`, capped at `max_centers` (use `usize::MAX` for unlimited).
+    pub fn new(rbar: f64, max_centers: usize) -> Self {
+        assert!(
+            rbar.is_finite() && rbar > 0.0,
+            "radius bound must be positive and finite, got {rbar}"
+        );
+        Self {
+            rbar,
+            max_centers: max_centers.max(1),
+            centers: Vec::new(),
+            assignment: Vec::new(),
+            dist_to_center: Vec::new(),
+            cover: ChunkedCsr::new(),
+            center_to_first: Vec::new(),
+            covered: true,
+        }
+    }
+
+    /// One-shot build over a full point sequence: identical, by
+    /// construction, to `new` followed by any batch split of
+    /// [`IncrementalNet::ingest`] over the same sequence.
+    pub fn build<P, M: Metric<P>>(points: &[P], metric: &M, rbar: f64, max_centers: usize) -> Self {
+        let mut net = Self::new(rbar, max_centers);
+        net.ingest(points, 0, metric);
+        net
+    }
+
+    /// Adopts the state of an already-built net (any covering net with
+    /// recorded center distances — e.g. an Algorithm-1 Gonzalez net) so
+    /// later insertions extend it by the first-fit rule. The seed
+    /// becomes chunk 0 of the cover store; nothing is recomputed.
+    pub fn from_net(net: &RadiusGuidedNet, max_centers: usize) -> Self {
+        Self {
+            rbar: net.rbar,
+            max_centers: max_centers.max(1),
+            centers: net.centers.clone(),
+            assignment: net.assignment.clone(),
+            dist_to_center: net.dist_to_center.clone(),
+            cover: ChunkedCsr::from_csr(net.cover_sets.clone()),
+            // Backfilled from the points on the first ingest.
+            center_to_first: Vec::new(),
+            covered: net.covered,
+        }
+    }
+
+    /// Inserts `points[first..]` in order by the first-fit rule,
+    /// sealing the batch as one cover-set chunk. `first` must equal the
+    /// number of points already inserted (the store is append-only).
+    ///
+    /// Inherently sequential — each insertion's owner scan depends on
+    /// the centers created so far — exactly like streaming pass 1; the
+    /// result is independent of any batching of the same sequence.
+    pub fn ingest<P, M: Metric<P>>(
+        &mut self,
+        points: &[P],
+        first: usize,
+        metric: &M,
+    ) -> IngestDelta {
+        assert_eq!(first, self.assignment.len(), "points are append-only");
+        let prev_centers = self.centers.len();
+        // Backfill first-center anchors for centers adopted via
+        // `from_net` (one evaluation per seeded center, once).
+        for c in self.center_to_first.len()..self.centers.len() {
+            self.center_to_first
+                .push(metric.distance(&points[self.centers[0]], &points[self.centers[c]]));
+        }
+        let mut batch_assign: Vec<u32> = Vec::with_capacity(points.len() - first);
+        for (i, p) in points.iter().enumerate().skip(first) {
+            // First-fit: the first center within r̄ owns p (streaming
+            // pass-1 rule; deterministic — centers are scanned in
+            // creation order). The one evaluation `d₀ = dis(p, c₀)` is
+            // simultaneously the test against c₀ and the anchor that
+            // rejects most later centers for free:
+            // `|d₀ − dis(c, c₀)| > r̄` implies `dis(p, c) > r̄`, so the
+            // skipped test provably agrees with the evaluated one —
+            // the ingest determinism contract is untouched.
+            let mut owner: Option<(u32, f64)> = None;
+            let mut d0 = 0.0f64;
+            if !self.centers.is_empty() {
+                d0 = metric.distance(&points[self.centers[0]], p);
+                if d0 <= self.rbar {
+                    owner = Some((0, d0));
+                } else {
+                    for (c, &ci) in self.centers.iter().enumerate().skip(1) {
+                        if (d0 - self.center_to_first[c]).abs() > self.rbar {
+                            continue;
+                        }
+                        if let Some(d) = metric.distance_leq(&points[ci], p, self.rbar) {
+                            owner = Some((c as u32, d));
+                            break;
+                        }
+                    }
+                }
+            }
+            let (pos, d) = match owner {
+                Some(o) => o,
+                None if self.centers.len() < self.max_centers => {
+                    let pos = self.centers.len() as u32;
+                    self.centers.push(i);
+                    self.center_to_first.push(d0);
+                    (pos, 0.0)
+                }
+                None => {
+                    // Center cap reached: fall back to the nearest
+                    // center (ties toward the earlier one) and mark the
+                    // net non-covering, mirroring the Gonzalez
+                    // `max_centers` truncation semantics.
+                    self.covered = false;
+                    let (pos, d) = self
+                        .centers
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &ci)| (c as u32, metric.distance(&points[ci], p)))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("max_centers >= 1 guarantees a center");
+                    (pos, d)
+                }
+            };
+            self.assignment.push(pos);
+            self.dist_to_center.push(d);
+            batch_assign.push(pos);
+        }
+        // Seal the batch: one chunk, rows = |E| after the batch, values
+        // = the batch's global point ids in ascending order per row.
+        let k = self.centers.len();
+        self.cover.grow_rows(k);
+        let mut chunk_rows: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut dirty: Vec<u32> = Vec::new();
+        for (j, &pos) in batch_assign.iter().enumerate() {
+            let row = &mut chunk_rows[pos as usize];
+            if row.is_empty() {
+                dirty.push(pos);
+            }
+            row.push((first + j) as u32);
+        }
+        dirty.sort_unstable();
+        self.cover.append_chunk(Csr::from_rows(&chunk_rows));
+        IngestDelta {
+            first_point: first,
+            added_points: self.assignment.len() - first,
+            prev_centers,
+            new_centers: k - prev_centers,
+            dirty_balls: dirty,
+        }
+    }
+
+    /// The radius bound `r̄`.
+    pub fn rbar(&self) -> f64 {
+        self.rbar
+    }
+
+    /// Number of points inserted so far.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of centers `|E|`.
+    pub fn num_centers(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether every point is within `r̄` of its center (false only
+    /// after a `max_centers` truncation).
+    pub fn covered(&self) -> bool {
+        self.covered
+    }
+
+    /// Publishes the current state as an immutable [`RadiusGuidedNet`]
+    /// snapshot: the cover chunks are flattened into one contiguous
+    /// [`Csr`]; historical chunks are untouched. Zero distance
+    /// evaluations.
+    pub fn to_net(&self) -> RadiusGuidedNet {
+        RadiusGuidedNet {
+            rbar: self.rbar,
+            centers: self.centers.clone(),
+            assignment: self.assignment.clone(),
+            dist_to_center: self.dist_to_center.clone(),
+            cover_sets: self.cover.flatten(),
+            covered: self.covered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn pts(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % 23) as f64 * 0.9, (i % 7) as f64 * 1.3])
+            .collect()
+    }
+
+    fn assert_valid_net(points: &[Vec<f64>], net: &RadiusGuidedNet) {
+        // covering + recorded distances exact
+        for (i, p) in points.iter().enumerate() {
+            let c = net.centers[net.assignment[i] as usize];
+            let d = Euclidean.distance(&points[c], p);
+            assert!((d - net.dist_to_center[i]).abs() < 1e-12, "point {i}");
+            if net.covered {
+                assert!(d <= net.rbar + 1e-12, "point {i} uncovered");
+            }
+        }
+        // packing
+        for (a, &ci) in net.centers.iter().enumerate() {
+            for &cj in net.centers.iter().skip(a + 1) {
+                assert!(Euclidean.distance(&points[ci], &points[cj]) > net.rbar);
+            }
+        }
+        // partition, rows ascending
+        assert_eq!(net.cover_sets.total_len(), points.len());
+        for (e, row) in net.cover_sets.iter().enumerate() {
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {e} not sorted");
+            for &p in row {
+                assert_eq!(net.assignment[p as usize] as usize, e);
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_build_is_a_valid_net() {
+        let points = pts(200);
+        let net = IncrementalNet::build(&points, &Euclidean, 2.0, usize::MAX).to_net();
+        assert!(net.covered);
+        assert_valid_net(&points, &net);
+    }
+
+    #[test]
+    fn any_batch_split_matches_the_one_shot_build() {
+        let points = pts(157);
+        let whole = IncrementalNet::build(&points, &Euclidean, 1.5, usize::MAX).to_net();
+        for splits in [vec![1usize, 156], vec![40, 40, 40, 37], vec![157]] {
+            let mut net = IncrementalNet::new(1.5, usize::MAX);
+            let mut cursor = 0usize;
+            let mut total_dirty = 0usize;
+            for len in splits {
+                let delta = net.ingest(&points[..cursor + len], cursor, &Euclidean);
+                assert_eq!(delta.first_point, cursor);
+                assert_eq!(delta.added_points, len);
+                total_dirty += delta.dirty_balls.len();
+                assert!(delta.dirty_balls.windows(2).all(|w| w[0] < w[1]));
+                cursor += len;
+            }
+            assert!(total_dirty > 0);
+            let split = net.to_net();
+            assert_eq!(split.centers, whole.centers);
+            assert_eq!(split.assignment, whole.assignment);
+            assert_eq!(split.dist_to_center, whole.dist_to_center);
+            assert_eq!(split.cover_sets, whole.cover_sets);
+        }
+    }
+
+    #[test]
+    fn from_net_extends_a_gonzalez_prefix() {
+        let points = pts(120);
+        let gonzalez = RadiusGuidedNet::build(&points[..60], &Euclidean, 2.5);
+        let mut net = IncrementalNet::from_net(&gonzalez, usize::MAX);
+        let delta = net.ingest(&points, 60, &Euclidean);
+        assert_eq!(delta.prev_centers, gonzalez.centers.len());
+        let grown = net.to_net();
+        assert_eq!(
+            &grown.centers[..gonzalez.centers.len()],
+            &gonzalez.centers[..]
+        );
+        assert_valid_net(&points, &grown);
+    }
+
+    #[test]
+    fn max_centers_truncates_and_uncovers() {
+        let points: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 10.0]).collect();
+        let net = IncrementalNet::build(&points, &Euclidean, 1.0, 3);
+        assert_eq!(net.num_centers(), 3);
+        assert!(!net.covered());
+        let snap = net.to_net();
+        assert!(!snap.covered);
+        assert_eq!(snap.cover_sets.total_len(), 30);
+    }
+}

@@ -82,23 +82,33 @@ pub struct PruneStats {
     /// Candidate pairs rejected without evaluation: the triangle lower
     /// bound already exceeded the threshold.
     pub bound_rejects: u64,
+    /// Step-2 probe points skipped without a fragment tree query: the
+    /// probe's cached `dis(p, c_p)` anchored against the host fragment's
+    /// center-pair lower bound proved no host member can be within the
+    /// threshold. Entirely free — both ingredients were already on
+    /// record, so no anchor evaluation is charged for these.
+    pub probe_rejects: u64,
     /// Anchor distances evaluated to obtain the bounds (the overhead
     /// side of the ledger).
     pub anchor_evals: u64,
 }
 
 impl PruneStats {
-    /// Net distance evaluations avoided: pairs decided for free minus
-    /// the anchors paid for the bounds (saturating at zero — a run
-    /// where anchoring did not pay off reports 0, not a negative).
+    /// Net distance evaluations avoided: pairs decided for free (each
+    /// skipped probe saves at least the one evaluation its tree query
+    /// would open with) minus the anchors paid for the bounds
+    /// (saturating at zero — a run where anchoring did not pay off
+    /// reports 0, not a negative).
     pub fn distance_evals_saved(&self) -> u64 {
-        (self.bound_accepts + self.bound_rejects).saturating_sub(self.anchor_evals)
+        (self.bound_accepts + self.bound_rejects + self.probe_rejects)
+            .saturating_sub(self.anchor_evals)
     }
 
     /// Folds another counter set into this one (per-worker reduction).
     pub fn merge(&mut self, other: &PruneStats) {
         self.bound_accepts += other.bound_accepts;
         self.bound_rejects += other.bound_rejects;
+        self.probe_rejects += other.probe_rejects;
         self.anchor_evals += other.anchor_evals;
     }
 }
@@ -123,15 +133,18 @@ mod tests {
             bound_accepts: 3,
             bound_rejects: 4,
             anchor_evals: 10,
+            ..PruneStats::default()
         };
         assert_eq!(s.distance_evals_saved(), 0);
         s.merge(&PruneStats {
             bound_accepts: 10,
             bound_rejects: 0,
+            probe_rejects: 2,
             anchor_evals: 1,
         });
         assert_eq!(s.bound_accepts, 13);
         assert_eq!(s.anchor_evals, 11);
-        assert_eq!(s.distance_evals_saved(), 6);
+        assert_eq!(s.probe_rejects, 2);
+        assert_eq!(s.distance_evals_saved(), 8);
     }
 }

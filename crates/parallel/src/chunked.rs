@@ -1,0 +1,177 @@
+//! Append-only chunked CSR: rows that grow over time without ever
+//! rewriting history.
+//!
+//! The dynamic-ingest path of the engine maintains per-center cover sets
+//! that only ever *gain* members (points are append-only, assignments
+//! never change). A flat [`Csr`] cannot absorb new members into interior
+//! rows without rebuilding the whole value array, so the writer keeps a
+//! [`ChunkedCsr`]: an ordered list of sealed [`Csr`] chunks, one per
+//! ingest batch, where the logical row `i` is the concatenation of row
+//! `i` across chunks. Sealed chunks are never reallocated or touched
+//! again; an epoch publish [`ChunkedCsr::flatten`]s into the read-
+//! optimized flat [`Csr`] snapshot readers iterate (a pure memcpy pass —
+//! zero distance evaluations in the paper's `t_dis` cost model).
+//!
+//! Because chunks are appended in time order and every batch carries
+//! strictly larger element ids than the one before, concatenated rows
+//! stay ascending — the invariant all the Step 1–3 inner loops rely on.
+
+use crate::csr::Csr;
+
+/// A row-growable CSR built from sealed per-batch chunks. Rows may also
+/// be added over time ([`ChunkedCsr::grow_rows`]); a chunk older than a
+/// row simply contributes nothing to it.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkedCsr {
+    num_rows: usize,
+    chunks: Vec<Csr>,
+}
+
+impl ChunkedCsr {
+    /// An empty container with zero rows and no chunks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the container with one chunk (e.g. the cover sets of an
+    /// already-built net).
+    pub fn from_csr(csr: Csr) -> Self {
+        Self {
+            num_rows: csr.num_rows(),
+            chunks: vec![csr],
+        }
+    }
+
+    /// Number of logical rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Raises the row count (rows never shrink; older chunks treat the
+    /// new rows as empty).
+    pub fn grow_rows(&mut self, num_rows: usize) {
+        assert!(num_rows >= self.num_rows, "rows are append-only");
+        self.num_rows = num_rows;
+    }
+
+    /// Appends one sealed chunk. The chunk may have fewer rows than the
+    /// container (its missing tail rows are empty) but never more.
+    pub fn append_chunk(&mut self, chunk: Csr) {
+        assert!(
+            chunk.num_rows() <= self.num_rows,
+            "chunk has {} rows, container only {}",
+            chunk.num_rows(),
+            self.num_rows
+        );
+        if chunk.total_len() > 0 {
+            self.chunks.push(chunk);
+        }
+    }
+
+    /// Number of sealed chunks currently held.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total stored values across all chunks.
+    pub fn total_len(&self) -> usize {
+        self.chunks.iter().map(Csr::total_len).sum()
+    }
+
+    /// Length of logical row `i` (summed across chunks, no values
+    /// touched).
+    pub fn row_len(&self, i: usize) -> usize {
+        assert!(i < self.num_rows);
+        self.chunks
+            .iter()
+            .filter(|c| i < c.num_rows())
+            .map(|c| c.row_len(i))
+            .sum()
+    }
+
+    /// Iterates logical row `i`: chunk rows chained in chunk order.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
+        assert!(i < self.num_rows);
+        self.chunks
+            .iter()
+            .filter(move |c| i < c.num_rows())
+            .flat_map(move |c| c.row(i).iter().copied())
+    }
+
+    /// Materializes the read-optimized flat [`Csr`]: one contiguous
+    /// value array, rows concatenated in chunk order. Sealed chunks are
+    /// read, never modified.
+    pub fn flatten(&self) -> Csr {
+        let mut offsets = vec![0usize; self.num_rows + 1];
+        for r in 0..self.num_rows {
+            offsets[r + 1] = offsets[r] + self.row_len(r);
+        }
+        let mut values = Vec::with_capacity(self.total_len());
+        for r in 0..self.num_rows {
+            for c in &self.chunks {
+                if r < c.num_rows() {
+                    values.extend_from_slice(c.row(r));
+                }
+            }
+        }
+        Csr::from_parts(offsets, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_concatenate_per_row() {
+        let mut c = ChunkedCsr::from_csr(Csr::from_rows(vec![vec![0u32, 1], vec![2]]));
+        assert_eq!(c.num_rows(), 2);
+        c.grow_rows(3);
+        // batch chunk: row 0 gains 3, the new row 2 gains 4 and 5.
+        c.append_chunk(Csr::from_rows(vec![vec![3u32], vec![], vec![4, 5]]));
+        assert_eq!(c.row_len(0), 3);
+        assert_eq!(c.row_len(1), 1);
+        assert_eq!(c.row_len(2), 2);
+        assert_eq!(c.total_len(), 6);
+        assert_eq!(c.row_iter(0).collect::<Vec<_>>(), vec![0, 1, 3]);
+        let flat = c.flatten();
+        assert_eq!(&flat[0], &[0u32, 1, 3][..]);
+        assert_eq!(&flat[1], &[2u32][..]);
+        assert_eq!(&flat[2], &[4u32, 5][..]);
+    }
+
+    #[test]
+    fn empty_chunks_are_dropped() {
+        let mut c = ChunkedCsr::new();
+        c.grow_rows(2);
+        c.append_chunk(Csr::from_assignment(&[], 2));
+        assert_eq!(c.num_chunks(), 0);
+        assert_eq!(c.flatten(), Csr::from_assignment(&[], 2));
+    }
+
+    #[test]
+    fn flatten_matches_from_assignment_replay() {
+        // Ingesting an assignment in batches must flatten to the same
+        // Csr a one-shot counting sort over the whole assignment gives.
+        let assignment: Vec<u32> = vec![0, 1, 0, 2, 1, 2, 2, 0, 3, 3];
+        let whole = Csr::from_assignment(&assignment, 4);
+        let mut chunked = ChunkedCsr::new();
+        for (start, end, rows) in [(0usize, 3usize, 2usize), (3, 6, 3), (6, 10, 4)] {
+            chunked.grow_rows(rows);
+            let mut chunk_rows: Vec<Vec<u32>> = vec![Vec::new(); rows];
+            for i in start..end {
+                chunk_rows[assignment[i] as usize].push(i as u32);
+            }
+            chunked.append_chunk(Csr::from_rows(&chunk_rows));
+        }
+        assert_eq!(chunked.flatten(), whole);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_chunk_rejected() {
+        let mut c = ChunkedCsr::new();
+        c.grow_rows(1);
+        c.append_chunk(Csr::from_rows(vec![vec![0u32], vec![1]]));
+    }
+}

@@ -20,6 +20,10 @@
 //!   replacing `Vec<Vec<u32>>` for cover sets, center adjacency, and
 //!   core fragments. The innermost distance loops walk contiguous
 //!   memory instead of chasing one heap allocation per center.
+//! * [`ChunkedCsr`] — the append-only writer-side companion of [`Csr`]:
+//!   rows grow by sealed per-batch chunks (historical chunks are never
+//!   reallocated), and an epoch publish flattens into the flat [`Csr`]
+//!   readers iterate.
 //!
 //! The executors use `std::thread::scope`, not a pool: the workspace
 //! spawns threads only around substantial work (guarded by
@@ -28,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod chunked;
 mod config;
 mod csr;
 mod executors;
 mod sweeps;
 
+pub use chunked::ChunkedCsr;
 pub use config::ParallelConfig;
 pub use csr::Csr;
 pub use executors::{par_map_range, par_map_ranges, split_even, split_weighted, worker_count};

@@ -32,7 +32,7 @@ fn main() {
 
     println!(
         "{} points -> {} clusters, {} core / {} border / {} noise in {:.1} ms",
-        engine.points().len(),
+        engine.num_points(),
         clustering.num_clusters(),
         clustering.num_core(),
         clustering.num_border(),
