@@ -8,9 +8,12 @@
 //!
 //! Along the way it asserts the ingest determinism contract at bench
 //! scale: the fully ingested engine's exact labels are byte-identical
-//! to a fresh radius-guided build over the same sequence. CI runs this
-//! at a small `--scale` and smoke-parses the JSON alongside
-//! `BENCH_distance_evals.json`.
+//! to a fresh radius-guided build over the same sequence. It then
+//! times `save`/`load` of the grown engine and writes
+//! `BENCH_persist.json` (artifact size, save/load wall-clock, the
+//! zero-evaluations-on-load assertion, and the warm-cache query after
+//! the reload). CI runs this at a small `--scale` and smoke-parses
+//! both JSONs alongside `BENCH_distance_evals.json`.
 
 use mdbscan_bench::{timed, HarnessArgs};
 use mdbscan_core::{DbscanParams, MetricDbscan, NetStrategy};
@@ -124,4 +127,52 @@ fn main() {
     print!("{json}");
     std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
     eprintln!("wrote BENCH_ingest.json ({} epochs)", epochs.len());
+
+    // Persistence: save the grown engine (fragment cache warm from the
+    // query above), reload it, and prove the restart is free in t_dis
+    // and invisible in the answers.
+    let mut artifact = std::env::temp_dir();
+    artifact.push(format!("mdbscan_ingest_bench_{}.mdb", std::process::id()));
+    let (_, save_ms) = timed(|| engine.save(&artifact).expect("save engine artifact"));
+    let artifact_bytes = std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0);
+    let (loaded, load_ms) = timed(|| {
+        MetricDbscan::load(&artifact, CountingMetric::new(Euclidean)).expect("load engine artifact")
+    });
+    std::fs::remove_file(&artifact).ok();
+    let load_evals = loaded.metric().count();
+    assert_eq!(load_evals, 0, "load must perform zero distance evaluations");
+    let (warm, warm_query_ms) = timed(|| loaded.exact(&params).expect("exact on loaded engine"));
+    assert!(
+        warm.report.cache_hit,
+        "the reloaded engine must hit the persisted fragment cache"
+    );
+    let labels_match_after_load = warm.clustering == grown.clustering;
+    assert!(
+        labels_match_after_load,
+        "reloaded engine diverged from the engine that saved it"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"persist\",\n");
+    json.push_str(&format!(
+        "  \"n\": {}, \"eps\": {EPS}, \"min_pts\": {MIN_PTS}, \"rbar\": {RBAR},\n",
+        pts.len(),
+    ));
+    json.push_str(&format!("  \"artifact_bytes\": {artifact_bytes},\n"));
+    json.push_str(&format!("  \"save_ms\": {save_ms:.2},\n"));
+    json.push_str(&format!("  \"load_ms\": {load_ms:.2},\n"));
+    json.push_str(&format!("  \"load_distance_evals\": {load_evals},\n"));
+    json.push_str(&format!("  \"warm_query_ms\": {warm_query_ms:.2},\n"));
+    json.push_str(&format!(
+        "  \"warm_query_cache_hit\": {},\n",
+        warm.report.cache_hit
+    ));
+    json.push_str(&format!(
+        "  \"labels_match_after_load\": {labels_match_after_load}\n"
+    ));
+    json.push_str("}\n");
+    print!("{json}");
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    eprintln!("wrote BENCH_persist.json ({artifact_bytes} artifact bytes)");
 }

@@ -8,14 +8,27 @@
 //!
 //! [`MetricDbscan`] owns an append-only point sequence and its `r̄`-net.
 //! Every mutation ([`MetricDbscan::ingest`] / `ingest_one`) runs behind
-//! one writer mutex, extends the chunked point store and the net, and
-//! *publishes* a new immutable [`EngineSnapshot`] under a bumped
-//! **epoch counter**. Readers never block behind a writer: a query
-//! grabs the current snapshot (one `Arc` clone under a read lock held
-//! for nanoseconds — never across any distance evaluation) and computes
-//! entirely against that frozen state. A snapshot taken *before* an
-//! ingest keeps answering from its own epoch forever — byte-identical
-//! results no matter how much the engine has grown since.
+//! one writer mutex, extends the chunked point store and the net in
+//! place, and assigns a bumped **epoch counter**; the immutable
+//! [`EngineSnapshot`] for that epoch is *published lazily*, on the
+//! first read after the batch — so the O(n) flatten into contiguous
+//! storage is paid once per read boundary, not once per batch, and
+//! point-at-a-time feeding costs O(n) total in copies instead of
+//! O(n²). A query grabs the current snapshot (one `Arc` clone under a
+//! read lock held for nanoseconds — never across any distance
+//! evaluation; the first read after a batch additionally pays the
+//! pending flatten) and computes entirely against that frozen state. A
+//! snapshot taken *before* an ingest keeps answering from its own
+//! epoch forever — byte-identical results no matter how much the
+//! engine has grown since.
+//!
+//! The whole engine state — points, net, writer anchors, delta
+//! history, and every cache — round-trips through a versioned on-disk
+//! artifact: [`MetricDbscan::save`] / [`MetricDbscan::load`] (and
+//! [`EngineSnapshot::save`] for read-only replicas), with zero
+//! distance evaluations on load and bit-identical post-load behavior;
+//! see the `persist` module docs in this crate and the
+//! `mdbscan_persist` crate for the format.
 //!
 //! Every cached artifact — the fragment/summary LRU, the `ε`-keyed
 //! center adjacency, the whole-input §3.2 cover tree — carries its
@@ -279,29 +292,29 @@ pub struct CacheStats {
 /// §3.2 pipelines derive different nets, so their artifacts must never
 /// collide even at equal `(ε, MinPts)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NetKind {
+pub(crate) enum NetKind {
     Gonzalez,
     CoverTree,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CacheKey {
-    kind: NetKind,
+pub(crate) struct CacheKey {
+    pub(crate) kind: NetKind,
     /// Epoch the artifacts were computed at: an epoch-`e` query can only
     /// hit epoch-`e` entries, so stale artifacts are invalidated by
     /// construction.
-    epoch: u64,
-    eps_bits: u64,
-    min_pts: usize,
+    pub(crate) epoch: u64,
+    pub(crate) eps_bits: u64,
+    pub(crate) min_pts: usize,
     /// `Some(ρ bits)` for Algorithm-2 summaries, `None` for the exact
     /// pipelines — the two artifact families never collide even at equal
     /// `(ε, MinPts)`.
-    rho_bits: Option<u64>,
+    pub(crate) rho_bits: Option<u64>,
 }
 
 /// A cached per-parameter artifact: the exact pipelines store Step-1/2
 /// outputs, the approximate pipeline its merged summary.
-enum CachedArtifacts {
+pub(crate) enum CachedArtifacts {
     Steps(Arc<StepArtifacts>),
     Approx(Arc<ApproxArtifacts>),
 }
@@ -320,13 +333,13 @@ impl CachedArtifacts {
 /// hash scheme. Shared by the fragment/summary cache, the adjacency
 /// cache, and the per-epoch cover-tree cache; capacity 0 disables
 /// insertion entirely.
-struct Lru<K, V> {
-    capacity: usize,
-    entries: Vec<(K, V)>,
+pub(crate) struct Lru<K, V> {
+    pub(crate) capacity: usize,
+    pub(crate) entries: Vec<(K, V)>,
 }
 
 impl<K: PartialEq, V> Lru<K, V> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Self {
             capacity,
             entries: Vec::new(),
@@ -353,7 +366,7 @@ impl<K: PartialEq, V> Lru<K, V> {
 
 /// The fragment/summary artifact cache, with typed accessors over the
 /// shared [`Lru`].
-type FragmentLru = Lru<CacheKey, CachedArtifacts>;
+pub(crate) type FragmentLru = Lru<CacheKey, CachedArtifacts>;
 
 impl FragmentLru {
     fn get_steps(&mut self, key: &CacheKey) -> Option<Arc<StepArtifacts>> {
@@ -402,32 +415,32 @@ impl FragmentLru {
 /// `ρ` never enter. Cover-tree nets differ per level, so the level
 /// joins the key there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct AdjKey {
-    kind: NetKind,
-    epoch: u64,
-    level: i32,
-    threshold_bits: u64,
+pub(crate) struct AdjKey {
+    pub(crate) kind: NetKind,
+    pub(crate) epoch: u64,
+    pub(crate) level: i32,
+    pub(crate) threshold_bits: u64,
     /// The per-edge bounds differ between screened and unscreened
     /// builds (membership does not), so the two never share an entry.
-    pruned: bool,
+    pub(crate) pruned: bool,
 }
 
 /// One published epoch's delta: which cover sets gained members, and
 /// how many points existed before — everything an incremental artifact
 /// upgrade needs.
-struct EpochDelta {
-    epoch: u64,
-    old_num_points: usize,
-    dirty_balls: Vec<u32>,
+pub(crate) struct EpochDelta {
+    pub(crate) epoch: u64,
+    pub(crate) old_num_points: usize,
+    pub(crate) dirty_balls: Vec<u32>,
 }
 
-struct EngineCache {
-    fragments: FragmentLru,
-    adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
-    covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
+pub(crate) struct EngineCache {
+    pub(crate) fragments: FragmentLru,
+    pub(crate) adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
+    pub(crate) covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
     /// Published ingest deltas, ascending by epoch, bounded by
     /// [`DELTA_HISTORY`].
-    deltas: VecDeque<EpochDelta>,
+    pub(crate) deltas: VecDeque<EpochDelta>,
 }
 
 impl EngineCache {
@@ -462,17 +475,21 @@ impl EngineCache {
 
 /// One published epoch: the contiguous point snapshot and the net over
 /// it. Immutable once published; readers hold it via `Arc`.
-struct EpochState<P> {
-    epoch: u64,
-    points: Arc<[P]>,
-    net: Arc<RadiusGuidedNet>,
+pub(crate) struct EpochState<P> {
+    pub(crate) epoch: u64,
+    pub(crate) points: Arc<[P]>,
+    pub(crate) net: Arc<RadiusGuidedNet>,
 }
 
 /// The writer-side mutable state, initialized lazily on the first
 /// ingest (a never-ingesting engine pays nothing for it).
-struct IngestState<P> {
-    store: ChunkedStore<P>,
-    net: IncrementalNet,
+pub(crate) struct IngestState<P> {
+    pub(crate) store: ChunkedStore<P>,
+    pub(crate) net: IncrementalNet,
+    /// The pending epoch: the epoch of the last appended batch. Runs
+    /// ahead of the published [`EpochState::epoch`] until the first
+    /// post-batch read flattens and publishes.
+    pub(crate) epoch: u64,
 }
 
 /// Builder for [`MetricDbscan`]; see [`MetricDbscan::builder`].
@@ -594,6 +611,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             parallel,
             pruning: self.pruning,
             max_centers: self.max_centers,
+            strategy: self.strategy,
             current: RwLock::new(Arc::new(EpochState {
                 epoch: 0,
                 points: self.points,
@@ -606,6 +624,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
                 covertree: Lru::new(tree_capacity),
                 deltas: VecDeque::new(),
             }),
+            pending_epoch: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             upgrade_count: AtomicU64::new(0),
@@ -674,22 +694,28 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
 /// assert_ne!(before.clustering.len(), after.clustering.len());
 /// ```
 pub struct MetricDbscan<P, M> {
-    metric: M,
-    rbar: f64,
-    parallel: ParallelConfig,
-    pruning: PruningConfig,
-    max_centers: usize,
-    current: RwLock<Arc<EpochState<P>>>,
-    writer: Mutex<Option<IngestState<P>>>,
-    cache: Mutex<EngineCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    upgrade_count: AtomicU64,
-    adj_hits: AtomicU64,
-    adj_misses: AtomicU64,
+    pub(crate) metric: M,
+    pub(crate) rbar: f64,
+    pub(crate) parallel: ParallelConfig,
+    pub(crate) pruning: PruningConfig,
+    pub(crate) max_centers: usize,
+    pub(crate) strategy: NetStrategy,
+    pub(crate) current: RwLock<Arc<EpochState<P>>>,
+    pub(crate) writer: Mutex<Option<IngestState<P>>>,
+    pub(crate) cache: Mutex<EngineCache>,
+    /// The latest *assigned* epoch: equals the published epoch except
+    /// between an ingest and the first read after it (the lazy-publish
+    /// window).
+    pub(crate) pending_epoch: AtomicU64,
+    pub(crate) publishes: AtomicU64,
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) upgrade_count: AtomicU64,
+    pub(crate) adj_hits: AtomicU64,
+    pub(crate) adj_misses: AtomicU64,
 }
 
-impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
+impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Starts a builder over an owned point set (a `Vec<P>`, an
     /// `Arc<[P]>`, or anything converting into one) and an owned metric.
     /// A borrowed metric works too: `&M` implements
@@ -708,8 +734,45 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         }
     }
 
-    fn state(&self) -> Arc<EpochState<P>> {
-        Arc::clone(&self.current.read().expect("engine state poisoned"))
+    pub(crate) fn state(&self) -> Arc<EpochState<P>> {
+        let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+        if self.pending_epoch.load(Ordering::Acquire) == state.epoch {
+            return state;
+        }
+        self.publish_pending()
+    }
+
+    /// The lazy half of [`MetricDbscan::ingest`]: flattens the writer's
+    /// pending batches into a published [`EpochState`]. Runs on the
+    /// first read after a batch — one O(n) clone pass (zero distance
+    /// evaluations) no matter how many batches piled up since the last
+    /// read, which is what makes point-at-a-time feeding O(n) total in
+    /// copies instead of O(n²).
+    #[cold]
+    fn publish_pending(&self) -> Arc<EpochState<P>> {
+        let writer = self.writer.lock().expect("engine writer poisoned");
+        self.publish_locked(&writer)
+    }
+
+    /// As [`MetricDbscan::state`], for callers that already hold the
+    /// writer lock (the persistence path, which must serialize a frozen
+    /// writer alongside the published state).
+    pub(crate) fn publish_locked(&self, writer: &Option<IngestState<P>>) -> Arc<EpochState<P>> {
+        let current = Arc::clone(&self.current.read().expect("engine state poisoned"));
+        let Some(live) = writer.as_ref() else {
+            return current;
+        };
+        if live.epoch == current.epoch {
+            return current;
+        }
+        let state = Arc::new(EpochState {
+            epoch: live.epoch,
+            points: live.store.flatten(),
+            net: Arc::new(live.net.to_net()),
+        });
+        *self.current.write().expect("engine state poisoned") = Arc::clone(&state);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        state
     }
 
     /// Pins the current epoch: the returned [`EngineSnapshot`] keeps
@@ -724,13 +787,32 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// The current epoch (0 at build; +1 per non-empty ingest batch).
+    /// Reading the epoch never forces a pending publication.
     pub fn epoch(&self) -> u64 {
-        self.state().epoch
+        self.pending_epoch.load(Ordering::Acquire)
     }
 
-    /// Total points at the current epoch.
+    /// Total points at the current epoch (pending batches included;
+    /// never forces a publication).
     pub fn num_points(&self) -> usize {
-        self.state().points.len()
+        let writer = self.writer.lock().expect("engine writer poisoned");
+        match writer.as_ref() {
+            Some(live) => live.store.len(),
+            None => self
+                .current
+                .read()
+                .expect("engine state poisoned")
+                .points
+                .len(),
+        }
+    }
+
+    /// Epoch publications performed so far — the O(n) store/cover
+    /// flattens a first post-batch read pays. `ingest` itself never
+    /// flattens, so a point-at-a-time feeder followed by one query
+    /// publishes once, not once per point.
+    pub fn publish_count(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
     }
 
     /// A cheap handle to the current epoch's point snapshot (shared,
@@ -754,9 +836,20 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         self.rbar
     }
 
-    /// Number of net centers `|E|` at the current epoch.
+    /// Number of net centers `|E|` at the current epoch (pending
+    /// batches included; never forces a publication).
     pub fn num_centers(&self) -> usize {
-        self.state().net.centers.len()
+        let writer = self.writer.lock().expect("engine writer poisoned");
+        match writer.as_ref() {
+            Some(live) => live.net.num_centers(),
+            None => self
+                .current
+                .read()
+                .expect("engine state poisoned")
+                .net
+                .centers
+                .len(),
+        }
     }
 
     /// The default thread knob (set at build time).
@@ -852,7 +945,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         self.ingest(std::iter::once(point))
     }
 
-    /// Appends a batch of points and publishes a new epoch.
+    /// Appends a batch of points and assigns a new epoch.
     ///
     /// The net is maintained by the radius-guided first-fit rule
     /// (streaming pass 1): each point joins the ball of the first
@@ -861,37 +954,65 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// time. Writers are serialized behind one mutex; concurrent
     /// readers keep answering from their epoch's snapshot throughout
     /// and observe the new epoch only on their next query. An empty
-    /// batch publishes nothing.
+    /// batch assigns nothing.
+    ///
+    /// The per-ingest cost is proportional to the **batch**, not to
+    /// `n`: the first-fit scan walks the chunked store in place, and
+    /// the O(n) flatten into a contiguous published snapshot (a clone
+    /// pass — zero distance evaluations) is deferred to the first read
+    /// after the batch. Feeding one point at a time is therefore O(n)
+    /// total in copies, not O(n²). Reads that only inspect counters
+    /// ([`MetricDbscan::epoch`], [`MetricDbscan::num_points`],
+    /// [`MetricDbscan::num_centers`]) never force the publication.
     ///
     /// For engines built with [`NetStrategy::RadiusGuided`] the result
     /// is bit-identical to a fresh build over the concatenated
     /// sequence, for any batch split (the module-level determinism
-    /// contract).
+    /// contract) — lazy publication changes *when* the snapshot is
+    /// materialized, never what it contains.
     pub fn ingest(&self, points: impl IntoIterator<Item = P>) -> IngestReport {
         let batch: Vec<P> = points.into_iter().collect();
         let mut writer = self.writer.lock().expect("engine writer poisoned");
-        let state = self.state();
         if batch.is_empty() {
-            return IngestReport {
-                epoch: state.epoch,
-                added_points: 0,
-                new_centers: 0,
-                dirty_balls: 0,
-                num_points: state.points.len(),
-                num_centers: state.net.centers.len(),
-                covered: state.net.covered,
+            return match writer.as_ref() {
+                Some(live) => IngestReport {
+                    epoch: live.epoch,
+                    added_points: 0,
+                    new_centers: 0,
+                    dirty_balls: 0,
+                    num_points: live.store.len(),
+                    num_centers: live.net.num_centers(),
+                    covered: live.net.covered(),
+                },
+                None => {
+                    let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+                    IngestReport {
+                        epoch: state.epoch,
+                        added_points: 0,
+                        new_centers: 0,
+                        dirty_balls: 0,
+                        num_points: state.points.len(),
+                        num_centers: state.net.centers.len(),
+                        covered: state.net.covered,
+                    }
+                }
             };
         }
-        let live = writer.get_or_insert_with(|| IngestState {
-            store: ChunkedStore::from_initial(Arc::clone(&state.points)),
-            net: IncrementalNet::from_net(&state.net, self.max_centers),
+        let live = writer.get_or_insert_with(|| {
+            // Writer was never initialized, so nothing is pending and
+            // `current` is exactly the engine's latest state.
+            let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+            IngestState {
+                store: ChunkedStore::from_initial(Arc::clone(&state.points)),
+                net: IncrementalNet::from_net(&state.net, self.max_centers),
+                epoch: state.epoch,
+            }
         });
         let first = live.store.len();
         live.store.append(batch);
-        let points = live.store.flatten();
-        let delta = live.net.ingest(&points, first, &self.metric);
-        let net = Arc::new(live.net.to_net());
-        let epoch = state.epoch + 1;
+        let delta = live.net.ingest_from(&live.store, first, &self.metric);
+        live.epoch += 1;
+        let epoch = live.epoch;
         {
             let mut cache = self.cache.lock().expect("engine cache poisoned");
             cache.deltas.push_back(EpochDelta {
@@ -903,18 +1024,16 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
                 cache.deltas.pop_front();
             }
         }
-        let report = IngestReport {
+        self.pending_epoch.store(epoch, Ordering::Release);
+        IngestReport {
             epoch,
             added_points: delta.added_points,
             new_centers: delta.new_centers,
             dirty_balls: delta.dirty_balls.len(),
-            num_points: points.len(),
-            num_centers: net.centers.len(),
-            covered: net.covered,
-        };
-        *self.current.write().expect("engine state poisoned") =
-            Arc::new(EpochState { epoch, points, net });
-        report
+            num_points: live.store.len(),
+            num_centers: live.net.num_centers(),
+            covered: live.net.covered(),
+        }
     }
 
     /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
@@ -941,11 +1060,11 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
 /// always from this epoch, regardless of later ingests. Obtained via
 /// [`MetricDbscan::snapshot`]; cheap to take and to drop.
 pub struct EngineSnapshot<'e, P, M> {
-    engine: &'e MetricDbscan<P, M>,
-    state: Arc<EpochState<P>>,
+    pub(crate) engine: &'e MetricDbscan<P, M>,
+    pub(crate) state: Arc<EpochState<P>>,
 }
 
-impl<'e, P: Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
+impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
     /// The epoch this snapshot pins.
     pub fn epoch(&self) -> u64 {
         self.state.epoch

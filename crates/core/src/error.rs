@@ -48,6 +48,21 @@ pub enum DbscanError {
     /// The index was built with `max_centers` truncation and does not cover
     /// the data, so DBSCAN answers would be wrong.
     IndexNotCovering,
+    /// Reading or writing a persisted engine artifact failed at the
+    /// file level (missing file, permissions, short write). Carries the
+    /// OS error rendered as text.
+    Io(String),
+    /// A persisted engine artifact was read but failed validation —
+    /// truncation, checksum mismatch, unsupported format version, a
+    /// point-type or metric tag that does not match the requested load,
+    /// or structurally inconsistent state. Loads fail typed; they never
+    /// hand back garbage clusters.
+    Format {
+        /// The artifact section (or `"header"`) where validation failed.
+        section: String,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DbscanError {
@@ -82,11 +97,26 @@ impl fmt::Display for DbscanError {
                     "index was truncated by max_centers and does not cover the data"
                 )
             }
+            DbscanError::Io(e) => write!(f, "engine artifact i/o failed: {e}"),
+            DbscanError::Format { section, reason } => {
+                write!(f, "invalid engine artifact (section `{section}`): {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for DbscanError {}
+
+impl From<mdbscan_persist::PersistError> for DbscanError {
+    fn from(e: mdbscan_persist::PersistError) -> Self {
+        match e {
+            mdbscan_persist::PersistError::Io(e) => DbscanError::Io(e),
+            mdbscan_persist::PersistError::Format { section, reason } => {
+                DbscanError::Format { section, reason }
+            }
+        }
+    }
+}
 
 /// Shared input validation for everything that runs Algorithm 1 over a
 /// point set (the engine builder and the one-shot free functions).
@@ -126,5 +156,30 @@ mod tests {
         assert!(DbscanError::IndexNotCovering
             .to_string()
             .contains("max_centers"));
+        assert!(DbscanError::Io("no such file".into())
+            .to_string()
+            .contains("no such file"));
+        assert!(DbscanError::Format {
+            section: "net".into(),
+            reason: "checksum mismatch".into()
+        }
+        .to_string()
+        .contains("net"));
+    }
+
+    #[test]
+    fn persist_errors_convert_with_their_payloads() {
+        use mdbscan_persist::PersistError;
+        assert_eq!(
+            DbscanError::from(PersistError::Io("gone".into())),
+            DbscanError::Io("gone".into())
+        );
+        assert_eq!(
+            DbscanError::from(PersistError::format("points", "truncated")),
+            DbscanError::Format {
+                section: "points".into(),
+                reason: "truncated".into()
+            }
+        );
     }
 }

@@ -109,6 +109,7 @@ mod labels;
 mod netview;
 mod params;
 mod parmerge;
+mod persist;
 mod steps;
 mod store;
 mod streaming;

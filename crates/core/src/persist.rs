@@ -1,0 +1,750 @@
+//! Engine persistence: [`MetricDbscan::save`] / [`MetricDbscan::load`]
+//! and [`EngineSnapshot::save`] over the `mdbscan_persist` artifact
+//! format.
+//!
+//! A saved engine round-trips **everything** a restarted process needs
+//! to answer — and keep ingesting — exactly as if it never died:
+//!
+//! * the contiguous point snapshot (via `PersistPoint`);
+//! * the `r̄`-net: centers, assignment, the exact `dis(p, c_p)`
+//!   anchors, the flat cover sets, and the covering flag;
+//! * the writer's first-center anchor distances, so post-load ingests
+//!   pay exactly the evaluations an unrestarted engine would;
+//! * the ingest delta history (dirty-ball lists), so cross-epoch
+//!   incremental upgrades keep working across the restart;
+//! * every cache, in LRU order with its keys: the `ε`-keyed center
+//!   adjacencies with their lo/hi edge bounds, the fragment/summary
+//!   artifacts (cached cover-tree skeletons included), and the
+//!   whole-input §3.2 trees;
+//! * the engine configuration (radius, strategy, pruning policy, cache
+//!   capacities) and the lifetime cache counters.
+//!
+//! Loading performs **zero distance evaluations** — every number above
+//! is plain recorded data — and the loaded engine's contract is *bit
+//! identity*: every solver returns the same labels, the same evaluation
+//! counts, and the same cache-hit behavior the saving engine would
+//! have produced, and a post-load `ingest` continues the radius-guided
+//! determinism contract seamlessly. The only knob that intentionally
+//! does not travel is [`ParallelConfig`]: thread counts are a property
+//! of the host, not of the artifact, and labels are identical at every
+//! thread count anyway.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use mdbscan_covertree::CoverTreeSkeleton;
+use mdbscan_kcenter::{CenterAdjacency, IncrementalNet, RadiusGuidedNet};
+use mdbscan_metric::{BatchMetric, MetricTag, PersistPoint, PruningConfig};
+use mdbscan_parallel::{Csr, ParallelConfig};
+use mdbscan_persist::{
+    read_file, ArtifactKind, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, PersistError,
+};
+
+use crate::approx::ApproxArtifacts;
+use crate::engine::{
+    AdjKey, CacheKey, CachedArtifacts, EngineCache, EngineSnapshot, EpochDelta, EpochState,
+    IngestState, Lru, MetricDbscan, NetKind, NetStrategy,
+};
+use crate::error::DbscanError;
+use crate::steps::StepArtifacts;
+use crate::store::ChunkedStore;
+
+const SEC_ENGINE: &str = "engine";
+const SEC_POINTS: &str = "points";
+const SEC_NET: &str = "net";
+const SEC_WRITER: &str = "writer";
+const SEC_DELTAS: &str = "deltas";
+const SEC_ADJACENCY: &str = "adjacency-cache";
+const SEC_FRAGMENTS: &str = "fragment-cache";
+const SEC_COVERTREES: &str = "covertree-cache";
+
+fn encode_strategy(out: &mut ByteWriter, strategy: NetStrategy) {
+    out.put_u8(match strategy {
+        NetStrategy::Gonzalez => 0,
+        NetStrategy::RadiusGuided => 1,
+    });
+}
+
+fn decode_strategy(r: &mut ByteReader<'_>) -> Result<NetStrategy, PersistError> {
+    match r.get_u8()? {
+        0 => Ok(NetStrategy::Gonzalez),
+        1 => Ok(NetStrategy::RadiusGuided),
+        b => Err(r.err(format!("unknown net strategy {b}"))),
+    }
+}
+
+fn encode_net_kind(out: &mut ByteWriter, kind: NetKind) {
+    out.put_u8(match kind {
+        NetKind::Gonzalez => 0,
+        NetKind::CoverTree => 1,
+    });
+}
+
+fn decode_net_kind(r: &mut ByteReader<'_>) -> Result<NetKind, PersistError> {
+    match r.get_u8()? {
+        0 => Ok(NetKind::Gonzalez),
+        1 => Ok(NetKind::CoverTree),
+        b => Err(r.err(format!("unknown net kind {b}"))),
+    }
+}
+
+/// The fixed-size engine-section payload: configuration plus counters.
+struct EngineSection {
+    rbar: f64,
+    max_centers: usize,
+    strategy: NetStrategy,
+    pruning: PruningConfig,
+    frag_capacity: usize,
+    adj_capacity: usize,
+    tree_capacity: usize,
+    epoch: u64,
+    publishes: u64,
+    hits: u64,
+    misses: u64,
+    upgrades: u64,
+    adj_hits: u64,
+    adj_misses: u64,
+}
+
+impl EngineSection {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_f64(self.rbar);
+        out.put_usize(self.max_centers);
+        encode_strategy(out, self.strategy);
+        self.pruning.encode(out);
+        out.put_usize(self.frag_capacity);
+        out.put_usize(self.adj_capacity);
+        out.put_usize(self.tree_capacity);
+        out.put_u64(self.epoch);
+        out.put_u64(self.publishes);
+        out.put_u64(self.hits);
+        out.put_u64(self.misses);
+        out.put_u64(self.upgrades);
+        out.put_u64(self.adj_hits);
+        out.put_u64(self.adj_misses);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            rbar: r.get_f64()?,
+            max_centers: r.get_usize()?,
+            strategy: decode_strategy(r)?,
+            pruning: PruningConfig::decode(r)?,
+            frag_capacity: r.get_usize()?,
+            adj_capacity: r.get_usize()?,
+            tree_capacity: r.get_usize()?,
+            epoch: r.get_u64()?,
+            publishes: r.get_u64()?,
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            upgrades: r.get_u64()?,
+            adj_hits: r.get_u64()?,
+            adj_misses: r.get_u64()?,
+        })
+    }
+}
+
+fn encode_cache_key(out: &mut ByteWriter, key: &CacheKey) {
+    encode_net_kind(out, key.kind);
+    out.put_u64(key.epoch);
+    out.put_u64(key.eps_bits);
+    out.put_usize(key.min_pts);
+    match key.rho_bits {
+        Some(bits) => {
+            out.put_bool(true);
+            out.put_u64(bits);
+        }
+        None => out.put_bool(false),
+    }
+}
+
+fn decode_cache_key(r: &mut ByteReader<'_>) -> Result<CacheKey, PersistError> {
+    Ok(CacheKey {
+        kind: decode_net_kind(r)?,
+        epoch: r.get_u64()?,
+        eps_bits: r.get_u64()?,
+        min_pts: r.get_usize()?,
+        rho_bits: if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        },
+    })
+}
+
+fn encode_adj_key(out: &mut ByteWriter, key: &AdjKey) {
+    encode_net_kind(out, key.kind);
+    out.put_u64(key.epoch);
+    out.put_i32(key.level);
+    out.put_u64(key.threshold_bits);
+    out.put_bool(key.pruned);
+}
+
+fn decode_adj_key(r: &mut ByteReader<'_>) -> Result<AdjKey, PersistError> {
+    Ok(AdjKey {
+        kind: decode_net_kind(r)?,
+        epoch: r.get_u64()?,
+        level: r.get_i32()?,
+        threshold_bits: r.get_u64()?,
+        pruned: r.get_bool()?,
+    })
+}
+
+fn encode_steps(out: &mut ByteWriter, a: &StepArtifacts) {
+    out.put_bools(&a.is_core);
+    out.put_usize(a.dense_cores);
+    a.fragments.encode(out);
+    out.put_f64s(&a.frag_radius);
+    out.put_usize(a.skeletons.len());
+    for skeleton in &a.skeletons {
+        match skeleton {
+            Some(s) => {
+                out.put_bool(true);
+                s.encode(out);
+            }
+            None => out.put_bool(false),
+        }
+    }
+}
+
+/// Decodes Step-1/2 artifacts, validating their internal alignment and
+/// that every stored point id stays inside the artifact's own point
+/// count (`is_core.len()`, the epoch the entry was computed at) —
+/// which in turn must not exceed `max_points`, the loaded engine's
+/// point count. A violated bound here would otherwise surface as an
+/// index panic (or silently wrong labels) on the first cache hit.
+fn decode_steps(r: &mut ByteReader<'_>, max_points: usize) -> Result<StepArtifacts, PersistError> {
+    let is_core = r.get_bools()?;
+    let dense_cores = r.get_usize()?;
+    let fragments = Csr::decode(r)?;
+    let frag_radius = r.get_f64s()?;
+    if is_core.len() > max_points {
+        return Err(r.err(format!(
+            "artifact covers {} points, engine stores {max_points}",
+            is_core.len()
+        )));
+    }
+    if frag_radius.len() != fragments.num_rows() {
+        return Err(r.err(format!(
+            "{} fragment radii for {} fragment rows",
+            frag_radius.len(),
+            fragments.num_rows()
+        )));
+    }
+    if let Some(&bad) = fragments
+        .values()
+        .iter()
+        .find(|&&p| p as usize >= is_core.len())
+    {
+        return Err(r.err(format!(
+            "fragment member {bad} out of range ({} points)",
+            is_core.len()
+        )));
+    }
+    let num_skeletons = r.get_usize()?;
+    if num_skeletons != fragments.num_rows() {
+        return Err(r.err(format!(
+            "{num_skeletons} fragment trees for {} fragment rows",
+            fragments.num_rows()
+        )));
+    }
+    let mut skeletons = Vec::with_capacity(num_skeletons.min(r.remaining() + 1));
+    for _ in 0..num_skeletons {
+        skeletons.push(if r.get_bool()? {
+            let skeleton = CoverTreeSkeleton::decode(r)?;
+            if skeleton
+                .max_point_index()
+                .is_some_and(|m| m as usize >= is_core.len())
+            {
+                return Err(r.err("fragment tree indexes past the artifact's points"));
+            }
+            Some(skeleton)
+        } else {
+            None
+        });
+    }
+    Ok(StepArtifacts {
+        is_core,
+        dense_cores,
+        fragments,
+        frag_radius,
+        skeletons,
+    })
+}
+
+fn encode_approx(out: &mut ByteWriter, a: &ApproxArtifacts) {
+    out.put_bools(&a.center_core);
+    out.put_u32s(&a.summary);
+    a.summary_by_center.encode(out);
+    out.put_u32s(&a.summary_cluster);
+}
+
+/// Decodes Algorithm-2 summary artifacts with the same defensive
+/// bounds as [`decode_steps`]: summary ids must be stored points,
+/// per-center rows must reference existing summary positions, and the
+/// per-position arrays must align.
+fn decode_approx(
+    r: &mut ByteReader<'_>,
+    max_points: usize,
+) -> Result<ApproxArtifacts, PersistError> {
+    let center_core = r.get_bools()?;
+    let summary = r.get_u32s()?;
+    let summary_by_center = Csr::decode(r)?;
+    let summary_cluster = r.get_u32s()?;
+    if let Some(&bad) = summary.iter().find(|&&p| p as usize >= max_points) {
+        return Err(r.err(format!(
+            "summary point {bad} out of range ({max_points} points)"
+        )));
+    }
+    if summary_cluster.len() != summary.len() {
+        return Err(r.err(format!(
+            "{} cluster ids for {} summary points",
+            summary_cluster.len(),
+            summary.len()
+        )));
+    }
+    if center_core.len() != summary_by_center.num_rows() {
+        return Err(r.err(format!(
+            "{} center-core flags for {} summary rows",
+            center_core.len(),
+            summary_by_center.num_rows()
+        )));
+    }
+    if let Some(&bad) = summary_by_center
+        .values()
+        .iter()
+        .find(|&&s| s as usize >= summary.len())
+    {
+        return Err(r.err(format!(
+            "summary row references position {bad} of {}",
+            summary.len()
+        )));
+    }
+    Ok(ApproxArtifacts {
+        center_core,
+        summary,
+        summary_by_center,
+        summary_cluster,
+    })
+}
+
+/// Serializes the points + net of one epoch into `w` (shared by the
+/// engine and snapshot save paths).
+fn encode_epoch_state<P: PersistPoint>(w: &mut ArtifactWriter, state: &EpochState<P>) {
+    let s = w.section(SEC_POINTS);
+    s.put_usize(state.points.len());
+    for p in state.points.iter() {
+        p.encode_point(s);
+    }
+    state.net.encode(w.section(SEC_NET));
+}
+
+impl<P, M> MetricDbscan<P, M>
+where
+    P: PersistPoint + Clone + Sync,
+    M: BatchMetric<P> + MetricTag,
+{
+    /// Saves the full engine state to `path` as a versioned,
+    /// checksummed artifact (see the `mdbscan_persist` crate docs for
+    /// the layout).
+    ///
+    /// Any pending lazily-published batches are flattened first (a
+    /// clone pass — zero distance evaluations), and the writer lock is
+    /// held for the duration, so the artifact is a consistent cut: no
+    /// ingest can land halfway through it. Concurrent *queries* keep
+    /// running.
+    ///
+    /// The contract [`MetricDbscan::load`] restores: bit-identical
+    /// labels, evaluation counts, and cache-hit behavior for every
+    /// solver, and post-load ingests that continue the radius-guided
+    /// determinism contract as if the process never died.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
+        self.to_artifact()
+            .write_file(path)
+            .map_err(DbscanError::from)
+    }
+
+    /// Serializes the engine into an in-memory artifact; `save` is this
+    /// plus one `write`.
+    fn to_artifact(&self) -> ArtifactWriter {
+        let writer = self.writer.lock().expect("engine writer poisoned");
+        let state = self.publish_locked(&writer);
+        let mut w = ArtifactWriter::new(ArtifactKind::Engine, P::TYPE_TAG, M::METRIC_TAG);
+        let cache = self.cache.lock().expect("engine cache poisoned");
+        EngineSection {
+            rbar: self.rbar,
+            max_centers: self.max_centers,
+            strategy: self.strategy,
+            pruning: self.pruning,
+            frag_capacity: cache.fragments.capacity,
+            adj_capacity: cache.adjacency.capacity,
+            tree_capacity: cache.covertree.capacity,
+            epoch: state.epoch,
+            publishes: self.publishes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            upgrades: self.upgrade_count.load(Ordering::Relaxed),
+            adj_hits: self.adj_hits.load(Ordering::Relaxed),
+            adj_misses: self.adj_misses.load(Ordering::Relaxed),
+        }
+        .encode(w.section(SEC_ENGINE));
+        encode_epoch_state(&mut w, &state);
+
+        let s = w.section(SEC_WRITER);
+        match writer.as_ref() {
+            Some(live) => {
+                s.put_bool(true);
+                s.put_f64s(live.net.first_center_anchors());
+            }
+            None => s.put_bool(false),
+        }
+
+        let s = w.section(SEC_DELTAS);
+        s.put_usize(cache.deltas.len());
+        for d in &cache.deltas {
+            s.put_u64(d.epoch);
+            s.put_usize(d.old_num_points);
+            s.put_u32s(&d.dirty_balls);
+        }
+
+        let s = w.section(SEC_ADJACENCY);
+        s.put_usize(cache.adjacency.entries.len());
+        for (key, adj) in &cache.adjacency.entries {
+            encode_adj_key(s, key);
+            adj.encode(s);
+        }
+
+        let s = w.section(SEC_FRAGMENTS);
+        s.put_usize(cache.fragments.entries.len());
+        for (key, artifact) in &cache.fragments.entries {
+            encode_cache_key(s, key);
+            match artifact {
+                CachedArtifacts::Steps(a) => {
+                    s.put_u8(0);
+                    encode_steps(s, a);
+                }
+                CachedArtifacts::Approx(a) => {
+                    s.put_u8(1);
+                    encode_approx(s, a);
+                }
+            }
+        }
+
+        let s = w.section(SEC_COVERTREES);
+        s.put_usize(cache.covertree.entries.len());
+        for (epoch, skeleton) in &cache.covertree.entries {
+            s.put_u64(*epoch);
+            skeleton.encode(s);
+        }
+        w
+    }
+
+    /// Loads an engine (or a read-only snapshot — see
+    /// [`EngineSnapshot::save`]) from `path`, handing back the metric
+    /// the artifact was saved under.
+    ///
+    /// **Zero distance evaluations**: every structure is re-attached
+    /// from recorded data. The artifact's point-type and metric tags
+    /// must match `P` and `M` or the load fails with
+    /// [`DbscanError::Format`]; a missing or unreadable file is
+    /// [`DbscanError::Io`]; truncation and checksum mismatches are
+    /// [`DbscanError::Format`] naming the failing section.
+    ///
+    /// Thread configuration does not travel with the artifact: the
+    /// loaded engine uses the host's default [`ParallelConfig`]
+    /// (labels and evaluation counts are identical at every thread
+    /// count).
+    pub fn load(path: impl AsRef<Path>, metric: M) -> Result<Self, DbscanError> {
+        let bytes = read_file(path)?;
+        Self::from_artifact_bytes(&bytes, metric)
+    }
+
+    fn from_artifact_bytes(bytes: &[u8], metric: M) -> Result<Self, DbscanError> {
+        let art = ArtifactReader::from_bytes(bytes)?;
+        if art.point_tag() != P::TYPE_TAG {
+            return Err(PersistError::format(
+                "header",
+                format!(
+                    "artifact stores `{}` points, load requested `{}`",
+                    art.point_tag(),
+                    P::TYPE_TAG
+                ),
+            )
+            .into());
+        }
+        if art.metric_tag() != M::METRIC_TAG {
+            return Err(PersistError::format(
+                "header",
+                format!(
+                    "artifact was saved under metric `{}`, load supplied `{}`",
+                    art.metric_tag(),
+                    M::METRIC_TAG
+                ),
+            )
+            .into());
+        }
+
+        let mut s = art.require_section(SEC_ENGINE)?;
+        let cfg = EngineSection::decode(&mut s)?;
+
+        let mut s = art.require_section(SEC_POINTS)?;
+        let n = s.get_usize()?;
+        let mut points = Vec::with_capacity(n.min(s.remaining() + 1));
+        for _ in 0..n {
+            points.push(P::decode_point(&mut s)?);
+        }
+        let points: Arc<[P]> = points.into();
+
+        let mut s = art.require_section(SEC_NET)?;
+        let net = RadiusGuidedNet::decode(&mut s)?;
+        if net.len() != points.len() {
+            return Err(PersistError::format(
+                SEC_NET,
+                format!("net covers {} points, {} stored", net.len(), points.len()),
+            )
+            .into());
+        }
+        if let Some(&bad) = net.centers.iter().find(|&&c| c >= points.len()) {
+            return Err(PersistError::format(
+                SEC_NET,
+                format!(
+                    "center point id {bad} out of range ({} points)",
+                    points.len()
+                ),
+            )
+            .into());
+        }
+        if net.rbar.to_bits() != cfg.rbar.to_bits() {
+            return Err(PersistError::format(
+                SEC_NET,
+                format!(
+                    "net radius {} disagrees with engine radius {}",
+                    net.rbar, cfg.rbar
+                ),
+            )
+            .into());
+        }
+        let net = Arc::new(net);
+
+        let mut writer = None;
+        if let Some(mut s) = art.section(SEC_WRITER) {
+            if s.get_bool()? {
+                let anchors = s.get_f64s()?;
+                if anchors.len() > net.centers.len() {
+                    return Err(PersistError::format(
+                        SEC_WRITER,
+                        format!(
+                            "{} first-center anchors for {} centers",
+                            anchors.len(),
+                            net.centers.len()
+                        ),
+                    )
+                    .into());
+                }
+                writer = Some(IngestState {
+                    store: ChunkedStore::from_initial(Arc::clone(&points)),
+                    net: IncrementalNet::from_net_with_anchors(&net, cfg.max_centers, anchors),
+                    epoch: cfg.epoch,
+                });
+            }
+        }
+
+        let mut deltas = VecDeque::new();
+        if let Some(mut s) = art.section(SEC_DELTAS) {
+            let count = s.get_usize()?;
+            for _ in 0..count {
+                let delta = EpochDelta {
+                    epoch: s.get_u64()?,
+                    old_num_points: s.get_usize()?,
+                    dirty_balls: s.get_u32s()?,
+                };
+                // Dirty-ball positions index the (append-only) center
+                // list during incremental upgrades; out-of-range ids
+                // would panic on the first upgrade after the restart.
+                if delta.old_num_points > points.len() {
+                    return Err(PersistError::format(
+                        SEC_DELTAS,
+                        format!(
+                            "delta predates {} points, engine stores {}",
+                            delta.old_num_points,
+                            points.len()
+                        ),
+                    )
+                    .into());
+                }
+                if let Some(&bad) = delta
+                    .dirty_balls
+                    .iter()
+                    .find(|&&b| b as usize >= net.centers.len())
+                {
+                    return Err(PersistError::format(
+                        SEC_DELTAS,
+                        format!(
+                            "dirty ball {bad} out of range ({} centers)",
+                            net.centers.len()
+                        ),
+                    )
+                    .into());
+                }
+                deltas.push_back(delta);
+            }
+        }
+
+        let mut adjacency = Lru::new(cfg.adj_capacity);
+        if let Some(mut s) = art.section(SEC_ADJACENCY) {
+            let count = s.get_usize()?;
+            for _ in 0..count {
+                let key = decode_adj_key(&mut s)?;
+                let adj = CenterAdjacency::decode(&mut s)?;
+                // Gonzalez-kind entries index (a prefix of) the loaded
+                // net's center list — current-epoch entries exactly so
+                // — and may serve as cross-epoch extension bases.
+                if key.kind == NetKind::Gonzalez {
+                    let expected_exact = key.epoch == cfg.epoch;
+                    let rows = adj.neighbors.num_rows();
+                    if (expected_exact && rows != net.centers.len()) || rows > net.centers.len() {
+                        return Err(PersistError::format(
+                            SEC_ADJACENCY,
+                            format!(
+                                "adjacency spans {rows} centers, net has {}",
+                                net.centers.len()
+                            ),
+                        )
+                        .into());
+                    }
+                }
+                adjacency.entries.push((key, Arc::new(adj)));
+            }
+            adjacency.entries.truncate(cfg.adj_capacity);
+        }
+
+        let mut fragments = Lru::new(cfg.frag_capacity);
+        if let Some(mut s) = art.section(SEC_FRAGMENTS) {
+            let count = s.get_usize()?;
+            for _ in 0..count {
+                let key = decode_cache_key(&mut s)?;
+                let artifact = match s.get_u8()? {
+                    0 => {
+                        let steps = decode_steps(&mut s, points.len())?;
+                        // An entry keyed at the loaded epoch is hit (not
+                        // upgraded), so it must cover exactly the loaded
+                        // points; older epochs are re-verified against
+                        // the delta history before any reuse.
+                        if key.epoch == cfg.epoch && steps.is_core.len() != points.len() {
+                            return Err(PersistError::format(
+                                SEC_FRAGMENTS,
+                                format!(
+                                    "current-epoch artifact covers {} points, engine stores {}",
+                                    steps.is_core.len(),
+                                    points.len()
+                                ),
+                            )
+                            .into());
+                        }
+                        CachedArtifacts::Steps(Arc::new(steps))
+                    }
+                    1 => CachedArtifacts::Approx(Arc::new(decode_approx(&mut s, points.len())?)),
+                    b => return Err(s.err(format!("unknown artifact variant {b}")).into()),
+                };
+                fragments.entries.push((key, artifact));
+            }
+            fragments.entries.truncate(cfg.frag_capacity);
+        }
+
+        let mut covertree = Lru::new(cfg.tree_capacity);
+        if let Some(mut s) = art.section(SEC_COVERTREES) {
+            let count = s.get_usize()?;
+            for _ in 0..count {
+                let epoch = s.get_u64()?;
+                let skeleton = CoverTreeSkeleton::decode(&mut s)?;
+                if skeleton.len() > points.len() {
+                    return Err(PersistError::format(
+                        SEC_COVERTREES,
+                        format!(
+                            "cached tree spans {} points, engine stores {}",
+                            skeleton.len(),
+                            points.len()
+                        ),
+                    )
+                    .into());
+                }
+                covertree.entries.push((epoch, Arc::new(skeleton)));
+            }
+            covertree.entries.truncate(cfg.tree_capacity);
+        }
+
+        Ok(MetricDbscan {
+            metric,
+            rbar: cfg.rbar,
+            parallel: ParallelConfig::default(),
+            pruning: cfg.pruning,
+            max_centers: cfg.max_centers,
+            strategy: cfg.strategy,
+            current: RwLock::new(Arc::new(EpochState {
+                epoch: cfg.epoch,
+                points,
+                net,
+            })),
+            writer: Mutex::new(writer),
+            cache: Mutex::new(EngineCache {
+                fragments,
+                adjacency,
+                covertree,
+                deltas,
+            }),
+            pending_epoch: AtomicU64::new(cfg.epoch),
+            publishes: AtomicU64::new(cfg.publishes),
+            hits: AtomicU64::new(cfg.hits),
+            misses: AtomicU64::new(cfg.misses),
+            upgrade_count: AtomicU64::new(cfg.upgrades),
+            adj_hits: AtomicU64::new(cfg.adj_hits),
+            adj_misses: AtomicU64::new(cfg.adj_misses),
+        })
+    }
+}
+
+impl<'e, P, M> EngineSnapshot<'e, P, M>
+where
+    P: PersistPoint + Clone + Sync,
+    M: BatchMetric<P> + MetricTag,
+{
+    /// Saves this pinned epoch — points and net only, no caches, no
+    /// writer state — as a read-only snapshot artifact: the shape a
+    /// read-replica fleet fans out. [`MetricDbscan::load`] restores it
+    /// as an engine serving exactly this epoch with cold caches and
+    /// zeroed counters (it may even ingest onward — the net's recorded
+    /// state is all the first-fit rule needs).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
+        let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
+        let engine = self.engine;
+        let (frag_capacity, adj_capacity, tree_capacity) = {
+            let cache = engine.cache.lock().expect("engine cache poisoned");
+            (
+                cache.fragments.capacity,
+                cache.adjacency.capacity,
+                cache.covertree.capacity,
+            )
+        };
+        EngineSection {
+            rbar: engine.rbar,
+            max_centers: engine.max_centers,
+            strategy: engine.strategy,
+            pruning: engine.pruning,
+            frag_capacity,
+            adj_capacity,
+            tree_capacity,
+            epoch: self.state.epoch,
+            publishes: 0,
+            hits: 0,
+            misses: 0,
+            upgrades: 0,
+            adj_hits: 0,
+            adj_misses: 0,
+        }
+        .encode(w.section(SEC_ENGINE));
+        encode_epoch_state(&mut w, &self.state);
+        w.write_file(path).map_err(DbscanError::from)
+    }
+}

@@ -2,19 +2,28 @@
 //!
 //! Ingest batches arrive as sealed `Arc<[P]>` chunks that are never
 //! moved or reallocated again — concurrent readers may hold any number
-//! of them alive through published snapshots. Each epoch publish
+//! of them alive through published snapshots. Epoch publication
 //! [`ChunkedStore::flatten`]s the chunks into one contiguous `Arc<[P]>`
 //! (the solvers' inner loops index a flat slice), which costs one clone
 //! pass over the points but **zero distance evaluations** — free in the
-//! paper's `t_dis` cost model, and off the read path entirely.
+//! paper's `t_dis` cost model, and off the read path entirely. Since
+//! PR 5 that flatten is **lazy**: the first-fit net maintenance scans
+//! the store *in place* through [`mdbscan_kcenter::PointAccess`], so a
+//! point-at-a-time feeder pays O(batch) per ingest and the O(n) flatten
+//! only on the first post-batch read.
 
 use std::sync::Arc;
 
+use mdbscan_kcenter::PointAccess;
+
 /// Append-only storage for the engine's point sequence: sealed chunks
-/// plus the running total.
+/// plus their running offsets.
 pub(crate) struct ChunkedStore<P> {
     chunks: Vec<Arc<[P]>>,
-    len: usize,
+    /// `offsets[i]` is the global id of the first point of chunk `i`;
+    /// one trailing entry holds the total, so lookup is a
+    /// `partition_point` over a tiny array.
+    offsets: Vec<usize>,
 }
 
 impl<P> ChunkedStore<P> {
@@ -24,19 +33,37 @@ impl<P> ChunkedStore<P> {
         let len = chunk.len();
         Self {
             chunks: vec![chunk],
-            len,
+            offsets: vec![0, len],
         }
     }
 
     /// Total points across all chunks.
     pub(crate) fn len(&self) -> usize {
-        self.len
+        *self.offsets.last().expect("offsets never empty")
     }
 
     /// Seals one ingest batch as a new chunk.
     pub(crate) fn append(&mut self, batch: Vec<P>) {
-        self.len += batch.len();
+        let len = self.len() + batch.len();
         self.chunks.push(batch.into());
+        self.offsets.push(len);
+    }
+
+    /// The point with global id `i`, without flattening.
+    pub(crate) fn get(&self, i: usize) -> &P {
+        debug_assert!(i < self.len());
+        let chunk = self.offsets.partition_point(|&o| o <= i) - 1;
+        &self.chunks[chunk][i - self.offsets[chunk]]
+    }
+}
+
+impl<P> PointAccess<P> for ChunkedStore<P> {
+    fn num_points(&self) -> usize {
+        self.len()
+    }
+
+    fn point(&self, i: usize) -> &P {
+        self.get(i)
     }
 }
 
@@ -47,7 +74,7 @@ impl<P: Clone> ChunkedStore<P> {
         if self.chunks.len() == 1 {
             return Arc::clone(&self.chunks[0]);
         }
-        let mut flat = Vec::with_capacity(self.len);
+        let mut flat = Vec::with_capacity(self.len());
         for chunk in &self.chunks {
             flat.extend(chunk.iter().cloned());
         }
@@ -71,5 +98,18 @@ mod tests {
         assert_eq!(&flat[..], &[1, 2, 3, 4, 5]);
         // The pre-append snapshot is untouched.
         assert_eq!(&first[..], &[1, 2]);
+    }
+
+    #[test]
+    fn indexed_access_crosses_chunk_boundaries() {
+        let mut store = ChunkedStore::from_initial(Arc::from(vec![10u32, 11]));
+        store.append(vec![12]);
+        store.append(Vec::new());
+        store.append(vec![13, 14, 15]);
+        assert_eq!(store.num_points(), 6);
+        for i in 0..6 {
+            assert_eq!(*store.get(i), 10 + i as u32);
+            assert_eq!(*store.point(i), 10 + i as u32);
+        }
     }
 }

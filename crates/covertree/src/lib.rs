@@ -33,6 +33,7 @@
 
 mod invariants;
 mod net;
+mod persist;
 mod query;
 mod tree;
 

@@ -66,6 +66,13 @@ impl CoverTreeSkeleton {
         self.len == 0
     }
 
+    /// Largest point index stored anywhere in the skeleton, or `None`
+    /// when it is empty — what a loader bounds a candidate point slice
+    /// against before re-attaching.
+    pub fn max_point_index(&self) -> Option<u32> {
+        (!self.nodes.is_empty()).then_some(self.max_index)
+    }
+
     /// Approximate heap footprint in bytes (node records + link lists) —
     /// what an LRU over skeletons accounts against its budget.
     pub fn heap_bytes(&self) -> usize {

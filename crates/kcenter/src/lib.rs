@@ -31,10 +31,11 @@ mod adjacency;
 mod gonzalez;
 mod online;
 mod outliers;
+mod persist;
 mod radius_guided;
 
 pub use adjacency::CenterAdjacency;
 pub use gonzalez::{gonzalez, gonzalez_with, KCenterResult};
-pub use online::{IncrementalNet, IngestDelta};
+pub use online::{IncrementalNet, IngestDelta, PointAccess};
 pub use outliers::{kcenter_with_outliers, OutlierKCenter};
 pub use radius_guided::{BuildOptions, RadiusGuidedNet};

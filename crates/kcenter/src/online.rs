@@ -29,6 +29,32 @@ use crate::radius_guided::RadiusGuidedNet;
 use mdbscan_metric::Metric;
 use mdbscan_parallel::{ChunkedCsr, Csr};
 
+/// Indexed access to an append-only point sequence — what
+/// [`IncrementalNet::ingest_from`] scans instead of a flat slice, so an
+/// engine's chunked point store can feed the first-fit rule **without
+/// flattening** on every batch (the lazy-publication path: per-ingest
+/// cost proportional to the batch, not to `n`).
+///
+/// Implementations must be stable: `point(i)` returns the same point
+/// for the same `i` forever (points are append-only and never move).
+pub trait PointAccess<P> {
+    /// Number of points currently stored.
+    fn num_points(&self) -> usize;
+
+    /// The point with global id `i` (`i < num_points()`).
+    fn point(&self, i: usize) -> &P;
+}
+
+impl<P> PointAccess<P> for [P] {
+    fn num_points(&self) -> usize {
+        self.len()
+    }
+
+    fn point(&self, i: usize) -> &P {
+        &self[i]
+    }
+}
+
 /// What one [`IncrementalNet::ingest`] batch changed — the delta an
 /// engine needs to invalidate (or incrementally upgrade) per-parameter
 /// artifacts.
@@ -101,6 +127,30 @@ impl IncrementalNet {
     /// later insertions extend it by the first-fit rule. The seed
     /// becomes chunk 0 of the cover store; nothing is recomputed.
     pub fn from_net(net: &RadiusGuidedNet, max_centers: usize) -> Self {
+        Self::from_net_with_anchors(net, max_centers, Vec::new())
+    }
+
+    /// As [`IncrementalNet::from_net`], restoring previously recorded
+    /// first-center anchors (see
+    /// [`IncrementalNet::first_center_anchors`]) instead of
+    /// re-evaluating them on the next ingest — the persistence path
+    /// uses this so a reloaded engine's subsequent ingests pay exactly
+    /// the evaluations an unrestarted engine would.
+    ///
+    /// Panics if more anchors are supplied than the net has centers
+    /// (fewer is fine: the tail is backfilled lazily, like
+    /// [`IncrementalNet::from_net`] backfills all of them).
+    pub fn from_net_with_anchors(
+        net: &RadiusGuidedNet,
+        max_centers: usize,
+        anchors: Vec<f64>,
+    ) -> Self {
+        assert!(
+            anchors.len() <= net.centers.len(),
+            "{} anchors for {} centers",
+            anchors.len(),
+            net.centers.len()
+        );
         Self {
             rbar: net.rbar,
             max_centers: max_centers.max(1),
@@ -108,35 +158,60 @@ impl IncrementalNet {
             assignment: net.assignment.clone(),
             dist_to_center: net.dist_to_center.clone(),
             cover: ChunkedCsr::from_csr(net.cover_sets.clone()),
-            // Backfilled from the points on the first ingest.
-            center_to_first: Vec::new(),
+            center_to_first: anchors,
             covered: net.covered,
         }
     }
 
-    /// Inserts `points[first..]` in order by the first-fit rule,
-    /// sealing the batch as one cover-set chunk. `first` must equal the
-    /// number of points already inserted (the store is append-only).
-    ///
-    /// Inherently sequential — each insertion's owner scan depends on
-    /// the centers created so far — exactly like streaming pass 1; the
-    /// result is independent of any batching of the same sequence.
+    /// The recorded first-center anchor distances `dis(c, centers[0])`,
+    /// one per center already anchored (a prefix of the center list —
+    /// the rest are backfilled on the next ingest). Persisted so a
+    /// restart does not re-pay the backfill evaluations.
+    pub fn first_center_anchors(&self) -> &[f64] {
+        &self.center_to_first
+    }
+
+    /// Inserts `points[first..]` in order by the first-fit rule; see
+    /// [`IncrementalNet::ingest_from`] (this is its flat-slice
+    /// convenience form).
     pub fn ingest<P, M: Metric<P>>(
         &mut self,
         points: &[P],
         first: usize,
         metric: &M,
     ) -> IngestDelta {
+        self.ingest_from(points, first, metric)
+    }
+
+    /// Inserts points `first..points.num_points()` in order by the
+    /// first-fit rule, sealing the batch as one cover-set chunk.
+    /// `first` must equal the number of points already inserted (the
+    /// store is append-only). The source is any [`PointAccess`] — a
+    /// flat slice or a chunked store — and the insertion order, the
+    /// evaluated distances, and therefore the resulting net are
+    /// **identical** whichever source supplies the same points.
+    ///
+    /// Inherently sequential — each insertion's owner scan depends on
+    /// the centers created so far — exactly like streaming pass 1; the
+    /// result is independent of any batching of the same sequence.
+    pub fn ingest_from<P, A, M>(&mut self, points: &A, first: usize, metric: &M) -> IngestDelta
+    where
+        A: PointAccess<P> + ?Sized,
+        M: Metric<P>,
+    {
         assert_eq!(first, self.assignment.len(), "points are append-only");
         let prev_centers = self.centers.len();
         // Backfill first-center anchors for centers adopted via
         // `from_net` (one evaluation per seeded center, once).
         for c in self.center_to_first.len()..self.centers.len() {
-            self.center_to_first
-                .push(metric.distance(&points[self.centers[0]], &points[self.centers[c]]));
+            self.center_to_first.push(
+                metric.distance(points.point(self.centers[0]), points.point(self.centers[c])),
+            );
         }
-        let mut batch_assign: Vec<u32> = Vec::with_capacity(points.len() - first);
-        for (i, p) in points.iter().enumerate().skip(first) {
+        let total = points.num_points();
+        let mut batch_assign: Vec<u32> = Vec::with_capacity(total - first);
+        for i in first..total {
+            let p = points.point(i);
             // First-fit: the first center within r̄ owns p (streaming
             // pass-1 rule; deterministic — centers are scanned in
             // creation order). The one evaluation `d₀ = dis(p, c₀)` is
@@ -148,7 +223,7 @@ impl IncrementalNet {
             let mut owner: Option<(u32, f64)> = None;
             let mut d0 = 0.0f64;
             if !self.centers.is_empty() {
-                d0 = metric.distance(&points[self.centers[0]], p);
+                d0 = metric.distance(points.point(self.centers[0]), p);
                 if d0 <= self.rbar {
                     owner = Some((0, d0));
                 } else {
@@ -156,7 +231,7 @@ impl IncrementalNet {
                         if (d0 - self.center_to_first[c]).abs() > self.rbar {
                             continue;
                         }
-                        if let Some(d) = metric.distance_leq(&points[ci], p, self.rbar) {
+                        if let Some(d) = metric.distance_leq(points.point(ci), p, self.rbar) {
                             owner = Some((c as u32, d));
                             break;
                         }
@@ -181,7 +256,7 @@ impl IncrementalNet {
                         .centers
                         .iter()
                         .enumerate()
-                        .map(|(c, &ci)| (c as u32, metric.distance(&points[ci], p)))
+                        .map(|(c, &ci)| (c as u32, metric.distance(points.point(ci), p)))
                         .min_by(|a, b| a.1.total_cmp(&b.1))
                         .expect("max_centers >= 1 guarantees a center");
                     (pos, d)

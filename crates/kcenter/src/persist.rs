@@ -1,0 +1,186 @@
+//! Byte codecs for the net and the center adjacency — the two
+//! Algorithm-1 products every solver consumes. Decoding re-checks the
+//! structural invariants (aligned array lengths, in-range positions) as
+//! typed format errors so a corrupt artifact can never masquerade as a
+//! valid net.
+
+use crate::adjacency::CenterAdjacency;
+use crate::radius_guided::RadiusGuidedNet;
+use mdbscan_metric::PruneStats;
+use mdbscan_parallel::Csr;
+use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
+
+impl RadiusGuidedNet {
+    /// Appends the full net: `r̄` (exact bits), centers, per-point
+    /// assignment, the exact `dis(p, c_p)` anchors, the flat cover
+    /// sets, and the covering flag.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.put_f64(self.rbar);
+        out.put_usizes(&self.centers);
+        out.put_u32s(&self.assignment);
+        out.put_f64s(&self.dist_to_center);
+        self.cover_sets.encode(out);
+        out.put_bool(self.covered);
+    }
+
+    /// Reads a net written by [`RadiusGuidedNet::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let rbar = r.get_f64()?;
+        let centers = r.get_usizes()?;
+        let assignment = r.get_u32s()?;
+        let dist_to_center = r.get_f64s()?;
+        let cover_sets = Csr::decode(r)?;
+        let covered = r.get_bool()?;
+        if !(rbar.is_finite() && rbar > 0.0) {
+            return Err(r.err(format!("net radius {rbar} not positive and finite")));
+        }
+        if dist_to_center.len() != assignment.len() {
+            return Err(r.err(format!(
+                "{} anchor distances for {} assigned points",
+                dist_to_center.len(),
+                assignment.len()
+            )));
+        }
+        if cover_sets.num_rows() != centers.len() || cover_sets.total_len() != assignment.len() {
+            return Err(r.err("cover sets do not partition the assigned points"));
+        }
+        if let Some(&bad) = assignment
+            .iter()
+            .find(|&&a| a as usize >= centers.len().max(1))
+        {
+            return Err(r.err(format!(
+                "assignment references center {bad} of {}",
+                centers.len()
+            )));
+        }
+        Ok(RadiusGuidedNet {
+            rbar,
+            centers,
+            assignment,
+            dist_to_center,
+            cover_sets,
+            covered,
+        })
+    }
+}
+
+impl CenterAdjacency {
+    /// Appends the neighbor rows, the per-edge lower/upper distance
+    /// bounds, the threshold, and the build-time pruning ledger.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        self.neighbors.encode(out);
+        out.put_f64s(&self.lbounds);
+        out.put_f64s(&self.ubounds);
+        out.put_f64(self.threshold);
+        self.pruning.encode(out);
+    }
+
+    /// Reads an adjacency written by [`CenterAdjacency::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let neighbors = Csr::decode(r)?;
+        let lbounds = r.get_f64s()?;
+        let ubounds = r.get_f64s()?;
+        let threshold = r.get_f64()?;
+        let pruning = PruneStats::decode(r)?;
+        if lbounds.len() != neighbors.total_len() || ubounds.len() != neighbors.total_len() {
+            return Err(r.err(format!(
+                "{} lower / {} upper bounds for {} adjacency edges",
+                lbounds.len(),
+                ubounds.len(),
+                neighbors.total_len()
+            )));
+        }
+        // Self-consistency: rows and values both index center
+        // positions, so every stored neighbor must name an existing row
+        // — otherwise the first query walking the row would panic.
+        let rows = neighbors.num_rows();
+        if let Some(&bad) = neighbors.values().iter().find(|&&v| v as usize >= rows) {
+            return Err(r.err(format!(
+                "adjacency references center position {bad} of {rows}"
+            )));
+        }
+        Ok(CenterAdjacency {
+            neighbors,
+            lbounds,
+            ubounds,
+            threshold,
+            pruning,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    fn pts() -> Vec<Vec<f64>> {
+        (0..90)
+            .map(|i| vec![(i % 13) as f64 * 0.8, (i % 7) as f64 * 1.1])
+            .collect()
+    }
+
+    #[test]
+    fn net_round_trips_bit_exactly() {
+        let points = pts();
+        let net = RadiusGuidedNet::build(&points, &Euclidean, 1.5);
+        let mut w = ByteWriter::new();
+        net.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("net", &bytes);
+        let back = RadiusGuidedNet::decode(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back.rbar.to_bits(), net.rbar.to_bits());
+        assert_eq!(back.centers, net.centers);
+        assert_eq!(back.assignment, net.assignment);
+        assert_eq!(
+            back.dist_to_center
+                .iter()
+                .map(|d| d.to_bits())
+                .collect::<Vec<_>>(),
+            net.dist_to_center
+                .iter()
+                .map(|d| d.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(back.cover_sets, net.cover_sets);
+        assert_eq!(back.covered, net.covered);
+    }
+
+    #[test]
+    fn adjacency_round_trips_with_bounds() {
+        let points = pts();
+        let net = RadiusGuidedNet::build(&points, &Euclidean, 1.5);
+        let adj = net.neighbor_adjacency(&points, &Euclidean, 4.0);
+        let mut w = ByteWriter::new();
+        adj.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("adjacency", &bytes);
+        let back = CenterAdjacency::decode(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back.neighbors, adj.neighbors);
+        assert_eq!(back.lbounds, adj.lbounds);
+        assert_eq!(back.ubounds, adj.ubounds);
+        assert_eq!(back.threshold, adj.threshold);
+        assert_eq!(back.pruning, adj.pruning);
+    }
+
+    #[test]
+    fn misaligned_sections_fail_typed() {
+        let points = pts();
+        let net = RadiusGuidedNet::build(&points, &Euclidean, 1.5);
+        let mut w = ByteWriter::new();
+        w.put_f64(net.rbar);
+        w.put_usizes(&net.centers);
+        w.put_u32s(&net.assignment);
+        w.put_f64s(&net.dist_to_center[..3]); // wrong length
+        net.cover_sets.encode(&mut w);
+        w.put_bool(true);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("net", &bytes);
+        assert!(matches!(
+            RadiusGuidedNet::decode(&mut r),
+            Err(PersistError::Format { .. })
+        ));
+    }
+}

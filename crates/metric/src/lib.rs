@@ -69,6 +69,7 @@ mod dataset;
 mod doubling;
 mod error;
 mod metric;
+mod persist;
 mod prune;
 mod sparse;
 mod string;
@@ -81,6 +82,7 @@ pub use dataset::{validate_vectors, Dataset};
 pub use doubling::{estimate_doubling_dimension, DoublingEstimate};
 pub use error::MetricError;
 pub use metric::{FnMetric, Metric};
+pub use persist::{MetricTag, PersistPoint};
 pub use prune::{PruneStats, PruningConfig};
 pub use sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
 pub use string::{Hamming, Levenshtein};

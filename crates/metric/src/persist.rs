@@ -1,0 +1,290 @@
+//! Point and metric identity for on-disk artifacts: the
+//! [`PersistPoint`] point codec and the [`MetricTag`] name recorded in
+//! every artifact header.
+//!
+//! The engine's on-disk format (see the `mdbscan_persist` crate docs)
+//! stores the *points* verbatim — they are the one input the net's
+//! recorded `dis(p, c_p)` anchors refer to — but never the metric: a
+//! metric is code, so the loader passes it back in and the header only
+//! records a **tag** to reject obviously mismatched loads (a Euclidean
+//! artifact opened as Levenshtein must fail typed, not cluster
+//! garbage).
+
+use crate::block::VectorBlock;
+use crate::counting::CountingMetric;
+use crate::sparse::{SparseAngular, SparseEuclidean, SparseJaccard};
+use crate::string::{Hamming, Levenshtein};
+use crate::vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};
+use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
+
+/// A point type the engine can persist: a stable type tag for the
+/// artifact header plus a byte codec for the point payload.
+///
+/// The decode must reproduce the encoded point **exactly** — the loaded
+/// engine's determinism contract (bit-identical labels, bit-identical
+/// evaluation counts) rides on every stored coordinate and character
+/// surviving the round trip bit-for-bit. The provided impls cover the
+/// workspace's point families:
+///
+/// | type | tag | payload |
+/// |---|---|---|
+/// | `Vec<f64>` | `vec-f64` | `u64` dim + IEEE-754 bits |
+/// | `Vec<f32>` | `vec-f32` | `u64` dim + `f32` bits |
+/// | `String` | `string` | `u32` byte len + UTF-8 |
+/// | `u32` | `u32` | the id (a [`VectorBlock`] row) |
+///
+/// [`VectorBlock`] workloads persist their row *ids* (the engine's
+/// points are `u32` row indices); the block itself is the metric and is
+/// passed back at load time, like every other metric.
+pub trait PersistPoint: Sized {
+    /// Stable tag recorded in the artifact header; a load whose `P` has
+    /// a different tag fails with a typed format error.
+    const TYPE_TAG: &'static str;
+
+    /// Appends this point's payload to `out`.
+    fn encode_point(&self, out: &mut ByteWriter);
+
+    /// Reads one point payload back.
+    fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError>;
+}
+
+impl PersistPoint for Vec<f64> {
+    const TYPE_TAG: &'static str = "vec-f64";
+
+    fn encode_point(&self, out: &mut ByteWriter) {
+        out.put_f64s(self);
+    }
+
+    fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        r.get_f64s()
+    }
+}
+
+impl PersistPoint for Vec<f32> {
+    const TYPE_TAG: &'static str = "vec-f32";
+
+    fn encode_point(&self, out: &mut ByteWriter) {
+        out.put_usize(self.len());
+        for &v in self {
+            out.put_u32(v.to_bits());
+        }
+    }
+
+    fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let bits = r.get_u32s()?;
+        Ok(bits.into_iter().map(f32::from_bits).collect())
+    }
+}
+
+impl PersistPoint for String {
+    const TYPE_TAG: &'static str = "string";
+
+    fn encode_point(&self, out: &mut ByteWriter) {
+        out.put_str(self);
+    }
+
+    fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        r.get_str()
+    }
+}
+
+/// [`VectorBlock`] row ids: the block rows themselves live in the
+/// metric, so the persisted point is just the index.
+impl PersistPoint for u32 {
+    const TYPE_TAG: &'static str = "u32";
+
+    fn encode_point(&self, out: &mut ByteWriter) {
+        out.put_u32(*self);
+    }
+
+    fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        r.get_u32()
+    }
+}
+
+/// The stable metric name recorded in artifact headers.
+///
+/// Tags identify the metric *family*, not its parameters: a
+/// [`Minkowski`] artifact records `"minkowski"` whatever its exponent,
+/// and a [`VectorBlock`] records its scalar width but not its rows —
+/// handing a differently-parameterized (or differently-populated)
+/// metric to the loader is the caller's responsibility, exactly as it
+/// is for every query against a live engine. Wrappers that do not
+/// change distances are transparent: [`CountingMetric<M>`] reports
+/// `M`'s tag, so an artifact saved through a counting wrapper loads
+/// under the bare metric and vice versa.
+///
+/// Custom metrics opt in with one line:
+///
+/// ```
+/// use mdbscan_metric::{Metric, MetricTag};
+///
+/// struct Discrete;
+/// impl Metric<u8> for Discrete {
+///     fn distance(&self, a: &u8, b: &u8) -> f64 {
+///         f64::from(a != b)
+///     }
+/// }
+/// impl MetricTag for Discrete {
+///     const METRIC_TAG: &'static str = "discrete";
+/// }
+/// assert_eq!(Discrete::METRIC_TAG, "discrete");
+/// ```
+pub trait MetricTag {
+    /// Stable name recorded in the artifact header; a load whose metric
+    /// has a different tag fails with a typed format error.
+    const METRIC_TAG: &'static str;
+}
+
+impl MetricTag for Euclidean {
+    const METRIC_TAG: &'static str = "euclidean";
+}
+
+impl MetricTag for Manhattan {
+    const METRIC_TAG: &'static str = "manhattan";
+}
+
+impl MetricTag for Chebyshev {
+    const METRIC_TAG: &'static str = "chebyshev";
+}
+
+impl MetricTag for Minkowski {
+    const METRIC_TAG: &'static str = "minkowski";
+}
+
+impl MetricTag for Angular {
+    const METRIC_TAG: &'static str = "angular";
+}
+
+impl MetricTag for Levenshtein {
+    const METRIC_TAG: &'static str = "levenshtein";
+}
+
+impl MetricTag for Hamming {
+    const METRIC_TAG: &'static str = "hamming";
+}
+
+impl MetricTag for SparseEuclidean {
+    const METRIC_TAG: &'static str = "sparse-euclidean";
+}
+
+impl MetricTag for SparseAngular {
+    const METRIC_TAG: &'static str = "sparse-angular";
+}
+
+impl MetricTag for SparseJaccard {
+    const METRIC_TAG: &'static str = "sparse-jaccard";
+}
+
+impl MetricTag for VectorBlock<f64> {
+    const METRIC_TAG: &'static str = "vector-block-f64";
+}
+
+impl MetricTag for VectorBlock<f32> {
+    const METRIC_TAG: &'static str = "vector-block-f32";
+}
+
+/// Counting is observational: the wrapped metric's identity is the
+/// artifact's identity.
+impl<M: MetricTag> MetricTag for CountingMetric<M> {
+    const METRIC_TAG: &'static str = M::METRIC_TAG;
+}
+
+impl<M: MetricTag> MetricTag for &M {
+    const METRIC_TAG: &'static str = M::METRIC_TAG;
+}
+
+impl crate::prune::PruneStats {
+    /// Appends the four counters.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.put_u64(self.bound_accepts);
+        out.put_u64(self.bound_rejects);
+        out.put_u64(self.probe_rejects);
+        out.put_u64(self.anchor_evals);
+    }
+
+    /// Reads counters written by [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            bound_accepts: r.get_u64()?,
+            bound_rejects: r.get_u64()?,
+            probe_rejects: r.get_u64()?,
+            anchor_evals: r.get_u64()?,
+        })
+    }
+}
+
+impl crate::prune::PruningConfig {
+    /// Appends the policy knobs.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.put_bool(self.enabled);
+        out.put_usize(self.min_anchor_group);
+    }
+
+    /// Reads a policy written by [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            enabled: r.get_bool()?,
+            min_anchor_group: r.get_usize()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::{PruneStats, PruningConfig};
+
+    #[test]
+    fn point_codecs_round_trip() {
+        let mut w = ByteWriter::new();
+        vec![1.5f64, -0.0, f64::MAX].encode_point(&mut w);
+        vec![0.5f32, -3.25].encode_point(&mut w);
+        "héllo".to_owned().encode_point(&mut w);
+        7u32.encode_point(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("points", &bytes);
+        let v64 = Vec::<f64>::decode_point(&mut r).unwrap();
+        assert_eq!(v64.len(), 3);
+        assert_eq!(v64[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(v64[2], f64::MAX);
+        assert_eq!(Vec::<f32>::decode_point(&mut r).unwrap(), vec![0.5, -3.25]);
+        assert_eq!(String::decode_point(&mut r).unwrap(), "héllo");
+        assert_eq!(u32::decode_point(&mut r).unwrap(), 7);
+        assert!(r.finished());
+    }
+
+    #[test]
+    fn tags_distinguish_families_and_see_through_counting() {
+        assert_ne!(Euclidean::METRIC_TAG, Levenshtein::METRIC_TAG);
+        assert_eq!(
+            <CountingMetric<Euclidean>>::METRIC_TAG,
+            Euclidean::METRIC_TAG
+        );
+        assert_eq!(<&Euclidean>::METRIC_TAG, Euclidean::METRIC_TAG);
+        assert_ne!(
+            <VectorBlock<f32>>::METRIC_TAG,
+            <VectorBlock<f64>>::METRIC_TAG
+        );
+    }
+
+    #[test]
+    fn prune_codecs_round_trip() {
+        let stats = PruneStats {
+            bound_accepts: 10,
+            bound_rejects: 20,
+            probe_rejects: 5,
+            anchor_evals: 3,
+        };
+        let cfg = PruningConfig::off();
+        let mut w = ByteWriter::new();
+        stats.encode(&mut w);
+        cfg.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("prune", &bytes);
+        assert_eq!(PruneStats::decode(&mut r).unwrap(), stats);
+        let back = PruningConfig::decode(&mut r).unwrap();
+        assert_eq!(back.enabled, cfg.enabled);
+        assert_eq!(back.min_anchor_group, cfg.min_anchor_group);
+    }
+}

@@ -73,6 +73,12 @@ impl ChunkedCsr {
         self.chunks.len()
     }
 
+    /// The sealed chunks, in append order (read-only; the persistence
+    /// codec serializes them verbatim).
+    pub fn chunks(&self) -> &[Csr] {
+        &self.chunks
+    }
+
     /// Total stored values across all chunks.
     pub fn total_len(&self) -> usize {
         self.chunks.iter().map(Csr::total_len).sum()

@@ -36,6 +36,7 @@ mod chunked;
 mod config;
 mod csr;
 mod executors;
+mod persist;
 mod sweeps;
 
 pub use chunked::ChunkedCsr;

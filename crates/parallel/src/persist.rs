@@ -1,0 +1,121 @@
+//! Byte codecs for the flat and chunked CSR containers — the storage
+//! layer every persisted net, adjacency, and fragment partition rides
+//! on. Layouts follow the `mdbscan_persist` conventions (little-endian,
+//! length-prefixed slices); validation re-establishes the structural
+//! invariants `Csr::from_parts` asserts, but as typed format errors
+//! instead of panics.
+
+use crate::chunked::ChunkedCsr;
+use crate::csr::Csr;
+use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
+
+impl Csr {
+    /// Appends offsets + values.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.put_usizes(self.offsets());
+        out.put_u32s(self.values());
+    }
+
+    /// Reads a container written by [`Csr::encode`], validating the
+    /// offset invariants (starts at 0, non-decreasing, ends at the
+    /// value count).
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let offsets = r.get_usizes()?;
+        let values = r.get_u32s()?;
+        if offsets.first() != Some(&0) {
+            return Err(r.err("csr offsets must start with 0"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(r.err("csr offsets must be non-decreasing"));
+        }
+        if *offsets.last().expect("checked non-empty") != values.len() {
+            return Err(r.err(format!(
+                "csr offsets end at {} but {} values are stored",
+                offsets.last().expect("checked non-empty"),
+                values.len()
+            )));
+        }
+        Ok(Csr::from_parts(offsets, values))
+    }
+}
+
+impl ChunkedCsr {
+    /// Appends the logical row count plus every sealed chunk.
+    pub fn encode(&self, out: &mut ByteWriter) {
+        out.put_usize(self.num_rows());
+        out.put_usize(self.chunks().len());
+        for chunk in self.chunks() {
+            chunk.encode(out);
+        }
+    }
+
+    /// Reads a container written by [`ChunkedCsr::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let num_rows = r.get_usize()?;
+        let num_chunks = r.get_usize()?;
+        let mut out = ChunkedCsr::new();
+        out.grow_rows(num_rows);
+        for _ in 0..num_chunks {
+            let chunk = Csr::decode(r)?;
+            if chunk.num_rows() > num_rows {
+                return Err(r.err(format!(
+                    "chunk has {} rows, container only {num_rows}",
+                    chunk.num_rows()
+                )));
+            }
+            out.append_chunk(chunk);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_csr(csr: &Csr) -> Csr {
+        let mut w = ByteWriter::new();
+        csr.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("csr", &bytes);
+        let back = Csr::decode(&mut r).unwrap();
+        assert!(r.finished());
+        back
+    }
+
+    #[test]
+    fn csr_round_trips() {
+        let csr = Csr::from_rows(vec![vec![1u32, 2], vec![], vec![9, 10, 11]]);
+        assert_eq!(round_trip_csr(&csr), csr);
+        assert_eq!(round_trip_csr(&Csr::new()), Csr::new());
+    }
+
+    #[test]
+    fn corrupt_offsets_are_typed_errors() {
+        let mut w = ByteWriter::new();
+        w.put_usizes(&[0, 5]); // claims 5 values
+        w.put_u32s(&[1, 2]); // stores 2
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("csr", &bytes);
+        assert!(matches!(
+            Csr::decode(&mut r),
+            Err(PersistError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn chunked_round_trips_with_flatten_equality() {
+        let mut c = ChunkedCsr::from_csr(Csr::from_rows(vec![vec![0u32, 1], vec![2]]));
+        c.grow_rows(3);
+        c.append_chunk(Csr::from_rows(vec![vec![3u32], vec![], vec![4, 5]]));
+        let mut w = ByteWriter::new();
+        c.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("chunked", &bytes);
+        let back = ChunkedCsr::decode(&mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back.num_rows(), c.num_rows());
+        assert_eq!(back.num_chunks(), c.num_chunks());
+        assert_eq!(back.flatten(), c.flatten());
+    }
+}

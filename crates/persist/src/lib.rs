@@ -1,0 +1,132 @@
+//! On-disk persistence format for the metric-dbscan engine (PR 5).
+//!
+//! The paper's whole economy is the separation of the expensive
+//! one-time structures — the Algorithm-1 `r̄`-net with its `dis(p, c_p)`
+//! anchors and the §3.2 cover tree — from the cheap per-`(ε, MinPts)`
+//! queries they serve. This crate makes those structures a first-class
+//! **artifact**: a versioned, checksummed, little-endian binary file
+//! that round-trips the full engine state with **zero distance
+//! evaluations on load**, so a restarted (or replicated) process never
+//! re-pays the `t_dis` build bill.
+//!
+//! This crate owns only the *byte-level* format: framing, header,
+//! checksums, and the typed error every failure maps to. The codecs for
+//! the actual structures live with the crates that own them (private
+//! fields stay private):
+//!
+//! * `mdbscan_parallel` — `Csr` / `ChunkedCsr`;
+//! * `mdbscan_covertree` — `CoverTreeSkeleton`;
+//! * `mdbscan_kcenter` — `RadiusGuidedNet`, `CenterAdjacency`;
+//! * `mdbscan_metric` — the `PersistPoint` point codec and the
+//!   `MetricTag` identity recorded in the header;
+//! * `mdbscan_core` — the engine sections and the public
+//!   `MetricDbscan::save` / `MetricDbscan::load` entry points.
+//!
+//! # File layout (format version 1)
+//!
+//! All integers and floats are **little-endian**; `f64` is stored as
+//! its IEEE-754 bit pattern (`to_bits`), which is what makes a loaded
+//! engine answer *bit-identically* — no text round-trip ever touches a
+//! distance or a radius.
+//!
+//! ```text
+//! magic           8 bytes   b"MDBSCAN\0"
+//! version         u32       1
+//! artifact kind   u8        0 = full engine, 1 = read-only snapshot
+//! point tag       str       e.g. "vec-f64" (PersistPoint::TYPE_TAG)
+//! metric tag      str       e.g. "euclidean" (MetricTag::metric_tag)
+//! section count   u32
+//! header crc      u32       CRC-32/IEEE over every header byte above
+//! then, per section, in order:
+//!   name          str
+//!   payload len   u64
+//!   section crc   u32       CRC-32/IEEE of the frame (name + payload
+//!                           len) and the payload — a corrupted name
+//!                           or length fails typed instead of silently
+//!                           dropping an optional section
+//!   payload       [u8]
+//! ```
+//!
+//! `str` is a `u32` byte length followed by UTF-8 bytes. Sections are
+//! looked up **by name**, so a reader skips sections it does not know —
+//! additive extensions need no version bump. A snapshot artifact is
+//! simply an engine artifact without the cache/writer sections.
+//!
+//! # Versioning policy
+//!
+//! * The version is bumped only for *incompatible* layout changes
+//!   (reordered or re-typed fields inside an existing section). Readers
+//!   reject any version greater than the one they were built for.
+//! * New state travels in **new named sections**; old readers ignore
+//!   them, new readers treat their absence as "engine saved before the
+//!   feature existed".
+//! * `tests/fixtures/golden_v1.mdb` pins version 1: CI loads it and
+//!   asserts labels, so a change that breaks old files cannot land
+//!   silently.
+//!
+//! # Integrity
+//!
+//! Every failure is typed, never garbage clusters: a missing file or
+//! I/O error is [`PersistError::Io`]; a bad magic, an unsupported
+//! version, a tag mismatch, a truncated file, or a checksum mismatch is
+//! [`PersistError::Format`] naming the section that failed.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod artifact;
+mod bytes;
+mod crc32;
+
+pub use artifact::{read_file, ArtifactKind, ArtifactReader, ArtifactWriter, FORMAT_VERSION};
+pub use bytes::{ByteReader, ByteWriter};
+pub use crc32::{crc32, Crc32};
+
+use std::fmt;
+
+/// A persistence failure: every load error is one of these two, so
+/// corrupt, truncated, or mismatched artifacts fail loudly and typed
+/// instead of producing garbage clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The underlying file operation failed (missing file, permissions,
+    /// short write). Carries the OS error rendered as text.
+    Io(String),
+    /// The bytes were read but do not describe a valid artifact:
+    /// truncation, checksum mismatch, unknown version, or a
+    /// point-type/metric tag that does not match the requested load.
+    Format {
+        /// The section (or `"header"`) where decoding failed.
+        section: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl PersistError {
+    /// Convenience constructor for a [`PersistError::Format`].
+    pub fn format(section: impl Into<String>, reason: impl Into<String>) -> Self {
+        PersistError::Format {
+            section: section.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "artifact i/o failed: {e}"),
+            PersistError::Format { section, reason } => {
+                write!(f, "invalid artifact (section `{section}`): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}

@@ -24,6 +24,10 @@
 //!   CSR storage the pipeline runs on, plus the
 //!   [`parallel::ParallelConfig`] thread knob (see `core`'s "Threading
 //!   model" docs);
+//! * [`persist`] — the versioned, checksummed on-disk artifact format
+//!   behind [`core::MetricDbscan::save`] / `load`: restart without
+//!   rebuilding, ship prebuilt indexes, fan out read replicas — loads
+//!   perform **zero** distance evaluations;
 //! * [`baselines`] — every comparator of the paper's evaluation;
 //! * [`eval`] — ARI / AMI / NMI;
 //! * [`datagen`] — deterministic synthetic workloads for all dataset
@@ -71,3 +75,4 @@ pub use mdbscan_eval as eval;
 pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
 pub use mdbscan_parallel as parallel;
+pub use mdbscan_persist as persist;

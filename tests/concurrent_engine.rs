@@ -14,7 +14,7 @@ const WORKERS: usize = 8;
 
 /// The mixed sweep each worker replays: alternating exact and approx
 /// queries across a small (ε, MinPts) grid.
-fn sweep<P: Sync, M: BatchMetric<P>>(
+fn sweep<P: Clone + Sync, M: BatchMetric<P>>(
     engine: &MetricDbscan<P, M>,
     eps_grid: &[f64],
     min_pts_grid: &[usize],
@@ -46,7 +46,7 @@ fn sweep<P: Sync, M: BatchMetric<P>>(
     out
 }
 
-fn assert_concurrent_sweeps_match<P: Sync + Send, M: BatchMetric<P>>(
+fn assert_concurrent_sweeps_match<P: Clone + Sync + Send, M: BatchMetric<P>>(
     engine: Arc<MetricDbscan<P, M>>,
     eps_grid: &[f64],
     min_pts_grid: &[usize],

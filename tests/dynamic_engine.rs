@@ -331,3 +331,56 @@ fn parallel_bcp_tests_never_exceed_sequential() {
         );
     }
 }
+
+/// Lazy epoch publication (PR 5): `ingest`/`ingest_one` defer the O(n)
+/// store/cover flatten to the first post-batch read, so point-at-a-time
+/// feeding is O(n) total in copies instead of O(n²) — with the
+/// determinism contract untouched.
+#[test]
+fn point_at_a_time_feeding_publishes_lazily_and_stays_deterministic() {
+    let points = vector_points();
+    let (seed, rest) = points.split_at(40);
+    let engine = build(seed.to_vec(), Euclidean, 0.5, 1, PruningConfig::default());
+    assert_eq!(engine.publish_count(), 0, "the build itself is epoch 0");
+
+    // Feed one point at a time; counter reads must not force flattens.
+    for (i, p) in rest.iter().enumerate() {
+        let report = engine.ingest_one(p.clone());
+        assert_eq!(report.epoch, i as u64 + 1);
+        assert_eq!(engine.epoch(), i as u64 + 1);
+        assert_eq!(engine.num_points(), seed.len() + i + 1);
+    }
+    assert_eq!(
+        engine.publish_count(),
+        0,
+        "no read happened yet, so no O(n) flatten may have been paid"
+    );
+
+    // The first real read publishes exactly once, no matter how many
+    // batches piled up...
+    let params = DbscanParams::new(1.0, 5).unwrap();
+    let lazy = engine.exact(&params).unwrap();
+    assert_eq!(engine.publish_count(), 1);
+    assert_eq!(lazy.report.epoch, rest.len() as u64);
+
+    // ...and the published state is bit-identical to a fresh
+    // radius-guided build over the full sequence (the PR-4 contract).
+    let fresh = build(points.clone(), Euclidean, 0.5, 1, PruningConfig::default());
+    assert_eq!(engine.net_arc().centers, fresh.net_arc().centers);
+    assert_eq!(
+        lazy.clustering,
+        fresh.exact(&params).unwrap().clustering,
+        "lazy publication must not change what is published"
+    );
+
+    // Repeated reads at the same epoch never republish; a later batch
+    // republishes once on its next read.
+    engine.exact(&params).unwrap();
+    assert_eq!(engine.publish_count(), 1);
+    engine.ingest(Vec::<Vec<f64>>::new());
+    assert_eq!(engine.publish_count(), 1, "empty batches publish nothing");
+    engine.ingest_one(points[0].clone());
+    assert_eq!(engine.publish_count(), 1);
+    engine.snapshot();
+    assert_eq!(engine.publish_count(), 2);
+}
