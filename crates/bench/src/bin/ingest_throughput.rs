@@ -68,7 +68,7 @@ fn main() {
     while cursor < pts.len() {
         let end = (cursor + BATCH).min(pts.len());
         let batch = pts[cursor..end].to_vec();
-        let (report, ingest_ms) = timed(|| engine.ingest(batch));
+        let (report, ingest_ms) = timed(|| engine.ingest(batch).expect("ingest failed"));
         let distance_evals = engine.metric().reset();
         epochs.push(Epoch {
             epoch: report.epoch,
@@ -125,7 +125,7 @@ fn main() {
     json.push_str("  ]\n");
     json.push_str("}\n");
     print!("{json}");
-    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    mdbscan_bench::write_json("BENCH_ingest.json", &json);
     eprintln!("wrote BENCH_ingest.json ({} epochs)", epochs.len());
 
     // Persistence: save the grown engine (fragment cache warm from the
@@ -173,6 +173,6 @@ fn main() {
     ));
     json.push_str("}\n");
     print!("{json}");
-    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    mdbscan_bench::write_json("BENCH_persist.json", &json);
     eprintln!("wrote BENCH_persist.json ({artifact_bytes} artifact bytes)");
 }

@@ -1,0 +1,334 @@
+//! Serving-tier benchmark: latency/throughput of the socket path, then
+//! a deterministic chaos phase driven by a seeded
+//! [`mdbscan_serve::FaultPlan`].
+//!
+//! Prints a TSV of per-phase figures and writes `BENCH_serving.json`
+//! (atomically) with query latency p50/p99 (ms), throughput (qps),
+//! shed counts, isolated panics, and worker resurrections.
+//!
+//! The chaos phase interleaves dropped and stalling connections,
+//! queries whose metric detonates mid-solver (PanicMetric), worker
+//! kills (test-ops CrashWorker), ingests, and checkpoint saves with
+//! plan-scheduled torn copies — then asserts the survival contract:
+//! every request got a correct reply or a typed error, post-chaos
+//! socket labels are byte-identical to direct engine calls, and
+//! `load_latest` warm-starts from the checkpoint directory.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mdbscan_bench::{row, timed, write_json, HarnessArgs};
+use mdbscan_core::{DbscanParams, MetricDbscan, PointLabel};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_metric::Euclidean;
+use mdbscan_serve::{
+    protocol, Client, ClientError, ConnFault, FaultPlan, PanicMetric, RetryPolicy, SaveFault,
+    ServeConfig, Server, Solver,
+};
+
+const EPS: f64 = 1.5;
+const MIN_PTS: usize = 5;
+const RHO: f64 = 1.0;
+const RBAR: f64 = 0.5;
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn labels_key(labels: &[PointLabel]) -> Vec<(u8, u32)> {
+    labels
+        .iter()
+        .map(|l| match l {
+            PointLabel::Noise => (0u8, 0u32),
+            PointLabel::Core(c) => (1, *c),
+            PointLabel::Border(c) => (2, *c),
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.sized(600);
+    let dataset = blobs(
+        &BlobSpec {
+            n,
+            dim: 8,
+            ..BlobSpec::default()
+        },
+        args.seed,
+    );
+    let (metric, switch) = PanicMetric::new(Euclidean);
+    let all_points: Vec<Vec<f64>> = dataset.points().to_vec();
+    let (initial, reserve) = all_points.split_at(all_points.len() * 3 / 4);
+    let engine = Arc::new(
+        MetricDbscan::builder(initial.to_vec(), metric)
+            .rbar(RBAR)
+            .build()
+            .expect("engine build"),
+    );
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("mdbscan_serving_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 2,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_millis(250),
+            retry_after_ms: 5,
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            test_ops: true,
+        },
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+    let mut client = Client::<Vec<f64>>::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(30),
+            timeout: Duration::from_secs(2),
+            seed: args.seed,
+        },
+    );
+
+    row!(
+        "phase",
+        "requests",
+        "p50_ms",
+        "p99_ms",
+        "qps",
+        "shed",
+        "panics",
+        "respawned"
+    );
+
+    // ---- clean phase: latency/throughput over rotating solvers ----
+    let solvers = [
+        Solver::Exact,
+        Solver::Approx(RHO),
+        Solver::CoverTree,
+        Solver::Streaming(RHO),
+    ];
+    let queries = args.sized(60);
+    let mut lat = Vec::with_capacity(queries);
+    let t0 = Instant::now();
+    for i in 0..queries {
+        let solver = solvers[i % solvers.len()];
+        let (reply, ms) = timed(|| client.query(solver, EPS, MIN_PTS).expect("clean query"));
+        assert_eq!(reply.labels.len(), engine.num_points());
+        lat.push(ms);
+    }
+    let clean_secs = t0.elapsed().as_secs_f64();
+    lat.sort_by(f64::total_cmp);
+    let (clean_p50, clean_p99) = (quantile(&lat, 0.50), quantile(&lat, 0.99));
+    let clean_qps = queries as f64 / clean_secs.max(1e-9);
+    row!(
+        "clean",
+        queries,
+        format!("{clean_p50:.3}"),
+        format!("{clean_p99:.3}"),
+        format!("{clean_qps:.1}"),
+        0,
+        0,
+        0
+    );
+
+    // Socket labels must be byte-identical to the in-process solver.
+    let params = DbscanParams::new(EPS, MIN_PTS).unwrap();
+    let direct = engine.snapshot().exact(&params).unwrap();
+    let wire = client.query(Solver::Exact, EPS, MIN_PTS).unwrap();
+    assert_eq!(
+        labels_key(wire.labels.as_slice()),
+        labels_key(direct.clustering.labels()),
+        "socket labels diverged from direct engine call"
+    );
+
+    // ---- overload probe: saturate both workers, burst past the queue ----
+    let stallers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // Connect and send nothing: occupies a worker for one
+                // read deadline, no longer.
+                let s = TcpStream::connect(addr);
+                std::thread::sleep(Duration::from_millis(200));
+                drop(s);
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30)); // let workers pick the stallers up
+                                                   // Open the whole burst before reading any reply: with both workers
+                                                   // pinned, 2 connections fit the queue and the rest must shed.
+    let mut burst: Vec<TcpStream> = (0..8)
+        .filter_map(|_| TcpStream::connect(addr).ok())
+        .collect();
+    let mut shed_seen = 0u64;
+    for s in &mut burst {
+        let _ = s.set_read_timeout(Some(Duration::from_millis(400)));
+        let _ = protocol::write_frame(s, &protocol::Request::<Vec<f64>>::Stats.encode());
+        if let Ok(Some(payload)) = protocol::read_frame(s) {
+            if matches!(
+                protocol::Response::decode(&payload),
+                Ok(protocol::Response::Overloaded { .. })
+            ) {
+                shed_seen += 1;
+            }
+        }
+    }
+    drop(burst);
+    for h in stallers {
+        let _ = h.join();
+    }
+    assert!(shed_seen > 0, "overload burst produced no typed sheds");
+
+    // ---- chaos phase: seeded faults, every reply correct or typed ----
+    let mut plan = FaultPlan::new(args.seed);
+    let rounds = args.sized(40);
+    let mut reserve_iter = reserve.chunks(8).cycle();
+    let mut chaos_lat = Vec::with_capacity(rounds);
+    let mut typed_errors = 0u64;
+    let mut crash_rounds = 0u64;
+    let t1 = Instant::now();
+    for round in 0..rounds {
+        match plan.next_conn_fault() {
+            ConnFault::None => {}
+            ConnFault::Drop => {
+                if let Ok(mut s) = TcpStream::connect(addr) {
+                    let _ = s.write_all(&[0xDE, 0xAD]); // torn frame header
+                }
+            }
+            ConnFault::Stall(d) => {
+                std::thread::spawn(move || {
+                    let s = TcpStream::connect(addr);
+                    std::thread::sleep(d);
+                    drop(s);
+                });
+            }
+        }
+        if round % 7 == 3 {
+            // Deliberate worker kill; the supervisor must respawn.
+            let _ = client.crash_worker();
+            crash_rounds += 1;
+        }
+        if let Some(after) = plan.next_query_panic() {
+            switch.arm(after);
+        }
+        let solver = solvers[round % solvers.len()];
+        let (outcome, ms) = timed(|| client.query(solver, EPS, MIN_PTS));
+        switch.disarm();
+        chaos_lat.push(ms);
+        match outcome {
+            Ok(reply) => assert_eq!(reply.labels.len(), engine.num_points()),
+            // The armed metric panicked server-side (isolated) or the
+            // burst shed us — both are typed, both are the contract.
+            Err(ClientError::Internal(_))
+            | Err(ClientError::Overloaded { .. })
+            | Err(ClientError::Io(_)) => typed_errors += 1,
+            Err(other) => panic!("chaos round {round}: untyped failure {other}"),
+        }
+        if round % 5 == 2 {
+            let batch = reserve_iter.next().unwrap().to_vec();
+            client.ingest(batch).expect("chaos ingest");
+        }
+        if round % 6 == 4 {
+            let seq = client.save_checkpoint().expect("chaos save");
+            let path = mdbscan_persist::checkpoint_path(&ckpt_dir, seq);
+            let bytes = std::fs::read(&path).expect("read fresh checkpoint");
+            if let SaveFault::TornAt(_) = plan.next_save_fault(bytes.len()) {
+                // Simulate external corruption of the *newest*
+                // checkpoint: truncate it at a plan-chosen byte.
+                let cut = plan.torn_offset(bytes.len());
+                std::fs::write(&path, &bytes[..cut]).expect("tear checkpoint");
+            }
+        }
+    }
+    let chaos_secs = t1.elapsed().as_secs_f64();
+    chaos_lat.sort_by(f64::total_cmp);
+    let (chaos_p50, chaos_p99) = (quantile(&chaos_lat, 0.50), quantile(&chaos_lat, 0.99));
+    let chaos_qps = rounds as f64 / chaos_secs.max(1e-9);
+
+    // ---- post-chaos verification ----
+    // 1. Socket still serves, byte-identical to the engine.
+    let direct = engine.snapshot().exact(&params).unwrap();
+    let wire = client
+        .query(Solver::Exact, EPS, MIN_PTS)
+        .expect("post-chaos query");
+    assert_eq!(
+        labels_key(wire.labels.as_slice()),
+        labels_key(direct.clustering.labels()),
+        "post-chaos socket labels diverged"
+    );
+    // 2. The (possibly torn) checkpoint directory still warm-starts.
+    let (restored, seq) = MetricDbscan::<Vec<f64>, Euclidean>::load_latest(&ckpt_dir, Euclidean)
+        .expect("load_latest");
+    let restored_run = restored.snapshot().exact(&params).unwrap();
+    assert_eq!(
+        restored_run.clustering.num_clusters() > 0,
+        direct.clustering.num_clusters() > 0,
+        "restored checkpoint {seq} answers nonsense"
+    );
+
+    let stats = server.stats();
+    assert!(stats.panics > 0, "chaos armed no panics — plan drifted?");
+    assert!(
+        crash_rounds == 0 || stats.workers_respawned > 0,
+        "workers were killed but never resurrected"
+    );
+    row!(
+        "chaos",
+        rounds,
+        format!("{chaos_p50:.3}"),
+        format!("{chaos_p99:.3}"),
+        format!("{chaos_qps:.1}"),
+        stats.shed,
+        stats.panics,
+        stats.workers_respawned
+    );
+
+    let shed_rate = stats.shed as f64 / (stats.served + stats.shed).max(1) as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serving\",\n",
+            "  \"n\": {},\n",
+            "  \"clean\": {{\"queries\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"qps\": {:.2}}},\n",
+            "  \"chaos\": {{\"rounds\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"qps\": {:.2}, \"typed_errors\": {}}},\n",
+            "  \"shed\": {},\n",
+            "  \"shed_rate\": {:.4},\n",
+            "  \"panics_isolated\": {},\n",
+            "  \"workers_respawned\": {},\n",
+            "  \"served\": {}\n",
+            "}}\n"
+        ),
+        n,
+        queries,
+        clean_p50,
+        clean_p99,
+        clean_qps,
+        rounds,
+        chaos_p50,
+        chaos_p99,
+        chaos_qps,
+        typed_errors,
+        stats.shed,
+        shed_rate,
+        stats.panics,
+        stats.workers_respawned,
+        stats.served,
+    );
+    write_json("BENCH_serving.json", &json);
+    eprintln!("wrote BENCH_serving.json (shed {shed_seen} in burst, {typed_errors} typed errors in chaos)");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

@@ -256,7 +256,7 @@ fn write_distance_evals_baseline(pts: &[Vec<f64>], n: usize) {
     }
     json.push_str("  ]\n");
     json.push_str("}\n");
-    std::fs::write("BENCH_distance_evals.json", &json).expect("write BENCH_distance_evals.json");
+    mdbscan_bench::write_json("BENCH_distance_evals.json", &json);
     eprintln!(
         "wrote BENCH_distance_evals.json ({} solver rows)",
         rows.len()

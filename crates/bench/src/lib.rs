@@ -71,6 +71,16 @@ impl HarnessArgs {
     }
 }
 
+/// Writes a `BENCH_*.json` artifact crash-consistently (atomic
+/// temp-file + rename via `mdbscan_persist::write_atomic`), so a
+/// bench killed mid-write can never leave a torn JSON for the CI
+/// smoke-parser to choke on. Panics with a readable message on I/O
+/// failure, like the bare `fs::write` it replaces.
+pub fn write_json(path: &str, json: &str) {
+    mdbscan_persist::write_atomic(path, json.as_bytes())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
 /// Runs `f` and returns `(result, milliseconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t = Instant::now();

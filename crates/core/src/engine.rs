@@ -679,7 +679,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
 ///
 /// // Ingest 100 more grid points while the engine stays queryable.
 /// let more: Vec<Vec<f64>> = (100..200).map(|i| vec![(i % 20) as f64, (i / 20) as f64]).collect();
-/// let report = engine.ingest(more.clone());
+/// let report = engine.ingest(more.clone()).unwrap();
 /// assert_eq!(report.epoch, 1);
 /// let after = engine.exact(&params).unwrap();
 ///
@@ -734,8 +734,55 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         }
     }
 
+    /// Cache-mutex access with poison **recovery**. Every cache
+    /// operation leaves its collections structurally valid even when
+    /// interrupted by a panic (they are plain `Vec`/`VecDeque` edits of
+    /// `Arc` payloads), and every cached artifact is a pure function of
+    /// its key — so the worst a poisoned cache can carry is a missed
+    /// hit or an extra entry, never a wrong answer. Recovering via
+    /// `into_inner` is therefore sound, and one panicked query cannot
+    /// cascade into panics on every later query.
+    pub(crate) fn cache_lock(&self) -> std::sync::MutexGuard<'_, EngineCache> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Published-state read with poison recovery: the `RwLock` only
+    /// ever holds a complete `Arc<EpochState>` (writers assign a
+    /// fully-built value), so the stored state is valid even if some
+    /// holder panicked — `into_inner` recovery is sound.
+    pub(crate) fn state_read(&self) -> Arc<EpochState<P>> {
+        Arc::clone(
+            &self
+                .current
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    fn state_write(&self) -> std::sync::RwLockWriteGuard<'_, Arc<EpochState<P>>> {
+        self.current
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Writer-mutex access. Poisoning here is **not** recoverable: a
+    /// panic mid-[`MetricDbscan::ingest`] (typically a panicking user
+    /// metric) can leave the chunked store and the incremental net out
+    /// of sync, so the pending batches are quarantined. Fallible
+    /// callers surface [`DbscanError::Poisoned`]; pure read paths fall
+    /// back to the last published epoch, which is always consistent.
+    pub(crate) fn writer_lock(
+        &self,
+    ) -> Result<std::sync::MutexGuard<'_, Option<IngestState<P>>>, DbscanError> {
+        self.writer
+            .lock()
+            .map_err(|_| DbscanError::Poisoned("ingest writer"))
+    }
+
     pub(crate) fn state(&self) -> Arc<EpochState<P>> {
-        let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+        let state = self.state_read();
         if self.pending_epoch.load(Ordering::Acquire) == state.epoch {
             return state;
         }
@@ -750,15 +797,20 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// copies instead of O(n²).
     #[cold]
     fn publish_pending(&self) -> Arc<EpochState<P>> {
-        let writer = self.writer.lock().expect("engine writer poisoned");
-        self.publish_locked(&writer)
+        match self.writer_lock() {
+            Ok(writer) => self.publish_locked(&writer),
+            // A poisoned writer quarantines its pending batches (see
+            // [`DbscanError::Poisoned`]); readers keep serving the last
+            // published epoch, which is always consistent.
+            Err(_) => self.state_read(),
+        }
     }
 
     /// As [`MetricDbscan::state`], for callers that already hold the
     /// writer lock (the persistence path, which must serialize a frozen
     /// writer alongside the published state).
     pub(crate) fn publish_locked(&self, writer: &Option<IngestState<P>>) -> Arc<EpochState<P>> {
-        let current = Arc::clone(&self.current.read().expect("engine state poisoned"));
+        let current = self.state_read();
         let Some(live) = writer.as_ref() else {
             return current;
         };
@@ -770,7 +822,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             points: live.store.flatten(),
             net: Arc::new(live.net.to_net()),
         });
-        *self.current.write().expect("engine state poisoned") = Arc::clone(&state);
+        *self.state_write() = Arc::clone(&state);
         self.publishes.fetch_add(1, Ordering::Relaxed);
         state
     }
@@ -793,17 +845,16 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Total points at the current epoch (pending batches included;
-    /// never forces a publication).
+    /// never forces a publication). When the writer was poisoned by a
+    /// panicked ingest, the count of the last published epoch is
+    /// reported — the pending batches are quarantined.
     pub fn num_points(&self) -> usize {
-        let writer = self.writer.lock().expect("engine writer poisoned");
-        match writer.as_ref() {
-            Some(live) => live.store.len(),
-            None => self
-                .current
-                .read()
-                .expect("engine state poisoned")
-                .points
-                .len(),
+        match self.writer.lock() {
+            Ok(writer) => match writer.as_ref() {
+                Some(live) => live.store.len(),
+                None => self.state_read().points.len(),
+            },
+            Err(_) => self.state_read().points.len(),
         }
     }
 
@@ -837,18 +888,16 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Number of net centers `|E|` at the current epoch (pending
-    /// batches included; never forces a publication).
+    /// batches included; never forces a publication). As with
+    /// [`MetricDbscan::num_points`], a poisoned writer falls back to
+    /// the last published epoch.
     pub fn num_centers(&self) -> usize {
-        let writer = self.writer.lock().expect("engine writer poisoned");
-        match writer.as_ref() {
-            Some(live) => live.net.num_centers(),
-            None => self
-                .current
-                .read()
-                .expect("engine state poisoned")
-                .net
-                .centers
-                .len(),
+        match self.writer.lock() {
+            Ok(writer) => match writer.as_ref() {
+                Some(live) => live.net.num_centers(),
+                None => self.state_read().net.centers.len(),
+            },
+            Err(_) => self.state_read().net.centers.len(),
         }
     }
 
@@ -864,7 +913,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
 
     /// Snapshot of the cache counters and occupancy.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().expect("engine cache poisoned");
+        let cache = self.cache_lock();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -880,18 +929,14 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Approximate heap bytes held by the fragment cache (diagnostic,
     /// for capacity tuning).
     pub fn cache_heap_bytes(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("engine cache poisoned")
-            .fragments
-            .heap_bytes()
+        self.cache_lock().fragments.heap_bytes()
     }
 
     /// Drops every cached artifact (fragment/summary entries, cached
     /// adjacencies, and the whole-input cover trees). Counters and the
     /// ingest delta history are preserved.
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        let mut cache = self.cache_lock();
         cache.fragments.entries.clear();
         cache.adjacency.entries.clear();
         cache.covertree.entries.clear();
@@ -941,7 +986,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
 
 impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Ingests one point; see [`MetricDbscan::ingest`].
-    pub fn ingest_one(&self, point: P) -> IngestReport {
+    pub fn ingest_one(&self, point: P) -> Result<IngestReport, DbscanError> {
         self.ingest(std::iter::once(point))
     }
 
@@ -970,11 +1015,18 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// sequence, for any batch split (the module-level determinism
     /// contract) — lazy publication changes *when* the snapshot is
     /// materialized, never what it contains.
-    pub fn ingest(&self, points: impl IntoIterator<Item = P>) -> IngestReport {
+    ///
+    /// # Errors
+    ///
+    /// [`DbscanError::Poisoned`] when an earlier ingest panicked
+    /// mid-mutation (a panicking user metric, typically): the writer
+    /// state can no longer be trusted, so further mutation is refused.
+    /// Queries keep serving the last published epoch.
+    pub fn ingest(&self, points: impl IntoIterator<Item = P>) -> Result<IngestReport, DbscanError> {
         let batch: Vec<P> = points.into_iter().collect();
-        let mut writer = self.writer.lock().expect("engine writer poisoned");
+        let mut writer = self.writer_lock()?;
         if batch.is_empty() {
-            return match writer.as_ref() {
+            return Ok(match writer.as_ref() {
                 Some(live) => IngestReport {
                     epoch: live.epoch,
                     added_points: 0,
@@ -985,7 +1037,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
                     covered: live.net.covered(),
                 },
                 None => {
-                    let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+                    let state = self.state_read();
                     IngestReport {
                         epoch: state.epoch,
                         added_points: 0,
@@ -996,12 +1048,12 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
                         covered: state.net.covered,
                     }
                 }
-            };
+            });
         }
         let live = writer.get_or_insert_with(|| {
             // Writer was never initialized, so nothing is pending and
             // `current` is exactly the engine's latest state.
-            let state = Arc::clone(&self.current.read().expect("engine state poisoned"));
+            let state = self.state_read();
             IngestState {
                 store: ChunkedStore::from_initial(Arc::clone(&state.points)),
                 net: IncrementalNet::from_net(&state.net, self.max_centers),
@@ -1014,7 +1066,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         live.epoch += 1;
         let epoch = live.epoch;
         {
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            let mut cache = self.cache_lock();
             cache.deltas.push_back(EpochDelta {
                 epoch,
                 old_num_points: first,
@@ -1025,7 +1077,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             }
         }
         self.pending_epoch.store(epoch, Ordering::Release);
-        IngestReport {
+        Ok(IngestReport {
             epoch,
             added_points: delta.added_points,
             new_centers: delta.new_centers,
@@ -1033,7 +1085,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             num_points: live.store.len(),
             num_centers: live.net.num_centers(),
             covered: live.net.covered(),
-        }
+        })
     }
 
     /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
@@ -1149,7 +1201,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         };
         let engine = self.engine;
         let (found, base) = {
-            let mut cache = engine.cache.lock().expect("engine cache poisoned");
+            let mut cache = engine.cache_lock();
             match cache.adjacency.promote(&key).map(Arc::clone) {
                 Some(adj) => (Some(adj), None),
                 None if kind == NetKind::Gonzalez => {
@@ -1201,9 +1253,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
 
     fn store_adjacency(&self, key: AdjKey, adjacency: &Arc<CenterAdjacency>) {
         self.engine
-            .cache
-            .lock()
-            .expect("engine cache poisoned")
+            .cache_lock()
             .adjacency
             .insert(key, Arc::clone(adjacency));
     }
@@ -1234,7 +1284,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         // ingest deltas separating them from this epoch.
         let mut upgrade_base: Option<(Arc<StepArtifacts>, Vec<u32>)> = None;
         let cached: Option<Arc<StepArtifacts>> = if cacheable {
-            let mut cache = engine.cache.lock().expect("engine cache poisoned");
+            let mut cache = engine.cache_lock();
             let found = cache.fragments.get_steps(&key);
             if found.is_none() && kind == NetKind::Gonzalez {
                 if let Some((from, art)) = cache.fragments.best_steps_base(&key) {
@@ -1278,9 +1328,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         if cacheable {
             if let Some(artifacts) = outcome.fresh_artifacts {
                 engine
-                    .cache
-                    .lock()
-                    .expect("engine cache poisoned")
+                    .cache_lock()
                     .fragments
                     .insert(key, CachedArtifacts::Steps(Arc::new(artifacts)));
             }
@@ -1336,12 +1384,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             rho_bits: Some(params.rho().to_bits()),
         };
         let cached: Option<Arc<ApproxArtifacts>> = {
-            let found = engine
-                .cache
-                .lock()
-                .expect("engine cache poisoned")
-                .fragments
-                .get_approx(&key);
+            let found = engine.cache_lock().fragments.get_approx(&key);
             engine.count_lookup(found.is_some());
             found
         };
@@ -1372,9 +1415,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         }
         if let Some(artifacts) = outcome.fresh_artifacts {
             engine
-                .cache
-                .lock()
-                .expect("engine cache poisoned")
+                .cache_lock()
                 .fragments
                 .insert(key, CachedArtifacts::Approx(Arc::new(artifacts)));
         }
@@ -1423,7 +1464,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         let t = Instant::now();
         let (skeleton, tree_hit) = {
             let (cached, base) = {
-                let mut cache = engine.cache.lock().expect("engine cache poisoned");
+                let mut cache = engine.cache_lock();
                 match cache.covertree.promote(&self.state.epoch).map(Arc::clone) {
                     Some(s) => (Some(s), None),
                     None => {
@@ -1471,7 +1512,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
                             Arc::new(tree.into_skeleton())
                         }
                     };
-                    let mut cache = engine.cache.lock().expect("engine cache poisoned");
+                    let mut cache = engine.cache_lock();
                     let kept = match cache.covertree.promote(&self.state.epoch) {
                         Some(existing) => Arc::clone(existing),
                         None => {
@@ -1753,13 +1794,16 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(dynamic.epoch(), 0);
-        assert_eq!(dynamic.ingest(Vec::<Vec<f64>>::new()).added_points, 0);
+        assert_eq!(
+            dynamic.ingest(Vec::<Vec<f64>>::new()).unwrap().added_points,
+            0
+        );
         assert_eq!(dynamic.epoch(), 0, "empty batch publishes nothing");
-        let report = dynamic.ingest(rest[..40].to_vec());
+        let report = dynamic.ingest(rest[..40].to_vec()).unwrap();
         assert_eq!((report.epoch, report.added_points), (1, 40));
-        let report = dynamic.ingest_one(rest[40].clone());
+        let report = dynamic.ingest_one(rest[40].clone()).unwrap();
         assert_eq!((report.epoch, report.added_points), (2, 1));
-        dynamic.ingest(rest[41..].to_vec());
+        dynamic.ingest(rest[41..].to_vec()).unwrap();
         assert_eq!(dynamic.epoch(), 3);
         assert_eq!(dynamic.num_points(), pts.len());
 
@@ -1790,7 +1834,7 @@ mod tests {
         let before = snap0.exact(&params).unwrap();
         assert!(!before.report.cache_hit);
 
-        e.ingest(rest.to_vec());
+        e.ingest(rest.to_vec()).unwrap();
         // The pinned snapshot still answers from epoch 0, as a cache hit.
         let again = snap0.exact(&params).unwrap();
         assert_eq!(again.report.epoch, 0);

@@ -48,6 +48,14 @@ pub enum DbscanError {
     /// The index was built with `max_centers` truncation and does not cover
     /// the data, so DBSCAN answers would be wrong.
     IndexNotCovering,
+    /// A panic poisoned the engine's writer state mid-mutation (e.g. a
+    /// user metric panicked inside [`crate::MetricDbscan::ingest`]),
+    /// so the pending (unpublished) batches cannot be trusted. Queries
+    /// keep serving the last **published** epoch — which is always
+    /// consistent — but mutations and saves fail with this variant
+    /// rather than risking a half-netted point set. Carries a short
+    /// description of the poisoned component.
+    Poisoned(&'static str),
     /// Reading or writing a persisted engine artifact failed at the
     /// file level (missing file, permissions, short write). Carries the
     /// OS error rendered as text.
@@ -97,6 +105,12 @@ impl fmt::Display for DbscanError {
                     "index was truncated by max_centers and does not cover the data"
                 )
             }
+            DbscanError::Poisoned(what) => write!(
+                f,
+                "engine {what} was poisoned by a panic mid-mutation; pending \
+                 ingests are quarantined (queries keep serving the last \
+                 published epoch) — rebuild or reload the engine to ingest again"
+            ),
             DbscanError::Io(e) => write!(f, "engine artifact i/o failed: {e}"),
             DbscanError::Format { section, reason } => {
                 write!(f, "invalid engine artifact (section `{section}`): {reason}")
@@ -156,6 +170,9 @@ mod tests {
         assert!(DbscanError::IndexNotCovering
             .to_string()
             .contains("max_centers"));
+        assert!(DbscanError::Poisoned("writer")
+            .to_string()
+            .contains("writer"));
         assert!(DbscanError::Io("no such file".into())
             .to_string()
             .contains("no such file"));

@@ -39,7 +39,8 @@ use mdbscan_kcenter::{CenterAdjacency, IncrementalNet, RadiusGuidedNet};
 use mdbscan_metric::{BatchMetric, MetricTag, PersistPoint, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
 use mdbscan_persist::{
-    read_file, ArtifactKind, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, PersistError,
+    checkpoint_path, list_checkpoints, next_checkpoint_seq, read_file, ArtifactKind,
+    ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, PersistError,
 };
 
 use crate::approx::ApproxArtifacts;
@@ -360,19 +361,43 @@ where
     /// labels, evaluation counts, and cache-hit behavior for every
     /// solver, and post-load ingests that continue the radius-guided
     /// determinism contract as if the process never died.
+    ///
+    /// The write itself is crash-consistent (temp file + `sync_all` +
+    /// atomic rename): a crash mid-save leaves `path` holding either
+    /// the previous complete artifact or the new one, never a torn
+    /// prefix. A poisoned writer (an earlier ingest panicked
+    /// mid-mutation) fails with [`DbscanError::Poisoned`] — a save must
+    /// never persist quarantined state.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
-        self.to_artifact()
+        self.to_artifact()?
             .write_file(path)
             .map_err(DbscanError::from)
     }
 
+    /// Saves the engine as the next numbered checkpoint in `dir`
+    /// (`ckpt-<seq:016x>.mdb`, creating `dir` if needed) and returns
+    /// the sequence number written.
+    ///
+    /// Checkpoints never overwrite each other, so
+    /// [`MetricDbscan::load_latest`] can always fall back past a
+    /// corrupt newest file to the last good one. Callers that bound
+    /// disk use delete old sequence numbers after a successful save.
+    pub fn save_checkpoint(&self, dir: impl AsRef<Path>) -> Result<u64, DbscanError> {
+        let dir = dir.as_ref();
+        let art = self.to_artifact()?;
+        std::fs::create_dir_all(dir).map_err(|e| DbscanError::Io(e.to_string()))?;
+        let seq = next_checkpoint_seq(dir)?;
+        art.write_file(checkpoint_path(dir, seq))?;
+        Ok(seq)
+    }
+
     /// Serializes the engine into an in-memory artifact; `save` is this
     /// plus one `write`.
-    fn to_artifact(&self) -> ArtifactWriter {
-        let writer = self.writer.lock().expect("engine writer poisoned");
+    fn to_artifact(&self) -> Result<ArtifactWriter, DbscanError> {
+        let writer = self.writer_lock()?;
         let state = self.publish_locked(&writer);
         let mut w = ArtifactWriter::new(ArtifactKind::Engine, P::TYPE_TAG, M::METRIC_TAG);
-        let cache = self.cache.lock().expect("engine cache poisoned");
+        let cache = self.cache_lock();
         EngineSection {
             rbar: self.rbar,
             max_centers: self.max_centers,
@@ -438,7 +463,7 @@ where
             s.put_u64(*epoch);
             skeleton.encode(s);
         }
-        w
+        Ok(w)
     }
 
     /// Loads an engine (or a read-only snapshot — see
@@ -461,7 +486,51 @@ where
         Self::from_artifact_bytes(&bytes, metric)
     }
 
+    /// Loads the newest **readable** checkpoint from a
+    /// [`MetricDbscan::save_checkpoint`] directory, walking the
+    /// `ckpt-<seq:016x>.mdb` sequence newest-first and falling back
+    /// past any unreadable, torn, or corrupt file to the last good one.
+    ///
+    /// This is the crash-recovery entry point: because checkpoint saves
+    /// are atomic *and* numbered, external corruption (or a torn copy)
+    /// of the newest artifact degrades the warm start by one checkpoint
+    /// instead of preventing it. Returns the loaded engine and the
+    /// sequence number it came from. Fails only when `dir` holds no
+    /// checkpoint at all ([`DbscanError::Io`]) or every checkpoint is
+    /// bad (the newest file's error, so the most recent corruption is
+    /// what gets reported).
+    pub fn load_latest(dir: impl AsRef<Path>, metric: M) -> Result<(Self, u64), DbscanError> {
+        let checkpoints = list_checkpoints(dir.as_ref())?;
+        if checkpoints.is_empty() {
+            return Err(DbscanError::Io(format!(
+                "no checkpoints (ckpt-*.mdb) in {}",
+                dir.as_ref().display()
+            )));
+        }
+        let mut newest_err = None;
+        for (seq, path) in checkpoints.iter().rev() {
+            let decoded = read_file(path)
+                .map_err(DbscanError::from)
+                .and_then(|bytes| Self::decode_artifact_bytes(&bytes));
+            match decoded {
+                Ok(parts) => return Ok((Self::assemble(parts, metric), *seq)),
+                Err(e) => {
+                    let _ = newest_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(newest_err.expect("non-empty checkpoint list with no Ok"))
+    }
+
     fn from_artifact_bytes(bytes: &[u8], metric: M) -> Result<Self, DbscanError> {
+        Ok(Self::assemble(Self::decode_artifact_bytes(bytes)?, metric))
+    }
+
+    /// Decodes and validates an artifact without needing the metric
+    /// *value* (only its tag) — so [`MetricDbscan::load_latest`] can
+    /// probe candidate checkpoints without consuming the caller's
+    /// metric on every failed attempt.
+    fn decode_artifact_bytes(bytes: &[u8]) -> Result<DecodedEngine<P>, DbscanError> {
         let art = ArtifactReader::from_bytes(bytes)?;
         if art.point_tag() != P::TYPE_TAG {
             return Err(PersistError::format(
@@ -675,7 +744,32 @@ where
             covertree.entries.truncate(cfg.tree_capacity);
         }
 
-        Ok(MetricDbscan {
+        Ok(DecodedEngine {
+            cfg,
+            points,
+            net,
+            writer,
+            deltas,
+            adjacency,
+            fragments,
+            covertree,
+        })
+    }
+
+    /// Attaches `metric` to decoded parts; pure construction, no I/O
+    /// and no distance evaluations.
+    fn assemble(parts: DecodedEngine<P>, metric: M) -> Self {
+        let DecodedEngine {
+            cfg,
+            points,
+            net,
+            writer,
+            deltas,
+            adjacency,
+            fragments,
+            covertree,
+        } = parts;
+        MetricDbscan {
             metric,
             rbar: cfg.rbar,
             parallel: ParallelConfig::default(),
@@ -701,8 +795,23 @@ where
             upgrade_count: AtomicU64::new(cfg.upgrades),
             adj_hits: AtomicU64::new(cfg.adj_hits),
             adj_misses: AtomicU64::new(cfg.adj_misses),
-        })
+        }
     }
+}
+
+/// Everything an artifact decodes to except the metric itself: the
+/// halfway house between bytes and a running engine that lets
+/// [`MetricDbscan::load_latest`] try several checkpoint files with one
+/// (non-`Clone`) metric value.
+struct DecodedEngine<P> {
+    cfg: EngineSection,
+    points: Arc<[P]>,
+    net: Arc<RadiusGuidedNet>,
+    writer: Option<IngestState<P>>,
+    deltas: VecDeque<EpochDelta>,
+    adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
+    fragments: Lru<CacheKey, CachedArtifacts>,
+    covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
 }
 
 impl<'e, P, M> EngineSnapshot<'e, P, M>
@@ -720,7 +829,7 @@ where
         let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
         let engine = self.engine;
         let (frag_capacity, adj_capacity, tree_capacity) = {
-            let cache = engine.cache.lock().expect("engine cache poisoned");
+            let cache = engine.cache_lock();
             (
                 cache.fragments.capacity,
                 cache.adjacency.capacity,

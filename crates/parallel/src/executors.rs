@@ -3,9 +3,38 @@
 //! All splitting is into contiguous chunks in index order and all
 //! per-chunk results are combined in chunk order, so every function here
 //! returns bit-identical output for any thread count.
+//!
+//! # Panic propagation
+//!
+//! A worker closure that panics (a user metric, typically) does not
+//! abort the process or surface as a secondary "worker panicked"
+//! panic: every sibling worker is joined first, then the *original*
+//! payload is re-raised on the calling thread via
+//! [`std::panic::resume_unwind`]. Callers that isolate faults (e.g. a
+//! serving tier wrapping queries in `catch_unwind`) therefore see the
+//! real payload, once, with no worker thread still running.
 
+use std::any::Any;
 use std::ops::Range;
 use std::thread;
+
+/// Joins every handle in order, collecting results; if any worker
+/// panicked, the first payload (in chunk order) is kept and re-raised
+/// only after ALL handles are joined.
+fn join_all<R>(handles: Vec<thread::ScopedJoinHandle<'_, R>>, out: &mut Vec<R>) {
+    let mut payload: Option<Box<dyn Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(r) => out.push(r),
+            Err(p) => {
+                let _ = payload.get_or_insert(p);
+            }
+        }
+    }
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+}
 
 /// Splits `0..n` into at most `parts` contiguous ranges of nearly equal
 /// length (the first `n % parts` ranges get one extra element). Empty
@@ -86,9 +115,7 @@ where
     let mut out: Vec<R> = Vec::with_capacity(ranges.len());
     thread::scope(|s| {
         let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| f(r))).collect();
-        for h in handles {
-            out.push(h.join().expect("parallel range worker panicked"));
-        }
+        join_all(handles, &mut out);
     });
     out
 }
@@ -111,9 +138,7 @@ where
             .into_iter()
             .map(|r| s.spawn(|| r.map(&f).collect::<Vec<R>>()))
             .collect();
-        for h in handles {
-            chunks.push(h.join().expect("parallel map worker panicked"));
-        }
+        join_all(handles, &mut chunks);
     });
     let mut out = Vec::with_capacity(n);
     for c in chunks {
@@ -176,6 +201,28 @@ mod tests {
 
         let out = par_map_ranges(ranges, |r| r.len());
         assert_eq!(out.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn worker_panic_resurfaces_with_its_payload_after_all_join() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let finished = AtomicUsize::new(0);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            par_map_range(8, 8, 1, |i| {
+                if i == 3 {
+                    panic!("metric exploded on {i}");
+                }
+                finished.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }))
+        .unwrap_err();
+        // The original payload, not a secondary join().expect message.
+        let msg = payload.downcast_ref::<String>().expect("String payload");
+        assert!(msg.contains("metric exploded on 3"), "got: {msg}");
+        // Every sibling worker ran to completion before the re-raise.
+        assert_eq!(finished.load(Ordering::SeqCst), 7);
     }
 
     #[test]

@@ -105,9 +105,13 @@ impl ArtifactWriter {
         out
     }
 
-    /// Serializes and writes the artifact to `path` (create/truncate).
+    /// Serializes and writes the artifact to `path` crash-consistently
+    /// (temp file + `sync_all` + atomic rename — see
+    /// [`crate::write_atomic`]): after a crash at any point, `path`
+    /// holds either the previous complete artifact or the new one,
+    /// never a torn prefix.
     pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.to_bytes()).map_err(PersistError::from)
+        crate::write_atomic(path, &self.to_bytes())
     }
 }
 

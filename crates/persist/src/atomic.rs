@@ -1,0 +1,202 @@
+//! Crash-consistent file writes and the numbered-checkpoint directory
+//! layout `load_latest`-style recovery walks.
+//!
+//! # Atomic writes
+//!
+//! A bare `std::fs::write` over an existing artifact is a torn-write
+//! machine: a crash (or `kill -9`) between the truncate and the last
+//! byte leaves a file that *exists* but fails its checksums — and the
+//! previous good artifact is already gone. [`write_atomic`] closes that
+//! window with the classic sequence:
+//!
+//! 1. write the full payload to a fresh temp file **in the same
+//!    directory** (same filesystem, so the rename below is atomic);
+//! 2. `sync_all` the temp file, so the bytes are durable before the
+//!    name flip;
+//! 3. atomically `rename` it over the destination;
+//! 4. best-effort `sync` the directory, so the rename itself survives
+//!    power loss.
+//!
+//! At every instant the destination path holds either the complete old
+//! bytes or the complete new bytes — never a prefix.
+//!
+//! # Checkpoint directories
+//!
+//! A serving process that saves periodically should never overwrite its
+//! only artifact in place: even an atomic write can persist a *logically*
+//! bad state (e.g. an artifact saved mid-incident). The checkpoint
+//! helpers give saves a monotone sequence number —
+//! `ckpt-<seq, 16 hex digits>.mdb` — so the newest artifact is simply
+//! the lexicographically largest name, and a loader can fall back past
+//! a corrupt newest file to the last good one
+//! (`mdbscan_core::MetricDbscan::load_latest`).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::PersistError;
+
+/// Filename prefix of numbered checkpoint artifacts.
+const CKPT_PREFIX: &str = "ckpt-";
+/// Filename suffix of numbered checkpoint artifacts.
+const CKPT_SUFFIX: &str = ".mdb";
+
+/// Writes `bytes` to `path` crash-consistently: temp file in the same
+/// directory → `sync_all` → atomic `rename` → directory sync. After a
+/// crash at any point, `path` holds either its previous complete
+/// contents or the new complete contents, never a torn prefix.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Io(format!("{} has no file name", path.display())))?;
+    // Unique per process: concurrent savers in one process serialize on
+    // the engine's writer lock; across processes the pid disambiguates.
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write_tmp = || -> std::io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    };
+    if let Err(e) = write_tmp() {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // The rename is in the page cache until the directory itself is
+    // synced; failures here are ignored (some filesystems reject
+    // directory fsync) — the data file is already durable.
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// The path of checkpoint number `seq` inside `dir`
+/// (`dir/ckpt-<seq:016x>.mdb`; zero-padded hex so lexicographic order
+/// is numeric order).
+pub fn checkpoint_path(dir: impl AsRef<Path>, seq: u64) -> PathBuf {
+    dir.as_ref()
+        .join(format!("{CKPT_PREFIX}{seq:016x}{CKPT_SUFFIX}"))
+}
+
+/// Parses a checkpoint file name back to its sequence number, or `None`
+/// for any other file.
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix(CKPT_PREFIX)?.strip_suffix(CKPT_SUFFIX)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Every checkpoint in `dir`, sorted ascending by sequence number.
+/// Files that do not match the `ckpt-<seq:016x>.mdb` pattern (temp
+/// files, foreign artifacts) are ignored. A missing directory is an
+/// empty list, not an error — a cold replica starts with no checkpoints.
+pub fn list_checkpoints(dir: impl AsRef<Path>) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let dir = dir.as_ref();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(out)
+}
+
+/// The sequence number the next checkpoint in `dir` should use (one
+/// past the largest present; 0 for an empty or missing directory).
+pub fn next_checkpoint_seq(dir: impl AsRef<Path>) -> Result<u64, PersistError> {
+    Ok(list_checkpoints(dir)?
+        .last()
+        .map(|(seq, _)| seq + 1)
+        .unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut d = std::env::temp_dir();
+        d.push(format!("mdbscan_atomic_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let d = tmp_dir("replace");
+        let p = d.join("artifact.mdb");
+        write_atomic(&p, b"first version").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"first version");
+        write_atomic(&p, b"second").unwrap();
+        assert_eq!(fs::read(&p).unwrap(), b"second");
+        // No temp droppings left behind.
+        assert_eq!(fs::read_dir(&d).unwrap().count(), 1);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_into_missing_directory_fails_typed() {
+        let d = tmp_dir("missing");
+        let p = d.join("no-such-subdir").join("artifact.mdb");
+        assert!(matches!(
+            write_atomic(&p, b"x").unwrap_err(),
+            PersistError::Io(_)
+        ));
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_names_sort_numerically_and_ignore_strangers() {
+        let d = tmp_dir("ckpt");
+        assert_eq!(next_checkpoint_seq(&d).unwrap(), 0);
+        for seq in [2u64, 0, 10, 1] {
+            write_atomic(checkpoint_path(&d, seq), b"x").unwrap();
+        }
+        fs::write(d.join("notes.txt"), b"ignore me").unwrap();
+        fs::write(d.join("ckpt-zzz.mdb"), b"ignore me too").unwrap();
+        let listed = list_checkpoints(&d).unwrap();
+        let seqs: Vec<u64> = listed.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 10]);
+        assert_eq!(next_checkpoint_seq(&d).unwrap(), 11);
+        assert_eq!(
+            listed.last().unwrap().1.file_name().unwrap().to_str(),
+            Some("ckpt-000000000000000a.mdb")
+        );
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_lists_empty() {
+        let mut d = std::env::temp_dir();
+        d.push("mdbscan_atomic_never_created");
+        assert!(list_checkpoints(&d).unwrap().is_empty());
+    }
+}

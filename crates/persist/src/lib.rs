@@ -70,14 +70,31 @@
 //! I/O error is [`PersistError::Io`]; a bad magic, an unsupported
 //! version, a tag mismatch, a truncated file, or a checksum mismatch is
 //! [`PersistError::Format`] naming the section that failed.
+//!
+//! # Crash consistency
+//!
+//! Artifact writes are **atomic**: [`ArtifactWriter::write_file`] (and
+//! the lower-level [`write_atomic`]) goes through write-temp →
+//! `sync_all` → `rename`, so a crash — `kill -9` included — at any
+//! instant leaves the destination holding either the previous complete
+//! artifact or the new one, never a torn prefix. For processes that
+//! save periodically, the checkpoint helpers ([`checkpoint_path`],
+//! [`list_checkpoints`], [`next_checkpoint_seq`]) lay saves out as a
+//! numbered sequence `ckpt-<seq:016x>.mdb`, and
+//! `mdbscan_core::MetricDbscan::load_latest` walks that sequence newest
+//! first, falling back past any corrupt or torn file to the last good
+//! checkpoint — an external corruption of the newest artifact degrades
+//! a warm start, it never prevents one.
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod artifact;
+mod atomic;
 mod bytes;
 mod crc32;
 
 pub use artifact::{read_file, ArtifactKind, ArtifactReader, ArtifactWriter, FORMAT_VERSION};
+pub use atomic::{checkpoint_path, list_checkpoints, next_checkpoint_seq, write_atomic};
 pub use bytes::{ByteReader, ByteWriter};
 pub use crc32::{crc32, Crc32};
 

@@ -1,0 +1,152 @@
+//! `mdbscan-serve`: stand up a query server over a synthetic-blob (or
+//! checkpoint-restored) engine.
+//!
+//! ```text
+//! mdbscan-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//!               [--n 2000] [--dim 8] [--rbar 0.5] [--seed 42]
+//!               [--checkpoint-dir DIR] [--test-ops]
+//! ```
+//!
+//! With `--checkpoint-dir`, the engine warm-starts from the newest
+//! readable checkpoint in the directory (`load_latest`) when one
+//! exists — falling back past torn or corrupt files — and the wire
+//! `SaveCheckpoint` op writes new numbered checkpoints there.
+
+use std::sync::Arc;
+
+use mdbscan_core::MetricDbscan;
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_metric::Euclidean;
+use mdbscan_serve::{ServeConfig, Server};
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    n: usize,
+    dim: usize,
+    rbar: f64,
+    seed: u64,
+    checkpoint_dir: Option<String>,
+    test_ops: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1:7878".into(),
+        workers: ServeConfig::default().workers,
+        queue: 64,
+        n: 2000,
+        dim: 8,
+        rbar: 0.5,
+        seed: 42,
+        checkpoint_dir: None,
+        test_ops: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                out.addr.clone_from(&args[i]);
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                out.checkpoint_dir = Some(args[i].clone());
+            }
+            "--workers" => {
+                i += 1;
+                out.workers = args[i].parse().expect("--workers takes a usize");
+            }
+            "--queue" => {
+                i += 1;
+                out.queue = args[i].parse().expect("--queue takes a usize");
+            }
+            "--n" => {
+                i += 1;
+                out.n = args[i].parse().expect("--n takes a usize");
+            }
+            "--dim" => {
+                i += 1;
+                out.dim = args[i].parse().expect("--dim takes a usize");
+            }
+            "--rbar" => {
+                i += 1;
+                out.rbar = args[i].parse().expect("--rbar takes a float");
+            }
+            "--seed" => {
+                i += 1;
+                out.seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--test-ops" => out.test_ops = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --addr HOST:PORT --workers N --queue N --n N --dim N \
+                     --rbar F --seed U64 --checkpoint-dir DIR --test-ops"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let engine = match &args.checkpoint_dir {
+        Some(dir) => match MetricDbscan::<Vec<f64>, Euclidean>::load_latest(dir, Euclidean) {
+            Ok((engine, seq)) => {
+                eprintln!(
+                    "warm start: checkpoint {seq} from {dir} ({} points, epoch {})",
+                    engine.num_points(),
+                    engine.epoch()
+                );
+                engine
+            }
+            Err(e) => {
+                eprintln!("cold start ({e}); building from synthetic blobs");
+                build_fresh(&args)
+            }
+        },
+        None => build_fresh(&args),
+    };
+
+    let cfg = ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        checkpoint_dir: args.checkpoint_dir.clone().map(Into::into),
+        test_ops: args.test_ops,
+        ..ServeConfig::default()
+    };
+    let server = Server::spawn(Arc::new(engine), args.addr.as_str(), cfg)
+        .expect("failed to bind the listener");
+    // Line-oriented so harnesses can scrape the bound (possibly
+    // ephemeral) port.
+    println!("listening {}", server.local_addr());
+    // Serve until killed; the supervisor keeps the worker pool alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn build_fresh(args: &Args) -> MetricDbscan<Vec<f64>, Euclidean> {
+    let dataset = blobs(
+        &BlobSpec {
+            n: args.n,
+            dim: args.dim,
+            ..BlobSpec::default()
+        },
+        args.seed,
+    );
+    MetricDbscan::builder(dataset.points().to_vec(), Euclidean)
+        .rbar(args.rbar)
+        .build()
+        .expect("engine build failed")
+}

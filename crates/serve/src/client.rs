@@ -1,0 +1,291 @@
+//! Client library: one connection attempt per request, deterministic
+//! seeded retry with full-jitter exponential backoff.
+//!
+//! Retries fire **only** on transport errors and typed
+//! [`Response::Overloaded`] sheds — the two failure classes where the
+//! request provably did not (or may not have) run. Engine errors,
+//! panics isolated to [`Response::Internal`], and bad requests are
+//! returned immediately: retrying a deterministic failure is just load.
+//!
+//! The backoff schedule is a pure function of the [`RetryPolicy`] seed
+//! (full jitter drawn from the shim `rand::rngs::StdRng`), so a test or
+//! bench re-running with the same seed replays byte-identical sleeps —
+//! the fault-injection harness depends on that.
+
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mdbscan_metric::PersistPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{
+    read_frame, write_frame, QueryReply, Request, Response, Solver, WireIngestReport, WireStats,
+};
+
+/// Retry/backoff knobs. The defaults suit a loopback harness; raise
+/// the timeouts for a real network.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff cap doubles from this base per retry (full jitter:
+    /// each sleep is uniform in `[0, cap]`).
+    pub base_backoff: Duration,
+    /// Upper bound on any single sleep.
+    pub max_backoff: Duration,
+    /// Per-connection read/write deadline.
+    pub timeout: Duration,
+    /// Seed for the jitter stream; same seed → same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+            timeout: Duration::from_secs(5),
+            seed: 0xC11E47,
+        }
+    }
+}
+
+/// A client failure after retries are exhausted (or on a non-retryable
+/// response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure on the final attempt (connect, read, write,
+    /// or deadline).
+    Io(String),
+    /// Every attempt was shed; carries the server's last backoff hint.
+    Overloaded {
+        /// The last `retry_after_ms` hint received.
+        retry_after_ms: u32,
+    },
+    /// The engine refused the request with a typed error.
+    Engine(String),
+    /// The request panicked server-side (isolated; the server is fine).
+    Internal(String),
+    /// The server rejected the request as malformed or disabled.
+    BadRequest(String),
+    /// The server answered with bytes that do not decode, or with a
+    /// response kind that does not match the request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms}ms)")
+            }
+            ClientError::Engine(e) => write!(f, "engine error: {e}"),
+            ClientError::Internal(e) => write!(f, "server-side panic (isolated): {e}"),
+            ClientError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A typed client for one server address. Generic over the engine's
+/// point type `P` (what [`Client::ingest`] sends).
+#[derive(Debug)]
+pub struct Client<P> {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: StdRng,
+    _point: PhantomData<fn(P)>,
+}
+
+impl<P: PersistPoint> Client<P> {
+    /// A client with the default [`RetryPolicy`].
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit policy (tests pin the seed).
+    pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        let rng = StdRng::seed_from_u64(policy.seed);
+        Self {
+            addr,
+            policy,
+            rng,
+            _point: PhantomData,
+        }
+    }
+
+    /// Runs a solver; the reply's labels are byte-identical to calling
+    /// the same solver on the engine in-process at the reply's epoch.
+    pub fn query(
+        &mut self,
+        solver: Solver,
+        eps: f64,
+        min_pts: usize,
+    ) -> Result<QueryReply, ClientError> {
+        match self.call(&Request::Query {
+            solver,
+            eps,
+            min_pts,
+        })? {
+            Response::Labels(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Appends a batch of points.
+    pub fn ingest(&mut self, points: Vec<P>) -> Result<WireIngestReport, ClientError> {
+        match self.call(&Request::Ingest(points))? {
+            Response::Ingested(report) => Ok(report),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to write its next numbered checkpoint; returns
+    /// the sequence number.
+    pub fn save_checkpoint(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::SaveCheckpoint)? {
+            Response::Saved(seq) => Ok(seq),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Test ops: asks the server to kill the serving worker (no reply
+    /// ever arrives — expect [`ClientError::Io`] unless the server has
+    /// test ops disabled). Never retries.
+    pub fn crash_worker(&mut self) -> Result<Response, ClientError> {
+        self.attempt(&Request::CrashWorker)
+    }
+
+    /// One connect→send→receive round trip under the policy deadline.
+    fn attempt(&mut self, request: &Request<P>) -> Result<Response, ClientError> {
+        let io = |e: std::io::Error| ClientError::Io(e.to_string());
+        let mut stream = TcpStream::connect(self.addr).map_err(io)?;
+        stream
+            .set_read_timeout(Some(self.policy.timeout))
+            .map_err(io)?;
+        stream
+            .set_write_timeout(Some(self.policy.timeout))
+            .map_err(io)?;
+        let _ = stream.set_nodelay(true);
+        write_frame(&mut stream, &request.encode()).map_err(io)?;
+        let payload = read_frame(&mut stream)
+            .map_err(io)?
+            .ok_or_else(|| ClientError::Io("server closed before replying".into()))?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// The retry loop: transport errors and `Overloaded` sheds back
+    /// off and retry; everything else returns immediately.
+    fn call(&mut self, request: &Request<P>) -> Result<Response, ClientError> {
+        let mut last = ClientError::Io("no attempt made".into());
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                let hint = match &last {
+                    ClientError::Overloaded { retry_after_ms } => {
+                        Duration::from_millis(u64::from(*retry_after_ms))
+                    }
+                    _ => Duration::ZERO,
+                };
+                std::thread::sleep(self.backoff(attempt).max(hint));
+            }
+            match self.attempt(request) {
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    last = ClientError::Overloaded { retry_after_ms };
+                }
+                Ok(response) => return Ok(response),
+                Err(e @ ClientError::Io(_)) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// Full jitter: uniform in `[0, min(max, base·2^(attempt−1))]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let cap = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_backoff);
+        let nanos = cap.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.rng.random_range(0..=nanos))
+    }
+}
+
+fn unexpected(response: Response) -> ClientError {
+    match response {
+        Response::EngineError(e) => ClientError::Engine(e),
+        Response::Internal(e) => ClientError::Internal(e),
+        Response::BadRequest(e) => ClientError::BadRequest(e),
+        Response::Overloaded { retry_after_ms } => ClientError::Overloaded { retry_after_ms },
+        other => ClientError::Protocol(format!("response does not match request: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let policy = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let mut a = Client::<Vec<f64>>::with_policy(addr, policy.clone());
+        let mut b = Client::<Vec<f64>>::with_policy(addr, policy.clone());
+        for attempt in 1..6 {
+            let da = a.backoff(attempt);
+            assert_eq!(da, b.backoff(attempt), "attempt {attempt}");
+            assert!(da <= policy.max_backoff);
+        }
+        let mut c = Client::<Vec<f64>>::with_policy(
+            addr,
+            RetryPolicy {
+                seed: 8,
+                ..policy.clone()
+            },
+        );
+        let differs = (1..6).any(|i| {
+            Client::<Vec<f64>>::with_policy(addr, policy.clone()).backoff(i) != c.backoff(i)
+        });
+        assert!(differs, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn connecting_nowhere_is_a_typed_io_error() {
+        // Port 1 on loopback is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client = Client::<Vec<f64>>::with_policy(
+            addr,
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_micros(10),
+                max_backoff: Duration::from_micros(20),
+                ..RetryPolicy::default()
+            },
+        );
+        match client.stats() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

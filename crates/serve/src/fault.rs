@@ -1,0 +1,278 @@
+//! Deterministic fault injection: a seeded [`FaultPlan`] schedule plus
+//! the [`PanicMetric`] wrapper that detonates a metric mid-solver.
+//!
+//! Everything here is a pure function of its seed: re-running a chaos
+//! test or bench with the same seed replays the identical fault
+//! sequence — which byte of which save gets torn, which connection
+//! stalls, which query panics. That turns "the server survived chaos"
+//! from an anecdote into a reproducible assertion.
+//!
+//! The plan does not hook the I/O layer; it *decides*, and the harness
+//! applies: truncate the artifact the plan says to tear, drop the
+//! connection the plan says to drop, arm the [`PanicSwitch`] before
+//! the query the plan says should panic. Keeping the decisions out of
+//! the product code means zero fault-injection branches in the serving
+//! path itself.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mdbscan_metric::{BatchMetric, Metric, MetricTag};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What should happen to the next checkpoint save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveFault {
+    /// Let the save through untouched.
+    None,
+    /// Fail the save with an I/O error (harness: make the directory
+    /// unwritable, or skip the save and report the typed error).
+    IoError,
+    /// After the save lands, truncate the artifact to this many bytes —
+    /// simulating external corruption / a torn copy of the newest
+    /// checkpoint that `load_latest` must fall back past. (The atomic
+    /// write itself can no longer produce one.)
+    TornAt(usize),
+}
+
+/// What should happen to the next client connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Behave normally.
+    None,
+    /// Connect, send garbage or nothing, and drop mid-exchange.
+    Drop,
+    /// Connect and stall (hold the socket silently) for the duration —
+    /// must cost the server at most one read deadline.
+    Stall(Duration),
+}
+
+/// A seeded, deterministic fault schedule. Rates are percentages
+/// (0–100); draws consume the internal RNG in call order, so a plan is
+/// replayed by reconstructing it with the same seed and making the
+/// same sequence of calls.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: StdRng,
+    /// Percent of saves that fault (split evenly between
+    /// [`SaveFault::IoError`] and [`SaveFault::TornAt`]).
+    pub save_fault_pct: u32,
+    /// Percent of connections that fault (split evenly between
+    /// [`ConnFault::Drop`] and [`ConnFault::Stall`]).
+    pub conn_fault_pct: u32,
+    /// Percent of queries that run with an armed [`PanicSwitch`].
+    pub query_panic_pct: u32,
+    /// Stall duration handed out by [`ConnFault::Stall`].
+    pub stall: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with moderate default rates (20% saves, 25% connections,
+    /// 20% queries).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            save_fault_pct: 20,
+            conn_fault_pct: 25,
+            query_panic_pct: 20,
+            stall: Duration::from_millis(50),
+        }
+    }
+
+    fn roll(&mut self, pct: u32) -> bool {
+        self.rng.random_range(0u32..100) < pct.min(100)
+    }
+
+    /// Draws the fate of the next save of an artifact that will be
+    /// `artifact_len` bytes. Torn offsets land anywhere in
+    /// `1..artifact_len`, so headers, section frames, and payload
+    /// tails all get hit across a long run.
+    pub fn next_save_fault(&mut self, artifact_len: usize) -> SaveFault {
+        if !self.roll(self.save_fault_pct) {
+            return SaveFault::None;
+        }
+        if self.rng.random_range(0u32..2) == 0 || artifact_len < 2 {
+            SaveFault::IoError
+        } else {
+            SaveFault::TornAt(self.rng.random_range(1..artifact_len))
+        }
+    }
+
+    /// Draws the fate of the next client connection.
+    pub fn next_conn_fault(&mut self) -> ConnFault {
+        if !self.roll(self.conn_fault_pct) {
+            return ConnFault::None;
+        }
+        if self.rng.random_range(0u32..2) == 0 {
+            ConnFault::Drop
+        } else {
+            ConnFault::Stall(self.stall)
+        }
+    }
+
+    /// Whether the next query should run with the engine's
+    /// [`PanicSwitch`] armed, and if so after how many distance
+    /// evaluations (1–64) the metric detonates.
+    pub fn next_query_panic(&mut self) -> Option<u64> {
+        if self.roll(self.query_panic_pct) {
+            Some(self.rng.random_range(1u64..=64))
+        } else {
+            None
+        }
+    }
+
+    /// A truncation point for `len` bytes, uniform in `1..len` —
+    /// exercised directly by the torn-write recovery tests.
+    pub fn torn_offset(&mut self, len: usize) -> usize {
+        assert!(len >= 2, "nothing to tear in {len} bytes");
+        self.rng.random_range(1..len)
+    }
+}
+
+/// Arms and disarms an associated [`PanicMetric`]. Cloneable and
+/// thread-safe: the harness holds the switch, the engine holds the
+/// metric.
+#[derive(Debug, Clone)]
+pub struct PanicSwitch(Arc<AtomicI64>);
+
+const DISARMED: i64 = -1;
+
+impl PanicSwitch {
+    /// Panic after `after` more distance evaluations (1 = the very
+    /// next one).
+    pub fn arm(&self, after: u64) {
+        self.0.store(after.max(1) as i64, Ordering::SeqCst);
+    }
+
+    /// Stop the countdown; evaluations pass through again.
+    pub fn disarm(&self) {
+        self.0.store(DISARMED, Ordering::SeqCst);
+    }
+
+    /// Whether a countdown is currently running.
+    pub fn armed(&self) -> bool {
+        self.0.load(Ordering::SeqCst) > 0
+    }
+}
+
+/// A metric wrapper whose distance evaluations panic on demand: the
+/// deterministic stand-in for "the user's metric has a bug" in the
+/// fault harness. Disarmed it is a zero-overhead-ish passthrough
+/// (one atomic load per evaluation) and produces bit-identical
+/// distances.
+///
+/// The `MetricTag` delegates to the inner metric, so an engine built
+/// over `PanicMetric<Euclidean>` saves and loads artifacts
+/// interchangeably with a plain `Euclidean` engine.
+#[derive(Debug, Clone)]
+pub struct PanicMetric<M> {
+    inner: M,
+    fuse: Arc<AtomicI64>,
+}
+
+impl<M> PanicMetric<M> {
+    /// Wraps `inner`, returning the metric and its switch (disarmed).
+    pub fn new(inner: M) -> (Self, PanicSwitch) {
+        let fuse = Arc::new(AtomicI64::new(DISARMED));
+        let switch = PanicSwitch(Arc::clone(&fuse));
+        (Self { inner, fuse }, switch)
+    }
+
+    fn tick(&self) {
+        if self.fuse.load(Ordering::SeqCst) <= 0 {
+            return;
+        }
+        if self.fuse.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Disarm before detonating so the panic fires once per arm:
+            // recovery paths (worker survives, next query proceeds) stay
+            // observable instead of every later evaluation re-panicking.
+            self.fuse.store(DISARMED, Ordering::SeqCst);
+            panic!("injected metric fault (PanicMetric fuse hit zero)");
+        }
+    }
+}
+
+impl<P, M: Metric<P>> Metric<P> for PanicMetric<M> {
+    fn distance(&self, a: &P, b: &P) -> f64 {
+        self.tick();
+        self.inner.distance(a, b)
+    }
+
+    fn distance_leq(&self, a: &P, b: &P, bound: f64) -> Option<f64> {
+        self.tick();
+        self.inner.distance_leq(a, b, bound)
+    }
+
+    fn within(&self, a: &P, b: &P, bound: f64) -> bool {
+        self.tick();
+        self.inner.within(a, b, bound)
+    }
+}
+
+// Deliberately the default (per-id loop) BatchMetric: every batched
+// evaluation routes through `distance`/`distance_leq` above, so the
+// fuse counts each one. The inner metric's batched fast path is
+// bypassed — fault injection trades that speed for exact countdowns.
+impl<P, M: BatchMetric<P>> BatchMetric<P> for PanicMetric<M> {}
+
+impl<M: MetricTag> MetricTag for PanicMetric<M> {
+    const METRIC_TAG: &'static str = M::METRIC_TAG;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::Euclidean;
+
+    #[test]
+    fn plans_replay_bit_identically_per_seed() {
+        let draws = |seed: u64| {
+            let mut plan = FaultPlan::new(seed);
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                out.push((
+                    plan.next_save_fault(1000),
+                    plan.next_conn_fault(),
+                    plan.next_query_panic(),
+                ));
+            }
+            out
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+        // All fault kinds actually occur at the default rates.
+        let all = draws(42);
+        assert!(all.iter().any(|(s, _, _)| matches!(s, SaveFault::IoError)));
+        assert!(all
+            .iter()
+            .any(|(s, _, _)| matches!(s, SaveFault::TornAt(_))));
+        assert!(all.iter().any(|(_, c, _)| matches!(c, ConnFault::Drop)));
+        assert!(all.iter().any(|(_, c, _)| matches!(c, ConnFault::Stall(_))));
+        assert!(all.iter().any(|(_, _, q)| q.is_some()));
+        for (s, _, _) in &all {
+            if let SaveFault::TornAt(off) = s {
+                assert!((1..1000).contains(off));
+            }
+        }
+    }
+
+    #[test]
+    fn panic_metric_detonates_once_then_passes_through() {
+        let (metric, switch) = PanicMetric::new(Euclidean);
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(metric.distance(&a, &b), 5.0, "disarmed: passthrough");
+
+        switch.arm(3);
+        assert!(switch.armed());
+        assert_eq!(metric.distance(&a, &b), 5.0);
+        assert_eq!(metric.distance(&a, &b), 5.0);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| metric.distance(&a, &b)));
+        assert!(caught.is_err(), "third evaluation detonates");
+        assert!(!switch.armed(), "fuse disarms after detonating");
+        assert_eq!(metric.distance(&a, &b), 5.0, "recovery: passthrough again");
+    }
+}

@@ -1,0 +1,574 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! length   u32 little-endian   payload byte count (not counting these 4)
+//! payload  [u8; length]
+//! ```
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected on read before any
+//! allocation, so a corrupt or hostile length prefix cannot balloon
+//! memory. A connection carries any number of request→response frame
+//! pairs in order; either side closing the socket between frames is a
+//! clean end of conversation.
+//!
+//! # Payload encoding
+//!
+//! Payloads reuse the artifact byte codec from `mdbscan_persist`
+//! ([`ByteWriter`]/[`ByteReader`]): all integers little-endian, `f64`
+//! as IEEE-754 bits (what keeps served labels **bit-identical** to
+//! in-process calls — no text round-trip ever touches `ε` or `ρ`).
+//! The first payload byte is an opcode (requests) or a status byte
+//! (responses); the tables below are the complete protocol.
+//!
+//! ## Requests
+//!
+//! | opcode | meaning | body |
+//! |--------|---------|------|
+//! | `0x01` | Query   | solver `u8` (0 exact, 1 approx, 2 cover-tree, 3 streaming), `ε` `f64`, `MinPts` `u64`, `ρ` `f64` (read only for approx/streaming) |
+//! | `0x02` | Ingest  | count `u64`, then each point via `PersistPoint::encode_point` |
+//! | `0x03` | Save checkpoint | empty |
+//! | `0x04` | Stats   | empty |
+//! | `0xEE` | Crash worker (test ops only) | empty |
+//!
+//! ## Responses
+//!
+//! | status | meaning | body |
+//! |--------|---------|------|
+//! | `0x00` | Labels | epoch `u64`, cluster count `u64`, label count `u64`, then per label: `u8` tag (0 noise, 1 core, 2 border) + `u32` cluster id for tags 1–2 |
+//! | `0x01` | Ingested | the seven [`WireIngestReport`] fields |
+//! | `0x02` | Saved | checkpoint sequence number `u64` |
+//! | `0x03` | Stats | the [`WireStats`] fields |
+//! | `0xF0` | Overloaded | `retry_after_ms` `u32` — admission queue full, request was shed **before** any work |
+//! | `0xF1` | Engine error | display string — a typed [`mdbscan_core::DbscanError`] (bad `ε`, index too coarse, poisoned writer, …) |
+//! | `0xF2` | Internal | panic payload rendered as text — the request panicked inside the worker; the worker survived |
+//! | `0xF3` | Bad request | reason string — undecodable frame or an op the server has disabled |
+//!
+//! Unknown opcodes/statuses fail decoding typed; they are never
+//! silently skipped.
+
+use std::io::{self, Read, Write};
+
+use mdbscan_core::{IngestReport, PointLabel};
+use mdbscan_metric::PersistPoint;
+use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
+
+/// Hard ceiling on a single frame's payload, checked before allocating.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Which solver a query runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Solver {
+    /// §3.1 exact DBSCAN over the radius-guided net.
+    Exact,
+    /// Algorithm 2, ρ-approximate. Carries `ρ`.
+    Approx(f64),
+    /// §3.2 exact DBSCAN via the cover-tree net.
+    CoverTree,
+    /// Algorithm 3, 3-pass streaming. Carries `ρ`.
+    Streaming(f64),
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<P> {
+    /// Run a solver at `(ε, MinPts)` against the engine's current epoch.
+    Query {
+        /// The solver (and its `ρ`, where applicable).
+        solver: Solver,
+        /// Query radius `ε`.
+        eps: f64,
+        /// Density threshold `MinPts`.
+        min_pts: usize,
+    },
+    /// Append a batch of points (one new epoch).
+    Ingest(Vec<P>),
+    /// Write the next numbered checkpoint to the server's directory.
+    SaveCheckpoint,
+    /// Server counters.
+    Stats,
+    /// Kill this worker thread (panic outside the request guard) —
+    /// only honored when the server enables test ops; exercises the
+    /// supervisor's worker resurrection deterministically.
+    CrashWorker,
+}
+
+const OP_QUERY: u8 = 0x01;
+const OP_INGEST: u8 = 0x02;
+const OP_SAVE: u8 = 0x03;
+const OP_STATS: u8 = 0x04;
+const OP_CRASH_WORKER: u8 = 0xEE;
+
+/// [`IngestReport`] as it travels on the wire (identical fields; kept
+/// separate so the wire format never drifts silently under a core
+/// refactor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireIngestReport {
+    /// Epoch published by the batch.
+    pub epoch: u64,
+    /// Points inserted.
+    pub added_points: u64,
+    /// Centers created.
+    pub new_centers: u64,
+    /// Cover sets that gained members.
+    pub dirty_balls: u64,
+    /// Total points after the call.
+    pub num_points: u64,
+    /// Total centers after the call.
+    pub num_centers: u64,
+    /// Whether the net still covers every point.
+    pub covered: bool,
+}
+
+impl From<IngestReport> for WireIngestReport {
+    fn from(r: IngestReport) -> Self {
+        Self {
+            epoch: r.epoch,
+            added_points: r.added_points as u64,
+            new_centers: r.new_centers as u64,
+            dirty_balls: r.dirty_balls as u64,
+            num_points: r.num_points as u64,
+            num_centers: r.num_centers as u64,
+            covered: r.covered,
+        }
+    }
+}
+
+/// Server counters returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Requests answered (any status except shed).
+    pub served: u64,
+    /// Connections shed with `Overloaded` at admission.
+    pub shed: u64,
+    /// Requests that panicked and were isolated to an `Internal` reply.
+    pub panics: u64,
+    /// Worker threads the supervisor resurrected.
+    pub workers_respawned: u64,
+    /// Connections waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// The engine's current epoch.
+    pub epoch: u64,
+    /// Points in the engine.
+    pub num_points: u64,
+    /// Centers in the engine's net.
+    pub num_centers: u64,
+}
+
+/// A query answer: the epoch it was computed at plus per-point labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Epoch the labels describe.
+    pub epoch: u64,
+    /// Dense cluster count.
+    pub num_clusters: u64,
+    /// One label per point, index-aligned with the engine's point
+    /// order — byte-identical to the in-process
+    /// [`mdbscan_core::Clustering::labels`].
+    pub labels: Vec<PointLabel>,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Query succeeded.
+    Labels(QueryReply),
+    /// Ingest succeeded.
+    Ingested(WireIngestReport),
+    /// Checkpoint written; carries its sequence number.
+    Saved(u64),
+    /// Counters.
+    Stats(WireStats),
+    /// Shed at admission; retry after the given hint.
+    Overloaded {
+        /// Client backoff hint in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The engine refused the request with a typed error.
+    EngineError(String),
+    /// The request panicked; the worker caught it and survived.
+    Internal(String),
+    /// Undecodable or disabled request.
+    BadRequest(String),
+}
+
+const ST_LABELS: u8 = 0x00;
+const ST_INGESTED: u8 = 0x01;
+const ST_SAVED: u8 = 0x02;
+const ST_STATS: u8 = 0x03;
+const ST_OVERLOADED: u8 = 0xF0;
+const ST_ENGINE_ERROR: u8 = 0xF1;
+const ST_INTERNAL: u8 = 0xF2;
+const ST_BAD_REQUEST: u8 = 0xF3;
+
+impl<P: PersistPoint> Request<P> {
+    /// Serializes the request payload (no frame prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::Query {
+                solver,
+                eps,
+                min_pts,
+            } => {
+                w.put_u8(OP_QUERY);
+                let (code, rho) = match solver {
+                    Solver::Exact => (0u8, 0.0),
+                    Solver::Approx(rho) => (1, *rho),
+                    Solver::CoverTree => (2, 0.0),
+                    Solver::Streaming(rho) => (3, *rho),
+                };
+                w.put_u8(code);
+                w.put_f64(*eps);
+                w.put_u64(*min_pts as u64);
+                w.put_f64(rho);
+            }
+            Request::Ingest(points) => {
+                w.put_u8(OP_INGEST);
+                w.put_u64(points.len() as u64);
+                for p in points {
+                    p.encode_point(&mut w);
+                }
+            }
+            Request::SaveCheckpoint => w.put_u8(OP_SAVE),
+            Request::Stats => w.put_u8(OP_STATS),
+            Request::CrashWorker => w.put_u8(OP_CRASH_WORKER),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload. Any malformation — unknown opcode,
+    /// truncation, trailing bytes — is a typed [`PersistError`] the
+    /// server answers with [`Response::BadRequest`].
+    pub fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new("request", payload);
+        let op = r.get_u8()?;
+        let req = match op {
+            OP_QUERY => {
+                let code = r.get_u8()?;
+                let eps = r.get_f64()?;
+                let min_pts = r.get_u64()? as usize;
+                let rho = r.get_f64()?;
+                let solver = match code {
+                    0 => Solver::Exact,
+                    1 => Solver::Approx(rho),
+                    2 => Solver::CoverTree,
+                    3 => Solver::Streaming(rho),
+                    b => return Err(r.err(format!("unknown solver {b}"))),
+                };
+                Request::Query {
+                    solver,
+                    eps,
+                    min_pts,
+                }
+            }
+            OP_INGEST => {
+                let n = r.get_u64()? as usize;
+                let mut points = Vec::with_capacity(n.min(r.remaining() + 1));
+                for _ in 0..n {
+                    points.push(P::decode_point(&mut r)?);
+                }
+                Request::Ingest(points)
+            }
+            OP_SAVE => Request::SaveCheckpoint,
+            OP_STATS => Request::Stats,
+            OP_CRASH_WORKER => Request::CrashWorker,
+            b => return Err(r.err(format!("unknown request opcode {b:#04x}"))),
+        };
+        if !r.finished() {
+            return Err(r.err(format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(req)
+    }
+}
+
+fn encode_label(w: &mut ByteWriter, label: &PointLabel) {
+    match label {
+        PointLabel::Noise => w.put_u8(0),
+        PointLabel::Core(c) => {
+            w.put_u8(1);
+            w.put_u32(*c);
+        }
+        PointLabel::Border(c) => {
+            w.put_u8(2);
+            w.put_u32(*c);
+        }
+    }
+}
+
+fn decode_label(r: &mut ByteReader<'_>) -> Result<PointLabel, PersistError> {
+    Ok(match r.get_u8()? {
+        0 => PointLabel::Noise,
+        1 => PointLabel::Core(r.get_u32()?),
+        2 => PointLabel::Border(r.get_u32()?),
+        b => return Err(r.err(format!("unknown label tag {b}"))),
+    })
+}
+
+impl Response {
+    /// Serializes the response payload (no frame prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Labels(reply) => {
+                w.put_u8(ST_LABELS);
+                w.put_u64(reply.epoch);
+                w.put_u64(reply.num_clusters);
+                w.put_u64(reply.labels.len() as u64);
+                for label in &reply.labels {
+                    encode_label(&mut w, label);
+                }
+            }
+            Response::Ingested(rep) => {
+                w.put_u8(ST_INGESTED);
+                w.put_u64(rep.epoch);
+                w.put_u64(rep.added_points);
+                w.put_u64(rep.new_centers);
+                w.put_u64(rep.dirty_balls);
+                w.put_u64(rep.num_points);
+                w.put_u64(rep.num_centers);
+                w.put_bool(rep.covered);
+            }
+            Response::Saved(seq) => {
+                w.put_u8(ST_SAVED);
+                w.put_u64(*seq);
+            }
+            Response::Stats(s) => {
+                w.put_u8(ST_STATS);
+                w.put_u64(s.served);
+                w.put_u64(s.shed);
+                w.put_u64(s.panics);
+                w.put_u64(s.workers_respawned);
+                w.put_u64(s.queue_depth);
+                w.put_u64(s.epoch);
+                w.put_u64(s.num_points);
+                w.put_u64(s.num_centers);
+            }
+            Response::Overloaded { retry_after_ms } => {
+                w.put_u8(ST_OVERLOADED);
+                w.put_u32(*retry_after_ms);
+            }
+            Response::EngineError(msg) => {
+                w.put_u8(ST_ENGINE_ERROR);
+                w.put_str(msg);
+            }
+            Response::Internal(msg) => {
+                w.put_u8(ST_INTERNAL);
+                w.put_str(msg);
+            }
+            Response::BadRequest(msg) => {
+                w.put_u8(ST_BAD_REQUEST);
+                w.put_str(msg);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, PersistError> {
+        let mut r = ByteReader::new("response", payload);
+        let st = r.get_u8()?;
+        let resp = match st {
+            ST_LABELS => {
+                let epoch = r.get_u64()?;
+                let num_clusters = r.get_u64()?;
+                let n = r.get_u64()? as usize;
+                let mut labels = Vec::with_capacity(n.min(r.remaining() + 1));
+                for _ in 0..n {
+                    labels.push(decode_label(&mut r)?);
+                }
+                Response::Labels(QueryReply {
+                    epoch,
+                    num_clusters,
+                    labels,
+                })
+            }
+            ST_INGESTED => Response::Ingested(WireIngestReport {
+                epoch: r.get_u64()?,
+                added_points: r.get_u64()?,
+                new_centers: r.get_u64()?,
+                dirty_balls: r.get_u64()?,
+                num_points: r.get_u64()?,
+                num_centers: r.get_u64()?,
+                covered: r.get_bool()?,
+            }),
+            ST_SAVED => Response::Saved(r.get_u64()?),
+            ST_STATS => Response::Stats(WireStats {
+                served: r.get_u64()?,
+                shed: r.get_u64()?,
+                panics: r.get_u64()?,
+                workers_respawned: r.get_u64()?,
+                queue_depth: r.get_u64()?,
+                epoch: r.get_u64()?,
+                num_points: r.get_u64()?,
+                num_centers: r.get_u64()?,
+            }),
+            ST_OVERLOADED => Response::Overloaded {
+                retry_after_ms: r.get_u32()?,
+            },
+            ST_ENGINE_ERROR => Response::EngineError(r.get_str()?),
+            ST_INTERNAL => Response::Internal(r.get_str()?),
+            ST_BAD_REQUEST => Response::BadRequest(r.get_str()?),
+            b => return Err(r.err(format!("unknown response status {b:#04x}"))),
+        };
+        if !r.finished() {
+            return Err(r.err(format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one frame: `u32` little-endian payload length, then the
+/// payload, then a flush.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one frame, or `Ok(None)` on a clean close (EOF **between**
+/// frames). EOF or a timeout mid-frame is an error; a length prefix
+/// beyond [`MAX_FRAME`] is rejected before any allocation.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request<Vec<f64>>) {
+        let bytes = req.encode();
+        assert_eq!(Request::<Vec<f64>>::decode(&bytes).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Query {
+            solver: Solver::Exact,
+            eps: 1.5,
+            min_pts: 5,
+        });
+        round_trip_request(Request::Query {
+            solver: Solver::Approx(0.25),
+            eps: 2.0,
+            min_pts: 10,
+        });
+        round_trip_request(Request::Query {
+            solver: Solver::Streaming(0.5),
+            eps: 0.75,
+            min_pts: 3,
+        });
+        round_trip_request(Request::Ingest(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
+        round_trip_request(Request::SaveCheckpoint);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::CrashWorker);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Labels(QueryReply {
+            epoch: 7,
+            num_clusters: 2,
+            labels: vec![
+                PointLabel::Core(0),
+                PointLabel::Border(1),
+                PointLabel::Noise,
+            ],
+        }));
+        round_trip_response(Response::Ingested(WireIngestReport {
+            epoch: 3,
+            added_points: 10,
+            new_centers: 2,
+            dirty_balls: 4,
+            num_points: 110,
+            num_centers: 12,
+            covered: true,
+        }));
+        round_trip_response(Response::Saved(42));
+        round_trip_response(Response::Stats(WireStats {
+            served: 1,
+            shed: 2,
+            panics: 3,
+            workers_respawned: 4,
+            queue_depth: 5,
+            epoch: 6,
+            num_points: 7,
+            num_centers: 8,
+        }));
+        round_trip_response(Response::Overloaded { retry_after_ms: 25 });
+        round_trip_response(Response::EngineError("index too coarse".into()));
+        round_trip_response(Response::Internal("metric exploded".into()));
+        round_trip_response(Response::BadRequest("unknown opcode".into()));
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_bytes_fail_typed() {
+        assert!(Request::<Vec<f64>>::decode(&[0x77]).is_err());
+        let mut bytes = Request::<Vec<f64>>::encode(&Request::Stats);
+        bytes.push(0);
+        assert!(Request::<Vec<f64>>::decode(&bytes).is_err());
+        assert!(Response::decode(&[0x99]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        // A hostile length prefix is rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(read_frame(&mut cursor).is_err());
+
+        // EOF mid-frame is an error, not a clean close.
+        let mut partial = 10u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(partial);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

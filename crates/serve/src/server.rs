@@ -1,0 +1,423 @@
+//! The server: a `std::net` TCP listener, a bounded admission queue,
+//! a thread-per-core-style worker pool over one shared engine, and a
+//! supervisor that resurrects dead workers.
+//!
+//! # Failure-mode contract
+//!
+//! * **Panic isolation** — every request runs under
+//!   `catch_unwind`; a panicking user metric (or solver bug) becomes a
+//!   typed [`Response::Internal`] and the worker keeps serving. A panic
+//!   that *does* escape the guard (only the test-ops `CrashWorker`
+//!   opcode does this deliberately) kills one worker thread, which the
+//!   supervisor respawns — the pool never shrinks permanently.
+//! * **Deadlines** — every accepted connection gets
+//!   `set_read_timeout`/`set_write_timeout` from [`ServeConfig`]; a
+//!   stalled or dead peer costs a worker at most one deadline, never a
+//!   hang.
+//! * **Overload** — admission is a bounded queue. When it is full the
+//!   acceptor sheds the connection immediately with
+//!   [`Response::Overloaded`]`{retry_after_ms}` — a typed signal the
+//!   client's backoff understands — instead of letting latency grow
+//!   without bound.
+//! * **Consistency** — queries snapshot the engine per request, so a
+//!   concurrent ingest never tears a reply; labels are bit-identical
+//!   to calling the same solver in-process at the same epoch.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mdbscan_core::{ApproxParams, DbscanParams, EngineSnapshot, MetricDbscan, PointLabel, Run};
+use mdbscan_metric::{BatchMetric, MetricTag, PersistPoint};
+
+use crate::protocol::{read_frame, write_frame, QueryReply, Request, Response, Solver, WireStats};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with
+    /// [`Response::Overloaded`].
+    pub queue_capacity: usize,
+    /// Per-connection read deadline (both frame header and payload).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Backoff hint sent with every shed connection.
+    pub retry_after_ms: u32,
+    /// Where [`Request::SaveCheckpoint`] writes numbered checkpoints;
+    /// `None` answers save requests with [`Response::BadRequest`].
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Enables test-only operations (the `CrashWorker` opcode). Never
+    /// enable outside a harness.
+    pub test_ops: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after_ms: 25,
+            checkpoint_dir: None,
+            test_ops: false,
+        }
+    }
+}
+
+/// Lifetime counters, updated lock-free by the acceptor and workers.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    respawned: AtomicU64,
+}
+
+struct Shared<P, M> {
+    engine: Arc<MetricDbscan<P, M>>,
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A running server. Dropping the handle **without** calling
+/// [`Server::shutdown`] detaches the threads (they keep serving until
+/// the process exits); tests should shut down explicitly.
+pub struct Server<P, M> {
+    shared: Arc<Shared<P, M>>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl<P, M> Server<P, M>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// acceptor, `cfg.workers` workers, and the supervisor, and returns
+    /// the handle. The engine is shared — in-process callers may keep
+    /// querying and ingesting it concurrently.
+    pub fn spawn(
+        engine: Arc<MetricDbscan<P, M>>,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
+            .map(|_| spawn_worker(Arc::clone(&shared)))
+            .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervise(shared, workers))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(shared, listener))
+        };
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (the actual port when spawned with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counters, same numbers the wire `Stats` op reports.
+    pub fn stats(&self) -> WireStats {
+        gather_stats(&self.shared)
+    }
+
+    /// Stops accepting, drains nothing further, and joins every thread
+    /// (workers finish their in-flight connection first).
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn gather_stats<P, M>(shared: &Shared<P, M>) -> WireStats
+where
+    P: Clone + Sync,
+    M: BatchMetric<P>,
+{
+    let queue_depth = shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len() as u64;
+    WireStats {
+        served: shared.counters.served.load(Ordering::Relaxed),
+        shed: shared.counters.shed.load(Ordering::Relaxed),
+        panics: shared.counters.panics.load(Ordering::Relaxed),
+        workers_respawned: shared.counters.respawned.load(Ordering::Relaxed),
+        queue_depth,
+        epoch: shared.engine.epoch(),
+        num_points: shared.engine.num_points() as u64,
+        num_centers: shared.engine.num_centers() as u64,
+    }
+}
+
+fn accept_loop<P, M>(shared: Arc<Shared<P, M>>, listener: TcpListener)
+where
+    P: Clone + Sync,
+    M: BatchMetric<P>,
+{
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(&shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Queue the connection, or shed it with a typed `Overloaded` reply
+/// written under the write deadline (best-effort: a peer that already
+/// vanished just gets the drop).
+fn admit<P, M>(shared: &Shared<P, M>, mut stream: TcpStream)
+where
+    P: Clone + Sync,
+    M: BatchMetric<P>,
+{
+    let mut queue = shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if queue.len() >= shared.cfg.queue_capacity {
+        drop(queue);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        let reply = Response::Overloaded {
+            retry_after_ms: shared.cfg.retry_after_ms,
+        };
+        let _ = write_frame(&mut stream, &reply.encode());
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.work_ready.notify_one();
+}
+
+fn spawn_worker<P, M>(shared: Arc<Shared<P, M>>) -> JoinHandle<()>
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    std::thread::spawn(move || worker_loop(shared))
+}
+
+fn worker_loop<P, M>(shared: Arc<Shared<P, M>>)
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    loop {
+        let stream = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                let (guard, _) = shared
+                    .work_ready
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        serve_connection(&shared, stream);
+    }
+}
+
+/// Serves request→response frames until the peer closes, errors, or
+/// misses a deadline. Request handling is panic-isolated; only the
+/// deliberate test-ops `CrashWorker` panic escapes (and kills this
+/// worker so the supervisor's resurrection path is testable).
+fn serve_connection<P, M>(shared: &Shared<P, M>, mut stream: TcpStream)
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return,
+        };
+        let response = handle_payload(shared, &payload);
+        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (`&str` and `String`
+/// payloads verbatim; anything else a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn handle_payload<P, M>(shared: &Shared<P, M>, payload: &[u8]) -> Response
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    let request = match Request::<P>::decode(payload) {
+        Ok(r) => r,
+        Err(e) => return Response::BadRequest(e.to_string()),
+    };
+    if matches!(request, Request::CrashWorker) {
+        if shared.cfg.test_ops {
+            // Deliberately OUTSIDE the catch_unwind guard: this panic
+            // kills the worker thread so the supervisor's resurrection
+            // path is exercised end to end.
+            panic!("test-ops CrashWorker");
+        }
+        return Response::BadRequest("test ops are disabled".into());
+    }
+    match catch_unwind(AssertUnwindSafe(|| execute(shared, request))) {
+        Ok(response) => response,
+        Err(panic) => {
+            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+            Response::Internal(panic_message(panic))
+        }
+    }
+}
+
+fn run_solver<P, M>(
+    snapshot: &EngineSnapshot<'_, P, M>,
+    solver: Solver,
+    eps: f64,
+    min_pts: usize,
+) -> Result<Run, mdbscan_core::DbscanError>
+where
+    P: PersistPoint + Clone + Sync,
+    M: BatchMetric<P>,
+{
+    match solver {
+        Solver::Exact => snapshot.exact(&DbscanParams::new(eps, min_pts)?),
+        Solver::CoverTree => snapshot.covertree(&DbscanParams::new(eps, min_pts)?),
+        Solver::Approx(rho) => snapshot.approx(&ApproxParams::new(eps, min_pts, rho)?),
+        Solver::Streaming(rho) => snapshot.streaming(&ApproxParams::new(eps, min_pts, rho)?),
+    }
+}
+
+fn execute<P, M>(shared: &Shared<P, M>, request: Request<P>) -> Response
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    match request {
+        Request::Query {
+            solver,
+            eps,
+            min_pts,
+        } => {
+            // Pin one epoch for the whole request: a concurrent ingest
+            // can never tear the reply.
+            let snapshot = shared.engine.snapshot();
+            match run_solver(&snapshot, solver, eps, min_pts) {
+                Ok(run) => {
+                    let labels: Vec<PointLabel> = run.clustering.labels().to_vec();
+                    Response::Labels(QueryReply {
+                        epoch: run.report.epoch,
+                        num_clusters: run.clustering.num_clusters() as u64,
+                        labels,
+                    })
+                }
+                Err(e) => Response::EngineError(e.to_string()),
+            }
+        }
+        Request::Ingest(points) => match shared.engine.ingest(points) {
+            Ok(report) => Response::Ingested(report.into()),
+            Err(e) => Response::EngineError(e.to_string()),
+        },
+        Request::SaveCheckpoint => match &shared.cfg.checkpoint_dir {
+            None => Response::BadRequest("server has no checkpoint directory".into()),
+            Some(dir) => match shared.engine.save_checkpoint(dir) {
+                Ok(seq) => Response::Saved(seq),
+                Err(e) => Response::EngineError(e.to_string()),
+            },
+        },
+        Request::Stats => Response::Stats(gather_stats(shared)),
+        Request::CrashWorker => unreachable!("handled before the panic guard"),
+    }
+}
+
+/// Respawns any worker that died (a panic escaped the request guard)
+/// until shutdown, then joins the final set.
+fn supervise<P, M>(shared: Arc<Shared<P, M>>, mut workers: Vec<JoinHandle<()>>)
+where
+    P: PersistPoint + Clone + Send + Sync + 'static,
+    M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
+{
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for slot in workers.iter_mut() {
+            if slot.is_finished() && !shared.shutdown.load(Ordering::SeqCst) {
+                let dead = std::mem::replace(slot, spawn_worker(Arc::clone(&shared)));
+                let _ = dead.join(); // reaps the panic payload
+                shared.counters.respawned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shared.work_ready.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+}

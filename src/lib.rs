@@ -28,6 +28,10 @@
 //!   behind [`core::MetricDbscan::save`] / `load`: restart without
 //!   rebuilding, ship prebuilt indexes, fan out read replicas — loads
 //!   perform **zero** distance evaluations;
+//! * [`serve`] — the fault-tolerant serving tier: a deadline-enforced
+//!   `std::net` query server with panic isolation and load shedding, a
+//!   retrying client, and the deterministic fault-injection harness
+//!   behind `tests/fault_injection.rs`;
 //! * [`baselines`] — every comparator of the paper's evaluation;
 //! * [`eval`] — ARI / AMI / NMI;
 //! * [`datagen`] — deterministic synthetic workloads for all dataset
@@ -76,3 +80,4 @@ pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
 pub use mdbscan_parallel as parallel;
 pub use mdbscan_persist as persist;
+pub use mdbscan_serve as serve;

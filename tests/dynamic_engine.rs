@@ -133,11 +133,11 @@ where
             );
 
             // Grow: one batch, two singles, then the rest.
-            dynamic.ingest(points[third..2 * third].to_vec());
+            dynamic.ingest(points[third..2 * third].to_vec()).unwrap();
             let _ = all_solver_labels(&dynamic, &params, &aparams); // mid-epoch warmup
-            dynamic.ingest_one(points[2 * third].clone());
-            dynamic.ingest_one(points[2 * third + 1].clone());
-            dynamic.ingest(points[2 * third + 2..].to_vec());
+            dynamic.ingest_one(points[2 * third].clone()).unwrap();
+            dynamic.ingest_one(points[2 * third + 1].clone()).unwrap();
+            dynamic.ingest(points[2 * third + 2..].to_vec()).unwrap();
             assert_eq!(dynamic.epoch(), 4, "{ctx}");
             assert_eq!(dynamic.num_points(), points.len(), "{ctx}");
 
@@ -200,7 +200,7 @@ fn concurrent_readers_on_old_snapshots_are_unaffected_by_ingest() {
         let writer = scope.spawn(move || {
             for b in 1..4 {
                 let batch = writer_points[b * quarter..(b + 1) * quarter].to_vec();
-                let report = writer_engine.ingest(batch);
+                let report = writer_engine.ingest(batch).unwrap();
                 assert_eq!(report.epoch, b as u64);
             }
         });
@@ -277,7 +277,7 @@ fn cache_hit_counters_never_cross_epochs() {
     assert!(snap0.exact(&params).unwrap().report.cache_hit);
     let hits_epoch0 = engine.cache_stats().hits;
 
-    engine.ingest(points[half..].to_vec());
+    engine.ingest(points[half..].to_vec()).unwrap();
     let post = engine.exact(&params).unwrap();
     assert_eq!(post.report.epoch, 1);
     assert!(
@@ -345,7 +345,7 @@ fn point_at_a_time_feeding_publishes_lazily_and_stays_deterministic() {
 
     // Feed one point at a time; counter reads must not force flattens.
     for (i, p) in rest.iter().enumerate() {
-        let report = engine.ingest_one(p.clone());
+        let report = engine.ingest_one(p.clone()).unwrap();
         assert_eq!(report.epoch, i as u64 + 1);
         assert_eq!(engine.epoch(), i as u64 + 1);
         assert_eq!(engine.num_points(), seed.len() + i + 1);
@@ -377,9 +377,9 @@ fn point_at_a_time_feeding_publishes_lazily_and_stays_deterministic() {
     // republishes once on its next read.
     engine.exact(&params).unwrap();
     assert_eq!(engine.publish_count(), 1);
-    engine.ingest(Vec::<Vec<f64>>::new());
+    engine.ingest(Vec::<Vec<f64>>::new()).unwrap();
     assert_eq!(engine.publish_count(), 1, "empty batches publish nothing");
-    engine.ingest_one(points[0].clone());
+    engine.ingest_one(points[0].clone()).unwrap();
     assert_eq!(engine.publish_count(), 1);
     engine.snapshot();
     assert_eq!(engine.publish_count(), 2);

@@ -1,0 +1,405 @@
+//! Deterministic fault injection (PR 6): every fault the serving tier
+//! claims to survive, injected on a seeded schedule and asserted
+//! typed.
+//!
+//! 1. **Torn checkpoints**: the newest numbered checkpoint truncated
+//!    at *every* section boundary (and at `FaultPlan`-chosen byte
+//!    offsets) — `load_latest` must fall back to the last good
+//!    checkpoint, with zero distance evaluations, and answer that
+//!    epoch bit-identically.
+//! 2. **No good checkpoint**: an empty directory and an all-torn
+//!    directory each fail typed, never garbage.
+//! 3. **Poisoned writer quarantine**: a metric that panics mid-ingest
+//!    poisons only the writer — further ingests fail with
+//!    `DbscanError::Poisoned`, queries keep serving the last published
+//!    epoch bit-identically.
+//! 4. **Server chaos**: a loopback server under a seeded `FaultPlan`
+//!    (dropped/stalling connections, mid-solver metric panics, worker
+//!    kills, post-save torn checkpoints) never crashes; every request
+//!    gets a correct reply or a typed error; afterwards the socket
+//!    still answers byte-identically to the engine and `load_latest`
+//!    warm-starts bit-identically from the surviving checkpoint.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use metric_dbscan::core::{DbscanError, DbscanParams, MetricDbscan, PointLabel};
+use metric_dbscan::datagen::{blobs, BlobSpec};
+use metric_dbscan::metric::{CountingMetric, Euclidean};
+use metric_dbscan::persist::checkpoint_path;
+use metric_dbscan::serve::{
+    Client, ClientError, ConnFault, FaultPlan, PanicMetric, RetryPolicy, SaveFault, ServeConfig,
+    Server, Solver,
+};
+
+const EPS: f64 = 1.6;
+const MIN_PTS: usize = 5;
+const RHO: f64 = 0.75;
+
+fn dataset() -> Vec<Vec<f64>> {
+    blobs(
+        &BlobSpec {
+            n: 240,
+            dim: 2,
+            clusters: 3,
+            std: 0.8,
+            center_box: 20.0,
+            outlier_frac: 0.1,
+        },
+        17,
+    )
+    .into_parts()
+    .0
+}
+
+fn params() -> DbscanParams {
+    DbscanParams::new(EPS, MIN_PTS).unwrap()
+}
+
+/// A per-process-and-test-unique scratch directory.
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdbscan_fault_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Walks the artifact framing (magic + header + `name,len,crc,payload`
+/// frames) and returns every section boundary: the offset where the
+/// header ends and where each section's payload ends. A crash that
+/// tears a non-atomic write would most plausibly stop at exactly these
+/// offsets — a whole section present, the next missing.
+fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap()) as usize;
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap()) as usize;
+    let mut off = 8 + 4 + 1; // magic, version, kind
+    off += 4 + u32_at(off); // point tag (u32 len + bytes)
+    off += 4 + u32_at(off); // metric tag
+    let num_sections = u32_at(off);
+    off += 4; // section count
+    off += 4; // header CRC
+    let mut out = vec![off];
+    for _ in 0..num_sections {
+        off += 4 + u32_at(off); // section name
+        let payload_len = u64_at(off);
+        off += 8; // payload length
+        off += 4; // section CRC
+        off += payload_len;
+        out.push(off);
+    }
+    assert_eq!(off, bytes.len(), "walker drifted off the framing");
+    out
+}
+
+#[test]
+fn torn_newest_checkpoint_falls_back_to_last_good_with_zero_evals() {
+    let pts = dataset();
+    let (initial, rest) = pts.split_at(180);
+    let dir = temp_dir("torn_boundaries");
+    let engine = MetricDbscan::builder(initial.to_vec(), CountingMetric::new(Euclidean))
+        .rbar(0.5)
+        .build()
+        .unwrap();
+    engine.exact(&params()).unwrap(); // warm the caches into the artifact
+    let good_seq = engine.save_checkpoint(&dir).unwrap();
+    let good_labels = engine
+        .exact(&params())
+        .unwrap()
+        .clustering
+        .labels()
+        .to_vec();
+
+    engine.ingest(rest.to_vec()).unwrap();
+    engine.exact(&params()).unwrap();
+    let newest_seq = engine.save_checkpoint(&dir).unwrap();
+    assert!(newest_seq > good_seq);
+    let newest_labels = engine
+        .exact(&params())
+        .unwrap()
+        .clustering
+        .labels()
+        .to_vec();
+    let newest_path = checkpoint_path(&dir, newest_seq);
+    let newest_bytes = std::fs::read(&newest_path).unwrap();
+
+    // Cut points: every section boundary (except the full file), a few
+    // bytes into each frame, and FaultPlan-chosen arbitrary offsets.
+    let boundaries = section_boundaries(&newest_bytes);
+    let mut cuts: Vec<usize> = boundaries[..boundaries.len() - 1].to_vec();
+    cuts.extend(boundaries[1..].iter().map(|b| b - 3));
+    let mut plan = FaultPlan::new(99);
+    for _ in 0..6 {
+        cuts.push(plan.torn_offset(newest_bytes.len()));
+    }
+
+    for cut in cuts {
+        std::fs::write(&newest_path, &newest_bytes[..cut]).unwrap();
+        let (restored, seq) = MetricDbscan::<Vec<f64>, CountingMetric<Euclidean>>::load_latest(
+            &dir,
+            CountingMetric::new(Euclidean),
+        )
+        .unwrap_or_else(|e| panic!("cut at byte {cut}: load_latest must fall back, got {e}"));
+        assert_eq!(seq, good_seq, "cut at {cut}: wrong checkpoint won");
+        assert_eq!(
+            restored.metric().count(),
+            0,
+            "cut at {cut}: fallback probing must stay zero-eval"
+        );
+        assert_eq!(
+            restored.exact(&params()).unwrap().clustering.labels(),
+            &good_labels[..],
+            "cut at {cut}: the last good epoch must answer bit-identically"
+        );
+    }
+
+    // Restore the newest artifact: it must win again.
+    std::fs::write(&newest_path, &newest_bytes).unwrap();
+    let (restored, seq) = MetricDbscan::<Vec<f64>, CountingMetric<Euclidean>>::load_latest(
+        &dir,
+        CountingMetric::new(Euclidean),
+    )
+    .unwrap();
+    assert_eq!(seq, newest_seq);
+    assert_eq!(restored.metric().count(), 0);
+    assert_eq!(
+        restored.exact(&params()).unwrap().clustering.labels(),
+        &newest_labels[..]
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_loadable_checkpoint_fails_typed() {
+    // Empty (indeed absent) directory → typed Io, not a panic.
+    let dir = temp_dir("no_checkpoints");
+    assert!(matches!(
+        MetricDbscan::<Vec<f64>, Euclidean>::load_latest(&dir, Euclidean),
+        Err(DbscanError::Io(_))
+    ));
+
+    // Every checkpoint torn → the newest checkpoint's typed error.
+    std::fs::create_dir_all(&dir).unwrap();
+    let engine = MetricDbscan::builder(dataset(), Euclidean)
+        .rbar(0.5)
+        .build()
+        .unwrap();
+    for _ in 0..2 {
+        let seq = engine.save_checkpoint(&dir).unwrap();
+        let path = checkpoint_path(&dir, seq);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    }
+    assert!(matches!(
+        MetricDbscan::<Vec<f64>, Euclidean>::load_latest(&dir, Euclidean),
+        Err(DbscanError::Format { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ingest_panic_quarantines_the_writer_but_queries_keep_serving() {
+    let pts = dataset();
+    let (initial, rest) = pts.split_at(200);
+    let (metric, switch) = PanicMetric::new(Euclidean);
+    let engine = MetricDbscan::builder(initial.to_vec(), metric)
+        .rbar(0.5)
+        .build()
+        .unwrap();
+    let before = engine.exact(&params()).unwrap().clustering;
+    let epoch_before = engine.epoch();
+
+    // Detonate the metric mid-ingest: the panic escapes `ingest` (the
+    // engine holds no catch_unwind — that is the *server's* job) and
+    // poisons the writer lock.
+    switch.arm(3);
+    let blown = catch_unwind(AssertUnwindSafe(|| engine.ingest(rest.to_vec())));
+    assert!(blown.is_err(), "the armed metric must panic mid-ingest");
+    switch.disarm();
+
+    // The writer is quarantined, typed.
+    match engine.ingest(rest.to_vec()) {
+        Err(DbscanError::Poisoned(what)) => assert!(what.contains("writer"), "got: {what}"),
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+    // Checkpointing needs the writer too — also typed, never torn.
+    match engine.save_checkpoint(temp_dir("poisoned_save")) {
+        Err(DbscanError::Poisoned(_)) => {}
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+
+    // Queries never touched the quarantined batch: same epoch, same
+    // labels, bit-identical.
+    assert_eq!(engine.epoch(), epoch_before);
+    assert_eq!(engine.num_points(), initial.len());
+    assert_eq!(engine.exact(&params()).unwrap().clustering, before);
+}
+
+fn expected_labels(
+    engine: &MetricDbscan<Vec<f64>, PanicMetric<Euclidean>>,
+    solver: Solver,
+) -> Vec<PointLabel> {
+    use metric_dbscan::core::ApproxParams;
+    let p = params();
+    let ap = ApproxParams::new(EPS, MIN_PTS, RHO).unwrap();
+    let snap = engine.snapshot();
+    let run = match solver {
+        Solver::Exact => snap.exact(&p).unwrap(),
+        Solver::Approx(_) => snap.approx(&ap).unwrap(),
+        Solver::CoverTree => snap.covertree(&p).unwrap(),
+        Solver::Streaming(_) => snap.streaming(&ap).unwrap(),
+    };
+    run.clustering.labels().to_vec()
+}
+
+#[test]
+fn server_survives_a_seeded_chaos_schedule() {
+    let pts = dataset();
+    let (initial, reserve) = pts.split_at(180);
+    let dir = temp_dir("chaos");
+    let (metric, switch) = PanicMetric::new(Euclidean);
+    let engine = Arc::new(
+        MetricDbscan::builder(initial.to_vec(), metric)
+            .rbar(0.5)
+            .build()
+            .unwrap(),
+    );
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_millis(250),
+            retry_after_ms: 5,
+            checkpoint_dir: Some(dir.clone()),
+            test_ops: true,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::<Vec<f64>>::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(30),
+            timeout: Duration::from_secs(2),
+            seed: 31,
+        },
+    );
+
+    let solvers = [
+        Solver::Exact,
+        Solver::Approx(RHO),
+        Solver::CoverTree,
+        Solver::Streaming(RHO),
+    ];
+    let mut plan = FaultPlan::new(2024);
+    let mut reserve_iter = reserve.chunks(10);
+    // Labels captured at each surviving checkpoint's save time, so the
+    // post-chaos warm start can be checked bit-for-bit.
+    let mut last_good: Option<(u64, Vec<PointLabel>)> = None;
+    let mut panics_armed = 0u64;
+
+    for round in 0..24 {
+        match plan.next_conn_fault() {
+            ConnFault::None => {}
+            ConnFault::Drop => {
+                if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                    use std::io::Write as _;
+                    let _ = s.write_all(&[0xBA, 0xD0]); // torn frame, then vanish
+                }
+            }
+            ConnFault::Stall(d) => {
+                std::thread::spawn(move || {
+                    let s = std::net::TcpStream::connect(addr);
+                    std::thread::sleep(d);
+                    drop(s);
+                });
+            }
+        }
+        if round % 6 == 2 {
+            let _ = client.crash_worker();
+        }
+        if let Some(after) = plan.next_query_panic() {
+            switch.arm(after);
+            panics_armed += 1;
+        }
+        let solver = solvers[round % solvers.len()];
+        let outcome = client.query(solver, EPS, MIN_PTS);
+        switch.disarm();
+        match outcome {
+            // Success must mean *correct*, not merely delivered.
+            Ok(reply) => assert_eq!(
+                reply.labels,
+                expected_labels(&engine, solver),
+                "round {round}: served labels diverged from the engine"
+            ),
+            Err(ClientError::Internal(msg)) => {
+                assert!(
+                    msg.contains("injected metric fault"),
+                    "round {round}: {msg}"
+                )
+            }
+            Err(ClientError::Overloaded { .. }) | Err(ClientError::Io(_)) => {}
+            Err(other) => panic!("round {round}: untyped failure {other}"),
+        }
+
+        if round % 4 == 1 {
+            if let Some(batch) = reserve_iter.next() {
+                client.ingest(batch.to_vec()).unwrap();
+            }
+        }
+        if round % 5 == 3 {
+            let seq = client.save_checkpoint().unwrap();
+            let path = checkpoint_path(&dir, seq);
+            let bytes = std::fs::read(&path).unwrap();
+            if let SaveFault::TornAt(_) = plan.next_save_fault(bytes.len()) {
+                // Corrupt the newest checkpoint in place; load_latest
+                // must skip it.
+                let cut = plan.torn_offset(bytes.len());
+                std::fs::write(&path, &bytes[..cut]).unwrap();
+            } else {
+                last_good = Some((seq, expected_labels(&engine, Solver::Exact)));
+            }
+        }
+    }
+    assert!(panics_armed > 0, "the seeded plan armed no panics");
+    assert!(
+        last_good.is_some(),
+        "the seeded plan left no good checkpoint"
+    );
+
+    // The server is still standing and still exact.
+    let reply = client.query(Solver::Exact, EPS, MIN_PTS).unwrap();
+    assert_eq!(reply.labels, expected_labels(&engine, Solver::Exact));
+    let stats = server.stats();
+    assert!(
+        stats.panics > 0,
+        "injected panics must be isolated server-side"
+    );
+    server.shutdown();
+
+    // Warm start skips the torn tail and lands on the last good
+    // checkpoint, answering exactly what the engine answered when that
+    // checkpoint was written.
+    let (good_seq, good_labels) = last_good.unwrap();
+    let (restored, seq) = MetricDbscan::<Vec<f64>, CountingMetric<Euclidean>>::load_latest(
+        &dir,
+        CountingMetric::new(Euclidean),
+    )
+    .unwrap();
+    assert_eq!(
+        seq, good_seq,
+        "the torn tail must lose to the last good save"
+    );
+    assert_eq!(restored.metric().count(), 0, "warm start stays zero-eval");
+    assert_eq!(
+        restored.exact(&params()).unwrap().clustering.labels(),
+        &good_labels[..],
+        "warm start must be bit-identical to the saved epoch"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

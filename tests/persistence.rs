@@ -233,7 +233,7 @@ fn ingest_after_load_matches_an_unrestarted_engine() {
         .net_strategy(NetStrategy::RadiusGuided)
         .build()
         .unwrap();
-    unrestarted.ingest(mid.to_vec());
+    unrestarted.ingest(mid.to_vec()).unwrap();
     unrestarted.exact(&params).unwrap();
 
     let path = temp_path("ingest_resume");
@@ -249,8 +249,8 @@ fn ingest_after_load_matches_an_unrestarted_engine() {
     for batch in tail.chunks(17) {
         unrestarted.metric().reset();
         restarted.metric().reset();
-        let a = unrestarted.ingest(batch.to_vec());
-        let b = restarted.ingest(batch.to_vec());
+        let a = unrestarted.ingest(batch.to_vec()).unwrap();
+        let b = restarted.ingest(batch.to_vec()).unwrap();
         assert_eq!(a, b, "ingest reports must match");
         assert_eq!(
             unrestarted.metric().count(),
@@ -294,7 +294,7 @@ fn snapshot_artifact_is_a_read_replica() {
     // The replica artifact pins the epoch even as the engine moves on.
     let path = temp_path("replica");
     pinned.save(&path).unwrap();
-    engine.ingest(rest.to_vec());
+    engine.ingest(rest.to_vec()).unwrap();
 
     let replica: MetricDbscan<Vec<f64>, CountingMetric<Euclidean>> =
         MetricDbscan::load(&path, CountingMetric::new(Euclidean)).unwrap();
@@ -312,7 +312,7 @@ fn snapshot_artifact_is_a_read_replica() {
 
     // A replica may even resume the stream: radius-guided state is all
     // the first-fit rule needs.
-    replica.ingest(rest.to_vec());
+    replica.ingest(rest.to_vec()).unwrap();
     assert_eq!(
         replica.exact(&params).unwrap().clustering,
         engine.exact(&params).unwrap().clustering

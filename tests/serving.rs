@@ -1,0 +1,211 @@
+//! Loopback smoke tests for the serving tier (PR 6): a real
+//! `std::net` server over a shared engine, driven by the typed client.
+//!
+//! * Mixed query + ingest + worker-kill traffic: every served label
+//!   vector is **byte-identical** to calling the same `Arc`'d engine
+//!   directly, across solvers and epochs, and killed workers come back.
+//! * Overload: with every worker pinned and the queue full, excess
+//!   connections shed with a typed `Overloaded{retry_after_ms}` — and
+//!   the server serves normally again once the burst passes.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use metric_dbscan::core::{ApproxParams, DbscanParams, MetricDbscan};
+use metric_dbscan::datagen::{blobs, BlobSpec};
+use metric_dbscan::metric::Euclidean;
+use metric_dbscan::serve::{protocol, Client, RetryPolicy, ServeConfig, Server, Solver};
+
+const EPS: f64 = 1.6;
+const MIN_PTS: usize = 5;
+const RHO: f64 = 0.75;
+
+fn dataset() -> Vec<Vec<f64>> {
+    blobs(
+        &BlobSpec {
+            n: 260,
+            dim: 2,
+            clusters: 3,
+            std: 0.8,
+            center_box: 20.0,
+            outlier_frac: 0.1,
+        },
+        29,
+    )
+    .into_parts()
+    .0
+}
+
+fn test_client(addr: std::net::SocketAddr) -> Client<Vec<f64>> {
+    Client::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(25),
+            timeout: Duration::from_secs(5),
+            seed: 7,
+        },
+    )
+}
+
+#[test]
+fn mixed_traffic_matches_direct_engine_calls_and_workers_resurrect() {
+    let pts = dataset();
+    let (initial, reserve) = pts.split_at(200);
+    let engine = Arc::new(
+        MetricDbscan::builder(initial.to_vec(), Euclidean)
+            .rbar(0.5)
+            .build()
+            .unwrap(),
+    );
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            test_ops: true,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = test_client(server.local_addr());
+
+    let params = DbscanParams::new(EPS, MIN_PTS).unwrap();
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).unwrap();
+    let solvers = [
+        Solver::Exact,
+        Solver::Approx(RHO),
+        Solver::CoverTree,
+        Solver::Streaming(RHO),
+    ];
+    let mut kills = 0u64;
+    for (round, batch) in reserve.chunks(12).enumerate() {
+        for (si, solver) in solvers.iter().enumerate() {
+            let wire = client.query(*solver, EPS, MIN_PTS).unwrap();
+            // The same engine, called in-process, pinned to a snapshot
+            // exactly like the server does.
+            let snap = engine.snapshot();
+            let direct = match solver {
+                Solver::Exact => snap.exact(&params).unwrap(),
+                Solver::Approx(_) => snap.approx(&aparams).unwrap(),
+                Solver::CoverTree => snap.covertree(&params).unwrap(),
+                Solver::Streaming(_) => snap.streaming(&aparams).unwrap(),
+            };
+            assert_eq!(
+                wire.labels,
+                direct.clustering.labels().to_vec(),
+                "round {round} solver {si}: served labels must be byte-identical"
+            );
+            assert_eq!(wire.epoch, engine.epoch());
+        }
+
+        // Kill a worker mid-stream; the supervisor must restore the
+        // pool without dropping the session's correctness.
+        if round % 2 == 1 {
+            let _ = client.crash_worker();
+            kills += 1;
+        }
+
+        let report = client.ingest(batch.to_vec()).unwrap();
+        assert_eq!(report.added_points as usize, batch.len());
+        assert!(
+            report.covered,
+            "the net must keep covering after a wire ingest"
+        );
+    }
+
+    // Ingests went through the wire: the shared engine grew.
+    assert_eq!(engine.num_points(), pts.len());
+
+    let stats = server.stats();
+    assert!(stats.served > 0);
+    assert_eq!(stats.num_points as usize, pts.len());
+    // The supervisor polls every few ms — give the last kill a moment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.stats().workers_respawned < kills && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let respawned = server.stats().workers_respawned;
+    assert!(
+        respawned >= kills,
+        "every killed worker must be resurrected (killed {kills}, respawned {respawned})"
+    );
+
+    // The pool is actually alive after the kills, not just counted.
+    assert!(client.query(Solver::Exact, EPS, MIN_PTS).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_typed_and_recovers() {
+    let engine = Arc::new(
+        MetricDbscan::builder(dataset(), Euclidean)
+            .rbar(0.5)
+            .build()
+            .unwrap(),
+    );
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            retry_after_ms: 10,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Pin the only worker with a connection that never sends a frame
+    // (costs the worker exactly one read deadline).
+    let staller = std::thread::spawn(move || {
+        let s = TcpStream::connect(addr);
+        std::thread::sleep(Duration::from_millis(150));
+        drop(s);
+    });
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Open the whole burst before reading any reply so the queue (1)
+    // genuinely overflows.
+    let mut burst: Vec<TcpStream> = (0..6).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let mut shed = 0u64;
+    for s in &mut burst {
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        // A shed connection is already closed server-side (its
+        // Overloaded frame sits in our receive buffer), so the write
+        // may legitimately fail with EPIPE — the read is what counts.
+        let _ = protocol::write_frame(s, &protocol::Request::<Vec<f64>>::Stats.encode());
+        if let Ok(Some(payload)) = protocol::read_frame(s) {
+            if let Ok(protocol::Response::Overloaded { retry_after_ms }) =
+                protocol::Response::decode(&payload)
+            {
+                assert_eq!(retry_after_ms, 10, "the shed carries the configured hint");
+                shed += 1;
+            }
+        }
+    }
+    drop(burst);
+    staller.join().unwrap();
+    assert!(shed > 0, "burst past a full queue must shed typed");
+    assert!(
+        server.stats().shed >= shed,
+        "the server's shed counter must cover every Overloaded we read"
+    );
+
+    // Once the burst passes, a retrying client gets real answers — the
+    // shed path never wedges the server.
+    let mut client = test_client(addr);
+    let direct = engine
+        .snapshot()
+        .exact(&DbscanParams::new(EPS, MIN_PTS).unwrap())
+        .unwrap();
+    let wire = client.query(Solver::Exact, EPS, MIN_PTS).unwrap();
+    assert_eq!(wire.labels, direct.clustering.labels().to_vec());
+    server.shutdown();
+}
