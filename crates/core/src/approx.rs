@@ -23,6 +23,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use mdbscan_grid::{CandidateStats, GridIndex};
 use mdbscan_kcenter::CenterAdjacency;
 use mdbscan_metric::{BatchMetric, PruneStats};
 use mdbscan_parallel::{par_map_ranges, split_even, worker_count, Csr, ParallelConfig};
@@ -63,6 +64,10 @@ pub struct ApproxStats {
     /// labeling). Work counters: thread count and cache hits may shift
     /// them while labels stay identical.
     pub pruning: PruneStats,
+    /// Grid candidate-generation ledger across the adjacency build, the
+    /// core tests, and the labeling scan — all zeros on the generic
+    /// path. Labels are bit-identical with the grid on or off.
+    pub candidates: CandidateStats,
 }
 
 /// The `(ε, MinPts, ρ)`-dependent intermediates of Algorithm 2 that an
@@ -98,6 +103,11 @@ impl ApproxArtifacts {
 pub(crate) struct ApproxReuse<'a> {
     pub(crate) artifacts: Option<&'a ApproxArtifacts>,
     pub(crate) adjacency: Option<Arc<CenterAdjacency>>,
+    /// ε-aligned grid over the current epoch's points (cell side
+    /// `ε/√d`); when present, candidate generation for the adjacency,
+    /// the core tests, and the labeling scan comes from ring cells —
+    /// bit-identical labels, fewer distance evaluations.
+    pub(crate) grid: Option<Arc<GridIndex>>,
 }
 
 /// Everything one Algorithm-2 run produces.
@@ -140,6 +150,7 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
     // (1+ρ)ε are ≤ (1+ρ)ε + 2r̄ apart) and the ε-ball containment of
     // Lemma 2 (needs ≥ 2r̄ + ε). With r̄ = ρε/2 this equals the paper's
     // 4r̄ + ε.
+    let grid: Option<&GridIndex> = reuse.grid.as_deref();
     let t = Instant::now();
     let threshold = approx_threshold(net.rbar, params);
     let adj: Arc<CenterAdjacency> = match reuse.adjacency {
@@ -147,18 +158,38 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
             debug_assert_eq!(adj.threshold, threshold, "adjacency cache mixup");
             adj
         }
-        None => {
-            let built = CenterAdjacency::build_pruned(
-                points,
-                metric,
-                net.centers,
-                threshold,
-                parallel,
-                pruning,
-            );
-            stats.pruning.merge(&built.pruning);
-            Arc::new(built)
-        }
+        None => match grid {
+            Some(g) => {
+                let dim = g.dim();
+                let mut coords = Vec::with_capacity(net.centers.len() * dim);
+                for &c in net.centers {
+                    coords.extend_from_slice(g.point_coords(c));
+                }
+                let (built, cand) = CenterAdjacency::build_grid(
+                    points,
+                    metric,
+                    net.centers,
+                    threshold,
+                    parallel,
+                    dim,
+                    coords,
+                );
+                stats.candidates.merge(&cand);
+                Arc::new(built)
+            }
+            None => {
+                let built = CenterAdjacency::build_pruned(
+                    points,
+                    metric,
+                    net.centers,
+                    threshold,
+                    parallel,
+                    pruning,
+                );
+                stats.pruning.merge(&built.pruning);
+                Arc::new(built)
+            }
+        },
     };
     stats.adjacency_secs = t.elapsed().as_secs_f64();
     stats.mean_adjacency_degree = adj.mean_degree();
@@ -170,31 +201,42 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         // Which centers are core points (|B(e, ε)| ≥ MinPts)? Parallel
         // over centers; each test is independent.
         let t = Instant::now();
+        // The `≥ MinPts` test: either the generic neighbor-cover-set
+        // scan or (grid mode) a capped ring-cell count — both see the
+        // same ε-ball, so the flag is identical.
+        let is_core_test = |p: usize,
+                            e: usize,
+                            ps: &mut PruneStats,
+                            cs: &mut CandidateStats,
+                            cells: &mut Vec<u32>| {
+            match grid {
+                Some(g) => {
+                    g.count_within_capped(g.point_coords(p), eps, min_pts, cells, cs, |q| {
+                        metric.within(&points[p], &points[q as usize], eps)
+                    }) >= min_pts
+                }
+                None => {
+                    count_neighbors_capped(
+                        points, metric, net, &adj, e, p, eps, min_pts, pruning, ps,
+                    ) >= min_pts
+                }
+            }
+        };
         let w = worker_count(threads, k, 64);
         let chunks = par_map_ranges(split_even(k, w), |r| {
             let mut ps = PruneStats::default();
+            let mut cs = CandidateStats::default();
+            let mut cells: Vec<u32> = Vec::new();
             let flags: Vec<bool> = r
-                .map(|e| {
-                    count_neighbors_capped(
-                        points,
-                        metric,
-                        net,
-                        &adj,
-                        e,
-                        net.centers[e],
-                        eps,
-                        min_pts,
-                        pruning,
-                        &mut ps,
-                    ) >= min_pts
-                })
+                .map(|e| is_core_test(net.centers[e], e, &mut ps, &mut cs, &mut cells))
                 .collect();
-            (flags, ps)
+            (flags, ps, cs)
         });
         let mut center_core = Vec::with_capacity(k);
-        for (chunk, ps) in chunks {
+        for (chunk, ps, cs) in chunks {
             center_core.extend(chunk);
             stats.pruning.merge(&ps);
+            stats.candidates.merge(&cs);
         }
         // Points of non-core-center balls need individual core tests
         // (Lemma 8 bounds each such ball below MinPts points, so this
@@ -207,21 +249,22 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         let w = worker_count(threads, sparse_points.len(), APPROX_MIN_PER_THREAD);
         let chunks = par_map_ranges(split_even(sparse_points.len(), w), |r| {
             let mut ps = PruneStats::default();
+            let mut cs = CandidateStats::default();
+            let mut cells: Vec<u32> = Vec::new();
             let flags: Vec<bool> = r
                 .map(|i| {
                     let pi = sparse_points[i] as usize;
                     let e = net.assignment[pi] as usize;
-                    count_neighbors_capped(
-                        points, metric, net, &adj, e, pi, eps, min_pts, pruning, &mut ps,
-                    ) >= min_pts
+                    is_core_test(pi, e, &mut ps, &mut cs, &mut cells)
                 })
                 .collect();
-            (flags, ps)
+            (flags, ps, cs)
         });
         let mut sparse_core = Vec::with_capacity(sparse_points.len());
-        for (chunk, ps) in chunks {
+        for (chunk, ps, cs) in chunks {
             sparse_core.extend(chunk);
             stats.pruning.merge(&ps);
+            stats.candidates.merge(&cs);
         }
         // S* as point indices, plus per-center membership rows (positions
         // into `summary`) — assembled sequentially in center order,
@@ -388,10 +431,23 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
     let w = worker_count(threads, n, APPROX_MIN_PER_THREAD);
     let chunks = par_map_ranges(split_even(n, w), |r| {
         let mut ps = PruneStats::default();
+        let mut cs = CandidateStats::default();
         let mut scratch = AnchorScratch::default();
         let labels: Vec<PointLabel> = r
-            .map(|p| {
-                label_point(
+            .map(|p| match grid {
+                Some(g) => label_point_grid(
+                    points,
+                    metric,
+                    net,
+                    g,
+                    art,
+                    &summary_pos_of_point,
+                    &center_summary_pos,
+                    p,
+                    label_r,
+                    &mut cs,
+                ),
+                None => label_point(
                     points,
                     metric,
                     net,
@@ -404,15 +460,16 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
                     pruning,
                     &mut scratch,
                     &mut ps,
-                )
+                ),
             })
             .collect();
-        (labels, ps)
+        (labels, ps, cs)
     });
     let mut labels = Vec::with_capacity(n);
-    for (chunk, ps) in chunks {
+    for (chunk, ps, cs) in chunks {
         labels.extend(chunk);
         stats.pruning.merge(&ps);
+        stats.candidates.merge(&cs);
     }
     stats.label_secs = t.elapsed().as_secs_f64();
 
@@ -502,6 +559,72 @@ fn label_point<P, M: BatchMetric<P>>(
             }
         }
     }
+    match best {
+        Some((_, jpos)) => PointLabel::Border(art.summary_cluster[jpos as usize]),
+        None => PointLabel::Noise,
+    }
+}
+
+/// Grid variant of [`label_point`]: same early-outs, then the nearest
+/// summary point among the ring-cell candidates, minimizing
+/// `(distance, summary position)` lexicographically. That is exactly
+/// the optimum the generic scan converges to — its adjacency rows are
+/// visited in ascending center order and summary positions are
+/// assigned in center order, so positions arrive globally ascending
+/// and the strict `<` keeps the first (smallest-position) minimum.
+/// Every distance comes from the same metric arithmetic, so the label
+/// matches bit-for-bit.
+#[allow(clippy::too_many_arguments)] // mirrors label_point
+fn label_point_grid<P, M: BatchMetric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    grid: &GridIndex,
+    art: &ApproxArtifacts,
+    summary_pos_of_point: &[u32],
+    center_summary_pos: &[Option<u32>],
+    p: usize,
+    label_r: f64,
+    cs: &mut CandidateStats,
+) -> PointLabel {
+    let pos = summary_pos_of_point[p];
+    if pos != u32::MAX {
+        return PointLabel::Core(art.summary_cluster[pos as usize]);
+    }
+    let cp = net.assignment[p] as usize;
+    if let Some(pos) = center_summary_pos[cp] {
+        return PointLabel::Border(art.summary_cluster[pos as usize]);
+    }
+    let mut best: Option<(f64, u32)> = None;
+    let mut walk = CandidateStats::default();
+    let (mut emitted, mut rejected) = (0u64, 0u64);
+    grid.for_each_candidate_cell(
+        grid.point_coords(p),
+        label_r,
+        &mut walk,
+        |members, cell_lb, _| {
+            if best.is_some_and(|(d, _)| cell_lb > d) {
+                rejected += members.len() as u64;
+                return;
+            }
+            for &q in members {
+                let jpos = summary_pos_of_point[q as usize];
+                if jpos == u32::MAX {
+                    continue;
+                }
+                emitted += 1;
+                let bound = best.map_or(label_r, |(d, _)| d);
+                if let Some(d) = metric.distance_leq(&points[p], &points[q as usize], bound) {
+                    if best.is_none_or(|(bd, bj)| d < bd || (d == bd && jpos < bj)) {
+                        best = Some((d, jpos));
+                    }
+                }
+            }
+        },
+    );
+    cs.merge(&walk);
+    cs.candidates_emitted += emitted;
+    cs.candidates_rejected += rejected;
     match best {
         Some((_, jpos)) => PointLabel::Border(art.summary_cluster[jpos as usize]),
         None => PointLabel::Noise,

@@ -84,6 +84,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
+use mdbscan_grid::{CandidateStats, GridIndex, GRID_MAX_DIM};
 use mdbscan_kcenter::{BuildOptions, CenterAdjacency, IncrementalNet, RadiusGuidedNet};
 use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
@@ -114,6 +115,36 @@ const COVERTREE_CACHE_CAPACITY: usize = 4;
 /// Ingest deltas retained for incremental artifact upgrades. A cached
 /// artifact older than this many epochs falls back to a full recompute.
 const DELTA_HISTORY: usize = 128;
+
+/// Per-epoch grid indexes retained (one per recently queried
+/// `(epoch, cell)` pair; older epochs extend into newer ones).
+pub(crate) const GRID_CACHE_CAPACITY: usize = 4;
+
+/// Which candidate-generation machinery the engine's solvers use for
+/// ε-ball scans and the center-adjacency build.
+///
+/// Labels are **bit-identical** under either choice — the index changes
+/// which pairs are *examined*, never what any examined pair evaluates
+/// to — so this is purely a performance toggle. It is also *auto-gated*:
+/// [`CandidateIndex::Grid`] only engages when the metric exposes a
+/// low-dimensional Euclidean coordinate view
+/// ([`mdbscan_metric::GridCompatible`], ambient dimension `≤ 3` — in
+/// practice [`mdbscan_metric::VectorBlock`] at `d ∈ {1, 2, 3}`);
+/// everything else silently stays on the generic net-anchored path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateIndex {
+    /// The paper's net-anchored candidate generation (cover sets plus
+    /// triangle-inequality pruning). Works for every metric. The
+    /// default.
+    #[default]
+    Generic,
+    /// ε-aligned grid buckets (`mdbscan_grid`): candidates come from
+    /// ring cells around each query point, with whole-cell accepts for
+    /// dense interiors. Low-dimensional coordinate data only (see the
+    /// auto-gate above); ineligible metrics fall back to
+    /// [`CandidateIndex::Generic`] per query, silently.
+    Grid,
+}
 
 /// How the engine's `r̄`-net is selected (see the module docs for the
 /// full contrast).
@@ -191,6 +222,14 @@ pub struct RunReport {
     /// collected; all zeros when the engine was built with
     /// [`MetricDbscanBuilder::pruning`] off.
     pub pruning: PruneStats,
+    /// Grid candidate-generation ledger of this run: ring cells probed,
+    /// candidates handed to the metric, and candidates rejected by cell
+    /// bounds without an evaluation. All zeros on the generic path
+    /// (engines built without [`MetricDbscanBuilder::candidate_index`]
+    /// = [`CandidateIndex::Grid`], or whose metric has no coordinate
+    /// view). Counts only the work actually performed this run: phases
+    /// replayed from cached artifacts contribute nothing.
+    pub candidates: CandidateStats,
     /// Solver-specific statistics.
     pub detail: RunDetail,
 }
@@ -286,6 +325,13 @@ pub struct CacheStats {
     pub adjacency_misses: u64,
     /// Center-adjacency entries currently retained.
     pub adjacency_entries: usize,
+    /// Grid-index lookups that found a cached same-epoch grid. Always 0
+    /// for engines on [`CandidateIndex::Generic`].
+    pub grid_hits: u64,
+    /// Grid-index lookups that had to build or extend a grid.
+    pub grid_misses: u64,
+    /// Grid-index entries currently retained.
+    pub grid_entries: usize,
 }
 
 /// Which pipeline a cached fragment partition belongs to. The §3.1 and
@@ -425,6 +471,17 @@ pub(crate) struct AdjKey {
     pub(crate) pruned: bool,
 }
 
+/// Key of the per-epoch grid-index cache. The grid is a pure function
+/// of (epoch's points, cell side): the net never enters, so the exact
+/// and cover-tree pipelines share entries at equal `ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GridKey {
+    pub(crate) epoch: u64,
+    /// Bits of the cell side `ε/√d` — each probed `ε` gets its own
+    /// aligned grid.
+    pub(crate) cell_bits: u64,
+}
+
 /// One published epoch's delta: which cover sets gained members, and
 /// how many points existed before — everything an incremental artifact
 /// upgrade needs.
@@ -438,6 +495,7 @@ pub(crate) struct EngineCache {
     pub(crate) fragments: FragmentLru,
     pub(crate) adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
     pub(crate) covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
+    pub(crate) grids: Lru<GridKey, Arc<GridIndex>>,
     /// Published ingest deltas, ascending by epoch, bounded by
     /// [`DELTA_HISTORY`].
     pub(crate) deltas: VecDeque<EpochDelta>,
@@ -503,6 +561,7 @@ pub struct MetricDbscanBuilder<P, M> {
     parallel: Option<ParallelConfig>,
     pruning: PruningConfig,
     cache_capacity: usize,
+    candidate_index: CandidateIndex,
 }
 
 impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
@@ -567,6 +626,18 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         self
     }
 
+    /// Candidate-generation machinery for every query this engine
+    /// serves (default [`CandidateIndex::Generic`]). Choosing
+    /// [`CandidateIndex::Grid`] engages the ε-aligned grid index for
+    /// metrics with a low-dimensional coordinate view
+    /// ([`mdbscan_metric::VectorBlock`] at `d ≤ 3`) — **bit-identical
+    /// labels**, typically far fewer distance evaluations; ineligible
+    /// metrics silently keep the generic path.
+    pub fn candidate_index(mut self, index: CandidateIndex) -> Self {
+        self.candidate_index = index;
+        self
+    }
+
     /// Validates the configuration and builds the net (Algorithm 1, or
     /// the first-fit pass under [`NetStrategy::RadiusGuided`]).
     ///
@@ -605,6 +676,11 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         } else {
             COVERTREE_CACHE_CAPACITY
         };
+        let grid_capacity = if self.cache_capacity == 0 {
+            0
+        } else {
+            GRID_CACHE_CAPACITY
+        };
         Ok(MetricDbscan {
             metric: self.metric,
             rbar,
@@ -612,6 +688,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             pruning: self.pruning,
             max_centers: self.max_centers,
             strategy: self.strategy,
+            candidate_index: self.candidate_index,
             current: RwLock::new(Arc::new(EpochState {
                 epoch: 0,
                 points: self.points,
@@ -622,6 +699,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
                 fragments: Lru::new(self.cache_capacity),
                 adjacency: Lru::new(adj_capacity),
                 covertree: Lru::new(tree_capacity),
+                grids: Lru::new(grid_capacity),
                 deltas: VecDeque::new(),
             }),
             pending_epoch: AtomicU64::new(0),
@@ -631,6 +709,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             upgrade_count: AtomicU64::new(0),
             adj_hits: AtomicU64::new(0),
             adj_misses: AtomicU64::new(0),
+            grid_hits: AtomicU64::new(0),
+            grid_misses: AtomicU64::new(0),
         })
     }
 }
@@ -700,6 +780,7 @@ pub struct MetricDbscan<P, M> {
     pub(crate) pruning: PruningConfig,
     pub(crate) max_centers: usize,
     pub(crate) strategy: NetStrategy,
+    pub(crate) candidate_index: CandidateIndex,
     pub(crate) current: RwLock<Arc<EpochState<P>>>,
     pub(crate) writer: Mutex<Option<IngestState<P>>>,
     pub(crate) cache: Mutex<EngineCache>,
@@ -713,6 +794,8 @@ pub struct MetricDbscan<P, M> {
     pub(crate) upgrade_count: AtomicU64,
     pub(crate) adj_hits: AtomicU64,
     pub(crate) adj_misses: AtomicU64,
+    pub(crate) grid_hits: AtomicU64,
+    pub(crate) grid_misses: AtomicU64,
 }
 
 impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
@@ -731,6 +814,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             parallel: None,
             pruning: PruningConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            candidate_index: CandidateIndex::default(),
         }
     }
 
@@ -911,6 +995,11 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         self.pruning
     }
 
+    /// The candidate-generation machinery (set at build time).
+    pub fn candidate_index(&self) -> CandidateIndex {
+        self.candidate_index
+    }
+
     /// Snapshot of the cache counters and occupancy.
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.cache_lock();
@@ -923,6 +1012,9 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             adjacency_hits: self.adj_hits.load(Ordering::Relaxed),
             adjacency_misses: self.adj_misses.load(Ordering::Relaxed),
             adjacency_entries: cache.adjacency.entries.len(),
+            grid_hits: self.grid_hits.load(Ordering::Relaxed),
+            grid_misses: self.grid_misses.load(Ordering::Relaxed),
+            grid_entries: cache.grids.entries.len(),
         }
     }
 
@@ -933,13 +1025,14 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Drops every cached artifact (fragment/summary entries, cached
-    /// adjacencies, and the whole-input cover trees). Counters and the
-    /// ingest delta history are preserved.
+    /// adjacencies, grid indexes, and the whole-input cover trees).
+    /// Counters and the ingest delta history are preserved.
     pub fn clear_cache(&self) {
         let mut cache = self.cache_lock();
         cache.fragments.entries.clear();
         cache.adjacency.entries.clear();
         cache.covertree.entries.clear();
+        cache.grids.entries.clear();
     }
 
     fn count_lookup(&self, hit: bool) {
@@ -1165,6 +1258,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         t0: Instant,
         hit: bool,
         pruning: PruneStats,
+        candidates: CandidateStats,
         detail: RunDetail,
     ) -> RunReport {
         RunReport {
@@ -1175,8 +1269,80 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             cache_hits: self.engine.hits.load(Ordering::Relaxed),
             cache_misses: self.engine.misses.load(Ordering::Relaxed),
             pruning,
+            candidates,
             detail,
         }
+    }
+
+    /// Resolves this snapshot's ε-aligned grid index, or `None` to stay
+    /// on the generic path: the engine must have opted into
+    /// [`CandidateIndex::Grid`] *and* the metric must expose a
+    /// coordinate view of dimension `1..=GRID_MAX_DIM`.
+    ///
+    /// A same-epoch cached grid is a hit; otherwise the newest
+    /// older-epoch grid at the same cell side is *extended* by the
+    /// appended points' coordinates (counted as an upgrade). Either way
+    /// the resolution performs **zero distance evaluations** —
+    /// coordinate extraction and binning never consult the metric.
+    fn resolve_grid(&self, eps: f64) -> Option<Arc<GridIndex>> {
+        let engine = self.engine;
+        if engine.candidate_index != CandidateIndex::Grid {
+            return None;
+        }
+        let dim = engine.metric.grid_coords(&[], &mut Vec::new())?;
+        if dim == 0 || dim > GRID_MAX_DIM {
+            return None;
+        }
+        let cell = eps / (dim as f64).sqrt();
+        let key = GridKey {
+            epoch: self.state.epoch,
+            cell_bits: cell.to_bits(),
+        };
+        let (found, base) = {
+            let mut cache = engine.cache_lock();
+            match cache.grids.promote(&key).map(Arc::clone) {
+                Some(g) => (Some(g), None),
+                None => {
+                    // Newest older-epoch grid at the same cell side:
+                    // points are append-only, so it covers a prefix.
+                    let mut best: Option<(u64, Arc<GridIndex>)> = None;
+                    for (k, v) in &cache.grids.entries {
+                        if k.cell_bits == key.cell_bits
+                            && k.epoch < key.epoch
+                            && best.as_ref().is_none_or(|(e, _)| k.epoch > *e)
+                        {
+                            best = Some((k.epoch, Arc::clone(v)));
+                        }
+                    }
+                    (None, best.map(|(_, g)| g))
+                }
+            }
+        };
+        if let Some(g) = found {
+            engine.grid_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(g);
+        }
+        engine.grid_misses.fetch_add(1, Ordering::Relaxed);
+        let points: &[P] = &self.state.points;
+        let built = match base {
+            Some(b) if b.len() == points.len() => {
+                engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            Some(b) => {
+                let mut coords = Vec::with_capacity((points.len() - b.len()) * dim);
+                engine.metric.grid_coords(&points[b.len()..], &mut coords);
+                engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                Arc::new(b.extend(&coords))
+            }
+            None => {
+                let mut coords = Vec::with_capacity(points.len() * dim);
+                engine.metric.grid_coords(points, &mut coords);
+                Arc::new(GridIndex::build(dim, cell, coords))
+            }
+        };
+        engine.cache_lock().grids.insert(key, Arc::clone(&built));
+        Some(built)
     }
 
     /// Consults the epoch+`ε`-keyed adjacency cache. A same-epoch entry
@@ -1267,6 +1433,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         cfg: &ExactConfig,
         kind: NetKind,
         level: i32,
+        grid: Option<Arc<GridIndex>>,
     ) -> (Clustering, ExactStats, bool) {
         let engine = self.engine;
         // Only the default Step-1/2 shape is cacheable: the ablation
@@ -1320,6 +1487,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
                     dirty_balls: dirty,
                 }),
                 adjacency: adj_cached,
+                grid,
             },
         );
         if !adj_was_cached {
@@ -1352,13 +1520,15 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
     pub fn exact_with(&self, params: &DbscanParams, cfg: &ExactConfig) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
         self.check_usable(params.eps() / 2.0)?;
+        let grid = self.resolve_grid(params.eps());
         let (clustering, stats, hit) =
-            self.run_steps_cached(&self.view(), params, cfg, NetKind::Gonzalez, 0);
+            self.run_steps_cached(&self.view(), params, cfg, NetKind::Gonzalez, 0, grid);
         let report = self.report(
             AlgorithmKind::Exact,
             t0,
             hit,
             stats.pruning,
+            stats.candidates,
             RunDetail::Exact(stats),
         );
         Ok(Run { clustering, report })
@@ -1398,6 +1568,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             &engine.parallel,
         );
         let adj_was_cached = adj_cached.is_some();
+        let grid = self.resolve_grid(params.eps());
         let outcome = run_approx(
             &self.state.points,
             &engine.metric,
@@ -1408,6 +1579,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             ApproxReuse {
                 artifacts: cached.as_deref(),
                 adjacency: adj_cached,
+                grid,
             },
         );
         if !adj_was_cached {
@@ -1424,6 +1596,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             t0,
             hit,
             outcome.stats.pruning,
+            outcome.stats.candidates,
             RunDetail::Approx(outcome.stats),
         );
         Ok(Run {
@@ -1542,8 +1715,9 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             cover_sets: &cover_sets,
             dist_to_center: None,
         };
+        let grid = self.resolve_grid(params.eps());
         let (clustering, steps, frag_hit) =
-            self.run_steps_cached(&view, params, cfg, NetKind::CoverTree, level);
+            self.run_steps_cached(&view, params, cfg, NetKind::CoverTree, level, grid);
         let detail = RunDetail::CoverTree(CoverTreeExactStats {
             tree_secs,
             net_secs,
@@ -1556,6 +1730,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             t0,
             tree_hit || frag_hit,
             steps.pruning,
+            steps.candidates,
             detail,
         );
         Ok(Run { clustering, report })
@@ -1584,7 +1759,14 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             stats,
             footprint: session.footprint(),
         };
-        let report = self.report(AlgorithmKind::Streaming, t0, false, stats.pruning, detail);
+        let report = self.report(
+            AlgorithmKind::Streaming,
+            t0,
+            false,
+            stats.pruning,
+            CandidateStats::default(),
+            detail,
+        );
         Ok(Run { clustering, report })
     }
 }

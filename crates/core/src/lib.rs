@@ -117,8 +117,8 @@ mod unionfind;
 
 pub use approx::ApproxStats;
 pub use engine::{
-    AlgorithmKind, CacheStats, EngineSnapshot, IngestReport, MetricDbscan, MetricDbscanBuilder,
-    NetStrategy, Run, RunDetail, RunReport,
+    AlgorithmKind, CacheStats, CandidateIndex, EngineSnapshot, IngestReport, MetricDbscan,
+    MetricDbscanBuilder, NetStrategy, Run, RunDetail, RunReport,
 };
 pub use error::DbscanError;
 pub use exact::{ExactConfig, ExactStats};
@@ -126,6 +126,7 @@ pub use exact_covertree::{
     exact_dbscan_covertree, exact_dbscan_covertree_with, CoverTreeExactStats,
 };
 pub use labels::{Clustering, PointLabel};
+pub use mdbscan_grid::CandidateStats;
 pub use mdbscan_parallel::ParallelConfig;
 pub use params::{ApproxParams, DbscanParams};
 pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};

@@ -45,8 +45,8 @@ use mdbscan_persist::{
 
 use crate::approx::ApproxArtifacts;
 use crate::engine::{
-    AdjKey, CacheKey, CachedArtifacts, EngineCache, EngineSnapshot, EpochDelta, EpochState,
-    IngestState, Lru, MetricDbscan, NetKind, NetStrategy,
+    AdjKey, CacheKey, CachedArtifacts, CandidateIndex, EngineCache, EngineSnapshot, EpochDelta,
+    EpochState, IngestState, Lru, MetricDbscan, NetKind, NetStrategy, GRID_CACHE_CAPACITY,
 };
 use crate::error::DbscanError;
 use crate::steps::StepArtifacts;
@@ -60,6 +60,15 @@ const SEC_DELTAS: &str = "deltas";
 const SEC_ADJACENCY: &str = "adjacency-cache";
 const SEC_FRAGMENTS: &str = "fragment-cache";
 const SEC_COVERTREES: &str = "covertree-cache";
+/// Grid candidate-index configuration. **Optional**: artifacts written
+/// before the grid subsystem existed simply lack it, and decode to
+/// [`CandidateIndex::Generic`] with default capacity and zeroed
+/// counters — so the `golden_v1` fixture (and any other v1 artifact)
+/// keeps loading bit-identically. The grid indexes themselves are
+/// never persisted: rebuilding them is pure coordinate arithmetic
+/// (zero distance evaluations), so only the toggle and its counters
+/// travel.
+const SEC_GRID: &str = "grid-index";
 
 fn encode_strategy(out: &mut ByteWriter, strategy: NetStrategy) {
     out.put_u8(match strategy {
@@ -73,6 +82,63 @@ fn decode_strategy(r: &mut ByteReader<'_>) -> Result<NetStrategy, PersistError> 
         0 => Ok(NetStrategy::Gonzalez),
         1 => Ok(NetStrategy::RadiusGuided),
         b => Err(r.err(format!("unknown net strategy {b}"))),
+    }
+}
+
+fn encode_candidate_index(out: &mut ByteWriter, index: CandidateIndex) {
+    out.put_u8(match index {
+        CandidateIndex::Generic => 0,
+        CandidateIndex::Grid => 1,
+    });
+}
+
+fn decode_candidate_index(r: &mut ByteReader<'_>) -> Result<CandidateIndex, PersistError> {
+    match r.get_u8()? {
+        0 => Ok(CandidateIndex::Generic),
+        1 => Ok(CandidateIndex::Grid),
+        b => Err(r.err(format!("unknown candidate index {b}"))),
+    }
+}
+
+/// The optional [`SEC_GRID`] payload, with the defaults an old artifact
+/// (no such section) decodes to.
+struct GridSection {
+    candidate_index: CandidateIndex,
+    grid_capacity: usize,
+    grid_hits: u64,
+    grid_misses: u64,
+}
+
+impl GridSection {
+    fn encode(&self, out: &mut ByteWriter) {
+        encode_candidate_index(out, self.candidate_index);
+        out.put_usize(self.grid_capacity);
+        out.put_u64(self.grid_hits);
+        out.put_u64(self.grid_misses);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            candidate_index: decode_candidate_index(r)?,
+            grid_capacity: r.get_usize()?,
+            grid_hits: r.get_u64()?,
+            grid_misses: r.get_u64()?,
+        })
+    }
+
+    /// What a pre-grid artifact means: the generic path, the default
+    /// capacity derivation, cold counters.
+    fn absent(frag_capacity: usize) -> Self {
+        Self {
+            candidate_index: CandidateIndex::Generic,
+            grid_capacity: if frag_capacity == 0 {
+                0
+            } else {
+                GRID_CACHE_CAPACITY
+            },
+            grid_hits: 0,
+            grid_misses: 0,
+        }
     }
 }
 
@@ -415,6 +481,13 @@ where
             adj_misses: self.adj_misses.load(Ordering::Relaxed),
         }
         .encode(w.section(SEC_ENGINE));
+        GridSection {
+            candidate_index: self.candidate_index,
+            grid_capacity: cache.grids.capacity,
+            grid_hits: self.grid_hits.load(Ordering::Relaxed),
+            grid_misses: self.grid_misses.load(Ordering::Relaxed),
+        }
+        .encode(w.section(SEC_GRID));
         encode_epoch_state(&mut w, &state);
 
         let s = w.section(SEC_WRITER);
@@ -557,6 +630,11 @@ where
 
         let mut s = art.require_section(SEC_ENGINE)?;
         let cfg = EngineSection::decode(&mut s)?;
+
+        let grid = match art.section(SEC_GRID) {
+            Some(mut s) => GridSection::decode(&mut s)?,
+            None => GridSection::absent(cfg.frag_capacity),
+        };
 
         let mut s = art.require_section(SEC_POINTS)?;
         let n = s.get_usize()?;
@@ -746,6 +824,7 @@ where
 
         Ok(DecodedEngine {
             cfg,
+            grid,
             points,
             net,
             writer,
@@ -761,6 +840,7 @@ where
     fn assemble(parts: DecodedEngine<P>, metric: M) -> Self {
         let DecodedEngine {
             cfg,
+            grid,
             points,
             net,
             writer,
@@ -776,6 +856,7 @@ where
             pruning: cfg.pruning,
             max_centers: cfg.max_centers,
             strategy: cfg.strategy,
+            candidate_index: grid.candidate_index,
             current: RwLock::new(Arc::new(EpochState {
                 epoch: cfg.epoch,
                 points,
@@ -786,6 +867,7 @@ where
                 fragments,
                 adjacency,
                 covertree,
+                grids: Lru::new(grid.grid_capacity),
                 deltas,
             }),
             pending_epoch: AtomicU64::new(cfg.epoch),
@@ -795,6 +877,8 @@ where
             upgrade_count: AtomicU64::new(cfg.upgrades),
             adj_hits: AtomicU64::new(cfg.adj_hits),
             adj_misses: AtomicU64::new(cfg.adj_misses),
+            grid_hits: AtomicU64::new(grid.grid_hits),
+            grid_misses: AtomicU64::new(grid.grid_misses),
         }
     }
 }
@@ -805,6 +889,7 @@ where
 /// (non-`Clone`) metric value.
 struct DecodedEngine<P> {
     cfg: EngineSection,
+    grid: GridSection,
     points: Arc<[P]>,
     net: Arc<RadiusGuidedNet>,
     writer: Option<IngestState<P>>,
@@ -828,12 +913,13 @@ where
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
         let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
         let engine = self.engine;
-        let (frag_capacity, adj_capacity, tree_capacity) = {
+        let (frag_capacity, adj_capacity, tree_capacity, grid_capacity) = {
             let cache = engine.cache_lock();
             (
                 cache.fragments.capacity,
                 cache.adjacency.capacity,
                 cache.covertree.capacity,
+                cache.grids.capacity,
             )
         };
         EngineSection {
@@ -853,6 +939,13 @@ where
             adj_misses: 0,
         }
         .encode(w.section(SEC_ENGINE));
+        GridSection {
+            candidate_index: engine.candidate_index,
+            grid_capacity,
+            grid_hits: 0,
+            grid_misses: 0,
+        }
+        .encode(w.section(SEC_GRID));
         encode_epoch_state(&mut w, &self.state);
         w.write_file(path).map_err(DbscanError::from)
     }

@@ -52,6 +52,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
+use mdbscan_grid::{CandidateStats, GridIndex};
 use mdbscan_kcenter::CenterAdjacency;
 use mdbscan_metric::{BatchMetric, CountingMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{
@@ -165,6 +166,11 @@ pub struct StepsStats {
     pub merge_evals: u64,
     /// Distance evaluations spent in Step 3 (when counting).
     pub assign_evals: u64,
+    /// Grid candidate-generation ledger across the adjacency build and
+    /// Steps 1/3 — all zeros on the generic path. Like [`Self::pruning`]
+    /// these are *work* counters: labels are bit-identical with the grid
+    /// on or off; only where the candidates come from changes.
+    pub candidates: CandidateStats,
 }
 
 /// The `(ε, MinPts)`-dependent intermediates of Steps 1–2 that an engine
@@ -241,6 +247,12 @@ pub(crate) struct StepsReuse<'a> {
     pub(crate) artifacts: Option<&'a StepArtifacts>,
     pub(crate) upgrade: Option<StepsUpgrade<'a>>,
     pub(crate) adjacency: Option<Arc<CenterAdjacency>>,
+    /// ε-aligned grid over the current epoch's points (cell side
+    /// `ε/√d`). When present, the adjacency build and Steps 1/3 draw
+    /// their candidates from ring cells instead of the neighbor cover
+    /// sets — bit-identical labels, far fewer distance evaluations on
+    /// low-dimensional Euclidean data. `None` keeps the generic path.
+    pub(crate) grid: Option<Arc<GridIndex>>,
 }
 
 /// Everything one Steps-1–3 run produces: labels, stats, and the
@@ -303,6 +315,7 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
     // Neighbor-ball adjacency at 2r̄ + ε (definition (1)); Lemma 2 then
     // confines every ε-ball to its neighbor cover sets. An `ε`-matching
     // cached adjacency replays for free.
+    let grid: Option<&GridIndex> = reuse.grid.as_deref();
     let t = Instant::now();
     let evals_before = tick();
     let adj: Arc<CenterAdjacency> = match reuse.adjacency {
@@ -310,18 +323,42 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
             debug_assert_eq!(adj.threshold, 2.0 * net.rbar + eps, "adjacency cache mixup");
             adj
         }
-        None => {
-            let built = CenterAdjacency::build_pruned(
-                points,
-                metric,
-                net.centers,
-                2.0 * net.rbar + eps,
-                &cfg.parallel,
-                &cfg.pruning,
-            );
-            stats.pruning.merge(&built.pruning);
-            Arc::new(built)
-        }
+        None => match grid {
+            Some(g) => {
+                // Grid path: ring cells over the center coordinates
+                // replace the all-pairs sweep; surviving pairs are
+                // evaluated exactly, so the edge set (and every label
+                // downstream) matches the generic build bit-for-bit.
+                let dim = g.dim();
+                let mut coords = Vec::with_capacity(net.centers.len() * dim);
+                for &c in net.centers {
+                    coords.extend_from_slice(g.point_coords(c));
+                }
+                let (built, cand) = CenterAdjacency::build_grid(
+                    points,
+                    metric,
+                    net.centers,
+                    2.0 * net.rbar + eps,
+                    &cfg.parallel,
+                    dim,
+                    coords,
+                );
+                stats.candidates.merge(&cand);
+                Arc::new(built)
+            }
+            None => {
+                let built = CenterAdjacency::build_pruned(
+                    points,
+                    metric,
+                    net.centers,
+                    2.0 * net.rbar + eps,
+                    &cfg.parallel,
+                    &cfg.pruning,
+                );
+                stats.pruning.merge(&built.pruning);
+                Arc::new(built)
+            }
+        },
     };
     stats.adjacency_evals = tick() - evals_before;
     stats.adjacency_secs = t.elapsed().as_secs_f64();
@@ -369,6 +406,8 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
         let w = worker_count(threads, n, STEP_MIN_PER_THREAD);
         let chunks = par_map_ranges(split_even(n, w), |r| {
             let mut ps = PruneStats::default();
+            let mut cs = CandidateStats::default();
+            let mut cells: Vec<u32> = Vec::new();
             let flags: Vec<bool> = r
                 .map(|p| {
                     let e = net.assignment[p] as usize;
@@ -382,27 +421,48 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
                             }
                         }
                     }
-                    dense[e]
-                        || count_neighbors_capped(
-                            points,
-                            metric,
-                            net,
-                            &adj,
-                            e,
-                            p,
-                            eps,
-                            min_pts,
-                            &cfg.pruning,
-                            &mut ps,
-                        ) >= min_pts
+                    if dense[e] {
+                        return true;
+                    }
+                    match grid {
+                        // Grid path: whole in-range cells count for
+                        // free; only boundary-cell members consult the
+                        // metric. Both sides of the `≥ MinPts` predicate
+                        // see the same ε-ball, so the flag is identical.
+                        Some(g) => {
+                            g.count_within_capped(
+                                g.point_coords(p),
+                                eps,
+                                min_pts,
+                                &mut cells,
+                                &mut cs,
+                                |q| metric.within(&points[p], &points[q as usize], eps),
+                            ) >= min_pts
+                        }
+                        None => {
+                            count_neighbors_capped(
+                                points,
+                                metric,
+                                net,
+                                &adj,
+                                e,
+                                p,
+                                eps,
+                                min_pts,
+                                &cfg.pruning,
+                                &mut ps,
+                            ) >= min_pts
+                        }
+                    }
                 })
                 .collect();
-            (flags, ps)
+            (flags, ps, cs)
         });
         let mut flags = Vec::with_capacity(n);
-        for (chunk, ps) in chunks {
+        for (chunk, ps, cs) in chunks {
             flags.extend(chunk);
             stats.pruning.merge(&ps);
+            stats.candidates.merge(&cs);
         }
         Some(flags)
     };
@@ -713,6 +773,7 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
     let w = worker_count(threads, n, STEP_MIN_PER_THREAD);
     let chunks = par_map_ranges(split_even(n, w), |r| {
         let mut ps = PruneStats::default();
+        let mut cs = CandidateStats::default();
         let mut scratch = AnchorScratch::default();
         let labels: Vec<PointLabel> = r
             .map(|pi| {
@@ -720,29 +781,43 @@ fn run_steps_inner<P: Sync, M: BatchMetric<P> + Sync>(
                     let e = net.assignment[pi] as usize;
                     return PointLabel::Core(cluster_of_center[e]);
                 }
-                assign_border(
-                    points,
-                    metric,
-                    net,
-                    &adj,
-                    fragments,
-                    frag_radius,
-                    &trees,
-                    &cluster_of_center,
-                    pi,
-                    eps,
-                    &cfg.pruning,
-                    &mut scratch,
-                    &mut ps,
-                )
+                match grid {
+                    Some(g) => assign_border_grid(
+                        points,
+                        metric,
+                        net,
+                        g,
+                        is_core,
+                        &cluster_of_center,
+                        pi,
+                        eps,
+                        &mut cs,
+                    ),
+                    None => assign_border(
+                        points,
+                        metric,
+                        net,
+                        &adj,
+                        fragments,
+                        frag_radius,
+                        &trees,
+                        &cluster_of_center,
+                        pi,
+                        eps,
+                        &cfg.pruning,
+                        &mut scratch,
+                        &mut ps,
+                    ),
+                }
             })
             .collect();
-        (labels, ps)
+        (labels, ps, cs)
     });
     let mut labels = Vec::with_capacity(n);
-    for (chunk, ps) in chunks {
+    for (chunk, ps, cs) in chunks {
         labels.extend(chunk);
         stats.pruning.merge(&ps);
+        stats.candidates.merge(&cs);
     }
     stats.assign_evals = tick() - evals_before;
     stats.assign_secs = t.elapsed().as_secs_f64();
@@ -1023,6 +1098,64 @@ fn assign_border<P, M: BatchMetric<P>>(
             }
         }
     }
+    match best {
+        Some((_, e2)) => PointLabel::Border(cluster_of_center[e2]),
+        None => PointLabel::Noise,
+    }
+}
+
+/// Step 3 from the grid: nearest core point among the ring-cell
+/// candidates, minimizing `(distance, center position)`
+/// lexicographically — exactly the optimum the generic scan's
+/// ascending adjacency rows plus strict `<` converge to, so the label
+/// matches [`assign_border`] bit-for-bit (the label depends only on
+/// the winning center's cluster, and every distance comes from the
+/// same metric arithmetic). Cells whose lower bound exceeds the
+/// current best cannot beat *or tie* it (`lb ≤ d` holds in f64 for
+/// every member), so skipping them never changes the winner.
+#[allow(clippy::too_many_arguments)] // mirrors assign_border
+fn assign_border_grid<P, M: BatchMetric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    grid: &GridIndex,
+    is_core: &[bool],
+    cluster_of_center: &[u32],
+    pi: usize,
+    eps: f64,
+    cs: &mut CandidateStats,
+) -> PointLabel {
+    let mut best: Option<(f64, usize)> = None;
+    let mut walk = CandidateStats::default();
+    let (mut emitted, mut rejected) = (0u64, 0u64);
+    grid.for_each_candidate_cell(
+        grid.point_coords(pi),
+        eps,
+        &mut walk,
+        |members, cell_lb, _| {
+            if best.is_some_and(|(d, _)| cell_lb > d) {
+                rejected += members.len() as u64;
+                return;
+            }
+            for &q in members {
+                let q = q as usize;
+                if !is_core[q] {
+                    continue;
+                }
+                emitted += 1;
+                let bound = best.map_or(eps, |(d, _)| d);
+                if let Some(d) = metric.distance_leq(&points[pi], &points[q], bound) {
+                    let e2 = net.assignment[q] as usize;
+                    if best.is_none_or(|(bd, be)| d < bd || (d == bd && e2 < be)) {
+                        best = Some((d, e2));
+                    }
+                }
+            }
+        },
+    );
+    cs.merge(&walk);
+    cs.candidates_emitted += emitted;
+    cs.candidates_rejected += rejected;
     match best {
         Some((_, e2)) => PointLabel::Border(cluster_of_center[e2]),
         None => PointLabel::Noise,

@@ -1,0 +1,159 @@
+//! Low-dimensional (2-D/3-D) million-scale Gaussian workloads — the
+//! stand-ins for the paper's big planar tables (HT Sensor, Household,
+//! and the Fig. 6 scalability sweeps), sized for the grid candidate
+//! index (`mdbscan_grid`): millions of coordinate points in a dimension
+//! low enough that ε-aligned cells stay meaningful.
+//!
+//! [`blobs`](crate::blobs) already covers arbitrary ambient dimension;
+//! this generator differs in its defaults (100 000 points, not 1 000),
+//! its dimension gate (2 or 3 only — the grid's useful range), and its
+//! denser cluster layout so large `n` still produces DBSCAN-nontrivial
+//! structure at small ε.
+
+use mdbscan_metric::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::randutil::{normal, uniform_vec};
+
+/// Specification for [`lowdim_blobs`].
+#[derive(Debug, Clone)]
+pub struct LowDimSpec {
+    /// Total inlier count (split round-robin across clusters).
+    pub n: usize,
+    /// Ambient dimension — must be 2 or 3 (the grid index's sweet spot).
+    pub dim: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Per-coordinate standard deviation of each cluster.
+    pub std: f64,
+    /// Fraction of additional uniform noise points (of `n`), labeled `-1`.
+    pub noise_frac: f64,
+    /// Half side length of the box cluster centers are drawn from; noise
+    /// covers the 1.25× enclosing box.
+    pub extent: f64,
+}
+
+impl Default for LowDimSpec {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            dim: 2,
+            clusters: 10,
+            std: 1.0,
+            noise_frac: 0.02,
+            extent: 100.0,
+        }
+    }
+}
+
+/// Isotropic Gaussian mixture in 2-D or 3-D with uniform background
+/// noise, deterministic per seed.
+///
+/// Cluster centers are drawn uniformly from `[-extent, extent]^dim`,
+/// rejecting any center closer than `8·std` to an earlier one (up to a
+/// bounded number of attempts) so ground-truth clusters are separable
+/// at `ε` a few multiples of `std`. Inliers are assigned round-robin;
+/// noise points are uniform over the 1.25× enclosing box and labeled
+/// `-1`.
+///
+/// Panics if `spec.dim` is not 2 or 3, or `spec.clusters` is 0.
+pub fn lowdim_blobs(spec: &LowDimSpec, seed: u64) -> Dataset<Vec<f64>> {
+    assert!(
+        spec.dim == 2 || spec.dim == 3,
+        "lowdim_blobs supports dim 2 or 3, got {}",
+        spec.dim
+    );
+    assert!(spec.clusters > 0, "lowdim_blobs needs at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = spec.extent;
+    let min_sep = 8.0 * spec.std;
+    let mut centers: Vec<Vec<f64>> = Vec::new();
+    let mut attempts = 0;
+    while centers.len() < spec.clusters {
+        let c = uniform_vec(&mut rng, spec.dim, -b, b);
+        attempts += 1;
+        let ok = centers.iter().all(|o| {
+            let d2: f64 = o.iter().zip(c.iter()).map(|(x, y)| (x - y).powi(2)).sum();
+            d2.sqrt() >= min_sep
+        });
+        if ok || attempts > 2000 {
+            centers.push(c);
+        }
+    }
+    let mut points = Vec::with_capacity(spec.n);
+    let mut labels = Vec::with_capacity(spec.n);
+    for i in 0..spec.n {
+        let k = i % spec.clusters;
+        let p: Vec<f64> = centers[k]
+            .iter()
+            .map(|&c| c + spec.std * normal(&mut rng))
+            .collect();
+        points.push(p);
+        labels.push(k as i32);
+    }
+    let noise = ((spec.n as f64) * spec.noise_frac) as usize;
+    for _ in 0..noise {
+        points.push(uniform_vec(&mut rng, spec.dim, -1.25 * b, 1.25 * b));
+        labels.push(-1);
+    }
+    Dataset::with_labels("lowdim_blobs", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbscan_metric::validate_vectors;
+
+    #[test]
+    fn default_is_100k_2d() {
+        let spec = LowDimSpec {
+            n: 5_000, // keep the unit test fast; the default n is exercised by the bench
+            ..Default::default()
+        };
+        assert_eq!(LowDimSpec::default().n, 100_000);
+        let ds = lowdim_blobs(&spec, 7);
+        assert_eq!(ds.len(), 5_000 + 100);
+        assert!(ds.points().iter().all(|p| p.len() == 2));
+        validate_vectors(ds.points()).unwrap();
+    }
+
+    #[test]
+    fn three_d_and_determinism() {
+        let spec = LowDimSpec {
+            n: 2_000,
+            dim: 3,
+            clusters: 4,
+            ..Default::default()
+        };
+        let a = lowdim_blobs(&spec, 1);
+        let b = lowdim_blobs(&spec, 1);
+        assert_eq!(a.points(), b.points());
+        assert_ne!(a.points(), lowdim_blobs(&spec, 2).points());
+        assert!(a.points().iter().all(|p| p.len() == 3));
+    }
+
+    #[test]
+    fn noise_labels_are_negative() {
+        let spec = LowDimSpec {
+            n: 1_000,
+            noise_frac: 0.1,
+            ..Default::default()
+        };
+        let ds = lowdim_blobs(&spec, 3);
+        let labels = ds.labels().unwrap();
+        assert_eq!(labels.iter().filter(|&&l| l == -1).count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim 2 or 3")]
+    fn rejects_high_dim() {
+        lowdim_blobs(
+            &LowDimSpec {
+                dim: 4,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

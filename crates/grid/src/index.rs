@@ -1,0 +1,733 @@
+//! The grid index proper: canonical sorted cell buckets, ring probes,
+//! and the incremental extend path.
+
+use crate::stats::CandidateStats;
+
+/// Largest ambient dimension the engine will build a grid for. Probe
+/// rings visit `O((2√d + 3)^d)` cells, so past dimension 3 the generic
+/// net-anchored path is the better tool and the engine falls back.
+pub const GRID_MAX_DIM: usize = 3;
+
+/// Hard cap on the dimension this crate will bin at all (probe scratch
+/// is stack-allocated at this size). [`GRID_MAX_DIM`] is the *policy*
+/// bound engines gate on; this is the structural one.
+pub const MAX_BIN_DIM: usize = 8;
+
+/// Empty slot marker in the cell hash table.
+const EMPTY: u32 = u32::MAX;
+
+/// Relative width of the guard band around cell verdicts; see the
+/// crate docs ("Soundness guard for cell verdicts").
+const GUARD: f64 = 1e-9;
+
+/// An ε-aligned grid over `n` points in `R^d`, stored in canonical
+/// form: cells sorted by integer key (lexicographic), members sorted
+/// ascending, CSR offsets, and a per-cell member bounding box. A hash
+/// table over the keys serves O(1) lookups during probes; it is never
+/// iterated, so it cannot influence any ordering. See the crate docs
+/// for the determinism and soundness arguments.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    dim: usize,
+    cell: f64,
+    /// Row-major coordinates of all indexed points (`n × dim`), owned
+    /// so probes and `extend` need no external coordinate source.
+    coords: Vec<f64>,
+    /// Sorted cell keys, flattened (`num_cells × dim`).
+    keys: Vec<i64>,
+    /// CSR offsets into `members` (`num_cells + 1`).
+    offsets: Vec<u32>,
+    /// Point ids bucketed per cell, ascending within each cell.
+    members: Vec<u32>,
+    /// Per-cell member bounding box, low corner (`num_cells × dim`).
+    lo: Vec<f64>,
+    /// Per-cell member bounding box, high corner (`num_cells × dim`).
+    hi: Vec<f64>,
+    /// Open-addressing table: slot → cell index (lookup only).
+    table: Vec<u32>,
+}
+
+#[inline]
+fn bin(x: f64, cell: f64) -> i64 {
+    (x / cell).floor() as i64
+}
+
+#[inline]
+fn hash_key(key: &[i64]) -> u64 {
+    // FNV-1a over the key bytes: stable, dependency-free, and good
+    // enough for integer grid keys behind linear probing.
+    let mut h = 0xcbf29ce484222325u64;
+    for &k in key {
+        for b in k.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+impl GridIndex {
+    /// Builds the index over `coords` (row-major, `len` must be a
+    /// multiple of `dim`) at the given cell side. Pure coordinate
+    /// arithmetic — **zero distance evaluations** (no metric is
+    /// reachable from this API).
+    ///
+    /// Panics on a non-positive/non-finite cell side, `dim == 0`,
+    /// `dim > MAX_BIN_DIM`, misaligned `coords`, or non-finite
+    /// coordinates.
+    pub fn build(dim: usize, cell: f64, coords: Vec<f64>) -> Self {
+        assert!(
+            (1..=MAX_BIN_DIM).contains(&dim),
+            "grid dimension must be in 1..={MAX_BIN_DIM}, got {dim}"
+        );
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell side must be positive and finite, got {cell}"
+        );
+        assert_eq!(coords.len() % dim, 0, "coords not a multiple of dim");
+        assert!(
+            coords.iter().all(|v| v.is_finite()),
+            "non-finite coordinate"
+        );
+        let n = coords.len() / dim;
+        assert!(n <= u32::MAX as usize, "too many points for u32 ids");
+
+        // Bin every point, then sort ids by (cell key, id): the sorted
+        // run structure *is* the canonical cell order.
+        let mut keybuf = vec![0i64; coords.len()];
+        for i in 0..n {
+            for a in 0..dim {
+                keybuf[i * dim + a] = bin(coords[i * dim + a], cell);
+            }
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&i, &j| {
+            let ki = &keybuf[i as usize * dim..(i as usize + 1) * dim];
+            let kj = &keybuf[j as usize * dim..(j as usize + 1) * dim];
+            ki.cmp(kj).then(i.cmp(&j))
+        });
+
+        let mut out = Self {
+            dim,
+            cell,
+            coords,
+            keys: Vec::new(),
+            offsets: vec![0],
+            members: Vec::with_capacity(n),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            table: Vec::new(),
+        };
+        for &id in &order {
+            let key = &keybuf[id as usize * dim..(id as usize + 1) * dim];
+            if out.keys.is_empty() || &out.keys[out.keys.len() - dim..] != key {
+                // `keys` is empty or the run changed: open a new cell.
+                if !out.members.is_empty() {
+                    out.offsets.push(out.members.len() as u32);
+                }
+                out.keys.extend_from_slice(key);
+            }
+            out.push_member(id);
+        }
+        if !out.members.is_empty() {
+            out.offsets.push(out.members.len() as u32);
+        }
+        out.rebuild_table();
+        out
+    }
+
+    /// Appends one member to the currently-open (last) cell, growing
+    /// its bounding box by an order-free min/max fold.
+    fn push_member(&mut self, id: u32) {
+        let c = self.keys.len() / self.dim - 1;
+        if self.lo.len() < (c + 1) * self.dim {
+            let row = &self.coords[id as usize * self.dim..(id as usize + 1) * self.dim];
+            self.lo.extend_from_slice(row);
+            self.hi.extend_from_slice(row);
+        } else {
+            for a in 0..self.dim {
+                let v = self.coords[id as usize * self.dim + a];
+                let lo = &mut self.lo[c * self.dim + a];
+                *lo = lo.min(v);
+                let hi = &mut self.hi[c * self.dim + a];
+                *hi = hi.max(v);
+            }
+        }
+        self.members.push(id);
+    }
+
+    fn rebuild_table(&mut self) {
+        let cells = self.num_cells();
+        let cap = (cells * 2).next_power_of_two().max(8);
+        self.table = vec![EMPTY; cap];
+        let mask = cap as u64 - 1;
+        for c in 0..cells {
+            let key = &self.keys[c * self.dim..(c + 1) * self.dim];
+            let mut slot = (hash_key(key) & mask) as usize;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & mask as usize;
+            }
+            self.table[slot] = c as u32;
+        }
+    }
+
+    /// Grows the index by the points whose row-major coordinates are
+    /// `new_coords`, assigning them ids `len()..`. The result is
+    /// **bit-identical** to [`GridIndex::build`] over the concatenated
+    /// coordinates: appended ids exceed every existing member (buckets
+    /// stay ascending), merged keys stay sorted, and bounding boxes are
+    /// order-free min/max folds. Cost is `O(m log m + cells)` for an
+    /// `m`-point batch, not a full `O(n log n)` rebuild.
+    pub fn extend(&self, new_coords: &[f64]) -> Self {
+        assert_eq!(
+            new_coords.len() % self.dim,
+            0,
+            "coords not a multiple of dim"
+        );
+        assert!(
+            new_coords.iter().all(|v| v.is_finite()),
+            "non-finite coordinate"
+        );
+        let dim = self.dim;
+        let base = self.len() as u32;
+        let m = new_coords.len() / dim;
+        let mut keybuf = vec![0i64; new_coords.len()];
+        for i in 0..m {
+            for a in 0..dim {
+                keybuf[i * dim + a] = bin(new_coords[i * dim + a], self.cell);
+            }
+        }
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_unstable_by(|&i, &j| {
+            let ki = &keybuf[i as usize * dim..(i as usize + 1) * dim];
+            let kj = &keybuf[j as usize * dim..(j as usize + 1) * dim];
+            ki.cmp(kj).then(i.cmp(&j))
+        });
+
+        let mut coords = self.coords.clone();
+        coords.extend_from_slice(new_coords);
+        let mut out = Self {
+            dim,
+            cell: self.cell,
+            coords,
+            keys: Vec::new(),
+            offsets: vec![0],
+            members: Vec::with_capacity(self.members.len() + m),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            table: Vec::new(),
+        };
+
+        // Merge the two key-sorted streams: existing cells (members
+        // already ascending and < base) and the fresh runs (ids offset
+        // by `base`, so they sort after any existing member of the same
+        // cell).
+        let old_cells = self.num_cells();
+        let (mut oc, mut ni) = (0usize, 0usize);
+        while oc < old_cells || ni < m {
+            let old_key = (oc < old_cells).then(|| &self.keys[oc * dim..(oc + 1) * dim]);
+            let new_key = (ni < m).then(|| {
+                let id = order[ni] as usize;
+                &keybuf[id * dim..(id + 1) * dim]
+            });
+            let take_old = match (old_key, new_key) {
+                (Some(ok), Some(nk)) => ok <= nk,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_old {
+                let key = old_key.expect("old cell present");
+                let emit_new = new_key == Some(key);
+                out.open_cell(key);
+                for &id in self.cell_members(oc) {
+                    out.push_member(id);
+                }
+                if emit_new {
+                    // Same cell also gained fresh members: append them
+                    // (ids are all ≥ base > every existing member).
+                    while ni < m {
+                        let id = order[ni] as usize;
+                        if &keybuf[id * dim..(id + 1) * dim] != key {
+                            break;
+                        }
+                        out.push_member(base + order[ni]);
+                        ni += 1;
+                    }
+                }
+                oc += 1;
+            } else {
+                let key = keybuf[order[ni] as usize * dim..(order[ni] as usize + 1) * dim].to_vec();
+                out.open_cell(&key);
+                while ni < m {
+                    let id = order[ni] as usize;
+                    if keybuf[id * dim..(id + 1) * dim] != key[..] {
+                        break;
+                    }
+                    out.push_member(base + order[ni]);
+                    ni += 1;
+                }
+            }
+            out.offsets.push(out.members.len() as u32);
+        }
+        out.rebuild_table();
+        out
+    }
+
+    fn open_cell(&mut self, key: &[i64]) {
+        self.keys.extend_from_slice(key);
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cell side the index was built at.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Row-major coordinates of point `i` (as indexed).
+    pub fn point_coords(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The member ids of cell `c` (ascending).
+    pub fn cell_members(&self, c: usize) -> &[u32] {
+        &self.members[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Approximate heap footprint in bytes (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.coords.len() * std::mem::size_of::<f64>()
+            + self.keys.len() * std::mem::size_of::<i64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.members.len() * std::mem::size_of::<u32>()
+            + (self.lo.len() + self.hi.len()) * std::mem::size_of::<f64>()
+            + self.table.len() * std::mem::size_of::<u32>()
+    }
+
+    fn find_cell(&self, key: &[i64]) -> Option<usize> {
+        let mask = self.table.len() as u64 - 1;
+        let mut slot = (hash_key(key) & mask) as usize;
+        loop {
+            let c = self.table[slot];
+            if c == EMPTY {
+                return None;
+            }
+            let c = c as usize;
+            if &self.keys[c * self.dim..(c + 1) * self.dim] == key {
+                return Some(c);
+            }
+            slot = (slot + 1) & mask as usize;
+        }
+    }
+
+    /// Visits every non-empty cell in the probe ring of `B(q, r)`, in
+    /// lexicographic key order. The ring is one cell wider per side
+    /// than the nominal `⌊(q_a ± r)/cell⌋` range so a one-ulp floor
+    /// slip can never exclude a true neighbor's cell.
+    fn visit_ring(&self, q: &[f64], r: f64, mut f: impl FnMut(usize)) {
+        debug_assert_eq!(q.len(), self.dim);
+        if self.is_empty() {
+            return;
+        }
+        let dim = self.dim;
+        let mut lo = [0i64; MAX_BIN_DIM];
+        let mut hi = [0i64; MAX_BIN_DIM];
+        let mut cur = [0i64; MAX_BIN_DIM];
+        for a in 0..dim {
+            lo[a] = bin(q[a] - r, self.cell) - 1;
+            hi[a] = bin(q[a] + r, self.cell) + 1;
+            cur[a] = lo[a];
+        }
+        'outer: loop {
+            if let Some(c) = self.find_cell(&cur[..dim]) {
+                f(c);
+            }
+            let mut a = dim - 1;
+            loop {
+                cur[a] += 1;
+                if cur[a] <= hi[a] {
+                    continue 'outer;
+                }
+                cur[a] = lo[a];
+                if a == 0 {
+                    break 'outer;
+                }
+                a -= 1;
+            }
+        }
+    }
+
+    /// Distance bounds from `q` to cell `c`'s member bounding box:
+    /// `(lb, ub, m)` where `lb ≤ dis(q, x) ≤ ub` for every member `x`
+    /// and `m` bounds the coordinate magnitudes involved (for the
+    /// guard band).
+    fn cell_bounds(&self, c: usize, q: &[f64]) -> (f64, f64, f64) {
+        let (mut lb2, mut ub2, mut m) = (0.0f64, 0.0f64, 0.0f64);
+        let lo_row = &self.lo[c * self.dim..(c + 1) * self.dim];
+        let hi_row = &self.hi[c * self.dim..(c + 1) * self.dim];
+        for ((&lo, &hi), &qa) in lo_row.iter().zip(hi_row).zip(q) {
+            m = m.max(qa.abs()).max(lo.abs()).max(hi.abs());
+            let gap = (lo - qa).max(qa - hi).max(0.0);
+            lb2 += gap * gap;
+            let far = (qa - lo).abs().max((hi - qa).abs());
+            ub2 += far * far;
+        }
+        (lb2.sqrt(), ub2.sqrt(), m)
+    }
+
+    /// Counts members of `B(q, r)` up to `cap`, replacing a generic
+    /// capped neighbor scan. Wholesale-acceptable cells (box entirely
+    /// inside the guarded radius) are counted without consulting
+    /// `eval`; members of boundary cells are handed to `eval` — the
+    /// caller's *metric* predicate `dis(q, x) ≤ r` — in deterministic
+    /// order (cells by key, members ascending) until the cap is
+    /// reached. `scratch` is reused boundary-cell storage.
+    ///
+    /// If the query point itself is indexed it is counted like any
+    /// other member, matching the generic scan (which counts `p ∈
+    /// B(p, r)`).
+    pub fn count_within_capped(
+        &self,
+        q: &[f64],
+        r: f64,
+        cap: usize,
+        scratch: &mut Vec<u32>,
+        stats: &mut CandidateStats,
+        mut eval: impl FnMut(u32) -> bool,
+    ) -> usize {
+        scratch.clear();
+        let mut count = 0usize;
+        self.visit_ring(q, r, |c| {
+            stats.cells_probed += 1;
+            let (lb, ub, m) = self.cell_bounds(c, q);
+            let slack = GUARD * (r + m);
+            let size = self.cell_members(c).len() as u64;
+            if lb > r + slack {
+                stats.candidates_rejected += size;
+            } else if ub <= r - slack {
+                stats.candidates_emitted += size;
+                count += size as usize;
+            } else {
+                scratch.push(c as u32);
+            }
+        });
+        if count >= cap {
+            return cap;
+        }
+        for &c in scratch.iter() {
+            for &id in self.cell_members(c as usize) {
+                stats.candidates_emitted += 1;
+                if eval(id) {
+                    count += 1;
+                    if count >= cap {
+                        return cap;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Visits the members of every ring cell of `B(q, r)` that survives
+    /// the cell-level rejection bound, in deterministic order, as
+    /// `f(members, cell_lb, whole_within)` — for nearest-within scans
+    /// that keep their own shrinking bound, and for range scans that
+    /// can accept whole cells. `whole_within` is `Some(cell_ub)` when
+    /// the cell's member box lies entirely inside the guarded radius
+    /// (the same test [`GridIndex::count_within_capped`] counts for
+    /// free): `cell_lb ≤ dis(q, x) ≤ cell_ub ≤ r` holds for every
+    /// member `x`, so the caller may accept them without a distance
+    /// evaluation. Rejected cells are tallied into `stats`; the caller
+    /// accounts for the candidates it actually examines.
+    pub fn for_each_candidate_cell(
+        &self,
+        q: &[f64],
+        r: f64,
+        stats: &mut CandidateStats,
+        mut f: impl FnMut(&[u32], f64, Option<f64>),
+    ) {
+        self.visit_ring(q, r, |c| {
+            stats.cells_probed += 1;
+            let (lb, ub, m) = self.cell_bounds(c, q);
+            let slack = GUARD * (r + m);
+            let members = self.cell_members(c);
+            if lb > r + slack {
+                stats.candidates_rejected += members.len() as u64;
+            } else {
+                let whole_within = (ub <= r - slack).then_some(ub);
+                f(members, lb, whole_within);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn random_coords(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim)
+            .map(|_| rng.random::<f64>() * 20.0 - 10.0)
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &GridIndex, b: &GridIndex) {
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.members, b.members);
+        assert!(a
+            .lo
+            .iter()
+            .zip(&b.lo)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(a
+            .hi
+            .iter()
+            .zip(&b.hi)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(a
+            .coords
+            .iter()
+            .zip(&b.coords)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn canonical_form_holds() {
+        for dim in [1usize, 2, 3] {
+            let coords = random_coords(500, dim, 7 + dim as u64);
+            let g = GridIndex::build(dim, 0.9, coords);
+            assert_eq!(g.len(), 500);
+            // Keys strictly ascending (lexicographic), members ascending,
+            // every point in exactly one cell.
+            let mut seen = vec![false; 500];
+            for c in 0..g.num_cells() {
+                if c > 0 {
+                    let prev = &g.keys[(c - 1) * dim..c * dim];
+                    let cur = &g.keys[c * dim..(c + 1) * dim];
+                    assert!(prev < cur, "cells out of order at {c}");
+                }
+                let mem = g.cell_members(c);
+                assert!(!mem.is_empty());
+                assert!(mem.windows(2).all(|w| w[0] < w[1]));
+                for &id in mem {
+                    assert!(!seen[id as usize]);
+                    seen[id as usize] = true;
+                    // Member inside its cell's bounding box.
+                    for a in 0..dim {
+                        let v = g.point_coords(id as usize)[a];
+                        assert!(g.lo[c * dim + a] <= v && v <= g.hi[c * dim + a]);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_fresh_build() {
+        for dim in [1usize, 2, 3] {
+            let all = random_coords(800, dim, 99);
+            let fresh = GridIndex::build(dim, 0.7, all.clone());
+            // Grow in several uneven batches, including an empty one.
+            for splits in [vec![800], vec![500, 300], vec![100, 0, 350, 350]] {
+                let mut cut = 0usize;
+                let mut grown: Option<GridIndex> = None;
+                for s in splits {
+                    let chunk = &all[cut * dim..(cut + s) * dim];
+                    grown = Some(match grown {
+                        None => GridIndex::build(dim, 0.7, chunk.to_vec()),
+                        Some(g) => g.extend(chunk),
+                    });
+                    cut += s;
+                }
+                assert_bit_identical(&fresh, &grown.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        for dim in [1usize, 2, 3] {
+            let coords = random_coords(400, dim, 3);
+            let cell = 1.5 / (dim as f64).sqrt();
+            let g = GridIndex::build(dim, cell, coords.clone());
+            let mut scratch = Vec::new();
+            for i in 0..400 {
+                let q = &coords[i * dim..(i + 1) * dim];
+                for r in [0.3, 1.5, 4.0] {
+                    let want = (0..400)
+                        .filter(|&j| euclid(q, &coords[j * dim..(j + 1) * dim]) <= r)
+                        .count();
+                    let mut stats = CandidateStats::default();
+                    let got =
+                        g.count_within_capped(q, r, usize::MAX, &mut scratch, &mut stats, |id| {
+                            euclid(q, g.point_coords(id as usize)) <= r
+                        });
+                    assert_eq!(got, want, "dim={dim} i={i} r={r}");
+                    // Capped variant saturates exactly.
+                    if want >= 3 {
+                        let got = g.count_within_capped(q, r, 3, &mut scratch, &mut stats, |id| {
+                            euclid(q, g.point_coords(id as usize)) <= r
+                        });
+                        assert_eq!(got, 3);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_cells_cover_the_ball() {
+        let dim = 2;
+        let coords = random_coords(300, dim, 11);
+        let g = GridIndex::build(dim, 0.5, coords.clone());
+        let mut stats = CandidateStats::default();
+        for i in 0..300 {
+            let q = &coords[i * dim..(i + 1) * dim];
+            let r = 0.8;
+            let mut emitted = vec![false; 300];
+            g.for_each_candidate_cell(q, r, &mut stats, |members, lb, whole_within| {
+                for &id in members {
+                    emitted[id as usize] = true;
+                    let d = euclid(q, &coords[id as usize * dim..(id as usize + 1) * dim]);
+                    assert!(lb <= d + 1e-12, "cell lb {lb} above member distance {d}");
+                    if let Some(ub) = whole_within {
+                        assert!(
+                            d <= ub && ub <= r,
+                            "whole-within bound unsound: {d} / {ub} / {r}"
+                        );
+                    }
+                }
+            });
+            for j in 0..300 {
+                if euclid(q, &coords[j * dim..(j + 1) * dim]) <= r {
+                    assert!(emitted[j], "ball member {j} not emitted for query {i}");
+                }
+            }
+        }
+        assert!(stats.cells_probed > 0);
+        assert!(stats.candidates_rejected > 0, "rejection bound never fired");
+    }
+
+    #[test]
+    fn whole_cell_accepts_fire_without_eval() {
+        // A tight cluster well inside one cell: counting at a generous
+        // radius must not consult the predicate for the accepted cells.
+        let dim = 2;
+        let mut coords = Vec::new();
+        for i in 0..50 {
+            coords.push(0.4 + (i as f64) * 1e-4);
+            coords.push(0.4 - (i as f64) * 1e-4);
+        }
+        let g = GridIndex::build(dim, 1.0, coords.clone());
+        let mut stats = CandidateStats::default();
+        let mut scratch = Vec::new();
+        let mut evals = 0usize;
+        let got = g.count_within_capped(
+            &[0.4, 0.4],
+            0.5,
+            usize::MAX,
+            &mut scratch,
+            &mut stats,
+            |_| {
+                evals += 1;
+                true
+            },
+        );
+        assert_eq!(got, 50);
+        assert_eq!(evals, 0, "dense interior should be evaluation-free");
+        assert_eq!(stats.candidates_emitted, 50);
+    }
+
+    #[test]
+    fn empty_grid_probes_cleanly() {
+        let g = GridIndex::build(2, 1.0, Vec::new());
+        assert!(g.is_empty());
+        assert_eq!(g.num_cells(), 0);
+        let mut stats = CandidateStats::default();
+        let mut scratch = Vec::new();
+        let got = g.count_within_capped(&[0.0, 0.0], 1.0, 5, &mut scratch, &mut stats, |_| true);
+        assert_eq!(got, 0);
+        g.for_each_candidate_cell(&[0.0, 0.0], 1.0, &mut stats, |_, _, _| {
+            panic!("no cells to visit")
+        });
+        assert_eq!(stats, CandidateStats::default());
+    }
+
+    #[test]
+    fn negative_and_boundary_coordinates_bin_consistently() {
+        // Points exactly on cell boundaries and in negative space:
+        // count must still match brute force (the ±1 ring widening
+        // absorbs any floor behavior at the seams).
+        let dim = 2;
+        let mut coords = Vec::new();
+        for i in -5i32..5 {
+            for j in -5i32..5 {
+                coords.push(f64::from(i) * 0.5);
+                coords.push(f64::from(j) * 0.5);
+            }
+        }
+        let g = GridIndex::build(dim, 0.5, coords.clone());
+        let n = coords.len() / dim;
+        let mut scratch = Vec::new();
+        for i in 0..n {
+            let q = coords[i * dim..(i + 1) * dim].to_vec();
+            let r = 1.0;
+            let want = (0..n)
+                .filter(|&j| euclid(&q, &coords[j * dim..(j + 1) * dim]) <= r)
+                .count();
+            let mut stats = CandidateStats::default();
+            let got = g.count_within_capped(&q, r, usize::MAX, &mut scratch, &mut stats, |id| {
+                euclid(&q, g.point_coords(id as usize)) <= r
+            });
+            assert_eq!(got, want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn heap_bytes_reported() {
+        let g = GridIndex::build(2, 1.0, random_coords(100, 2, 1));
+        assert!(g.heap_bytes() > 100 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cell_panics() {
+        let _ = GridIndex::build(2, 0.0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_coords_panic() {
+        let _ = GridIndex::build(2, 1.0, vec![0.0, 0.0, 1.0]);
+    }
+}

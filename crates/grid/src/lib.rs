@@ -1,0 +1,86 @@
+//! ε-aligned grid index: cell-bucketed candidate generation for
+//! low-dimensional Euclidean workloads.
+//!
+//! The paper's net-anchored pruning cuts distance evaluations by
+//! constants, but for coordinate data at small dimension the per-point
+//! ball scans remain the bottleneck. Following de Berg–Gunawan–
+//! Roeloffzen ("Faster DBSCAN and HDBSCAN in Low-Dimensional Euclidean
+//! Spaces"), this crate buckets points into an axis-aligned grid and
+//! generates neighbor *candidates* from the few cells a query ball can
+//! touch — the actual distance predicate always stays with the caller's
+//! metric, so the index changes which pairs are *examined*, never what
+//! any examined pair *evaluates to*.
+//!
+//! # Cell-size derivation
+//!
+//! [`GridIndex`] bins point `x` into the cell with integer key
+//! `k_a = ⌊x_a / cell⌋` per axis. The engine picks `cell = ε/√d`: a
+//! cell is then a `d`-cube of side `ε/√d`, whose diameter is
+//! `√d · (ε/√d) = ε`. Two consequences the candidate generator uses:
+//!
+//! * any two points in one cell are within `ε` of each other, so whole
+//!   cells can be **accepted** against a ball query without evaluating
+//!   a single member (the dense-interior shortcut that makes Step-1
+//!   core counting nearly evaluation-free);
+//! * a ball `B(q, r)` only intersects cells whose key lies in the
+//!   per-axis range `⌊(q_a − r)/cell⌋ .. ⌊(q_a + r)/cell⌋` — at
+//!   `r = ε` that is `O((2√d + 3)^d)` cells, a constant for fixed `d`
+//!   (the "≤ 3^d neighboring cells" picture at cell side `ε`). Probe
+//!   rings are enumerated one extra cell wider on each side so a
+//!   one-ulp slip in the floating-point `⌊·/cell⌋` can never drop a
+//!   true neighbor.
+//!
+//! Construction performs **zero distance evaluations**: binning,
+//! sorting, and the per-cell member bounding boxes are pure coordinate
+//! arithmetic — no metric is ever consulted (none is even reachable
+//! from this crate's API).
+//!
+//! # Determinism of the cell ordering
+//!
+//! Cells are stored sorted by their integer key (lexicographic across
+//! axes) with members ascending by point id, in one CSR-style
+//! `offsets`/`members` pair. Both orders are total and depend only on
+//! the point *set*: neither thread count (construction is sequential),
+//! nor insertion order (keys are sorted, members are sorted), nor the
+//! hash table (used for lookups only, never iterated) can influence
+//! them. [`GridIndex::extend`] preserves this canonical form — appended
+//! points carry larger ids than every existing member, so grown buckets
+//! stay ascending, and per-cell bounding boxes are min/max folds, which
+//! are order-free — making a grown index **bit-identical** to a fresh
+//! build over the concatenated coordinates (asserted by this crate's
+//! tests).
+//!
+//! # Soundness guard for cell verdicts
+//!
+//! A probed cell is rejected (or wholesale-accepted) by comparing the
+//! query's distance to the cell's member bounding box against the
+//! radius. Those box distances are computed in floating point, so a
+//! verdict only fires *clear of the threshold*: reject needs
+//! `lb > r + slack`, accept needs `ub ≤ r − slack`, with
+//! `slack = 10⁻⁹ · (r + m)` where `m` bounds the coordinate magnitudes
+//! involved. Both box distances are short sums of exact differences —
+//! relative error well under `10⁻¹²` — so the guard band exceeds any
+//! possible rounding by orders of magnitude; everything inside the band
+//! falls through to the caller's metric, which keeps the final
+//! predicate — and therefore the labels — exactly the metric's own.
+//! This is the same exposure class as the workspace's documented
+//! net-anchored-pruning caveat.
+//!
+//! # Fallback gating (who gets a grid)
+//!
+//! The index requires a *coordinate view*: a metric that can expose its
+//! points as rows in `R^d` whose Euclidean distance is exactly the
+//! metric's distance. In the workspace that is
+//! `mdbscan_metric::VectorBlock<f32|f64>` (via the `GridCompatible`
+//! trait's `grid_coords`); every other metric reports no view and the
+//! engine silently keeps the generic path. The engine additionally
+//! gates on `dim ≤ GRID_MAX_DIM` — probe rings grow as `(2√d + 3)^d`,
+//! so past dimension 3 the generic net-anchored path wins.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod index;
+mod stats;
+
+pub use index::{GridIndex, GRID_MAX_DIM, MAX_BIN_DIM};
+pub use stats::CandidateStats;

@@ -1,0 +1,60 @@
+//! Candidate-generation counters, mirroring the shape of the
+//! workspace's `PruneStats`.
+
+/// Counters of grid candidate generation: how many cells a run probed
+/// and how many candidate points the cell verdicts emitted or rejected.
+///
+/// Like `PruneStats`, the counters are plain sums of deterministic
+/// per-query contributions, so they are identical across thread counts.
+/// They measure work *performed by a run*: artifacts replayed from an
+/// engine cache contribute nothing (same as distance-evaluation
+/// counters on a cache hit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateStats {
+    /// Non-empty cells examined by probe rings.
+    pub cells_probed: u64,
+    /// Candidate points emitted for consideration: members of
+    /// wholesale-accepted cells plus members of boundary cells handed
+    /// to the metric.
+    pub candidates_emitted: u64,
+    /// Candidate points excluded by a cell-level bound without any
+    /// distance evaluation (members of rejected cells).
+    pub candidates_rejected: u64,
+}
+
+impl CandidateStats {
+    /// Accumulates another stats block (used when reducing per-worker
+    /// or per-phase counters).
+    pub fn merge(&mut self, other: &CandidateStats) {
+        self.cells_probed += other.cells_probed;
+        self.candidates_emitted += other.candidates_emitted;
+        self.candidates_rejected += other.candidates_rejected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CandidateStats {
+            cells_probed: 1,
+            candidates_emitted: 2,
+            candidates_rejected: 3,
+        };
+        a.merge(&CandidateStats {
+            cells_probed: 10,
+            candidates_emitted: 20,
+            candidates_rejected: 30,
+        });
+        assert_eq!(
+            a,
+            CandidateStats {
+                cells_probed: 11,
+                candidates_emitted: 22,
+                candidates_rejected: 33,
+            }
+        );
+    }
+}

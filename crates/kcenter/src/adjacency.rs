@@ -1,6 +1,7 @@
 //! Center-to-center neighbor adjacency (the `A` sets of the paper),
 //! with pivot-screened construction and per-edge distance bounds.
 
+use mdbscan_grid::{CandidateStats, GridIndex};
 use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{par_map_ranges, split_even, split_weighted, Csr, ParallelConfig};
 
@@ -218,6 +219,129 @@ impl CenterAdjacency {
             stats.merge(&local);
         }
         Self::assemble(upper, threshold, stats)
+    }
+
+    /// Builds the adjacency from a **grid candidate index** over the
+    /// center coordinates instead of the all-pairs pivot screen:
+    /// `coords` holds the centers' row-major coordinates (`k × dim`,
+    /// exactly the values [`mdbscan_metric::GridCompatible::grid_coords`]
+    /// yields), a [`GridIndex`] at cell side `threshold/√dim` is built
+    /// over them, and each upper-triangle row only evaluates the pairs
+    /// whose cells survive the ring rejection bound.
+    ///
+    /// The resulting **membership is identical** to
+    /// [`CenterAdjacency::build_pruned`]: the ring covers every cell
+    /// `B(c_i, threshold)` can touch and the rejection bound is sound,
+    /// so exactly the within-threshold pairs survive. Cells whose
+    /// member box lies entirely inside the guarded threshold are
+    /// accepted **without a distance evaluation** — their edges carry
+    /// the sound `(cell_lb, cell_ub)` bounds, exactly analogous to the
+    /// pivot build's free-accepts — and only boundary-cell pairs are
+    /// evaluated with the [`BatchMetric::dist_many_within`] kernel
+    /// (those edges carry the exact distance as both bounds). Sound
+    /// bounds are all the distance-free Step-2 merges require; labels
+    /// are unaffected. [`CenterAdjacency::pruning`] is zero — no
+    /// triangle screen ran; the returned [`CandidateStats`] are the
+    /// grid's counters instead (free-accepted members count as
+    /// emitted, matching the counting scan's convention). Rejected-cell
+    /// tallies include members `j ≤ i` (handled by the symmetric row),
+    /// so the reject counter tracks cell work, not unique pairs; it is
+    /// deterministic and thread-invariant either way.
+    pub fn build_grid<P: Sync, M: BatchMetric<P> + Sync>(
+        points: &[P],
+        metric: &M,
+        centers: &[usize],
+        threshold: f64,
+        parallel: &ParallelConfig,
+        dim: usize,
+        coords: Vec<f64>,
+    ) -> (Self, CandidateStats) {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "adjacency threshold must be non-negative, got {threshold}"
+        );
+        let k = centers.len();
+        assert_eq!(coords.len(), k * dim, "center coords shape mismatch");
+        let center_ids: Vec<u32> = centers.iter().map(|&c| c as u32).collect();
+        let threads = if k >= 256 { parallel.threads() } else { 1 };
+        // Cell side threshold/(2√d) gives cell diameter ≤ threshold/2:
+        // finer than the point grid's ε/√d because here whole-cell free
+        // accepts carry the bulk of the work, and a thinner boundary
+        // shell (one cell-diagonal thick) leaves fewer pairs needing an
+        // evaluation. Correctness is cell-size independent — the ring
+        // covers `B(c_i, threshold)` for any side. A zero threshold
+        // still needs a positive cell side (any value works: the probe
+        // radius is 0, so only the query's own 3^d ring is visited and
+        // every pair is evaluated exactly).
+        let cell = if threshold > 0.0 {
+            threshold / (2.0 * (dim as f64).sqrt())
+        } else {
+            1.0
+        };
+        let grid = GridIndex::build(dim, cell, coords);
+
+        let ranges = split_weighted(k, threads, |i| k - 1 - i);
+        let row_chunks: Vec<(UpperRows, CandidateStats)> = par_map_ranges(ranges, |rows| {
+            let mut local = CandidateStats::default();
+            let mut surv_ids: Vec<u32> = Vec::new();
+            let mut surv_js: Vec<u32> = Vec::new();
+            let mut dists: Vec<f64> = Vec::new();
+            let out = rows
+                .map(|i| {
+                    let mut row: Vec<(u32, f64, f64)> = Vec::new();
+                    let q = grid.point_coords(i);
+                    surv_js.clear();
+                    let mut free_accepts = 0u64;
+                    grid.for_each_candidate_cell(
+                        q,
+                        threshold,
+                        &mut local,
+                        |members, lb, within| {
+                            // Upper triangle only: j ≤ i pairs are decided by
+                            // their own (symmetric) row.
+                            let js = members.iter().copied().filter(|&j| j as usize > i);
+                            if let Some(ub) = within {
+                                // Whole cell inside the guarded threshold:
+                                // every member is an edge, accepted free with
+                                // the sound cell bounds.
+                                for j in js {
+                                    row.push((j, lb, ub));
+                                    free_accepts += 1;
+                                }
+                            } else {
+                                surv_js.extend(js);
+                            }
+                        },
+                    );
+                    surv_js.sort_unstable();
+                    local.candidates_emitted += free_accepts + surv_js.len() as u64;
+                    if !surv_js.is_empty() {
+                        let ci = &points[centers[i]];
+                        surv_ids.clear();
+                        surv_ids.extend(surv_js.iter().map(|&j| center_ids[j as usize]));
+                        metric.dist_many_within(points, ci, &surv_ids, threshold, &mut dists);
+                        for (&j, &d) in surv_js.iter().zip(&dists) {
+                            if d.is_finite() {
+                                row.push((j, d, d));
+                            }
+                        }
+                    }
+                    row.sort_unstable_by_key(|&(j, _, _)| j);
+                    row
+                })
+                .collect();
+            (out, local)
+        });
+        let mut upper: Vec<Vec<(u32, f64, f64)>> = Vec::with_capacity(k);
+        let mut stats = CandidateStats::default();
+        for (chunk, local) in row_chunks {
+            upper.extend(chunk);
+            stats.merge(&local);
+        }
+        (
+            Self::assemble(upper, threshold, PruneStats::default()),
+            stats,
+        )
     }
 
     /// Extends an adjacency computed over the first `old.len()` entries
@@ -501,6 +625,104 @@ mod tests {
             "pivot screen never fired: {:?}",
             on.pruning
         );
+    }
+
+    #[test]
+    fn grid_build_matches_pruned_membership_with_sound_bounds() {
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    (i % 3) as f64 * 40.0 + (i % 17) as f64 * 0.3,
+                    (i / 100) as f64 * 40.0 + (i % 13) as f64 * 0.4,
+                ]
+            })
+            .collect();
+        let centers: Vec<usize> = (0..300).collect();
+        let coords: Vec<f64> = centers.iter().flat_map(|&c| pts[c].clone()).collect();
+        let mut total_rejects = 0u64;
+        for threshold in [0.0, 2.0, 10.0, 50.0] {
+            let generic = CenterAdjacency::build_pruned(
+                &pts,
+                &Euclidean,
+                &centers,
+                threshold,
+                &ParallelConfig::sequential(),
+                &PruningConfig::default(),
+            );
+            for threads in [1usize, 4] {
+                let (grid, stats) = CenterAdjacency::build_grid(
+                    &pts,
+                    &Euclidean,
+                    &centers,
+                    threshold,
+                    &ParallelConfig::new(threads),
+                    2,
+                    coords.clone(),
+                );
+                assert_eq!(
+                    generic.neighbors, grid.neighbors,
+                    "threshold={threshold} threads={threads}"
+                );
+                assert_eq!(grid.pruning, PruneStats::default());
+                assert!(stats.cells_probed > 0);
+                if threads == 1 {
+                    total_rejects += stats.candidates_rejected;
+                }
+                // Grid edges carry sound bounds: exact distances for
+                // boundary-cell pairs, cell-box bounds for whole-cell
+                // free accepts — either way `lo ≤ d ≤ hi ≤ threshold`.
+                for e in 0..grid.len() {
+                    let row = &grid.neighbors[e];
+                    let lbs = grid.lbound_row(e);
+                    let ubs = grid.ubound_row(e);
+                    for ((&o, &lo), &hi) in row.iter().zip(lbs).zip(ubs) {
+                        if o as usize == e {
+                            continue;
+                        }
+                        let d = Euclidean.distance(&pts[centers[e]], &pts[centers[o as usize]]);
+                        assert!(lo <= d, "edge ({e},{o}): lb {lo} > d {d}");
+                        assert!(d <= hi, "edge ({e},{o}): d {d} > ub {hi}");
+                        assert!(hi <= threshold, "edge ({e},{o}): ub {hi} > {threshold}");
+                    }
+                }
+            }
+        }
+        // Across the threshold sweep the ring's cell reject must have
+        // fired somewhere (boundary cells beyond the radius).
+        assert!(total_rejects > 0, "cell reject never fired");
+    }
+
+    #[test]
+    fn extend_on_grid_built_base_matches_fresh_membership() {
+        let pts: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i % 11) as f64 * 1.3, (i / 11) as f64 * 1.7])
+            .collect();
+        let centers: Vec<usize> = (0..120).collect();
+        let coords80: Vec<f64> = centers[..80].iter().flat_map(|&c| pts[c].clone()).collect();
+        let (base, _) = CenterAdjacency::build_grid(
+            &pts,
+            &Euclidean,
+            &centers[..80],
+            3.0,
+            &ParallelConfig::sequential(),
+            2,
+            coords80,
+        );
+        let grown = CenterAdjacency::extend(
+            &base,
+            &pts,
+            &Euclidean,
+            &centers,
+            &ParallelConfig::sequential(),
+        );
+        let fresh = CenterAdjacency::build_with(
+            &pts,
+            &Euclidean,
+            &centers,
+            3.0,
+            &ParallelConfig::sequential(),
+        );
+        assert_eq!(grown.neighbors, fresh.neighbors);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //!   the bounded variant.
 
 use crate::counting::CountingMetric;
+use crate::gridcompat::GridCompatible;
 use crate::metric::{FnMetric, Metric};
 use crate::sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
 use crate::string::{levenshtein_full_with, Hamming, Levenshtein};
@@ -45,7 +46,14 @@ use crate::vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};
 ///
 /// `ids` index into `points`; results land in `out` (cleared first), in
 /// the same order as `ids`.
-pub trait BatchMetric<P>: Metric<P> {
+///
+/// [`GridCompatible`] is a supertrait with an all-default body, so the
+/// one-line opt-in for a custom metric becomes two:
+/// `impl GridCompatible<MyPoint> for MyMetric {}` plus
+/// `impl BatchMetric<MyPoint> for MyMetric {}` — the former gates the
+/// grid candidate index (coordinate metrics only), the latter the
+/// batched kernels.
+pub trait BatchMetric<P>: Metric<P> + GridCompatible<P> {
     /// The distances from `query` to each `points[ids[i]]`, in order.
     ///
     /// Default: one [`Metric::distance`] call per id.

@@ -30,6 +30,7 @@
 //! bit-identical clusterings to the scattered representation.
 
 use crate::batch::BatchMetric;
+use crate::gridcompat::GridCompatible;
 use crate::metric::Metric;
 
 mod sealed {
@@ -192,6 +193,25 @@ impl<T: BlockScalar> Metric<u32> for VectorBlock<T> {
         }
         let d = self.row_distance(*a as usize, *b as usize);
         (d <= bound).then_some(d)
+    }
+}
+
+/// The block *is* coordinate data: expose the stored rows (widened to
+/// `f64`, exactly the values the distance kernel consumes) so the grid
+/// candidate index can bin them. For `f32` blocks the view is
+/// the rounded stored values — the geometry the metric actually
+/// measures — so the grid's candidate decisions agree with the metric
+/// for both scalar types.
+impl<T: BlockScalar> GridCompatible<u32> for VectorBlock<T> {
+    fn grid_coords(&self, points: &[u32], out: &mut Vec<f64>) -> Option<usize> {
+        if self.dim == 0 {
+            return None;
+        }
+        out.reserve(points.len() * self.dim);
+        for &id in points {
+            out.extend(self.row(id as usize).iter().map(|v| v.to_f64()));
+        }
+        Some(self.dim)
     }
 }
 

@@ -1,0 +1,125 @@
+//! The coordinate-view gate for grid candidate generation.
+//!
+//! The `mdbscan_grid` index bins *coordinates*; a general metric has
+//! none. [`GridCompatible`] is the opt-in bridge: a metric that can
+//! expose its points as rows in `R^d` — whose Euclidean distance equals
+//! the metric's own distance — overrides [`GridCompatible::grid_coords`]
+//! and becomes eligible for the grid path; everything else keeps the
+//! default body (`None`) and the engines silently stay on the generic
+//! net-anchored path. The trait is a supertrait of
+//! [`crate::BatchMetric`], so opting a custom metric into the solvers
+//! remains two empty one-liners.
+
+use crate::counting::CountingMetric;
+use crate::metric::FnMetric;
+use crate::sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
+use crate::string::{Hamming, Levenshtein};
+use crate::vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};
+
+/// Optional low-dimensional Euclidean coordinate view of a point type,
+/// the auto-gate for the grid candidate index.
+///
+/// # Contract
+///
+/// An override must guarantee that for any two points `a`, `b` the
+/// metric's `distance(a, b)` equals the Euclidean distance between
+/// their coordinate rows up to ordinary floating-point rounding — the
+/// grid only *generates candidates* from the coordinates (with a guard
+/// band absorbing rounding; see the `mdbscan_grid` crate docs), while
+/// every accepted pair is still evaluated by the metric itself, so a
+/// faithful view changes which pairs are examined, never any label.
+/// Extracting coordinates is **not** a distance evaluation and must not
+/// be counted as one.
+///
+/// The default body reports no view, which is the correct answer for
+/// every non-Euclidean or coordinate-free metric.
+pub trait GridCompatible<P> {
+    /// Appends the row-major `f64` coordinates of `points` to `out`
+    /// and returns the ambient dimension, or `None` when this metric
+    /// has no Euclidean coordinate view. Probing with an empty slice
+    /// is the cheap gate check: it appends nothing but still reports
+    /// the dimension.
+    fn grid_coords(&self, points: &[P], out: &mut Vec<f64>) -> Option<usize> {
+        let _ = (points, out);
+        None
+    }
+}
+
+/// Forward through references, like the [`crate::Metric`] blanket impl.
+impl<P, M: GridCompatible<P> + ?Sized> GridCompatible<P> for &M {
+    fn grid_coords(&self, points: &[P], out: &mut Vec<f64>) -> Option<usize> {
+        (**self).grid_coords(points, out)
+    }
+}
+
+/// Forwards the view **without counting**: coordinate extraction is not
+/// a distance evaluation (`t_dis` counts metric calls only).
+impl<P, M: GridCompatible<P>> GridCompatible<P> for CountingMetric<M> {
+    fn grid_coords(&self, points: &[P], out: &mut Vec<f64>) -> Option<usize> {
+        self.inner().grid_coords(points, out)
+    }
+}
+
+// Coordinate-free (or non-Euclidean-geometry) metrics: the default
+// `None` body is the correct gate answer. `Euclidean` over scattered
+// `Vec<f64>` rows deliberately stays generic too — the grid pays off
+// with the contiguous `crate::VectorBlock` representation, which is
+// where the override lives.
+impl GridCompatible<Vec<f64>> for Euclidean {}
+impl GridCompatible<Vec<f64>> for Manhattan {}
+impl GridCompatible<Vec<f64>> for Chebyshev {}
+impl GridCompatible<Vec<f64>> for Minkowski {}
+impl GridCompatible<Vec<f64>> for Angular {}
+impl GridCompatible<SparseVector> for SparseEuclidean {}
+impl GridCompatible<SparseVector> for SparseAngular {}
+impl GridCompatible<SparseVector> for SparseJaccard {}
+impl GridCompatible<String> for Hamming {}
+impl GridCompatible<String> for Levenshtein {}
+
+/// Closure metrics cannot prove a coordinate view: no view.
+impl<P, F> GridCompatible<P> for FnMetric<F> where F: Fn(&P, &P) -> f64 + Send + Sync {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::VectorBlock;
+
+    #[test]
+    fn default_gate_reports_no_view() {
+        let mut out = Vec::new();
+        assert_eq!(Euclidean.grid_coords(&[vec![1.0, 2.0]], &mut out), None);
+        assert!(out.is_empty());
+        assert_eq!(Levenshtein.grid_coords(&["a".into()], &mut out), None);
+    }
+
+    #[test]
+    fn references_and_counting_forward_the_view() {
+        let block = VectorBlock::<f64>::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut out = Vec::new();
+        // Through the `&M` blanket impl, spelled explicitly so the
+        // reference impl (not auto-deref) is what's exercised.
+        assert_eq!(
+            GridCompatible::grid_coords(&&block, &[1u32, 0], &mut out),
+            Some(2)
+        );
+        assert_eq!(out, vec![3.0, 4.0, 1.0, 2.0]);
+
+        let counting = CountingMetric::new(block);
+        out.clear();
+        assert_eq!(counting.grid_coords(&[0u32], &mut out), Some(2));
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(
+            counting.count(),
+            0,
+            "coordinate extraction must not count as a distance evaluation"
+        );
+    }
+
+    #[test]
+    fn empty_slice_probes_the_dimension() {
+        let block = VectorBlock::<f32>::from_rows(&[vec![0.5, 1.5, 2.5]]);
+        let mut out = Vec::new();
+        assert_eq!(block.grid_coords(&[], &mut out), Some(3));
+        assert!(out.is_empty());
+    }
+}

@@ -68,6 +68,7 @@ mod counting;
 mod dataset;
 mod doubling;
 mod error;
+mod gridcompat;
 mod metric;
 mod persist;
 mod prune;
@@ -81,6 +82,7 @@ pub use counting::CountingMetric;
 pub use dataset::{validate_vectors, Dataset};
 pub use doubling::{estimate_doubling_dimension, DoublingEstimate};
 pub use error::MetricError;
+pub use gridcompat::GridCompatible;
 pub use metric::{FnMetric, Metric};
 pub use persist::{MetricTag, PersistPoint};
 pub use prune::{PruneStats, PruningConfig};

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mdbscan_metric::{BatchMetric, Metric, MetricTag};
+use mdbscan_metric::{BatchMetric, GridCompatible, Metric, MetricTag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -208,6 +208,14 @@ impl<P, M: Metric<P>> Metric<P> for PanicMetric<M> {
     fn within(&self, a: &P, b: &P, bound: f64) -> bool {
         self.tick();
         self.inner.within(a, b, bound)
+    }
+}
+
+/// Forwards the inner metric's coordinate view untouched: extracting
+/// coordinates is not a distance evaluation, so the fuse must not tick.
+impl<P, M: GridCompatible<P>> GridCompatible<P> for PanicMetric<M> {
+    fn grid_coords(&self, points: &[P], out: &mut Vec<f64>) -> Option<usize> {
+        self.inner.grid_coords(points, out)
     }
 }
 

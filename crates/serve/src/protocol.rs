@@ -156,6 +156,15 @@ pub struct WireStats {
     pub num_points: u64,
     /// Centers in the engine's net.
     pub num_centers: u64,
+    /// Grid cells probed by queries served through the grid candidate
+    /// index ([`mdbscan_core::CandidateIndex::Grid`]); zero when the
+    /// engine runs the generic path.
+    pub grid_cells_probed: u64,
+    /// Candidate points those cells emitted to the metric.
+    pub grid_candidates_emitted: u64,
+    /// Candidate points rejected by cell lower bounds without a
+    /// distance evaluation.
+    pub grid_candidates_rejected: u64,
 }
 
 /// A query answer: the epoch it was computed at plus per-point labels.
@@ -346,6 +355,9 @@ impl Response {
                 w.put_u64(s.epoch);
                 w.put_u64(s.num_points);
                 w.put_u64(s.num_centers);
+                w.put_u64(s.grid_cells_probed);
+                w.put_u64(s.grid_candidates_emitted);
+                w.put_u64(s.grid_candidates_rejected);
             }
             Response::Overloaded { retry_after_ms } => {
                 w.put_u8(ST_OVERLOADED);
@@ -405,6 +417,9 @@ impl Response {
                 epoch: r.get_u64()?,
                 num_points: r.get_u64()?,
                 num_centers: r.get_u64()?,
+                grid_cells_probed: r.get_u64()?,
+                grid_candidates_emitted: r.get_u64()?,
+                grid_candidates_rejected: r.get_u64()?,
             }),
             ST_OVERLOADED => Response::Overloaded {
                 retry_after_ms: r.get_u32()?,
@@ -534,6 +549,9 @@ mod tests {
             epoch: 6,
             num_points: 7,
             num_centers: 8,
+            grid_cells_probed: 9,
+            grid_candidates_emitted: 10,
+            grid_candidates_rejected: 11,
         }));
         round_trip_response(Response::Overloaded { retry_after_ms: 25 });
         round_trip_response(Response::EngineError("index too coarse".into()));

@@ -83,6 +83,9 @@ struct Counters {
     shed: AtomicU64,
     panics: AtomicU64,
     respawned: AtomicU64,
+    grid_cells_probed: AtomicU64,
+    grid_candidates_emitted: AtomicU64,
+    grid_candidates_rejected: AtomicU64,
 }
 
 struct Shared<P, M> {
@@ -192,6 +195,15 @@ where
         epoch: shared.engine.epoch(),
         num_points: shared.engine.num_points() as u64,
         num_centers: shared.engine.num_centers() as u64,
+        grid_cells_probed: shared.counters.grid_cells_probed.load(Ordering::Relaxed),
+        grid_candidates_emitted: shared
+            .counters
+            .grid_candidates_emitted
+            .load(Ordering::Relaxed),
+        grid_candidates_rejected: shared
+            .counters
+            .grid_candidates_rejected
+            .load(Ordering::Relaxed),
     }
 }
 
@@ -373,6 +385,19 @@ where
             let snapshot = shared.engine.snapshot();
             match run_solver(&snapshot, solver, eps, min_pts) {
                 Ok(run) => {
+                    let cand = &run.report.candidates;
+                    shared
+                        .counters
+                        .grid_cells_probed
+                        .fetch_add(cand.cells_probed, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .grid_candidates_emitted
+                        .fetch_add(cand.candidates_emitted, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .grid_candidates_rejected
+                        .fetch_add(cand.candidates_rejected, Ordering::Relaxed);
                     let labels: Vec<PointLabel> = run.clustering.labels().to_vec();
                     Response::Labels(QueryReply {
                         epoch: run.report.epoch,

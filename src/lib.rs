@@ -20,6 +20,10 @@
 //!   engine's caches are built on;
 //! * [`kcenter`] — Gonzalez, radius-guided Gonzalez (Algorithm 1),
 //!   k-center with outliers;
+//! * [`grid`] — the ε-aligned grid index for low-dimensional Euclidean
+//!   workloads: cell-bucketed candidate generation behind
+//!   [`core::CandidateIndex::Grid`], bit-identical labels with far
+//!   fewer distance evaluations on millions-of-points coordinate data;
 //! * [`parallel`] — the deterministic scoped-thread executors and flat
 //!   CSR storage the pipeline runs on, plus the
 //!   [`parallel::ParallelConfig`] thread knob (see `core`'s "Threading
@@ -76,6 +80,7 @@ pub use mdbscan_core as core;
 pub use mdbscan_covertree as covertree;
 pub use mdbscan_datagen as datagen;
 pub use mdbscan_eval as eval;
+pub use mdbscan_grid as grid;
 pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
 pub use mdbscan_parallel as parallel;

@@ -1,0 +1,333 @@
+//! The grid candidate index contract, certified end to end (PR 7):
+//! selecting [`CandidateIndex::Grid`] on a low-dimensional
+//! [`VectorBlock`] engine changes **which pairs the metric inspects**,
+//! never the labels. For every solver — exact (plain and
+//! eval-counting `exact_with`), cover-tree, and ρ-approximate — labels
+//! are bit-identical to the generic path for both scalar types
+//! (`f32`/`f64`), both supported dimensions (2 and 3), every thread
+//! count, and pruning on or off; an ingest-grown grid engine matches a
+//! fresh build at every epoch; save/load preserves the builder toggle;
+//! and incompatible workloads (high-dimensional blocks, non-coordinate
+//! metrics) silently fall back to the generic path with zeroed
+//! candidate counters. Streaming runs never consult the grid.
+
+use metric_dbscan::core::{
+    ApproxParams, CandidateIndex, CandidateStats, DbscanParams, ExactConfig, MetricDbscan,
+    NetStrategy, ParallelConfig, PointLabel, Run,
+};
+use metric_dbscan::datagen::{lowdim_blobs, string_clusters, LowDimSpec, StringSpec};
+use metric_dbscan::metric::{BlockScalar, Levenshtein, PruningConfig, VectorBlock};
+
+const EPS: f64 = 2.5;
+const MIN_PTS: usize = 8;
+const RHO: f64 = 0.5;
+
+fn lowdim_rows(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    lowdim_blobs(
+        &LowDimSpec {
+            n,
+            dim,
+            clusters: 5,
+            std: 1.0,
+            noise_frac: 0.05,
+            extent: 30.0,
+        },
+        seed,
+    )
+    .into_parts()
+    .0
+}
+
+/// Builds a fresh engine over every row of `block` (fresh so no cache
+/// can leak artifacts between the grid and generic configurations).
+fn block_engine<T: BlockScalar + Send + Sync + 'static>(
+    block: &VectorBlock<T>,
+    index: CandidateIndex,
+    threads: usize,
+    pruning: PruningConfig,
+) -> MetricDbscan<u32, VectorBlock<T>> {
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    MetricDbscan::builder(block.ids(), block.clone())
+        .rbar(aparams.rbar())
+        .parallel(ParallelConfig::new(threads))
+        .pruning(pruning)
+        .candidate_index(index)
+        .build()
+        .expect("engine")
+}
+
+/// Labels from all four solver entry points plus the merged candidate
+/// counters those runs reported.
+fn solve_all<P: Clone + Send + Sync + 'static, M>(
+    engine: &MetricDbscan<P, M>,
+) -> (Vec<Vec<PointLabel>>, CandidateStats)
+where
+    M: metric_dbscan::metric::BatchMetric<P> + Sync,
+{
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let cfg = ExactConfig {
+        parallel: engine.parallel(),
+        count_distance_evals: true,
+        ..ExactConfig::default()
+    };
+    let runs: Vec<Run> = vec![
+        engine.exact(&params).expect("exact"),
+        engine.exact_with(&params, &cfg).expect("exact_with"),
+        engine.covertree(&params).expect("covertree"),
+        engine.approx(&aparams).expect("approx"),
+    ];
+    let mut candidates = CandidateStats::default();
+    let labels = runs
+        .iter()
+        .map(|r| {
+            candidates.merge(&r.report.candidates);
+            r.clustering.labels().to_vec()
+        })
+        .collect();
+    (labels, candidates)
+}
+
+fn scalar_sweep<T: BlockScalar + Send + Sync + 'static>(rows: &[Vec<f64>], dim: usize) {
+    let block = VectorBlock::<T>::from_rows(rows);
+    let (baseline, generic_stats) = solve_all(&block_engine(
+        &block,
+        CandidateIndex::Generic,
+        1,
+        PruningConfig::default(),
+    ));
+    assert_eq!(
+        generic_stats,
+        CandidateStats::default(),
+        "generic path must report zero candidate work (dim {dim})"
+    );
+    for threads in [1usize, 4] {
+        for pruning in [PruningConfig::default(), PruningConfig::off()] {
+            let engine = block_engine(&block, CandidateIndex::Grid, threads, pruning);
+            let (grid, grid_stats) = solve_all(&engine);
+            assert_eq!(
+                baseline, grid,
+                "grid labels diverged (dim {dim}, {threads} threads, pruning {pruning:?})"
+            );
+            assert!(
+                grid_stats.cells_probed > 0 && grid_stats.candidates_emitted > 0,
+                "grid candidate counters never fired (dim {dim}): {grid_stats:?}"
+            );
+            let cache = engine.cache_stats();
+            assert!(
+                cache.grid_misses >= 1,
+                "the grid must have been built at least once: {cache:?}"
+            );
+            // Generic runs at the other thread/pruning settings must
+            // also agree (the existing pruning/determinism suites cover
+            // this, but it pins the baseline used above).
+            let (generic, _) = solve_all(&block_engine(
+                &block,
+                CandidateIndex::Generic,
+                threads,
+                pruning,
+            ));
+            assert_eq!(baseline, generic, "generic baseline moved (dim {dim})");
+        }
+    }
+}
+
+/// Headline equivalence: grid and generic paths agree bit-identically
+/// for every solver × scalar type × dimension × thread count × pruning
+/// setting, and the grid actually does candidate work.
+#[test]
+fn grid_matches_generic_all_solvers() {
+    for dim in [2usize, 3] {
+        let rows = lowdim_rows(900, dim, 42 + dim as u64);
+        scalar_sweep::<f64>(&rows, dim);
+        scalar_sweep::<f32>(&rows, dim);
+    }
+}
+
+/// An ingest-grown grid engine must label exactly like a fresh
+/// radius-guided build — and like the generic path — at every epoch
+/// (this drives the grid's incremental `extend` upgrade path).
+#[test]
+fn ingest_grown_matches_fresh_at_every_epoch() {
+    let rows = lowdim_rows(600, 2, 7);
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    let ids = block.ids();
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let build = |prefix: &[u32], index: CandidateIndex| {
+        MetricDbscan::builder(prefix.to_vec(), block.clone())
+            .rbar(aparams.rbar())
+            .net_strategy(NetStrategy::RadiusGuided)
+            .candidate_index(index)
+            .build()
+            .expect("engine")
+    };
+    let grown = build(&ids[..200], CandidateIndex::Grid);
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let mut upto = 200;
+    while upto < ids.len() {
+        let next = (upto + 150).min(ids.len());
+        grown
+            .ingest(ids[upto..next].iter().copied())
+            .expect("ingest");
+        upto = next;
+        let grown_run = grown.exact(&params).expect("grown exact");
+        let fresh_grid = build(&ids[..upto], CandidateIndex::Grid);
+        let fresh_generic = build(&ids[..upto], CandidateIndex::Generic);
+        assert_eq!(
+            grown_run.clustering.labels(),
+            fresh_grid
+                .exact(&params)
+                .expect("fresh grid")
+                .clustering
+                .labels(),
+            "grown grid diverged from fresh grid at {upto} points"
+        );
+        assert_eq!(
+            grown_run.clustering.labels(),
+            fresh_generic
+                .exact(&params)
+                .expect("fresh generic")
+                .clustering
+                .labels(),
+            "grown grid diverged from generic at {upto} points"
+        );
+        let approx_grown = grown.approx(&aparams).expect("grown approx");
+        let approx_generic = fresh_generic.approx(&aparams).expect("generic approx");
+        assert_eq!(
+            approx_grown.clustering.labels(),
+            approx_generic.clustering.labels(),
+            "approx diverged at {upto} points"
+        );
+    }
+    let cache = grown.cache_stats();
+    assert!(
+        cache.grid_misses >= 2,
+        "each epoch's grid is a distinct cache entry: {cache:?}"
+    );
+}
+
+/// Save/load round trip: the candidate-index toggle travels in the
+/// artifact and the loaded engine labels identically through the grid.
+#[test]
+fn save_load_preserves_candidate_index() {
+    let rows = lowdim_rows(400, 2, 11);
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    let engine = block_engine(&block, CandidateIndex::Grid, 1, PruningConfig::default());
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let before = engine.exact(&params).expect("exact").clustering;
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("mdbscan_grid_eq_{}.mdb", std::process::id()));
+    engine.save(&path).expect("save");
+    let loaded: MetricDbscan<u32, VectorBlock<f64>> =
+        MetricDbscan::load(&path, block.clone()).expect("load");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(loaded.candidate_index(), CandidateIndex::Grid);
+    let run = loaded.exact(&params).expect("loaded exact");
+    assert_eq!(before, run.clustering, "loaded grid labels diverged");
+    assert!(
+        run.report.candidates.cells_probed > 0,
+        "loaded engine must still use the grid: {:?}",
+        run.report.candidates
+    );
+
+    // A generic engine's artifact keeps decoding to Generic.
+    let generic = block_engine(&block, CandidateIndex::Generic, 1, PruningConfig::default());
+    generic.save(&path).expect("save generic");
+    let loaded_generic: MetricDbscan<u32, VectorBlock<f64>> =
+        MetricDbscan::load(&path, block.clone()).expect("load generic");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded_generic.candidate_index(), CandidateIndex::Generic);
+}
+
+/// The `Grid` toggle is a no-op for workloads the grid cannot serve:
+/// high-dimensional blocks (d > `GRID_MAX_DIM`) and non-coordinate
+/// metrics fall back to the generic path — identical labels, zero
+/// candidate counters, zero grid cache traffic.
+#[test]
+fn incompatible_workloads_fall_back_to_generic() {
+    // d = 8 exceeds the grid's dimension gate.
+    let rows: Vec<Vec<f64>> = lowdim_rows(300, 2, 3)
+        .into_iter()
+        .map(|p| {
+            let mut wide = p.clone();
+            while wide.len() < 8 {
+                wide.push(p[wide.len() % 2] * 0.5);
+            }
+            wide
+        })
+        .collect();
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    let grid_engine = block_engine(&block, CandidateIndex::Grid, 1, PruningConfig::default());
+    let (grid_labels, grid_stats) = solve_all(&grid_engine);
+    let (generic_labels, _) = solve_all(&block_engine(
+        &block,
+        CandidateIndex::Generic,
+        1,
+        PruningConfig::default(),
+    ));
+    assert_eq!(grid_labels, generic_labels, "high-d fallback moved labels");
+    assert_eq!(
+        grid_stats,
+        CandidateStats::default(),
+        "high-d fallback must do zero grid work"
+    );
+    let cache = grid_engine.cache_stats();
+    assert_eq!(
+        (cache.grid_hits, cache.grid_misses, cache.grid_entries),
+        (0, 0, 0),
+        "fallback must never touch the grid cache: {cache:?}"
+    );
+
+    // Levenshtein has no coordinate view at all.
+    let words = string_clusters(
+        &StringSpec {
+            n: 120,
+            clusters: 3,
+            seed_len: 12,
+            max_edits: 2,
+            alphabet: b"abcd",
+            outlier_frac: 0.05,
+        },
+        5,
+    )
+    .into_parts()
+    .0;
+    let solve = |index: CandidateIndex| {
+        let engine = MetricDbscan::builder(words.clone(), Levenshtein)
+            .rbar(2.0)
+            .candidate_index(index)
+            .build()
+            .expect("engine");
+        let run = engine
+            .exact(&DbscanParams::new(4.0, 4).expect("params"))
+            .expect("exact");
+        (run.clustering.labels().to_vec(), run.report.candidates)
+    };
+    let (grid_words, stats) = solve(CandidateIndex::Grid);
+    let (generic_words, _) = solve(CandidateIndex::Generic);
+    assert_eq!(grid_words, generic_words, "string fallback moved labels");
+    assert_eq!(stats, CandidateStats::default());
+}
+
+/// Streaming never consults the grid: labels match a generic engine's
+/// streaming run and the report carries zero candidate counters.
+#[test]
+fn streaming_is_grid_agnostic() {
+    let rows = lowdim_rows(400, 2, 19);
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let grid_run = block_engine(&block, CandidateIndex::Grid, 1, PruningConfig::default())
+        .streaming(&aparams)
+        .expect("grid streaming");
+    let generic_run = block_engine(&block, CandidateIndex::Generic, 1, PruningConfig::default())
+        .streaming(&aparams)
+        .expect("generic streaming");
+    assert_eq!(
+        grid_run.clustering.labels(),
+        generic_run.clustering.labels(),
+        "streaming labels diverged"
+    );
+    assert_eq!(grid_run.report.candidates, CandidateStats::default());
+}
