@@ -97,7 +97,7 @@ use crate::labels::Clustering;
 use crate::netview::NetView;
 use crate::params::{ApproxParams, DbscanParams};
 use crate::steps::{run_exact_steps, StepArtifacts, StepsReuse, StepsUpgrade};
-use crate::store::ChunkedStore;
+use crate::store::{ChunkedStore, PointBuf};
 use crate::streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 
 /// Default number of fragment-artifact entries the engine retains.
@@ -535,7 +535,7 @@ impl EngineCache {
 /// it. Immutable once published; readers hold it via `Arc`.
 pub(crate) struct EpochState<P> {
     pub(crate) epoch: u64,
-    pub(crate) points: Arc<[P]>,
+    pub(crate) points: PointBuf<P>,
     pub(crate) net: Arc<RadiusGuidedNet>,
 }
 
@@ -691,7 +691,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             candidate_index: self.candidate_index,
             current: RwLock::new(Arc::new(EpochState {
                 epoch: 0,
-                points: self.points,
+                points: self.points.into(),
                 net: Arc::new(net),
             })),
             writer: Mutex::new(None),
@@ -711,6 +711,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             adj_misses: AtomicU64::new(0),
             grid_hits: AtomicU64::new(0),
             grid_misses: AtomicU64::new(0),
+            load_stats: None,
         })
     }
 }
@@ -796,6 +797,9 @@ pub struct MetricDbscan<P, M> {
     pub(crate) adj_misses: AtomicU64,
     pub(crate) grid_hits: AtomicU64,
     pub(crate) grid_misses: AtomicU64,
+    /// Copied-bytes accounting from the load that produced this engine;
+    /// `None` for engines built in-process.
+    pub(crate) load_stats: Option<crate::persist::LoadStats>,
 }
 
 impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
@@ -950,10 +954,22 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         self.publishes.load(Ordering::Relaxed)
     }
 
-    /// A cheap handle to the current epoch's point snapshot (shared,
-    /// not copied).
+    /// A handle to the current epoch's point snapshot. Shared (a
+    /// refcount bump) for every engine built or ingested in-process;
+    /// an engine whose points alias a zero-copy loaded artifact pays
+    /// one clone pass here to materialize the `Arc` — engine-internal
+    /// paths never do.
     pub fn points_arc(&self) -> Arc<[P]> {
-        Arc::clone(&self.state().points)
+        self.state().points.to_arc()
+    }
+
+    /// Copied-bytes accounting from the artifact load that produced
+    /// this engine, or `None` for engines built in-process. A
+    /// zero-copy load (aligned artifact, [`mdbscan_metric::VectorBlock`]
+    /// workload via the self-contained API) reports point and metric
+    /// copied bytes independent of the dataset size.
+    pub fn load_stats(&self) -> Option<crate::persist::LoadStats> {
+        self.load_stats
     }
 
     /// The metric the engine owns.
@@ -1148,7 +1164,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             // `current` is exactly the engine's latest state.
             let state = self.state_read();
             IngestState {
-                store: ChunkedStore::from_initial(Arc::clone(&state.points)),
+                store: ChunkedStore::from_initial(state.points.clone()),
                 net: IncrementalNet::from_net(&state.net, self.max_centers),
                 epoch: state.epoch,
             }

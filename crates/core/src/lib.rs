@@ -129,6 +129,7 @@ pub use labels::{Clustering, PointLabel};
 pub use mdbscan_grid::CandidateStats;
 pub use mdbscan_parallel::ParallelConfig;
 pub use params::{ApproxParams, DbscanParams};
+pub use persist::LoadStats;
 pub use streaming::{StreamingApproxDbscan, StreamingFootprint, StreamingStats};
 pub use unionfind::UnionFind;
 

@@ -36,11 +36,11 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use mdbscan_covertree::CoverTreeSkeleton;
 use mdbscan_kcenter::{CenterAdjacency, IncrementalNet, RadiusGuidedNet};
-use mdbscan_metric::{BatchMetric, MetricTag, PersistPoint, PruningConfig};
+use mdbscan_metric::{BatchMetric, MetricTag, PersistMetric, PersistPoint, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
 use mdbscan_persist::{
-    checkpoint_path, list_checkpoints, next_checkpoint_seq, read_file, ArtifactKind,
-    ArtifactReader, ArtifactWriter, ByteReader, ByteWriter, PersistError,
+    checkpoint_path, list_checkpoints, next_checkpoint_seq, ArtifactKind, ArtifactReader,
+    ArtifactWriter, ByteReader, ByteWriter, PersistError, SharedBytes,
 };
 
 use crate::approx::ApproxArtifacts;
@@ -50,7 +50,7 @@ use crate::engine::{
 };
 use crate::error::DbscanError;
 use crate::steps::StepArtifacts;
-use crate::store::ChunkedStore;
+use crate::store::{ChunkedStore, PointBuf};
 
 const SEC_ENGINE: &str = "engine";
 const SEC_POINTS: &str = "points";
@@ -69,6 +69,46 @@ const SEC_COVERTREES: &str = "covertree-cache";
 /// (zero distance evaluations), so only the toggle and its counters
 /// travel.
 const SEC_GRID: &str = "grid-index";
+/// The metric's own state, for **self-contained** artifacts
+/// ([`MetricDbscan::save_self_contained`]). **Optional** like
+/// [`SEC_GRID`]: plain `save` artifacts simply lack it, and a
+/// self-contained artifact still loads through the plain API (the
+/// caller-supplied metric wins; the section is ignored). Written via
+/// `aligned_section` so array-backed metrics (`VectorBlock`) decode
+/// zero-copy.
+const SEC_METRIC: &str = "metric";
+
+/// Copied-bytes accounting for one artifact load: how much of the
+/// point and metric payload had to be materialized on the heap versus
+/// served by reference out of the loaded file buffer.
+///
+/// A zero-copy load — aligned artifact, plain-scalar point codec
+/// (`u32` row ids), array-backed metric via the self-contained API —
+/// copies O(1) bytes regardless of the dataset size: the copied
+/// counters then hold only fixed-size headers, while the payload
+/// counters keep growing with n. Engines built in-process report no
+/// stats at all ([`MetricDbscan::load_stats`] is `None`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Bytes of the points section payload.
+    pub point_payload_bytes: u64,
+    /// Bytes of that payload copied to the heap (0 when the point
+    /// array aliases the artifact buffer).
+    pub point_bytes_copied: u64,
+    /// Bytes of the metric section payload (0 when the artifact is not
+    /// self-contained).
+    pub metric_payload_bytes: u64,
+    /// Bytes of the metric payload copied to the heap; a zero-copy
+    /// block decode leaves only the fixed-size length prefix here.
+    pub metric_bytes_copied: u64,
+}
+
+impl LoadStats {
+    /// Total bytes copied to the heap across both payloads.
+    pub fn bytes_copied(&self) -> u64 {
+        self.point_bytes_copied + self.metric_bytes_copied
+    }
+}
 
 fn encode_strategy(out: &mut ByteWriter, strategy: NetStrategy) {
     out.put_u8(match strategy {
@@ -398,9 +438,11 @@ fn decode_approx(
 }
 
 /// Serializes the points + net of one epoch into `w` (shared by the
-/// engine and snapshot save paths).
+/// engine and snapshot save paths). The points section is 8-aligned so
+/// plain-scalar point codecs (`u32` row ids: an 8-byte count, then the
+/// raw array) decode zero-copy from the loaded buffer.
 fn encode_epoch_state<P: PersistPoint>(w: &mut ArtifactWriter, state: &EpochState<P>) {
-    let s = w.section(SEC_POINTS);
+    let s = w.aligned_section(SEC_POINTS);
     s.put_usize(state.points.len());
     for p in state.points.iter() {
         p.encode_point(s);
@@ -555,8 +597,9 @@ where
     /// (labels and evaluation counts are identical at every thread
     /// count).
     pub fn load(path: impl AsRef<Path>, metric: M) -> Result<Self, DbscanError> {
-        let bytes = read_file(path)?;
-        Self::from_artifact_bytes(&bytes, metric)
+        let buf = SharedBytes::read_file(path)?;
+        let parts = Self::decode_artifact_bytes(buf.as_slice(), Some(&buf))?;
+        Ok(Self::assemble(parts, metric))
     }
 
     /// Loads the newest **readable** checkpoint from a
@@ -582,9 +625,9 @@ where
         }
         let mut newest_err = None;
         for (seq, path) in checkpoints.iter().rev() {
-            let decoded = read_file(path)
+            let decoded = SharedBytes::read_file(path)
                 .map_err(DbscanError::from)
-                .and_then(|bytes| Self::decode_artifact_bytes(&bytes));
+                .and_then(|buf| Self::decode_artifact_bytes(buf.as_slice(), Some(&buf)));
             match decoded {
                 Ok(parts) => return Ok((Self::assemble(parts, metric), *seq)),
                 Err(e) => {
@@ -595,16 +638,25 @@ where
         Err(newest_err.expect("non-empty checkpoint list with no Ok"))
     }
 
-    fn from_artifact_bytes(bytes: &[u8], metric: M) -> Result<Self, DbscanError> {
-        Ok(Self::assemble(Self::decode_artifact_bytes(bytes)?, metric))
-    }
-
     /// Decodes and validates an artifact without needing the metric
     /// *value* (only its tag) — so [`MetricDbscan::load_latest`] can
     /// probe candidate checkpoints without consuming the caller's
     /// metric on every failed attempt.
-    fn decode_artifact_bytes(bytes: &[u8]) -> Result<DecodedEngine<P>, DbscanError> {
+    fn decode_artifact_bytes(
+        bytes: &[u8],
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<DecodedEngine<P>, DbscanError> {
         let art = ArtifactReader::from_bytes(bytes)?;
+        Self::decode_from_reader(&art, src)
+    }
+
+    /// The section-by-section decode behind every load path. `src` is
+    /// the 8-aligned file buffer when the caller holds one: bulk point
+    /// codecs then alias it instead of copying (see [`LoadStats`]).
+    fn decode_from_reader(
+        art: &ArtifactReader<'_>,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<DecodedEngine<P>, DbscanError> {
         if art.point_tag() != P::TYPE_TAG {
             return Err(PersistError::format(
                 "header",
@@ -637,12 +689,18 @@ where
         };
 
         let mut s = art.require_section(SEC_POINTS)?;
+        let point_payload_bytes = s.remaining() as u64;
         let n = s.get_usize()?;
-        let mut points = Vec::with_capacity(n.min(s.remaining() + 1));
-        for _ in 0..n {
-            points.push(P::decode_point(&mut s)?);
-        }
-        let points: Arc<[P]> = points.into();
+        let points: PointBuf<P> = P::decode_points(&mut s, n, src)?.into();
+        let stats = LoadStats {
+            point_payload_bytes,
+            point_bytes_copied: if points.is_shared() {
+                0
+            } else {
+                point_payload_bytes
+            },
+            ..LoadStats::default()
+        };
 
         let mut s = art.require_section(SEC_NET)?;
         let net = RadiusGuidedNet::decode(&mut s)?;
@@ -691,7 +749,7 @@ where
                     .into());
                 }
                 writer = Some(IngestState {
-                    store: ChunkedStore::from_initial(Arc::clone(&points)),
+                    store: ChunkedStore::from_initial(points.clone()),
                     net: IncrementalNet::from_net_with_anchors(&net, cfg.max_centers, anchors),
                     epoch: cfg.epoch,
                 });
@@ -832,6 +890,7 @@ where
             adjacency,
             fragments,
             covertree,
+            stats,
         })
     }
 
@@ -848,6 +907,7 @@ where
             adjacency,
             fragments,
             covertree,
+            stats,
         } = parts;
         MetricDbscan {
             metric,
@@ -879,7 +939,111 @@ where
             adj_misses: AtomicU64::new(cfg.adj_misses),
             grid_hits: AtomicU64::new(grid.grid_hits),
             grid_misses: AtomicU64::new(grid.grid_misses),
+            load_stats: Some(stats),
         }
+    }
+}
+
+impl<P, M> MetricDbscan<P, M>
+where
+    P: PersistPoint + Clone + Sync,
+    M: BatchMetric<P> + PersistMetric,
+{
+    /// Saves the engine with the metric's own state embedded in a
+    /// `"metric"` section: the artifact is then **self-contained** — the
+    /// matching [`MetricDbscan::load_self_contained`] rebuilds both the
+    /// engine and the metric from the file, so a replica boots without
+    /// re-deriving (or shipping) the metric out of band.
+    ///
+    /// For array-backed metrics ([`mdbscan_metric::VectorBlock`]) the
+    /// metric section is written at an 8-aligned payload offset, so the
+    /// coordinate and norm arrays decode **zero-copy**: together with
+    /// the `u32` row-id points, a cold start copies O(1) point bytes
+    /// regardless of n (see [`LoadStats`]).
+    ///
+    /// Everything [`MetricDbscan::save`] guarantees holds here too —
+    /// same sections, same crash consistency, same bit-identity
+    /// contract — and a self-contained artifact still loads through the
+    /// plain [`MetricDbscan::load`] (the embedded metric is ignored in
+    /// favor of the caller's).
+    pub fn save_self_contained(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
+        self.to_self_contained_artifact()?
+            .write_file(path)
+            .map_err(DbscanError::from)
+    }
+
+    /// As [`MetricDbscan::save_checkpoint`], with the metric embedded
+    /// ([`MetricDbscan::save_self_contained`]).
+    pub fn save_checkpoint_self_contained(
+        &self,
+        dir: impl AsRef<Path>,
+    ) -> Result<u64, DbscanError> {
+        let dir = dir.as_ref();
+        let art = self.to_self_contained_artifact()?;
+        std::fs::create_dir_all(dir).map_err(|e| DbscanError::Io(e.to_string()))?;
+        let seq = next_checkpoint_seq(dir)?;
+        art.write_file(checkpoint_path(dir, seq))?;
+        Ok(seq)
+    }
+
+    fn to_self_contained_artifact(&self) -> Result<ArtifactWriter, DbscanError> {
+        let mut w = self.to_artifact()?;
+        self.metric.encode_metric(w.aligned_section(SEC_METRIC));
+        Ok(w)
+    }
+
+    /// Loads a [`MetricDbscan::save_self_contained`] artifact,
+    /// rebuilding the metric from its embedded section — no metric
+    /// value to supply, and for block metrics no point or coordinate
+    /// bytes to copy. Fails with [`DbscanError::Format`] when the
+    /// artifact lacks a metric section (i.e. was written by the plain
+    /// `save`); every other failure mode matches
+    /// [`MetricDbscan::load`].
+    pub fn load_self_contained(path: impl AsRef<Path>) -> Result<Self, DbscanError> {
+        let buf = SharedBytes::read_file(path)?;
+        let (parts, metric) = Self::decode_self_contained(&buf)?;
+        Ok(Self::assemble(parts, metric))
+    }
+
+    /// As [`MetricDbscan::load_latest`], for self-contained
+    /// checkpoints ([`MetricDbscan::save_checkpoint_self_contained`]):
+    /// walks the checkpoint sequence newest-first, skipping unreadable
+    /// files *and* plain (metric-less) checkpoints, and returns the
+    /// newest loadable engine with its sequence number.
+    pub fn load_latest_self_contained(dir: impl AsRef<Path>) -> Result<(Self, u64), DbscanError> {
+        let checkpoints = list_checkpoints(dir.as_ref())?;
+        if checkpoints.is_empty() {
+            return Err(DbscanError::Io(format!(
+                "no checkpoints (ckpt-*.mdb) in {}",
+                dir.as_ref().display()
+            )));
+        }
+        let mut newest_err = None;
+        for (seq, path) in checkpoints.iter().rev() {
+            let decoded = SharedBytes::read_file(path)
+                .map_err(DbscanError::from)
+                .and_then(|buf| Self::decode_self_contained(&buf));
+            match decoded {
+                Ok((parts, metric)) => return Ok((Self::assemble(parts, metric), *seq)),
+                Err(e) => {
+                    let _ = newest_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(newest_err.expect("non-empty checkpoint list with no Ok"))
+    }
+
+    fn decode_self_contained(buf: &Arc<SharedBytes>) -> Result<(DecodedEngine<P>, M), DbscanError> {
+        let art = ArtifactReader::from_bytes(buf.as_slice())?;
+        let mut parts = Self::decode_from_reader(&art, Some(buf))?;
+        let mut s = art.require_section(SEC_METRIC)?;
+        parts.stats.metric_payload_bytes = s.remaining() as u64;
+        let metric = M::decode_metric(&mut s, Some(buf))?;
+        parts.stats.metric_bytes_copied = parts
+            .stats
+            .metric_payload_bytes
+            .saturating_sub(metric.shared_state_bytes() as u64);
+        Ok((parts, metric))
     }
 }
 
@@ -890,13 +1054,14 @@ where
 struct DecodedEngine<P> {
     cfg: EngineSection,
     grid: GridSection,
-    points: Arc<[P]>,
+    points: PointBuf<P>,
     net: Arc<RadiusGuidedNet>,
     writer: Option<IngestState<P>>,
     deltas: VecDeque<EpochDelta>,
     adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
     fragments: Lru<CacheKey, CachedArtifacts>,
     covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
+    stats: LoadStats,
 }
 
 impl<'e, P, M> EngineSnapshot<'e, P, M>

@@ -1,9 +1,10 @@
-//! The engine's chunked, append-only point store.
+//! The engine's chunked, append-only point store and the [`PointBuf`]
+//! snapshot buffer.
 //!
-//! Ingest batches arrive as sealed `Arc<[P]>` chunks that are never
-//! moved or reallocated again — concurrent readers may hold any number
-//! of them alive through published snapshots. Epoch publication
-//! [`ChunkedStore::flatten`]s the chunks into one contiguous `Arc<[P]>`
+//! Ingest batches arrive as sealed chunks that are never moved or
+//! reallocated again — concurrent readers may hold any number of them
+//! alive through published snapshots. Epoch publication
+//! [`ChunkedStore::flatten`]s the chunks into one contiguous buffer
 //! (the solvers' inner loops index a flat slice), which costs one clone
 //! pass over the points but **zero distance evaluations** — free in the
 //! paper's `t_dis` cost model, and off the read path entirely. Since
@@ -11,15 +12,109 @@
 //! the store *in place* through [`mdbscan_kcenter::PointAccess`], so a
 //! point-at-a-time feeder pays O(batch) per ingest and the O(n) flatten
 //! only on the first post-batch read.
+//!
+//! [`PointBuf`] exists for the zero-copy load path: a point snapshot is
+//! *usually* an owned `Arc<[P]>`, but an engine decoded from an aligned
+//! artifact can hold its points as a [`SharedSlice`] view straight into
+//! the loaded file buffer — same `&[P]` to every reader, O(1) point
+//! bytes copied at boot.
 
+use std::ops::Deref;
 use std::sync::Arc;
 
 use mdbscan_kcenter::PointAccess;
+use mdbscan_persist::{MaybeShared, SharedSlice};
+
+/// One contiguous point snapshot: heap-owned, or a zero-copy view of a
+/// loaded artifact buffer. Cloning either variant is a refcount bump;
+/// both deref to `&[P]`.
+pub(crate) enum PointBuf<P> {
+    /// Points on the heap (built, ingested, or decoded element-by-
+    /// element from an unaligned artifact).
+    Owned(Arc<[P]>),
+    /// Points aliasing a loaded artifact buffer — nothing was copied,
+    /// and the file buffer stays alive as long as this snapshot does.
+    Shared(SharedSlice<P>),
+}
+
+impl<P> PointBuf<P> {
+    /// The points, whichever variant holds them.
+    pub(crate) fn as_slice(&self) -> &[P] {
+        match self {
+            PointBuf::Owned(v) => v,
+            PointBuf::Shared(s) => s.as_slice(),
+        }
+    }
+
+    /// True when the points alias a loaded artifact buffer.
+    pub(crate) fn is_shared(&self) -> bool {
+        matches!(self, PointBuf::Shared(_))
+    }
+}
+
+impl<P: Clone> PointBuf<P> {
+    /// An `Arc<[P]>` of the snapshot. A refcount bump for the owned
+    /// variant; a shared (artifact-aliasing) snapshot pays one clone
+    /// pass here — the public `points_arc` escape hatch, not any
+    /// engine-internal path.
+    pub(crate) fn to_arc(&self) -> Arc<[P]> {
+        match self {
+            PointBuf::Owned(v) => Arc::clone(v),
+            PointBuf::Shared(s) => Arc::from(s.as_slice()),
+        }
+    }
+}
+
+impl<P> Clone for PointBuf<P> {
+    fn clone(&self) -> Self {
+        match self {
+            PointBuf::Owned(v) => PointBuf::Owned(Arc::clone(v)),
+            PointBuf::Shared(s) => PointBuf::Shared(s.clone()),
+        }
+    }
+}
+
+impl<P> Deref for PointBuf<P> {
+    type Target = [P];
+    fn deref(&self) -> &[P] {
+        self.as_slice()
+    }
+}
+
+impl<P> From<Arc<[P]>> for PointBuf<P> {
+    fn from(v: Arc<[P]>) -> Self {
+        PointBuf::Owned(v)
+    }
+}
+
+impl<P> From<Vec<P>> for PointBuf<P> {
+    fn from(v: Vec<P>) -> Self {
+        PointBuf::Owned(v.into())
+    }
+}
+
+impl<P> From<MaybeShared<P>> for PointBuf<P> {
+    fn from(v: MaybeShared<P>) -> Self {
+        match v {
+            MaybeShared::Owned(v) => PointBuf::Owned(v.into()),
+            MaybeShared::Shared(s) => PointBuf::Shared(s),
+        }
+    }
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for PointBuf<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointBuf::Owned(v) => write!(f, "Owned(len {})", v.len()),
+            PointBuf::Shared(s) => write!(f, "Shared(len {})", s.len()),
+        }
+    }
+}
 
 /// Append-only storage for the engine's point sequence: sealed chunks
 /// plus their running offsets.
 pub(crate) struct ChunkedStore<P> {
-    chunks: Vec<Arc<[P]>>,
+    chunks: Vec<PointBuf<P>>,
     /// `offsets[i]` is the global id of the first point of chunk `i`;
     /// one trailing entry holds the total, so lookup is a
     /// `partition_point` over a tiny array.
@@ -28,8 +123,9 @@ pub(crate) struct ChunkedStore<P> {
 
 impl<P> ChunkedStore<P> {
     /// Seeds the store with the engine's build-time points (shared, not
-    /// copied — `Arc<[P]>` clone is a refcount bump).
-    pub(crate) fn from_initial(chunk: Arc<[P]>) -> Self {
+    /// copied — a [`PointBuf`] clone is a refcount bump).
+    pub(crate) fn from_initial(chunk: impl Into<PointBuf<P>>) -> Self {
+        let chunk = chunk.into();
         let len = chunk.len();
         Self {
             chunks: vec![chunk],
@@ -70,9 +166,9 @@ impl<P> PointAccess<P> for ChunkedStore<P> {
 impl<P: Clone> ChunkedStore<P> {
     /// The contiguous snapshot view of everything stored so far. With a
     /// single chunk this is a refcount bump; otherwise one clone pass.
-    pub(crate) fn flatten(&self) -> Arc<[P]> {
+    pub(crate) fn flatten(&self) -> PointBuf<P> {
         if self.chunks.len() == 1 {
-            return Arc::clone(&self.chunks[0]);
+            return self.chunks[0].clone();
         }
         let mut flat = Vec::with_capacity(self.len());
         for chunk in &self.chunks {
@@ -88,7 +184,7 @@ mod tests {
 
     #[test]
     fn append_and_flatten() {
-        let mut store = ChunkedStore::from_initial(Arc::from(vec![1u32, 2]));
+        let mut store = ChunkedStore::from_initial(vec![1u32, 2]);
         assert_eq!(store.len(), 2);
         let first = store.flatten();
         store.append(vec![3, 4, 5]);
@@ -102,7 +198,7 @@ mod tests {
 
     #[test]
     fn indexed_access_crosses_chunk_boundaries() {
-        let mut store = ChunkedStore::from_initial(Arc::from(vec![10u32, 11]));
+        let mut store = ChunkedStore::from_initial(vec![10u32, 11]);
         store.append(vec![12]);
         store.append(Vec::new());
         store.append(vec![13, 14, 15]);
@@ -111,5 +207,36 @@ mod tests {
             assert_eq!(*store.get(i), 10 + i as u32);
             assert_eq!(*store.point(i), 10 + i as u32);
         }
+    }
+
+    #[test]
+    fn point_buf_variants_share_without_copying() {
+        let owned: PointBuf<u32> = vec![1u32, 2, 3].into();
+        assert!(!owned.is_shared());
+        let again = owned.clone();
+        assert_eq!(
+            owned.as_slice().as_ptr(),
+            again.as_slice().as_ptr(),
+            "owned clone must share the allocation"
+        );
+        assert_eq!(owned.to_arc().as_ref(), &[1, 2, 3]);
+
+        let buf = std::sync::Arc::new(mdbscan_persist::SharedBytes::from_vec(
+            7u32.to_le_bytes()
+                .iter()
+                .chain(8u32.to_le_bytes().iter())
+                .copied()
+                .collect(),
+        ));
+        let view = SharedSlice::<u32>::new(&buf, 0, 2).expect("aligned");
+        let shared: PointBuf<u32> = PointBuf::Shared(view);
+        assert!(shared.is_shared());
+        assert_eq!(&shared[..], &[7, 8]);
+        assert_eq!(
+            shared.as_slice().as_ptr() as *const u8,
+            buf.as_slice().as_ptr(),
+            "shared points must alias the buffer"
+        );
+        assert_eq!(shared.to_arc().as_ref(), &[7, 8]);
     }
 }

@@ -20,6 +20,18 @@ const EMPTY: u32 = u32::MAX;
 /// crate docs ("Soundness guard for cell verdicts").
 const GUARD: f64 = 1e-9;
 
+/// Probe-box volume above which [`GridIndex::visit_ring`] abandons the
+/// exhaustive integer walk for sorted-key range enumeration. Small
+/// boxes (a tight radius over a few cells) are cheapest as direct hash
+/// lookups; large sparse boxes — e.g. `d = 3` with a radius spanning
+/// many cell widths, where most integer keys hold no cell — pay
+/// `O(volume)` hash probes for a handful of hits, and the sorted walk
+/// visits only the occupied cells at `O(log cells)` per run instead.
+/// Both walks emit the identical cell sequence (ascending key order),
+/// so the cutoff is a pure wall-clock knob: labels, evaluation counts,
+/// and [`CandidateStats`] are bit-identical on either side.
+const RING_WALK_CELLS: u64 = 96;
+
 /// An ε-aligned grid over `n` points in `R^d`, stored in canonical
 /// form: cells sorted by integer key (lexicographic), members sorted
 /// ascending, CSR offsets, and a per-cell member bounding box. A hash
@@ -351,10 +363,19 @@ impl GridIndex {
         let mut lo = [0i64; MAX_BIN_DIM];
         let mut hi = [0i64; MAX_BIN_DIM];
         let mut cur = [0i64; MAX_BIN_DIM];
+        let mut volume = 1u64;
         for a in 0..dim {
             lo[a] = bin(q[a] - r, self.cell) - 1;
             hi[a] = bin(q[a] + r, self.cell) + 1;
             cur[a] = lo[a];
+            volume = volume.saturating_mul(hi[a].saturating_sub(lo[a]).max(0) as u64 + 1);
+        }
+        if volume > RING_WALK_CELLS {
+            // Large sparse box: walk only the occupied cells via the
+            // sorted key array. Same cells, same ascending-key order as
+            // the exhaustive walk below — see `visit_box_sorted`.
+            self.visit_box_sorted(&lo[..dim], &hi[..dim], 0, 0, self.num_cells(), &mut f);
+            return;
         }
         'outer: loop {
             if let Some(c) = self.find_cell(&cur[..dim]) {
@@ -372,6 +393,62 @@ impl GridIndex {
                 }
                 a -= 1;
             }
+        }
+    }
+
+    /// First cell index in `[s, e)` whose key coordinate at `depth`
+    /// reaches `v`. Valid whenever all cells in the range share their
+    /// key prefix below `depth`: lexicographic order then sorts the
+    /// range by the `depth` coordinate.
+    fn lower_bound(&self, s: usize, e: usize, depth: usize, v: i64) -> usize {
+        let (mut a, mut b) = (s, e);
+        while a < b {
+            let m = a + (b - a) / 2;
+            if self.keys[m * self.dim + depth] < v {
+                a = m + 1;
+            } else {
+                b = m;
+            }
+        }
+        a
+    }
+
+    /// Visits, in ascending cell-index (= lexicographic key) order,
+    /// every cell in `[s, e)` whose key lies inside the integer box
+    /// `lo..=hi` on dimensions `depth..`. Callers guarantee the range's
+    /// cells agree on dimensions `< depth` and that the shared prefix
+    /// is inside the box, so cell order within the range is sorted by
+    /// the `depth` coordinate and two binary searches bracket each
+    /// coordinate run. The full-index call (`depth = 0`, the whole
+    /// range) therefore emits exactly the occupied cells of the box in
+    /// the order the exhaustive integer walk in [`GridIndex::visit_ring`]
+    /// finds them — the two walks are interchangeable bit-for-bit.
+    fn visit_box_sorted<F: FnMut(usize)>(
+        &self,
+        lo: &[i64],
+        hi: &[i64],
+        depth: usize,
+        s: usize,
+        e: usize,
+        f: &mut F,
+    ) {
+        if depth == lo.len() {
+            for c in s..e {
+                f(c);
+            }
+            return;
+        }
+        let mut c = self.lower_bound(s, e, depth, lo[depth]);
+        while c < e {
+            let v = self.keys[c * self.dim + depth];
+            if v > hi[depth] {
+                break;
+            }
+            // `[c, run)` is the run of cells sharing coordinate `v` at
+            // this depth (and the prefix above it).
+            let run = self.lower_bound(c, e, depth, v + 1);
+            self.visit_box_sorted(lo, hi, depth + 1, c, run, f);
+            c = run;
         }
     }
 
@@ -710,6 +787,74 @@ mod tests {
                 euclid(&q, g.point_coords(id as usize)) <= r
             });
             assert_eq!(got, want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn sorted_box_walk_matches_exhaustive_walk() {
+        // The two ring-walk strategies must emit the identical cell
+        // sequence for any box — the cutoff in `visit_ring` is a pure
+        // wall-clock knob. Compare them directly on boxes spanning
+        // both sides of RING_WALK_CELLS, including empty and
+        // off-the-grid boxes.
+        for dim in [1usize, 2, 3] {
+            let coords = random_coords(600, dim, 42 + dim as u64);
+            let g = GridIndex::build(dim, 0.6, coords);
+            let boxes: Vec<(Vec<i64>, Vec<i64>)> = vec![
+                (vec![-2; dim], vec![2; dim]),   // small: exhaustive side
+                (vec![-20; dim], vec![20; dim]), // whole grid: sorted side
+                (vec![-9; dim], vec![3; dim]),   // asymmetric
+                (vec![50; dim], vec![80; dim]),  // off the grid entirely
+                (vec![0; dim], vec![0; dim]),    // single cell
+            ];
+            for (lo, hi) in boxes {
+                let mut exhaustive = Vec::new();
+                let mut cur = lo.clone();
+                'outer: loop {
+                    if let Some(c) = g.find_cell(&cur) {
+                        exhaustive.push(c);
+                    }
+                    let mut a = dim - 1;
+                    loop {
+                        cur[a] += 1;
+                        if cur[a] <= hi[a] {
+                            continue 'outer;
+                        }
+                        cur[a] = lo[a];
+                        if a == 0 {
+                            break 'outer;
+                        }
+                        a -= 1;
+                    }
+                }
+                let mut sorted = Vec::new();
+                g.visit_box_sorted(&lo, &hi, 0, 0, g.num_cells(), &mut |c| sorted.push(c));
+                assert_eq!(sorted, exhaustive, "dim={dim} lo={lo:?} hi={hi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_ring_probes_stay_correct() {
+        // A radius spanning many cell widths pushes `visit_ring` onto
+        // the sorted walk; counts must still match brute force.
+        let dim = 3;
+        let coords = random_coords(500, dim, 5);
+        let g = GridIndex::build(dim, 0.25, coords.clone());
+        let mut scratch = Vec::new();
+        for i in (0..500).step_by(37) {
+            let q = coords[i * dim..(i + 1) * dim].to_vec();
+            for r in [2.0, 6.0] {
+                let want = (0..500)
+                    .filter(|&j| euclid(&q, &coords[j * dim..(j + 1) * dim]) <= r)
+                    .count();
+                let mut stats = CandidateStats::default();
+                let got =
+                    g.count_within_capped(&q, r, usize::MAX, &mut scratch, &mut stats, |id| {
+                        euclid(&q, g.point_coords(id as usize)) <= r
+                    });
+                assert_eq!(got, want, "i={i} r={r}");
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 //!
 //! `Vec<Vec<f64>>` scatters every row behind its own allocation — the
 //! batched inner loops chase a pointer per candidate. [`VectorBlock`]
-//! stores all rows in **one** buffer (row-major, `f32` or `f64` via
+//! stores all rows in **one** buffer (`f32` or `f64` via
 //! [`BlockScalar`]) and caches each row's L2 norm at construction. The
 //! *points* handed to the clustering engine are then just the row
 //! indices (`u32`), and the block itself is the metric:
@@ -16,22 +16,53 @@
 //! assert_eq!(block.distance(&ids[0], &ids[1]), 5.0);
 //! ```
 //!
-//! What the layout buys:
+//! # Layout: dimension-major (SoA)
 //!
-//! * **batching** ([`crate::BatchMetric`]): candidate rows stream from
-//!   one allocation, and the cached norms give the bounded variant a
-//!   coordinate-free reject (`|‖a‖ − ‖b‖| ≤ dis(a, b)`, the reverse
-//!   triangle inequality) before any coordinate is read;
+//! Coordinates are stored **dimension-major**: coordinate `a` of row
+//! `i` lives at `data[a * rows + i]`, i.e. one contiguous *stripe* per
+//! dimension. The batch kernels ([`crate::BatchMetric`]) loop
+//! dimensions on the outside and candidates on the inside, so the
+//! inner loop reads one stripe with unit-ish stride and writes one
+//! per-candidate accumulator — independent arithmetic across
+//! candidates that the compiler autovectorizes. A row-major layout
+//! cannot get there: its inner loop is the *within-row* reduction,
+//! a serial floating-point dependency chain that strict FP semantics
+//! forbid the compiler to reorder into vector lanes.
+//!
+//! On top of the layout, [`VectorBlock::dist_many`] processes
+//! candidates in fixed-size strips (bounded stack accumulators), with
+//! dedicated kernels for d ∈ {2, 3} (grid workloads) and a
+//! four-stripe-fused generic path for embedding dimensions (128–768).
+//!
+//! # Bit-exactness
+//!
+//! Every kernel accumulates each candidate's squared distance
+//! **dimension-by-dimension in ascending order** in `f64` and takes
+//! one final `sqrt` — the exact operation sequence of the scalar
+//! reference (`sum += d·d` per dimension, then `sqrt`), which is
+//! itself the accumulation order of [`crate::Euclidean`] over
+//! `Vec<f64>` rows. Re-laying the storage moves *where* coordinates
+//! live, never the order they are combined, so an `f64` block yields
+//! bit-identical distances (and therefore clusterings) to the
+//! scattered representation, and the batch entry points satisfy the
+//! [`crate::BatchMetric`] bit-exactness contract by construction.
+//! What the layout buys on top of batching:
+//!
+//! * cached norms give the bounded variant a coordinate-free reject
+//!   (`|‖a‖ − ‖b‖| ≤ dis(a, b)`, the reverse triangle inequality)
+//!   before any coordinate is read;
 //! * **`f32` storage** halves memory traffic for bandwidth-bound
 //!   high-dimensional sweeps; accumulation stays in `f64`.
 //!
-//! Distances are computed with the same accumulation order as
-//! [`crate::Euclidean`] over `Vec<f64>` rows, so an `f64` block yields
-//! bit-identical clusterings to the scattered representation.
+//! A block can also be **decoded zero-copy** from an on-disk engine
+//! artifact: [`VectorBlock::from_soa_parts`] accepts storage that
+//! aliases the artifact's buffer (`mdbscan_persist::MaybeShared`), so
+//! a serving replica's coordinates are the file bytes themselves.
 
 use crate::batch::BatchMetric;
 use crate::gridcompat::GridCompatible;
 use crate::metric::Metric;
+use mdbscan_persist::MaybeShared;
 
 mod sealed {
     pub trait Sealed {}
@@ -41,7 +72,9 @@ mod sealed {
 
 /// Element type of a [`VectorBlock`]: `f32` (half the memory traffic)
 /// or `f64` (bit-compatible with [`crate::Euclidean`] on `Vec<f64>`).
-pub trait BlockScalar: sealed::Sealed + Copy + Send + Sync + 'static {
+/// The `Pod` supertrait is what lets block storage alias artifact
+/// bytes on load.
+pub trait BlockScalar: sealed::Sealed + mdbscan_persist::Pod {
     /// Widens to `f64` for accumulation.
     fn to_f64(self) -> f64;
     /// Narrows from `f64` at construction time.
@@ -66,26 +99,35 @@ impl BlockScalar for f64 {
     }
 }
 
-/// Row-major contiguous vector storage acting as a **Euclidean metric
-/// over row indices** (`Metric<u32>`), with per-row L2 norms cached for
-/// the batched bounded kernel.
+/// Strip width for the batched kernels: candidates are processed in
+/// bounded chunks so the per-candidate accumulators live on the stack.
+const STRIP: usize = 64;
+
+/// Dimension-major (SoA) contiguous vector storage acting as a
+/// **Euclidean metric over row indices** (`Metric<u32>`), with per-row
+/// L2 norms cached for the batched bounded kernel. See the module docs
+/// for the layout and the bit-exactness argument.
 #[derive(Debug, Clone)]
 pub struct VectorBlock<T = f64> {
     dim: usize,
     rows: usize,
-    data: Vec<T>,
-    norms: Vec<f64>,
+    /// Dimension-major: coordinate `a` of row `i` at `a * rows + i`.
+    data: MaybeShared<T>,
+    norms: MaybeShared<f64>,
 }
 
 impl<T: BlockScalar> VectorBlock<T> {
-    /// Packs `rows` into one flat buffer and caches their norms.
+    /// Packs `rows` into one dimension-major buffer and caches their
+    /// norms.
     ///
     /// Panics if the rows are ragged (unequal lengths) or contain
     /// non-finite values — the same inputs [`crate::validate_vectors`]
-    /// rejects.
+    /// rejects. Validation runs as a bulk pass per row *before*
+    /// packing, so the pack loop itself carries only debug asserts and
+    /// million-row construction is copy-bound, not assert-bound.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let dim = rows.first().map_or(0, Vec::len);
-        let mut data = Vec::with_capacity(rows.len() * dim);
+        let n = rows.len();
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(
                 row.len(),
@@ -93,17 +135,38 @@ impl<T: BlockScalar> VectorBlock<T> {
                 "ragged input: row {i} has {} dims, row 0 has {dim}",
                 row.len()
             );
-            for &v in row {
-                assert!(v.is_finite(), "non-finite value in row {i}");
-                data.push(T::from_f64(v));
-            }
+            assert!(
+                row.iter().all(|v| v.is_finite()),
+                "non-finite value in row {i}"
+            );
         }
-        Self::from_flat(dim, data)
+        let mut data = vec![T::from_f64(0.0); n * dim];
+        let mut norms = Vec::with_capacity(n);
+        for (i, row) in rows.iter().enumerate() {
+            debug_assert_eq!(row.len(), dim);
+            let mut sum = 0.0;
+            for (a, &v) in row.iter().enumerate() {
+                let t = T::from_f64(v);
+                data[a * n + i] = t;
+                // The norm is over the *stored* (possibly f32-rounded)
+                // values — the geometry the metric actually measures.
+                let x = t.to_f64();
+                sum += x * x;
+            }
+            norms.push(sum.sqrt());
+        }
+        Self {
+            dim,
+            rows: n,
+            data: MaybeShared::Owned(data),
+            norms: MaybeShared::Owned(norms),
+        }
     }
 
-    /// Wraps an already-flat row-major buffer (`data.len()` must be a
-    /// multiple of `dim`; with `dim == 0` the buffer must be empty and
-    /// the block holds zero points).
+    /// Packs an already-flat **row-major** buffer (`data.len()` must be
+    /// a multiple of `dim`; with `dim == 0` the buffer must be empty
+    /// and the block holds zero points). The buffer is transposed into
+    /// the internal dimension-major layout.
     pub fn from_flat(dim: usize, data: Vec<T>) -> Self {
         let rows = if dim == 0 {
             assert!(data.is_empty(), "dim 0 with non-empty data");
@@ -112,18 +175,43 @@ impl<T: BlockScalar> VectorBlock<T> {
             assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
             data.len() / dim
         };
-        let norms = (0..rows)
-            .map(|r| {
-                data[r * dim..(r + 1) * dim]
-                    .iter()
-                    .map(|v| {
-                        let x = v.to_f64();
-                        x * x
-                    })
-                    .sum::<f64>()
-                    .sqrt()
-            })
-            .collect();
+        let mut soa = vec![T::from_f64(0.0); data.len()];
+        let mut norms = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let row = &data[i * dim..(i + 1) * dim];
+            let mut sum = 0.0;
+            for (a, &v) in row.iter().enumerate() {
+                soa[a * rows + i] = v;
+                let x = v.to_f64();
+                sum += x * x;
+            }
+            norms.push(sum.sqrt());
+        }
+        Self {
+            dim,
+            rows,
+            data: MaybeShared::Owned(soa),
+            norms: MaybeShared::Owned(norms),
+        }
+    }
+
+    /// Assembles a block from already-dimension-major storage — the
+    /// artifact decode path, where `data` and `norms` may alias the
+    /// loaded file's buffer (zero-copy). `data` must hold
+    /// `dim * rows` elements laid out `a * rows + i` and `norms` the
+    /// `rows` cached L2 norms exactly as a constructor computed them;
+    /// both are trusted verbatim so a save/load round trip is
+    /// bit-identical by construction.
+    ///
+    /// Panics if the lengths disagree with `dim`/`rows`.
+    pub fn from_soa_parts(
+        dim: usize,
+        rows: usize,
+        data: MaybeShared<T>,
+        norms: MaybeShared<f64>,
+    ) -> Self {
+        assert_eq!(data.len(), dim * rows, "SoA data length != dim * rows");
+        assert_eq!(norms.len(), rows, "norms length != rows");
         Self {
             dim,
             rows,
@@ -147,14 +235,39 @@ impl<T: BlockScalar> VectorBlock<T> {
         self.dim
     }
 
-    /// Row `i` as a scalar slice.
-    pub fn row(&self, i: usize) -> &[T] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+    /// Coordinate `a` of row `i`.
+    pub fn coord(&self, i: usize, a: usize) -> T {
+        assert!(i < self.rows, "row {i} out of bounds ({} rows)", self.rows);
+        self.data.as_slice()[a * self.rows + i]
+    }
+
+    /// The contiguous stripe of dimension `a`: element `i` is row `i`'s
+    /// `a`-th coordinate.
+    pub fn stripe(&self, a: usize) -> &[T] {
+        &self.data.as_slice()[a * self.rows..(a + 1) * self.rows]
+    }
+
+    /// The raw dimension-major storage (`dim * rows` elements) — the
+    /// persistence codec's view, also used by tests asserting the
+    /// zero-copy load path.
+    pub fn soa_data(&self) -> &[T] {
+        self.data.as_slice()
+    }
+
+    /// The cached per-row L2 norms.
+    pub fn norms_data(&self) -> &[f64] {
+        self.norms.as_slice()
+    }
+
+    /// True when both coordinates and norms alias a loaded artifact
+    /// buffer rather than owning copies.
+    pub fn is_zero_copy(&self) -> bool {
+        self.data.is_shared() && self.norms.is_shared()
     }
 
     /// The cached L2 norm of row `i`.
     pub fn norm(&self, i: usize) -> f64 {
-        self.norms[i]
+        self.norms.as_slice()[i]
     }
 
     /// The point set to hand to a clustering engine: the row indices
@@ -165,13 +278,121 @@ impl<T: BlockScalar> VectorBlock<T> {
 
     #[inline]
     fn row_distance(&self, a: usize, b: usize) -> f64 {
-        let (ra, rb) = (self.row(a), self.row(b));
+        let data = self.data.as_slice();
+        let rows = self.rows;
+        assert!(a < rows || self.dim == 0, "row {a} out of bounds");
+        assert!(b < rows || self.dim == 0, "row {b} out of bounds");
         let mut sum = 0.0;
-        for (x, y) in ra.iter().zip(rb.iter()) {
-            let d = x.to_f64() - y.to_f64();
+        let mut base = 0;
+        for _ in 0..self.dim {
+            let d = data[base + a].to_f64() - data[base + b].to_f64();
             sum += d * d;
+            base += rows;
         }
         sum.sqrt()
+    }
+
+    /// Squared-distance accumulation for one strip of candidate rows.
+    /// `acc[j]` accumulates row `rid[j]`'s squared distance to row `q`,
+    /// dimension-by-dimension in ascending order (the bit-exactness
+    /// contract). Dimensions are fused four stripes at a time purely to
+    /// amortize loop overhead — each candidate's adds stay serial and
+    /// in order.
+    ///
+    /// When the strip's rows form a contiguous ascending run (full-range
+    /// sweeps — Step-3 labeling, Algorithm-2 core tests over all points
+    /// — land here constantly), the per-stripe loads become slice reads
+    /// instead of gathers, which is what lets the compiler vectorize
+    /// across candidates. Both paths perform the identical operation
+    /// sequence per candidate, so the dispatch is invisible in the
+    /// output bits.
+    #[inline]
+    fn accumulate_strip(
+        data: &[T],
+        rows: usize,
+        dim: usize,
+        q: usize,
+        rid: &[usize],
+        acc: &mut [f64],
+    ) {
+        debug_assert_eq!(rid.len(), acc.len());
+        let c = rid.len();
+        if c == 0 {
+            return;
+        }
+        let r0 = rid[0];
+        if rid.iter().enumerate().all(|(j, &r)| r == r0 + j) {
+            let mut a = 0;
+            while a + 4 <= dim {
+                let s0 = &data[a * rows..(a + 1) * rows];
+                let s1 = &data[(a + 1) * rows..(a + 2) * rows];
+                let s2 = &data[(a + 2) * rows..(a + 3) * rows];
+                let s3 = &data[(a + 3) * rows..(a + 4) * rows];
+                let q0 = s0[q].to_f64();
+                let q1 = s1[q].to_f64();
+                let q2 = s2[q].to_f64();
+                let q3 = s3[q].to_f64();
+                let (c0, c1) = (&s0[r0..r0 + c], &s1[r0..r0 + c]);
+                let (c2, c3) = (&s2[r0..r0 + c], &s3[r0..r0 + c]);
+                for j in 0..c {
+                    let mut s = acc[j];
+                    let d0 = q0 - c0[j].to_f64();
+                    s += d0 * d0;
+                    let d1 = q1 - c1[j].to_f64();
+                    s += d1 * d1;
+                    let d2 = q2 - c2[j].to_f64();
+                    s += d2 * d2;
+                    let d3 = q3 - c3[j].to_f64();
+                    s += d3 * d3;
+                    acc[j] = s;
+                }
+                a += 4;
+            }
+            while a < dim {
+                let s0 = &data[a * rows..(a + 1) * rows];
+                let q0 = s0[q].to_f64();
+                let c0 = &s0[r0..r0 + c];
+                for j in 0..c {
+                    let d = q0 - c0[j].to_f64();
+                    acc[j] += d * d;
+                }
+                a += 1;
+            }
+            return;
+        }
+        let mut a = 0;
+        while a + 4 <= dim {
+            let s0 = &data[a * rows..(a + 1) * rows];
+            let s1 = &data[(a + 1) * rows..(a + 2) * rows];
+            let s2 = &data[(a + 2) * rows..(a + 3) * rows];
+            let s3 = &data[(a + 3) * rows..(a + 4) * rows];
+            let q0 = s0[q].to_f64();
+            let q1 = s1[q].to_f64();
+            let q2 = s2[q].to_f64();
+            let q3 = s3[q].to_f64();
+            for (j, &r) in rid.iter().enumerate() {
+                let mut s = acc[j];
+                let d0 = q0 - s0[r].to_f64();
+                s += d0 * d0;
+                let d1 = q1 - s1[r].to_f64();
+                s += d1 * d1;
+                let d2 = q2 - s2[r].to_f64();
+                s += d2 * d2;
+                let d3 = q3 - s3[r].to_f64();
+                s += d3 * d3;
+                acc[j] = s;
+            }
+            a += 4;
+        }
+        while a < dim {
+            let s0 = &data[a * rows..(a + 1) * rows];
+            let q0 = s0[q].to_f64();
+            for (j, &r) in rid.iter().enumerate() {
+                let d = q0 - s0[r].to_f64();
+                acc[j] += d * d;
+            }
+            a += 1;
+        }
     }
 }
 
@@ -188,7 +409,8 @@ impl<T: BlockScalar> Metric<u32> for VectorBlock<T> {
         }
         // Reverse triangle inequality on the cached norms: a free reject
         // before any coordinate is touched.
-        if (self.norms[*a as usize] - self.norms[*b as usize]).abs() > bound {
+        let norms = self.norms.as_slice();
+        if (norms[*a as usize] - norms[*b as usize]).abs() > bound {
             return None;
         }
         let d = self.row_distance(*a as usize, *b as usize);
@@ -207,28 +429,82 @@ impl<T: BlockScalar> GridCompatible<u32> for VectorBlock<T> {
         if self.dim == 0 {
             return None;
         }
+        let data = self.data.as_slice();
+        let rows = self.rows;
         out.reserve(points.len() * self.dim);
         for &id in points {
-            out.extend(self.row(id as usize).iter().map(|v| v.to_f64()));
+            let i = id as usize;
+            assert!(i < rows, "row {i} out of bounds ({rows} rows)");
+            out.extend((0..self.dim).map(|a| data[a * rows + i].to_f64()));
         }
         Some(self.dim)
     }
 }
 
 impl<T: BlockScalar> BatchMetric<u32> for VectorBlock<T> {
-    /// Streams candidate rows out of the flat buffer. `points` is the
-    /// id slice the engine owns; each id addresses a row of this block.
+    /// Strip-blocked SoA kernel: dimensions outer, candidates inner,
+    /// per-candidate stack accumulators — autovectorizes across
+    /// candidates while keeping each candidate's accumulation order
+    /// identical to the scalar reference. `points` is the id slice the
+    /// engine owns; each id addresses a row of this block.
     fn dist_many(&self, points: &[u32], query: &u32, ids: &[u32], out: &mut Vec<f64>) {
         let q = *query as usize;
         out.clear();
-        out.extend(
-            ids.iter()
-                .map(|&i| self.row_distance(q, points[i as usize] as usize)),
-        );
+        out.reserve(ids.len());
+        let data = self.data.as_slice();
+        let rows = self.rows;
+        match self.dim {
+            0 => out.resize(ids.len(), 0.0),
+            2 => {
+                let s0 = &data[..rows];
+                let s1 = &data[rows..2 * rows];
+                let q0 = s0[q].to_f64();
+                let q1 = s1[q].to_f64();
+                out.extend(ids.iter().map(|&i| {
+                    let r = points[i as usize] as usize;
+                    let d0 = q0 - s0[r].to_f64();
+                    let d1 = q1 - s1[r].to_f64();
+                    (d0 * d0 + d1 * d1).sqrt()
+                }));
+            }
+            3 => {
+                let s0 = &data[..rows];
+                let s1 = &data[rows..2 * rows];
+                let s2 = &data[2 * rows..3 * rows];
+                let q0 = s0[q].to_f64();
+                let q1 = s1[q].to_f64();
+                let q2 = s2[q].to_f64();
+                out.extend(ids.iter().map(|&i| {
+                    let r = points[i as usize] as usize;
+                    let d0 = q0 - s0[r].to_f64();
+                    let d1 = q1 - s1[r].to_f64();
+                    let d2 = q2 - s2[r].to_f64();
+                    (d0 * d0 + d1 * d1 + d2 * d2).sqrt()
+                }));
+            }
+            dim => {
+                let mut rid = [0usize; STRIP];
+                let mut acc = [0f64; STRIP];
+                let mut start = 0;
+                while start < ids.len() {
+                    let c = (ids.len() - start).min(STRIP);
+                    for j in 0..c {
+                        rid[j] = points[ids[start + j] as usize] as usize;
+                    }
+                    acc[..c].fill(0.0);
+                    Self::accumulate_strip(data, rows, dim, q, &rid[..c], &mut acc[..c]);
+                    out.extend(acc[..c].iter().map(|s| s.sqrt()));
+                    start += c;
+                }
+            }
+        }
     }
 
     /// Norm-screened bounded batch: rows whose cached-norm gap already
-    /// exceeds `bound` are rejected without reading a coordinate.
+    /// exceeds `bound` are rejected without reading a coordinate;
+    /// survivors are compacted per strip and run through the same SoA
+    /// accumulation as [`VectorBlock::dist_many`], so accepted
+    /// distances are bit-identical to the scalar reference.
     fn dist_many_within(
         &self,
         points: &[u32],
@@ -243,19 +519,36 @@ impl<T: BlockScalar> BatchMetric<u32> for VectorBlock<T> {
             out.resize(ids.len(), f64::INFINITY);
             return;
         }
-        let nq = self.norms[q];
-        out.extend(ids.iter().map(|&i| {
-            let r = points[i as usize] as usize;
-            if (nq - self.norms[r]).abs() > bound {
-                return f64::INFINITY;
+        let data = self.data.as_slice();
+        let norms = self.norms.as_slice();
+        let rows = self.rows;
+        let nq = norms[q];
+        out.resize(ids.len(), f64::INFINITY);
+        let mut rid = [0usize; STRIP];
+        let mut slot = [0usize; STRIP];
+        let mut acc = [0f64; STRIP];
+        let mut start = 0;
+        while start < ids.len() {
+            let c = (ids.len() - start).min(STRIP);
+            let mut m = 0;
+            for j in 0..c {
+                let r = points[ids[start + j] as usize] as usize;
+                if (nq - norms[r]).abs() <= bound {
+                    rid[m] = r;
+                    slot[m] = start + j;
+                    m += 1;
+                }
             }
-            let d = self.row_distance(q, r);
-            if d <= bound {
-                d
-            } else {
-                f64::INFINITY
+            acc[..m].fill(0.0);
+            Self::accumulate_strip(data, rows, self.dim, q, &rid[..m], &mut acc[..m]);
+            for j in 0..m {
+                let d = acc[j].sqrt();
+                if d <= bound {
+                    out[slot[j]] = d;
+                }
             }
-        }));
+            start += c;
+        }
     }
 }
 
@@ -337,13 +630,49 @@ mod tests {
         let flat = VectorBlock::<f64>::from_flat(2, vec![0.0, 0.0, 3.0, 4.0]);
         assert_eq!(flat.len(), 2);
         assert_eq!(flat.norm(1), 5.0);
-        assert_eq!(flat.row(1), &[3.0, 4.0]);
+        assert_eq!(flat.coord(1, 0), 3.0);
+        assert_eq!(flat.coord(1, 1), 4.0);
+        assert_eq!(flat.stripe(0), &[0.0, 3.0]);
+        assert_eq!(flat.stripe(1), &[0.0, 4.0]);
+        assert!(!flat.is_zero_copy());
+    }
+
+    #[test]
+    fn soa_layout_is_dimension_major() {
+        let block = VectorBlock::<f64>::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(block.soa_data(), &[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(block.norms_data().len(), 2);
+        let same = VectorBlock::<f64>::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(same.soa_data(), block.soa_data());
+        assert_eq!(same.norms_data(), block.norms_data());
+    }
+
+    #[test]
+    fn from_soa_parts_round_trips() {
+        let block = VectorBlock::<f32>::from_rows(&rows());
+        let rebuilt = VectorBlock::<f32>::from_soa_parts(
+            block.dim(),
+            block.len(),
+            MaybeShared::Owned(block.soa_data().to_vec()),
+            MaybeShared::Owned(block.norms_data().to_vec()),
+        );
+        for a in 0..block.len() as u32 {
+            for b in 0..block.len() as u32 {
+                assert_eq!(block.distance(&a, &b), rebuilt.distance(&a, &b));
+            }
+        }
     }
 
     #[test]
     #[should_panic]
     fn ragged_rows_panic() {
         let _ = VectorBlock::<f64>::from_rows(&[vec![0.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_rows_panic() {
+        let _ = VectorBlock::<f64>::from_rows(&[vec![0.0, f64::NAN]]);
     }
 
     #[test]

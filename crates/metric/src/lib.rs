@@ -50,6 +50,35 @@
 //!   threshold queries without evaluating them. Pruning never changes
 //!   results — labels are bit-identical with it on or off.
 //!
+//! # Kernel layout & bit-exactness
+//!
+//! The batched kernels are allowed to be *fast* but never *different*:
+//! every override returns bit-for-bit the values of the scalar
+//! reference loop, because the workspace's determinism contract
+//! (identical labels across thread counts, pruning, caching, and
+//! save/load) diffs runs that mix batched and scalar paths. Floating
+//! point makes that a statement about **operation order**, not just
+//! arithmetic: `f64` addition is not associative, so a kernel may
+//! reorganize *which memory it reads* but must combine each result's
+//! terms in the reference order.
+//!
+//! [`VectorBlock`] is the worked example. Its storage is
+//! **dimension-major** (true SoA: one contiguous stripe per
+//! dimension), so [`BatchMetric::dist_many`] loops dimensions outer /
+//! candidates inner — the inner loop is independent arithmetic across
+//! candidates, which autovectorizes, while each candidate still
+//! accumulates its squared distance dimension-by-dimension **in
+//! ascending order** into its own `f64` accumulator, followed by one
+//! `sqrt`: the exact operation sequence of the scalar
+//! `sum += d·d`-then-`sqrt` reference (and of [`Euclidean`] over
+//! `Vec<f64>` rows). A row-major layout cannot vectorize that loop —
+//! its inner reduction is a serial FP dependency chain the compiler
+//! must not reorder. Fixed-d kernels (d ∈ {2, 3}, the grid workloads)
+//! and the strip-blocked generic path (embedding dims 128–768) differ
+//! only in bookkeeping, never in accumulation order; see the
+//! `block` module docs for the layout details and the `batch` module
+//! docs for the per-metric contract.
+//!
 //! # Example
 //!
 //! ```
@@ -84,7 +113,7 @@ pub use doubling::{estimate_doubling_dimension, DoublingEstimate};
 pub use error::MetricError;
 pub use gridcompat::GridCompatible;
 pub use metric::{FnMetric, Metric};
-pub use persist::{MetricTag, PersistPoint};
+pub use persist::{MetricTag, PersistMetric, PersistPoint};
 pub use prune::{PruneStats, PruningConfig};
 pub use sparse::{SparseAngular, SparseEuclidean, SparseJaccard, SparseVector};
 pub use string::{Hamming, Levenshtein};

@@ -10,12 +10,16 @@
 //! artifact opened as Levenshtein must fail typed, not cluster
 //! garbage).
 
-use crate::block::VectorBlock;
+use crate::block::{BlockScalar, VectorBlock};
 use crate::counting::CountingMetric;
 use crate::sparse::{SparseAngular, SparseEuclidean, SparseJaccard};
 use crate::string::{Hamming, Levenshtein};
 use crate::vector::{Angular, Chebyshev, Euclidean, Manhattan, Minkowski};
-use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
+use mdbscan_persist::{
+    read_shared_array, write_raw_array, ByteReader, ByteWriter, MaybeShared, PersistError,
+    SharedBytes,
+};
+use std::sync::Arc;
 
 /// A point type the engine can persist: a stable type tag for the
 /// artifact header plus a byte codec for the point payload.
@@ -46,6 +50,30 @@ pub trait PersistPoint: Sized {
 
     /// Reads one point payload back.
     fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError>;
+
+    /// Decodes `n` consecutive point payloads in bulk. The default
+    /// loops [`PersistPoint::decode_point`] into an owned `Vec`; point
+    /// types whose payloads form a contiguous plain-scalar array (the
+    /// `u32` row ids of a `VectorBlock` workload) override this to
+    /// return a view **aliasing** `src` — the loaded artifact's buffer
+    /// — so a replica boot copies O(1) point bytes instead of O(n).
+    /// Decoded values are bit-identical on either path; `src` is
+    /// `None` when the caller does not hold the artifact in a shared
+    /// buffer.
+    fn decode_points(
+        r: &mut ByteReader<'_>,
+        n: usize,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<MaybeShared<Self>, PersistError> {
+        let _ = src;
+        // Each point payload is at least one byte, so `remaining` caps
+        // the pre-allocation against corrupt length claims.
+        let mut points = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            points.push(Self::decode_point(r)?);
+        }
+        Ok(MaybeShared::Owned(points))
+    }
 }
 
 impl PersistPoint for Vec<f64> {
@@ -99,6 +127,17 @@ impl PersistPoint for u32 {
 
     fn decode_point(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
         r.get_u32()
+    }
+
+    /// Row ids are a contiguous little-endian `u32` array on disk:
+    /// when the points section is aligned, the loaded ids alias the
+    /// artifact buffer and nothing is copied.
+    fn decode_points(
+        r: &mut ByteReader<'_>,
+        n: usize,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<MaybeShared<Self>, PersistError> {
+        read_shared_array::<u32>(src, r, n)
     }
 }
 
@@ -194,6 +233,102 @@ impl<M: MetricTag> MetricTag for &M {
     const METRIC_TAG: &'static str = M::METRIC_TAG;
 }
 
+/// A metric whose *state* can travel inside the artifact, making the
+/// artifact self-contained: `MetricDbscan::save_self_contained` writes
+/// the metric into its own section and the matching load rebuilds it
+/// from the file instead of requiring the caller to pass it back in.
+///
+/// Most metrics are stateless code and don't need this — the plain
+/// `save`/`load` flow (metric passed back in, header tag checked)
+/// remains the general path. The canonical stateful implementor is
+/// [`VectorBlock`]: its rows *are* the dataset, and its codec stores
+/// the dimension-major coordinates and cached norms as raw aligned
+/// arrays so the decode can alias the artifact buffer (zero-copy; see
+/// `mdbscan_persist`'s crate docs).
+///
+/// The decode must reproduce the encoded metric **exactly** — same
+/// distances to the bit — under the same round-trip contract as
+/// [`PersistPoint`].
+pub trait PersistMetric: MetricTag + Sized {
+    /// Appends the metric's state to `out`. Codecs that want the
+    /// zero-copy decode must write raw arrays at 8-byte-aligned
+    /// payload offsets (the engine writes this section via
+    /// `ArtifactWriter::aligned_section`).
+    fn encode_metric(&self, out: &mut ByteWriter);
+
+    /// Rebuilds the metric, aliasing `src` where alignment allows.
+    fn decode_metric(
+        r: &mut ByteReader<'_>,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<Self, PersistError>;
+
+    /// Bytes of this metric's decoded state that alias the artifact
+    /// buffer instead of owned heap memory — the loader's copied-bytes
+    /// accounting subtracts this from the section payload. Defaults to
+    /// 0 (fully owned).
+    fn shared_state_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Layout: `u64` rows + `u64` dim + `rows` raw norm `f64`s + the
+/// `dim * rows` dimension-major coordinate scalars. With the section
+/// payload 8-aligned, both arrays start 8-aligned (16-byte prefix,
+/// 8-byte norm elements), so both load zero-copy.
+impl<T: BlockScalar> PersistMetric for VectorBlock<T>
+where
+    VectorBlock<T>: MetricTag,
+{
+    fn encode_metric(&self, out: &mut ByteWriter) {
+        out.put_usize(self.len());
+        out.put_usize(self.dim());
+        write_raw_array::<f64>(out, self.norms_data());
+        write_raw_array::<T>(out, self.soa_data());
+    }
+
+    fn decode_metric(
+        r: &mut ByteReader<'_>,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<Self, PersistError> {
+        let rows = r.get_usize()?;
+        let dim = r.get_usize()?;
+        let count = dim
+            .checked_mul(rows)
+            .ok_or_else(|| r.err(format!("block claims {dim} x {rows} elements (overflow)")))?;
+        let norms = read_shared_array::<f64>(src, r, rows)?;
+        let data = read_shared_array::<T>(src, r, count)?;
+        Ok(VectorBlock::from_soa_parts(dim, rows, data, norms))
+    }
+
+    fn shared_state_bytes(&self) -> usize {
+        if self.is_zero_copy() {
+            std::mem::size_of_val(self.norms_data()) + std::mem::size_of_val(self.soa_data())
+        } else {
+            0
+        }
+    }
+}
+
+/// Counting is observational: the wrapper costs nothing on disk and a
+/// decoded metric starts with a zeroed counter — exactly the
+/// "zero distance evaluations on load" contract.
+impl<M: PersistMetric> PersistMetric for CountingMetric<M> {
+    fn encode_metric(&self, out: &mut ByteWriter) {
+        self.inner().encode_metric(out);
+    }
+
+    fn decode_metric(
+        r: &mut ByteReader<'_>,
+        src: Option<&Arc<SharedBytes>>,
+    ) -> Result<Self, PersistError> {
+        Ok(CountingMetric::new(M::decode_metric(r, src)?))
+    }
+
+    fn shared_state_bytes(&self) -> usize {
+        self.inner().shared_state_bytes()
+    }
+}
+
 impl crate::prune::PruneStats {
     /// Appends the four counters.
     pub fn encode(&self, out: &mut ByteWriter) {
@@ -266,6 +401,80 @@ mod tests {
             <VectorBlock<f32>>::METRIC_TAG,
             <VectorBlock<f64>>::METRIC_TAG
         );
+    }
+
+    #[test]
+    fn u32_bulk_decode_aliases_an_aligned_buffer() {
+        let mut w = ByteWriter::new();
+        w.put_usize(3);
+        write_raw_array::<u32>(&mut w, &[5, 6, 7]);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let mut r = ByteReader::new_at("points", buf.as_slice(), 0);
+        let n = r.get_usize().unwrap();
+        let pts = u32::decode_points(&mut r, n, Some(&buf)).unwrap();
+        assert!(pts.is_shared());
+        assert_eq!(pts.as_slice(), &[5, 6, 7]);
+        // Without a shared buffer the same bytes decode owned.
+        let mut r = ByteReader::new_at("points", buf.as_slice(), 0);
+        let n = r.get_usize().unwrap();
+        let pts = u32::decode_points(&mut r, n, None).unwrap();
+        assert!(!pts.is_shared());
+        assert_eq!(pts.as_slice(), &[5, 6, 7]);
+    }
+
+    #[test]
+    fn block_codec_round_trips_zero_copy() {
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![i as f64 * 0.5, (i as f64).cos(), -(i as f64)])
+            .collect();
+        let block = VectorBlock::<f64>::from_rows(&rows);
+        let mut w = ByteWriter::new();
+        block.encode_metric(&mut w);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let mut r = ByteReader::new_at("metric", buf.as_slice(), 0);
+        let loaded = VectorBlock::<f64>::decode_metric(&mut r, Some(&buf)).unwrap();
+        assert!(r.finished());
+        assert!(
+            loaded.is_zero_copy(),
+            "aligned decode must alias the buffer"
+        );
+        // The decoded storage literally points into the artifact bytes.
+        let range = buf.as_slice().as_ptr_range();
+        let p = loaded.soa_data().as_ptr() as *const u8;
+        assert!(range.contains(&p), "coordinates must alias the buffer");
+        let p = loaded.norms_data().as_ptr() as *const u8;
+        assert!(range.contains(&p), "norms must alias the buffer");
+        // And the metric answers identically.
+        use crate::metric::Metric;
+        for a in 0..rows.len() as u32 {
+            for b in 0..rows.len() as u32 {
+                assert_eq!(block.distance(&a, &b), loaded.distance(&a, &b));
+            }
+        }
+        // Owned fallback (no shared buffer): same values, copied.
+        let mut w = ByteWriter::new();
+        block.encode_metric(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new("metric", &bytes);
+        let owned = VectorBlock::<f64>::decode_metric(&mut r, None).unwrap();
+        assert!(!owned.is_zero_copy());
+        assert_eq!(owned.soa_data(), loaded.soa_data());
+        assert_eq!(owned.norms_data(), loaded.norms_data());
+    }
+
+    #[test]
+    fn counting_metric_decodes_with_zeroed_counter() {
+        let block = VectorBlock::<f32>::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let counting = CountingMetric::new(block);
+        use crate::metric::Metric;
+        counting.distance(&0, &1); // dirty the counter before saving
+        let mut w = ByteWriter::new();
+        counting.encode_metric(&mut w);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let mut r = ByteReader::new_at("metric", buf.as_slice(), 0);
+        let loaded = CountingMetric::<VectorBlock<f32>>::decode_metric(&mut r, Some(&buf)).unwrap();
+        assert_eq!(loaded.count(), 0, "loads must not inherit eval counts");
+        assert_eq!(loaded.distance(&0, &1), counting.distance(&0, &1));
     }
 
     #[test]

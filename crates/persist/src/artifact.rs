@@ -10,6 +10,15 @@ use crate::PersistError;
 /// The current (and only) format version this build writes and reads.
 pub const FORMAT_VERSION: u32 = 1;
 
+/// The reserved name of alignment-padding sections. A pad is an
+/// ordinary checksummed section of 0–7 zero bytes that
+/// [`ArtifactWriter::to_bytes`] inserts before a section requested via
+/// [`ArtifactWriter::aligned_section`] so that section's *payload*
+/// starts at an 8-byte file offset. Readers look sections up by name
+/// and never ask for `"pad"`, so pre-alignment artifacts (no pads) and
+/// padded artifacts parse identically — no version bump.
+pub const PAD_SECTION: &str = "pad";
+
 const MAGIC: &[u8; 8] = b"MDBSCAN\0";
 
 /// What an artifact file contains.
@@ -49,7 +58,7 @@ pub struct ArtifactWriter {
     kind: ArtifactKind,
     point_tag: String,
     metric_tag: String,
-    sections: Vec<(String, ByteWriter)>,
+    sections: Vec<(String, ByteWriter, bool)>,
 }
 
 impl ArtifactWriter {
@@ -68,26 +77,59 @@ impl ArtifactWriter {
 
     /// Appends a new named section and returns its payload writer.
     pub fn section(&mut self, name: &str) -> &mut ByteWriter {
-        self.sections.push((name.to_owned(), ByteWriter::new()));
+        self.sections
+            .push((name.to_owned(), ByteWriter::new(), false));
+        &mut self.sections.last_mut().expect("just pushed").1
+    }
+
+    /// As [`ArtifactWriter::section`], but guarantees the section's
+    /// payload starts at an 8-byte file offset (by inserting a
+    /// [`PAD_SECTION`] before it when needed), so raw `u32`/`f32`/`f64`
+    /// arrays inside it can be loaded zero-copy via
+    /// [`crate::read_shared_array`].
+    pub fn aligned_section(&mut self, name: &str) -> &mut ByteWriter {
+        self.sections
+            .push((name.to_owned(), ByteWriter::new(), true));
         &mut self.sections.last_mut().expect("just pushed").1
     }
 
     /// Serializes the artifact: header (with its own CRC) followed by
-    /// each section framed as name + length + CRC + payload.
+    /// each section framed as name + length + CRC + payload, with pad
+    /// sections interleaved so aligned sections land on 8-byte payload
+    /// offsets.
     pub fn to_bytes(&self) -> Vec<u8> {
+        // Frame sizes are fully determined up front, so the pad layout
+        // (and therefore the section count in the header) can be
+        // computed before anything is written. `str` costs 4 + bytes.
+        let frame_len = |name: &str| 4 + name.len() + 8 + 4; // name + u64 len + u32 crc
+        let header_len =
+            MAGIC.len() + 4 + 1 + 4 + self.point_tag.len() + 4 + self.metric_tag.len() + 4;
+        let mut emitted: Vec<(&str, std::borrow::Cow<'_, [u8]>)> = Vec::new();
+        let mut off = header_len + 4; // the header CRC precedes the first frame
+        for (name, payload, aligned) in &self.sections {
+            if *aligned && !(off + frame_len(name)).is_multiple_of(8) {
+                let pad = (8 - (off + frame_len(PAD_SECTION) + frame_len(name)) % 8) % 8;
+                emitted.push((PAD_SECTION, std::borrow::Cow::Owned(vec![0u8; pad])));
+                off += frame_len(PAD_SECTION) + pad;
+            }
+            emitted.push((name, std::borrow::Cow::Borrowed(payload.as_slice())));
+            off += frame_len(name) + payload.len();
+        }
+
         let mut header = ByteWriter::new();
         header.put_bytes(MAGIC);
         header.put_u32(FORMAT_VERSION);
         header.put_u8(self.kind.to_byte());
         header.put_str(&self.point_tag);
         header.put_str(&self.metric_tag);
-        header.put_u32(self.sections.len() as u32);
+        header.put_u32(emitted.len() as u32);
+        debug_assert_eq!(header.len(), header_len);
         let header_crc = crc32(header.as_slice());
 
         let mut out = header.into_bytes();
         let mut w = ByteWriter::new();
         w.put_u32(header_crc);
-        for (name, payload) in &self.sections {
+        for (name, payload) in &emitted {
             // The section CRC covers the frame (name + length) *and*
             // the payload, so a corrupted name or length fails typed
             // instead of silently dropping an optional section.
@@ -96,10 +138,10 @@ impl ArtifactWriter {
             frame.put_u64(payload.len() as u64);
             let mut crc = Crc32::new();
             crc.update(frame.as_slice());
-            crc.update(payload.as_slice());
+            crc.update(payload);
             w.put_bytes(frame.as_slice());
             w.put_u32(crc.finish());
-            w.put_bytes(payload.as_slice());
+            w.put_bytes(payload);
         }
         out.extend_from_slice(w.as_slice());
         out
@@ -127,7 +169,8 @@ pub struct ArtifactReader<'a> {
     kind: ArtifactKind,
     point_tag: String,
     metric_tag: String,
-    sections: Vec<(String, &'a [u8])>,
+    /// `(name, payload, absolute payload offset in the parsed bytes)`.
+    sections: Vec<(String, &'a [u8], usize)>,
 }
 
 impl<'a> ArtifactReader<'a> {
@@ -194,7 +237,7 @@ impl<'a> ArtifactReader<'a> {
                     format!("checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"),
                 ));
             }
-            sections.push((name, payload));
+            sections.push((name, payload, start));
         }
         if !r.finished() {
             return Err(r.err(format!(
@@ -227,12 +270,15 @@ impl<'a> ArtifactReader<'a> {
 
     /// A reader over the named section's payload, or `None` when the
     /// artifact does not carry it (absent sections are how older or
-    /// slimmer artifacts — e.g. snapshots — stay loadable).
+    /// slimmer artifacts — e.g. snapshots — stay loadable). The reader
+    /// carries the payload's absolute offset into the parsed bytes, so
+    /// zero-copy decodes can verify file alignment
+    /// ([`ByteReader::file_pos`]).
     pub fn section(&self, name: &'a str) -> Option<ByteReader<'a>> {
         self.sections
             .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, payload)| ByteReader::new(name, payload))
+            .find(|(n, _, _)| n == name)
+            .map(|(_, payload, off)| ByteReader::new_at(name, payload, *off))
     }
 
     /// As [`ArtifactReader::section`], but a missing section is a
@@ -272,6 +318,54 @@ mod tests {
         assert_eq!(b.get_str().unwrap(), "payload");
         assert!(art.section("gamma").is_none());
         assert!(art.require_section("gamma").is_err());
+    }
+
+    #[test]
+    fn aligned_sections_land_on_eight_byte_payload_offsets() {
+        use crate::shared::{read_shared_array, write_raw_array, SharedBytes};
+        use std::sync::Arc;
+
+        let mut w = ArtifactWriter::new(ArtifactKind::Engine, "u32", "vector-block-f64");
+        w.section("meta").put_u32(7); // odd-length prefix forces padding
+        let s = w.aligned_section("points");
+        s.put_u64(3);
+        write_raw_array::<u32>(s, &[10, 20, 30]);
+        let s = w.aligned_section("norms");
+        s.put_u64(2);
+        write_raw_array::<f64>(s, &[1.5, 2.5]);
+        let bytes = w.to_bytes();
+
+        let buf = Arc::new(SharedBytes::from_vec(bytes.clone()));
+        let art = ArtifactReader::from_bytes(buf.as_slice()).unwrap();
+        for name in ["points", "norms"] {
+            let r = art.require_section(name).unwrap();
+            assert_eq!(r.file_pos() % 8, 0, "section `{name}` payload misaligned");
+        }
+        // And the arrays really do alias the buffer.
+        let mut r = art.require_section("points").unwrap();
+        let n = r.get_usize().unwrap();
+        let ids = read_shared_array::<u32>(Some(&buf), &mut r, n).unwrap();
+        assert!(ids.is_shared());
+        assert_eq!(ids.as_slice(), &[10, 20, 30]);
+        let mut r = art.require_section("norms").unwrap();
+        let n = r.get_usize().unwrap();
+        let norms = read_shared_array::<f64>(Some(&buf), &mut r, n).unwrap();
+        assert!(norms.is_shared());
+        assert_eq!(norms.as_slice(), &[1.5, 2.5]);
+        // Plain sections (and files written before padding existed)
+        // still parse; pads are just unqueried named sections.
+        let mut m = art.require_section("meta").unwrap();
+        assert_eq!(m.get_u32().unwrap(), 7);
+        // Determinism: same writer contents, same bytes.
+        let mut w2 = ArtifactWriter::new(ArtifactKind::Engine, "u32", "vector-block-f64");
+        w2.section("meta").put_u32(7);
+        let s = w2.aligned_section("points");
+        s.put_u64(3);
+        write_raw_array::<u32>(s, &[10, 20, 30]);
+        let s = w2.aligned_section("norms");
+        s.put_u64(2);
+        write_raw_array::<f64>(s, &[1.5, 2.5]);
+        assert_eq!(bytes, w2.to_bytes());
     }
 
     #[test]

@@ -139,21 +139,42 @@ pub struct ByteReader<'a> {
     section: &'a str,
     data: &'a [u8],
     pos: usize,
+    base: usize,
 }
 
 impl<'a> ByteReader<'a> {
     /// Wraps `data`, attributing errors to `section`.
     pub fn new(section: &'a str, data: &'a [u8]) -> Self {
+        Self::new_at(section, data, 0)
+    }
+
+    /// As [`ByteReader::new`], recording that `data` starts at
+    /// absolute byte `base` of the underlying file — this is what lets
+    /// [`crate::read_shared_array`] check alignment against the file,
+    /// not the section.
+    pub fn new_at(section: &'a str, data: &'a [u8], base: usize) -> Self {
         Self {
             section,
             data,
             pos: 0,
+            base,
         }
     }
 
     /// The section name errors are attributed to.
     pub fn section(&self) -> &str {
         self.section
+    }
+
+    /// The absolute file offset of the next unread byte (`base` +
+    /// consumed), used by zero-copy decodes to verify alignment.
+    pub fn file_pos(&self) -> usize {
+        self.base + self.pos
+    }
+
+    /// The not-yet-consumed bytes, without consuming them.
+    pub(crate) fn peek_remaining(&self) -> &'a [u8] {
+        &self.data[self.pos..]
     }
 
     /// Bytes not yet consumed.
@@ -192,6 +213,12 @@ impl<'a> ByteReader<'a> {
     /// Skips `n` bytes (used to step over section payloads).
     pub fn skip(&mut self, n: usize) -> Result<(), PersistError> {
         self.take(n).map(|_| ())
+    }
+
+    /// Consumes and returns `n` raw bytes (the bulk-decode primitive
+    /// behind [`crate::read_shared_array`]'s owned fallback).
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        self.take(n)
     }
 
     /// Reads a `bool` byte; anything other than 0/1 is a format error.

@@ -52,6 +52,30 @@
 //! additive extensions need no version bump. A snapshot artifact is
 //! simply an engine artifact without the cache/writer sections.
 //!
+//! # Section alignment and zero-copy loads
+//!
+//! A section written via [`ArtifactWriter::aligned_section`] has its
+//! payload start at an **8-byte file offset**. Alignment is achieved
+//! without touching the header layout: the writer inserts a reserved
+//! [`PAD_SECTION`] (`"pad"`, 0–7 zero bytes, normally framed and
+//! checksummed) immediately before the aligned section when needed.
+//! Because sections are looked up by name and `"pad"` is never looked
+//! up, artifacts written before padding existed (including
+//! `tests/fixtures/golden_v1.mdb`) and padded artifacts parse through
+//! the identical code path — `FORMAT_VERSION` stays 1.
+//!
+//! Alignment is what makes loads cheap: a file read once into the
+//! 8-aligned [`SharedBytes`] buffer can hand out typed
+//! [`SharedSlice`] views of raw `u32`/`f32`/`f64` arrays inside
+//! aligned sections ([`read_shared_array`]) instead of decoding
+//! element-by-element — the engine's point rows and `VectorBlock`
+//! coordinates then *alias* the artifact buffer and a serving replica
+//! boots with O(1) copied point bytes. Every zero-copy precondition
+//! (element type, alignment, bounds, little-endian host, buffer
+//! identity) is checked at decode time with a bit-identical owned
+//! fallback, so the fast path is an optimization, never a format
+//! requirement.
+//!
 //! # Versioning policy
 //!
 //! * The version is bumped only for *incompatible* layout changes
@@ -85,18 +109,26 @@
 //! first, falling back past any corrupt or torn file to the last good
 //! checkpoint — an external corruption of the newest artifact degrades
 //! a warm start, it never prevents one.
-#![forbid(unsafe_code)]
+// `deny` rather than the workspace-wide `forbid`: the `shared` module
+// holds the workspace's only `unsafe` (two audited slice
+// reinterpretations behind checked alignment/endianness/bounds) under
+// a scoped allow. Everything else in this crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 mod artifact;
 mod atomic;
 mod bytes;
 mod crc32;
+mod shared;
 
-pub use artifact::{read_file, ArtifactKind, ArtifactReader, ArtifactWriter, FORMAT_VERSION};
+pub use artifact::{
+    read_file, ArtifactKind, ArtifactReader, ArtifactWriter, FORMAT_VERSION, PAD_SECTION,
+};
 pub use atomic::{checkpoint_path, list_checkpoints, next_checkpoint_seq, write_atomic};
 pub use bytes::{ByteReader, ByteWriter};
 pub use crc32::{crc32, Crc32};
+pub use shared::{read_shared_array, write_raw_array, MaybeShared, Pod, SharedBytes, SharedSlice};
 
 use std::fmt;
 

@@ -1,0 +1,465 @@
+//! Zero-copy section views: an 8-byte-aligned owned file buffer
+//! ([`SharedBytes`]) and typed slices that alias it ([`SharedSlice`]).
+//!
+//! The PR-5 load path decoded every point and every block coordinate
+//! element-by-element into fresh `Vec`s — an O(n)-copy cold start. The
+//! types here let a codec *reinterpret* an aligned section payload as
+//! `&[u32]` / `&[f32]` / `&[f64]` instead: the engine then holds an
+//! `Arc<SharedBytes>` of the raw file plus typed windows into it, and
+//! boot copies O(1) point bytes regardless of n.
+//!
+//! Three invariants make the reinterpretation sound, and all three are
+//! *checked*, falling back to an owned copy (never failing) when any
+//! does not hold:
+//!
+//! 1. **Element types are plain-old-data** — the sealed [`Pod`] trait
+//!    admits only fixed-width scalars for which every bit pattern is a
+//!    valid value and which contain no padding.
+//! 2. **Alignment** — [`SharedBytes`] is backed by a `u64` allocation,
+//!    so byte offset 0 is 8-aligned; [`SharedSlice::new`] additionally
+//!    requires the byte offset to be a multiple of `align_of::<T>()`.
+//!    Artifact sections opt into 8-aligned payloads via
+//!    `ArtifactWriter::aligned_section` (see the crate docs on pad
+//!    sections).
+//! 3. **Endianness** — the format is little-endian; on a big-endian
+//!    host every zero-copy constructor reports "no view" and callers
+//!    take the byte-swapping owned path.
+//!
+//! This module is the one place in the workspace that uses `unsafe`
+//! (the crate is `deny(unsafe_code)` with a scoped allow here, and
+//! every other crate stays `forbid`): two `slice::from_raw_parts`
+//! calls whose preconditions are exactly the checked invariants above,
+//! plus the mirrored `_mut` view used only while the buffer is being
+//! filled from the file.
+#![allow(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::PersistError;
+
+/// An immutable, heap-owned byte buffer whose first byte is 8-aligned,
+/// shared via `Arc` between an artifact reader and every
+/// [`SharedSlice`] decoded from it.
+///
+/// Alignment is guaranteed by construction: the storage is a
+/// `Vec<u64>`, so the base pointer satisfies the alignment of every
+/// [`Pod`] scalar (all have `align_of <= 8`).
+pub struct SharedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// Copies `bytes` into a fresh 8-aligned buffer.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        let mut sb = SharedBytes {
+            words: vec![0u64; bytes.len().div_ceil(8)],
+            len: bytes.len(),
+        };
+        sb.as_mut_slice().copy_from_slice(&bytes);
+        sb
+    }
+
+    /// Reads an entire file directly into an 8-aligned buffer — one
+    /// copy, disk to buffer, with no intermediate `Vec<u8>`.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Arc<Self>, PersistError> {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path)?;
+        let len = usize::try_from(f.metadata()?.len())
+            .map_err(|_| PersistError::Io("file exceeds host usize".into()))?;
+        let mut sb = SharedBytes {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        };
+        f.read_exact(sb.as_mut_slice())?;
+        Ok(Arc::new(sb))
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `words` owns at least `len.div_ceil(8) * 8 >= len`
+        // initialized bytes; u8 has alignment 1; the lifetime is tied
+        // to `&self`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as `as_slice`, plus exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr() as *mut u8, self.len) }
+    }
+}
+
+impl std::fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBytes")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Plain-old-data scalars that may alias artifact bytes: fixed width,
+/// no padding, every bit pattern valid. Sealed — the soundness of
+/// [`SharedSlice`] depends on this list staying exactly these scalars.
+pub trait Pod: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Decodes one element from its little-endian bytes
+    /// (`size_of::<Self>()` of them).
+    fn from_le(bytes: &[u8]) -> Self;
+    /// Appends this element's little-endian bytes to `out`.
+    fn put_le(self, out: &mut Vec<u8>);
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl sealed::Sealed for $t {}
+        impl Pod for $t {
+            fn from_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact-width chunk"))
+            }
+            fn put_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_pod!(u8, u32, u64);
+
+// f32/f64 go through their bit patterns so the byte layout matches the
+// `put_f64` convention exactly.
+impl sealed::Sealed for f32 {}
+impl Pod for f32 {
+    fn from_le(bytes: &[u8]) -> Self {
+        f32::from_bits(u32::from_le_bytes(bytes.try_into().expect("4-byte chunk")))
+    }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+impl sealed::Sealed for f64 {}
+impl Pod for f64 {
+    fn from_le(bytes: &[u8]) -> Self {
+        f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8-byte chunk")))
+    }
+    fn put_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+/// A typed immutable window into an [`SharedBytes`] buffer: `count`
+/// elements of `T` starting at a checked, aligned byte offset. Cloning
+/// is an `Arc` bump; the buffer stays alive as long as any slice does.
+pub struct SharedSlice<T> {
+    buf: Arc<SharedBytes>,
+    offset: usize,
+    count: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T: Pod> SharedSlice<T> {
+    /// A view of `count` elements at byte `offset` into `buf`, or
+    /// `None` when the offset is misaligned for `T`, the range is out
+    /// of bounds, or the host is big-endian (the file bytes are
+    /// little-endian and cannot alias directly).
+    pub fn new(buf: &Arc<SharedBytes>, offset: usize, count: usize) -> Option<Self> {
+        if !cfg!(target_endian = "little") {
+            return None;
+        }
+        let bytes = count.checked_mul(std::mem::size_of::<T>())?;
+        if !offset.is_multiple_of(std::mem::align_of::<T>())
+            || offset.checked_add(bytes)? > buf.len()
+        {
+            return None;
+        }
+        Some(Self {
+            buf: Arc::clone(buf),
+            offset,
+            count,
+            _elem: PhantomData,
+        })
+    }
+}
+
+impl<T> SharedSlice<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The viewed elements.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: `SharedSlice<T>` is only constructible through
+        // `new`, whose `T: Pod` bound and checks establish that the
+        // range is in bounds, the pointer is aligned for `T`, every
+        // bit pattern is a valid `T`, and the host is little-endian.
+        // The buffer is immutable and kept alive by our `Arc`.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.buf.as_slice().as_ptr().add(self.offset) as *const T,
+                self.count,
+            )
+        }
+    }
+
+    /// The buffer this view aliases (for identity tests and
+    /// diagnostics).
+    pub fn buffer(&self) -> &Arc<SharedBytes> {
+        &self.buf
+    }
+}
+
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        Self {
+            buf: Arc::clone(&self.buf),
+            offset: self.offset,
+            count: self.count,
+            _elem: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for SharedSlice<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> std::fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSlice")
+            .field("offset", &self.offset)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+/// Element storage that is either owned or a zero-copy view of an
+/// artifact buffer. Codecs return this from bulk decodes: the caller
+/// treats both variants as a `&[T]` and can ask [`MaybeShared::is_shared`]
+/// when accounting copied bytes.
+pub enum MaybeShared<T> {
+    /// Elements copied out of the artifact (the safe fallback:
+    /// misaligned section, big-endian host, or a codec with no bulk
+    /// layout).
+    Owned(Vec<T>),
+    /// Elements aliasing the artifact buffer — zero bytes copied.
+    Shared(SharedSlice<T>),
+}
+
+impl<T> MaybeShared<T> {
+    /// The elements, whichever variant holds them.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            MaybeShared::Owned(v) => v,
+            MaybeShared::Shared(s) => s.as_slice(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when no elements are held.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// True when the elements alias the artifact buffer (no copy).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, MaybeShared::Shared(_))
+    }
+}
+
+impl<T> Deref for MaybeShared<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Clone> Clone for MaybeShared<T> {
+    fn clone(&self) -> Self {
+        match self {
+            MaybeShared::Owned(v) => MaybeShared::Owned(v.clone()),
+            MaybeShared::Shared(s) => MaybeShared::Shared(s.clone()),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MaybeShared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MaybeShared::Owned(v) => write!(f, "Owned({v:?})"),
+            MaybeShared::Shared(s) => write!(f, "Shared(len {})", s.len()),
+        }
+    }
+}
+
+/// Reads `count` raw little-endian `T` elements from `r`, aliasing the
+/// artifact buffer when possible and copying otherwise.
+///
+/// The zero-copy path engages only when `src` is provided, the reader's
+/// current position is `T`-aligned **in the file**, the reader is
+/// actually windowing into `src` (verified by pointer identity, so a
+/// mismatched buffer can never be silently misread), and the host is
+/// little-endian. In every other case the elements are decoded into an
+/// owned `Vec` — the result is bit-identical either way. Truncation is
+/// a typed [`PersistError`] as usual.
+pub fn read_shared_array<T: Pod>(
+    src: Option<&Arc<SharedBytes>>,
+    r: &mut ByteReader<'_>,
+    count: usize,
+) -> Result<MaybeShared<T>, PersistError> {
+    let size = std::mem::size_of::<T>();
+    let bytes = count
+        .checked_mul(size)
+        .ok_or_else(|| r.err(format!("length claim {count} x {size}B overflows")))?;
+    if let Some(buf) = src {
+        let pos = r.file_pos();
+        // The reader must be positioned over this exact buffer: its
+        // remaining window has to start at `buf[pos]`.
+        let expected = buf.as_slice().as_ptr().wrapping_add(pos);
+        if expected == r.peek_remaining().as_ptr() {
+            if let Some(view) = SharedSlice::new(buf, pos, count) {
+                r.skip(bytes)?;
+                return Ok(MaybeShared::Shared(view));
+            }
+        }
+    }
+    let raw = r.take_bytes(bytes)?;
+    Ok(MaybeShared::Owned(
+        raw.chunks_exact(size).map(T::from_le).collect(),
+    ))
+}
+
+/// Appends a raw little-endian `T` array (elements only — callers
+/// write any count themselves). The byte layout matches
+/// [`read_shared_array`] and, for `f64`, the `put_f64` bit-pattern
+/// convention.
+pub fn write_raw_array<T: Pod>(w: &mut ByteWriter, vs: &[T]) {
+    let mut bytes = Vec::with_capacity(std::mem::size_of_val(vs));
+    for &v in vs {
+        v.put_le(&mut bytes);
+    }
+    w.put_bytes(&bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_bytes_is_eight_aligned() {
+        for n in [0usize, 1, 7, 8, 9, 4096] {
+            let sb = SharedBytes::from_vec(vec![0xAB; n]);
+            assert_eq!(sb.len(), n);
+            assert_eq!(sb.as_slice().as_ptr() as usize % 8, 0);
+            assert!(sb.as_slice().iter().all(|&b| b == 0xAB));
+        }
+    }
+
+    #[test]
+    fn shared_slice_aliases_without_copy() {
+        let mut w = ByteWriter::new();
+        write_raw_array::<f64>(&mut w, &[1.5, -0.0, f64::MIN_POSITIVE]);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let view = SharedSlice::<f64>::new(&buf, 0, 3).expect("aligned view");
+        assert_eq!(view.len(), 3);
+        assert_eq!(view[0], 1.5);
+        assert_eq!(view[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(view[2], f64::MIN_POSITIVE);
+        let base = buf.as_slice().as_ptr() as usize;
+        let p = view.as_slice().as_ptr() as usize;
+        assert_eq!(p, base, "view must point into the buffer");
+    }
+
+    #[test]
+    fn misaligned_or_oob_views_are_refused() {
+        let buf = Arc::new(SharedBytes::from_vec(vec![0u8; 32]));
+        assert!(SharedSlice::<f64>::new(&buf, 4, 1).is_none(), "misaligned");
+        assert!(SharedSlice::<f64>::new(&buf, 0, 5).is_none(), "oob");
+        assert!(SharedSlice::<u32>::new(&buf, 30, 1).is_none(), "oob tail");
+        assert!(SharedSlice::<u32>::new(&buf, 28, 1).is_some());
+    }
+
+    #[test]
+    fn read_shared_array_zero_copy_when_aligned() {
+        let mut w = ByteWriter::new();
+        w.put_u64(4); // 8 bytes of prefix keeps the array 8-aligned
+        write_raw_array::<u32>(&mut w, &[7, 8, 9, 10]);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let mut r = ByteReader::new_at("sec", buf.as_slice(), 0);
+        assert_eq!(r.get_u64().unwrap(), 4);
+        let arr = read_shared_array::<u32>(Some(&buf), &mut r, 4).unwrap();
+        assert!(arr.is_shared());
+        assert_eq!(arr.as_slice(), &[7, 8, 9, 10]);
+        assert!(r.finished());
+    }
+
+    #[test]
+    fn read_shared_array_copies_when_misaligned_or_foreign() {
+        // Misaligned start for f64 (4-byte prefix).
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        write_raw_array::<f64>(&mut w, &[2.25]);
+        let buf = Arc::new(SharedBytes::from_vec(w.into_bytes()));
+        let mut r = ByteReader::new_at("sec", buf.as_slice(), 0);
+        r.get_u32().unwrap();
+        let arr = read_shared_array::<f64>(Some(&buf), &mut r, 1).unwrap();
+        assert!(!arr.is_shared());
+        assert_eq!(arr.as_slice(), &[2.25]);
+
+        // A reader over bytes that are not the claimed buffer must
+        // fall back to copying, never alias the wrong memory.
+        let mut w = ByteWriter::new();
+        write_raw_array::<u32>(&mut w, &[1, 2]);
+        let other = w.into_bytes();
+        let mut r = ByteReader::new_at("sec", &other, 0);
+        let arr = read_shared_array::<u32>(Some(&buf), &mut r, 2).unwrap();
+        assert!(!arr.is_shared());
+        assert_eq!(arr.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn truncation_stays_typed() {
+        let buf = Arc::new(SharedBytes::from_vec(vec![0u8; 8]));
+        let mut r = ByteReader::new_at("sec", buf.as_slice(), 0);
+        assert!(read_shared_array::<f64>(Some(&buf), &mut r, 2).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_is_aligned() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mdbscan_sharedbytes_{}.bin", std::process::id()));
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        let sb = SharedBytes::read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(sb.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(sb.as_slice().as_ptr() as usize % 8, 0);
+    }
+}

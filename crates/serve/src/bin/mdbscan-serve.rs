@@ -108,6 +108,17 @@ fn main() {
                     engine.num_points(),
                     engine.epoch()
                 );
+                if let Some(stats) = engine.load_stats() {
+                    eprintln!(
+                        "warm start copied {} of {} payload bytes (points {}/{}, metric {}/{})",
+                        stats.bytes_copied(),
+                        stats.point_payload_bytes + stats.metric_payload_bytes,
+                        stats.point_bytes_copied,
+                        stats.point_payload_bytes,
+                        stats.metric_bytes_copied,
+                        stats.metric_payload_bytes,
+                    );
+                }
                 engine
             }
             Err(e) => {

@@ -27,7 +27,7 @@ use metric_dbscan::core::{
 use metric_dbscan::datagen::{blobs, string_clusters, BlobSpec, StringSpec};
 use metric_dbscan::metric::{
     BatchMetric, CountingMetric, Euclidean, Levenshtein, Manhattan, MetricTag, PersistPoint,
-    PruningConfig,
+    PruningConfig, VectorBlock,
 };
 
 fn vector_points() -> Vec<Vec<f64>> {
@@ -476,4 +476,153 @@ fn regenerate_golden_fixture() {
     let path = golden_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     golden_engine().save(&path).unwrap();
+}
+
+/// A self-contained VectorBlock engine over `n` row ids.
+fn block_engine(n: usize) -> MetricDbscan<u32, CountingMetric<VectorBlock<f64>>> {
+    let rows: Vec<Vec<f64>> = blobs(
+        &BlobSpec {
+            n,
+            dim: 3,
+            clusters: 4,
+            std: 0.6,
+            center_box: 15.0,
+            outlier_frac: 0.05,
+        },
+        29,
+    )
+    .into_parts()
+    .0;
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    MetricDbscan::builder(block.ids(), CountingMetric::new(block))
+        .rbar(0.45)
+        .net_strategy(NetStrategy::RadiusGuided)
+        .build()
+        .unwrap()
+}
+
+/// The zero-copy cold-start contract: a self-contained VectorBlock
+/// artifact loads with the point ids *and* the block's coordinate/norm
+/// arrays aliasing the file buffer — the copied-bytes counters stay
+/// fixed-size while the payloads grow with n — and the loaded replica
+/// answers bit-identically with zero distance evaluations at load and
+/// a warm cache hit on the first query.
+#[test]
+fn self_contained_load_is_zero_copy_and_bit_identical() {
+    let params = DbscanParams::new(1.0, 4).unwrap();
+    let mut copied_at_n = Vec::new();
+    let mut payload_at_n = Vec::new();
+    for n in [150usize, 300] {
+        let engine = block_engine(n);
+        let want = engine.exact(&params).unwrap();
+        // The warm-rerun cost of the unrestarted engine is the loaded
+        // replica's contract.
+        engine.metric().reset();
+        engine.exact(&params).unwrap();
+        let warm_evals = engine.metric().reset();
+        let path = temp_path(&format!("self_contained_{n}"));
+        engine.save_self_contained(&path).unwrap();
+
+        let loaded =
+            MetricDbscan::<u32, CountingMetric<VectorBlock<f64>>>::load_self_contained(&path)
+                .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.metric().count(), 0, "zero evals on load");
+        assert!(
+            loaded.metric().inner().is_zero_copy(),
+            "block arrays must alias the artifact buffer"
+        );
+        let stats = loaded.load_stats().expect("loaded engines report stats");
+        assert_eq!(
+            stats.point_bytes_copied, 0,
+            "row ids must alias the artifact buffer"
+        );
+        assert!(stats.point_payload_bytes >= (n * 4) as u64);
+        assert!(stats.metric_payload_bytes >= (n * 3 * 8) as u64);
+        copied_at_n.push(stats.bytes_copied());
+        payload_at_n.push(stats.point_payload_bytes + stats.metric_payload_bytes);
+
+        let got = loaded.exact(&params).unwrap();
+        assert!(got.report.cache_hit, "first post-load query is a warm hit");
+        assert_eq!(
+            loaded.metric().count(),
+            warm_evals,
+            "the warm hit must cost exactly what the unrestarted engine pays"
+        );
+        assert_eq!(got.clustering, want.clustering, "labels must round-trip");
+    }
+    assert_eq!(
+        copied_at_n[0], copied_at_n[1],
+        "copied bytes must be independent of n (payload grew {} -> {})",
+        payload_at_n[0], payload_at_n[1]
+    );
+}
+
+/// Interop between the plain and self-contained flows: a self-contained
+/// artifact still loads through the plain API (caller's metric wins),
+/// and a plain artifact fails the self-contained load with a typed
+/// format error instead of garbage.
+#[test]
+fn self_contained_and_plain_artifacts_interoperate() {
+    let params = DbscanParams::new(1.0, 4).unwrap();
+    let engine = block_engine(120);
+    let want = engine.exact(&params).unwrap();
+
+    let path = temp_path("self_contained_interop");
+    engine.save_self_contained(&path).unwrap();
+    let plain: MetricDbscan<u32, CountingMetric<VectorBlock<f64>>> =
+        MetricDbscan::load(&path, CountingMetric::new(engine.metric().inner().clone())).unwrap();
+    assert_eq!(
+        plain.exact(&params).unwrap().clustering,
+        want.clustering,
+        "plain load of a self-contained artifact must answer identically"
+    );
+    std::fs::remove_file(&path).unwrap();
+
+    let path = temp_path("plain_no_metric");
+    engine.save(&path).unwrap();
+    let err =
+        match MetricDbscan::<u32, CountingMetric<VectorBlock<f64>>>::load_self_contained(&path) {
+            Ok(_) => panic!("a plain artifact must not satisfy the self-contained load"),
+            Err(e) => e,
+        };
+    std::fs::remove_file(&path).unwrap();
+    assert!(
+        matches!(err, DbscanError::Format { .. }),
+        "missing metric section must fail typed, got {err:?}"
+    );
+}
+
+/// `load_latest_self_contained` walks past corrupt checkpoints exactly
+/// like the plain walker, and the recovered replica is zero-copy.
+#[test]
+fn latest_self_contained_checkpoint_survives_corruption() {
+    let params = DbscanParams::new(1.0, 4).unwrap();
+    let engine = block_engine(130);
+    let want = engine.exact(&params).unwrap();
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("mdbscan_sc_ckpt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let s0 = engine.save_checkpoint_self_contained(&dir).unwrap();
+    let s1 = engine.save_checkpoint_self_contained(&dir).unwrap();
+    assert!(s1 > s0);
+    // Corrupt the newest checkpoint; recovery must fall back to s0.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| Some(e.ok()?.path()))
+        .max()
+        .unwrap();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let (loaded, seq) =
+        MetricDbscan::<u32, CountingMetric<VectorBlock<f64>>>::load_latest_self_contained(&dir)
+            .unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert_eq!(seq, s0, "must fall back past the corrupt newest file");
+    assert!(loaded.metric().inner().is_zero_copy());
+    assert_eq!(loaded.exact(&params).unwrap().clustering, want.clustering);
 }
