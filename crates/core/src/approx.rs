@@ -25,8 +25,9 @@ use std::time::Instant;
 
 use mdbscan_grid::{CandidateStats, GridIndex};
 use mdbscan_kcenter::CenterAdjacency;
-use mdbscan_metric::{BatchMetric, PruneStats};
+use mdbscan_metric::{BatchMetric, CountingMetric, Metric, PruneStats};
 use mdbscan_parallel::{par_map_ranges, split_even, worker_count, Csr, ParallelConfig};
+use mdbscan_rp::{RpIndex, RpStats};
 
 use crate::labels::PointLabel;
 use crate::netview::NetView;
@@ -68,6 +69,30 @@ pub struct ApproxStats {
     /// core tests, and the labeling scan — all zeros on the generic
     /// path. Labels are bit-identical with the grid on or off.
     pub candidates: CandidateStats,
+    /// Random-projection candidate ledger across the core tests and the
+    /// labeling scan — all zeros unless the engine was configured with
+    /// `CandidateIndex::RandomProjection`. Unlike the grid, RP changes
+    /// which candidates are *seen* (a quality/evaluation trade-off), so
+    /// RP labels are deterministic for a fixed seed but not identical to
+    /// the generic path's.
+    pub rp: RpStats,
+    /// Distance evaluations spent building the adjacency (0 on a cache
+    /// replay).
+    pub adjacency_evals: u64,
+    /// Distance evaluations spent on the Step-1 core tests (0 when the
+    /// summary was replayed from cache).
+    pub summary_evals: u64,
+    /// Distance evaluations spent merging inside `S*`.
+    pub merge_evals: u64,
+    /// Distance evaluations spent labeling.
+    pub label_evals: u64,
+}
+
+impl ApproxStats {
+    /// Total distance evaluations across all four phases.
+    pub fn distance_evals(&self) -> u64 {
+        self.adjacency_evals + self.summary_evals + self.merge_evals + self.label_evals
+    }
 }
 
 /// The `(ε, MinPts, ρ)`-dependent intermediates of Algorithm 2 that an
@@ -108,6 +133,13 @@ pub(crate) struct ApproxReuse<'a> {
     /// the core tests, and the labeling scan comes from ring cells —
     /// bit-identical labels, fewer distance evaluations.
     pub(crate) grid: Option<Arc<GridIndex>>,
+    /// Seeded random-projection index over the current epoch's points;
+    /// when present, the core tests and the labeling scan draw their
+    /// candidates from its per-projection lists instead of scanning
+    /// neighbor balls. Deterministic for a fixed seed; candidate misses
+    /// are a quality trade-off, not nondeterminism. Mutually exclusive
+    /// with `grid` (the engine resolves at most one).
+    pub(crate) rp: Option<Arc<RpIndex>>,
 }
 
 /// Everything one Algorithm-2 run produces.
@@ -144,6 +176,10 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         n_centers: k,
         ..Default::default()
     };
+    // Per-phase evaluation counters ride on a counting wrapper; the
+    // relaxed atomic is cheap next to the evaluations it counts.
+    let counting = CountingMetric::new(metric);
+    let metric = &counting;
 
     // Adjacency threshold (definition (13) generalized to r̄ ≤ ρε/2): it
     // must cover both the merge radius (centers of summary points within
@@ -151,6 +187,11 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
     // Lemma 2 (needs ≥ 2r̄ + ε). With r̄ = ρε/2 this equals the paper's
     // 4r̄ + ε.
     let grid: Option<&GridIndex> = reuse.grid.as_deref();
+    let rp: Option<&RpIndex> = reuse.rp.as_deref();
+    debug_assert!(
+        grid.is_none() || rp.is_none(),
+        "at most one candidate index per run"
+    );
     let t = Instant::now();
     let threshold = approx_threshold(net.rbar, params);
     let adj: Arc<CenterAdjacency> = match reuse.adjacency {
@@ -192,6 +233,7 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         },
     };
     stats.adjacency_secs = t.elapsed().as_secs_f64();
+    stats.adjacency_evals = metric.count();
     stats.mean_adjacency_degree = adj.mean_degree();
 
     // ---- Summary construction + merge (replayed wholesale on a hit) ----
@@ -208,7 +250,24 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
                             e: usize,
                             ps: &mut PruneStats,
                             cs: &mut CandidateStats,
+                            rps: &mut RpStats,
                             cells: &mut Vec<u32>| {
+            if let Some(r) = rp {
+                // RP mode: count only inside the candidate set, capped
+                // at MinPts. A candidate miss can undercount (quality),
+                // never overcount.
+                r.candidates_for(p as u32, cells, rps);
+                let mut count = 0usize;
+                for &q in cells.iter() {
+                    if metric.within(&points[p], &points[q as usize], eps) {
+                        count += 1;
+                        if count >= min_pts {
+                            break;
+                        }
+                    }
+                }
+                return count >= min_pts;
+            }
             match grid {
                 Some(g) => {
                     g.count_within_capped(g.point_coords(p), eps, min_pts, cells, cs, |q| {
@@ -226,17 +285,19 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         let chunks = par_map_ranges(split_even(k, w), |r| {
             let mut ps = PruneStats::default();
             let mut cs = CandidateStats::default();
+            let mut rps = RpStats::default();
             let mut cells: Vec<u32> = Vec::new();
             let flags: Vec<bool> = r
-                .map(|e| is_core_test(net.centers[e], e, &mut ps, &mut cs, &mut cells))
+                .map(|e| is_core_test(net.centers[e], e, &mut ps, &mut cs, &mut rps, &mut cells))
                 .collect();
-            (flags, ps, cs)
+            (flags, ps, cs, rps)
         });
         let mut center_core = Vec::with_capacity(k);
-        for (chunk, ps, cs) in chunks {
+        for (chunk, ps, cs, rps) in chunks {
             center_core.extend(chunk);
             stats.pruning.merge(&ps);
             stats.candidates.merge(&cs);
+            stats.rp.merge(&rps);
         }
         // Points of non-core-center balls need individual core tests
         // (Lemma 8 bounds each such ball below MinPts points, so this
@@ -250,21 +311,23 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         let chunks = par_map_ranges(split_even(sparse_points.len(), w), |r| {
             let mut ps = PruneStats::default();
             let mut cs = CandidateStats::default();
+            let mut rps = RpStats::default();
             let mut cells: Vec<u32> = Vec::new();
             let flags: Vec<bool> = r
                 .map(|i| {
                     let pi = sparse_points[i] as usize;
                     let e = net.assignment[pi] as usize;
-                    is_core_test(pi, e, &mut ps, &mut cs, &mut cells)
+                    is_core_test(pi, e, &mut ps, &mut cs, &mut rps, &mut cells)
                 })
                 .collect();
-            (flags, ps, cs)
+            (flags, ps, cs, rps)
         });
         let mut sparse_core = Vec::with_capacity(sparse_points.len());
-        for (chunk, ps, cs) in chunks {
+        for (chunk, ps, cs, rps) in chunks {
             sparse_core.extend(chunk);
             stats.pruning.merge(&ps);
             stats.candidates.merge(&cs);
+            stats.rp.merge(&rps);
         }
         // S* as point indices, plus per-center membership rows (positions
         // into `summary`) — assembled sequentially in center order,
@@ -292,6 +355,7 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         }
         let summary_by_center = Csr::from_parts(by_center_offsets, by_center_values);
         stats.summary_secs = t.elapsed().as_secs_f64();
+        stats.summary_evals = metric.count() - stats.adjacency_evals;
 
         // ---- Merge inside S* at (1+ρ)ε ----
         let t = Instant::now();
@@ -402,6 +466,7 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
         }
         let summary_cluster = uf.component_ids();
         stats.merge_secs = t.elapsed().as_secs_f64();
+        stats.merge_evals = metric.count() - stats.adjacency_evals - stats.summary_evals;
 
         Some(ApproxArtifacts {
             center_core,
@@ -432,46 +497,68 @@ pub(crate) fn run_approx<P: Sync, M: BatchMetric<P> + Sync>(
     let chunks = par_map_ranges(split_even(n, w), |r| {
         let mut ps = PruneStats::default();
         let mut cs = CandidateStats::default();
+        let mut rps = RpStats::default();
         let mut scratch = AnchorScratch::default();
+        let mut cand: Vec<u32> = Vec::new();
         let labels: Vec<PointLabel> = r
-            .map(|p| match grid {
-                Some(g) => label_point_grid(
-                    points,
-                    metric,
-                    net,
-                    g,
-                    art,
-                    &summary_pos_of_point,
-                    &center_summary_pos,
-                    p,
-                    label_r,
-                    &mut cs,
-                ),
-                None => label_point(
-                    points,
-                    metric,
-                    net,
-                    &adj,
-                    art,
-                    &summary_pos_of_point,
-                    &center_summary_pos,
-                    p,
-                    label_r,
-                    pruning,
-                    &mut scratch,
-                    &mut ps,
-                ),
+            .map(|p| {
+                if let Some(rpi) = rp {
+                    return label_point_rp(
+                        points,
+                        metric,
+                        net,
+                        rpi,
+                        art,
+                        &summary_pos_of_point,
+                        &center_summary_pos,
+                        p,
+                        label_r,
+                        &mut cand,
+                        &mut rps,
+                    );
+                }
+                match grid {
+                    Some(g) => label_point_grid(
+                        points,
+                        metric,
+                        net,
+                        g,
+                        art,
+                        &summary_pos_of_point,
+                        &center_summary_pos,
+                        p,
+                        label_r,
+                        &mut cs,
+                    ),
+                    None => label_point(
+                        points,
+                        metric,
+                        net,
+                        &adj,
+                        art,
+                        &summary_pos_of_point,
+                        &center_summary_pos,
+                        p,
+                        label_r,
+                        pruning,
+                        &mut scratch,
+                        &mut ps,
+                    ),
+                }
             })
             .collect();
-        (labels, ps, cs)
+        (labels, ps, cs, rps)
     });
     let mut labels = Vec::with_capacity(n);
-    for (chunk, ps, cs) in chunks {
+    for (chunk, ps, cs, rps) in chunks {
         labels.extend(chunk);
         stats.pruning.merge(&ps);
         stats.candidates.merge(&cs);
+        stats.rp.merge(&rps);
     }
     stats.label_secs = t.elapsed().as_secs_f64();
+    stats.label_evals =
+        metric.count() - stats.adjacency_evals - stats.summary_evals - stats.merge_evals;
 
     ApproxOutcome {
         labels,
@@ -625,6 +712,56 @@ fn label_point_grid<P, M: BatchMetric<P>>(
     cs.merge(&walk);
     cs.candidates_emitted += emitted;
     cs.candidates_rejected += rejected;
+    match best {
+        Some((_, jpos)) => PointLabel::Border(art.summary_cluster[jpos as usize]),
+        None => PointLabel::Noise,
+    }
+}
+
+/// Random-projection variant of [`label_point`]: same early-outs, then
+/// the nearest summary point among the RP candidates, minimizing
+/// `(distance, summary position)` lexicographically. Candidates that
+/// are not summary members are filtered without an evaluation and
+/// charged to [`RpStats::candidates_rejected`]. Deterministic for a
+/// fixed seed (the candidate set is a pure function of the index);
+/// summary members the candidate set misses are a quality trade-off.
+#[allow(clippy::too_many_arguments)] // mirrors label_point
+fn label_point_rp<P, M: BatchMetric<P>>(
+    points: &[P],
+    metric: &M,
+    net: &NetView<'_>,
+    rp: &RpIndex,
+    art: &ApproxArtifacts,
+    summary_pos_of_point: &[u32],
+    center_summary_pos: &[Option<u32>],
+    p: usize,
+    label_r: f64,
+    cand: &mut Vec<u32>,
+    rps: &mut RpStats,
+) -> PointLabel {
+    let pos = summary_pos_of_point[p];
+    if pos != u32::MAX {
+        return PointLabel::Core(art.summary_cluster[pos as usize]);
+    }
+    let cp = net.assignment[p] as usize;
+    if let Some(pos) = center_summary_pos[cp] {
+        return PointLabel::Border(art.summary_cluster[pos as usize]);
+    }
+    rp.candidates_for(p as u32, cand, rps);
+    let mut best: Option<(f64, u32)> = None;
+    for &q in cand.iter() {
+        let jpos = summary_pos_of_point[q as usize];
+        if jpos == u32::MAX {
+            rps.candidates_rejected += 1;
+            continue;
+        }
+        let bound = best.map_or(label_r, |(d, _)| d);
+        if let Some(d) = metric.distance_leq(&points[p], &points[q as usize], bound) {
+            if best.is_none_or(|(bd, bj)| d < bd || (d == bd && jpos < bj)) {
+                best = Some((d, jpos));
+            }
+        }
+    }
     match best {
         Some((_, jpos)) => PointLabel::Border(art.summary_cluster[jpos as usize]),
         None => PointLabel::Noise,

@@ -88,6 +88,7 @@ use mdbscan_grid::{CandidateStats, GridIndex, GRID_MAX_DIM};
 use mdbscan_kcenter::{BuildOptions, CenterAdjacency, IncrementalNet, RadiusGuidedNet};
 use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
 use mdbscan_parallel::{Csr, ParallelConfig};
+use mdbscan_rp::{RpConfig, RpIndex, RpStats};
 
 use crate::approx::{approx_threshold, run_approx, ApproxArtifacts, ApproxReuse, ApproxStats};
 use crate::error::DbscanError;
@@ -120,17 +121,30 @@ const DELTA_HISTORY: usize = 128;
 /// `(epoch, cell)` pair; older epochs extend into newer ones).
 pub(crate) const GRID_CACHE_CAPACITY: usize = 4;
 
+/// Per-epoch random-projection indexes retained. The RP index is
+/// ε-independent (one per epoch covers every parameter probe), so a
+/// couple of epochs suffice; older epochs extend into newer ones.
+pub(crate) const RP_CACHE_CAPACITY: usize = 2;
+
 /// Which candidate-generation machinery the engine's solvers use for
 /// ε-ball scans and the center-adjacency build.
 ///
-/// Labels are **bit-identical** under either choice — the index changes
-/// which pairs are *examined*, never what any examined pair evaluates
-/// to — so this is purely a performance toggle. It is also *auto-gated*:
-/// [`CandidateIndex::Grid`] only engages when the metric exposes a
-/// low-dimensional Euclidean coordinate view
-/// ([`mdbscan_metric::GridCompatible`], ambient dimension `≤ 3` — in
-/// practice [`mdbscan_metric::VectorBlock`] at `d ∈ {1, 2, 3}`);
-/// everything else silently stays on the generic net-anchored path.
+/// [`CandidateIndex::Grid`] changes only which pairs are *examined*,
+/// never what any examined pair evaluates to — labels stay
+/// **bit-identical** to the generic path.
+/// [`CandidateIndex::RandomProjection`] additionally restricts the
+/// approximate/streaming solvers' ε-ball scans to projection-list
+/// candidates: runs are still deterministic for a fixed seed (across
+/// thread counts, cache states, ingest-vs-fresh, and artifact round
+/// trips), but a candidate miss is a *quality* trade-off against the
+/// generic path, measurable via `crates/eval`.
+///
+/// Both indexes are *auto-gated* on the metric exposing a Euclidean
+/// coordinate view ([`mdbscan_metric::GridCompatible`]): the grid needs
+/// ambient dimension `≤ 3`, random projections accept any dimension
+/// (they exist for the d = 128–768 embedding regime where grid cells
+/// and net-anchored pruning both degenerate). Ineligible metrics
+/// silently stay on the generic net-anchored path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CandidateIndex {
     /// The paper's net-anchored candidate generation (cover sets plus
@@ -144,6 +158,14 @@ pub enum CandidateIndex {
     /// auto-gate above); ineligible metrics fall back to
     /// [`CandidateIndex::Generic`] per query, silently.
     Grid,
+    /// Seeded random-projection lists (`mdbscan_rp`, sDBSCAN-style):
+    /// the approximate and streaming solvers draw their Step-1 counting
+    /// and labeling candidates from per-projection top-m lists. Any
+    /// coordinate dimension; the exact solvers ignore it (they must
+    /// stay exact) and ineligible metrics fall back to
+    /// [`CandidateIndex::Generic`] per query, silently. The seed is
+    /// part of this configuration, so artifacts are reproducible.
+    RandomProjection(RpConfig),
 }
 
 /// How the engine's `r̄`-net is selected (see the module docs for the
@@ -230,6 +252,13 @@ pub struct RunReport {
     /// view). Counts only the work actually performed this run: phases
     /// replayed from cached artifacts contribute nothing.
     pub candidates: CandidateStats,
+    /// Random-projection candidate ledger of this run: projection lists
+    /// probed, candidates handed to the metric, and duplicates/rejects
+    /// filtered before evaluation. All zeros unless the engine was built
+    /// with [`CandidateIndex::RandomProjection`] *and* this was an
+    /// approximate or streaming run (the exact solvers never consult
+    /// the RP index).
+    pub rp: RpStats,
     /// Solver-specific statistics.
     pub detail: RunDetail,
 }
@@ -332,6 +361,14 @@ pub struct CacheStats {
     pub grid_misses: u64,
     /// Grid-index entries currently retained.
     pub grid_entries: usize,
+    /// Random-projection-index lookups that found a cached same-epoch
+    /// index. Always 0 for engines not on
+    /// [`CandidateIndex::RandomProjection`].
+    pub rp_hits: u64,
+    /// Random-projection-index lookups that had to build or extend.
+    pub rp_misses: u64,
+    /// Random-projection-index entries currently retained.
+    pub rp_entries: usize,
 }
 
 /// Which pipeline a cached fragment partition belongs to. The §3.1 and
@@ -496,6 +533,10 @@ pub(crate) struct EngineCache {
     pub(crate) adjacency: Lru<AdjKey, Arc<CenterAdjacency>>,
     pub(crate) covertree: Lru<u64, Arc<CoverTreeSkeleton>>,
     pub(crate) grids: Lru<GridKey, Arc<GridIndex>>,
+    /// Per-epoch random-projection indexes (the RP index is
+    /// ε-independent, so the epoch alone keys it; the config is fixed at
+    /// engine construction).
+    pub(crate) rps: Lru<u64, Arc<RpIndex>>,
     /// Published ingest deltas, ascending by epoch, bounded by
     /// [`DELTA_HISTORY`].
     pub(crate) deltas: VecDeque<EpochDelta>,
@@ -631,8 +672,13 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
     /// [`CandidateIndex::Grid`] engages the ε-aligned grid index for
     /// metrics with a low-dimensional coordinate view
     /// ([`mdbscan_metric::VectorBlock`] at `d ≤ 3`) — **bit-identical
-    /// labels**, typically far fewer distance evaluations; ineligible
-    /// metrics silently keep the generic path.
+    /// labels**, typically far fewer distance evaluations. Choosing
+    /// [`CandidateIndex::RandomProjection`] engages the seeded
+    /// projection-list index for coordinate metrics at *any* dimension —
+    /// deterministic for a fixed seed but an approximation of the
+    /// generic candidate set (see [`CandidateIndex`]); it applies to the
+    /// approximate and streaming solvers only. Ineligible metrics
+    /// silently keep the generic path.
     pub fn candidate_index(mut self, index: CandidateIndex) -> Self {
         self.candidate_index = index;
         self
@@ -681,6 +727,11 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         } else {
             GRID_CACHE_CAPACITY
         };
+        let rp_capacity = if self.cache_capacity == 0 {
+            0
+        } else {
+            RP_CACHE_CAPACITY
+        };
         Ok(MetricDbscan {
             metric: self.metric,
             rbar,
@@ -700,6 +751,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
                 adjacency: Lru::new(adj_capacity),
                 covertree: Lru::new(tree_capacity),
                 grids: Lru::new(grid_capacity),
+                rps: Lru::new(rp_capacity),
                 deltas: VecDeque::new(),
             }),
             pending_epoch: AtomicU64::new(0),
@@ -711,6 +763,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             adj_misses: AtomicU64::new(0),
             grid_hits: AtomicU64::new(0),
             grid_misses: AtomicU64::new(0),
+            rp_hits: AtomicU64::new(0),
+            rp_misses: AtomicU64::new(0),
             load_stats: None,
         })
     }
@@ -797,6 +851,8 @@ pub struct MetricDbscan<P, M> {
     pub(crate) adj_misses: AtomicU64,
     pub(crate) grid_hits: AtomicU64,
     pub(crate) grid_misses: AtomicU64,
+    pub(crate) rp_hits: AtomicU64,
+    pub(crate) rp_misses: AtomicU64,
     /// Copied-bytes accounting from the load that produced this engine;
     /// `None` for engines built in-process.
     pub(crate) load_stats: Option<crate::persist::LoadStats>,
@@ -1031,6 +1087,9 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             grid_hits: self.grid_hits.load(Ordering::Relaxed),
             grid_misses: self.grid_misses.load(Ordering::Relaxed),
             grid_entries: cache.grids.entries.len(),
+            rp_hits: self.rp_hits.load(Ordering::Relaxed),
+            rp_misses: self.rp_misses.load(Ordering::Relaxed),
+            rp_entries: cache.rps.entries.len(),
         }
     }
 
@@ -1041,14 +1100,16 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     }
 
     /// Drops every cached artifact (fragment/summary entries, cached
-    /// adjacencies, grid indexes, and the whole-input cover trees).
-    /// Counters and the ingest delta history are preserved.
+    /// adjacencies, grid indexes, random-projection indexes, and the
+    /// whole-input cover trees). Counters and the ingest delta history
+    /// are preserved.
     pub fn clear_cache(&self) {
         let mut cache = self.cache_lock();
         cache.fragments.entries.clear();
         cache.adjacency.entries.clear();
         cache.covertree.entries.clear();
         cache.grids.entries.clear();
+        cache.rps.entries.clear();
     }
 
     fn count_lookup(&self, hit: bool) {
@@ -1268,6 +1329,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         algorithm: AlgorithmKind,
@@ -1275,6 +1337,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         hit: bool,
         pruning: PruneStats,
         candidates: CandidateStats,
+        rp: RpStats,
         detail: RunDetail,
     ) -> RunReport {
         RunReport {
@@ -1286,6 +1349,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             cache_misses: self.engine.misses.load(Ordering::Relaxed),
             pruning,
             candidates,
+            rp,
             detail,
         }
     }
@@ -1358,6 +1422,72 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             }
         };
         engine.cache_lock().grids.insert(key, Arc::clone(&built));
+        Some(built)
+    }
+
+    /// Resolves this snapshot's random-projection index, or `None` to
+    /// stay on the generic path: the engine must have opted into
+    /// [`CandidateIndex::RandomProjection`] *and* the metric must expose
+    /// a coordinate view (any dimension).
+    ///
+    /// The index is ε-independent, so the cache is keyed by epoch alone.
+    /// A same-epoch cached index is a hit; otherwise the newest
+    /// older-epoch index is *extended* by the appended points'
+    /// coordinates (counted as an upgrade) — the projection lists store
+    /// their values, so an extended index is bit-identical to a fresh
+    /// build over the concatenated sequence. Resolution performs **zero
+    /// distance evaluations**.
+    fn resolve_rp(&self) -> Option<Arc<RpIndex>> {
+        let engine = self.engine;
+        let CandidateIndex::RandomProjection(cfg) = engine.candidate_index else {
+            return None;
+        };
+        let dim = engine.metric.grid_coords(&[], &mut Vec::new())?;
+        if dim == 0 {
+            return None;
+        }
+        let key = self.state.epoch;
+        let (found, base) = {
+            let mut cache = engine.cache_lock();
+            match cache.rps.promote(&key).map(Arc::clone) {
+                Some(r) => (Some(r), None),
+                None => {
+                    // Newest older-epoch index: points are append-only,
+                    // so it covers a prefix of this epoch's points.
+                    let mut best: Option<(u64, Arc<RpIndex>)> = None;
+                    for (k, v) in &cache.rps.entries {
+                        if *k < key && best.as_ref().is_none_or(|(e, _)| *k > *e) {
+                            best = Some((*k, Arc::clone(v)));
+                        }
+                    }
+                    (None, best.map(|(_, r)| r))
+                }
+            }
+        };
+        if let Some(r) = found {
+            engine.rp_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(r);
+        }
+        engine.rp_misses.fetch_add(1, Ordering::Relaxed);
+        let points: &[P] = &self.state.points;
+        let built = match base {
+            Some(b) if b.len() == points.len() => {
+                engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            Some(b) => {
+                let mut coords = Vec::with_capacity((points.len() - b.len()) * dim);
+                engine.metric.grid_coords(&points[b.len()..], &mut coords);
+                engine.upgrade_count.fetch_add(1, Ordering::Relaxed);
+                Arc::new(b.extend(&coords))
+            }
+            None => {
+                let mut coords = Vec::with_capacity(points.len() * dim);
+                engine.metric.grid_coords(points, &mut coords);
+                Arc::new(RpIndex::build(dim, &coords, cfg))
+            }
+        };
+        engine.cache_lock().rps.insert(key, Arc::clone(&built));
         Some(built)
     }
 
@@ -1545,6 +1675,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             hit,
             stats.pruning,
             stats.candidates,
+            RpStats::default(),
             RunDetail::Exact(stats),
         );
         Ok(Run { clustering, report })
@@ -1585,6 +1716,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         );
         let adj_was_cached = adj_cached.is_some();
         let grid = self.resolve_grid(params.eps());
+        let rp = self.resolve_rp();
         let outcome = run_approx(
             &self.state.points,
             &engine.metric,
@@ -1596,6 +1728,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
                 artifacts: cached.as_deref(),
                 adjacency: adj_cached,
                 grid,
+                rp,
             },
         );
         if !adj_was_cached {
@@ -1613,6 +1746,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             hit,
             outcome.stats.pruning,
             outcome.stats.candidates,
+            outcome.stats.rp,
             RunDetail::Approx(outcome.stats),
         );
         Ok(Run {
@@ -1747,6 +1881,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             tree_hit || frag_hit,
             steps.pruning,
             steps.candidates,
+            RpStats::default(),
             detail,
         );
         Ok(Run { clustering, report })
@@ -1763,11 +1898,13 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
     pub fn streaming(&self, params: &ApproxParams) -> Result<Run, DbscanError> {
         let t0 = Instant::now();
         let engine = self.engine;
-        let (clustering, session) = StreamingApproxDbscan::run_pruned(
+        let rp = self.resolve_rp();
+        let (clustering, session) = StreamingApproxDbscan::run_indexed(
             &engine.metric,
             params,
             &engine.parallel,
             &engine.pruning,
+            rp,
             || self.state.points.iter().cloned(),
         )?;
         let stats = session.stats();
@@ -1781,6 +1918,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             false,
             stats.pruning,
             CandidateStats::default(),
+            stats.rp,
             detail,
         );
         Ok(Run { clustering, report })

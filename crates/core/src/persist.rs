@@ -47,6 +47,7 @@ use crate::approx::ApproxArtifacts;
 use crate::engine::{
     AdjKey, CacheKey, CachedArtifacts, CandidateIndex, EngineCache, EngineSnapshot, EpochDelta,
     EpochState, IngestState, Lru, MetricDbscan, NetKind, NetStrategy, GRID_CACHE_CAPACITY,
+    RP_CACHE_CAPACITY,
 };
 use crate::error::DbscanError;
 use crate::steps::StepArtifacts;
@@ -69,6 +70,15 @@ const SEC_COVERTREES: &str = "covertree-cache";
 /// (zero distance evaluations), so only the toggle and its counters
 /// travel.
 const SEC_GRID: &str = "grid-index";
+/// Random-projection candidate-index cache state. **Optional** like
+/// [`SEC_GRID`]: artifacts written before the RP subsystem existed
+/// simply lack it and decode to the default capacity with zeroed
+/// counters. The RP configuration itself (seed, K, m, probes) travels
+/// inside the candidate-index byte in [`SEC_GRID`]; the projection
+/// lists are never persisted — rebuilding them is pure seeded
+/// coordinate arithmetic (zero distance evaluations), bit-identical
+/// for a fixed seed.
+const SEC_RP: &str = "rp-index";
 /// The metric's own state, for **self-contained** artifacts
 /// ([`MetricDbscan::save_self_contained`]). **Optional** like
 /// [`SEC_GRID`]: plain `save` artifacts simply lack it, and a
@@ -126,16 +136,30 @@ fn decode_strategy(r: &mut ByteReader<'_>) -> Result<NetStrategy, PersistError> 
 }
 
 fn encode_candidate_index(out: &mut ByteWriter, index: CandidateIndex) {
-    out.put_u8(match index {
-        CandidateIndex::Generic => 0,
-        CandidateIndex::Grid => 1,
-    });
+    match index {
+        CandidateIndex::Generic => out.put_u8(0),
+        CandidateIndex::Grid => out.put_u8(1),
+        CandidateIndex::RandomProjection(cfg) => {
+            out.put_u8(2);
+            out.put_u64(cfg.seed);
+            out.put_u32(cfg.projections);
+            out.put_u32(cfg.top_m);
+            out.put_u32(cfg.probes);
+        }
+    }
 }
 
 fn decode_candidate_index(r: &mut ByteReader<'_>) -> Result<CandidateIndex, PersistError> {
     match r.get_u8()? {
         0 => Ok(CandidateIndex::Generic),
         1 => Ok(CandidateIndex::Grid),
+        2 => {
+            let cfg = mdbscan_rp::RpConfig::new(r.get_u64()?)
+                .projections(r.get_u32()?)
+                .top_m(r.get_u32()?)
+                .probes(r.get_u32()?);
+            Ok(CandidateIndex::RandomProjection(cfg))
+        }
         b => Err(r.err(format!("unknown candidate index {b}"))),
     }
 }
@@ -178,6 +202,44 @@ impl GridSection {
             },
             grid_hits: 0,
             grid_misses: 0,
+        }
+    }
+}
+
+/// The optional [`SEC_RP`] payload, with the defaults a pre-RP artifact
+/// (no such section) decodes to.
+struct RpSection {
+    rp_capacity: usize,
+    rp_hits: u64,
+    rp_misses: u64,
+}
+
+impl RpSection {
+    fn encode(&self, out: &mut ByteWriter) {
+        out.put_usize(self.rp_capacity);
+        out.put_u64(self.rp_hits);
+        out.put_u64(self.rp_misses);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            rp_capacity: r.get_usize()?,
+            rp_hits: r.get_u64()?,
+            rp_misses: r.get_u64()?,
+        })
+    }
+
+    /// What a pre-RP artifact means: the default capacity derivation,
+    /// cold counters.
+    fn absent(frag_capacity: usize) -> Self {
+        Self {
+            rp_capacity: if frag_capacity == 0 {
+                0
+            } else {
+                RP_CACHE_CAPACITY
+            },
+            rp_hits: 0,
+            rp_misses: 0,
         }
     }
 }
@@ -530,6 +592,12 @@ where
             grid_misses: self.grid_misses.load(Ordering::Relaxed),
         }
         .encode(w.section(SEC_GRID));
+        RpSection {
+            rp_capacity: cache.rps.capacity,
+            rp_hits: self.rp_hits.load(Ordering::Relaxed),
+            rp_misses: self.rp_misses.load(Ordering::Relaxed),
+        }
+        .encode(w.section(SEC_RP));
         encode_epoch_state(&mut w, &state);
 
         let s = w.section(SEC_WRITER);
@@ -686,6 +754,11 @@ where
         let grid = match art.section(SEC_GRID) {
             Some(mut s) => GridSection::decode(&mut s)?,
             None => GridSection::absent(cfg.frag_capacity),
+        };
+
+        let rp = match art.section(SEC_RP) {
+            Some(mut s) => RpSection::decode(&mut s)?,
+            None => RpSection::absent(cfg.frag_capacity),
         };
 
         let mut s = art.require_section(SEC_POINTS)?;
@@ -883,6 +956,7 @@ where
         Ok(DecodedEngine {
             cfg,
             grid,
+            rp,
             points,
             net,
             writer,
@@ -900,6 +974,7 @@ where
         let DecodedEngine {
             cfg,
             grid,
+            rp,
             points,
             net,
             writer,
@@ -928,6 +1003,7 @@ where
                 adjacency,
                 covertree,
                 grids: Lru::new(grid.grid_capacity),
+                rps: Lru::new(rp.rp_capacity),
                 deltas,
             }),
             pending_epoch: AtomicU64::new(cfg.epoch),
@@ -939,6 +1015,8 @@ where
             adj_misses: AtomicU64::new(cfg.adj_misses),
             grid_hits: AtomicU64::new(grid.grid_hits),
             grid_misses: AtomicU64::new(grid.grid_misses),
+            rp_hits: AtomicU64::new(rp.rp_hits),
+            rp_misses: AtomicU64::new(rp.rp_misses),
             load_stats: Some(stats),
         }
     }
@@ -1054,6 +1132,7 @@ where
 struct DecodedEngine<P> {
     cfg: EngineSection,
     grid: GridSection,
+    rp: RpSection,
     points: PointBuf<P>,
     net: Arc<RadiusGuidedNet>,
     writer: Option<IngestState<P>>,
@@ -1078,13 +1157,14 @@ where
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
         let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
         let engine = self.engine;
-        let (frag_capacity, adj_capacity, tree_capacity, grid_capacity) = {
+        let (frag_capacity, adj_capacity, tree_capacity, grid_capacity, rp_capacity) = {
             let cache = engine.cache_lock();
             (
                 cache.fragments.capacity,
                 cache.adjacency.capacity,
                 cache.covertree.capacity,
                 cache.grids.capacity,
+                cache.rps.capacity,
             )
         };
         EngineSection {
@@ -1111,6 +1191,12 @@ where
             grid_misses: 0,
         }
         .encode(w.section(SEC_GRID));
+        RpSection {
+            rp_capacity,
+            rp_hits: 0,
+            rp_misses: 0,
+        }
+        .encode(w.section(SEC_RP));
         encode_epoch_state(&mut w, &self.state);
         w.write_file(path).map_err(DbscanError::from)
     }

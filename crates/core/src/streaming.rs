@@ -39,9 +39,11 @@
 //! carries the ledger.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mdbscan_metric::{Metric, PruneStats, PruningConfig};
 use mdbscan_parallel::{par_map_range, ParallelConfig};
+use mdbscan_rp::{RpIndex, RpStats};
 
 use crate::error::DbscanError;
 use crate::labels::{Clustering, PointLabel};
@@ -83,6 +85,11 @@ pub struct StreamingStats {
     /// First-center-anchored pruning ledger across all passes and the
     /// offline merge (work counters; labels are identical regardless).
     pub pruning: PruneStats,
+    /// Random-projection candidate ledger, when the run carried an RP
+    /// index ([`StreamingApproxDbscan::with_index`]): all zeros
+    /// otherwise. Unlike pruning, RP filtering *can* change labels —
+    /// deterministically for a fixed seed — by undercounting ε-balls.
+    pub rp: RpStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +101,10 @@ enum Phase {
 
 struct Center<P> {
     point: P,
+    /// Arrival index of the stream point this center was created from
+    /// (ascending across the center list — centers are created in
+    /// arrival order), for RP candidate matching.
+    stream_id: u32,
     /// Distance to the first center, recorded at creation (anchor).
     d_to_first: f64,
     /// Stream points seen within ε (self included).
@@ -107,6 +118,9 @@ struct Parked<P> {
     point: P,
     /// Center (by position) the point was parked under.
     center: u32,
+    /// Arrival index of the parked stream point (ascending across the
+    /// parked list), for RP candidate matching.
+    stream_id: u32,
     /// Distance to the first center, recorded at parking time (anchor).
     d_to_first: f64,
     /// Pass-2 recount of `|B(m, ε)|`.
@@ -148,12 +162,25 @@ pub struct StreamingApproxDbscan<'m, P, M> {
     /// Parked candidates not yet certified in pass 2 — when this hits
     /// zero, pass-2 observations stop paying for anchors (or any work).
     pass2_pending: usize,
+    /// Pass-2 arrival counter: the replayed stream's positions, so RP
+    /// candidate lookups address the same ids as pass 1.
+    pass2_seen: usize,
+    /// Optional random-projection candidate index over the *stream in
+    /// arrival order* (see [`StreamingApproxDbscan::with_index`]).
+    index: Option<Arc<RpIndex>>,
+    /// Scratch candidate buffer for the sequential passes.
+    rp_buf: Vec<u32>,
     stats: StreamingStats,
     // Pruning counters as relaxed atomics: pass 3 labels through `&self`
     // from many threads at once.
     p_accepts: AtomicU64,
     p_rejects: AtomicU64,
     p_anchors: AtomicU64,
+    // RP candidate-generation ledger, same atomic shape (pass 3 is
+    // concurrent).
+    rp_projections: AtomicU64,
+    rp_emitted: AtomicU64,
+    rp_rejected: AtomicU64,
 }
 
 /// One stored point's threshold test `dis(x, p) ≤ bound`, decided by the
@@ -196,10 +223,16 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             parked: Vec::new(),
             summary_clusters: Vec::new(),
             pass2_pending: 0,
+            pass2_seen: 0,
+            index: None,
+            rp_buf: Vec::new(),
             stats: StreamingStats::default(),
             p_accepts: AtomicU64::new(0),
             p_rejects: AtomicU64::new(0),
             p_anchors: AtomicU64::new(0),
+            rp_projections: AtomicU64::new(0),
+            rp_emitted: AtomicU64::new(0),
+            rp_rejected: AtomicU64::new(0),
         }
     }
 
@@ -228,6 +261,54 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         self
     }
 
+    /// Attaches a random-projection candidate index whose point ids are
+    /// **stream arrival positions** (id `i` = the `i`-th observed
+    /// point). The ε-counting of passes 1 and 2 and the pass-3
+    /// nearest-summary scan then only examine stored points in the
+    /// arriving point's candidate set; the first-fit owner scan stays
+    /// exact, so net construction (and the memory bound) is unchanged.
+    ///
+    /// A candidate miss *undercounts* an ε-ball — fewer certified cores
+    /// and labeled borders, never extra ones — so filtered runs stay
+    /// deterministic for a fixed seed (a quality trade-off, not a
+    /// nondeterminism source). Pass-3 positional lookups require
+    /// [`StreamingApproxDbscan::pass3_label_at`]; the positionless
+    /// [`StreamingApproxDbscan::pass3_label`] always scans the full
+    /// summary.
+    ///
+    /// Must be called **before the first observation** (the sequential
+    /// passes number arrivals from the start); panics otherwise.
+    pub fn with_index(mut self, index: Option<Arc<RpIndex>>) -> Self {
+        assert!(
+            self.stats.n == 0,
+            "with_index must be called before the first observation"
+        );
+        self.index = index;
+        self
+    }
+
+    /// RP-filtered candidate lookup for stream position `sid`: fills
+    /// `out` (sorted, deduped, `sid` included) and returns `true`, or
+    /// returns `false` to scan everything (no index attached, or the
+    /// stream ran past the index's coverage).
+    fn rp_candidates(&self, sid: usize, out: &mut Vec<u32>) -> bool {
+        let Some(rp) = self.index.as_deref() else {
+            return false;
+        };
+        if sid >= rp.len() {
+            return false;
+        }
+        let mut stats = RpStats::default();
+        rp.candidates_for(sid as u32, out, &mut stats);
+        self.rp_projections
+            .fetch_add(stats.projections, Ordering::Relaxed);
+        self.rp_emitted
+            .fetch_add(stats.candidates_emitted, Ordering::Relaxed);
+        self.rp_rejected
+            .fetch_add(stats.candidates_rejected, Ordering::Relaxed);
+        true
+    }
+
     /// The anchor distance `dis(p, E[0])` for an incoming point, or
     /// `None` when pruning is off / no center exists yet. One metric
     /// call, counted as an anchor evaluation.
@@ -244,6 +325,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
     /// center or parks in `M`).
     pub fn pass1_observe(&mut self, p: &P) {
         assert_eq!(self.phase, Phase::Pass1, "pass1_observe outside pass 1");
+        let sid = self.stats.n;
         self.stats.n += 1;
         let eps = self.params.eps();
         let min_pts = self.params.min_pts();
@@ -274,6 +356,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         if owner.is_none() {
             self.centers.push(Center {
                 point: p.clone(),
+                stream_id: sid as u32,
                 d_to_first: d0.unwrap_or(0.0),
                 eps_count: 0,
                 core: false,
@@ -282,8 +365,24 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             owner = Some((self.centers.len() - 1) as u32);
         }
         let owner = owner.expect("owner set above");
-        // ε-ball counting for every center (lines 6–12).
+        // ε-ball counting for every center (lines 6–12), restricted to
+        // the arriving point's RP candidates when an index is attached
+        // (both lists ascend in stream id — a merge join).
+        let mut buf = std::mem::take(&mut self.rp_buf);
+        let filtered = self.rp_candidates(sid, &mut buf);
+        let mut k = 0usize;
         for (i, c) in self.centers.iter_mut().enumerate() {
+            if filtered {
+                while k < buf.len() && buf[k] < c.stream_id {
+                    k += 1;
+                }
+                if k >= buf.len() {
+                    break;
+                }
+                if buf[k] != c.stream_id {
+                    continue;
+                }
+            }
             let within = match d0 {
                 Some(d0) if i == 0 => d0 <= eps,
                 Some(d0) => anchored_within(
@@ -305,6 +404,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
                 }
             }
         }
+        self.rp_buf = buf;
         // Park p under its owner if that owner is not (yet) core. Centers
         // park themselves too — their own pass-1 count misses earlier
         // arrivals, so certification is finished in pass 2.
@@ -312,6 +412,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             self.parked.push(Parked {
                 point: p.clone(),
                 center: owner,
+                stream_id: sid as u32,
                 d_to_first: d0.unwrap_or(0.0),
                 eps_count: 0,
                 core: false,
@@ -339,6 +440,8 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
     /// candidates.
     pub fn pass2_observe(&mut self, p: &P) {
         assert_eq!(self.phase, Phase::Pass2, "pass2_observe outside pass 2");
+        let sid = self.pass2_seen;
+        self.pass2_seen += 1;
         let eps = self.params.eps();
         let min_pts = self.params.min_pts();
         // Once every parked candidate is certified, the pass is a no-op
@@ -347,10 +450,27 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             return;
         }
         let d0 = self.anchor_of(p);
+        // Same RP restriction as pass 1: only parked candidates in the
+        // replayed point's candidate set recount it (merge join — the
+        // parked list ascends in stream id, `retain` kept the order).
+        let mut buf = std::mem::take(&mut self.rp_buf);
+        let filtered = self.rp_candidates(sid, &mut buf);
+        let mut k = 0usize;
         let mut pending = self.pass2_pending;
         for m in self.parked.iter_mut() {
             if m.eps_count >= min_pts {
                 continue;
+            }
+            if filtered {
+                while k < buf.len() && buf[k] < m.stream_id {
+                    k += 1;
+                }
+                if k >= buf.len() {
+                    break;
+                }
+                if buf[k] != m.stream_id {
+                    continue;
+                }
             }
             let within = match d0 {
                 Some(d0) => anchored_within(
@@ -374,6 +494,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             }
         }
         self.pass2_pending = pending;
+        self.rp_buf = buf;
     }
 
     /// Ends pass 2: assembles the summary `S*` (core centers + certified
@@ -507,8 +628,29 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
 
     /// Pass 3: label one stream point. Replays the pass-1 first-fit rule
     /// (centers are scanned in creation order, so the owner found here is
-    /// the owner from pass 1).
+    /// the owner from pass 1). Always scans the full summary — with an
+    /// RP index attached, use [`StreamingApproxDbscan::pass3_label_at`]
+    /// so the candidate lookup can address the point by its stream
+    /// position.
     pub fn pass3_label(&self, p: &P) -> PointLabel {
+        self.pass3_label_impl(None, p)
+    }
+
+    /// Pass 3 with the point's stream position: like
+    /// [`StreamingApproxDbscan::pass3_label`], but when an RP index is
+    /// attached the nearest-summary scan is restricted to position
+    /// `sid`'s candidate set (the first-fit owner replay stays exact).
+    /// Without an index the two entry points are identical.
+    pub fn pass3_label_at(&self, sid: usize, p: &P) -> PointLabel {
+        let mut cands = Vec::new();
+        if self.rp_candidates(sid, &mut cands) {
+            self.pass3_label_impl(Some(&cands), p)
+        } else {
+            self.pass3_label_impl(None, p)
+        }
+    }
+
+    fn pass3_label_impl(&self, cands: Option<&[u32]>, p: &P) -> PointLabel {
         assert_eq!(self.phase, Phase::Pass3, "pass3_label before finish_pass2");
         let label_r = self.params.label_radius();
         let d0 = self.anchor_of(p);
@@ -557,14 +699,54 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
                 }
             }
         };
-        for c in &self.centers {
-            if c.core {
-                consider(&c.point, c.d_to_first, c.summary_pos, &mut best);
+        match cands {
+            // RP-filtered scan: the same slot order over the candidate
+            // subset (merge joins — both lists ascend in stream id), so
+            // the min/tie-break semantics are unchanged on the pairs
+            // examined.
+            Some(cands) => {
+                let mut k = 0usize;
+                for c in &self.centers {
+                    if !c.core {
+                        continue;
+                    }
+                    while k < cands.len() && cands[k] < c.stream_id {
+                        k += 1;
+                    }
+                    if k >= cands.len() {
+                        break;
+                    }
+                    if cands[k] == c.stream_id {
+                        consider(&c.point, c.d_to_first, c.summary_pos, &mut best);
+                    }
+                }
+                let mut k = 0usize;
+                for m in &self.parked {
+                    if !m.core {
+                        continue;
+                    }
+                    while k < cands.len() && cands[k] < m.stream_id {
+                        k += 1;
+                    }
+                    if k >= cands.len() {
+                        break;
+                    }
+                    if cands[k] == m.stream_id {
+                        consider(&m.point, m.d_to_first, m.summary_pos, &mut best);
+                    }
+                }
             }
-        }
-        for m in &self.parked {
-            if m.core {
-                consider(&m.point, m.d_to_first, m.summary_pos, &mut best);
+            None => {
+                for c in &self.centers {
+                    if c.core {
+                        consider(&c.point, c.d_to_first, c.summary_pos, &mut best);
+                    }
+                }
+                for m in &self.parked {
+                    if m.core {
+                        consider(&m.point, m.d_to_first, m.summary_pos, &mut best);
+                    }
+                }
             }
         }
         match best {
@@ -584,7 +766,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         }
     }
 
-    /// Run counters, the pruning ledger included.
+    /// Run counters, the pruning and RP ledgers included.
     pub fn stats(&self) -> StreamingStats {
         let mut stats = self.stats;
         stats.pruning = PruneStats {
@@ -592,6 +774,11 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             bound_rejects: self.p_rejects.load(Ordering::Relaxed),
             anchor_evals: self.p_anchors.load(Ordering::Relaxed),
             ..PruneStats::default()
+        };
+        stats.rp = RpStats {
+            projections: self.rp_projections.load(Ordering::Relaxed),
+            candidates_emitted: self.rp_emitted.load(Ordering::Relaxed),
+            candidates_rejected: self.rp_rejected.load(Ordering::Relaxed),
         };
         stats
     }
@@ -635,9 +822,28 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         pruning: &PruningConfig,
         make_stream: impl Fn() -> I,
     ) -> Result<(Clustering, Self), DbscanError> {
+        Self::run_indexed(metric, params, parallel, pruning, None, make_stream)
+    }
+
+    /// As [`StreamingApproxDbscan::run_pruned`], with an optional
+    /// random-projection candidate index whose point ids are stream
+    /// arrival positions ([`StreamingApproxDbscan::with_index`]).
+    /// `None` is exactly `run_pruned`; `Some` restricts the ε-counting
+    /// and nearest-summary scans to RP candidates — deterministic for a
+    /// fixed seed, but an approximation (the index changes which cores
+    /// get certified, not how any examined pair evaluates).
+    pub fn run_indexed<I: Iterator<Item = P>>(
+        metric: &'m M,
+        params: &ApproxParams,
+        parallel: &ParallelConfig,
+        pruning: &PruningConfig,
+        index: Option<Arc<RpIndex>>,
+        make_stream: impl Fn() -> I,
+    ) -> Result<(Clustering, Self), DbscanError> {
         let mut engine = Self::new(metric, params)
             .with_parallel(*parallel)
-            .with_pruning(*pruning);
+            .with_pruning(*pruning)
+            .with_index(index);
         for p in make_stream() {
             engine.pass1_observe(&p);
         }
@@ -652,14 +858,16 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
         let threads = parallel.threads();
         let mut labels: Vec<PointLabel> = Vec::with_capacity(engine.stats.n);
         let mut stream = make_stream();
+        let mut base = 0usize;
         loop {
             let block: Vec<P> = stream.by_ref().take(PASS3_BLOCK).collect();
             if block.is_empty() {
                 break;
             }
             labels.extend(par_map_range(block.len(), threads, 512, |i| {
-                engine.pass3_label(&block[i])
+                engine.pass3_label_at(base + i, &block[i])
             }));
+            base += block.len();
         }
         Ok((Clustering::from_labels(labels), engine))
     }

@@ -1,0 +1,231 @@
+//! Determinism contract of [`CandidateIndex::RandomProjection`]: for a
+//! fixed seed the RP-backed approximate and streaming solvers are pure
+//! functions of the point sequence — bit-identical labels across thread
+//! counts, ingest-vs-fresh builds, and artifact save/load round trips,
+//! at both f32 and f64 block precision. Plus the fallback half of the
+//! contract: metrics without a coordinate view and Grid-configured
+//! engines never touch the RP machinery (zero RP counters, labels
+//! identical to the generic path).
+
+use mdbscan_core::{ApproxParams, CandidateIndex, MetricDbscan, ParallelConfig, RpConfig};
+use mdbscan_metric::{BlockScalar, Euclidean, Levenshtein, VectorBlock};
+
+const EPS: f64 = 0.9;
+const MIN_PTS: usize = 8;
+const RHO: f64 = 1.0;
+const RBAR: f64 = 0.45;
+
+/// Deterministic xorshift — the test owns its data, no RNG dependency.
+struct Xs(u64);
+
+impl Xs {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Box–Muller-free symmetric jitter in [-s, s].
+    fn jitter(&mut self, s: f64) -> f64 {
+        (self.next_f64() * 2.0 - 1.0) * s
+    }
+}
+
+/// Three well-separated clusters plus scattered outliers in dimension
+/// `dim`: enough structure that labels are non-trivial (cores, borders,
+/// and noise all occur) at the fixed parameters above.
+fn rows(dim: usize) -> Vec<Vec<f64>> {
+    let mut rng = Xs(0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::new();
+    for c in 0..3usize {
+        for _ in 0..110 {
+            let mut p = vec![0.0; dim];
+            // cluster centers at 6·e_c
+            p[c] = 6.0;
+            for x in p.iter_mut() {
+                *x += rng.jitter(0.45);
+            }
+            out.push(p);
+        }
+    }
+    for _ in 0..30 {
+        let p: Vec<f64> = (0..dim).map(|_| rng.jitter(12.0)).collect();
+        out.push(p);
+    }
+    out
+}
+
+fn rp_cfg() -> RpConfig {
+    RpConfig::new(0xd15c_0b33)
+        .projections(48)
+        .top_m(96)
+        .probes(3)
+}
+
+fn params() -> ApproxParams {
+    ApproxParams::new(EPS, MIN_PTS, RHO).expect("params")
+}
+
+fn build<T: BlockScalar>(
+    block: &VectorBlock<T>,
+    ids: Vec<u32>,
+    threads: usize,
+    index: CandidateIndex,
+) -> MetricDbscan<u32, VectorBlock<T>>
+where
+    VectorBlock<T>: mdbscan_metric::BatchMetric<u32>,
+{
+    MetricDbscan::builder(ids, block.clone())
+        .rbar(RBAR)
+        .parallel(ParallelConfig::new(threads))
+        .candidate_index(index)
+        .build()
+        .expect("engine")
+}
+
+/// Labels from the approximate and streaming solvers, in that order.
+fn both_solvers<T: BlockScalar>(engine: &MetricDbscan<u32, VectorBlock<T>>) -> (Vec<i32>, Vec<i32>)
+where
+    VectorBlock<T>: mdbscan_metric::BatchMetric<u32>,
+{
+    let a = engine.approx(&params()).expect("approx");
+    let s = engine.streaming(&params()).expect("streaming");
+    (a.clustering.assignments(), s.clustering.assignments())
+}
+
+/// The full determinism matrix at one block precision: fresh/1-thread
+/// is the reference; 4 threads, half-ingest, and a save/load round trip
+/// must each reproduce it bit-for-bit, for approx and streaming alike.
+fn assert_bit_identical<T: BlockScalar>()
+where
+    VectorBlock<T>: mdbscan_metric::BatchMetric<u32>
+        + mdbscan_metric::PersistMetric
+        + mdbscan_metric::GridCompatible<u32>,
+{
+    let data = rows(24);
+    let block = VectorBlock::<T>::from_rows(&data);
+    let ids = block.ids();
+    let idx = CandidateIndex::RandomProjection(rp_cfg());
+
+    let reference = both_solvers(&build(&block, ids.clone(), 1, idx));
+    // RP must actually engage on this workload, or the test is vacuous.
+    let probe = build(&block, ids.clone(), 1, idx)
+        .approx(&params())
+        .expect("approx");
+    assert!(
+        probe.report.rp.candidates_emitted > 0,
+        "RP index did not engage"
+    );
+
+    // Thread count.
+    let threaded = both_solvers(&build(&block, ids.clone(), 4, idx));
+    assert_eq!(reference, threaded, "4-thread run diverged");
+
+    // Ingest-vs-fresh: seed with the first half, ingest the rest.
+    let half = ids.len() / 2;
+    let grown = build(&block, ids[..half].to_vec(), 1, idx);
+    grown
+        .ingest(ids[half..].iter().copied())
+        .expect("ingest second half");
+    let grown_labels = both_solvers(&grown);
+    assert_eq!(reference, grown_labels, "ingest-vs-fresh diverged");
+
+    // Artifact round trip.
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "mdbscan_rp_determinism_{}_{}.mdb",
+        std::process::id(),
+        std::any::type_name::<T>().replace(':', "_")
+    ));
+    let saver = build(&block, ids.clone(), 1, idx);
+    saver.approx(&params()).expect("approx before save");
+    saver.save(&path).expect("save artifact");
+    let loaded =
+        MetricDbscan::<u32, VectorBlock<T>>::load(&path, block.clone()).expect("load artifact");
+    let loaded_labels = both_solvers(&loaded);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reference, loaded_labels, "artifact round trip diverged");
+}
+
+#[test]
+fn rp_runs_bit_identical_f64() {
+    assert_bit_identical::<f64>();
+}
+
+#[test]
+fn rp_runs_bit_identical_f32() {
+    assert_bit_identical::<f32>();
+}
+
+/// A metric with no coordinate view (edit distance) silently stays on
+/// the generic path: zero RP counters, labels identical to an engine
+/// that never asked for RP.
+#[test]
+fn rp_falls_back_for_non_vector_metrics() {
+    let mut words: Vec<String> = Vec::new();
+    for stem in ["cluster", "cluttered", "metric", "metrical"] {
+        for i in 0..12 {
+            words.push(format!("{stem}{}", "x".repeat(i % 3)));
+        }
+    }
+    let build = |index: CandidateIndex| {
+        MetricDbscan::builder(words.clone(), Levenshtein)
+            .rbar(1.0)
+            .candidate_index(index)
+            .build()
+            .expect("engine")
+    };
+    let p = ApproxParams::new(2.0, 4, 1.0).expect("params");
+    let rp = build(CandidateIndex::RandomProjection(rp_cfg()))
+        .approx(&p)
+        .expect("approx");
+    let generic = build(CandidateIndex::Generic).approx(&p).expect("approx");
+    assert_eq!(rp.report.rp.candidates_emitted, 0, "RP engaged on strings");
+    assert_eq!(rp.report.rp.projections, 0);
+    assert_eq!(
+        rp.clustering.assignments(),
+        generic.clustering.assignments(),
+        "fallback labels differ from the generic path"
+    );
+}
+
+/// Plain `Vec<f64>` points under [`Euclidean`] expose no coordinate
+/// view either — same silent fallback.
+#[test]
+fn rp_falls_back_for_vec_points() {
+    let data = rows(6);
+    let build = |index: CandidateIndex| {
+        MetricDbscan::builder(data.clone(), Euclidean)
+            .rbar(RBAR)
+            .candidate_index(index)
+            .build()
+            .expect("engine")
+    };
+    let rp = build(CandidateIndex::RandomProjection(rp_cfg()))
+        .approx(&params())
+        .expect("approx");
+    let generic = build(CandidateIndex::Generic)
+        .approx(&params())
+        .expect("approx");
+    assert_eq!(rp.report.rp.candidates_emitted, 0);
+    assert_eq!(
+        rp.clustering.assignments(),
+        generic.clustering.assignments()
+    );
+}
+
+/// A Grid-configured engine on a low-dimensional block is untouched by
+/// the RP subsystem: its RP counters stay zero and its labels are
+/// unchanged.
+#[test]
+fn grid_workloads_report_zero_rp_counters() {
+    let data: Vec<Vec<f64>> = rows(24).into_iter().map(|r| r[..2].to_vec()).collect();
+    let block = VectorBlock::<f64>::from_rows(&data);
+    let ids = block.ids();
+    let grid = build(&block, ids.clone(), 1, CandidateIndex::Grid)
+        .approx(&params())
+        .expect("approx");
+    assert_eq!(grid.report.rp.candidates_emitted, 0);
+    assert_eq!(grid.report.rp.projections, 0);
+}

@@ -1,0 +1,474 @@
+//! High-dimensional unit-norm embedding mixtures — the stand-in for the
+//! paper's image/text *embedding* workloads (GloVe/NYTimes-style vectors
+//! where neighbors concentrate by angle, the regime `mdbscan_rp`'s random
+//! projections target).
+
+use crate::randutil::normal_vec;
+use mdbscan_metric::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`highdim_embeddings`]. Defaults model a d=128 embedding
+/// table: 10 angularly well-separated clusters plus 10 % isotropic noise.
+#[derive(Debug, Clone, Copy)]
+pub struct HighDimSpec {
+    /// Total points, inliers + noise.
+    pub n: usize,
+    /// Ambient dimension (any `d ≥ 2`; the paper's embedding tables use
+    /// 128–960).
+    pub dim: usize,
+    /// Number of mixture components.
+    pub clusters: usize,
+    /// Gaussian jitter scale added to the cluster direction *before*
+    /// re-normalization. With `intrinsic == 0` the jitter is isotropic
+    /// (per-coordinate), so members land at distance ≈ `spread · √d`
+    /// from their center and pairwise distances concentrate hard (the
+    /// curse of dimensionality). With `intrinsic > 0` the jitter spans
+    /// only that many random directions and member offsets follow a
+    /// `spread · χ(intrinsic)` profile instead — a *continuum* of
+    /// distances, versus ≈ `√2` between unrelated directions.
+    pub spread: f64,
+    /// Intrinsic dimension of each cluster's jitter: `0` = isotropic
+    /// ambient Gaussian; `k > 0` confines the jitter to `k` random unit
+    /// directions per cluster. The paper's standing assumption is
+    /// inliers of **low doubling dimension** inside a high ambient
+    /// dimension — `intrinsic` is that knob, and it is what keeps the
+    /// Algorithm-1 r̄-net (and hence every solver) small: isotropic
+    /// high-d jitter degenerates the net toward one center per point.
+    pub intrinsic: usize,
+    /// Radial law for the intrinsic jitter. `0.0` (default) keeps the
+    /// unbounded Gaussian `spread·χ(intrinsic)` profile. `q > 0` draws
+    /// the offset norm as `spread · U^{1/q}` along a uniform direction
+    /// of the span — a hard-edged ball of radius `spread` whose radial
+    /// density scales as `r^{q-intrinsic}`: `q = intrinsic` is uniform
+    /// occupancy, larger `q` shifts mass toward the rim (offsetting the
+    /// ε-ball clipping a point near the edge suffers, so the local
+    /// neighbor-count profile stays flat and a single MinPts threshold
+    /// holds across the whole cluster — no subcritical fringe). Only
+    /// meaningful with `intrinsic > 0`.
+    pub radial_exponent: f64,
+    /// Fraction of `n` emitted as uniform random directions labeled `-1`.
+    pub noise_frac: f64,
+    /// Fraction of `n` emitted as a sparse *halo* shell around the
+    /// clusters, labeled `-1`: each halo point offsets a cluster center
+    /// by a uniform random direction (inside the cluster's `intrinsic`
+    /// span when `intrinsic > 0`) at a norm drawn from
+    /// `U[halo_lo, halo_hi]` — the annular chaff that surrounds dense
+    /// regions in real embedding tables (hub/anti-hub structure). Unlike
+    /// uniform noise (≈ `√2` from everything), halo points sit close
+    /// enough to the cluster fringe to enter every index's candidate
+    /// horizon while staying too sparse to form cells of their own.
+    pub halo_frac: f64,
+    /// Lower edge of the halo offset-norm band (pre-normalization).
+    pub halo_lo: f64,
+    /// Upper edge of the halo offset-norm band (pre-normalization).
+    pub halo_hi: f64,
+    /// Halo direction space: `false` (default) keeps halo offsets inside
+    /// the cluster's `intrinsic` span (annular chaff in the cluster's own
+    /// manifold). `true` draws them from the full ambient dimension —
+    /// sparse off-manifold chaff: close enough to the cluster (in chord
+    /// distance) to enter candidate horizons, yet pairwise near-orthogonal
+    /// to each other and to the manifold, so no two chaff points are
+    /// neighbors at any radius below the band floor.
+    pub halo_ambient: bool,
+    /// Two-level structure: `0` = every inlier gets its own jitter draw
+    /// (single-level clusters); `b > 0` groups inliers into *blobs* of
+    /// `b` near-duplicates — the cluster jitter is drawn once per blob
+    /// (the blob center) and members scatter isotropically around it at
+    /// [`HighDimSpec::blob_spread`]. Real embedding tables have exactly
+    /// this shape
+    /// (crops of one image, paraphrases of one sentence — the same
+    /// near-duplicate structure the paper's §5.1 `noisy_duplication`
+    /// protocol models), and it splits the distance spectrum in two:
+    /// an intra-blob scale far below ε and an inter-blob continuum
+    /// around ε.
+    pub blob_size: usize,
+    /// Expected member offset norm around a blob center (the draw is
+    /// isotropic ambient Gaussian scaled by `blob_spread / √dim`, so
+    /// the knob reads as a distance, independent of `dim`).
+    pub blob_spread: f64,
+    /// Angular separation floor for cluster centers: candidate center
+    /// directions are rejection-sampled until every pairwise inner
+    /// product is below this (`0.5` = 60°; random directions in high `d`
+    /// are nearly orthogonal, so tighter floors stay cheap to sample).
+    pub max_center_dot: f64,
+}
+
+impl Default for HighDimSpec {
+    fn default() -> Self {
+        HighDimSpec {
+            n: 20_000,
+            dim: 128,
+            clusters: 10,
+            spread: 0.02,
+            intrinsic: 0,
+            radial_exponent: 0.0,
+            noise_frac: 0.1,
+            halo_frac: 0.0,
+            halo_lo: 1.0,
+            halo_hi: 1.4,
+            halo_ambient: false,
+            blob_size: 0,
+            blob_spread: 0.02,
+            max_center_dot: 0.5,
+        }
+    }
+}
+
+/// One cluster-jitter draw: `center + spread · g`, ambient when
+/// `intrinsic == 0`, confined to the cluster's basis otherwise. Serves
+/// both as an inlier (single-level mode) and as a blob center.
+fn cluster_point(
+    rng: &mut StdRng,
+    spec: &HighDimSpec,
+    center: &[f64],
+    basis: &[Vec<f64>],
+) -> Vec<f64> {
+    if spec.intrinsic == 0 {
+        let mut p = normal_vec(rng, spec.dim);
+        for (x, c) in p.iter_mut().zip(center) {
+            *x = c + spec.spread * *x;
+        }
+        p
+    } else {
+        let mut p = center.to_vec();
+        let mut coeff: Vec<f64> = (0..spec.intrinsic)
+            .map(|_| crate::randutil::normal(rng))
+            .collect();
+        if spec.radial_exponent > 0.0 {
+            // Bounded law: uniform direction in the span at norm
+            // spread·U^{1/q} (hard edge at `spread`).
+            let norm = coeff.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-12);
+            let u: f64 = rng.random_range(0.0..1.0);
+            let r = spec.spread * u.powf(1.0 / spec.radial_exponent);
+            for a in &mut coeff {
+                *a *= r / norm;
+            }
+        } else {
+            for a in &mut coeff {
+                *a *= spec.spread;
+            }
+        }
+        for (b, a) in basis.iter().zip(&coeff) {
+            for (x, bx) in p.iter_mut().zip(b) {
+                *x += a * bx;
+            }
+        }
+        p
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Deterministic unit-norm Gaussian-mixture embeddings.
+///
+/// Cluster centers are random unit directions, rejection-sampled so every
+/// pair satisfies `⟨cᵢ, cⱼ⟩ < max_center_dot` (in high `d` random
+/// directions are nearly orthogonal, so rejections are rare).
+/// Inliers are assigned round-robin and drawn as
+/// `normalize(center + spread · g)` with `g` standard normal — ambient
+/// when `intrinsic == 0`, confined to the cluster's `intrinsic` random
+/// directions otherwise. After the inliers come `⌊n · halo_frac⌋` halo
+/// points (sparse annular shells around the clusters) and
+/// `⌊n · noise_frac⌋` uniform random directions, both labeled `-1`.
+///
+/// Identical `(spec, seed)` → identical dataset, on every platform.
+pub fn highdim_embeddings(spec: HighDimSpec, seed: u64) -> Dataset<Vec<f64>> {
+    assert!(spec.dim >= 2, "highdim_embeddings requires dim >= 2");
+    assert!(
+        spec.clusters > 0,
+        "highdim_embeddings requires clusters > 0"
+    );
+    assert!(
+        (0.0..1.0).contains(&spec.noise_frac),
+        "noise_frac must be in [0, 1)"
+    );
+    assert!(
+        (0.0..1.0).contains(&spec.halo_frac) && spec.noise_frac + spec.halo_frac < 1.0,
+        "noise_frac + halo_frac must be in [0, 1)"
+    );
+    assert!(
+        spec.halo_frac == 0.0 || (spec.halo_lo > 0.0 && spec.halo_hi >= spec.halo_lo),
+        "halo band requires 0 < halo_lo <= halo_hi"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(spec.clusters);
+    let mut attempts = 0usize;
+    while centers.len() < spec.clusters {
+        attempts += 1;
+        let c = normalize(normal_vec(&mut rng, spec.dim));
+        let ok = attempts > 2000
+            || centers
+                .iter()
+                .all(|o| c.iter().zip(o).map(|(a, b)| a * b).sum::<f64>() < spec.max_center_dot);
+        if ok {
+            centers.push(c);
+        }
+    }
+
+    // Per-cluster jitter bases for the low-doubling-dimension mode
+    // (random unit directions; nearly orthogonal in high d).
+    let bases: Vec<Vec<Vec<f64>>> = (0..spec.clusters)
+        .map(|_| {
+            (0..spec.intrinsic)
+                .map(|_| normalize(normal_vec(&mut rng, spec.dim)))
+                .collect()
+        })
+        .collect();
+
+    let n_noise = (spec.n as f64 * spec.noise_frac) as usize;
+    let n_halo = (spec.n as f64 * spec.halo_frac) as usize;
+    let n_inliers = spec.n - n_noise - n_halo;
+
+    // Two-level mode: draw the cluster jitter once per blob up front;
+    // members then scatter isotropically around their blob center.
+    let blob_centers: Vec<Vec<Vec<f64>>> = if spec.blob_size == 0 {
+        Vec::new()
+    } else {
+        (0..spec.clusters)
+            .map(|k| {
+                let count_k =
+                    n_inliers / spec.clusters + usize::from(k < n_inliers % spec.clusters);
+                let blobs_k = count_k.div_ceil(spec.blob_size);
+                (0..blobs_k)
+                    .map(|_| cluster_point(&mut rng, &spec, &centers[k], &bases[k]))
+                    .collect()
+            })
+            .collect()
+    };
+
+    let mut points = Vec::with_capacity(spec.n);
+    let mut labels = Vec::with_capacity(spec.n);
+    for i in 0..n_inliers {
+        let k = i % spec.clusters;
+        let p = match (i / spec.clusters).checked_div(spec.blob_size) {
+            None => cluster_point(&mut rng, &spec, &centers[k], &bases[k]),
+            Some(blob) => {
+                let sd = spec.blob_spread / (spec.dim as f64).sqrt();
+                let mut p = blob_centers[k][blob].clone();
+                for (x, g) in p.iter_mut().zip(normal_vec(&mut rng, spec.dim)) {
+                    *x += sd * g;
+                }
+                p
+            }
+        };
+        points.push(normalize(p));
+        labels.push(k as i32);
+    }
+    for i in 0..n_halo {
+        let k = i % spec.clusters;
+        // Uniform direction (within the cluster's intrinsic span when
+        // one exists) at a uniform offset norm in [halo_lo, halo_hi].
+        let w = if spec.intrinsic == 0 || spec.halo_ambient {
+            normalize(normal_vec(&mut rng, spec.dim))
+        } else {
+            let mut w = vec![0.0; spec.dim];
+            for b in &bases[k] {
+                let a = crate::randutil::normal(&mut rng);
+                for (x, bx) in w.iter_mut().zip(b) {
+                    *x += a * bx;
+                }
+            }
+            normalize(w)
+        };
+        let t = spec.halo_lo + (spec.halo_hi - spec.halo_lo) * rng.random_range(0.0..1.0);
+        let p: Vec<f64> = centers[k]
+            .iter()
+            .zip(&w)
+            .map(|(c, wx)| c + t * wx)
+            .collect();
+        points.push(normalize(p));
+        labels.push(-1);
+    }
+    for _ in 0..n_noise {
+        points.push(normalize(normal_vec(&mut rng, spec.dim)));
+        labels.push(-1);
+    }
+
+    Dataset::with_labels("highdim_embeddings", points, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_shape() {
+        let spec = HighDimSpec {
+            n: 500,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 7);
+        assert_eq!(ds.points().len(), 500);
+        assert_eq!(ds.labels().unwrap().len(), 500);
+        assert!(ds.points().iter().all(|p| p.len() == 128));
+    }
+
+    #[test]
+    fn points_are_unit_norm() {
+        let spec = HighDimSpec {
+            n: 200,
+            dim: 64,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 3);
+        for p in ds.points() {
+            let norm = p.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = HighDimSpec {
+            n: 300,
+            dim: 32,
+            ..HighDimSpec::default()
+        };
+        let a = highdim_embeddings(spec, 11);
+        let b = highdim_embeddings(spec, 11);
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.labels(), b.labels());
+        let c = highdim_embeddings(spec, 12);
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn noise_fraction_is_respected() {
+        let spec = HighDimSpec {
+            n: 1000,
+            dim: 16,
+            noise_frac: 0.2,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 5);
+        let noise = ds.labels().unwrap().iter().filter(|&&l| l == -1).count();
+        assert_eq!(noise, 200);
+    }
+
+    #[test]
+    fn intrinsic_jitter_stays_near_center_plane() {
+        // With intrinsic=3 the offset follows spread·χ(3), far below the
+        // isotropic spread·√d profile at the same spread.
+        let spec = HighDimSpec {
+            n: 400,
+            dim: 256,
+            clusters: 4,
+            spread: 0.1,
+            intrinsic: 3,
+            noise_frac: 0.0,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 9);
+        // Round-robin assignment: points 0 and 4 share cluster 0.
+        let a = &ds.points()[0];
+        let b = &ds.points()[4];
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        // χ(3) offsets: pairwise distance ~ 0.1·χ(6) ≲ 1, while two
+        // isotropic points at spread 0.1, d=256 would sit ≈ 2.2 apart
+        // (pre-normalization) and ≈ √2 after.
+        assert!(d2.sqrt() < 1.0, "intra-cluster distance {}", d2.sqrt());
+    }
+
+    #[test]
+    fn halo_points_sit_in_the_requested_band() {
+        let spec = HighDimSpec {
+            n: 1000,
+            dim: 64,
+            clusters: 4,
+            spread: 0.2,
+            intrinsic: 3,
+            noise_frac: 0.0,
+            halo_frac: 0.3,
+            halo_lo: 1.0,
+            halo_hi: 1.3,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 21);
+        let labels = ds.labels().unwrap();
+        assert_eq!(labels.iter().filter(|&&l| l == -1).count(), 300);
+        // Halo points follow the inliers: indices [700, 1000). Each is
+        // normalize(c + t·w) with ‖w‖ = 1 and t ∈ [1.0, 1.3], so its
+        // angle to some unit center is atan(t) ∈ [45°, 52.4°] and the
+        // cosine (= dot, both unit norm) lands in [cos 52.4°, cos 45°].
+        // Estimate each true center as the normalized mean of the
+        // cluster's inliers (round-robin assignment: inlier i belongs
+        // to cluster i % 4).
+        let centers: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                let mut mean = vec![0.0; 64];
+                for i in (k..700).step_by(4) {
+                    for (m, x) in mean.iter_mut().zip(&ds.points()[i]) {
+                        *m += x;
+                    }
+                }
+                normalize(mean)
+            })
+            .collect();
+        for p in &ds.points()[700..1000] {
+            let best = centers
+                .iter()
+                .map(|c| c.iter().zip(p).map(|(a, b)| a * b).sum::<f64>())
+                .fold(f64::MIN, f64::max);
+            // Ideal cosine band is [cos 52.4°, cos 45°] = [0.61, 0.71],
+            // but at d = 64 the halo direction is only approximately
+            // orthogonal to the center (⟨w, c⟩ ≈ ±d^{-1/2}), so allow
+            // slack. The point is that halo sits near a cluster (≫ the
+            // ≈ 0 dot of uniform noise) yet clearly off its core (≪ an
+            // inlier's ≈ 0.95+).
+            assert!(best > 0.4 && best < 0.85, "halo alignment {best}");
+        }
+    }
+
+    #[test]
+    fn blob_members_are_near_duplicates() {
+        let spec = HighDimSpec {
+            n: 800,
+            dim: 64,
+            clusters: 4,
+            spread: 0.3,
+            intrinsic: 3,
+            noise_frac: 0.0,
+            blob_size: 10,
+            blob_spread: 0.01,
+            ..HighDimSpec::default()
+        };
+        let ds = highdim_embeddings(spec, 17);
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        // Round-robin over 4 clusters, blobs of 10 within each cluster:
+        // inliers 0 and 4 share cluster 0's blob 0; two members sit
+        // ≈ blob_spread·√2 apart, far below the spread·χ(3) inter-blob
+        // scale. Inlier i = 4·10·4 = 160 opens cluster 0's blob 4.
+        let same_blob = dist(&ds.points()[0], &ds.points()[4]);
+        assert!(same_blob < 0.05, "same-blob distance {same_blob}");
+        let cross_blob = dist(&ds.points()[0], &ds.points()[160]);
+        assert!(cross_blob > 0.05, "cross-blob distance {cross_blob}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dim >= 2")]
+    fn rejects_dim_one() {
+        highdim_embeddings(
+            HighDimSpec {
+                dim: 1,
+                ..HighDimSpec::default()
+            },
+            0,
+        );
+    }
+}

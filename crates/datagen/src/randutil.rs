@@ -4,16 +4,11 @@
 
 use rand::Rng;
 
-/// One standard normal sample via Box–Muller.
+/// One standard normal sample via Box–Muller (delegates to the shared
+/// shim sampler so datagen and `mdbscan_rp` consume the identical
+/// uniform-draw schedule for a given seed).
 pub(crate) fn normal<R: Rng>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.random::<f64>();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.random::<f64>();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    }
+    rand::distr::standard_normal(rng)
 }
 
 /// A standard normal vector of dimension `d`.

@@ -165,6 +165,17 @@ pub struct WireStats {
     /// Candidate points rejected by cell lower bounds without a
     /// distance evaluation.
     pub grid_candidates_rejected: u64,
+    /// Projection lists probed by queries served through the
+    /// random-projection candidate index
+    /// ([`mdbscan_core::CandidateIndex::RandomProjection`]); zero when
+    /// the engine runs the generic or grid path.
+    pub rp_projections: u64,
+    /// Candidate points those lists emitted to the metric.
+    pub rp_candidates_emitted: u64,
+    /// Candidate list entries dropped before evaluation (duplicates
+    /// across probed lists, plus labeling candidates outside the
+    /// summary).
+    pub rp_candidates_rejected: u64,
 }
 
 /// A query answer: the epoch it was computed at plus per-point labels.
@@ -358,6 +369,9 @@ impl Response {
                 w.put_u64(s.grid_cells_probed);
                 w.put_u64(s.grid_candidates_emitted);
                 w.put_u64(s.grid_candidates_rejected);
+                w.put_u64(s.rp_projections);
+                w.put_u64(s.rp_candidates_emitted);
+                w.put_u64(s.rp_candidates_rejected);
             }
             Response::Overloaded { retry_after_ms } => {
                 w.put_u8(ST_OVERLOADED);
@@ -420,6 +434,9 @@ impl Response {
                 grid_cells_probed: r.get_u64()?,
                 grid_candidates_emitted: r.get_u64()?,
                 grid_candidates_rejected: r.get_u64()?,
+                rp_projections: r.get_u64()?,
+                rp_candidates_emitted: r.get_u64()?,
+                rp_candidates_rejected: r.get_u64()?,
             }),
             ST_OVERLOADED => Response::Overloaded {
                 retry_after_ms: r.get_u32()?,
@@ -552,6 +569,9 @@ mod tests {
             grid_cells_probed: 9,
             grid_candidates_emitted: 10,
             grid_candidates_rejected: 11,
+            rp_projections: 12,
+            rp_candidates_emitted: 13,
+            rp_candidates_rejected: 14,
         }));
         round_trip_response(Response::Overloaded { retry_after_ms: 25 });
         round_trip_response(Response::EngineError("index too coarse".into()));

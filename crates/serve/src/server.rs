@@ -86,6 +86,9 @@ struct Counters {
     grid_cells_probed: AtomicU64,
     grid_candidates_emitted: AtomicU64,
     grid_candidates_rejected: AtomicU64,
+    rp_projections: AtomicU64,
+    rp_candidates_emitted: AtomicU64,
+    rp_candidates_rejected: AtomicU64,
 }
 
 struct Shared<P, M> {
@@ -203,6 +206,15 @@ where
         grid_candidates_rejected: shared
             .counters
             .grid_candidates_rejected
+            .load(Ordering::Relaxed),
+        rp_projections: shared.counters.rp_projections.load(Ordering::Relaxed),
+        rp_candidates_emitted: shared
+            .counters
+            .rp_candidates_emitted
+            .load(Ordering::Relaxed),
+        rp_candidates_rejected: shared
+            .counters
+            .rp_candidates_rejected
             .load(Ordering::Relaxed),
     }
 }
@@ -398,6 +410,19 @@ where
                         .counters
                         .grid_candidates_rejected
                         .fetch_add(cand.candidates_rejected, Ordering::Relaxed);
+                    let rp = &run.report.rp;
+                    shared
+                        .counters
+                        .rp_projections
+                        .fetch_add(rp.projections, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .rp_candidates_emitted
+                        .fetch_add(rp.candidates_emitted, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .rp_candidates_rejected
+                        .fetch_add(rp.candidates_rejected, Ordering::Relaxed);
                     let labels: Vec<PointLabel> = run.clustering.labels().to_vec();
                     Response::Labels(QueryReply {
                         epoch: run.report.epoch,

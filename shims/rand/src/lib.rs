@@ -153,6 +153,56 @@ impl<R: Rng + ?Sized> Rng for &mut R {
     }
 }
 
+/// Deterministic distribution samplers layered over [`Rng`].
+///
+/// The workspace needs exactly one non-uniform distribution — the
+/// standard normal — for random-projection directions
+/// (`mdbscan_rp`) and synthetic Gaussian mixtures (`mdbscan_datagen`).
+/// Box–Muller over the uniform source keeps the draw count per sample
+/// fixed (two `next_u64` calls per sample, plus a vanishingly rare
+/// rejection of `u1 = 0`), so a seeded stream of normals is
+/// reproducible across platforms exactly like the uniform stream.
+pub mod distr {
+    use super::Rng;
+
+    /// The standard normal distribution `N(0, 1)`.
+    ///
+    /// ```
+    /// use rand::distr::StandardNormal;
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(42);
+    /// let x: f64 = StandardNormal.sample(&mut rng);
+    /// assert!(x.is_finite());
+    /// ```
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one `N(0, 1)` sample via Box–Muller.
+        ///
+        /// Uses the cosine branch only, so each sample consumes exactly
+        /// two uniform draws (`u1 = 0`, probability 2⁻⁵³ per draw, is
+        /// rejected to keep `ln` finite).
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            loop {
+                let u1: f64 = super::StandardSample::sample(rng);
+                if u1 <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let u2: f64 = super::StandardSample::sample(rng);
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+
+    /// Free-function form of [`StandardNormal::sample`].
+    pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        StandardNormal.sample(rng)
+    }
+}
+
 /// Deterministic construction from a `u64` seed.
 pub trait SeedableRng: Sized {
     /// Builds the generator from a 64-bit seed (SplitMix64-expanded).
@@ -274,6 +324,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mean: f64 = (0..10_000).map(|_| rng.random::<f64>()).sum::<f64>() / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_is_deterministic_and_sane() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let x = super::distr::standard_normal(&mut a);
+            let y = super::distr::StandardNormal.sample(&mut b);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| super::distr::standard_normal(&mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   workloads: cell-bucketed candidate generation behind
 //!   [`core::CandidateIndex::Grid`], bit-identical labels with far
 //!   fewer distance evaluations on millions-of-points coordinate data;
+//! * [`rp`] — the seeded random-projection candidate index for
+//!   high-dimensional embeddings (sDBSCAN-style top-m projection
+//!   lists) behind [`core::CandidateIndex::RandomProjection`]: where
+//!   high doubling dimension erodes the net-anchored pruning above,
+//!   the approximate and streaming solvers draw Step-1 counting and
+//!   labeling candidates from capped lists instead — deterministic for
+//!   a fixed seed, with quality measured (not assumed) against the
+//!   exact solver;
 //! * [`parallel`] — the deterministic scoped-thread executors and flat
 //!   CSR storage the pipeline runs on, plus the
 //!   [`parallel::ParallelConfig`] thread knob (see `core`'s "Threading
@@ -66,6 +74,50 @@
 //! assert!(engine.exact(&DbscanParams::new(0.5, 5).unwrap()).unwrap().report.cache_hit);
 //! ```
 //!
+//! ## High-dimensional embeddings
+//!
+//! Past d ≈ 10 the triangle-inequality sandwich the generic path prunes
+//! with goes blunt: a coarse ρ-approximate net blurs every member bound
+//! by ±r̄, and in high doubling dimension the straddle horizon holds an
+//! order of magnitude more mass than the ε-ball being counted. For
+//! unit-norm embedding vectors, store them in a
+//! [`metric::VectorBlock`] (SoA kernels) and opt into the seeded
+//! random-projection index:
+//!
+//! ```
+//! use metric_dbscan::core::{
+//!     ApproxParams, CandidateIndex, MetricDbscan, RpConfig,
+//! };
+//! use metric_dbscan::datagen::{highdim_embeddings, HighDimSpec};
+//! use metric_dbscan::metric::VectorBlock;
+//!
+//! let rows = highdim_embeddings(
+//!     HighDimSpec { n: 600, dim: 64, clusters: 3, ..Default::default() },
+//!     7,
+//! )
+//! .into_parts()
+//! .0;
+//! let block = VectorBlock::<f64>::from_rows(&rows);
+//! let engine = MetricDbscan::builder(block.ids(), block)
+//!     .rbar(0.2) // = ρε/2 for the (ε, ρ) below
+//!     .candidate_index(CandidateIndex::RandomProjection(
+//!         RpConfig::new(42).projections(64).top_m(64).probes(4),
+//!     ))
+//!     .build()
+//!     .unwrap();
+//! let run = engine.approx(&ApproxParams::new(0.2, 5, 2.0).unwrap()).unwrap();
+//! assert!(run.report.rp.candidates_emitted > 0); // RP actually engaged
+//! assert!(run.clustering.num_clusters() >= 1);
+//! ```
+//!
+//! The seed is part of the engine configuration, so RP-backed runs stay
+//! bit-identical across thread counts, ingest-vs-fresh builds, and
+//! artifact round trips; what a candidate miss costs is *quality*
+//! against the exact solver (measure it with [`eval`]), never
+//! nondeterminism. `BENCH_highdim.json` tracks the headline: at
+//! d = 128, n = 50k the RP index cuts Step-1 + labeling distance
+//! evaluations ≥ 3× versus the pruned generic path at ARI ≥ 0.95.
+//!
 //! One-shot free functions ([`core::exact_dbscan`], [`core::approx_dbscan`])
 //! remain for scripts that cluster borrowed data exactly once.
 //!
@@ -85,4 +137,5 @@ pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
 pub use mdbscan_parallel as parallel;
 pub use mdbscan_persist as persist;
+pub use mdbscan_rp as rp;
 pub use mdbscan_serve as serve;
