@@ -1,0 +1,188 @@
+//! Observability overhead: the cost of tracing must be noise.
+//!
+//! Builds fresh n≈10k engines with a no-op recorder and with a real
+//! `MetricsRecorder`, runs the exact and streaming paths, and writes
+//! `BENCH_obs.json` with min-of-repeats wall clock for both modes.
+//! At `--scale` ≥ 1 the headline is asserted: recorder-on overhead
+//! ≤ 3 % on both paths. Always asserted, at any scale:
+//!
+//! * labels are bit-identical recorder-on vs no-op (the read-only
+//!   contract, at bench scale);
+//! * all five pipeline phases (net build, Step 1, adjacency, Step 2,
+//!   Step 3) populated their latency histograms;
+//! * every histogram snapshot is self-consistent (Σ buckets = count).
+//!
+//! CI runs this at a reduced `--scale` and smoke-parses the JSON.
+
+use std::sync::Arc;
+
+use mdbscan_bench::{timed, HarnessArgs};
+use mdbscan_core::{
+    ApproxParams, DbscanParams, MetricDbscan, MetricsRecorder, NoopRecorder, Recorder,
+};
+use mdbscan_datagen::{blobs, BlobSpec};
+use mdbscan_metric::Euclidean;
+use mdbscan_obs::{Phase, Registry};
+
+const EPS: f64 = 1.0;
+const MIN_PTS: usize = 10;
+const RHO: f64 = 0.5;
+const REPEATS: usize = 5;
+
+struct ModeTimings {
+    exact_ms: f64,
+    streaming_ms: f64,
+    exact_assignments: Vec<i32>,
+    streaming_assignments: Vec<i32>,
+}
+
+/// Min-of-repeats timings for one recorder mode, each repeat on a
+/// fresh engine so no fragment-cache hit flatters a later run.
+fn run_mode(
+    pts: &[Vec<f64>],
+    rbar: f64,
+    params: &DbscanParams,
+    aparams: &ApproxParams,
+    recorder: &Arc<dyn Recorder>,
+) -> ModeTimings {
+    let mut out = ModeTimings {
+        exact_ms: f64::INFINITY,
+        streaming_ms: f64::INFINITY,
+        exact_assignments: Vec::new(),
+        streaming_assignments: Vec::new(),
+    };
+    for _ in 0..REPEATS {
+        let engine = MetricDbscan::builder(pts.to_vec(), Euclidean)
+            .rbar(rbar)
+            .recorder(Arc::clone(recorder))
+            .build()
+            .expect("engine build");
+        let (exact, exact_ms) = timed(|| engine.exact(params).expect("exact run"));
+        let (streaming, streaming_ms) = timed(|| engine.streaming(aparams).expect("streaming run"));
+        out.exact_ms = out.exact_ms.min(exact_ms);
+        out.streaming_ms = out.streaming_ms.min(streaming_ms);
+        out.exact_assignments = exact.clustering.assignments();
+        out.streaming_assignments = streaming.clustering.assignments();
+    }
+    out
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let n = args.sized(10_000);
+    let pts = blobs(
+        &BlobSpec {
+            n,
+            dim: 2,
+            clusters: 8,
+            std: 1.0,
+            center_box: 40.0,
+            outlier_frac: 0.01,
+        },
+        args.seed,
+    )
+    .into_parts()
+    .0;
+    let params = DbscanParams::new(EPS, MIN_PTS).expect("params");
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).expect("approx params");
+    let rbar = aparams.rbar();
+
+    let noop: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+    let baseline = run_mode(&pts, rbar, &params, &aparams, &noop);
+    let registry = Registry::new();
+    let recorded = run_mode(
+        &pts,
+        rbar,
+        &params,
+        &aparams,
+        &MetricsRecorder::shared(&registry),
+    );
+
+    // The read-only contract at bench scale.
+    let labels_match = baseline.exact_assignments == recorded.exact_assignments
+        && baseline.streaming_assignments == recorded.streaming_assignments;
+    assert!(labels_match, "recorder changed labels");
+
+    let overhead = |on: f64, off: f64| (on / off.max(1e-9) - 1.0) * 100.0;
+    let exact_overhead_pct = overhead(recorded.exact_ms, baseline.exact_ms);
+    let streaming_overhead_pct = overhead(recorded.streaming_ms, baseline.streaming_ms);
+    if args.scale >= 1.0 {
+        assert!(
+            exact_overhead_pct <= 3.0,
+            "exact-path recorder overhead {exact_overhead_pct:.2}% exceeds 3%"
+        );
+        assert!(
+            streaming_overhead_pct <= 3.0,
+            "streaming-path recorder overhead {streaming_overhead_pct:.2}% exceeds 3%"
+        );
+    }
+
+    // Every pipeline phase was observed, and every histogram in the
+    // registry is self-consistent.
+    let snapshot = registry.snapshot();
+    let pipeline = [
+        Phase::NetBuild,
+        Phase::Step1,
+        Phase::Adjacency,
+        Phase::Step2,
+        Phase::Step3,
+    ];
+    let mut phase_rows = Vec::new();
+    for phase in pipeline {
+        let name = format!("mdbscan_phase_{}_micros", phase.name());
+        let h = snapshot
+            .histograms
+            .get(&name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        assert!(h.count > 0, "{name} never observed");
+        phase_rows.push((phase.name(), h.count, h.quantile(0.5)));
+    }
+    let histograms_consistent = snapshot.histograms.values().all(|h| h.is_consistent());
+    assert!(histograms_consistent, "inconsistent histogram snapshot");
+
+    mdbscan_bench::row!("path", "noop_ms", "recorded_ms", "overhead_pct");
+    mdbscan_bench::row!(
+        "exact",
+        format!("{:.2}", baseline.exact_ms),
+        format!("{:.2}", recorded.exact_ms),
+        format!("{exact_overhead_pct:.2}")
+    );
+    mdbscan_bench::row!(
+        "streaming",
+        format!("{:.2}", baseline.streaming_ms),
+        format!("{:.2}", recorded.streaming_ms),
+        format!("{streaming_overhead_pct:.2}")
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"obs\",\n");
+    json.push_str(&format!(
+        "  \"n\": {}, \"eps\": {EPS}, \"min_pts\": {MIN_PTS}, \"rho\": {RHO}, \"rbar\": {rbar}, \"repeats\": {REPEATS},\n",
+        pts.len(),
+    ));
+    json.push_str(&format!(
+        "  \"exact\": {{\"noop_ms\": {:.3}, \"recorded_ms\": {:.3}, \"overhead_pct\": {:.3}}},\n",
+        baseline.exact_ms, recorded.exact_ms, exact_overhead_pct
+    ));
+    json.push_str(&format!(
+        "  \"streaming\": {{\"noop_ms\": {:.3}, \"recorded_ms\": {:.3}, \"overhead_pct\": {:.3}}},\n",
+        baseline.streaming_ms, recorded.streaming_ms, streaming_overhead_pct
+    ));
+    json.push_str(&format!("  \"labels_match\": {labels_match},\n"));
+    json.push_str(&format!(
+        "  \"histograms_consistent\": {histograms_consistent},\n"
+    ));
+    json.push_str("  \"phases\": [\n");
+    for (i, (name, count, p50)) in phase_rows.iter().enumerate() {
+        let sep = if i + 1 == phase_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"phase\": \"{name}\", \"count\": {count}, \"p50_micros\": {p50}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+    print!("{json}");
+    mdbscan_bench::write_json("BENCH_obs.json", &json);
+    eprintln!("wrote BENCH_obs.json");
+}

@@ -81,12 +81,13 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mdbscan_covertree::{CoverTree, CoverTreeSkeleton};
 use mdbscan_grid::{CandidateStats, GridIndex, GRID_MAX_DIM};
 use mdbscan_kcenter::{BuildOptions, CenterAdjacency, IncrementalNet, RadiusGuidedNet};
 use mdbscan_metric::{BatchMetric, PruneStats, PruningConfig};
+use mdbscan_obs::{Event, Phase, Recorder};
 use mdbscan_parallel::{Csr, ParallelConfig};
 use mdbscan_rp::{RpConfig, RpIndex, RpStats};
 
@@ -287,6 +288,52 @@ impl RunReport {
             RunDetail::Streaming { footprint, .. } => Some(*footprint),
             _ => None,
         }
+    }
+}
+
+/// Folds one finished run's per-phase timings and candidate counters
+/// into a recorder. The report already exists — labels included — so
+/// this is purely observational: nothing a recorder does can reach
+/// back into the run. Streaming maps its passes onto the pipeline
+/// phases (pass 1 → net build, pass 2 → Step 1, offline merge →
+/// Step 2, pass 3 → Step 3); cover-tree runs report the tree build +
+/// net extraction as the net-build phase.
+fn record_run_phases(rec: &dyn Recorder, report: &RunReport) {
+    let secs = |s: f64| Duration::from_secs_f64(s.max(0.0));
+    match &report.detail {
+        RunDetail::Exact(s) => {
+            rec.phase(Phase::Adjacency, secs(s.adjacency_secs));
+            rec.phase(Phase::Step1, secs(s.label_secs));
+            rec.phase(Phase::Step2, secs(s.merge_secs));
+            rec.phase(Phase::Step3, secs(s.assign_secs));
+        }
+        RunDetail::CoverTree(s) => {
+            rec.phase(Phase::NetBuild, secs(s.tree_secs + s.net_secs));
+            rec.phase(Phase::Adjacency, secs(s.steps.adjacency_secs));
+            rec.phase(Phase::Step1, secs(s.steps.label_secs));
+            rec.phase(Phase::Step2, secs(s.steps.merge_secs));
+            rec.phase(Phase::Step3, secs(s.steps.assign_secs));
+        }
+        RunDetail::Approx(s) => {
+            rec.phase(Phase::Adjacency, secs(s.adjacency_secs));
+            rec.phase(Phase::Step1, secs(s.summary_secs));
+            rec.phase(Phase::Step2, secs(s.merge_secs));
+            rec.phase(Phase::Step3, secs(s.label_secs));
+        }
+        RunDetail::Streaming { stats, .. } => {
+            rec.phase(Phase::NetBuild, secs(stats.pass1_secs));
+            rec.phase(Phase::Step1, secs(stats.pass2_secs));
+            rec.phase(Phase::Step2, secs(stats.merge_secs));
+            rec.phase(Phase::Step3, secs(stats.pass3_secs));
+        }
+    }
+    let emitted = report.candidates.candidates_emitted + report.rp.candidates_emitted;
+    let rejected = report.candidates.candidates_rejected + report.rp.candidates_rejected;
+    if emitted > 0 {
+        rec.event(Event::CandidatesEmitted, emitted);
+    }
+    if rejected > 0 {
+        rec.event(Event::CandidatesRejected, rejected);
     }
 }
 
@@ -603,6 +650,7 @@ pub struct MetricDbscanBuilder<P, M> {
     pruning: PruningConfig,
     cache_capacity: usize,
     candidate_index: CandidateIndex,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
@@ -684,6 +732,18 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
         self
     }
 
+    /// Attaches an observability recorder ([`mdbscan_obs::Recorder`]):
+    /// the engine reports phase durations (net build, Step-1,
+    /// adjacency, Step-2, Step-3, candidate probe, ingest, artifact
+    /// save/load) and cache hit/miss events through it. Observability
+    /// is **read-only**: a recorder never affects labels or evaluation
+    /// counters (see the `mdbscan_obs` crate docs), and the default
+    /// `None` path does no work at all.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Validates the configuration and builds the net (Algorithm 1, or
     /// the first-fit pass under [`NetStrategy::RadiusGuided`]).
     ///
@@ -699,6 +759,7 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             });
         }
         let parallel = self.parallel.unwrap_or_default();
+        let net_started = self.recorder.as_ref().map(|_| Instant::now());
         let net = match self.strategy {
             NetStrategy::Gonzalez => {
                 let opts = BuildOptions {
@@ -712,6 +773,9 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
                 IncrementalNet::build(&self.points, &self.metric, rbar, self.max_centers).to_net()
             }
         };
+        if let (Some(rec), Some(started)) = (&self.recorder, net_started) {
+            rec.phase(Phase::NetBuild, started.elapsed());
+        }
         let adj_capacity = if self.cache_capacity == 0 {
             0
         } else {
@@ -766,6 +830,8 @@ impl<P: Sync, M: BatchMetric<P>> MetricDbscanBuilder<P, M> {
             rp_hits: AtomicU64::new(0),
             rp_misses: AtomicU64::new(0),
             load_stats: None,
+            load_micros: 0,
+            recorder: self.recorder,
         })
     }
 }
@@ -856,6 +922,12 @@ pub struct MetricDbscan<P, M> {
     /// Copied-bytes accounting from the load that produced this engine;
     /// `None` for engines built in-process.
     pub(crate) load_stats: Option<crate::persist::LoadStats>,
+    /// Wall-clock microseconds of the artifact load that produced this
+    /// engine (0 for engines built in-process) — reported as the
+    /// `ArtifactLoad` phase when a recorder is attached post-load.
+    pub(crate) load_micros: u64,
+    /// Observability seam; `None` (the default) does no work anywhere.
+    pub(crate) recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
@@ -875,7 +947,24 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             pruning: PruningConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             candidate_index: CandidateIndex::default(),
+            recorder: None,
         }
+    }
+
+    /// Attaches an observability recorder to an already-built engine —
+    /// the post-[`load`](MetricDbscan::load) counterpart of
+    /// [`MetricDbscanBuilder::recorder`]. If this engine came from an
+    /// artifact, the load's wall-clock time is reported immediately as
+    /// an [`Phase::ArtifactLoad`] phase.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        if self.load_micros > 0 {
+            recorder.phase(
+                Phase::ArtifactLoad,
+                std::time::Duration::from_micros(self.load_micros),
+            );
+        }
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Cache-mutex access with poison **recovery**. Every cache
@@ -1118,6 +1207,35 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
+        self.record_cache_event(hit);
+    }
+
+    /// Reports one cache lookup to the recorder, if any. Observational
+    /// only — every caller has already updated its own counters.
+    fn record_cache_event(&self, hit: bool) {
+        if let Some(rec) = &self.recorder {
+            rec.event(
+                if hit {
+                    Event::CacheHit
+                } else {
+                    Event::CacheMiss
+                },
+                1,
+            );
+        }
+    }
+
+    /// Start of an artifact save, for the `ArtifactSave` phase; `None`
+    /// without a recorder (the save paths live in `persist.rs`).
+    pub(crate) fn record_save_start(&self) -> Option<Instant> {
+        self.recorder.as_ref().map(|_| Instant::now())
+    }
+
+    /// End of a successful artifact save.
+    pub(crate) fn record_save_done(&self, started: Option<Instant>) {
+        if let (Some(rec), Some(t)) = (&self.recorder, started) {
+            rec.phase(Phase::ArtifactSave, t.elapsed());
+        }
     }
 
     /// Exact metric DBSCAN (§3.1) at the current epoch; see
@@ -1194,6 +1312,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
     /// Queries keep serving the last published epoch.
     pub fn ingest(&self, points: impl IntoIterator<Item = P>) -> Result<IngestReport, DbscanError> {
         let batch: Vec<P> = points.into_iter().collect();
+        let ingest_started = self.recorder.as_ref().map(|_| Instant::now());
         let mut writer = self.writer_lock()?;
         if batch.is_empty() {
             return Ok(match writer.as_ref() {
@@ -1247,7 +1366,7 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             }
         }
         self.pending_epoch.store(epoch, Ordering::Release);
-        Ok(IngestReport {
+        let report = IngestReport {
             epoch,
             added_points: delta.added_points,
             new_centers: delta.new_centers,
@@ -1255,7 +1374,12 @@ impl<P: Clone + Sync, M: BatchMetric<P>> MetricDbscan<P, M> {
             num_points: live.store.len(),
             num_centers: live.net.num_centers(),
             covered: live.net.covered(),
-        })
+        };
+        if let (Some(rec), Some(started)) = (&self.recorder, ingest_started) {
+            rec.phase(Phase::IngestBatch, started.elapsed());
+            rec.event(Event::PointsIngested, report.added_points as u64);
+        }
+        Ok(report)
     }
 
     /// Streaming ρ-approximate DBSCAN (Algorithm 3) replayed over the
@@ -1340,7 +1464,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         rp: RpStats,
         detail: RunDetail,
     ) -> RunReport {
-        RunReport {
+        let report = RunReport {
             algorithm,
             epoch: self.state.epoch,
             total_secs: t0.elapsed().as_secs_f64(),
@@ -1351,7 +1475,11 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             candidates,
             rp,
             detail,
+        };
+        if let Some(rec) = &self.engine.recorder {
+            record_run_phases(rec.as_ref(), &report);
         }
+        report
     }
 
     /// Resolves this snapshot's ε-aligned grid index, or `None` to stay
@@ -1374,6 +1502,13 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             return None;
         }
         let cell = eps / (dim as f64).sqrt();
+        let probe_started = engine.recorder.as_ref().map(|_| Instant::now());
+        let finish = |g: Arc<GridIndex>| {
+            if let (Some(rec), Some(t)) = (&engine.recorder, probe_started) {
+                rec.phase(Phase::CandidateProbe, t.elapsed());
+            }
+            Some(g)
+        };
         let key = GridKey {
             epoch: self.state.epoch,
             cell_bits: cell.to_bits(),
@@ -1400,9 +1535,11 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         };
         if let Some(g) = found {
             engine.grid_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(g);
+            engine.record_cache_event(true);
+            return finish(g);
         }
         engine.grid_misses.fetch_add(1, Ordering::Relaxed);
+        engine.record_cache_event(false);
         let points: &[P] = &self.state.points;
         let built = match base {
             Some(b) if b.len() == points.len() => {
@@ -1422,7 +1559,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             }
         };
         engine.cache_lock().grids.insert(key, Arc::clone(&built));
-        Some(built)
+        finish(built)
     }
 
     /// Resolves this snapshot's random-projection index, or `None` to
@@ -1446,6 +1583,13 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         if dim == 0 {
             return None;
         }
+        let probe_started = engine.recorder.as_ref().map(|_| Instant::now());
+        let finish = |r: Arc<RpIndex>| {
+            if let (Some(rec), Some(t)) = (&engine.recorder, probe_started) {
+                rec.phase(Phase::CandidateProbe, t.elapsed());
+            }
+            Some(r)
+        };
         let key = self.state.epoch;
         let (found, base) = {
             let mut cache = engine.cache_lock();
@@ -1466,9 +1610,11 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         };
         if let Some(r) = found {
             engine.rp_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(r);
+            engine.record_cache_event(true);
+            return finish(r);
         }
         engine.rp_misses.fetch_add(1, Ordering::Relaxed);
+        engine.record_cache_event(false);
         let points: &[P] = &self.state.points;
         let built = match base {
             Some(b) if b.len() == points.len() => {
@@ -1488,7 +1634,7 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
             }
         };
         engine.cache_lock().rps.insert(key, Arc::clone(&built));
-        Some(built)
+        finish(built)
     }
 
     /// Consults the epoch+`ε`-keyed adjacency cache. A same-epoch entry
@@ -1538,9 +1684,11 @@ impl<'e, P: Clone + Sync, M: BatchMetric<P>> EngineSnapshot<'e, P, M> {
         };
         if found.is_some() {
             engine.adj_hits.fetch_add(1, Ordering::Relaxed);
+            engine.record_cache_event(true);
             return (key, found);
         }
         engine.adj_misses.fetch_add(1, Ordering::Relaxed);
+        engine.record_cache_event(false);
         let Some(base) = base else {
             return (key, None);
         };

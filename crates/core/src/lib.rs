@@ -127,6 +127,7 @@ pub use exact_covertree::{
 };
 pub use labels::{Clustering, PointLabel};
 pub use mdbscan_grid::CandidateStats;
+pub use mdbscan_obs::{Event, MetricsRecorder, NoopRecorder, Phase, Recorder};
 pub use mdbscan_parallel::ParallelConfig;
 pub use mdbscan_rp::{RpConfig, RpStats};
 pub use params::{ApproxParams, DbscanParams};

@@ -33,6 +33,7 @@ use std::collections::VecDeque;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use mdbscan_covertree::CoverTreeSkeleton;
 use mdbscan_kcenter::{CenterAdjacency, IncrementalNet, RadiusGuidedNet};
@@ -539,9 +540,12 @@ where
     /// mid-mutation) fails with [`DbscanError::Poisoned`] — a save must
     /// never persist quarantined state.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
+        let started = self.record_save_start();
         self.to_artifact()?
             .write_file(path)
-            .map_err(DbscanError::from)
+            .map_err(DbscanError::from)?;
+        self.record_save_done(started);
+        Ok(())
     }
 
     /// Saves the engine as the next numbered checkpoint in `dir`
@@ -553,11 +557,13 @@ where
     /// corrupt newest file to the last good one. Callers that bound
     /// disk use delete old sequence numbers after a successful save.
     pub fn save_checkpoint(&self, dir: impl AsRef<Path>) -> Result<u64, DbscanError> {
+        let started = self.record_save_start();
         let dir = dir.as_ref();
         let art = self.to_artifact()?;
         std::fs::create_dir_all(dir).map_err(|e| DbscanError::Io(e.to_string()))?;
         let seq = next_checkpoint_seq(dir)?;
         art.write_file(checkpoint_path(dir, seq))?;
+        self.record_save_done(started);
         Ok(seq)
     }
 
@@ -665,9 +671,12 @@ where
     /// (labels and evaluation counts are identical at every thread
     /// count).
     pub fn load(path: impl AsRef<Path>, metric: M) -> Result<Self, DbscanError> {
+        let started = Instant::now();
         let buf = SharedBytes::read_file(path)?;
         let parts = Self::decode_artifact_bytes(buf.as_slice(), Some(&buf))?;
-        Ok(Self::assemble(parts, metric))
+        let mut engine = Self::assemble(parts, metric);
+        engine.load_micros = started.elapsed().as_micros() as u64;
+        Ok(engine)
     }
 
     /// Loads the newest **readable** checkpoint from a
@@ -684,6 +693,7 @@ where
     /// bad (the newest file's error, so the most recent corruption is
     /// what gets reported).
     pub fn load_latest(dir: impl AsRef<Path>, metric: M) -> Result<(Self, u64), DbscanError> {
+        let started = Instant::now();
         let checkpoints = list_checkpoints(dir.as_ref())?;
         if checkpoints.is_empty() {
             return Err(DbscanError::Io(format!(
@@ -697,7 +707,11 @@ where
                 .map_err(DbscanError::from)
                 .and_then(|buf| Self::decode_artifact_bytes(buf.as_slice(), Some(&buf)));
             match decoded {
-                Ok(parts) => return Ok((Self::assemble(parts, metric), *seq)),
+                Ok(parts) => {
+                    let mut engine = Self::assemble(parts, metric);
+                    engine.load_micros = started.elapsed().as_micros() as u64;
+                    return Ok((engine, *seq));
+                }
                 Err(e) => {
                     let _ = newest_err.get_or_insert(e);
                 }
@@ -1018,6 +1032,10 @@ where
             rp_hits: AtomicU64::new(rp.rp_hits),
             rp_misses: AtomicU64::new(rp.rp_misses),
             load_stats: Some(stats),
+            // Callers overwrite with the measured wall clock; a
+            // recorder is attached post-load via `with_recorder`.
+            load_micros: 0,
+            recorder: None,
         }
     }
 }
@@ -1045,9 +1063,12 @@ where
     /// plain [`MetricDbscan::load`] (the embedded metric is ignored in
     /// favor of the caller's).
     pub fn save_self_contained(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
+        let started = self.record_save_start();
         self.to_self_contained_artifact()?
             .write_file(path)
-            .map_err(DbscanError::from)
+            .map_err(DbscanError::from)?;
+        self.record_save_done(started);
+        Ok(())
     }
 
     /// As [`MetricDbscan::save_checkpoint`], with the metric embedded
@@ -1056,11 +1077,13 @@ where
         &self,
         dir: impl AsRef<Path>,
     ) -> Result<u64, DbscanError> {
+        let started = self.record_save_start();
         let dir = dir.as_ref();
         let art = self.to_self_contained_artifact()?;
         std::fs::create_dir_all(dir).map_err(|e| DbscanError::Io(e.to_string()))?;
         let seq = next_checkpoint_seq(dir)?;
         art.write_file(checkpoint_path(dir, seq))?;
+        self.record_save_done(started);
         Ok(seq)
     }
 
@@ -1078,9 +1101,12 @@ where
     /// `save`); every other failure mode matches
     /// [`MetricDbscan::load`].
     pub fn load_self_contained(path: impl AsRef<Path>) -> Result<Self, DbscanError> {
+        let started = Instant::now();
         let buf = SharedBytes::read_file(path)?;
         let (parts, metric) = Self::decode_self_contained(&buf)?;
-        Ok(Self::assemble(parts, metric))
+        let mut engine = Self::assemble(parts, metric);
+        engine.load_micros = started.elapsed().as_micros() as u64;
+        Ok(engine)
     }
 
     /// As [`MetricDbscan::load_latest`], for self-contained
@@ -1089,6 +1115,7 @@ where
     /// files *and* plain (metric-less) checkpoints, and returns the
     /// newest loadable engine with its sequence number.
     pub fn load_latest_self_contained(dir: impl AsRef<Path>) -> Result<(Self, u64), DbscanError> {
+        let started = Instant::now();
         let checkpoints = list_checkpoints(dir.as_ref())?;
         if checkpoints.is_empty() {
             return Err(DbscanError::Io(format!(
@@ -1102,7 +1129,11 @@ where
                 .map_err(DbscanError::from)
                 .and_then(|buf| Self::decode_self_contained(&buf));
             match decoded {
-                Ok((parts, metric)) => return Ok((Self::assemble(parts, metric), *seq)),
+                Ok((parts, metric)) => {
+                    let mut engine = Self::assemble(parts, metric);
+                    engine.load_micros = started.elapsed().as_micros() as u64;
+                    return Ok((engine, *seq));
+                }
                 Err(e) => {
                     let _ = newest_err.get_or_insert(e);
                 }
@@ -1155,8 +1186,9 @@ where
     /// zeroed counters (it may even ingest onward — the net's recorded
     /// state is all the first-fit rule needs).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbscanError> {
-        let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
         let engine = self.engine;
+        let started = engine.record_save_start();
+        let mut w = ArtifactWriter::new(ArtifactKind::Snapshot, P::TYPE_TAG, M::METRIC_TAG);
         let (frag_capacity, adj_capacity, tree_capacity, grid_capacity, rp_capacity) = {
             let cache = engine.cache_lock();
             (
@@ -1198,6 +1230,8 @@ where
         }
         .encode(w.section(SEC_RP));
         encode_epoch_state(&mut w, &self.state);
-        w.write_file(path).map_err(DbscanError::from)
+        w.write_file(path)?;
+        engine.record_save_done(started);
+        Ok(())
     }
 }

@@ -40,6 +40,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use mdbscan_metric::{Metric, PruneStats, PruningConfig};
 use mdbscan_parallel::{par_map_range, ParallelConfig};
@@ -82,6 +83,17 @@ pub struct StreamingStats {
     pub parked_raw: usize,
     /// Summary pairs tested during the offline merge.
     pub merge_pairs_tested: u64,
+    /// Seconds in pass 1 (net maintenance, `finish_pass1` included).
+    /// Only populated by the [`StreamingApproxDbscan::run_indexed`]
+    /// driver family; a manually driven session leaves it 0.
+    pub pass1_secs: f64,
+    /// Seconds in pass 2 (core validation). Driver-populated, like
+    /// [`StreamingStats::pass1_secs`].
+    pub pass2_secs: f64,
+    /// Seconds in the offline merge (`finish_pass2`). Driver-populated.
+    pub merge_secs: f64,
+    /// Seconds in pass 3 (labeling). Driver-populated.
+    pub pass3_secs: f64,
     /// First-center-anchored pruning ledger across all passes and the
     /// offline merge (work counters; labels are identical regardless).
     pub pruning: PruneStats,
@@ -844,6 +856,9 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             .with_parallel(*parallel)
             .with_pruning(*pruning)
             .with_index(index);
+        // Pass timings are observational only (stats fields, reported
+        // via the engine recorder): the passes themselves are untouched.
+        let t = Instant::now();
         for p in make_stream() {
             engine.pass1_observe(&p);
         }
@@ -851,10 +866,16 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             return Err(DbscanError::EmptyInput);
         }
         engine.finish_pass1();
+        engine.stats.pass1_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
         for p in make_stream() {
             engine.pass2_observe(&p);
         }
+        engine.stats.pass2_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
         engine.finish_pass2();
+        engine.stats.merge_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
         let threads = parallel.threads();
         let mut labels: Vec<PointLabel> = Vec::with_capacity(engine.stats.n);
         let mut stream = make_stream();
@@ -869,6 +890,7 @@ impl<'m, P: Clone + Sync, M: Metric<P> + Sync> StreamingApproxDbscan<'m, P, M> {
             }));
             base += block.len();
         }
+        engine.stats.pass3_secs = t.elapsed().as_secs_f64();
         Ok((Clustering::from_labels(labels), engine))
     }
 }

@@ -1,0 +1,147 @@
+//! A tiny hand-rolled `GET /metrics` TCP responder.
+//!
+//! Not a web server: it answers exactly one request per connection,
+//! understands only `GET /metrics` (anything else gets a 404), and
+//! exists so a replica can be scraped by Prometheus-compatible
+//! tooling without pulling in an HTTP stack.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running `/metrics` responder; dropping it does *not*
+/// stop the thread — call [`MetricsHttpServer::shutdown`].
+#[derive(Debug)]
+pub struct MetricsHttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serves `GET /metrics` on `addr`, answering each request with the
+/// plaintext returned by `exposition` (typically
+/// `RegistrySnapshot::render` over a live registry). Returns once the
+/// listener is bound; requests are handled on a background thread.
+pub fn serve_metrics<A, F>(addr: A, exposition: F) -> std::io::Result<MetricsHttpServer>
+where
+    A: ToSocketAddrs,
+    F: Fn() -> String + Send + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("mdbscan-metrics-http".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                // One request per connection; a stalled peer costs at
+                // most one deadline.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = answer(stream, &exposition);
+            }
+        })?;
+    Ok(MetricsHttpServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn answer<F: Fn() -> String>(mut stream: TcpStream, exposition: &F) -> std::io::Result<()> {
+    // Read until the end of the request head (or the 4 KiB cap — a
+    // scrape request has no meaningful body).
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        ("200 OK", exposition())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim().to_string(), body)
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let srv = serve_metrics("127.0.0.1:0", || "m_total 1\n".to_string()).unwrap();
+        let addr = srv.local_addr();
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "m_total 1\n");
+        let (status, _) = get(addr, "/other");
+        assert!(status.contains("404"), "{status}");
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,54 @@
+//! Observability layer for the metric-DBSCAN workspace: a metrics
+//! registry of lock-free atomic instruments, a phase-level tracing
+//! recorder threaded through the engine, a structured key=value
+//! logger, and a tiny hand-rolled `GET /metrics` responder.
+//!
+//! Everything here is plain `std` — no crates.io dependencies, per the
+//! workspace invariant — and sits at the *bottom* of the layering so
+//! every other crate can report through it.
+//!
+//! # Contract: observability is read-only
+//!
+//! Instrumentation **never affects clustering output**. Recorders and
+//! metrics observe durations and counts that the pipeline already
+//! produces; they take no part in any distance evaluation, ordering,
+//! or tie-break. Cluster labels and evaluation counters are
+//! bit-identical whether a run is traced by a [`MetricsRecorder`], a
+//! [`NoopRecorder`], or no recorder at all — asserted by
+//! `tests/observability.rs` across all four solvers and both candidate
+//! indexes. The no-op path does no work beyond an `Option` check, so
+//! disabled tracing adds no measurable overhead (`BENCH_obs.json`).
+//!
+//! # Pieces
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and log2-bucket
+//!   [`Histogram`]s. Handles are `Arc`-backed and record lock-free;
+//!   only registration (first lookup of a name) takes a lock.
+//!   [`Registry::snapshot`] produces a [`RegistrySnapshot`] that can
+//!   [`merge`](RegistrySnapshot::merge), [`render`](RegistrySnapshot::render)
+//!   to Prometheus-style plaintext, and [`parse`](RegistrySnapshot::parse)
+//!   back from it.
+//! * [`Recorder`] / [`Phase`] / [`Event`] — the tracing seam the
+//!   engine calls into: span-style phase durations (net build, Step-1,
+//!   adjacency, Step-2, Step-3 labeling, candidate-index probe, ingest
+//!   batch, artifact save/load) and discrete events (cache hit/miss,
+//!   candidates emitted/rejected, points ingested).
+//! * [`Logger`] — leveled, monotonic-timestamped `key=value` lines for
+//!   long-running binaries (`mdbscan-serve`).
+//! * [`serve_metrics`] — a minimal TCP responder answering
+//!   `GET /metrics` with whatever exposition a closure provides, so a
+//!   replica is scrapeable without an HTTP stack.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod http;
+mod logger;
+mod metrics;
+mod trace;
+
+pub use http::{serve_metrics, MetricsHttpServer};
+pub use logger::{Level, Logger};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{Event, MetricsRecorder, NoopRecorder, Phase, Recorder};

@@ -1,0 +1,180 @@
+//! A structured, leveled, monotonic-timestamped `key=value` logger
+//! for long-running binaries.
+//!
+//! One line per record: `t=<secs since logger start> level=<level>
+//! event=<name> key=value ...`. Timestamps are monotonic (from
+//! [`std::time::Instant`]), so lines order correctly even across
+//! wall-clock adjustments. Values containing spaces, quotes, or `=`
+//! are double-quoted with `"` and `\` escaped, so lines stay
+//! machine-splittable on whitespace.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Log severity, lowest to highest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail, off by default.
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Degraded-but-running conditions.
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A leveled `key=value` line logger writing to stderr.
+///
+/// Shareable across threads; each line is written under a lock so
+/// concurrent records never interleave.
+pub struct Logger {
+    start: Instant,
+    min_level: Level,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("min_level", &self.min_level)
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A stderr logger emitting `min_level` and above.
+    pub fn stderr(min_level: Level) -> Self {
+        Logger {
+            start: Instant::now(),
+            min_level,
+            out: Mutex::new(Box::new(std::io::stderr())),
+        }
+    }
+
+    /// A logger writing to an arbitrary sink (used by tests).
+    pub fn to_writer(min_level: Level, w: Box<dyn Write + Send>) -> Self {
+        Logger {
+            start: Instant::now(),
+            min_level,
+            out: Mutex::new(w),
+        }
+    }
+
+    /// Emits one record. `fields` are appended as `key=value` pairs
+    /// after the standard `t=`, `level=`, `event=` triple.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, String)]) {
+        if level < self.min_level {
+            return;
+        }
+        let t = self.start.elapsed();
+        let mut line = format!(
+            "t={}.{:03}s level={} event={}",
+            t.as_secs(),
+            t.subsec_millis(),
+            level.name(),
+            event
+        );
+        for (k, v) in fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&quote(v));
+        }
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+
+    /// [`Level::Debug`] record.
+    pub fn debug(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Debug, event, fields);
+    }
+
+    /// [`Level::Info`] record.
+    pub fn info(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// [`Level::Warn`] record.
+    pub fn warn(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// [`Level::Error`] record.
+    pub fn error(&self, event: &str, fields: &[(&str, String)]) {
+        self.log(Level::Error, event, fields);
+    }
+}
+
+/// Quotes a value if it contains whitespace or `=`; escapes `"` / `\`.
+fn quote(v: &str) -> String {
+    if !v.is_empty() && !v.contains([' ', '\t', '\n', '=', '"', '\\']) {
+        return v.to_string();
+    }
+    let mut q = String::with_capacity(v.len() + 2);
+    q.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => q.push_str("\\\""),
+            '\\' => q.push_str("\\\\"),
+            '\n' => q.push_str("\\n"),
+            c => q.push(c),
+        }
+    }
+    q.push('"');
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[derive(Clone)]
+    struct Sink(Arc<StdMutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn formats_and_filters() {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        let log = Logger::to_writer(Level::Info, Box::new(Sink(buf.clone())));
+        log.debug("hidden", &[]);
+        log.info(
+            "boot",
+            &[
+                ("points", "42".to_string()),
+                ("msg", "warm start".to_string()),
+            ],
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let line = text.lines().next().unwrap();
+        assert!(line.contains("level=info"));
+        assert!(line.contains("event=boot"));
+        assert!(line.contains("points=42"));
+        assert!(line.contains("msg=\"warm start\""));
+        assert!(line.starts_with("t="));
+    }
+}

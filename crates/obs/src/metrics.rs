@@ -1,0 +1,552 @@
+//! Atomic metrics registry: counters, gauges, and log2-bucket
+//! histograms with lock-free recording and a snapshot/merge API.
+//!
+//! # Bucket layout
+//!
+//! Histograms use fixed boundaries at powers of two: bucket `b` holds
+//! values whose bit length is `b`, i.e. bucket 0 holds the value `0`
+//! and bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`. That gives
+//! [`HISTOGRAM_BUCKETS`] (= 65) buckets covering all of `u64` with a
+//! single `leading_zeros` instruction per `record` — no search, no
+//! float math, no configuration to mismatch at merge time. Quantiles
+//! are reconstructed by cumulative walk with linear interpolation
+//! inside the target bucket, so they are exact to within one octave.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of histogram buckets: one per possible `u64` bit length
+/// (0 through 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`0` for bucket 0, `2^b - 1`
+/// otherwise; bucket 64 is unbounded and rendered as `+Inf`).
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `b`.
+fn bucket_lower(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the
+/// underlying cell; all operations are lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A last-write-wins gauge handle (e.g. queue depth, engine epoch).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::SeqCst);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A log2-bucket histogram handle. `record` is lock-free: one bucket
+/// increment plus sum/count increments, all relaxed-ordering atomics.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.0.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::SeqCst)
+    }
+
+    /// Point-in-time copy of the bucket counts, sum, and count.
+    ///
+    /// Concurrent recorders may land between bucket reads, so a live
+    /// snapshot can transiently disagree by in-flight observations;
+    /// [`HistogramSnapshot::is_consistent`] holds whenever the
+    /// histogram is quiescent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Read `count` first: any record() completing mid-walk then
+        // inflates buckets relative to count rather than the reverse.
+        let count = self.0.count.load(Ordering::SeqCst);
+        let sum = self.0.sum.load(Ordering::SeqCst);
+        let buckets = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::SeqCst))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            sum,
+            count,
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, [`HISTOGRAM_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// True when the per-bucket counts add up to `count` — the
+    /// self-consistency invariant of a quiescent histogram.
+    pub fn is_consistent(&self) -> bool {
+        self.buckets.len() == HISTOGRAM_BUCKETS && self.buckets.iter().sum::<u64>() == self.count
+    }
+
+    /// Adds another snapshot's observations into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) by cumulative bucket walk
+    /// with linear interpolation inside the target bucket. Returns 0
+    /// for an empty histogram. Exact to within the bucket's octave.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let lo = bucket_lower(b);
+                let hi = bucket_upper(b);
+                let into = rank - cum; // 1..=n
+                let span = (hi - lo) as u128;
+                return lo + (span * into as u128 / n as u128) as u64;
+            }
+            cum += n;
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Mean of the recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics. Cloning shares the same underlying
+/// registry, so one `Registry` can be threaded through the engine
+/// recorder, the serving tier, and a `/metrics` responder.
+///
+/// Handle lookup ([`counter`](Registry::counter) etc.) takes a short
+/// lock once per name; callers on hot paths should cache the returned
+/// handle, which records lock-free thereafter.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Registry { .. }")
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on
+    /// first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Point-in-time snapshot of every registered instrument, sorted
+    /// by name. Individual reads are atomic; each instrument is read
+    /// as a group (histograms bucket-coherently enough for rendering),
+    /// and the registration table is locked for the duration, so no
+    /// instrument registered mid-snapshot is half-present.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable copy of a whole [`Registry`]: the unit of merging,
+/// rendering, and wire transport (the serving tier's `Metrics` op
+/// carries one of these).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Merges another snapshot into this one: counters and histograms
+    /// accumulate; gauges take the other snapshot's value (last write
+    /// wins, matching gauge semantics).
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Renders the snapshot as Prometheus-style plaintext exposition:
+    /// `# TYPE` lines followed by `name value` samples; histograms as
+    /// cumulative `name_bucket{le="..."}` samples plus `name_sum` and
+    /// `name_count`. Deterministic (names sorted) and re-parseable via
+    /// [`RegistrySnapshot::parse`].
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (b, n) in h.buckets.iter().enumerate() {
+                cum += n;
+                if b == HISTOGRAM_BUCKETS - 1 {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                } else {
+                    let le = bucket_upper(b);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Parses an exposition produced by [`RegistrySnapshot::render`]
+    /// back into a snapshot. `parse(render(s)) == s` for any snapshot
+    /// `s` whose histograms carry the full bucket layout.
+    pub fn parse(text: &str) -> Result<RegistrySnapshot, String> {
+        let mut snap = RegistrySnapshot::default();
+        let mut lines = text.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("# TYPE ")
+                .ok_or_else(|| format!("expected `# TYPE`, got: {line}"))?;
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("missing metric name")?.to_string();
+            let kind = it.next().ok_or("missing metric kind")?;
+            match kind {
+                "counter" | "gauge" => {
+                    let sample = lines.next().ok_or("missing sample line")?;
+                    let (n, v) = parse_sample(sample)?;
+                    if n != name {
+                        return Err(format!("sample `{n}` does not match TYPE `{name}`"));
+                    }
+                    if kind == "counter" {
+                        snap.counters.insert(name, v);
+                    } else {
+                        snap.gauges.insert(name, v);
+                    }
+                }
+                "histogram" => {
+                    let mut h = HistogramSnapshot::default();
+                    let mut prev_cum = 0u64;
+                    for b in 0..HISTOGRAM_BUCKETS {
+                        let sample = lines.next().ok_or("missing bucket line")?;
+                        let (n, cum) = parse_sample(sample)?;
+                        let want = if b == HISTOGRAM_BUCKETS - 1 {
+                            format!("{name}_bucket{{le=\"+Inf\"}}")
+                        } else {
+                            format!("{name}_bucket{{le=\"{}\"}}", bucket_upper(b))
+                        };
+                        if n != want {
+                            return Err(format!("expected bucket `{want}`, got `{n}`"));
+                        }
+                        h.buckets[b] = cum
+                            .checked_sub(prev_cum)
+                            .ok_or("non-monotonic cumulative bucket")?;
+                        prev_cum = cum;
+                    }
+                    let (n, sum) = parse_sample(lines.next().ok_or("missing sum line")?)?;
+                    if n != format!("{name}_sum") {
+                        return Err(format!("expected `{name}_sum`, got `{n}`"));
+                    }
+                    let (n, count) = parse_sample(lines.next().ok_or("missing count line")?)?;
+                    if n != format!("{name}_count") {
+                        return Err(format!("expected `{name}_count`, got `{n}`"));
+                    }
+                    h.sum = sum;
+                    h.count = count;
+                    snap.histograms.insert(name, h);
+                }
+                k => return Err(format!("unknown metric kind `{k}`")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Splits a `name value` exposition sample (the name may contain a
+/// `{le="..."}` label suffix, which stays part of the name here).
+fn parse_sample(line: &str) -> Result<(String, u64), String> {
+    let line = line.trim();
+    let idx = line
+        .rfind(' ')
+        .ok_or_else(|| format!("malformed sample: {line}"))?;
+    let (name, value) = line.split_at(idx);
+    let v: u64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad sample value in: {line}"))?;
+    Ok((name.to_string(), v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Lower/upper of every bucket land in that bucket.
+        for b in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(b)), b);
+            assert_eq!(bucket_of(bucket_upper(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 5, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.is_consistent());
+        assert_eq!(s.count, 6);
+        assert_eq!(
+            s.sum,
+            0u64.wrapping_add(1 + 5 + 5 + 1000).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        // Octave accuracy: p50 of 1..=1000 is 500, bucket [256, 511].
+        assert!((256..=511).contains(&p50), "p50 = {p50}");
+        assert!((512..=1023).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let reg = Registry::new();
+        reg.counter("requests_total").add(17);
+        reg.gauge("queue_depth").set(3);
+        let h = reg.histogram("latency_micros");
+        for v in [3u64, 90, 90, 4096] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = snap.render();
+        let back = RegistrySnapshot::parse(&text).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Registry::new();
+        a.counter("c").add(2);
+        a.histogram("h").record(7);
+        let b = Registry::new();
+        b.counter("c").add(3);
+        b.gauge("g").set(9);
+        b.histogram("h").record(900);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters["c"], 5);
+        assert_eq!(m.gauges["g"], 9);
+        assert_eq!(m.histograms["h"].count, 2);
+        assert!(m.histograms["h"].is_consistent());
+    }
+}

@@ -1,0 +1,224 @@
+//! Phase-level tracing: the [`Recorder`] seam the engine reports
+//! through, with a zero-cost no-op default and a registry-backed
+//! implementation.
+//!
+//! Recorders are **observers only**: the engine hands them durations
+//! and counts it already computed, after the fact. A recorder cannot
+//! influence any distance evaluation, ordering, or label — see the
+//! crate-level read-only contract.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{Counter, Histogram, Registry};
+
+/// A pipeline phase whose wall-clock duration the engine reports.
+///
+/// The first five map one-to-one onto the source paper's pipeline:
+/// Algorithm-1 net construction, Step-1 core counting, center
+/// adjacency, Step-2 merging, and Step-3 / Algorithm-2 labeling
+/// (streaming maps its pass 1 / pass 2 / offline merge / pass 3 onto
+/// `NetBuild` / `Step1` / `Step2` / `Step3`). The rest cover the
+/// engine's operational phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Algorithm-1 radius-guided net construction (or streaming pass 1).
+    NetBuild,
+    /// Step-1 core counting (approx: summary build; streaming pass 2).
+    Step1,
+    /// Center adjacency graph construction.
+    Adjacency,
+    /// Step-2 merging of adjacent dense centers (streaming offline merge).
+    Step2,
+    /// Step-3 / Algorithm-2 labeling (streaming pass 3).
+    Step3,
+    /// Candidate-index resolution (grid / random-projection probe setup).
+    CandidateProbe,
+    /// One `ingest` batch: net extension + delta append + publication.
+    IngestBatch,
+    /// Artifact serialization (`save` / `save_checkpoint`).
+    ArtifactSave,
+    /// Artifact deserialization (`load` / `load_latest`).
+    ArtifactLoad,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 9] = [
+        Phase::NetBuild,
+        Phase::Step1,
+        Phase::Adjacency,
+        Phase::Step2,
+        Phase::Step3,
+        Phase::CandidateProbe,
+        Phase::IngestBatch,
+        Phase::ArtifactSave,
+        Phase::ArtifactLoad,
+    ];
+
+    /// Stable snake_case name used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::NetBuild => "net_build",
+            Phase::Step1 => "step1",
+            Phase::Adjacency => "adjacency",
+            Phase::Step2 => "step2",
+            Phase::Step3 => "step3",
+            Phase::CandidateProbe => "candidate_probe",
+            Phase::IngestBatch => "ingest_batch",
+            Phase::ArtifactSave => "artifact_save",
+            Phase::ArtifactLoad => "artifact_load",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::NetBuild => 0,
+            Phase::Step1 => 1,
+            Phase::Adjacency => 2,
+            Phase::Step2 => 3,
+            Phase::Step3 => 4,
+            Phase::CandidateProbe => 5,
+            Phase::IngestBatch => 6,
+            Phase::ArtifactSave => 7,
+            Phase::ArtifactLoad => 8,
+        }
+    }
+}
+
+/// A discrete engine event with an attached magnitude.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// An engine cache lookup (fragments, adjacency, grid, RP) hit.
+    CacheHit,
+    /// An engine cache lookup missed and the artifact was recomputed.
+    CacheMiss,
+    /// Candidate pairs emitted by a candidate index this run.
+    CandidatesEmitted,
+    /// Candidate pairs rejected after full evaluation this run.
+    CandidatesRejected,
+    /// Points accepted by one `ingest` batch.
+    PointsIngested,
+}
+
+impl Event {
+    /// Every event kind.
+    pub const ALL: [Event; 5] = [
+        Event::CacheHit,
+        Event::CacheMiss,
+        Event::CandidatesEmitted,
+        Event::CandidatesRejected,
+        Event::PointsIngested,
+    ];
+
+    /// Stable snake_case name used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::CacheHit => "cache_hit",
+            Event::CacheMiss => "cache_miss",
+            Event::CandidatesEmitted => "candidates_emitted",
+            Event::CandidatesRejected => "candidates_rejected",
+            Event::PointsIngested => "points_ingested",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Event::CacheHit => 0,
+            Event::CacheMiss => 1,
+            Event::CandidatesEmitted => 2,
+            Event::CandidatesRejected => 3,
+            Event::PointsIngested => 4,
+        }
+    }
+}
+
+/// The tracing seam. Implementations must be cheap and must not
+/// panic; the engine calls them inline from query and ingest paths.
+pub trait Recorder: Send + Sync {
+    /// Reports that `phase` took `elapsed` wall-clock time.
+    fn phase(&self, phase: Phase, elapsed: Duration);
+    /// Reports `n` occurrences of `event`.
+    fn event(&self, event: Event, n: u64);
+}
+
+/// A recorder that does nothing. Engines without a recorder skip the
+/// calls entirely; this type exists so code paths that demand *some*
+/// recorder (e.g. equivalence tests) have a zero-cost one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn phase(&self, _phase: Phase, _elapsed: Duration) {}
+    #[inline]
+    fn event(&self, _event: Event, _n: u64) {}
+}
+
+/// A recorder that folds phases and events into a [`Registry`]:
+/// each phase into a `mdbscan_phase_<name>_micros` histogram, each
+/// event into a `mdbscan_event_<name>_total` counter. All handles are
+/// resolved at construction, so recording is lock-free.
+pub struct MetricsRecorder {
+    phases: [Histogram; Phase::ALL.len()],
+    events: [Counter; Event::ALL.len()],
+}
+
+impl MetricsRecorder {
+    /// Builds a recorder over `registry`, registering every phase
+    /// histogram and event counter up front.
+    pub fn new(registry: &Registry) -> Self {
+        MetricsRecorder {
+            phases: std::array::from_fn(|i| {
+                registry.histogram(&format!("mdbscan_phase_{}_micros", Phase::ALL[i].name()))
+            }),
+            events: std::array::from_fn(|i| {
+                registry.counter(&format!("mdbscan_event_{}_total", Event::ALL[i].name()))
+            }),
+        }
+    }
+
+    /// Convenience: a ready-to-share `Arc<dyn Recorder>` over `registry`.
+    pub fn shared(registry: &Registry) -> Arc<dyn Recorder> {
+        Arc::new(MetricsRecorder::new(registry))
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    #[inline]
+    fn phase(&self, phase: Phase, elapsed: Duration) {
+        self.phases[phase.index()].record_duration(elapsed);
+    }
+
+    #[inline]
+    fn event(&self, event: Event, n: u64) {
+        self.events[event.index()].add(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_recorder_lands_in_registry() {
+        let reg = Registry::new();
+        let rec = MetricsRecorder::new(&reg);
+        rec.phase(Phase::Step1, Duration::from_micros(150));
+        rec.phase(Phase::Step1, Duration::from_micros(90));
+        rec.event(Event::CacheHit, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["mdbscan_phase_step1_micros"].count, 2);
+        assert_eq!(snap.counters["mdbscan_event_cache_hit_total"], 3);
+    }
+
+    #[test]
+    fn phase_indexes_match_all_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+}

@@ -4,19 +4,31 @@
 //! ```text
 //! mdbscan-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!               [--n 2000] [--dim 8] [--rbar 0.5] [--seed 42]
-//!               [--checkpoint-dir DIR] [--test-ops]
+//!               [--checkpoint-dir DIR] [--metrics-addr HOST:PORT]
+//!               [--log-level LEVEL] [--test-ops]
 //! ```
 //!
 //! With `--checkpoint-dir`, the engine warm-starts from the newest
 //! readable checkpoint in the directory (`load_latest`) when one
 //! exists — falling back past torn or corrupt files — and the wire
 //! `SaveCheckpoint` op writes new numbered checkpoints there.
+//!
+//! With `--metrics-addr`, a second listener answers `GET /metrics`
+//! with the Prometheus-style plaintext exposition of the shared
+//! registry: serving-tier latencies *and* the engine's per-phase
+//! timings, one scrape.
+//!
+//! All output is structured `key=value` lines on stderr (leveled,
+//! monotonic-timestamped) — including the `event=listening` line
+//! harnesses scrape for the bound (possibly ephemeral) port.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use mdbscan_core::MetricDbscan;
+use mdbscan_core::{MetricDbscan, MetricsRecorder};
 use mdbscan_datagen::{blobs, BlobSpec};
 use mdbscan_metric::Euclidean;
+use mdbscan_obs::{Level, Logger, Registry};
 use mdbscan_serve::{ServeConfig, Server};
 
 struct Args {
@@ -28,6 +40,9 @@ struct Args {
     rbar: f64,
     seed: u64,
     checkpoint_dir: Option<String>,
+    metrics_addr: Option<String>,
+    log_level: Level,
+    summary_secs: u64,
     test_ops: bool,
 }
 
@@ -41,6 +56,9 @@ fn parse_args() -> Args {
         rbar: 0.5,
         seed: 42,
         checkpoint_dir: None,
+        metrics_addr: None,
+        log_level: Level::Info,
+        summary_secs: 60,
         test_ops: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +72,24 @@ fn parse_args() -> Args {
             "--checkpoint-dir" => {
                 i += 1;
                 out.checkpoint_dir = Some(args[i].clone());
+            }
+            "--metrics-addr" => {
+                i += 1;
+                out.metrics_addr = Some(args[i].clone());
+            }
+            "--log-level" => {
+                i += 1;
+                out.log_level = match args[i].as_str() {
+                    "debug" => Level::Debug,
+                    "info" => Level::Info,
+                    "warn" => Level::Warn,
+                    "error" => Level::Error,
+                    other => panic!("--log-level takes debug|info|warn|error, not {other}"),
+                };
+            }
+            "--summary-secs" => {
+                i += 1;
+                out.summary_secs = args[i].parse().expect("--summary-secs takes a u64");
             }
             "--workers" => {
                 i += 1;
@@ -81,14 +117,24 @@ fn parse_args() -> Args {
             }
             "--test-ops" => out.test_ops = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "flags: --addr HOST:PORT --workers N --queue N --n N --dim N \
-                     --rbar F --seed U64 --checkpoint-dir DIR --test-ops"
+                // A bootstrap logger: --log-level may not be parsed yet.
+                Logger::stderr(Level::Info).info(
+                    "usage",
+                    &[(
+                        "flags",
+                        "--addr HOST:PORT --workers N --queue N --n N --dim N \
+                         --rbar F --seed U64 --checkpoint-dir DIR --metrics-addr HOST:PORT \
+                         --log-level debug|info|warn|error --summary-secs U64 --test-ops"
+                            .into(),
+                    )],
                 );
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown flag {other}; try --help");
+                Logger::stderr(Level::Error).error(
+                    "unknown_flag",
+                    &[("flag", other.into()), ("hint", "try --help".into())],
+                );
                 std::process::exit(2);
             }
         }
@@ -99,34 +145,56 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let log = Logger::stderr(args.log_level);
+    let registry = Registry::new();
+    let recorder = MetricsRecorder::shared(&registry);
 
     let engine = match &args.checkpoint_dir {
         Some(dir) => match MetricDbscan::<Vec<f64>, Euclidean>::load_latest(dir, Euclidean) {
             Ok((engine, seq)) => {
-                eprintln!(
-                    "warm start: checkpoint {seq} from {dir} ({} points, epoch {})",
-                    engine.num_points(),
-                    engine.epoch()
+                log.info(
+                    "warm_start",
+                    &[
+                        ("checkpoint", seq.to_string()),
+                        ("dir", dir.clone()),
+                        ("points", engine.num_points().to_string()),
+                        ("epoch", engine.epoch().to_string()),
+                    ],
                 );
                 if let Some(stats) = engine.load_stats() {
-                    eprintln!(
-                        "warm start copied {} of {} payload bytes (points {}/{}, metric {}/{})",
-                        stats.bytes_copied(),
-                        stats.point_payload_bytes + stats.metric_payload_bytes,
-                        stats.point_bytes_copied,
-                        stats.point_payload_bytes,
-                        stats.metric_bytes_copied,
-                        stats.metric_payload_bytes,
+                    log.info(
+                        "warm_start_load_stats",
+                        &[
+                            ("bytes_copied", stats.bytes_copied().to_string()),
+                            (
+                                "payload_bytes",
+                                (stats.point_payload_bytes + stats.metric_payload_bytes)
+                                    .to_string(),
+                            ),
+                            ("point_bytes_copied", stats.point_bytes_copied.to_string()),
+                            ("point_payload_bytes", stats.point_payload_bytes.to_string()),
+                            ("metric_bytes_copied", stats.metric_bytes_copied.to_string()),
+                            (
+                                "metric_payload_bytes",
+                                stats.metric_payload_bytes.to_string(),
+                            ),
+                        ],
                     );
                 }
-                engine
+                engine.with_recorder(Arc::clone(&recorder))
             }
             Err(e) => {
-                eprintln!("cold start ({e}); building from synthetic blobs");
-                build_fresh(&args)
+                log.warn(
+                    "cold_start",
+                    &[
+                        ("error", e.to_string()),
+                        ("fallback", "synthetic blobs".into()),
+                    ],
+                );
+                build_fresh(&args, &registry)
             }
         },
-        None => build_fresh(&args),
+        None => build_fresh(&args, &registry),
     };
 
     let cfg = ServeConfig {
@@ -136,18 +204,50 @@ fn main() {
         test_ops: args.test_ops,
         ..ServeConfig::default()
     };
-    let server = Server::spawn(Arc::new(engine), args.addr.as_str(), cfg)
+    let server = Server::spawn_with_registry(Arc::new(engine), args.addr.as_str(), cfg, registry)
         .expect("failed to bind the listener");
-    // Line-oriented so harnesses can scrape the bound (possibly
-    // ephemeral) port.
-    println!("listening {}", server.local_addr());
-    // Serve until killed; the supervisor keeps the worker pool alive.
+    // Harnesses scrape this line for the bound (possibly ephemeral)
+    // port; the key=value form is stable.
+    log.info("listening", &[("addr", server.local_addr().to_string())]);
+
+    let _metrics_http = args.metrics_addr.as_deref().map(|addr| {
+        let http = server
+            .serve_metrics_http(addr)
+            .expect("failed to bind the metrics listener");
+        log.info(
+            "metrics_listening",
+            &[("addr", http.local_addr().to_string())],
+        );
+        http
+    });
+
+    // Serve until killed; the supervisor keeps the worker pool alive,
+    // and this thread periodically logs a registry summary.
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_secs(args.summary_secs.max(1)));
+        let stats = server.stats();
+        log.info(
+            "summary",
+            &[
+                ("served", stats.served.to_string()),
+                ("shed", stats.shed.to_string()),
+                ("panics", stats.panics.to_string()),
+                ("workers_respawned", stats.workers_respawned.to_string()),
+                ("queue_depth", stats.queue_depth.to_string()),
+                ("epoch", stats.epoch.to_string()),
+                ("num_points", stats.num_points.to_string()),
+                ("query_p50_micros", stats.query_p50_micros.to_string()),
+                ("query_p99_micros", stats.query_p99_micros.to_string()),
+                (
+                    "queue_wait_p99_micros",
+                    stats.queue_wait_p99_micros.to_string(),
+                ),
+            ],
+        );
     }
 }
 
-fn build_fresh(args: &Args) -> MetricDbscan<Vec<f64>, Euclidean> {
+fn build_fresh(args: &Args, registry: &Registry) -> MetricDbscan<Vec<f64>, Euclidean> {
     let dataset = blobs(
         &BlobSpec {
             n: args.n,
@@ -158,6 +258,7 @@ fn build_fresh(args: &Args) -> MetricDbscan<Vec<f64>, Euclidean> {
     );
     MetricDbscan::builder(dataset.points().to_vec(), Euclidean)
         .rbar(args.rbar)
+        .recorder(MetricsRecorder::shared(registry))
         .build()
         .expect("engine build failed")
 }

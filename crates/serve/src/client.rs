@@ -17,6 +17,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use mdbscan_metric::PersistPoint;
+use mdbscan_obs::RegistrySnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -159,6 +160,16 @@ impl<P: PersistPoint> Client<P> {
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.call(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The server's full observability registry snapshot — every
+    /// counter, gauge, and latency histogram, same numbers the
+    /// `/metrics` exposition renders.
+    pub fn metrics(&mut self) -> Result<RegistrySnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
             other => Err(unexpected(other)),
         }
     }

@@ -25,6 +25,18 @@
 //!   which connection drops or stalls, which query's metric detonates.
 //!   Drives `tests/fault_injection.rs` and the serving bench's chaos
 //!   mode.
+//! * **Observability** — every server counter lives in an
+//!   [`mdbscan_obs::Registry`] (shareable with the engine's
+//!   [`mdbscan_core::MetricsRecorder`] via
+//!   [`Server::spawn_with_registry`]), plus request-latency and
+//!   queue-wait histograms. Scrape it via the `Metrics` wire op
+//!   ([`Client::metrics`]), [`Server::metrics_exposition`]
+//!   (Prometheus-style plaintext), or a hand-rolled HTTP responder
+//!   ([`Server::serve_metrics_http`], `GET /metrics`). The `Stats` op
+//!   additionally reports p50/p99 summaries of both histograms.
+//!   Instrumentation is read-only with respect to clustering output:
+//!   served labels stay byte-identical whether or not anything is
+//!   recording.
 //!
 //! # Failure-mode contract (what "fault-tolerant" means here)
 //!
@@ -52,5 +64,6 @@ mod server;
 
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{ConnFault, FaultPlan, PanicMetric, PanicSwitch, SaveFault};
+pub use mdbscan_obs::{MetricsHttpServer, Registry, RegistrySnapshot};
 pub use protocol::{QueryReply, Request, Response, Solver, WireIngestReport, WireStats, MAX_FRAME};
 pub use server::{ServeConfig, Server};

@@ -32,6 +32,7 @@
 //! | `0x02` | Ingest  | count `u64`, then each point via `PersistPoint::encode_point` |
 //! | `0x03` | Save checkpoint | empty |
 //! | `0x04` | Stats   | empty |
+//! | `0x05` | Metrics | empty — full registry snapshot, see status `0x04` |
 //! | `0xEE` | Crash worker (test ops only) | empty |
 //!
 //! ## Responses
@@ -42,6 +43,7 @@
 //! | `0x01` | Ingested | the seven [`WireIngestReport`] fields |
 //! | `0x02` | Saved | checkpoint sequence number `u64` |
 //! | `0x03` | Stats | the [`WireStats`] fields |
+//! | `0x04` | Metrics | counter count `u64` then per counter name `str` + value `u64`; gauge count `u64` then per gauge name `str` + value `u64`; histogram count `u64` then per histogram name `str` + bucket count `u64` + per-bucket `u64` counts + sum `u64` + observation count `u64` (strings are `u64` byte length + UTF-8 bytes, the `ByteWriter::put_str` form) |
 //! | `0xF0` | Overloaded | `retry_after_ms` `u32` — admission queue full, request was shed **before** any work |
 //! | `0xF1` | Engine error | display string — a typed [`mdbscan_core::DbscanError`] (bad `ε`, index too coarse, poisoned writer, …) |
 //! | `0xF2` | Internal | panic payload rendered as text — the request panicked inside the worker; the worker survived |
@@ -49,11 +51,26 @@
 //!
 //! Unknown opcodes/statuses fail decoding typed; they are never
 //! silently skipped.
+//!
+//! ## `Stats` evolution
+//!
+//! The `0x03` Stats body is the one payload allowed to **grow**: the
+//! fourteen original `u64` fields (through `rp_candidates_rejected`)
+//! are followed by four latency-summary `u64`s added later —
+//! `query_p50_micros`, `query_p99_micros`, `queue_wait_p50_micros`,
+//! `queue_wait_p99_micros`, in that order. Decoders read the original
+//! fields, then read each later group **only if bytes remain**
+//! (defaulting to zero otherwise), and ignore trailing bytes they do
+//! not know — so an old client keeps decoding what it knows from a
+//! new server, and a new client decodes an old server's reply with
+//! zeroed summaries. Every other payload still rejects trailing bytes.
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
 use mdbscan_core::{IngestReport, PointLabel};
 use mdbscan_metric::PersistPoint;
+use mdbscan_obs::{HistogramSnapshot, RegistrySnapshot};
 use mdbscan_persist::{ByteReader, ByteWriter, PersistError};
 
 /// Hard ceiling on a single frame's payload, checked before allocating.
@@ -90,6 +107,9 @@ pub enum Request<P> {
     SaveCheckpoint,
     /// Server counters.
     Stats,
+    /// Full observability registry snapshot — every counter, gauge,
+    /// and latency histogram the replica has recorded.
+    Metrics,
     /// Kill this worker thread (panic outside the request guard) —
     /// only honored when the server enables test ops; exercises the
     /// supervisor's worker resurrection deterministically.
@@ -100,6 +120,7 @@ const OP_QUERY: u8 = 0x01;
 const OP_INGEST: u8 = 0x02;
 const OP_SAVE: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
+const OP_METRICS: u8 = 0x05;
 const OP_CRASH_WORKER: u8 = 0xEE;
 
 /// [`IngestReport`] as it travels on the wire (identical fields; kept
@@ -176,6 +197,18 @@ pub struct WireStats {
     /// across probed lists, plus labeling candidates outside the
     /// summary).
     pub rp_candidates_rejected: u64,
+    /// Median end-to-end request handling latency in microseconds
+    /// (read → execute → reply written), estimated from the server's
+    /// log2-bucket histogram. Zero until the first request completes,
+    /// and zero when talking to a server predating this field.
+    pub query_p50_micros: u64,
+    /// 99th-percentile end-to-end request latency in microseconds.
+    pub query_p99_micros: u64,
+    /// Median admission-queue wait in microseconds (accept → a worker
+    /// dequeues the connection).
+    pub queue_wait_p50_micros: u64,
+    /// 99th-percentile admission-queue wait in microseconds.
+    pub queue_wait_p99_micros: u64,
 }
 
 /// A query answer: the epoch it was computed at plus per-point labels.
@@ -202,6 +235,8 @@ pub enum Response {
     Saved(u64),
     /// Counters.
     Stats(WireStats),
+    /// Full registry snapshot.
+    Metrics(RegistrySnapshot),
     /// Shed at admission; retry after the given hint.
     Overloaded {
         /// Client backoff hint in milliseconds.
@@ -219,6 +254,7 @@ const ST_LABELS: u8 = 0x00;
 const ST_INGESTED: u8 = 0x01;
 const ST_SAVED: u8 = 0x02;
 const ST_STATS: u8 = 0x03;
+const ST_METRICS: u8 = 0x04;
 const ST_OVERLOADED: u8 = 0xF0;
 const ST_ENGINE_ERROR: u8 = 0xF1;
 const ST_INTERNAL: u8 = 0xF2;
@@ -255,6 +291,7 @@ impl<P: PersistPoint> Request<P> {
             }
             Request::SaveCheckpoint => w.put_u8(OP_SAVE),
             Request::Stats => w.put_u8(OP_STATS),
+            Request::Metrics => w.put_u8(OP_METRICS),
             Request::CrashWorker => w.put_u8(OP_CRASH_WORKER),
         }
         w.into_bytes()
@@ -295,6 +332,7 @@ impl<P: PersistPoint> Request<P> {
             }
             OP_SAVE => Request::SaveCheckpoint,
             OP_STATS => Request::Stats,
+            OP_METRICS => Request::Metrics,
             OP_CRASH_WORKER => Request::CrashWorker,
             b => return Err(r.err(format!("unknown request opcode {b:#04x}"))),
         };
@@ -325,6 +363,69 @@ fn decode_label(r: &mut ByteReader<'_>) -> Result<PointLabel, PersistError> {
         1 => PointLabel::Core(r.get_u32()?),
         2 => PointLabel::Border(r.get_u32()?),
         b => return Err(r.err(format!("unknown label tag {b}"))),
+    })
+}
+
+fn encode_scalar_map(w: &mut ByteWriter, map: &BTreeMap<String, u64>) {
+    w.put_u64(map.len() as u64);
+    for (name, value) in map {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+}
+
+fn decode_scalar_map(r: &mut ByteReader<'_>) -> Result<BTreeMap<String, u64>, PersistError> {
+    let n = r.get_u64()? as usize;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.get_str()?;
+        map.insert(name, r.get_u64()?);
+    }
+    Ok(map)
+}
+
+fn encode_registry(w: &mut ByteWriter, snap: &RegistrySnapshot) {
+    encode_scalar_map(w, &snap.counters);
+    encode_scalar_map(w, &snap.gauges);
+    w.put_u64(snap.histograms.len() as u64);
+    for (name, h) in &snap.histograms {
+        w.put_str(name);
+        w.put_u64(h.buckets.len() as u64);
+        for b in &h.buckets {
+            w.put_u64(*b);
+        }
+        w.put_u64(h.sum);
+        w.put_u64(h.count);
+    }
+}
+
+fn decode_registry(r: &mut ByteReader<'_>) -> Result<RegistrySnapshot, PersistError> {
+    let counters = decode_scalar_map(r)?;
+    let gauges = decode_scalar_map(r)?;
+    let n = r.get_u64()? as usize;
+    let mut histograms = BTreeMap::new();
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let len = r.get_u64()? as usize;
+        let mut buckets = Vec::with_capacity(len.min(r.remaining() + 1));
+        for _ in 0..len {
+            buckets.push(r.get_u64()?);
+        }
+        let sum = r.get_u64()?;
+        let count = r.get_u64()?;
+        histograms.insert(
+            name,
+            HistogramSnapshot {
+                buckets,
+                sum,
+                count,
+            },
+        );
+    }
+    Ok(RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
     })
 }
 
@@ -372,6 +473,17 @@ impl Response {
                 w.put_u64(s.rp_projections);
                 w.put_u64(s.rp_candidates_emitted);
                 w.put_u64(s.rp_candidates_rejected);
+                // Additive tail (see "Stats evolution" above): old
+                // decoders stop before these, new decoders read them
+                // only when present.
+                w.put_u64(s.query_p50_micros);
+                w.put_u64(s.query_p99_micros);
+                w.put_u64(s.queue_wait_p50_micros);
+                w.put_u64(s.queue_wait_p99_micros);
+            }
+            Response::Metrics(snap) => {
+                w.put_u8(ST_METRICS);
+                encode_registry(&mut w, snap);
             }
             Response::Overloaded { retry_after_ms } => {
                 w.put_u8(ST_OVERLOADED);
@@ -422,22 +534,35 @@ impl Response {
                 covered: r.get_bool()?,
             }),
             ST_SAVED => Response::Saved(r.get_u64()?),
-            ST_STATS => Response::Stats(WireStats {
-                served: r.get_u64()?,
-                shed: r.get_u64()?,
-                panics: r.get_u64()?,
-                workers_respawned: r.get_u64()?,
-                queue_depth: r.get_u64()?,
-                epoch: r.get_u64()?,
-                num_points: r.get_u64()?,
-                num_centers: r.get_u64()?,
-                grid_cells_probed: r.get_u64()?,
-                grid_candidates_emitted: r.get_u64()?,
-                grid_candidates_rejected: r.get_u64()?,
-                rp_projections: r.get_u64()?,
-                rp_candidates_emitted: r.get_u64()?,
-                rp_candidates_rejected: r.get_u64()?,
-            }),
+            ST_STATS => {
+                let mut s = WireStats {
+                    served: r.get_u64()?,
+                    shed: r.get_u64()?,
+                    panics: r.get_u64()?,
+                    workers_respawned: r.get_u64()?,
+                    queue_depth: r.get_u64()?,
+                    epoch: r.get_u64()?,
+                    num_points: r.get_u64()?,
+                    num_centers: r.get_u64()?,
+                    grid_cells_probed: r.get_u64()?,
+                    grid_candidates_emitted: r.get_u64()?,
+                    grid_candidates_rejected: r.get_u64()?,
+                    rp_projections: r.get_u64()?,
+                    rp_candidates_emitted: r.get_u64()?,
+                    rp_candidates_rejected: r.get_u64()?,
+                    ..WireStats::default()
+                };
+                if !r.finished() {
+                    s.query_p50_micros = r.get_u64()?;
+                    s.query_p99_micros = r.get_u64()?;
+                    s.queue_wait_p50_micros = r.get_u64()?;
+                    s.queue_wait_p99_micros = r.get_u64()?;
+                }
+                // Tolerate fields newer than this decoder: a Stats
+                // reply never rejects trailing bytes.
+                return Ok(Response::Stats(s));
+            }
+            ST_METRICS => Response::Metrics(decode_registry(&mut r)?),
             ST_OVERLOADED => Response::Overloaded {
                 retry_after_ms: r.get_u32()?,
             },
@@ -533,6 +658,7 @@ mod tests {
         round_trip_request(Request::Ingest(vec![vec![1.0, 2.0], vec![3.0, 4.0]]));
         round_trip_request(Request::SaveCheckpoint);
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::CrashWorker);
     }
 
@@ -572,11 +698,69 @@ mod tests {
             rp_projections: 12,
             rp_candidates_emitted: 13,
             rp_candidates_rejected: 14,
+            query_p50_micros: 150,
+            query_p99_micros: 9_000,
+            queue_wait_p50_micros: 12,
+            queue_wait_p99_micros: 480,
         }));
         round_trip_response(Response::Overloaded { retry_after_ms: 25 });
         round_trip_response(Response::EngineError("index too coarse".into()));
         round_trip_response(Response::Internal("metric exploded".into()));
         round_trip_response(Response::BadRequest("unknown opcode".into()));
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let registry = mdbscan_obs::Registry::new();
+        registry.counter("serve_requests_served_total").add(41);
+        registry.gauge("engine_epoch").set(7);
+        let hist = registry.histogram("serve_request_micros");
+        for v in [0, 1, 5, 1000, u64::MAX] {
+            hist.record(v);
+        }
+        round_trip_response(Response::Metrics(registry.snapshot()));
+        // An empty registry is a valid (if boring) reply.
+        round_trip_response(Response::Metrics(RegistrySnapshot::default()));
+    }
+
+    #[test]
+    fn stats_decode_is_forward_and_backward_tolerant() {
+        let stats = WireStats {
+            served: 5,
+            panics: 1,
+            query_p50_micros: 200,
+            queue_wait_p99_micros: 999,
+            ..WireStats::default()
+        };
+        let full = Response::Stats(stats).encode();
+
+        // A truncated (pre-latency-summary) body still decodes, with
+        // the new fields defaulting to zero — what an old server sends.
+        let old_len = full.len() - 4 * 8;
+        let old = &full[..old_len];
+        match Response::decode(old).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.served, 5);
+                assert_eq!(s.panics, 1);
+                assert_eq!(s.query_p50_micros, 0);
+                assert_eq!(s.queue_wait_p99_micros, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // Bytes beyond what this decoder knows are ignored — what a
+        // future server may send.
+        let mut future = full.clone();
+        future.extend_from_slice(&7u64.to_le_bytes());
+        match Response::decode(&future).unwrap() {
+            Response::Stats(s) => assert_eq!(s.query_p50_micros, 200),
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // Every other status still rejects trailing bytes.
+        let mut saved = Response::Saved(3).encode();
+        saved.push(0);
+        assert!(Response::decode(&saved).is_err());
     }
 
     #[test]

@@ -22,19 +22,44 @@
 //! * **Consistency** — queries snapshot the engine per request, so a
 //!   concurrent ingest never tears a reply; labels are bit-identical
 //!   to calling the same solver in-process at the same epoch.
+//!
+//! # Observability
+//!
+//! Every lifetime counter lives in an [`mdbscan_obs::Registry`] —
+//! either one the caller supplies via [`Server::spawn_with_registry`]
+//! (sharing it with an engine-side
+//! [`mdbscan_core::MetricsRecorder`]) or a private one. On top of the
+//! counters the server records two log2-bucket histograms:
+//! `serve_request_micros` (read → execute → reply written) and
+//! `serve_queue_wait_micros` (accept → a worker dequeues). The
+//! registry is scrapeable three ways, all reporting the same numbers:
+//! the legacy [`Request::Stats`] op (now with p50/p99 summaries), the
+//! [`Request::Metrics`] op carrying the full snapshot, and
+//! [`Server::metrics_exposition`] rendered as Prometheus-style
+//! plaintext (servable over HTTP via [`Server::serve_metrics_http`]).
+//!
+//! Snapshot coherence: workers bump `served` **before** `panics`
+//! (both sequentially consistent) and readers load `panics` before
+//! `served`, so a reply can never report more panics than served
+//! requests; `shed` and the queue-depth gauge are updated and read
+//! under the admission-queue lock, so they never disagree with each
+//! other either.
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mdbscan_core::{ApproxParams, DbscanParams, EngineSnapshot, MetricDbscan, PointLabel, Run};
 use mdbscan_metric::{BatchMetric, MetricTag, PersistPoint};
+use mdbscan_obs::{
+    serve_metrics, Counter, Gauge, Histogram, MetricsHttpServer, Registry, RegistrySnapshot,
+};
 
 use crate::protocol::{read_frame, write_frame, QueryReply, Request, Response, Solver, WireStats};
 
@@ -77,27 +102,80 @@ impl Default for ServeConfig {
 }
 
 /// Lifetime counters, updated lock-free by the acceptor and workers.
-#[derive(Debug, Default)]
+/// Each is a pre-resolved handle into the server's [`Registry`], so
+/// hot-path increments never touch the registry lock.
 struct Counters {
-    served: AtomicU64,
-    shed: AtomicU64,
-    panics: AtomicU64,
-    respawned: AtomicU64,
-    grid_cells_probed: AtomicU64,
-    grid_candidates_emitted: AtomicU64,
-    grid_candidates_rejected: AtomicU64,
-    rp_projections: AtomicU64,
-    rp_candidates_emitted: AtomicU64,
-    rp_candidates_rejected: AtomicU64,
+    served: Counter,
+    shed: Counter,
+    panics: Counter,
+    respawned: Counter,
+    grid_cells_probed: Counter,
+    grid_candidates_emitted: Counter,
+    grid_candidates_rejected: Counter,
+    rp_projections: Counter,
+    rp_candidates_emitted: Counter,
+    rp_candidates_rejected: Counter,
+    request_micros: Histogram,
+    queue_wait_micros: Histogram,
+    queue_depth: Gauge,
+    engine_epoch: Gauge,
+    engine_num_points: Gauge,
+    engine_num_centers: Gauge,
+}
+
+impl Counters {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            served: registry.counter("serve_requests_served_total"),
+            shed: registry.counter("serve_requests_shed_total"),
+            panics: registry.counter("serve_request_panics_total"),
+            respawned: registry.counter("serve_workers_respawned_total"),
+            grid_cells_probed: registry.counter("serve_grid_cells_probed_total"),
+            grid_candidates_emitted: registry.counter("serve_grid_candidates_emitted_total"),
+            grid_candidates_rejected: registry.counter("serve_grid_candidates_rejected_total"),
+            rp_projections: registry.counter("serve_rp_projections_total"),
+            rp_candidates_emitted: registry.counter("serve_rp_candidates_emitted_total"),
+            rp_candidates_rejected: registry.counter("serve_rp_candidates_rejected_total"),
+            request_micros: registry.histogram("serve_request_micros"),
+            queue_wait_micros: registry.histogram("serve_queue_wait_micros"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            engine_epoch: registry.gauge("engine_epoch"),
+            engine_num_points: registry.gauge("engine_num_points"),
+            engine_num_centers: registry.gauge("engine_num_centers"),
+        }
+    }
 }
 
 struct Shared<P, M> {
     engine: Arc<MetricDbscan<P, M>>,
     cfg: ServeConfig,
-    queue: Mutex<VecDeque<TcpStream>>,
+    /// Admitted connections waiting for a worker, each stamped with
+    /// its accept time so the dequeue can record queue wait.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+    registry: Registry,
     counters: Counters,
+}
+
+impl<P, M> Shared<P, M>
+where
+    P: Clone + Sync,
+    M: BatchMetric<P>,
+{
+    /// Refreshes the engine gauges and snapshots the registry — the
+    /// one body behind the `Metrics` wire op, the plaintext
+    /// exposition, and the `/metrics` responder.
+    fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.counters.engine_epoch.set(self.engine.epoch());
+        self.counters
+            .engine_num_points
+            .set(self.engine.num_points() as u64);
+        self.counters
+            .engine_num_centers
+            .set(self.engine.num_centers() as u64);
+        self.registry.snapshot()
+    }
 }
 
 /// A running server. Dropping the handle **without** calling
@@ -124,16 +202,32 @@ where
         addr: impl ToSocketAddrs,
         cfg: ServeConfig,
     ) -> io::Result<Self> {
+        Self::spawn_with_registry(engine, addr, cfg, Registry::new())
+    }
+
+    /// Like [`Server::spawn`], but records into a caller-supplied
+    /// [`Registry`]. Pass the same registry the engine's
+    /// [`mdbscan_core::MetricsRecorder`] writes to and one snapshot —
+    /// one `Metrics` reply, one `/metrics` scrape — carries both the
+    /// serving-tier latencies and the engine's per-phase timings.
+    pub fn spawn_with_registry(
+        engine: Arc<MetricDbscan<P, M>>,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+        registry: Registry,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let counters = Counters::new(&registry);
         let shared = Arc::new(Shared {
             engine,
             cfg,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            registry,
+            counters,
         });
 
         let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
@@ -165,6 +259,35 @@ where
         gather_stats(&self.shared)
     }
 
+    /// The registry this server records into (a shared handle, not a
+    /// copy — counters recorded after the call show up in it).
+    pub fn registry(&self) -> Registry {
+        self.shared.registry.clone()
+    }
+
+    /// A point-in-time snapshot of every counter, gauge, and histogram
+    /// — identical to what the wire `Metrics` op returns, with the
+    /// engine gauges (`engine_epoch`, `engine_num_points`,
+    /// `engine_num_centers`) refreshed first.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.shared.metrics_snapshot()
+    }
+
+    /// [`Server::metrics_snapshot`] rendered as Prometheus-style
+    /// plaintext exposition.
+    pub fn metrics_exposition(&self) -> String {
+        self.shared.metrics_snapshot().render()
+    }
+
+    /// Binds `addr` and serves `GET /metrics` (the plaintext
+    /// exposition, freshly snapshotted per scrape) on a background
+    /// thread. Shut the returned handle down independently of the
+    /// server.
+    pub fn serve_metrics_http(&self, addr: impl ToSocketAddrs) -> io::Result<MetricsHttpServer> {
+        let shared = Arc::clone(&self.shared);
+        serve_metrics(addr, move || shared.metrics_snapshot().render())
+    }
+
     /// Stops accepting, drains nothing further, and joins every thread
     /// (workers finish their in-flight connection first).
     pub fn shutdown(mut self) {
@@ -184,38 +307,43 @@ where
     P: Clone + Sync,
     M: BatchMetric<P>,
 {
-    let queue_depth = shared
-        .queue
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .len() as u64;
+    // shed and queue_depth move together only under the queue lock
+    // (admission sheds or enqueues while holding it), so read both
+    // there: one reply never pairs a post-shed counter with a
+    // pre-shed depth.
+    let (queue_depth, shed) = {
+        let queue = shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (queue.len() as u64, shared.counters.shed.get())
+    };
+    // Workers bump served before panics; reading panics first makes
+    // served ≥ panics hold in every reply (both are SeqCst, so the
+    // four loads/stores share one total order).
+    let panics = shared.counters.panics.get();
+    let served = shared.counters.served.get();
+    let request_hist = shared.counters.request_micros.snapshot();
+    let queue_hist = shared.counters.queue_wait_micros.snapshot();
     WireStats {
-        served: shared.counters.served.load(Ordering::Relaxed),
-        shed: shared.counters.shed.load(Ordering::Relaxed),
-        panics: shared.counters.panics.load(Ordering::Relaxed),
-        workers_respawned: shared.counters.respawned.load(Ordering::Relaxed),
+        served,
+        shed,
+        panics,
+        workers_respawned: shared.counters.respawned.get(),
         queue_depth,
         epoch: shared.engine.epoch(),
         num_points: shared.engine.num_points() as u64,
         num_centers: shared.engine.num_centers() as u64,
-        grid_cells_probed: shared.counters.grid_cells_probed.load(Ordering::Relaxed),
-        grid_candidates_emitted: shared
-            .counters
-            .grid_candidates_emitted
-            .load(Ordering::Relaxed),
-        grid_candidates_rejected: shared
-            .counters
-            .grid_candidates_rejected
-            .load(Ordering::Relaxed),
-        rp_projections: shared.counters.rp_projections.load(Ordering::Relaxed),
-        rp_candidates_emitted: shared
-            .counters
-            .rp_candidates_emitted
-            .load(Ordering::Relaxed),
-        rp_candidates_rejected: shared
-            .counters
-            .rp_candidates_rejected
-            .load(Ordering::Relaxed),
+        grid_cells_probed: shared.counters.grid_cells_probed.get(),
+        grid_candidates_emitted: shared.counters.grid_candidates_emitted.get(),
+        grid_candidates_rejected: shared.counters.grid_candidates_rejected.get(),
+        rp_projections: shared.counters.rp_projections.get(),
+        rp_candidates_emitted: shared.counters.rp_candidates_emitted.get(),
+        rp_candidates_rejected: shared.counters.rp_candidates_rejected.get(),
+        query_p50_micros: request_hist.quantile(0.5),
+        query_p99_micros: request_hist.quantile(0.99),
+        queue_wait_p50_micros: queue_hist.quantile(0.5),
+        queue_wait_p99_micros: queue_hist.quantile(0.99),
     }
 }
 
@@ -248,8 +376,11 @@ where
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     if queue.len() >= shared.cfg.queue_capacity {
+        // Count the shed while still holding the lock so a stats
+        // snapshot never sees a full queue without the shed that full
+        // queue just caused (the slow Overloaded write happens after).
+        shared.counters.shed.inc();
         drop(queue);
-        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
         let reply = Response::Overloaded {
             retry_after_ms: shared.cfg.retry_after_ms,
@@ -257,7 +388,8 @@ where
         let _ = write_frame(&mut stream, &reply.encode());
         return;
     }
-    queue.push_back(stream);
+    queue.push_back((stream, Instant::now()));
+    shared.counters.queue_depth.set(queue.len() as u64);
     drop(queue);
     shared.work_ready.notify_one();
 }
@@ -285,7 +417,12 @@ where
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(s) = queue.pop_front() {
+                if let Some((s, admitted)) = queue.pop_front() {
+                    shared.counters.queue_depth.set(queue.len() as u64);
+                    shared
+                        .counters
+                        .queue_wait_micros
+                        .record_duration(admitted.elapsed());
                     break s;
                 }
                 let (guard, _) = shared
@@ -316,9 +453,20 @@ where
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return,
         };
-        let response = handle_payload(shared, &payload);
-        shared.counters.served.fetch_add(1, Ordering::Relaxed);
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        let started = Instant::now();
+        let (response, panicked) = handle_payload(shared, &payload);
+        // served strictly before panics (the reader loads them in the
+        // opposite order), so served ≥ panics in every snapshot.
+        shared.counters.served.inc();
+        if panicked {
+            shared.counters.panics.inc();
+        }
+        let write_ok = write_frame(&mut stream, &response.encode()).is_ok();
+        shared
+            .counters
+            .request_micros
+            .record_duration(started.elapsed());
+        if !write_ok {
             return;
         }
     }
@@ -336,14 +484,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn handle_payload<P, M>(shared: &Shared<P, M>, payload: &[u8]) -> Response
+/// Decodes and executes one request. Returns the response plus
+/// whether the guarded execution panicked — the *caller* counts the
+/// panic, after counting the request served, so the counters always
+/// snapshot with served ≥ panics.
+fn handle_payload<P, M>(shared: &Shared<P, M>, payload: &[u8]) -> (Response, bool)
 where
     P: PersistPoint + Clone + Send + Sync + 'static,
     M: BatchMetric<P> + MetricTag + Send + Sync + 'static,
 {
     let request = match Request::<P>::decode(payload) {
         Ok(r) => r,
-        Err(e) => return Response::BadRequest(e.to_string()),
+        Err(e) => return (Response::BadRequest(e.to_string()), false),
     };
     if matches!(request, Request::CrashWorker) {
         if shared.cfg.test_ops {
@@ -352,14 +504,11 @@ where
             // path is exercised end to end.
             panic!("test-ops CrashWorker");
         }
-        return Response::BadRequest("test ops are disabled".into());
+        return (Response::BadRequest("test ops are disabled".into()), false);
     }
     match catch_unwind(AssertUnwindSafe(|| execute(shared, request))) {
-        Ok(response) => response,
-        Err(panic) => {
-            shared.counters.panics.fetch_add(1, Ordering::Relaxed);
-            Response::Internal(panic_message(panic))
-        }
+        Ok(response) => (response, false),
+        Err(panic) => (Response::Internal(panic_message(panic)), true),
     }
 }
 
@@ -398,31 +547,25 @@ where
             match run_solver(&snapshot, solver, eps, min_pts) {
                 Ok(run) => {
                     let cand = &run.report.candidates;
-                    shared
-                        .counters
-                        .grid_cells_probed
-                        .fetch_add(cand.cells_probed, Ordering::Relaxed);
+                    shared.counters.grid_cells_probed.add(cand.cells_probed);
                     shared
                         .counters
                         .grid_candidates_emitted
-                        .fetch_add(cand.candidates_emitted, Ordering::Relaxed);
+                        .add(cand.candidates_emitted);
                     shared
                         .counters
                         .grid_candidates_rejected
-                        .fetch_add(cand.candidates_rejected, Ordering::Relaxed);
+                        .add(cand.candidates_rejected);
                     let rp = &run.report.rp;
-                    shared
-                        .counters
-                        .rp_projections
-                        .fetch_add(rp.projections, Ordering::Relaxed);
+                    shared.counters.rp_projections.add(rp.projections);
                     shared
                         .counters
                         .rp_candidates_emitted
-                        .fetch_add(rp.candidates_emitted, Ordering::Relaxed);
+                        .add(rp.candidates_emitted);
                     shared
                         .counters
                         .rp_candidates_rejected
-                        .fetch_add(rp.candidates_rejected, Ordering::Relaxed);
+                        .add(rp.candidates_rejected);
                     let labels: Vec<PointLabel> = run.clustering.labels().to_vec();
                     Response::Labels(QueryReply {
                         epoch: run.report.epoch,
@@ -445,6 +588,7 @@ where
             },
         },
         Request::Stats => Response::Stats(gather_stats(shared)),
+        Request::Metrics => Response::Metrics(shared.metrics_snapshot()),
         Request::CrashWorker => unreachable!("handled before the panic guard"),
     }
 }
@@ -461,7 +605,7 @@ where
             if slot.is_finished() && !shared.shutdown.load(Ordering::SeqCst) {
                 let dead = std::mem::replace(slot, spawn_worker(Arc::clone(&shared)));
                 let _ = dead.join(); // reaps the panic payload
-                shared.counters.respawned.fetch_add(1, Ordering::Relaxed);
+                shared.counters.respawned.inc();
             }
         }
         std::thread::sleep(Duration::from_millis(10));

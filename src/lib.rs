@@ -44,6 +44,14 @@
 //!   `std::net` query server with panic isolation and load shedding, a
 //!   retrying client, and the deterministic fault-injection harness
 //!   behind `tests/fault_injection.rs`;
+//! * [`obs`] — std-only observability: an atomic metrics registry
+//!   (counters, gauges, log2-bucket histograms), the
+//!   [`core::Recorder`] phase-tracing trait the engine threads through
+//!   every solver, a Prometheus-style plaintext exposition with a tiny
+//!   `GET /metrics` responder, and a structured `key=value` logger.
+//!   Instrumentation is **read-only with respect to clustering
+//!   output** — labels are bit-identical with or without a recorder
+//!   attached (asserted by `tests/observability.rs`);
 //! * [`baselines`] — every comparator of the paper's evaluation;
 //! * [`eval`] — ARI / AMI / NMI;
 //! * [`datagen`] — deterministic synthetic workloads for all dataset
@@ -135,6 +143,7 @@ pub use mdbscan_eval as eval;
 pub use mdbscan_grid as grid;
 pub use mdbscan_kcenter as kcenter;
 pub use mdbscan_metric as metric;
+pub use mdbscan_obs as obs;
 pub use mdbscan_parallel as parallel;
 pub use mdbscan_persist as persist;
 pub use mdbscan_rp as rp;

@@ -1,0 +1,387 @@
+//! The observability contract (PR 10), certified end to end.
+//!
+//! 1. **Read-only instrumentation**: labels *and* distance-evaluation
+//!    counts are bit-identical whether a run is traced by a
+//!    `MetricsRecorder`, a `NoopRecorder`, or no recorder at all —
+//!    across all four solvers on the generic path and across both
+//!    candidate indexes (grid and random-projection).
+//! 2. **Histogram laws**: log2-bucket placement, merge associativity,
+//!    and snapshot self-consistency, property-checked.
+//! 3. **Exposition round trip**: the Prometheus-style plaintext
+//!    renders and parses back to the exact registry snapshot.
+//! 4. **Wire + HTTP**: the `Metrics` op through a loopback server
+//!    matches the in-process registry, and a booted replica answers
+//!    `GET /metrics` with parseable plaintext carrying the
+//!    request-latency histograms and engine gauges.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use metric_dbscan::core::{
+    ApproxParams, CandidateIndex, DbscanParams, MetricDbscan, MetricsRecorder, NoopRecorder,
+    ParallelConfig, Phase, Recorder, RpConfig,
+};
+use metric_dbscan::datagen::{blobs, lowdim_blobs, BlobSpec, LowDimSpec};
+use metric_dbscan::metric::{CountingMetric, Euclidean, VectorBlock};
+use metric_dbscan::obs::{Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
+use metric_dbscan::serve::{Client, RetryPolicy, ServeConfig, Server, Solver};
+use proptest::prelude::*;
+
+const EPS: f64 = 1.6;
+const MIN_PTS: usize = 5;
+const RHO: f64 = 0.75;
+
+fn dataset() -> Vec<Vec<f64>> {
+    blobs(
+        &BlobSpec {
+            n: 300,
+            dim: 2,
+            clusters: 3,
+            std: 0.8,
+            center_box: 20.0,
+            outlier_frac: 0.1,
+        },
+        29,
+    )
+    .into_parts()
+    .0
+}
+
+/// Runs all four solvers on a fresh engine built with the given
+/// recorder; returns per-solver `(assignments, distance evals)`.
+fn trace_generic(recorder: Option<Arc<dyn Recorder>>) -> Vec<(Vec<i32>, u64)> {
+    let aparams = ApproxParams::new(EPS, MIN_PTS, RHO).unwrap();
+    let mut builder = MetricDbscan::builder(dataset(), CountingMetric::new(Euclidean))
+        .rbar(aparams.rbar())
+        .parallel(ParallelConfig::new(1));
+    if let Some(rec) = recorder {
+        builder = builder.recorder(rec);
+    }
+    let engine = builder.build().unwrap();
+    let params = DbscanParams::new(EPS, MIN_PTS).unwrap();
+    let mut out = Vec::new();
+    engine.metric().reset();
+    for solver in 0..4 {
+        let run = match solver {
+            0 => engine.exact(&params).unwrap(),
+            1 => engine.covertree(&params).unwrap(),
+            2 => engine.approx(&aparams).unwrap(),
+            _ => engine.streaming(&aparams).unwrap(),
+        };
+        out.push((run.clustering.assignments(), engine.metric().reset()));
+    }
+    out
+}
+
+#[test]
+fn recorder_is_read_only_for_every_solver() {
+    let registry = Registry::new();
+    let untraced = trace_generic(None);
+    let noop = trace_generic(Some(Arc::new(NoopRecorder)));
+    let traced = trace_generic(Some(MetricsRecorder::shared(&registry)));
+    assert_eq!(untraced, noop, "a no-op recorder must change nothing");
+    assert_eq!(
+        untraced, traced,
+        "a metrics recorder must not affect labels or distance evals"
+    );
+
+    // The traced engine populated every pipeline phase: net build at
+    // engine construction, Step 1 / adjacency / Step 2 / Step 3 from
+    // the solver runs.
+    let snap = registry.snapshot();
+    for phase in [
+        Phase::NetBuild,
+        Phase::Step1,
+        Phase::Adjacency,
+        Phase::Step2,
+        Phase::Step3,
+    ] {
+        let name = format!("mdbscan_phase_{}_micros", phase.name());
+        let h = snap
+            .histograms
+            .get(&name)
+            .unwrap_or_else(|| panic!("{name} missing from the registry"));
+        assert!(h.count > 0, "{name} never observed");
+        assert!(h.is_consistent(), "{name} buckets disagree with count");
+    }
+}
+
+/// One engine per `(index, recorder)` over the same low-dimensional
+/// block; returns per-solver `(assignments, evals)` for the solvers
+/// that consult candidate indexes.
+fn trace_indexed(
+    index: CandidateIndex,
+    recorder: Option<Arc<dyn Recorder>>,
+) -> Vec<(Vec<i32>, u64)> {
+    let rows = lowdim_blobs(
+        &LowDimSpec {
+            n: 400,
+            dim: 2,
+            clusters: 4,
+            std: 1.0,
+            noise_frac: 0.05,
+            extent: 30.0,
+        },
+        11,
+    )
+    .into_parts()
+    .0;
+    let block = VectorBlock::<f64>::from_rows(&rows);
+    let aparams = ApproxParams::new(2.5, 8, 0.5).unwrap();
+    let mut builder = MetricDbscan::builder(block.ids(), CountingMetric::new(block))
+        .rbar(aparams.rbar())
+        .parallel(ParallelConfig::new(1))
+        .candidate_index(index);
+    if let Some(rec) = recorder {
+        builder = builder.recorder(rec);
+    }
+    let engine = builder.build().unwrap();
+    let params = DbscanParams::new(2.5, 8).unwrap();
+    let mut out = Vec::new();
+    engine.metric().reset();
+    for solver in 0..4 {
+        let run = match solver {
+            0 => engine.exact(&params).unwrap(),
+            1 => engine.covertree(&params).unwrap(),
+            2 => engine.approx(&aparams).unwrap(),
+            _ => engine.streaming(&aparams).unwrap(),
+        };
+        out.push((run.clustering.assignments(), engine.metric().reset()));
+    }
+    out
+}
+
+#[test]
+fn recorder_is_read_only_under_both_candidate_indexes() {
+    for index in [
+        CandidateIndex::Grid,
+        CandidateIndex::RandomProjection(RpConfig::new(0xd15c_0b33)),
+    ] {
+        let registry = Registry::new();
+        let untraced = trace_indexed(index, None);
+        let traced = trace_indexed(index, Some(MetricsRecorder::shared(&registry)));
+        assert_eq!(
+            untraced, traced,
+            "recorder changed behavior under {index:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recording a sequence into one histogram equals recording a
+    /// split of it into two and merging; snapshots stay
+    /// self-consistent with count = len and sum = Σ values.
+    #[test]
+    fn histogram_split_merge_equivalence(
+        values in proptest::collection::vec(0u64..=(1u64 << 48), 0..40),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let whole = Registry::new().histogram("h");
+        for v in &values {
+            whole.record(*v);
+        }
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let reg = Registry::new();
+        let (a, b) = (reg.histogram("a"), reg.histogram("b"));
+        for v in &values[..split] {
+            a.record(*v);
+        }
+        for v in &values[split..] {
+            b.record(*v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let whole = whole.snapshot();
+        prop_assert_eq!(&whole, &merged);
+        prop_assert!(whole.is_consistent());
+        prop_assert_eq!(whole.count, values.len() as u64);
+        prop_assert_eq!(whole.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(whole.buckets.len(), HISTOGRAM_BUCKETS);
+        // Quantiles are monotone and live within the recorded range's
+        // bucket bounds.
+        if !values.is_empty() {
+            let (p0, p50, p100) = (whole.quantile(0.0), whole.quantile(0.5), whole.quantile(1.0));
+            prop_assert!(p0 <= p50 && p50 <= p100);
+            let max = *values.iter().max().unwrap();
+            prop_assert!(p100 <= max.next_power_of_two().max(1));
+        }
+    }
+
+    /// Render → parse is the identity on registry snapshots.
+    #[test]
+    fn exposition_round_trips(
+        counter_vals in proptest::collection::vec(0u64..=u64::MAX, 0..6),
+        gauge_vals in proptest::collection::vec(0u64..=u64::MAX, 0..4),
+        hist_values in proptest::collection::vec(0u64..=(1u64 << 40), 0..24),
+    ) {
+        let registry = Registry::new();
+        for (i, v) in counter_vals.iter().enumerate() {
+            registry.counter(&format!("c_{i}")).add(*v);
+        }
+        for (i, v) in gauge_vals.iter().enumerate() {
+            registry.gauge(&format!("g_{i}")).set(*v);
+        }
+        let h = registry.histogram("latency_micros");
+        for v in &hist_values {
+            h.record(*v);
+        }
+        let snap = registry.snapshot();
+        let parsed = RegistrySnapshot::parse(&snap.render());
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&snap));
+    }
+}
+
+fn test_client(addr: std::net::SocketAddr) -> Client<Vec<f64>> {
+    Client::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(25),
+            timeout: Duration::from_secs(5),
+            seed: 7,
+        },
+    )
+}
+
+/// One raw `GET /metrics` against the hand-rolled responder.
+fn http_get_metrics(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("HTTP response has a header/body split");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "expected 200, got: {head}"
+    );
+    body.to_owned()
+}
+
+#[test]
+fn metrics_op_and_http_scrape_match_the_in_process_registry() {
+    let registry = Registry::new();
+    let engine = Arc::new(
+        MetricDbscan::builder(dataset(), Euclidean)
+            .rbar(ApproxParams::new(EPS, MIN_PTS, RHO).unwrap().rbar())
+            .recorder(MetricsRecorder::shared(&registry))
+            .build()
+            .unwrap(),
+    );
+    let server = Server::spawn_with_registry(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let mut client = test_client(server.local_addr());
+
+    for solver in [
+        Solver::Exact,
+        Solver::CoverTree,
+        Solver::Approx(RHO),
+        Solver::Streaming(RHO),
+    ] {
+        client.query(solver, EPS, MIN_PTS).unwrap();
+    }
+    client
+        .ingest(vec![vec![100.0, 100.0], vec![100.2, 100.1]])
+        .unwrap();
+
+    // The wire snapshot is taken *inside* the Metrics request, before
+    // that request itself is counted as served and timed — so the
+    // later in-process snapshot differs by exactly that one request.
+    // (Its latency is recorded after the reply is written; give the
+    // worker a moment to get there.)
+    let wire = client.metrics().unwrap();
+    let expected_timed = wire.histograms["serve_request_micros"].count + 1;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let local = loop {
+        let snap = server.metrics_snapshot();
+        if snap.histograms["serve_request_micros"].count >= expected_timed
+            || std::time::Instant::now() > deadline
+        {
+            break snap;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(wire.gauges, local.gauges, "gauges must match");
+    assert_eq!(
+        wire.counters.get("serve_requests_served_total").copied(),
+        local
+            .counters
+            .get("serve_requests_served_total")
+            .map(|v| v - 1),
+        "local snapshot sees exactly the Metrics request more"
+    );
+    let mut counters_sans_served = local.counters.clone();
+    counters_sans_served.remove("serve_requests_served_total");
+    let mut wire_sans_served = wire.counters.clone();
+    wire_sans_served.remove("serve_requests_served_total");
+    assert_eq!(wire_sans_served, counters_sans_served);
+    for (name, h) in &wire.histograms {
+        let l = &local.histograms[name];
+        if name == "serve_request_micros" {
+            assert_eq!(l.count, h.count + 1);
+        } else {
+            assert!(
+                l.count >= h.count,
+                "{name} must not shrink between snapshots"
+            );
+        }
+        assert!(h.is_consistent(), "{name} wire snapshot inconsistent");
+    }
+
+    // Engine gauges are refreshed at snapshot time.
+    assert_eq!(wire.gauges["engine_epoch"], engine.epoch());
+    assert_eq!(wire.gauges["engine_num_points"], engine.num_points() as u64);
+    assert_eq!(
+        wire.gauges["engine_num_centers"],
+        engine.num_centers() as u64
+    );
+    // Serving-tier latency histograms recorded every request so far.
+    assert!(wire.histograms["serve_request_micros"].count >= 5);
+    assert!(wire.histograms["serve_queue_wait_micros"].count >= 5);
+    // Engine phases flowed into the same registry.
+    assert!(wire.histograms["mdbscan_phase_step1_micros"].count >= 4);
+
+    // Stats coherence: one reply is internally consistent.
+    let stats = client.stats().unwrap();
+    assert!(stats.served >= stats.panics);
+    assert!(stats.query_p50_micros <= stats.query_p99_micros);
+    assert!(stats.queue_wait_p50_micros <= stats.queue_wait_p99_micros);
+    assert!(stats.query_p99_micros > 0, "latencies were recorded");
+
+    // The HTTP responder serves the same exposition, and it parses.
+    let http = server.serve_metrics_http("127.0.0.1:0").unwrap();
+    let body = http_get_metrics(http.local_addr());
+    let scraped = RegistrySnapshot::parse(&body).expect("exposition must parse");
+    assert!(scraped.histograms.contains_key("serve_request_micros"));
+    assert!(scraped.histograms.contains_key("serve_queue_wait_micros"));
+    assert_eq!(scraped.gauges["engine_epoch"], engine.epoch());
+    assert_eq!(
+        scraped.gauges["engine_num_points"],
+        engine.num_points() as u64
+    );
+    assert_eq!(
+        scraped.gauges["engine_num_centers"],
+        engine.num_centers() as u64
+    );
+    http.shutdown();
+    server.shutdown();
+}
